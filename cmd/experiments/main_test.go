@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickScaleProducesAllSections(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-seed", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	sections := []string{
+		"## T1", "## F1/F2", "## E1", "## E2", "## E3", "## E4",
+		"## E5", "## E6", "## A1", "## A2", "## AB1", "## E7", "## E8", "## AB2",
+	}
+	for _, s := range sections {
+		if !strings.Contains(out, s) {
+			t.Fatalf("report missing section %q", s)
+		}
+	}
+	if !strings.Contains(out, "Agreement with the published table") {
+		t.Fatal("missing Table 1 agreement summary")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-scale", "quick", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scale", "quick", "-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different reports")
+	}
+}
+
+func TestScaleFor(t *testing.T) {
+	for _, name := range []string{"quick", "full", "paper"} {
+		sc, err := scaleFor(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.table1N <= 0 || sc.runs <= 0 || len(sc.scalingNs) == 0 {
+			t.Fatalf("%s: bad scale %+v", name, sc)
+		}
+	}
+	if _, err := scaleFor("huge"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "zzz"}, &buf); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := run([]string{"-whatever"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestClassifyMatch(t *testing.T) {
+	cases := []struct {
+		got, want []int
+		label     string
+	}{
+		{[]int{2}, []int{2}, "exact"},
+		{[]int{2, 3}, []int{2}, "overlap"},
+		{[]int{3}, []int{2}, "±1"},
+		{[]int{7}, []int{2}, "diff"},
+	}
+	for _, tc := range cases {
+		if got := classifyMatch(tc.got, tc.want); got != tc.label {
+			t.Fatalf("classifyMatch(%v,%v) = %q, want %q", tc.got, tc.want, got, tc.label)
+		}
+	}
+}

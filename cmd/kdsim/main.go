@@ -1,0 +1,100 @@
+// Command kdsim runs one allocation experiment and prints the resulting
+// load statistics next to the paper's theoretical predictions.
+//
+// Usage:
+//
+//	kdsim [-n 65536] [-k 2] [-d 3] [-m 0] [-runs 10] [-policy kd] [-beta 0.5] [-seed 1] [-profile 10]
+//
+// -m 0 places n balls (the paper's canonical experiment); -m > n exercises
+// the heavily loaded case of Theorem 2. -policy accepts kd, kd-serialized,
+// kd-adaptive, dchoice, single, oneplusbeta, alwaysgoleft.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/table"
+	"repro/internal/theory"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kdsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kdsim", flag.ContinueOnError)
+	n := fs.Int("n", 1<<16, "number of bins")
+	k := fs.Int("k", 2, "balls per round")
+	d := fs.Int("d", 3, "probes per round")
+	m := fs.Int("m", 0, "balls to place (0 = n)")
+	runs := fs.Int("runs", 10, "independent runs")
+	policyName := fs.String("policy", "kd", "allocation policy")
+	beta := fs.Float64("beta", 0.5, "beta for oneplusbeta")
+	seed := fs.Uint64("seed", 1, "root seed")
+	profile := fs.Int("profile", 10, "print the top P mean sorted loads (0 to disable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	policy, err := core.ParsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	cfg := sim.Config{
+		Policy:       policy,
+		Params:       core.Params{N: *n, K: *k, D: *d, Beta: *beta},
+		Balls:        *m,
+		Runs:         *runs,
+		Seed:         *seed,
+		CollectLoads: *profile > 0,
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	balls := *m
+	if balls == 0 {
+		balls = *n
+	}
+	fmt.Fprintf(out, "policy=%s n=%d k=%d d=%d balls=%d runs=%d seed=%d\n\n",
+		policy, *n, *k, *d, balls, *runs, *seed)
+
+	ms := res.MaxStats()
+	gs := res.GapStats()
+	t := table.New("metric", "value")
+	t.AddRow("max load (distinct)", table.IntsCell(res.DistinctMax()))
+	t.AddRowf("max load (mean ± sd)", fmt.Sprintf("%.3f ± %.3f", ms.Mean(), ms.StdDev()))
+	t.AddRowf("gap max-avg (mean)", fmt.Sprintf("%.3f", gs.Mean()))
+	t.AddRowf("messages (mean)", fmt.Sprintf("%.0f", res.MeanMessages()))
+	t.AddRowf("messages per ball", fmt.Sprintf("%.3f", res.MeanMessages()/float64(balls)))
+	if policy == core.KDChoice && *k >= 1 && *d > *k {
+		t.AddRowf("theory: d_k", fmt.Sprintf("%.3f", theory.Dk(*k, *d)))
+		t.AddRowf("theory: gap term", fmt.Sprintf("%.3f", theory.GapTerm(*k, *d, *n)))
+		t.AddRowf("theory: crowd term", fmt.Sprintf("%.3f", theory.CrowdTerm(*k, *d)))
+		t.AddRowf("theory: regime", theory.Classify(*k, *d, *n).String())
+	}
+	fmt.Fprint(out, t.Text())
+
+	if *profile > 0 {
+		prof := res.MeanSortedProfile()
+		limit := *profile
+		if limit > len(prof) {
+			limit = len(prof)
+		}
+		fmt.Fprintf(out, "\nmean sorted loads B_1..B_%d:", limit)
+		for _, v := range prof[:limit] {
+			fmt.Fprintf(out, " %.2f", v)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultsSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "1024", "-runs", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"max load (distinct)", "messages per ball", "theory: d_k", "mean sorted loads"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunHeavyCase(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "512", "-m", "4096", "-runs", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "balls=4096") {
+		t.Fatalf("heavy-case header wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	for _, policy := range []string{"kd", "kd-serialized", "kd-adaptive", "dchoice", "single", "oneplusbeta", "alwaysgoleft"} {
+		var buf bytes.Buffer
+		args := []string{"-n", "512", "-runs", "2", "-policy", policy}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if !strings.Contains(buf.String(), "policy="+policy) {
+			t.Fatalf("%s: header missing policy", policy)
+		}
+	}
+}
+
+func TestRunNoProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "256", "-runs", "1", "-profile", "0"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "mean sorted loads") {
+		t.Fatal("profile printed despite -profile 0")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-policy", "nope"}, &buf); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run([]string{"-n", "8", "-k", "5", "-d", "3"}, &buf); err == nil {
+		t.Fatal("invalid k/d accepted")
+	}
+	if err := run([]string{"-zzz"}, &buf); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}

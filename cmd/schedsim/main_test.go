@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workers", "40", "-jobs", "300", "-rho", "0.7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"40 workers", "batch mean", "per-task p95", "probes/job"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPareto(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workers", "40", "-jobs", "200", "-pareto"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pareto") {
+		t.Fatalf("pareto header missing:\n%s", buf.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-workers", "40", "-jobs", "200", "-format", "csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "k,batch mean") {
+		t.Fatalf("csv output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-rho", "2"}, &buf); err == nil {
+		t.Fatal("invalid rho accepted")
+	}
+	if err := run([]string{"-bad"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmall(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-servers", "64", "-files", "1000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"64 servers", "kd max", "two search", "msgs/file"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-servers", "64", "-files", "500", "-format", "csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "k,kd max") {
+		t.Fatalf("csv output wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-servers", "0"}, &buf); err == nil {
+		t.Fatal("invalid servers accepted")
+	}
+	if err := run([]string{"-zz"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

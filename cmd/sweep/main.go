@@ -1,0 +1,252 @@
+// Command sweep runs the figure-style experiment series of the
+// reproduction and prints their data tables (text or CSV):
+//
+//	sweep -exp loadvec   — Figures 1 & 2: sorted-load profiles + checkpoints
+//	sweep -exp scaling   — Theorem 1(i): max load vs n for d_k = O(1)
+//	sweep -exp cor1      — Corollary 1: max load vs n for d = k+1
+//	sweep -exp heavy     — Theorem 2: gap vs m/n for d >= 2k
+//	sweep -exp tradeoff  — the message-cost/max-load frontier
+//	sweep -exp adaptive  — Section 7 water-filling ablation
+//	sweep -exp remarks   — the Section 1.2 remark comparisons
+//	sweep -exp induction — Theorem 4's layered-induction sequence β_i vs measured ν
+//	sweep -exp lemmas    — Lemma 2/11 occupancy bounds and the Lemma 4 overflow tail
+//	sweep -exp pipeline  — distributed protocol: balance vs makespan as concurrent
+//	                       dispatcher rounds decide on stale load reports
+//
+// Each experiment accepts -n, -runs, and -seed. Use -format csv for plots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	exp := fs.String("exp", "scaling", "experiment: loadvec, scaling, cor1, heavy, tradeoff, adaptive, remarks")
+	n := fs.Int("n", 1<<16, "bin count (loadvec/tradeoff/adaptive/remarks)")
+	runs := fs.Int("runs", 10, "runs per point")
+	seed := fs.Uint64("seed", 1, "root seed")
+	format := fs.String("format", "text", "output format: text or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tbl *table.Table
+	var err error
+	switch *exp {
+	case "loadvec":
+		tbl, err = loadvecTable(*n, *runs, *seed)
+	case "scaling":
+		tbl, err = scalingTable(*runs, *seed)
+	case "cor1":
+		tbl, err = cor1Table(*runs, *seed)
+	case "heavy":
+		tbl, err = heavyTable(*runs, *seed)
+	case "tradeoff":
+		tbl, err = tradeoffTable(*n, *runs, *seed)
+	case "adaptive":
+		tbl, err = adaptiveTable(*n, *runs, *seed)
+	case "remarks":
+		tbl, err = remarksTable(*n, *runs, *seed)
+	case "induction":
+		tbl, err = inductionTable(*n, *runs, *seed)
+	case "lemmas":
+		tbl, err = lemmasTable(*n, *runs, *seed)
+	case "pipeline":
+		tbl, err = pipelineTable(*runs, *seed)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "experiment=%s runs=%d seed=%d\n\n", *exp, *runs, *seed)
+	if *format == "csv" {
+		fmt.Fprint(out, tbl.CSV())
+	} else {
+		fmt.Fprint(out, tbl.Text())
+	}
+	return nil
+}
+
+func loadvecTable(n, runs int, seed uint64) (*table.Table, error) {
+	t := table.New("k", "d", "beta0", "gamma*", "B_1", "B_beta0", "B_gamma*",
+		"gap B1-Bbeta0", "theory gap", "theory crowd")
+	for _, kd := range [][2]int{{2, 3}, {8, 9}, {32, 48}, {128, 193}} {
+		p, err := experiments.LoadVectorProfile(kd[0], kd[1], n, runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRowf(p.K, p.D, p.Beta0, p.GammaStar,
+			fmt.Sprintf("%.2f", p.B1), fmt.Sprintf("%.2f", p.BBeta0),
+			fmt.Sprintf("%.2f", p.BGammaStar), fmt.Sprintf("%.2f", p.MeasuredGap),
+			fmt.Sprintf("%.2f", p.PredictedGap), fmt.Sprintf("%.2f", p.PredictedCrowd))
+	}
+	return t, nil
+}
+
+func scalingTable(runs int, seed uint64) (*table.Table, error) {
+	ns := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	t := table.New("k", "d", "n", "mean max", "theory leading term")
+	for _, kd := range [][2]int{{1, 2}, {2, 4}, {4, 8}, {8, 16}} {
+		pts, err := experiments.ScalingSeries(kd[0], kd[1], ns, runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			t.AddRowf(kd[0], kd[1], p.N,
+				fmt.Sprintf("%.2f", p.MeanMax), fmt.Sprintf("%.2f", p.Predicted))
+		}
+	}
+	return t, nil
+}
+
+func cor1Table(runs int, seed uint64) (*table.Table, error) {
+	ns := []int{1 << 12, 1 << 14, 1 << 16}
+	t := table.New("k", "d", "n", "mean max", "theory leading term")
+	for _, k := range []int{4, 16, 64, 256} {
+		pts, err := experiments.ScalingSeries(k, k+1, ns, runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			t.AddRowf(k, k+1, p.N,
+				fmt.Sprintf("%.2f", p.MeanMax), fmt.Sprintf("%.2f", p.Predicted))
+		}
+	}
+	return t, nil
+}
+
+func heavyTable(runs int, seed uint64) (*table.Table, error) {
+	const n = 1 << 14
+	mults := []int{1, 2, 4, 8, 16, 32}
+	t := table.New("k", "d", "m/n", "mean gap", "theory lower", "theory upper")
+	for _, kd := range [][2]int{{1, 2}, {2, 4}, {4, 8}, {2, 6}} {
+		pts, err := experiments.HeavySeries(kd[0], kd[1], n, mults, runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pts {
+			t.AddRowf(kd[0], kd[1], p.Mult,
+				fmt.Sprintf("%.3f", p.MeanGap),
+				fmt.Sprintf("%.2f", p.GapLower), fmt.Sprintf("%.2f", p.GapUpper))
+		}
+	}
+	return t, nil
+}
+
+func tradeoffTable(n, runs int, seed uint64) (*table.Table, error) {
+	pts, err := experiments.TradeoffFrontier(n, runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := table.New("strategy", "k", "d", "mean max load", "messages/ball", "regime")
+	for _, p := range pts {
+		t.AddRowf(p.Label, p.K, p.D,
+			fmt.Sprintf("%.2f", p.MeanMax), fmt.Sprintf("%.3f", p.MessagesPerBall), p.Regime)
+	}
+	return t, nil
+}
+
+func adaptiveTable(n, runs int, seed uint64) (*table.Table, error) {
+	pts, err := experiments.AdaptiveAblation(n, runs, seed,
+		[][2]int{{2, 3}, {8, 9}, {64, 65}, {192, 193}})
+	if err != nil {
+		return nil, err
+	}
+	t := table.New("k", "d", "strict mean max", "water-fill mean max", "dynamic-k mean max", "dynamic msgs/ball")
+	for _, p := range pts {
+		t.AddRowf(p.K, p.D,
+			fmt.Sprintf("%.2f", p.StrictMax), fmt.Sprintf("%.2f", p.AdaptMax),
+			fmt.Sprintf("%.2f", p.DynMax), fmt.Sprintf("%.3f", p.DynMsgsPerBall))
+	}
+	return t, nil
+}
+
+func inductionTable(n, runs int, seed uint64) (*table.Table, error) {
+	t := table.New("k", "d", "layer i", "beta_i", "measured nu_{y0+i}", "holds")
+	for _, kd := range [][2]int{{1, 2}, {2, 4}, {4, 8}} {
+		res, err := experiments.LayeredInductionCheck(kd[0], kd[1], n, runs, seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			t.AddRowf(res.K, res.D, row.I,
+				fmt.Sprintf("%.1f", row.Beta), fmt.Sprintf("%.1f", row.MeasNu),
+				fmt.Sprintf("%t", row.Holds))
+		}
+		t.AddRowf(res.K, res.D, "proof",
+			fmt.Sprintf("max <= y0+i*+2 = %d", res.ProofBound),
+			fmt.Sprintf("measured max %.2f", res.MaxLoadMean),
+			fmt.Sprintf("%t", res.MaxLoadMean <= float64(res.ProofBound)))
+	}
+	return t, nil
+}
+
+func lemmasTable(n, runs int, seed uint64) (*table.Table, error) {
+	t := table.New("check", "y/j", "measured", "bound", "holds")
+	occ, err := experiments.SingleChoiceOccupancy(n, runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range occ {
+		t.AddRowf("Lemma 2: mu_y <= 8n/y!", r.Y,
+			fmt.Sprintf("%.1f", r.MuMeasured), fmt.Sprintf("%.1f", r.MuBound),
+			fmt.Sprintf("%t", r.MuHolds))
+		t.AddRowf("Lemma 11: nu_y >= n/(8y!)", r.Y,
+			fmt.Sprintf("%.1f", r.NuMeasured), fmt.Sprintf("%.1f", r.NuBound),
+			fmt.Sprintf("%t", r.NuHolds))
+	}
+	over, err := experiments.Lemma4Check(2, 4, n, runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range over {
+		t.AddRowf(fmt.Sprintf("Lemma 4 (2,4): nu_1/n <= %.1f", r.NuFracMax), r.J,
+			fmt.Sprintf("%.4f", r.Freq), fmt.Sprintf("%.4f", r.Bound),
+			fmt.Sprintf("%t", r.Holds))
+	}
+	return t, nil
+}
+
+func pipelineTable(runs int, seed uint64) (*table.Table, error) {
+	pts, err := experiments.PipelineAblation(1024, 2, 4, 512, runs, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	t := table.New("pipeline depth", "mean max load", "mean makespan", "messages/ball")
+	for _, p := range pts {
+		t.AddRowf(p.Pipeline,
+			fmt.Sprintf("%.2f", p.MeanMax), fmt.Sprintf("%.1f", p.MeanMakespan),
+			fmt.Sprintf("%.2f", p.MsgsPerBall))
+	}
+	return t, nil
+}
+
+func remarksTable(n, runs int, seed uint64) (*table.Table, error) {
+	rows, err := experiments.Remarks(n, runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := table.New("comparison", "left max", "right max", "left msgs/ball", "right msgs/ball", "paper's point")
+	for _, r := range rows {
+		t.AddRowf(r.Name,
+			table.IntsCell(r.LeftMax), table.IntsCell(r.RightMax),
+			fmt.Sprintf("%.3f", r.LeftMsgs), fmt.Sprintf("%.3f", r.RightMsgs),
+			r.Explanation)
+	}
+	return t, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runSweep(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestAllExperimentsSmall(t *testing.T) {
+	exps := map[string][]string{
+		"loadvec":   {"-exp", "loadvec", "-n", "2048", "-runs", "2"},
+		"scaling":   {"-exp", "scaling", "-runs", "1"},
+		"cor1":      {"-exp", "cor1", "-runs", "1"},
+		"heavy":     {"-exp", "heavy", "-runs", "1"},
+		"tradeoff":  {"-exp", "tradeoff", "-n", "2048", "-runs", "2"},
+		"adaptive":  {"-exp", "adaptive", "-n", "2048", "-runs", "2"},
+		"remarks":   {"-exp", "remarks", "-n", "2048", "-runs", "2"},
+		"induction": {"-exp", "induction", "-n", "2048", "-runs", "2"},
+		"lemmas":    {"-exp", "lemmas", "-n", "2048", "-runs", "2"},
+	}
+	// scaling/cor1/heavy sweep large internal n values; keep them but at
+	// 1 run. They dominate this test's runtime (~seconds).
+	if testing.Short() {
+		delete(exps, "scaling")
+		delete(exps, "cor1")
+		delete(exps, "heavy")
+	}
+	for name, args := range exps {
+		t.Run(name, func(t *testing.T) {
+			out := runSweep(t, args...)
+			if !strings.Contains(out, "experiment="+name) {
+				t.Fatalf("missing header:\n%s", out)
+			}
+			if len(strings.Split(out, "\n")) < 4 {
+				t.Fatalf("suspiciously short output:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	out := runSweep(t, "-exp", "loadvec", "-n", "1024", "-runs", "1", "-format", "csv")
+	if !strings.Contains(out, "k,d,") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "zzz"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,161 @@
+// Command table1 regenerates Table 1 of the paper: the maximum bin load of
+// (k,d)-choice after n balls are placed into n bins, for the paper's grid
+// of k and d values, reporting the distinct maximum loads observed over
+// repeated runs.
+//
+// The paper uses n = 3·2^16 = 196608 and 10 runs per cell; those are the
+// defaults. Reduce -n for a quick pass.
+//
+// Usage:
+//
+//	table1 [-n 196608] [-runs 10] [-seed 1] [-format text|markdown|csv] [-compare] [-ks 1,2,4] [-ds 2,3,5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	n := fs.Int("n", experiments.PaperN, "number of bins and balls")
+	runs := fs.Int("runs", 10, "repetitions per cell")
+	seed := fs.Uint64("seed", 1, "root seed")
+	format := fs.String("format", "text", "output format: text, markdown or csv")
+	compare := fs.Bool("compare", false, "append a comparison against the paper's published values")
+	ks := fs.String("ks", "", "comma-separated k rows (default: the paper's grid)")
+	ds := fs.String("ds", "", "comma-separated d columns (default: the paper's grid)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ks != "" {
+		custom, err := parseIntList(*ks)
+		if err != nil {
+			return fmt.Errorf("-ks: %w", err)
+		}
+		experiments.Table1Ks = custom
+	}
+	if *ds != "" {
+		custom, err := parseIntList(*ds)
+		if err != nil {
+			return fmt.Errorf("-ds: %w", err)
+		}
+		experiments.Table1Ds = custom
+	}
+	switch *format {
+	case "text", "markdown", "csv":
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	fmt.Fprintf(out, "Table 1 reproduction: (k,d)-choice, n = %d, %d runs per cell, seed %d\n\n", *n, *runs, *seed)
+	cells, err := experiments.Table1(experiments.Table1Opts{N: *n, Runs: *runs, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	tbl := experiments.Table1Render(cells)
+	switch *format {
+	case "text":
+		fmt.Fprint(out, tbl.Text())
+	case "markdown":
+		fmt.Fprint(out, tbl.Markdown())
+	case "csv":
+		fmt.Fprint(out, tbl.CSV())
+	}
+
+	if *compare {
+		fmt.Fprintf(out, "\nComparison with the paper (paper values in brackets; paper used n = %d):\n\n", experiments.PaperN)
+		paper := experiments.PaperTable1()
+		cmp := table.New("k", "d", "measured", "paper", "match")
+		for _, c := range cells {
+			want, ok := paper[[2]int{c.K, c.D}]
+			if !ok {
+				continue
+			}
+			cmp.AddRow(
+				fmt.Sprintf("%d", c.K),
+				fmt.Sprintf("%d", c.D),
+				table.IntsCell(c.DistinctMax),
+				table.IntsCell(want),
+				matchLabel(c.DistinctMax, want),
+			)
+		}
+		fmt.Fprint(out, cmp.Text())
+	}
+	return nil
+}
+
+// parseIntList parses a comma-separated list of positive integers.
+func parseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d must be >= 1", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// matchLabel classifies agreement between measured and published distinct
+// max loads: "exact" when the sets overlap entirely, "overlap" when they
+// share a value, "±1" when every measured value is within one of a paper
+// value, and "diff" otherwise.
+func matchLabel(got, want []int) string {
+	if len(got) == 0 || len(want) == 0 {
+		return "n/a"
+	}
+	set := make(map[int]bool, len(want))
+	for _, w := range want {
+		set[w] = true
+	}
+	allIn := true
+	anyIn := false
+	within1 := true
+	for _, g := range got {
+		if set[g] {
+			anyIn = true
+		} else {
+			allIn = false
+		}
+		ok := false
+		for _, w := range want {
+			if g >= w-1 && g <= w+1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			within1 = false
+		}
+	}
+	switch {
+	case allIn:
+		return "exact"
+	case anyIn:
+		return "overlap"
+	case within1:
+		return "±1"
+	default:
+		return "diff"
+	}
+}

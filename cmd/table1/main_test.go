@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "768", "-runs", "2", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "k=1") || !strings.Contains(out, "d=193") {
+		t.Fatalf("missing grid rows/cols:\n%s", out)
+	}
+	if !strings.Contains(out, "n = 768") {
+		t.Fatalf("header missing n:\n%s", out)
+	}
+}
+
+func TestRunMarkdownAndCSV(t *testing.T) {
+	for _, format := range []string{"markdown", "csv"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-n", "256", "-runs", "1", "-format", format}, &buf); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", format)
+		}
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "768", "-runs", "2", "-compare"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "paper") || !strings.Contains(out, "match") {
+		t.Fatalf("compare section missing:\n%s", out)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-format", "xml"}, &buf); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}
+
+func TestMatchLabel(t *testing.T) {
+	cases := []struct {
+		got, want []int
+		label     string
+	}{
+		{[]int{3, 4}, []int{3, 4}, "exact"},
+		{[]int{3}, []int{3, 4}, "exact"},
+		{[]int{3, 5}, []int{3, 4}, "overlap"},
+		{[]int{5}, []int{4}, "±1"},
+		{[]int{9}, []int{4}, "diff"},
+		{nil, []int{4}, "n/a"},
+	}
+	for _, tc := range cases {
+		if got := matchLabel(tc.got, tc.want); got != tc.label {
+			t.Fatalf("matchLabel(%v, %v) = %q, want %q", tc.got, tc.want, got, tc.label)
+		}
+	}
+}
+
+func TestCustomGrid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "512", "-runs", "1", "-ks", "1,2", "-ds", "2,3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "k=2") || strings.Contains(out, "k=192") {
+		t.Fatalf("custom grid not applied:\n%s", out)
+	}
+}
+
+func TestCustomGridErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-ks", "1,x"}, &buf); err == nil {
+		t.Fatal("bad -ks accepted")
+	}
+	if err := run([]string{"-ds", "0"}, &buf); err == nil {
+		t.Fatal("non-positive -ds accepted")
+	}
+}
+
+func TestParseIntList(t *testing.T) {
+	got, err := parseIntList(" 1, 2 ,3 ")
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Fatalf("parseIntList: %v %v", got, err)
+	}
+}

@@ -1,0 +1,51 @@
+package kdchoice_test
+
+import (
+	"fmt"
+
+	kdchoice "repro"
+)
+
+// Place n balls into n bins with (2,3)-choice and inspect the result.
+func ExampleNewKD() {
+	alloc, err := kdchoice.NewKD(1024, 2, 3, 42)
+	if err != nil {
+		panic(err)
+	}
+	alloc.PlaceAll()
+	fmt.Println("balls:", alloc.Balls())
+	fmt.Println("messages:", alloc.Messages())
+	fmt.Println("max load positive:", alloc.MaxLoad() > 0)
+	// Output:
+	// balls: 1024
+	// messages: 1536
+	// max load positive: true
+}
+
+// Reproduce one Table 1 cell: the distinct max loads of (8,17)-choice over
+// repeated runs.
+func ExampleSimulate() {
+	res, err := kdchoice.Simulate(kdchoice.Config{
+		Bins: 4096, K: 8, D: 17, Seed: 7,
+	}, 0, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("runs:", len(res.MaxLoads))
+	fmt.Println("mean messages:", res.MeanMessages)
+	// Output:
+	// runs: 10
+	// mean messages: 8704
+}
+
+// The theory helpers expose the paper's bound terms for choosing k and d.
+func ExampleMessageCost() {
+	n := 1 << 20
+	k := 512 // polylog n
+	d := 2 * k
+	fmt.Println("messages:", kdchoice.MessageCost(k, d, n)) // 2n: constant max load regime
+	fmt.Println("regime:", kdchoice.Regime(k, d, n))
+	// Output:
+	// messages: 2097152
+	// regime: d-choice-like
+}

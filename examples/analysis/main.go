@@ -1,0 +1,50 @@
+// Analysis: watch the paper's proof machinery work on live data.
+//
+// The upper-bound proof (Theorem 4) controls the number of bins ν_y with
+// load ≥ y through a doubly-exponentially shrinking sequence
+//
+//	β₀ = n/(6·d_k),   β_{i+1} = 6·(n/k)·C(d, d−k+1)·(β_i/n)^{d−k+1},
+//
+// and shows ν_{y₀+i} ≤ β_i layer by layer; after i* ≈ ln ln n/ln(d−k+1)
+// layers the union bound finishes the job, giving max load ≤ y₀ + i* + 2.
+// This example runs the real process and prints the measured ν against
+// every β layer, so you can see the induction "staircase" of Figure 1.
+//
+// Run with:
+//
+//	go run ./examples/analysis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/theory"
+)
+
+func main() {
+	const n = 1 << 16
+	const runs = 10
+
+	for _, kd := range [][2]int{{1, 2}, {2, 4}, {4, 8}} {
+		k, d := kd[0], kd[1]
+		res, err := experiments.LayeredInductionCheck(k, d, n, runs, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== (%d,%d)-choice, n = %d, %d runs ===\n", k, d, n, runs)
+		fmt.Printf("d_k = %.2f, anchor layer y0 = %d, proof layers i* = %d\n",
+			theory.Dk(k, d), res.Y0, res.IStar)
+		fmt.Printf("%8s  %14s  %18s  %s\n", "layer i", "beta_i", "measured nu_{y0+i}", "holds")
+		for _, row := range res.Rows {
+			fmt.Printf("%8d  %14.1f  %18.1f  %t\n", row.I, row.Beta, row.MeasNu, row.Holds)
+		}
+		fmt.Printf("proof bound y0+i*+2 = %d, measured max load = %.2f\n\n",
+			res.ProofBound, res.MaxLoadMean)
+	}
+
+	fmt.Println("Each layer's measured occupancy sits under its beta envelope, and the")
+	fmt.Println("envelope collapses doubly exponentially — that collapse is why the")
+	fmt.Println("maximum load is ln ln n/ln(d-k+1) + O(1) rather than ln n-ish.")
+}

@@ -1,0 +1,57 @@
+// Heavyload: the m >> n regime of Theorem 2.
+//
+// The paper proves (for d >= 2k) that the maximum load stays within
+// ln ln n/ln⌊d/k⌋ + O(1) of the average m/n no matter how large m grows —
+// the process "forgets" its history. This example ingests up to 64n balls
+// and tracks the gap, also contrasting a d < 2k pair (open question in the
+// paper) and single choice, whose gap diverges like sqrt(m ln n / n).
+//
+// Run with:
+//
+//	go run ./examples/heavyload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	kdchoice "repro"
+)
+
+func main() {
+	const n = 1 << 12
+	const runs = 8
+
+	configs := []struct {
+		label string
+		cfg   kdchoice.Config
+	}{
+		{"(2,4)-choice [d=2k]", kdchoice.Config{Bins: n, K: 2, D: 4, Seed: 21}},
+		{"(2,6)-choice [d=3k]", kdchoice.Config{Bins: n, K: 2, D: 6, Seed: 22}},
+		{"(3,4)-choice [d<2k, open]", kdchoice.Config{Bins: n, K: 3, D: 4, Seed: 23}},
+		{"single choice", kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice, Seed: 24}},
+	}
+
+	fmt.Printf("n = %d bins, m growing to 64n, gap = max load - m/n (mean of %d runs)\n\n", n, runs)
+	fmt.Printf("%-26s", "m/n:")
+	mults := []int{1, 4, 16, 64}
+	for _, m := range mults {
+		fmt.Printf("  %8d", m)
+	}
+	fmt.Println()
+	for _, c := range configs {
+		fmt.Printf("%-26s", c.label)
+		for _, mult := range mults {
+			res, err := kdchoice.Simulate(c.cfg, mult*n, runs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %8.2f", res.MeanGap)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nThe (k,d)-choice gaps plateau (Theorem 2's m-independent bound) while")
+	fmt.Println("single choice's gap keeps growing with m. The d < 2k row also appears")
+	fmt.Println("to plateau — the regime the paper leaves as an open question.")
+}

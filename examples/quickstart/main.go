@@ -1,0 +1,57 @@
+// Quickstart: place n balls into n bins with (k,d)-choice and inspect the
+// result through the public API.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	kdchoice "repro"
+)
+
+func main() {
+	const n = 1 << 16 // 65536 bins
+
+	// The paper's process: each round samples d bins and places the k < d
+	// balls into the k least-loaded sampled bins.
+	alloc, err := kdchoice.NewKD(n, 2, 3, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alloc.PlaceAll() // n balls into n bins
+
+	fmt.Println("=== (2,3)-choice quickstart ===")
+	fmt.Printf("bins: %d, balls: %d, rounds: %d\n", alloc.N(), alloc.Balls(), alloc.Rounds())
+	fmt.Printf("max load:  %d\n", alloc.MaxLoad())
+	fmt.Printf("messages:  %d (%.2f probes per ball)\n",
+		alloc.Messages(), float64(alloc.Messages())/float64(alloc.Balls()))
+	fmt.Printf("theory:    gap term %.2f + crowd term %.2f (regime: %s)\n",
+		kdchoice.PredictGapTerm(2, 3, n), kdchoice.PredictCrowdTerm(2, 3), kdchoice.Regime(2, 3, n))
+
+	// Top of the sorted load vector (B_1, B_2, ... in the paper's notation).
+	top := alloc.SortedLoads()[:8]
+	fmt.Printf("top loads: %v\n", top)
+
+	// Compare against the classical baselines on the same n.
+	fmt.Println("\n=== baselines (10 runs each, distinct max loads) ===")
+	for _, cfg := range []struct {
+		name string
+		c    kdchoice.Config
+	}{
+		{"single choice", kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice, Seed: 1}},
+		{"two-choice   ", kdchoice.Config{Bins: n, K: 1, D: 2, Seed: 2}},
+		{"(2,3)-choice ", kdchoice.Config{Bins: n, K: 2, D: 3, Seed: 3}},
+		{"(8,17)-choice", kdchoice.Config{Bins: n, K: 8, D: 17, Seed: 4}},
+	} {
+		res, err := kdchoice.Simulate(cfg.c, 0, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  max loads %v  (%.2f msgs/ball)\n",
+			cfg.name, res.DistinctMax, res.MeanMessages/float64(n))
+	}
+}

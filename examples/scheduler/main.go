@@ -1,0 +1,77 @@
+// Scheduler: the paper's Section 1.3 cluster-scheduling scenario.
+//
+// A job has k parallel tasks; its response time is decided by the LAST task
+// to finish. If every task independently runs power-of-two probing, some
+// task in a wide job is likely to land on a busy worker — the paper's
+// motivation for (k,d)-choice: share one batch of d probes across the
+// job's k tasks (this is Sparrow's "batch sampling").
+//
+// The example drives the discrete-event cluster simulator at several
+// parallelism levels with EQUAL probe budgets (batch d = 2k vs per-task
+// d = 2) and prints mean and tail response times.
+//
+// Run with:
+//
+//	go run ./examples/scheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+func main() {
+	const workers = 100
+	const jobs = 3000
+	const rho = 0.85
+
+	fmt.Printf("cluster: %d workers, %d jobs, utilization %.0f%%, exp(1) tasks\n", workers, jobs, rho*100)
+	fmt.Printf("equal probe budgets per job: batch (k,2k) vs per-task two-choice\n\n")
+	fmt.Printf("%3s  %28s  %28s  %28s\n", "", "batch (k,d)-choice", "late binding (Sparrow)", "per-task 2-choice")
+	fmt.Printf("%3s  %9s %9s %9s  %9s %9s %9s  %9s %9s %9s\n", "k", "mean", "p95", "p99", "mean", "p95", "p99", "mean", "p95", "p99")
+
+	for _, k := range []int{2, 4, 8, 16} {
+		base := cluster.Config{
+			NumWorkers: workers,
+			K:          k,
+			D:          2 * k,
+			DPerTask:   2,
+			Jobs:       jobs,
+			Rho:        rho,
+			TaskDist:   workload.Exponential(1.0),
+			Seed:       99,
+		}
+		batchCfg := base
+		batchCfg.Policy = cluster.BatchKD
+		batch, err := cluster.Run(batchCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lateCfg := base
+		lateCfg.Policy = cluster.LateBinding
+		late, err := cluster.Run(lateCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ptCfg := base
+		ptCfg.Policy = cluster.PerTaskD
+		perTask, err := cluster.Run(ptCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%3d  %9.2f %9.2f %9.2f  %9.2f %9.2f %9.2f  %9.2f %9.2f %9.2f\n",
+			k,
+			batch.MeanResponse(), batch.ResponseQuantile(0.95), batch.ResponseQuantile(0.99),
+			late.MeanResponse(), late.ResponseQuantile(0.95), late.ResponseQuantile(0.99),
+			perTask.MeanResponse(), perTask.ResponseQuantile(0.95), perTask.ResponseQuantile(0.99))
+	}
+
+	fmt.Println("\nSharing the probe batch across the job's tasks cuts the tail that the")
+	fmt.Println("job's slowest task would otherwise contribute — and the advantage grows")
+	fmt.Println("with parallelism k, exactly the paper's argument for (k,d)-choice.")
+	fmt.Println("Late binding (Sparrow's refinement of the same idea) improves further by")
+	fmt.Println("letting the first k of the d reserved workers pull the tasks.")
+}

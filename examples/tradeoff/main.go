@@ -1,0 +1,65 @@
+// Tradeoff: pick (k, d) for your cluster using the paper's Theorem 1.
+//
+// The paper's punchline is that (k,d)-choice spans the whole spectrum
+// between single choice (1 probe/ball, ~ln n/ln ln n max load) and d-choice
+// (d probes/ball, ~ln ln n/ln d max load), with two sweet spots:
+//
+//   - d = 2k, k = polylog n  -> constant max load at 2 probes per ball;
+//   - d = k + ln n, k = ln²n -> o(ln ln n) max load at ~1 probe per ball.
+//
+// This example sweeps the frontier at a fixed n and prints max load vs
+// message cost so you can pick your operating point.
+//
+// Run with:
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	kdchoice "repro"
+)
+
+func main() {
+	const n = 1 << 16
+	const runs = 10
+	logn := int(math.Log(n)) // ~11
+
+	type point struct {
+		label string
+		cfg   kdchoice.Config
+	}
+	points := []point{
+		{"single choice (1 probe/ball)", kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice, Seed: 10}},
+		{"(1+β)-choice, β=0.5", kdchoice.Config{Bins: n, Policy: kdchoice.OnePlusBeta, Beta: 0.5, Seed: 11}},
+		{"two-choice (2 probes/ball)", kdchoice.Config{Bins: n, K: 1, D: 2, Seed: 12}},
+		{fmt.Sprintf("(k,k+ln n) = (%d,%d)", logn*logn, logn*logn+logn),
+			kdchoice.Config{Bins: n, K: logn * logn, D: logn*logn + logn, Seed: 13}},
+		{fmt.Sprintf("(k,2k) = (%d,%d)", logn*logn/2, logn*logn),
+			kdchoice.Config{Bins: n, K: logn * logn / 2, D: logn * logn, Seed: 14}},
+		{"8-choice (8 probes/ball)", kdchoice.Config{Bins: n, K: 1, D: 8, Seed: 15}},
+	}
+
+	fmt.Printf("n = %d, %d runs per point\n\n", n, runs)
+	fmt.Printf("%-32s  %-12s  %-12s  %s\n", "strategy", "mean max", "probes/ball", "regime")
+	for _, p := range points {
+		res, err := kdchoice.Simulate(p.cfg, 0, runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		regime := ""
+		if p.cfg.K > 0 && p.cfg.D > p.cfg.K {
+			regime = kdchoice.Regime(p.cfg.K, p.cfg.D, n)
+		}
+		fmt.Printf("%-32s  %-12.2f  %-12.3f  %s\n",
+			p.label, res.MeanMax, res.MeanMessages/float64(n), regime)
+	}
+
+	fmt.Println("\nReading the table: the (k,2k) row achieves a small constant max load")
+	fmt.Println("at exactly 2 probes/ball, and the (k,k+ln n) row beats two-choice's")
+	fmt.Println("max load while spending barely more than 1 probe/ball — the paper's")
+	fmt.Println("claim that no previously known non-adaptive O(n)-message scheme matched.")
+}

@@ -1,0 +1,151 @@
+package kdchoice
+
+// Integration tests: cross-package flows exercised exactly as the command
+// line tools and a downstream user would, checking the paper's claims end
+// to end at moderate scale with fixed seeds.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// TestEndToEndTable1Agreement reproduces a reduced-n Table 1 and requires
+// near-total agreement with the paper's published cells (max loads are
+// extremely concentrated, so even at n = 3·2^10 nearly every cell matches;
+// single-choice cells differ because their max load grows with n).
+func TestEndToEndTable1Agreement(t *testing.T) {
+	cells, err := experiments.Table1(experiments.Table1Opts{N: 3 * (1 << 10), Runs: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := experiments.PaperTable1()
+	comparable, within1 := 0, 0
+	for _, c := range cells {
+		want, ok := paper[[2]int{c.K, c.D}]
+		if !ok {
+			continue
+		}
+		comparable++
+		ok1 := true
+		for _, g := range c.DistinctMax {
+			hit := false
+			for _, w := range want {
+				if g >= w-1 && g <= w+1 {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				ok1 = false
+			}
+		}
+		if ok1 {
+			within1++
+		}
+	}
+	if comparable < 60 {
+		t.Fatalf("only %d comparable cells", comparable)
+	}
+	if frac := float64(within1) / float64(comparable); frac < 0.9 {
+		t.Fatalf("only %.0f%% of cells within ±1 of the paper", frac*100)
+	}
+}
+
+// TestPublicAPIAgreesWithExperiments: the public Simulate and the internal
+// experiment harness must produce identical numbers for the same cell and
+// seed derivation.
+func TestPublicAPIAgreesWithExperiments(t *testing.T) {
+	const n, k, d = 2048, 2, 3
+	pub, err := Simulate(Config{Bins: n, K: k, D: d, Seed: 77}, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub2, err := Simulate(Config{Bins: n, K: k, D: d, Seed: 77}, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pub.MaxLoads {
+		if pub.MaxLoads[i] != pub2.MaxLoads[i] {
+			t.Fatal("Simulate not reproducible across calls")
+		}
+	}
+}
+
+// TestMessageCostMatchesTheory: the allocator's measured message counter
+// must equal the closed-form MessageCost for every (k,d,m) combination.
+func TestMessageCostMatchesTheory(t *testing.T) {
+	cases := []struct{ n, k, d, m int }{
+		{64, 2, 3, 64}, {64, 2, 3, 63}, {64, 4, 8, 130}, {128, 1, 2, 128},
+	}
+	for _, tc := range cases {
+		a, err := NewKD(tc.n, tc.k, tc.d, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Place(tc.m); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := a.Messages(), MessageCost(tc.k, tc.d, tc.m); got != want {
+			t.Fatalf("(%d,%d) m=%d: measured %d, theory %d", tc.k, tc.d, tc.m, got, want)
+		}
+	}
+}
+
+// TestRegimeTransition: walking k from 1 to d−1 at fixed d must move the
+// regime from d-choice-like toward single-like behavior, with max load
+// non-decreasing (property (iii) direction).
+func TestRegimeTransition(t *testing.T) {
+	const n, d = 4096, 64
+	prevMax := -1.0
+	for _, k := range []int{1, 16, 32, 48, 63} {
+		res, err := Simulate(Config{Bins: n, K: k, D: d, Seed: 13}, 0, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeanMax < prevMax-0.3 {
+			t.Fatalf("k=%d: mean max %.2f dropped below previous %.2f", k, res.MeanMax, prevMax)
+		}
+		prevMax = res.MeanMax
+	}
+	// And the message cost per ball falls toward 1 as k -> d.
+	lo := MessageCost(63, 64, n)
+	hi := MessageCost(1, 64, n)
+	if lo >= hi {
+		t.Fatal("message cost should shrink as k approaches d")
+	}
+}
+
+// TestFullSpectrumEndpoints: the (k,d) process interpolates between the
+// classical processes — k=1 matches d-choice and k=d−1 with large d
+// approaches single choice (within one ball at this scale).
+func TestFullSpectrumEndpoints(t *testing.T) {
+	const n = 4096
+	kd1, err := Simulate(Config{Bins: n, K: 1, D: 3, Seed: 21}, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dch, err := Simulate(Config{Bins: n, D: 3, Policy: DChoice, Seed: 22}, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := kd1.MeanMax - dch.MeanMax; diff < -0.4 || diff > 0.4 {
+		t.Fatalf("(1,3) mean %.2f vs 3-choice %.2f", kd1.MeanMax, dch.MeanMax)
+	}
+
+	wide, err := Simulate(Config{Bins: n, K: 255, D: 256, Seed: 23}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Simulate(Config{Bins: n, Policy: SingleChoice, Seed: 24}, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.MeanMax > single.MeanMax {
+		t.Fatalf("(255,256) mean %.2f should not exceed single choice %.2f", wide.MeanMax, single.MeanMax)
+	}
+	if wide.MeanMax < single.MeanMax-2.5 {
+		t.Fatalf("(255,256) mean %.2f too far below single choice %.2f for the single-like regime",
+			wide.MeanMax, single.MeanMax)
+	}
+}

@@ -1,0 +1,390 @@
+// Package cluster simulates the paper's first application (Section 1.3):
+// parallel job scheduling on a cluster, in the style of Sparrow (Ousterhout
+// et al., SOSP'13, the paper's reference [12]).
+//
+// A job consists of k tasks that run in parallel on different worker
+// machines; the job completes when its LAST task finishes, so one unlucky
+// task placement determines the whole job's response time. The placement
+// policies compared are:
+//
+//   - BatchKD: the (k,d)-choice strategy — the job probes d workers ONCE
+//     and places its k tasks on the k least-loaded probed workers
+//     (a worker probed m times may receive up to m tasks, the paper's
+//     disambiguation rule). This is Sparrow's "batch sampling".
+//   - PerTaskD: the classical strategy the paper argues against — every
+//     task independently probes dPerTask workers and takes the least
+//     loaded, so probes are not shared and a job issues k·dPerTask probes.
+//   - RandomPlace: each task goes to a uniformly random worker (baseline).
+//
+// Workers are single-server FIFO queues; jobs arrive as a Poisson process
+// sized to a target utilization ρ. The simulation is a discrete-event model
+// on internal/eventsim and is exactly reproducible from its seed.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eventsim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// PlacementPolicy selects how a job's tasks are assigned to workers.
+type PlacementPolicy int
+
+// Placement policies.
+const (
+	// BatchKD probes D workers once per job and places the K tasks on the
+	// K least-loaded probed workers ((k,d)-choice).
+	BatchKD PlacementPolicy = iota + 1
+	// PerTaskD lets every task independently probe DPerTask workers.
+	PerTaskD
+	// RandomPlace assigns every task to a uniformly random worker.
+	RandomPlace
+	// LateBinding is Sparrow's refinement of batch sampling (the paper's
+	// ref [12]): the job enqueues D reservations instead of binding tasks
+	// to queue lengths; the first K workers to become free pull the K
+	// tasks and the remaining reservations are skipped. Placement follows
+	// ACTUAL availability rather than the queue-length proxy.
+	LateBinding
+)
+
+// String returns the canonical name of the policy.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case BatchKD:
+		return "batch-kd"
+	case PerTaskD:
+		return "per-task-d"
+	case RandomPlace:
+		return "random"
+	case LateBinding:
+		return "late-binding"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// Config describes one scheduling experiment.
+type Config struct {
+	// NumWorkers is the number of worker machines (required, >= 1).
+	NumWorkers int
+	// K is the number of parallel tasks per job (required, >= 1).
+	K int
+	// D is the number of probes per JOB under BatchKD (required for
+	// BatchKD, must satisfy K < D <= NumWorkers).
+	D int
+	// DPerTask is the number of probes per TASK under PerTaskD (default 2,
+	// the classical power-of-two).
+	DPerTask int
+	// Jobs is the number of jobs to run to completion (required, >= 1).
+	Jobs int
+	// Rho is the target utilization in (0, 1): the Poisson job arrival
+	// rate is chosen as ρ·NumWorkers/(K·TaskDist.Mean()).
+	Rho float64
+	// TaskDist is the task service-time distribution (required).
+	TaskDist workload.Dist
+	// Policy is the placement policy (required).
+	Policy PlacementPolicy
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.NumWorkers < 1 {
+		return fmt.Errorf("cluster: NumWorkers = %d, need >= 1", c.NumWorkers)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("cluster: K = %d, need >= 1", c.K)
+	}
+	if c.Jobs < 1 {
+		return fmt.Errorf("cluster: Jobs = %d, need >= 1", c.Jobs)
+	}
+	if c.Rho <= 0 || c.Rho >= 1 {
+		return fmt.Errorf("cluster: Rho = %v, need 0 < rho < 1", c.Rho)
+	}
+	if c.TaskDist.Mean() <= 0 {
+		return fmt.Errorf("cluster: TaskDist mean must be positive")
+	}
+	switch c.Policy {
+	case BatchKD:
+		if c.D <= c.K {
+			return fmt.Errorf("cluster: BatchKD requires D > K, got K=%d D=%d", c.K, c.D)
+		}
+		if c.D > c.NumWorkers {
+			return fmt.Errorf("cluster: BatchKD requires D <= NumWorkers, got D=%d workers=%d", c.D, c.NumWorkers)
+		}
+	case PerTaskD:
+		if c.DPerTask == 0 {
+			break // defaulted to 2 at run time
+		}
+		if c.DPerTask < 1 || c.DPerTask > c.NumWorkers {
+			return fmt.Errorf("cluster: DPerTask = %d out of range", c.DPerTask)
+		}
+	case RandomPlace:
+		// No extra parameters.
+	case LateBinding:
+		if c.D < c.K {
+			return fmt.Errorf("cluster: LateBinding requires D >= K reservations, got K=%d D=%d", c.K, c.D)
+		}
+		if c.D > c.NumWorkers {
+			return fmt.Errorf("cluster: LateBinding requires D <= NumWorkers, got D=%d workers=%d", c.D, c.NumWorkers)
+		}
+	default:
+		return fmt.Errorf("cluster: unknown policy %d", int(c.Policy))
+	}
+	return nil
+}
+
+// Metrics summarizes a finished experiment.
+type Metrics struct {
+	// ResponseTimes holds one entry per job: completion − arrival.
+	ResponseTimes []float64
+	// TaskWaits holds one entry per task: start − arrival.
+	TaskWaits []float64
+	// Probes is the total number of worker probes (the message cost).
+	Probes int64
+	// MaxQueueSeen is the largest queue length (including the running
+	// task) observed at any placement instant.
+	MaxQueueSeen int
+	// Makespan is the simulated time at which the last job completed.
+	Makespan float64
+	// JobsRun is the number of completed jobs.
+	JobsRun int
+}
+
+// MeanResponse returns the mean job response time.
+func (m *Metrics) MeanResponse() float64 { return stats.Mean(m.ResponseTimes) }
+
+// ResponseQuantile returns the q-quantile of job response times.
+func (m *Metrics) ResponseQuantile(q float64) float64 {
+	return stats.Quantile(m.ResponseTimes, q)
+}
+
+// MeanWait returns the mean task queueing delay.
+func (m *Metrics) MeanWait() float64 { return stats.Mean(m.TaskWaits) }
+
+// WaitQuantile returns the q-quantile of task queueing delays.
+func (m *Metrics) WaitQuantile(q float64) float64 {
+	return stats.Quantile(m.TaskWaits, q)
+}
+
+// ProbesPerJob returns the average number of probes per job.
+func (m *Metrics) ProbesPerJob() float64 {
+	if m.JobsRun == 0 {
+		return 0
+	}
+	return float64(m.Probes) / float64(m.JobsRun)
+}
+
+// worker is a FIFO single-server queue. queueLen counts queued plus running
+// tasks; freeAt is when the server drains everything currently assigned
+// (used by the bind-at-placement policies). The late-binding policy uses
+// the reservation queue and busy flag instead.
+type worker struct {
+	queueLen int
+	freeAt   float64
+
+	resQueue []*reservation
+	busy     bool
+}
+
+// lateJob tracks one job under late binding: durations are handed out as
+// workers pull tasks.
+type lateJob struct {
+	arrival   float64
+	durs      []float64
+	nextTask  int
+	remaining int
+}
+
+// reservation is one late-binding queue entry; it is lazily cancelled when
+// its job has no tasks left to hand out.
+type reservation struct {
+	job *lateJob
+}
+
+type runner struct {
+	cfg     Config
+	sim     eventsim.Sim
+	rng     *xrand.Rand
+	workers []worker
+	metrics Metrics
+
+	// Reused per-job buffers.
+	samples []int
+	slots   []placementSlot
+	durs    []float64
+}
+
+type placementSlot struct {
+	worker int
+	height int
+	tie    uint64
+}
+
+// Run executes the experiment and returns its metrics.
+func Run(cfg Config) (*Metrics, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == PerTaskD && cfg.DPerTask == 0 {
+		cfg.DPerTask = 2
+	}
+	r := &runner{
+		cfg:     cfg,
+		rng:     xrand.New(cfg.Seed),
+		workers: make([]worker, cfg.NumWorkers),
+		durs:    make([]float64, cfg.K),
+	}
+	probeBuf := cfg.D
+	if cfg.Policy == PerTaskD && cfg.DPerTask > probeBuf {
+		probeBuf = cfg.DPerTask
+	}
+	if probeBuf < 1 {
+		probeBuf = 1
+	}
+	r.samples = make([]int, probeBuf)
+	r.slots = make([]placementSlot, 0, probeBuf)
+	r.metrics.ResponseTimes = make([]float64, 0, cfg.Jobs)
+	r.metrics.TaskWaits = make([]float64, 0, cfg.Jobs*cfg.K)
+
+	arrivalRate := cfg.Rho * float64(cfg.NumWorkers) / (float64(cfg.K) * cfg.TaskDist.Mean())
+	arrivals := workload.NewArrivals(arrivalRate, r.rng)
+
+	// Schedule all job arrivals up front: the arrival process does not
+	// depend on the system state, and doing it here keeps RNG consumption
+	// independent of event interleaving.
+	t := 0.0
+	for j := 0; j < cfg.Jobs; j++ {
+		t += arrivals.Next()
+		at := t
+		if err := r.sim.At(at, func() { r.placeJob(at) }); err != nil {
+			return nil, err
+		}
+	}
+	r.sim.Run()
+	r.metrics.JobsRun = len(r.metrics.ResponseTimes)
+	return &r.metrics, nil
+}
+
+// MustRun is Run but panics on error.
+func MustRun(cfg Config) *Metrics {
+	m, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// placeJob assigns the K tasks of a job arriving now to workers according
+// to the configured policy and schedules their completions.
+func (r *runner) placeJob(arrival float64) {
+	k := r.cfg.K
+	for i := 0; i < k; i++ {
+		r.durs[i] = r.cfg.TaskDist.Sample(r.rng)
+	}
+	var targets []int
+	switch r.cfg.Policy {
+	case BatchKD:
+		targets = r.placeBatchKD(k)
+	case PerTaskD:
+		targets = r.placePerTask(k, r.cfg.DPerTask)
+	case RandomPlace:
+		targets = r.placePerTask(k, 1)
+	case LateBinding:
+		r.placeLateBinding(arrival, k)
+		return
+	}
+
+	remaining := k
+	finishLast := arrival
+	for i, w := range targets {
+		wk := &r.workers[w]
+		if wk.queueLen > r.metrics.MaxQueueSeen {
+			r.metrics.MaxQueueSeen = wk.queueLen
+		}
+		start := wk.freeAt
+		if start < arrival {
+			start = arrival
+		}
+		finish := start + r.durs[i]
+		wk.freeAt = finish
+		wk.queueLen++
+		r.metrics.TaskWaits = append(r.metrics.TaskWaits, start-arrival)
+		if finish > finishLast {
+			finishLast = finish
+		}
+		wkIdx := w
+		finishAt := finish
+		if err := r.sim.At(finishAt, func() {
+			r.workers[wkIdx].queueLen--
+			remaining--
+			if remaining == 0 {
+				r.metrics.ResponseTimes = append(r.metrics.ResponseTimes, finishAt-arrival)
+				if finishAt > r.metrics.Makespan {
+					r.metrics.Makespan = finishAt
+				}
+			}
+		}); err != nil {
+			// Completion times are >= now by construction; an error here is
+			// a programming bug, so surface it loudly.
+			panic(err)
+		}
+	}
+}
+
+// placeBatchKD implements the (k,d)-choice placement over worker queue
+// lengths: one batch of d probes, k tasks to the k least-loaded slots under
+// the sampled-m-times rule.
+func (r *runner) placeBatchKD(k int) []int {
+	d := r.cfg.D
+	r.metrics.Probes += int64(d)
+	r.rng.FillIntn(r.samples[:d], len(r.workers))
+	sort.Ints(r.samples[:d])
+	slots := r.slots[:0]
+	for i := 0; i < d; {
+		w := r.samples[i]
+		j := i
+		for j < d && r.samples[j] == w {
+			j++
+		}
+		q := r.workers[w].queueLen
+		for c := 1; c <= j-i; c++ {
+			slots = append(slots, placementSlot{worker: w, height: q + c, tie: r.rng.Uint64()})
+		}
+		i = j
+	}
+	sort.Slice(slots, func(a, b int) bool {
+		if slots[a].height != slots[b].height {
+			return slots[a].height < slots[b].height
+		}
+		return slots[a].tie < slots[b].tie
+	})
+	targets := make([]int, k)
+	for i := 0; i < k; i++ {
+		targets[i] = slots[i].worker
+	}
+	r.slots = slots
+	return targets
+}
+
+// placePerTask gives every task its own dPerTask probes (dPerTask = 1 is
+// uniform random placement).
+func (r *runner) placePerTask(k, dPerTask int) []int {
+	targets := make([]int, k)
+	for i := 0; i < k; i++ {
+		r.metrics.Probes += int64(dPerTask)
+		best := r.rng.Intn(len(r.workers))
+		for p := 1; p < dPerTask; p++ {
+			w := r.rng.Intn(len(r.workers))
+			if r.workers[w].queueLen < r.workers[best].queueLen {
+				best = w
+			}
+		}
+		targets[i] = best
+	}
+	return targets
+}

@@ -1,0 +1,217 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func baseConfig() Config {
+	return Config{
+		NumWorkers: 50,
+		K:          4,
+		D:          8,
+		Jobs:       500,
+		Rho:        0.7,
+		TaskDist:   workload.Exponential(1.0),
+		Policy:     BatchKD,
+		Seed:       42,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		want   string
+	}{
+		{func(c *Config) { c.NumWorkers = 0 }, "NumWorkers"},
+		{func(c *Config) { c.K = 0 }, "K ="},
+		{func(c *Config) { c.Jobs = 0 }, "Jobs"},
+		{func(c *Config) { c.Rho = 0 }, "Rho"},
+		{func(c *Config) { c.Rho = 1 }, "Rho"},
+		{func(c *Config) { c.TaskDist = workload.Dist{} }, "TaskDist"},
+		{func(c *Config) { c.D = 4 }, "D > K"},
+		{func(c *Config) { c.D = 51 }, "D <= NumWorkers"},
+		{func(c *Config) { c.Policy = PlacementPolicy(9) }, "unknown policy"},
+		{func(c *Config) { c.Policy = PerTaskD; c.DPerTask = 99 }, "DPerTask"},
+	}
+	for i, tc := range cases {
+		cfg := baseConfig()
+		tc.mutate(&cfg)
+		_, err := Run(cfg)
+		if err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("case %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+}
+
+func TestRunCompletesAllJobs(t *testing.T) {
+	for _, policy := range []PlacementPolicy{BatchKD, PerTaskD, RandomPlace} {
+		cfg := baseConfig()
+		cfg.Policy = policy
+		m := MustRun(cfg)
+		if m.JobsRun != cfg.Jobs {
+			t.Fatalf("%v: %d jobs completed, want %d", policy, m.JobsRun, cfg.Jobs)
+		}
+		if len(m.TaskWaits) != cfg.Jobs*cfg.K {
+			t.Fatalf("%v: %d task waits, want %d", policy, len(m.TaskWaits), cfg.Jobs*cfg.K)
+		}
+		if m.Makespan <= 0 {
+			t.Fatalf("%v: makespan %v", policy, m.Makespan)
+		}
+		for _, rt := range m.ResponseTimes {
+			if rt <= 0 {
+				t.Fatalf("%v: non-positive response time %v", policy, rt)
+			}
+		}
+		for _, w := range m.TaskWaits {
+			if w < 0 {
+				t.Fatalf("%v: negative wait %v", policy, w)
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := baseConfig()
+	a := MustRun(cfg)
+	b := MustRun(cfg)
+	if a.MeanResponse() != b.MeanResponse() || a.Probes != b.Probes {
+		t.Fatal("same seed produced different metrics")
+	}
+	cfg.Seed = 43
+	c := MustRun(cfg)
+	if a.MeanResponse() == c.MeanResponse() {
+		t.Fatal("different seeds produced identical mean response (suspicious)")
+	}
+}
+
+func TestProbeAccounting(t *testing.T) {
+	cfg := baseConfig()
+	m := MustRun(cfg)
+	// BatchKD: exactly D probes per job.
+	if want := int64(cfg.Jobs) * int64(cfg.D); m.Probes != want {
+		t.Fatalf("batch probes = %d, want %d", m.Probes, want)
+	}
+	if got := m.ProbesPerJob(); got != float64(cfg.D) {
+		t.Fatalf("ProbesPerJob = %v", got)
+	}
+
+	cfg.Policy = PerTaskD
+	cfg.DPerTask = 2
+	m2 := MustRun(cfg)
+	if want := int64(cfg.Jobs) * int64(cfg.K*2); m2.Probes != want {
+		t.Fatalf("per-task probes = %d, want %d", m2.Probes, want)
+	}
+
+	cfg.Policy = RandomPlace
+	m3 := MustRun(cfg)
+	if want := int64(cfg.Jobs) * int64(cfg.K); m3.Probes != want {
+		t.Fatalf("random probes = %d, want %d", m3.Probes, want)
+	}
+}
+
+func TestPerTaskDefaultsToTwo(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Policy = PerTaskD
+	cfg.DPerTask = 0
+	m := MustRun(cfg)
+	if want := int64(cfg.Jobs) * int64(cfg.K*2); m.Probes != want {
+		t.Fatalf("default DPerTask probes = %d, want %d", m.Probes, want)
+	}
+}
+
+// TestBatchBeatsRandom: sharing probes must beat blind placement on mean
+// response time at moderate load.
+func TestBatchBeatsRandom(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Jobs = 2000
+	batch := MustRun(cfg)
+	cfg.Policy = RandomPlace
+	random := MustRun(cfg)
+	if batch.MeanResponse() >= random.MeanResponse() {
+		t.Fatalf("batch mean response %.3f not better than random %.3f",
+			batch.MeanResponse(), random.MeanResponse())
+	}
+}
+
+// TestBatchBeatsPerTaskTail reproduces the paper's Section 1.3 argument: as
+// job parallelism k grows, per-task probing suffers in the tail because the
+// job waits for its unluckiest task, while batch sampling shares probe
+// information across the whole job. Compare p95 response at equal TOTAL
+// probe budget (batch D = 2k vs per-task d = 2).
+func TestBatchBeatsPerTaskTail(t *testing.T) {
+	mk := func(policy PlacementPolicy) *Metrics {
+		cfg := Config{
+			NumWorkers: 100,
+			K:          8,
+			D:          16,
+			DPerTask:   2,
+			Jobs:       3000,
+			Rho:        0.85,
+			TaskDist:   workload.Exponential(1.0),
+			Policy:     policy,
+			Seed:       7,
+		}
+		return MustRun(cfg)
+	}
+	batch := mk(BatchKD)
+	perTask := mk(PerTaskD)
+	if batch.Probes != perTask.Probes {
+		t.Fatalf("probe budgets differ: %d vs %d", batch.Probes, perTask.Probes)
+	}
+	b95 := batch.ResponseQuantile(0.95)
+	p95 := perTask.ResponseQuantile(0.95)
+	if b95 >= p95 {
+		t.Fatalf("batch p95 %.3f not better than per-task p95 %.3f", b95, p95)
+	}
+}
+
+func TestResponseAtLeastMaxTaskDuration(t *testing.T) {
+	// With deterministic unit tasks, every response time is >= 1 and every
+	// wait is a non-negative integer multiple of 1 on an idle system.
+	cfg := baseConfig()
+	cfg.TaskDist = workload.Deterministic(1.0)
+	cfg.Rho = 0.3
+	m := MustRun(cfg)
+	for _, rt := range m.ResponseTimes {
+		if rt < 1.0-1e-9 {
+			t.Fatalf("response %v below task duration", rt)
+		}
+	}
+}
+
+func TestMaxQueueSeenPositiveUnderLoad(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Rho = 0.9
+	cfg.Jobs = 1500
+	m := MustRun(cfg)
+	if m.MaxQueueSeen < 1 {
+		t.Fatalf("MaxQueueSeen = %d at rho=0.9; queues should form", m.MaxQueueSeen)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, p := range []PlacementPolicy{BatchKD, PerTaskD, RandomPlace} {
+		if p.String() == "" {
+			t.Fatal("empty policy name")
+		}
+	}
+	if !strings.Contains(PlacementPolicy(77).String(), "77") {
+		t.Fatal("unknown policy String")
+	}
+}
+
+func TestEmptyMetricsAccessors(t *testing.T) {
+	m := &Metrics{}
+	if m.ProbesPerJob() != 0 {
+		t.Fatal("ProbesPerJob on empty metrics")
+	}
+	if m.MeanResponse() != 0 {
+		t.Fatal("MeanResponse on empty metrics")
+	}
+}

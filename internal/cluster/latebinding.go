@@ -1,0 +1,75 @@
+package cluster
+
+// Late binding (Sparrow, the paper's reference [12]). Instead of committing
+// each task to a worker based on probed queue lengths — information that is
+// stale by the time the task runs — the job enqueues D lightweight
+// reservations and lets the first K workers that actually become free pull
+// the K tasks. This is (k,d)-choice evaluated on true availability order
+// rather than the queue-length proxy, and it composes naturally with the
+// paper's batch-probing message economics: D reservation messages per job
+// (the probe-cost analogue), counted in Metrics.Probes like BatchKD's D
+// probes.
+
+// placeLateBinding enqueues d reservations for a job of k tasks arriving
+// now. The job's task durations were pre-sampled into r.durs and must be
+// copied because the buffer is reused by the next arrival.
+func (r *runner) placeLateBinding(arrival float64, k int) {
+	d := r.cfg.D
+	r.metrics.Probes += int64(d)
+	job := &lateJob{
+		arrival:   arrival,
+		durs:      append([]float64(nil), r.durs[:k]...),
+		remaining: k,
+	}
+	r.rng.FillIntn(r.samples[:d], len(r.workers))
+	for _, w := range r.samples[:d] {
+		wk := &r.workers[w]
+		depth := len(wk.resQueue)
+		if wk.busy {
+			depth++
+		}
+		if depth > r.metrics.MaxQueueSeen {
+			r.metrics.MaxQueueSeen = depth
+		}
+		wk.resQueue = append(wk.resQueue, &reservation{job: job})
+		r.latePull(w)
+	}
+}
+
+// latePull lets worker w pull work if it is idle: reservations whose job
+// has no tasks left are discarded (lazy cancellation), the first live one
+// launches a task.
+func (r *runner) latePull(w int) {
+	wk := &r.workers[w]
+	if wk.busy {
+		return
+	}
+	for len(wk.resQueue) > 0 {
+		res := wk.resQueue[0]
+		wk.resQueue = wk.resQueue[1:]
+		job := res.job
+		if job.nextTask >= len(job.durs) {
+			continue // all tasks claimed elsewhere; reservation cancelled
+		}
+		dur := job.durs[job.nextTask]
+		job.nextTask++
+		now := r.sim.Now()
+		r.metrics.TaskWaits = append(r.metrics.TaskWaits, now-job.arrival)
+		wk.busy = true
+		finishAt := now + dur
+		if err := r.sim.At(finishAt, func() {
+			wk.busy = false
+			job.remaining--
+			if job.remaining == 0 {
+				r.metrics.ResponseTimes = append(r.metrics.ResponseTimes, finishAt-job.arrival)
+				if finishAt > r.metrics.Makespan {
+					r.metrics.Makespan = finishAt
+				}
+			}
+			r.latePull(w)
+		}); err != nil {
+			panic(err) // finishAt >= now by construction
+		}
+		return
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func lateConfig() Config {
+	return Config{
+		NumWorkers: 50,
+		K:          4,
+		D:          8,
+		Jobs:       800,
+		Rho:        0.7,
+		TaskDist:   workload.Exponential(1.0),
+		Policy:     LateBinding,
+		Seed:       42,
+	}
+}
+
+func TestLateBindingCompletesAllJobs(t *testing.T) {
+	cfg := lateConfig()
+	m := MustRun(cfg)
+	if m.JobsRun != cfg.Jobs {
+		t.Fatalf("%d jobs completed, want %d", m.JobsRun, cfg.Jobs)
+	}
+	if len(m.TaskWaits) != cfg.Jobs*cfg.K {
+		t.Fatalf("%d task launches, want %d (every task must run exactly once)",
+			len(m.TaskWaits), cfg.Jobs*cfg.K)
+	}
+	for _, rt := range m.ResponseTimes {
+		if rt <= 0 {
+			t.Fatalf("non-positive response %v", rt)
+		}
+	}
+	for _, w := range m.TaskWaits {
+		if w < 0 {
+			t.Fatalf("negative wait %v", w)
+		}
+	}
+}
+
+func TestLateBindingValidation(t *testing.T) {
+	cfg := lateConfig()
+	cfg.D = 3 // fewer reservations than tasks
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "D >= K") {
+		t.Fatalf("D < K accepted: %v", err)
+	}
+	cfg = lateConfig()
+	cfg.D = 51
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "NumWorkers") {
+		t.Fatalf("D > workers accepted: %v", err)
+	}
+	// D == K is legal (no slack, still correct).
+	cfg = lateConfig()
+	cfg.D = cfg.K
+	m := MustRun(cfg)
+	if m.JobsRun != cfg.Jobs {
+		t.Fatal("D == K run incomplete")
+	}
+}
+
+func TestLateBindingProbeAccounting(t *testing.T) {
+	cfg := lateConfig()
+	m := MustRun(cfg)
+	if want := int64(cfg.Jobs) * int64(cfg.D); m.Probes != want {
+		t.Fatalf("probes %d, want %d (D reservations per job)", m.Probes, want)
+	}
+}
+
+func TestLateBindingDeterminism(t *testing.T) {
+	a := MustRun(lateConfig())
+	b := MustRun(lateConfig())
+	if a.MeanResponse() != b.MeanResponse() || a.Makespan != b.Makespan {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+func TestLateBindingName(t *testing.T) {
+	if LateBinding.String() != "late-binding" {
+		t.Fatalf("name %q", LateBinding.String())
+	}
+}
+
+// TestLateBindingBeatsBatchTail reproduces Sparrow's core finding: at equal
+// reservation/probe budget, pulling work on actual availability beats
+// binding on stale queue lengths, especially in the tail.
+func TestLateBindingBeatsBatchTail(t *testing.T) {
+	mk := func(policy PlacementPolicy) *Metrics {
+		cfg := Config{
+			NumWorkers: 100,
+			K:          8,
+			D:          16,
+			Jobs:       3000,
+			Rho:        0.85,
+			TaskDist:   workload.Exponential(1.0),
+			Policy:     policy,
+			Seed:       7,
+		}
+		return MustRun(cfg)
+	}
+	late := mk(LateBinding)
+	batch := mk(BatchKD)
+	if late.Probes != batch.Probes {
+		t.Fatalf("probe budgets differ: %d vs %d", late.Probes, batch.Probes)
+	}
+	if late.ResponseQuantile(0.95) >= batch.ResponseQuantile(0.95) {
+		t.Fatalf("late-binding p95 %.3f not better than batch %.3f",
+			late.ResponseQuantile(0.95), batch.ResponseQuantile(0.95))
+	}
+	if late.MeanResponse() >= batch.MeanResponse() {
+		t.Fatalf("late-binding mean %.3f not better than batch %.3f",
+			late.MeanResponse(), batch.MeanResponse())
+	}
+}
+
+// TestLateBindingIdleCluster: on an idle cluster every task starts
+// immediately, so each job's response equals its longest task duration.
+func TestLateBindingIdleCluster(t *testing.T) {
+	cfg := lateConfig()
+	cfg.Rho = 0.05 // nearly idle
+	cfg.TaskDist = workload.Deterministic(2.0)
+	cfg.Jobs = 200
+	m := MustRun(cfg)
+	// With deterministic durations and an idle cluster, response ~= 2.0
+	// for nearly every job.
+	if q := m.ResponseQuantile(0.5); q != 2.0 {
+		t.Fatalf("idle median response %v, want 2.0", q)
+	}
+	if w := m.MeanWait(); w > 0.2 {
+		t.Fatalf("idle mean wait %v too high", w)
+	}
+}

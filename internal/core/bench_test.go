@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// Throughput benchmarks: balls placed per second for each policy. These are
+// ablation-grade microbenchmarks; the paper-reproduction benchmarks live in
+// the repository root.
+
+func benchPlace(b *testing.B, policy Policy, p Params) {
+	b.Helper()
+	pr, err := New(policy, p, xrand.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 4096
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr.Place(batch)
+		if pr.Balls() > 1<<22 {
+			b.StopTimer()
+			pr.Reset()
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(batch), "balls/op")
+}
+
+func BenchmarkPlaceKD(b *testing.B) {
+	for _, tc := range []struct{ k, d int }{{1, 2}, {2, 3}, {8, 17}, {128, 193}} {
+		b.Run(fmt.Sprintf("k=%d,d=%d", tc.k, tc.d), func(b *testing.B) {
+			benchPlace(b, KDChoice, Params{N: 1 << 16, K: tc.k, D: tc.d})
+		})
+	}
+}
+
+func BenchmarkPlaceSingle(b *testing.B) {
+	benchPlace(b, SingleChoice, Params{N: 1 << 16})
+}
+
+func BenchmarkPlaceDChoice(b *testing.B) {
+	benchPlace(b, DChoice, Params{N: 1 << 16, D: 2})
+}
+
+func BenchmarkPlaceOnePlusBeta(b *testing.B) {
+	benchPlace(b, OnePlusBeta, Params{N: 1 << 16, Beta: 0.5})
+}
+
+func BenchmarkPlaceAlwaysGoLeft(b *testing.B) {
+	benchPlace(b, AlwaysGoLeft, Params{N: 1 << 16, D: 2})
+}
+
+func BenchmarkPlaceAdaptiveKD(b *testing.B) {
+	benchPlace(b, AdaptiveKD, Params{N: 1 << 16, K: 2, D: 3})
+}
+
+func BenchmarkPlaceSAx0(b *testing.B) {
+	benchPlace(b, SAx0, Params{N: 1 << 16, X0: 64})
+}

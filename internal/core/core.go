@@ -1,0 +1,475 @@
+// Package core implements the paper's primary contribution — the
+// (k,d)-choice allocation process — together with every allocation process
+// the paper defines, uses in its analysis, or compares against:
+//
+//   - KDChoice: the (k,d)-choice process (Section 1.1). In each round d bins
+//     are sampled independently and uniformly at random WITH replacement and
+//     k < d balls are placed into the k least-loaded sampled bins, under the
+//     disambiguation rule that a bin sampled m times receives at most m
+//     balls. Operationally (and exactly as the paper reformulates it): d
+//     conceptual balls are placed one per sample, and the d−k of maximal
+//     height are removed.
+//   - SerializedKD: Aσ(k,d), Definition 1 — the serialization of a round by
+//     a permutation σ_r of {1..k}. Property (i) states Aσ ≡ A for every σ.
+//   - DChoice: the classical multiple-choice process of Azar et al. (k = 1).
+//   - SingleChoice: the classical single-choice process.
+//   - OnePlusBeta: the (1+β)-choice process of Peres, Talwar and Wieder,
+//     discussed by the paper as the other known single/multi mix.
+//   - AlwaysGoLeft: Vöcking's asymmetric d-choice, a classical baseline.
+//   - AdaptiveKD: the Section 7 future-work policy in which less-loaded
+//     sampled bins may receive more balls than their sample multiplicity
+//     (greedy water-filling over the distinct sampled bins).
+//   - SAx0: Definition 3 — single choice where a ball landing in one of the
+//     x0 most loaded bins is discarded; used by the paper's lower-bound
+//     machinery and exposed here for completeness and testing.
+//
+// All processes run over n bins, support m ≥ n balls (the heavily loaded
+// case of Theorem 2), count message cost (number of bin probes, the paper's
+// cost measure), and draw all randomness from an explicit *xrand.Rand so
+// every run is reproducible.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/loadvec"
+	"repro/internal/xrand"
+)
+
+// Policy identifies an allocation process.
+type Policy int
+
+// Supported allocation policies.
+const (
+	// KDChoice is the paper's (k,d)-choice process.
+	KDChoice Policy = iota + 1
+	// SerializedKD is Aσ(k,d) (Definition 1).
+	SerializedKD
+	// DChoice is the classical d-choice (greedy[d]) process.
+	DChoice
+	// SingleChoice is the classical 1-choice process.
+	SingleChoice
+	// OnePlusBeta is the (1+β)-choice process of Peres et al.
+	OnePlusBeta
+	// AlwaysGoLeft is Vöcking's asymmetric d-choice process.
+	AlwaysGoLeft
+	// AdaptiveKD is the Section 7 water-filling variant of (k,d)-choice.
+	AdaptiveKD
+	// SAx0 is the discard process of Definition 3.
+	SAx0
+	// StaleBatch is the parallel-allocation baseline: k balls per round,
+	// each independently probing D bins and deciding against the
+	// round-start loads with no information sharing (collisions possible).
+	StaleBatch
+	// DynamicKD adjusts k per round (Section 7 future work): every sampled
+	// slot at or below the current ceiling floor(m/n)+1 receives a ball.
+	DynamicKD
+)
+
+var policyNames = map[Policy]string{
+	KDChoice:     "kd",
+	SerializedKD: "kd-serialized",
+	DChoice:      "dchoice",
+	SingleChoice: "single",
+	OnePlusBeta:  "oneplusbeta",
+	AlwaysGoLeft: "alwaysgoleft",
+	AdaptiveKD:   "kd-adaptive",
+	SAx0:         "sax0",
+	StaleBatch:   "stale-batch",
+	DynamicKD:    "kd-dynamic",
+}
+
+// String returns the canonical short name of the policy.
+func (p Policy) String() string {
+	if s, ok := policyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy converts a short name (as printed by Policy.String) back into
+// a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for p, name := range policyNames {
+		if name == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown policy %q", s)
+}
+
+// Params configures a process. Fields not used by the selected policy are
+// ignored (but still validated when they are meaningful).
+type Params struct {
+	// N is the number of bins (required, >= 1).
+	N int
+	// K is the number of balls placed per round (KDChoice, SerializedKD,
+	// AdaptiveKD).
+	K int
+	// D is the number of probes per round (KDChoice, SerializedKD,
+	// AdaptiveKD, DChoice, AlwaysGoLeft).
+	D int
+	// Beta is the probability of probing a second bin (OnePlusBeta).
+	Beta float64
+	// X0 is the discard threshold of SAx0: a ball whose uniformly random
+	// bin ranks among the X0 most loaded is discarded.
+	X0 int
+	// Sigma is the fixed serialization permutation of {0,..,K-1} used by
+	// SerializedKD for every round. Nil means the identity permutation.
+	Sigma []int
+	// RandomSigma makes SerializedKD draw a fresh uniformly random σ_r each
+	// round (overrides Sigma).
+	RandomSigma bool
+}
+
+// Observer receives a callback after every round. It is intended for tests
+// and instrumentation; the hot path skips all bookkeeping when no observer
+// is installed.
+type Observer interface {
+	// RoundPlaced reports the 1-based round number, the sampled bin ids (in
+	// the order drawn, length d for round-based policies), the bins that
+	// received balls (one entry per placed ball), and the height at which
+	// each ball landed.
+	RoundPlaced(round int, samples, placed, heights []int)
+}
+
+// Process is a single allocation process instance. Construct with New; the
+// zero value is not usable. A Process is not safe for concurrent use.
+type Process struct {
+	policy Policy
+	p      Params
+	rng    *xrand.Rand
+
+	loads     []int
+	maxLoad   int
+	balls     int
+	messages  int64
+	discarded int
+	rounds    int
+
+	obs Observer
+
+	// Reused per-round buffers (never escape a round).
+	samples  []int
+	slots    []slot
+	ranked   []int // slot indexes ordered by rank (SerializedKD)
+	sigmaBuf []int
+	cands    []int // distinct candidate bins (AdaptiveKD)
+
+	// SAx0 bookkeeping: loadCount[y] = number of bins with load exactly y.
+	loadCount []int
+
+	// AlwaysGoLeft group boundaries: group g covers
+	// [groupStart[g], groupStart[g+1]).
+	groupStart []int
+
+	obsPlaced  []int
+	obsHeights []int
+}
+
+// slot is one conceptual ball of a round: the i-th sample of bin b this
+// round lands at height load(b)+i. tie implements uniform random
+// tie-breaking between equal heights in different bins (equal heights can
+// never occur within one bin).
+type slot struct {
+	bin    int
+	height int
+	tie    uint64
+}
+
+// New validates params and returns a ready process with all-empty bins.
+func New(policy Policy, p Params, rng *xrand.Rand) (*Process, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("core: nil rng")
+	}
+	if p.N < 1 {
+		return nil, fmt.Errorf("core: N = %d, need N >= 1", p.N)
+	}
+	switch policy {
+	case KDChoice, SerializedKD, AdaptiveKD:
+		if p.K < 1 {
+			return nil, fmt.Errorf("core: %v requires K >= 1, got %d", policy, p.K)
+		}
+		if p.D <= p.K {
+			return nil, fmt.Errorf("core: %v requires D > K, got K=%d D=%d", policy, p.K, p.D)
+		}
+		if p.D > p.N {
+			return nil, fmt.Errorf("core: %v requires D <= N, got D=%d N=%d", policy, p.D, p.N)
+		}
+		if policy == SerializedKD && !p.RandomSigma && p.Sigma != nil {
+			if err := checkPermutation(p.Sigma, p.K); err != nil {
+				return nil, err
+			}
+		}
+	case DynamicKD:
+		if p.D < 2 {
+			return nil, fmt.Errorf("core: DynamicKD requires D >= 2, got %d", p.D)
+		}
+		if p.D > p.N {
+			return nil, fmt.Errorf("core: DynamicKD requires D <= N, got D=%d N=%d", p.D, p.N)
+		}
+	case DChoice, AlwaysGoLeft:
+		if p.D < 1 {
+			return nil, fmt.Errorf("core: %v requires D >= 1, got %d", policy, p.D)
+		}
+		if p.D > p.N {
+			return nil, fmt.Errorf("core: %v requires D <= N, got D=%d N=%d", policy, p.D, p.N)
+		}
+	case StaleBatch:
+		if p.K < 1 {
+			return nil, fmt.Errorf("core: StaleBatch requires K >= 1, got %d", p.K)
+		}
+		if p.D < 1 {
+			return nil, fmt.Errorf("core: StaleBatch requires D >= 1 probes per ball, got %d", p.D)
+		}
+		if p.D > p.N {
+			return nil, fmt.Errorf("core: StaleBatch requires D <= N, got D=%d N=%d", p.D, p.N)
+		}
+	case SingleChoice:
+		// No extra parameters.
+	case OnePlusBeta:
+		if p.Beta < 0 || p.Beta > 1 {
+			return nil, fmt.Errorf("core: OnePlusBeta requires Beta in [0,1], got %v", p.Beta)
+		}
+	case SAx0:
+		if p.X0 < 0 || p.X0 > p.N {
+			return nil, fmt.Errorf("core: SAx0 requires X0 in [0,N], got X0=%d N=%d", p.X0, p.N)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown policy %d", int(policy))
+	}
+
+	pr := &Process{
+		policy: policy,
+		p:      p,
+		rng:    rng,
+		loads:  make([]int, p.N),
+	}
+	if d := p.D; d > 0 {
+		pr.samples = make([]int, d)
+		pr.slots = make([]slot, 0, d)
+		pr.ranked = make([]int, 0, d)
+	}
+	if policy == SerializedKD {
+		pr.sigmaBuf = make([]int, p.K)
+		if p.Sigma != nil {
+			copy(pr.sigmaBuf, p.Sigma)
+		} else {
+			for i := range pr.sigmaBuf {
+				pr.sigmaBuf[i] = i
+			}
+		}
+	}
+	if policy == AdaptiveKD {
+		pr.cands = make([]int, 0, p.D)
+	}
+	if policy == StaleBatch {
+		pr.cands = make([]int, p.K)
+	}
+	if policy == SAx0 {
+		pr.loadCount = make([]int, 8)
+		pr.loadCount[0] = p.N
+	}
+	if policy == AlwaysGoLeft {
+		pr.groupStart = make([]int, p.D+1)
+		base, rem := p.N/p.D, p.N%p.D
+		pos := 0
+		for g := 0; g < p.D; g++ {
+			pr.groupStart[g] = pos
+			pos += base
+			if g < rem {
+				pos++
+			}
+		}
+		pr.groupStart[p.D] = p.N
+	}
+	return pr, nil
+}
+
+func checkPermutation(sigma []int, k int) error {
+	if len(sigma) != k {
+		return fmt.Errorf("core: Sigma has length %d, want K=%d", len(sigma), k)
+	}
+	seen := make([]bool, k)
+	for _, v := range sigma {
+		if v < 0 || v >= k || seen[v] {
+			return fmt.Errorf("core: Sigma %v is not a permutation of 0..%d", sigma, k-1)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// MustNew is New but panics on error; intended for tests and examples with
+// constant parameters.
+func MustNew(policy Policy, p Params, rng *xrand.Rand) *Process {
+	pr, err := New(policy, p, rng)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// SetObserver installs (or removes, with nil) the round observer.
+func (pr *Process) SetObserver(o Observer) { pr.obs = o }
+
+// Policy returns the process policy.
+func (pr *Process) Policy() Policy { return pr.policy }
+
+// Params returns the process parameters (Sigma is not copied; treat as
+// read-only).
+func (pr *Process) Params() Params { return pr.p }
+
+// N returns the number of bins.
+func (pr *Process) N() int { return len(pr.loads) }
+
+// Balls returns the number of balls placed so far (discarded balls in SAx0
+// are not counted as placed).
+func (pr *Process) Balls() int { return pr.balls }
+
+// Rounds returns the number of completed rounds.
+func (pr *Process) Rounds() int { return pr.rounds }
+
+// Messages returns the cumulative message cost: the number of bin probes
+// issued, the cost measure of the paper.
+func (pr *Process) Messages() int64 { return pr.messages }
+
+// Discarded returns the number of balls discarded by the SAx0 policy (zero
+// for all other policies).
+func (pr *Process) Discarded() int { return pr.discarded }
+
+// MaxLoad returns the current maximum bin load.
+func (pr *Process) MaxLoad() int { return pr.maxLoad }
+
+// Load returns the load of the bin with the given id.
+func (pr *Process) Load(bin int) int { return pr.loads[bin] }
+
+// Loads returns a copy of the load vector indexed by bin id.
+func (pr *Process) Loads() loadvec.Vector {
+	return loadvec.Vector(pr.loads).Clone()
+}
+
+// Gap returns max load minus average load.
+func (pr *Process) Gap() float64 {
+	return float64(pr.maxLoad) - float64(pr.balls)/float64(len(pr.loads))
+}
+
+// NuY returns ν_y, the number of bins with at least y balls.
+func (pr *Process) NuY(y int) int { return loadvec.Vector(pr.loads).NuY(y) }
+
+// Reset restores all bins to empty and zeroes the counters. The random
+// stream is NOT rewound; reuse the process for an independent run.
+func (pr *Process) Reset() {
+	for i := range pr.loads {
+		pr.loads[i] = 0
+	}
+	pr.maxLoad = 0
+	pr.balls = 0
+	pr.messages = 0
+	pr.discarded = 0
+	pr.rounds = 0
+	if pr.policy == SAx0 {
+		for i := range pr.loadCount {
+			pr.loadCount[i] = 0
+		}
+		pr.loadCount[0] = len(pr.loads)
+	}
+}
+
+// RoundSize returns the number of balls a full round places: K for the
+// round-based policies and 1 for the per-ball policies.
+func (pr *Process) RoundSize() int {
+	switch pr.policy {
+	case KDChoice, SerializedKD, AdaptiveKD, StaleBatch:
+		return pr.p.K
+	default:
+		return 1
+	}
+}
+
+// Round executes one full round (RoundSize balls; an SAx0 round may discard
+// its ball; a DynamicKD round places a data-dependent number of balls up to
+// d).
+func (pr *Process) Round() {
+	if pr.policy == DynamicKD {
+		pr.rounds++
+		pr.roundDynamic(pr.p.D)
+		return
+	}
+	pr.step(pr.RoundSize())
+}
+
+// Place runs the process until m additional balls have been placed. For the
+// round-based policies a final partial round (fewer than K balls, still
+// probing D bins) is used when K does not divide m, mirroring the paper's
+// convention that k divides n while still supporting arbitrary m for the
+// heavily loaded case. For SAx0, m counts attempted balls (discards count
+// as attempts).
+func (pr *Process) Place(m int) {
+	if m < 0 {
+		panic("core: Place with negative ball count")
+	}
+	if pr.policy == DynamicKD {
+		// The round size adapts; each round reports how many balls it
+		// actually placed (at least one).
+		for m > 0 {
+			pr.rounds++
+			m -= pr.roundDynamic(m)
+		}
+		return
+	}
+	size := pr.RoundSize()
+	for m > 0 {
+		batch := size
+		if m < batch {
+			batch = m
+		}
+		pr.step(batch)
+		m -= batch
+	}
+}
+
+// step executes one round placing toPlace balls (1 <= toPlace <= RoundSize).
+func (pr *Process) step(toPlace int) {
+	pr.rounds++
+	switch pr.policy {
+	case KDChoice:
+		pr.roundKD(toPlace)
+	case SerializedKD:
+		pr.roundSerialized(toPlace)
+	case AdaptiveKD:
+		pr.roundAdaptive(toPlace)
+	case StaleBatch:
+		pr.roundStaleBatch(toPlace)
+	case DChoice:
+		pr.ballDChoice()
+	case SingleChoice:
+		pr.ballSingle()
+	case OnePlusBeta:
+		pr.ballOnePlusBeta()
+	case AlwaysGoLeft:
+		pr.ballAlwaysGoLeft()
+	case SAx0:
+		pr.ballSAx0()
+	}
+}
+
+// place adds one ball to bin b and returns its height (the bin's load after
+// placement).
+func (pr *Process) place(b int) int {
+	pr.loads[b]++
+	h := pr.loads[b]
+	if h > pr.maxLoad {
+		pr.maxLoad = h
+	}
+	pr.balls++
+	return h
+}
+
+// notify reports a finished round to the observer, if any.
+func (pr *Process) notify(samples, placed, heights []int) {
+	if pr.obs == nil {
+		return
+	}
+	pr.obs.RoundPlaced(pr.rounds, samples, placed, heights)
+}

@@ -1,0 +1,47 @@
+package core
+
+// DynamicKD instantiates the paper's second Section 7 future-work sketch:
+// "the performance of (k,d)-choice can be further improved by adjusting the
+// parameter k dynamically in each round". The paper gives no concrete
+// policy, so this file defines one natural instantiation (documented in
+// DESIGN.md as our substitution):
+//
+// Each round samples d bins as usual and materializes the slots. Let
+// T = floor(ballsPlaced/n) + 1 be the current target ceiling (the best
+// possible max load if every bin were filled evenly, plus the ball being
+// placed). The round places a ball into EVERY slot with height <= T — the
+// round's k_r adapts to how much under-ceiling capacity the sample
+// exposed. If no slot qualifies, the single lowest slot receives a ball so
+// the process always makes progress.
+//
+// Intuition: rounds stop "wasting" balls on bins already at the ceiling,
+// which is exactly what the paper hopes dynamic k buys; message cost stays
+// d per round but the balls-per-round (and so the cost per ball) adapts.
+
+// roundDynamic places between 1 and maxPlace balls and returns the number
+// placed.
+func (pr *Process) roundDynamic(maxPlace int) int {
+	pr.rng.FillIntn(pr.samples, len(pr.loads))
+	pr.makeSlots()
+	sortSlots(pr.slots)
+	target := pr.balls/len(pr.loads) + 1
+	toPlace := 0
+	for toPlace < len(pr.slots) && toPlace < maxPlace && pr.slots[toPlace].height <= target {
+		toPlace++
+	}
+	if toPlace == 0 {
+		toPlace = 1 // progress guarantee: lowest slot receives a ball
+	}
+	placed, heights := pr.beginObs(toPlace)
+	for s := 0; s < toPlace; s++ {
+		b := pr.slots[s].bin
+		h := pr.place(b)
+		if placed != nil {
+			placed[s] = b
+			heights[s] = h
+		}
+	}
+	pr.messages += int64(pr.p.D)
+	pr.notify(pr.samples, placed, heights)
+	return toPlace
+}

@@ -1,0 +1,233 @@
+package core
+
+import "sort"
+
+// roundKD executes one round of the (k,d)-choice process, placing toPlace
+// balls (toPlace = k except possibly in a final partial round).
+//
+// Implementation of the paper's disambiguated policy: the d samples are
+// materialized as slots, where the i-th sample of bin b this round has
+// height load(b)+i; the toPlace slots of minimum height survive, with ties
+// between bins broken uniformly at random (per-slot random keys). Because
+// same-bin slot heights are consecutive and distinct, the surviving slots of
+// any bin always form a prefix of its slots, which is exactly the rule "a
+// bin sampled m times receives at most m balls".
+func (pr *Process) roundKD(toPlace int) {
+	pr.rng.FillIntn(pr.samples, len(pr.loads))
+	pr.roundKDFromSamples(toPlace)
+}
+
+// roundKDFromSamples is roundKD with pr.samples already drawn; it is the
+// seam that lets tests replay the paper's worked scenarios with fixed
+// samples.
+func (pr *Process) roundKDFromSamples(toPlace int) {
+	pr.makeSlots()
+	sortSlots(pr.slots)
+	if toPlace > len(pr.slots) {
+		toPlace = len(pr.slots)
+	}
+	placed, heights := pr.beginObs(toPlace)
+	for s := 0; s < toPlace; s++ {
+		b := pr.slots[s].bin
+		h := pr.place(b)
+		if placed != nil {
+			placed[s] = b
+			heights[s] = h
+		}
+	}
+	pr.messages += int64(pr.p.D)
+	pr.notify(pr.samples, placed, heights)
+}
+
+// roundSerialized executes one round of Aσ(k,d) (Definition 1): the slots
+// are ranked exactly as in roundKD, and the j-th ball of the round is placed
+// into the slot of rank σ_r(j). The multiset of receiving bins is identical
+// to roundKD under the same random draws; only the placement order (and so
+// the per-ball height labels) differs — this is Property (i).
+func (pr *Process) roundSerialized(toPlace int) {
+	pr.rng.FillIntn(pr.samples, len(pr.loads))
+	pr.makeSlots()
+	sortSlots(pr.slots)
+	if toPlace > len(pr.slots) {
+		toPlace = len(pr.slots)
+	}
+	sigma := pr.sigmaBuf
+	if pr.p.RandomSigma {
+		for i := range sigma {
+			sigma[i] = i
+		}
+		pr.rng.Shuffle(len(sigma), func(i, j int) { sigma[i], sigma[j] = sigma[j], sigma[i] })
+	}
+	placed, heights := pr.beginObs(toPlace)
+	// In a partial round (toPlace < K) only ranks below toPlace exist; σ is
+	// restricted to those values with its relative order preserved, which
+	// keeps the placed rank set exactly {0..toPlace-1} as in roundKD.
+	j := 0
+	for _, rank := range sigma {
+		if rank >= toPlace {
+			continue
+		}
+		b := pr.slots[rank].bin
+		h := pr.place(b)
+		if placed != nil {
+			placed[j] = b
+			heights[j] = h
+		}
+		j++
+		if j == toPlace {
+			break
+		}
+	}
+	pr.messages += int64(pr.p.D)
+	pr.notify(pr.samples, placed, heights)
+}
+
+// roundAdaptive executes one round of the Section 7 water-filling variant:
+// d bins are sampled as usual, but the k balls are placed one at a time,
+// each into the currently least-loaded DISTINCT sampled bin regardless of
+// how many times it was sampled (ties broken uniformly at random). In the
+// paper's (2,3) example with sampled loads {0,2,3} both balls land in the
+// empty bin.
+func (pr *Process) roundAdaptive(toPlace int) {
+	pr.rng.FillIntn(pr.samples, len(pr.loads))
+	cands := pr.cands[:0]
+	for _, b := range pr.samples {
+		seen := false
+		for _, c := range cands {
+			if c == b {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			cands = append(cands, b)
+		}
+	}
+	pr.cands = cands
+	placed, heights := pr.beginObs(toPlace)
+	for j := 0; j < toPlace; j++ {
+		best := -1
+		ties := 0
+		for _, b := range cands {
+			switch {
+			case best == -1 || pr.loads[b] < pr.loads[best]:
+				best = b
+				ties = 1
+			case pr.loads[b] == pr.loads[best]:
+				// Reservoir sampling over ties keeps the choice uniform.
+				ties++
+				if pr.rng.Intn(ties) == 0 {
+					best = b
+				}
+			}
+		}
+		h := pr.place(best)
+		if placed != nil {
+			placed[j] = best
+			heights[j] = h
+		}
+	}
+	pr.messages += int64(pr.p.D)
+	pr.notify(pr.samples, placed, heights)
+}
+
+// makeSlots materializes the round's slots (heights and tie-break keys)
+// from the current pr.samples. The samples buffer is left sorted by bin id
+// (sorting groups duplicates so heights can be assigned); observers receive
+// this sorted order.
+func (pr *Process) makeSlots() {
+	d := pr.p.D
+	sort.Ints(pr.samples)
+	slots := pr.slots[:0]
+	for i := 0; i < d; {
+		b := pr.samples[i]
+		j := i
+		for j < d && pr.samples[j] == b {
+			j++
+		}
+		load := pr.loads[b]
+		for c := 1; c <= j-i; c++ {
+			slots = append(slots, slot{bin: b, height: load + c, tie: pr.rng.Uint64()})
+		}
+		i = j
+	}
+	pr.slots = slots
+}
+
+// beginObs returns per-round observation buffers (nil when no observer is
+// installed, keeping the hot path allocation-free).
+func (pr *Process) beginObs(toPlace int) (placed, heights []int) {
+	if pr.obs == nil {
+		return nil, nil
+	}
+	if cap(pr.obsPlaced) < toPlace {
+		pr.obsPlaced = make([]int, toPlace)
+		pr.obsHeights = make([]int, toPlace)
+	}
+	return pr.obsPlaced[:toPlace], pr.obsHeights[:toPlace]
+}
+
+// sortSlots orders slots by (height, tie) ascending. Hand-rolled hybrid
+// quicksort/insertion sort: zero allocations and no interface calls on the
+// hot path.
+func sortSlots(s []slot) {
+	for len(s) > 12 {
+		p := partitionSlots(s)
+		if p < len(s)-p-1 {
+			sortSlots(s[:p])
+			s = s[p+1:]
+		} else {
+			sortSlots(s[p+1:])
+			s = s[:p]
+		}
+	}
+	// Insertion sort for short (sub)slices.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && slotLess(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func slotLess(a, b slot) bool {
+	if a.height != b.height {
+		return a.height < b.height
+	}
+	return a.tie < b.tie
+}
+
+// partitionSlots performs Hoare-style partition around a median-of-three
+// pivot and returns the pivot's final index.
+func partitionSlots(s []slot) int {
+	mid := len(s) / 2
+	hi := len(s) - 1
+	// Median of three to s[0].
+	if slotLess(s[mid], s[0]) {
+		s[mid], s[0] = s[0], s[mid]
+	}
+	if slotLess(s[hi], s[0]) {
+		s[hi], s[0] = s[0], s[hi]
+	}
+	if slotLess(s[hi], s[mid]) {
+		s[hi], s[mid] = s[mid], s[hi]
+	}
+	pivot := s[mid]
+	s[mid], s[hi-1] = s[hi-1], s[mid]
+	i, j := 0, hi-1
+	for {
+		i++
+		for slotLess(s[i], pivot) {
+			i++
+		}
+		j--
+		for slotLess(pivot, s[j]) {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+	}
+	s[i], s[hi-1] = s[hi-1], s[i]
+	return i
+}

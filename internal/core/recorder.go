@@ -1,0 +1,124 @@
+package core
+
+// HeightRecorder is an Observer that reconstructs the occupancy statistics
+// ν_y (bins with at least y balls) and µ_y (balls with height at least y)
+// from the stream of per-ball placement heights, without touching the
+// process's load vector.
+//
+// The reconstruction uses the identity that a bin with load L contributed
+// exactly one ball at each height 1..L, so the number of balls placed at
+// height exactly y equals the number of bins with load ≥ y:
+//
+//	ν_y = #{balls placed at height y},   µ_y = Σ_{h ≥ y} ν_h.
+//
+// It can also take periodic snapshots of the ν vector, which is what the
+// layered-induction experiments (Theorem 4's β_i recursion, Theorem 7's
+// round groups R_i) consume.
+type HeightRecorder struct {
+	// heightCount[y] = number of balls placed so far at height exactly y;
+	// index 0 is unused (heights start at 1).
+	heightCount []int
+	rounds      int
+	balls       int
+
+	// every > 0 takes a snapshot of heightCount after each `every` rounds.
+	every     int
+	snapshots []RecorderSnapshot
+
+	// onRound, when set, receives each round's overflow counts; used by
+	// the Lemma 4 verification. Called after heightCount is updated.
+	onRound func(round int, heights []int)
+}
+
+// RecorderSnapshot is the occupancy state at the end of a specific round.
+type RecorderSnapshot struct {
+	Round int
+	Balls int
+	// NuByHeight[y] = ν_y at snapshot time (index 0 unused).
+	NuByHeight []int
+}
+
+// NewHeightRecorder creates a recorder; every > 0 enables snapshots each
+// `every` rounds (every <= 0 disables snapshots).
+func NewHeightRecorder(every int) *HeightRecorder {
+	return &HeightRecorder{heightCount: make([]int, 8), every: every}
+}
+
+// SetRoundHook installs a callback receiving each round's placement
+// heights (after internal state is updated).
+func (hr *HeightRecorder) SetRoundHook(fn func(round int, heights []int)) {
+	hr.onRound = fn
+}
+
+// RoundPlaced implements Observer.
+func (hr *HeightRecorder) RoundPlaced(round int, samples, placed, heights []int) {
+	hr.rounds++
+	for _, h := range heights {
+		for h >= len(hr.heightCount) {
+			hr.heightCount = append(hr.heightCount, 0)
+		}
+		hr.heightCount[h]++
+		hr.balls++
+	}
+	if hr.every > 0 && hr.rounds%hr.every == 0 {
+		hr.snapshots = append(hr.snapshots, RecorderSnapshot{
+			Round:      hr.rounds,
+			Balls:      hr.balls,
+			NuByHeight: append([]int(nil), hr.heightCount...),
+		})
+	}
+	if hr.onRound != nil {
+		hr.onRound(round, heights)
+	}
+}
+
+// Balls returns the number of placements observed.
+func (hr *HeightRecorder) Balls() int { return hr.balls }
+
+// Rounds returns the number of rounds observed.
+func (hr *HeightRecorder) Rounds() int { return hr.rounds }
+
+// MaxHeight returns the largest placement height observed.
+func (hr *HeightRecorder) MaxHeight() int {
+	for y := len(hr.heightCount) - 1; y >= 1; y-- {
+		if hr.heightCount[y] > 0 {
+			return y
+		}
+	}
+	return 0
+}
+
+// NuY returns ν_y reconstructed from the height stream (y >= 1; ν_0 is the
+// bin count, which the recorder does not know).
+func (hr *HeightRecorder) NuY(y int) int {
+	if y < 1 {
+		panic("core: HeightRecorder.NuY requires y >= 1")
+	}
+	if y >= len(hr.heightCount) {
+		return 0
+	}
+	return hr.heightCount[y]
+}
+
+// MuY returns µ_y reconstructed from the height stream (y >= 1).
+func (hr *HeightRecorder) MuY(y int) int {
+	if y < 1 {
+		panic("core: HeightRecorder.MuY requires y >= 1")
+	}
+	total := 0
+	for h := y; h < len(hr.heightCount); h++ {
+		total += hr.heightCount[h]
+	}
+	return total
+}
+
+// Snapshots returns the recorded snapshots (shared slice; do not mutate).
+func (hr *HeightRecorder) Snapshots() []RecorderSnapshot { return hr.snapshots }
+
+// NuAt returns ν_y at a recorded snapshot.
+func (s RecorderSnapshot) NuAt(y int) int {
+	if y < 1 || y >= len(s.NuByHeight) {
+		return 0
+	}
+	return s.NuByHeight[y]
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestHeightRecorderMatchesLoadVector(t *testing.T) {
+	for _, tc := range []struct {
+		policy Policy
+		p      Params
+	}{
+		{KDChoice, Params{N: 128, K: 2, D: 3}},
+		{KDChoice, Params{N: 128, K: 8, D: 17}},
+		{DChoice, Params{N: 128, D: 2}},
+		{SingleChoice, Params{N: 128}},
+	} {
+		pr := MustNew(tc.policy, tc.p, xrand.New(31))
+		hr := NewHeightRecorder(0)
+		pr.SetObserver(hr)
+		pr.Place(512)
+		if hr.Balls() != 512 {
+			t.Fatalf("%v: recorder saw %d balls", tc.policy, hr.Balls())
+		}
+		if hr.Rounds() != pr.Rounds() {
+			t.Fatalf("%v: recorder rounds %d != %d", tc.policy, hr.Rounds(), pr.Rounds())
+		}
+		loads := pr.Loads()
+		if hr.MaxHeight() != pr.MaxLoad() {
+			t.Fatalf("%v: MaxHeight %d != MaxLoad %d", tc.policy, hr.MaxHeight(), pr.MaxLoad())
+		}
+		for y := 1; y <= pr.MaxLoad()+1; y++ {
+			if got, want := hr.NuY(y), loads.NuY(y); got != want {
+				t.Fatalf("%v: reconstructed nu_%d = %d, actual %d", tc.policy, y, got, want)
+			}
+			if got, want := hr.MuY(y), loads.MuY(y); got != want {
+				t.Fatalf("%v: reconstructed mu_%d = %d, actual %d", tc.policy, y, got, want)
+			}
+		}
+	}
+}
+
+func TestHeightRecorderSnapshots(t *testing.T) {
+	pr := MustNew(KDChoice, Params{N: 64, K: 2, D: 4}, xrand.New(5))
+	hr := NewHeightRecorder(4) // snapshot every 4 rounds
+	pr.SetObserver(hr)
+	pr.Place(64) // 32 rounds -> 8 snapshots
+	snaps := hr.Snapshots()
+	if len(snaps) != 8 {
+		t.Fatalf("%d snapshots, want 8", len(snaps))
+	}
+	prevBalls := 0
+	for i, s := range snaps {
+		if s.Round != (i+1)*4 {
+			t.Fatalf("snapshot %d at round %d", i, s.Round)
+		}
+		if s.Balls <= prevBalls {
+			t.Fatalf("snapshot %d balls %d not increasing", i, s.Balls)
+		}
+		prevBalls = s.Balls
+		// nu_1 at snapshot equals balls at height 1 so far, <= n.
+		if s.NuAt(1) > 64 {
+			t.Fatalf("snapshot %d nu_1 = %d > n", i, s.NuAt(1))
+		}
+		if s.NuAt(0) != 0 || s.NuAt(99) != 0 {
+			t.Fatal("out-of-range NuAt should be 0")
+		}
+	}
+	// The final snapshot must agree with the final load vector.
+	final := snaps[len(snaps)-1]
+	loads := pr.Loads()
+	for y := 1; y <= pr.MaxLoad(); y++ {
+		if final.NuAt(y) != loads.NuY(y) {
+			t.Fatalf("final snapshot nu_%d = %d, actual %d", y, final.NuAt(y), loads.NuY(y))
+		}
+	}
+}
+
+func TestHeightRecorderRoundHook(t *testing.T) {
+	pr := MustNew(KDChoice, Params{N: 64, K: 3, D: 5}, xrand.New(6))
+	hr := NewHeightRecorder(0)
+	calls := 0
+	totalHeights := 0
+	hr.SetRoundHook(func(round int, heights []int) {
+		calls++
+		totalHeights += len(heights)
+	})
+	pr.SetObserver(hr)
+	pr.Place(60)
+	if calls != pr.Rounds() {
+		t.Fatalf("hook called %d times, rounds %d", calls, pr.Rounds())
+	}
+	if totalHeights != 60 {
+		t.Fatalf("hook saw %d heights", totalHeights)
+	}
+}
+
+func TestHeightRecorderPanics(t *testing.T) {
+	hr := NewHeightRecorder(0)
+	for _, f := range []func(){
+		func() { hr.NuY(0) },
+		func() { hr.MuY(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHeightRecorderEmpty(t *testing.T) {
+	hr := NewHeightRecorder(0)
+	if hr.MaxHeight() != 0 || hr.Balls() != 0 || hr.NuY(1) != 0 || hr.MuY(1) != 0 {
+		t.Fatal("empty recorder should report zeros")
+	}
+}

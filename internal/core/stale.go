@@ -1,0 +1,59 @@
+package core
+
+// StaleBatch is the parallel-allocation counterpoint to (k,d)-choice: the
+// k balls of a round probe INDEPENDENTLY (PerBallD probes each) and every
+// ball commits to the least loaded of its own probes as of the START of
+// the round — no information is shared between the balls, and loads update
+// only after all k have decided. This is the round-synchronous model of
+// the parallel balanced-allocation literature the paper contrasts with
+// (Adler et al., Stemann; the paper's references [1, 16]): collisions are
+// possible, and the paper's point is precisely that sharing one probe
+// batch across the k balls avoids them.
+//
+// Message cost is k·PerBallD per round; to compare against A(k,d) at equal
+// budget choose PerBallD = d/k.
+
+// ballStaleBatchRound places toPlace balls, each with its own perBall
+// probes judged against the stale round-start loads.
+func (pr *Process) roundStaleBatch(toPlace int) {
+	perBall := pr.p.D
+	n := len(pr.loads)
+	nonce := pr.rng.Uint64()
+	placed, heights := pr.beginObs(toPlace)
+	// Decide all destinations against stale loads first.
+	if cap(pr.cands) < toPlace {
+		pr.cands = make([]int, toPlace)
+	}
+	dests := pr.cands[:toPlace]
+	for b := 0; b < toPlace; b++ {
+		pr.rng.FillIntn(pr.samples[:perBall], n)
+		best := pr.samples[0]
+		bestTie := mix64(nonce ^ uint64(b)<<32 ^ uint64(best)*0x9e3779b97f4a7c15)
+		for _, cand := range pr.samples[1:perBall] {
+			if cand == best {
+				continue
+			}
+			switch {
+			case pr.loads[cand] < pr.loads[best]:
+				best = cand
+				bestTie = mix64(nonce ^ uint64(b)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15)
+			case pr.loads[cand] == pr.loads[best]:
+				if tie := mix64(nonce ^ uint64(b)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15); tie < bestTie {
+					best = cand
+					bestTie = tie
+				}
+			}
+		}
+		dests[b] = best
+	}
+	// Apply all placements afterwards (round-synchronous commit).
+	for i, dst := range dests {
+		h := pr.place(dst)
+		if placed != nil {
+			placed[i] = dst
+			heights[i] = h
+		}
+	}
+	pr.messages += int64(toPlace) * int64(perBall)
+	pr.notify(nil, placed, heights)
+}

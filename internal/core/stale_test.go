@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func TestStaleBatchValidation(t *testing.T) {
+	rng := xrand.New(1)
+	cases := []Params{
+		{N: 8, K: 0, D: 2},
+		{N: 8, K: 2, D: 0},
+		{N: 8, K: 2, D: 9},
+	}
+	for i, p := range cases {
+		if _, err := New(StaleBatch, p, rng); err == nil {
+			t.Fatalf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+	// K >= D and even K > N are fine: balls probe independently.
+	if _, err := New(StaleBatch, Params{N: 8, K: 16, D: 2}, rng); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+}
+
+func TestStaleBatchConservationAndMessages(t *testing.T) {
+	pr := MustNew(StaleBatch, Params{N: 64, K: 4, D: 2}, xrand.New(3))
+	pr.Place(640)
+	if pr.Balls() != 640 || pr.Loads().Total() != 640 {
+		t.Fatalf("conservation broken: balls=%d total=%d", pr.Balls(), pr.Loads().Total())
+	}
+	// 160 rounds x 4 balls x 2 probes.
+	if got, want := pr.Messages(), int64(640*2); got != want {
+		t.Fatalf("messages = %d, want %d", got, want)
+	}
+	if pr.RoundSize() != 4 {
+		t.Fatalf("RoundSize = %d", pr.RoundSize())
+	}
+}
+
+func TestStaleBatchK1MatchesDChoice(t *testing.T) {
+	// With k = 1 there is nothing stale: StaleBatch(1, d) is exactly
+	// d-choice, distributionally.
+	const n, d, runs = 256, 2, 400
+	var stale, dch stats.Online
+	for i := 0; i < runs; i++ {
+		a := MustNew(StaleBatch, Params{N: n, K: 1, D: d}, xrand.NewStream(71, uint64(i)))
+		a.Place(n)
+		stale.Add(float64(a.MaxLoad()))
+		b := MustNew(DChoice, Params{N: n, D: d}, xrand.NewStream(72, uint64(i)))
+		b.Place(n)
+		dch.Add(float64(b.MaxLoad()))
+	}
+	if diff := stale.Mean() - dch.Mean(); diff < -0.15 || diff > 0.15 {
+		t.Fatalf("StaleBatch(1,%d) mean %.3f vs DChoice %.3f", d, stale.Mean(), dch.Mean())
+	}
+}
+
+// TestSharingBeatsStale is the information-sharing ablation: at equal probe
+// budget, (k,d)-choice (shared batch, sequential within round) must not be
+// worse than the stale parallel baseline; both beat single choice.
+func TestSharingBeatsStale(t *testing.T) {
+	const n, runs = 1024, 300
+	const k = 8
+	// Equal budgets: KD uses d = 16 probes per round; stale gives each of
+	// the 8 balls 2 probes (16 total).
+	var kd, stale, single stats.Online
+	for i := 0; i < runs; i++ {
+		a := MustNew(KDChoice, Params{N: n, K: k, D: 2 * k}, xrand.NewStream(81, uint64(i)))
+		a.Place(n)
+		kd.Add(float64(a.MaxLoad()))
+		b := MustNew(StaleBatch, Params{N: n, K: k, D: 2}, xrand.NewStream(82, uint64(i)))
+		b.Place(n)
+		stale.Add(float64(b.MaxLoad()))
+		c := MustNew(SingleChoice, Params{N: n}, xrand.NewStream(83, uint64(i)))
+		c.Place(n)
+		single.Add(float64(c.MaxLoad()))
+	}
+	if kd.Mean() > stale.Mean()+0.1 {
+		t.Fatalf("shared batch mean %.3f worse than stale parallel %.3f", kd.Mean(), stale.Mean())
+	}
+	if stale.Mean() >= single.Mean() {
+		t.Fatalf("stale parallel %.3f not better than single choice %.3f", stale.Mean(), single.Mean())
+	}
+}
+
+func TestStaleBatchObserver(t *testing.T) {
+	pr := MustNew(StaleBatch, Params{N: 32, K: 3, D: 2}, xrand.New(5))
+	obs := &countObserver{}
+	pr.SetObserver(obs)
+	pr.Place(30)
+	if obs.ballsSeen != 30 {
+		t.Fatalf("observer saw %d balls", obs.ballsSeen)
+	}
+	if obs.roundsSeen != pr.Rounds() {
+		t.Fatalf("observer rounds %d != %d", obs.roundsSeen, pr.Rounds())
+	}
+}
+
+func TestStaleBatchCollisionsHappen(t *testing.T) {
+	// With few bins and many balls per round, two balls must eventually
+	// pick the same destination in one round (the defining weakness of the
+	// stale model). Detect via an observer.
+	pr := MustNew(StaleBatch, Params{N: 4, K: 4, D: 2}, xrand.New(9))
+	collision := false
+	pr.SetObserver(observerFunc(func(round int, samples, placed, heights []int) {
+		seen := map[int]bool{}
+		for _, b := range placed {
+			if seen[b] {
+				collision = true
+			}
+			seen[b] = true
+		}
+	}))
+	pr.Place(400)
+	if !collision {
+		t.Fatal("no intra-round collision in 100 rounds on 4 bins; stale semantics broken")
+	}
+}
+
+// observerFunc adapts a function to the Observer interface.
+type observerFunc func(round int, samples, placed, heights []int)
+
+func (f observerFunc) RoundPlaced(round int, samples, placed, heights []int) {
+	f(round, samples, placed, heights)
+}
+
+func TestStaleBatchPolicyName(t *testing.T) {
+	if StaleBatch.String() != "stale-batch" {
+		t.Fatalf("name = %q", StaleBatch.String())
+	}
+	p, err := ParsePolicy("stale-batch")
+	if err != nil || p != StaleBatch {
+		t.Fatalf("round trip failed: %v %v", p, err)
+	}
+}

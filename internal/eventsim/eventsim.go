@@ -1,0 +1,108 @@
+// Package eventsim is a minimal deterministic discrete-event simulation
+// kernel: a clock and a future-event list. The cluster-scheduling and
+// storage application substrates (paper Section 1.3) run on top of it.
+//
+// Determinism: events at equal times fire in scheduling order (FIFO
+// tie-break by sequence number), so a simulation driven by a seeded RNG is
+// exactly reproducible.
+package eventsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now       float64
+	seq       uint64
+	events    eventHeap
+	processed uint64
+}
+
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (s *Sim) Pending() int { return len(s.events) }
+
+// Processed returns the number of events fired so far.
+func (s *Sim) Processed() uint64 { return s.processed }
+
+// Schedule fires fn after the given non-negative delay. It returns an error
+// on negative or NaN delay.
+func (s *Sim) Schedule(delay float64, fn func()) error {
+	if math.IsNaN(delay) || delay < 0 {
+		return fmt.Errorf("eventsim: invalid delay %v", delay)
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At fires fn at absolute time t >= Now(). It returns an error if t is in
+// the past or NaN.
+func (s *Sim) At(t float64, fn func()) error {
+	if math.IsNaN(t) || t < s.now {
+		return fmt.Errorf("eventsim: time %v is before now %v", t, s.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("eventsim: nil event function")
+	}
+	heap.Push(&s.events, event{time: t, seq: s.seq, fn: fn})
+	s.seq++
+	return nil
+}
+
+// Step fires the next event and reports whether one existed.
+func (s *Sim) Step() bool {
+	if len(s.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(event)
+	s.now = e.time
+	s.processed++
+	e.fn()
+	return true
+}
+
+// Run fires events until none remain.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with time <= t, then advances the clock to t.
+// Events scheduled beyond t remain pending.
+func (s *Sim) RunUntil(t float64) {
+	for len(s.events) > 0 && s.events[0].time <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}

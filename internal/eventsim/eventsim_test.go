@@ -1,0 +1,160 @@
+package eventsim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var s Sim
+	var fired []int
+	if err := s.Schedule(3, func() { fired = append(fired, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(1, func() { fired = append(fired, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Schedule(2, func() { fired = append(fired, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !reflect.DeepEqual(fired, []int{1, 2, 3}) {
+		t.Fatalf("fired order %v", fired)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	if s.Processed() != 3 {
+		t.Fatalf("Processed = %d", s.Processed())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var s Sim
+	var fired []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if err := s.Schedule(5, func() { fired = append(fired, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("equal-time events fired out of order: %v", fired)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var s Sim
+	var times []float64
+	var chain func()
+	count := 0
+	chain = func() {
+		times = append(times, s.Now())
+		count++
+		if count < 5 {
+			if err := s.Schedule(2, chain); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := s.At(1, chain); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	want := []float64{1, 3, 5, 7, 9}
+	if !reflect.DeepEqual(times, want) {
+		t.Fatalf("chain times %v, want %v", times, want)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	var s Sim
+	if err := s.Schedule(-1, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if err := s.Schedule(math.NaN(), func() {}); err == nil {
+		t.Fatal("NaN delay accepted")
+	}
+	if err := s.At(0, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	s.now = 10
+	if err := s.At(5, func() {}); err == nil {
+		t.Fatal("past time accepted")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Sim
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4, 5} {
+		tm := tm
+		if err := s.At(tm, func() { fired = append(fired, tm) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(3)
+	if !reflect.DeepEqual(fired, []float64{1, 2, 3}) {
+		t.Fatalf("fired %v", fired)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+	// Advancing past all events moves the clock.
+	s.RunUntil(100)
+	if s.Now() != 100 || s.Pending() != 0 {
+		t.Fatalf("after drain: now=%v pending=%d", s.Now(), s.Pending())
+	}
+}
+
+func TestStepOnEmpty(t *testing.T) {
+	var s Sim
+	if s.Step() {
+		t.Fatal("Step on empty returned true")
+	}
+}
+
+func TestZeroDelay(t *testing.T) {
+	var s Sim
+	fired := false
+	if err := s.Schedule(0, func() { fired = true }); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if !fired || s.Now() != 0 {
+		t.Fatal("zero-delay event mishandled")
+	}
+}
+
+func TestManyEventsHeapProperty(t *testing.T) {
+	var s Sim
+	// Schedule a deterministic pseudo-random shuffle of times and verify
+	// the firing order is globally sorted.
+	var fired []float64
+	state := uint64(88172645463325252)
+	for i := 0; i < 2000; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		tm := float64(state % 1000)
+		if err := s.At(tm, func() { fired = append(fired, tm) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run()
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("out of order at %d: %v < %v", i, fired[i], fired[i-1])
+		}
+	}
+	if len(fired) != 2000 {
+		t.Fatalf("fired %d events", len(fired))
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import "testing"
+
+func TestLayeredInductionCheck(t *testing.T) {
+	res, err := LayeredInductionCheck(2, 4, 1<<14, 5, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no induction layers")
+	}
+	// Theorem 4's invariant must hold at every layer (run-averaged).
+	for _, row := range res.Rows {
+		if !row.Holds {
+			t.Fatalf("layer %d: measured nu %.1f exceeds beta %.1f", row.I, row.MeasNu, row.Beta)
+		}
+	}
+	// And the proof's bound y0 + i* + 2 must cover the measured max load.
+	if res.MaxLoadMean > float64(res.ProofBound) {
+		t.Fatalf("measured max %.2f exceeds proof bound %d", res.MaxLoadMean, res.ProofBound)
+	}
+}
+
+func TestLayeredInductionCheckTwoChoice(t *testing.T) {
+	res, err := LayeredInductionCheck(1, 2, 1<<14, 5, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if !row.Holds {
+			t.Fatalf("two-choice layer %d: nu %.1f > beta %.1f", row.I, row.MeasNu, row.Beta)
+		}
+	}
+	// For two-choice the anchor layer is small.
+	if res.Y0 > 4 {
+		t.Fatalf("y0 = %d suspiciously large for two-choice", res.Y0)
+	}
+}
+
+func TestLayeredInductionErrors(t *testing.T) {
+	if _, err := LayeredInductionCheck(2, 4, 1024, 0, 1); err == nil {
+		t.Fatal("runs=0 accepted")
+	}
+	if _, err := LayeredInductionCheck(4, 2, 1024, 1, 1); err == nil {
+		t.Fatal("k > d accepted")
+	}
+}
+
+func TestSingleChoiceOccupancy(t *testing.T) {
+	rows, err := SingleChoiceOccupancy(1<<14, 5, 47)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("only %d occupancy rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.MuHolds {
+			t.Fatalf("Lemma 2 violated at y=%d: mu %.1f > bound %.1f", r.Y, r.MuMeasured, r.MuBound)
+		}
+		if !r.NuHolds {
+			t.Fatalf("Lemma 11 violated at y=%d: nu %.1f < bound %.1f", r.Y, r.NuMeasured, r.NuBound)
+		}
+		// The two bounds sandwich reality: nu <= mu always.
+		if r.NuMeasured > r.MuMeasured {
+			t.Fatalf("nu > mu at y=%d", r.Y)
+		}
+	}
+}
+
+func TestLemma4Check(t *testing.T) {
+	rows, err := Lemma4Check(2, 4, 1<<12, 8, 53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no overflow rows (all buckets under-populated?)")
+	}
+	for _, r := range rows {
+		if !r.Holds {
+			t.Fatalf("Lemma 4 violated: j=%d bucket<=%.1f freq %.4f > bound %.4f (%d rounds)",
+				r.J, r.NuFracMax, r.Freq, r.Bound, r.Rounds)
+		}
+		if r.Freq < 0 || r.Freq > 1 {
+			t.Fatalf("bad frequency %v", r.Freq)
+		}
+	}
+}
+
+func TestLemma4CheckOtherParams(t *testing.T) {
+	rows, err := Lemma4Check(3, 5, 1<<12, 6, 59)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Holds {
+			t.Fatalf("Lemma 4 violated for (3,5): j=%d freq %.4f > bound %.4f", r.J, r.Freq, r.Bound)
+		}
+	}
+}
+
+func TestPipelineAblation(t *testing.T) {
+	pts, err := PipelineAblation(256, 2, 4, 128, 10, 71, []int{1, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	seq, deep := pts[0], pts[1]
+	if deep.MeanMakespan >= seq.MeanMakespan {
+		t.Fatalf("pipelining did not reduce makespan: %.1f vs %.1f",
+			deep.MeanMakespan, seq.MeanMakespan)
+	}
+	if seq.MeanMax > deep.MeanMax+0.2 {
+		t.Fatalf("sequential %.2f worse than stale deep pipeline %.2f", seq.MeanMax, deep.MeanMax)
+	}
+	if seq.MsgsPerBall <= 0 {
+		t.Fatal("messages per ball not accounted")
+	}
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// SchedulerOpts configures the Section 1.3 cluster-scheduling experiment
+// (A1): batch (k,d)-choice placement vs per-task d-choice at equal probe
+// budget, across job parallelism levels.
+type SchedulerOpts struct {
+	Workers int     // worker machines (default 100)
+	Jobs    int     // jobs per cell (default 2000)
+	Rho     float64 // utilization (default 0.85)
+	Seed    uint64
+	Ks      []int // job parallelism levels (default {2,4,8,16})
+	Pareto  bool  // heavy-tailed task durations instead of exponential
+}
+
+// SchedulerRow is one parallelism level of the scheduler comparison.
+type SchedulerRow struct {
+	K            int
+	BatchMean    float64
+	BatchP95     float64
+	LateMean     float64
+	LateP95      float64
+	PerTaskMean  float64
+	PerTaskP95   float64
+	RandomMean   float64
+	RandomP95    float64
+	ProbesPerJob float64 // identical for batch, late-binding and per-task by design
+}
+
+// SchedulerComparison runs the A1 experiment: for each parallelism k, batch
+// sampling with d = 2k against per-task two-choice (same total probes) and
+// random placement.
+func SchedulerComparison(opts SchedulerOpts) ([]SchedulerRow, error) {
+	if opts.Workers == 0 {
+		opts.Workers = 100
+	}
+	if opts.Jobs == 0 {
+		opts.Jobs = 2000
+	}
+	if opts.Rho == 0 {
+		opts.Rho = 0.85
+	}
+	if len(opts.Ks) == 0 {
+		opts.Ks = []int{2, 4, 8, 16}
+	}
+	// Drop parallelism levels whose probe batch d = 2k cannot fit the
+	// cluster (the comparison needs D <= workers).
+	feasible := make([]int, 0, len(opts.Ks))
+	for _, k := range opts.Ks {
+		if 2*k <= opts.Workers {
+			feasible = append(feasible, k)
+		}
+	}
+	if len(feasible) == 0 {
+		return nil, fmt.Errorf("experiments: no parallelism level fits %d workers (need 2k <= workers)", opts.Workers)
+	}
+	opts.Ks = feasible
+	dist := workload.Exponential(1.0)
+	if opts.Pareto {
+		dist = workload.Pareto(2.0, 1.0)
+	}
+	rows := make([]SchedulerRow, 0, len(opts.Ks))
+	for i, k := range opts.Ks {
+		base := cluster.Config{
+			NumWorkers: opts.Workers,
+			K:          k,
+			D:          2 * k,
+			DPerTask:   2,
+			Jobs:       opts.Jobs,
+			Rho:        opts.Rho,
+			TaskDist:   dist,
+			Seed:       opts.Seed + uint64(i)*101,
+		}
+		batchCfg := base
+		batchCfg.Policy = cluster.BatchKD
+		batch, err := cluster.Run(batchCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scheduler batch k=%d: %w", k, err)
+		}
+		lateCfg := base
+		lateCfg.Policy = cluster.LateBinding
+		late, err := cluster.Run(lateCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scheduler late-binding k=%d: %w", k, err)
+		}
+		ptCfg := base
+		ptCfg.Policy = cluster.PerTaskD
+		perTask, err := cluster.Run(ptCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scheduler per-task k=%d: %w", k, err)
+		}
+		rndCfg := base
+		rndCfg.Policy = cluster.RandomPlace
+		random, err := cluster.Run(rndCfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scheduler random k=%d: %w", k, err)
+		}
+		rows = append(rows, SchedulerRow{
+			K:            k,
+			BatchMean:    batch.MeanResponse(),
+			BatchP95:     batch.ResponseQuantile(0.95),
+			LateMean:     late.MeanResponse(),
+			LateP95:      late.ResponseQuantile(0.95),
+			PerTaskMean:  perTask.MeanResponse(),
+			PerTaskP95:   perTask.ResponseQuantile(0.95),
+			RandomMean:   random.MeanResponse(),
+			RandomP95:    random.ResponseQuantile(0.95),
+			ProbesPerJob: batch.ProbesPerJob(),
+		})
+	}
+	return rows, nil
+}
+
+// StorageOpts configures the Section 1.3 storage experiment (A2).
+type StorageOpts struct {
+	Servers int // default 256
+	Files   int // default 20000
+	Seed    uint64
+	Ks      []int // replication factors (default {2,3,5,8})
+}
+
+// StorageRow compares (k,k+1)-choice against per-copy two-choice and random
+// placement for one replication factor.
+type StorageRow struct {
+	K               int
+	KDMax           float64
+	KDMsgsPerFile   float64
+	KDSearch        int
+	TwoMax          float64
+	TwoMsgsPerFile  float64
+	TwoSearch       int
+	RandMax         float64
+	RandMsgsPerFile float64
+}
+
+// StorageComparison runs the A2 experiment: placement balance, message
+// cost, and search cost of (k,k+1)-choice vs per-copy two-choice vs random.
+func StorageComparison(opts StorageOpts) ([]StorageRow, error) {
+	if opts.Servers == 0 {
+		opts.Servers = 256
+	}
+	if opts.Files == 0 {
+		opts.Files = 20000
+	}
+	if len(opts.Ks) == 0 {
+		opts.Ks = []int{2, 3, 5, 8}
+	}
+	rows := make([]StorageRow, 0, len(opts.Ks))
+	for i, k := range opts.Ks {
+		mk := func(policy storage.PlacementPolicy, seedOff uint64) (*storage.System, error) {
+			s, err := storage.New(storage.Config{
+				Servers:  opts.Servers,
+				Files:    opts.Files,
+				K:        k,
+				D:        k + 1,
+				DPerCopy: 2,
+				Distinct: true,
+				Policy:   policy,
+				Seed:     opts.Seed + uint64(i)*307 + seedOff,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: storage k=%d: %w", k, err)
+			}
+			s.IngestAll()
+			return s, nil
+		}
+		kd, err := mk(storage.KDPlace, 0)
+		if err != nil {
+			return nil, err
+		}
+		two, err := mk(storage.PerCopyD, 1)
+		if err != nil {
+			return nil, err
+		}
+		rnd, err := mk(storage.RandomPlace, 2)
+		if err != nil {
+			return nil, err
+		}
+		files := float64(opts.Files)
+		rows = append(rows, StorageRow{
+			K:               k,
+			KDMax:           kd.MaxLoad(),
+			KDMsgsPerFile:   float64(kd.Messages()) / files,
+			KDSearch:        kd.SearchCost(),
+			TwoMax:          two.MaxLoad(),
+			TwoMsgsPerFile:  float64(two.Messages()) / files,
+			TwoSearch:       two.SearchCost(),
+			RandMax:         rnd.MaxLoad(),
+			RandMsgsPerFile: float64(rnd.Messages()) / files,
+		})
+	}
+	return rows, nil
+}

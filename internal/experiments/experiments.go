@@ -1,0 +1,513 @@
+// Package experiments implements every experiment of the reproduction —
+// Table 1, the Figure 1/2 load-vector profiles, the per-theorem scaling
+// studies, the tradeoff frontier, the Section 1.3 application comparisons
+// and the Section 7 ablation — as reusable functions shared by the command
+// line tools, the benchmark harness and EXPERIMENTS.md generation.
+//
+// Every function is deterministic given its seed.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/theory"
+)
+
+// PaperN is the bin/ball count used throughout the paper's Table 1:
+// n = 3·2^16 = 196608.
+const PaperN = 3 * (1 << 16)
+
+// Table1Ks lists the k values of the paper's Table 1 rows.
+var Table1Ks = []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192}
+
+// Table1Ds lists the d values of the paper's Table 1 columns.
+var Table1Ds = []int{1, 2, 3, 5, 9, 17, 25, 49, 65, 193}
+
+// Table1Opts configures the Table 1 reproduction.
+type Table1Opts struct {
+	// N is the bin/ball count (default PaperN).
+	N int
+	// Runs is the repetition count per cell (default 10, as in the paper).
+	Runs int
+	// Seed is the root seed.
+	Seed uint64
+}
+
+// Table1Cell is one reproduced cell.
+type Table1Cell struct {
+	K, D        int
+	DistinctMax []int
+}
+
+// Table1 reproduces the paper's Table 1: for every (k, d) cell of the grid
+// with k < d (plus the single-choice cell k = d = 1), the distinct maximum
+// loads over the configured number of runs. Cells are returned in row-major
+// order.
+func Table1(opts Table1Opts) ([]Table1Cell, error) {
+	n := opts.N
+	if n == 0 {
+		n = PaperN
+	}
+	runs := opts.Runs
+	if runs == 0 {
+		runs = 10
+	}
+	var cells []Table1Cell
+	for _, k := range Table1Ks {
+		for _, d := range Table1Ds {
+			if d > n {
+				continue // the process requires d <= n (reduced-scale runs)
+			}
+			var cfg sim.Config
+			switch {
+			case k == 1 && d == 1:
+				cfg = sim.Config{Policy: core.SingleChoice, Params: core.Params{N: n}}
+			case k == 1 && d > 1:
+				cfg = sim.Config{Policy: core.KDChoice, Params: core.Params{N: n, K: 1, D: d}}
+			case k < d:
+				cfg = sim.Config{Policy: core.KDChoice, Params: core.Params{N: n, K: k, D: d}}
+			default:
+				continue // the paper leaves k >= d blank
+			}
+			cfg.Runs = runs
+			cfg.Seed = opts.Seed ^ (uint64(k)<<32 | uint64(d))
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table1 cell k=%d d=%d: %w", k, d, err)
+			}
+			cells = append(cells, Table1Cell{K: k, D: d, DistinctMax: res.DistinctMax()})
+		}
+	}
+	return cells, nil
+}
+
+// Table1Render renders cells in the paper's layout (k rows, d columns,
+// "-" for empty cells).
+func Table1Render(cells []Table1Cell) *table.Table {
+	byKey := make(map[[2]int][]int, len(cells))
+	for _, c := range cells {
+		byKey[[2]int{c.K, c.D}] = c.DistinctMax
+	}
+	header := make([]string, 0, len(Table1Ds)+1)
+	header = append(header, "k\\d")
+	for _, d := range Table1Ds {
+		header = append(header, fmt.Sprintf("d=%d", d))
+	}
+	t := table.New(header...)
+	for _, k := range Table1Ks {
+		row := make([]string, 0, len(Table1Ds)+1)
+		row = append(row, fmt.Sprintf("k=%d", k))
+		for _, d := range Table1Ds {
+			row = append(row, table.IntsCell(byKey[[2]int{k, d}]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// PaperTable1 returns the values published in the paper's Table 1 keyed by
+// (k, d) — used by EXPERIMENTS.md and the comparison tests. Cells the paper
+// leaves blank are absent.
+func PaperTable1() map[[2]int][]int {
+	return map[[2]int][]int{
+		{1, 1}: {7, 8, 9}, {1, 2}: {3, 4}, {1, 3}: {3}, {1, 5}: {2}, {1, 9}: {2},
+		{1, 17}: {2}, {1, 25}: {2}, {1, 49}: {2}, {1, 65}: {2}, {1, 193}: {2},
+		{2, 3}: {4}, {2, 5}: {3}, {2, 9}: {2}, {2, 17}: {2}, {2, 25}: {2},
+		{2, 49}: {2}, {2, 65}: {2}, {2, 193}: {2},
+		{3, 5}: {3}, {3, 9}: {2}, {3, 17}: {2}, {3, 25}: {2}, {3, 49}: {2},
+		{3, 65}: {2}, {3, 193}: {2},
+		{4, 5}: {4}, {4, 9}: {3}, {4, 17}: {2}, {4, 25}: {2}, {4, 49}: {2},
+		{4, 65}: {2}, {4, 193}: {2},
+		{6, 9}: {3}, {6, 17}: {2}, {6, 25}: {2}, {6, 49}: {2}, {6, 65}: {2},
+		{6, 193}: {2},
+		{8, 9}:   {4}, {8, 17}: {2, 3}, {8, 25}: {2}, {8, 49}: {2}, {8, 65}: {2},
+		{8, 193}: {2},
+		{12, 17}: {3}, {12, 25}: {2}, {12, 49}: {2}, {12, 65}: {2}, {12, 193}: {2},
+		{16, 17}: {4, 5}, {16, 25}: {3}, {16, 49}: {2}, {16, 65}: {2}, {16, 193}: {2},
+		{24, 25}: {5}, {24, 49}: {2}, {24, 65}: {2}, {24, 193}: {2},
+		{32, 49}: {3}, {32, 65}: {2}, {32, 193}: {2},
+		{48, 49}: {5}, {48, 65}: {3}, {48, 193}: {2},
+		{64, 65}: {5}, {64, 193}: {2},
+		{96, 193}:  {2},
+		{128, 193}: {2},
+		{192, 193}: {5, 6},
+	}
+}
+
+// Profile is the measured sorted-load-vector profile of one (k, d) pair —
+// the empirical counterpart of the paper's schematic Figures 1 and 2.
+type Profile struct {
+	K, D, N int
+	Runs    int
+	// Checkpoints from the analysis.
+	Beta0     int // β₀ = n/(6 d_k), Theorem 3 / Figure 1
+	GammaStar int // γ* = 4n/d_k, Theorem 6 / Figure 2
+	Gamma0    int // γ₀ = n/d, Theorem 7
+	// Measured mean sorted loads at the checkpoints (1-indexed positions).
+	B1, BBeta0, BGammaStar, BGamma0 float64
+	// MeasuredGap is B1 − BBeta0, the Theorem 4 quantity.
+	MeasuredGap float64
+	// PredictedGap is ln ln n / ln(d−k+1).
+	PredictedGap float64
+	// PredictedCrowd is ln d_k / ln ln d_k, bounding B_{β0} (Theorem 3)
+	// and (within 1−o(1)) B_{γ*} (Theorem 6).
+	PredictedCrowd float64
+	// MeanProfile is the full mean sorted-load curve (index x-1 = E[B_x]).
+	MeanProfile []float64
+}
+
+// LoadVectorProfile measures the mean sorted-load vector of (k,d)-choice
+// with n balls into n bins over the given runs (Figures 1 and 2).
+func LoadVectorProfile(k, d, n, runs int, seed uint64) (*Profile, error) {
+	res, err := sim.Run(sim.Config{
+		Policy:       core.KDChoice,
+		Params:       core.Params{N: n, K: k, D: d},
+		Runs:         runs,
+		Seed:         seed,
+		CollectLoads: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: profile k=%d d=%d: %w", k, d, err)
+	}
+	prof := res.MeanSortedProfile()
+	at := func(pos int) float64 {
+		if pos < 1 {
+			pos = 1
+		}
+		if pos > n {
+			pos = n
+		}
+		return prof[pos-1]
+	}
+	p := &Profile{
+		K: k, D: d, N: n, Runs: runs,
+		Beta0:          theory.Beta0(k, d, n),
+		GammaStar:      theory.GammaStar(k, d, n),
+		Gamma0:         theory.Gamma0(d, n),
+		PredictedGap:   theory.GapTerm(k, d, n),
+		PredictedCrowd: theory.CrowdTerm(k, d),
+		MeanProfile:    prof,
+	}
+	p.B1 = at(1)
+	p.BBeta0 = at(p.Beta0)
+	p.BGammaStar = at(p.GammaStar)
+	p.BGamma0 = at(p.Gamma0)
+	p.MeasuredGap = p.B1 - p.BBeta0
+	return p, nil
+}
+
+// ScalingPoint is one (n, measured, predicted) triple of a scaling series.
+type ScalingPoint struct {
+	N         int
+	MeanMax   float64
+	Predicted float64
+}
+
+// ScalingSeries measures the mean max load of (k,d)-choice as n grows
+// (Theorem 1 shape: ln ln n growth when d_k = O(1), Corollary 1 plateau
+// when d_k is large). k = 1 uses the d-choice fast path semantics via
+// KDChoice's k=1 case; d = 1 means single choice.
+func ScalingSeries(k, d int, ns []int, runs int, seed uint64) ([]ScalingPoint, error) {
+	out := make([]ScalingPoint, 0, len(ns))
+	for i, n := range ns {
+		var cfg sim.Config
+		if d == 1 {
+			cfg = sim.Config{Policy: core.SingleChoice, Params: core.Params{N: n}}
+		} else {
+			cfg = sim.Config{Policy: core.KDChoice, Params: core.Params{N: n, K: k, D: d}}
+		}
+		cfg.Runs = runs
+		cfg.Seed = seed + uint64(i)*1e6
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scaling n=%d: %w", n, err)
+		}
+		pred := theory.SingleChoiceMaxLoad(n)
+		if d > 1 {
+			pred = theory.MaxLoadUpper(k, d, n)
+		}
+		out = append(out, ScalingPoint{N: n, MeanMax: res.MaxStats().Mean(), Predicted: pred})
+	}
+	return out, nil
+}
+
+// HeavyPoint is one heavy-load measurement at m = Mult·n balls.
+type HeavyPoint struct {
+	Mult     int
+	MeanGap  float64
+	MeanMax  float64
+	GapLower float64 // Theorem 2 lower leading term
+	GapUpper float64 // Theorem 2 upper leading term
+}
+
+// HeavySeries measures the gap (max − m/n) of (k,d)-choice as the ball
+// count grows to Mult·n (Theorem 2, d >= 2k).
+func HeavySeries(k, d, n int, mults []int, runs int, seed uint64) ([]HeavyPoint, error) {
+	out := make([]HeavyPoint, 0, len(mults))
+	for i, mult := range mults {
+		res, err := sim.Run(sim.Config{
+			Policy: core.KDChoice,
+			Params: core.Params{N: n, K: k, D: d},
+			Balls:  mult * n,
+			Runs:   runs,
+			Seed:   seed + uint64(i)*1e6,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: heavy m=%dn: %w", mult, err)
+		}
+		out = append(out, HeavyPoint{
+			Mult:     mult,
+			MeanGap:  res.GapStats().Mean(),
+			MeanMax:  res.MaxStats().Mean(),
+			GapLower: theory.HeavyGapLower(k, d, n),
+			GapUpper: theory.HeavyGapUpper(k, d, n),
+		})
+	}
+	return out, nil
+}
+
+// TradeoffPoint is one point of the message-cost/max-load frontier.
+type TradeoffPoint struct {
+	Label           string
+	Policy          string
+	K, D            int
+	MeanMax         float64
+	MessagesPerBall float64
+	Regime          string
+}
+
+// TradeoffFrontier measures the paper's headline tradeoff at one n: the
+// max load and amortized message cost of single choice, two-choice,
+// (1+β)-choice, and the (k,d) sweet spots (d = 2k constant-load regime and
+// d = k + ln n minimal-message regime).
+func TradeoffFrontier(n, runs int, seed uint64) ([]TradeoffPoint, error) {
+	// Integer approximations of the paper's parameter choices.
+	logn := ilog(n)       // ⌊ln n⌋
+	k1 := logn * logn     // k = ln² n
+	d1 := k1 + logn       // d = k + ln n  -> (1+o(1))n messages
+	k2 := logn * logn / 2 // k = Θ(polylog n)
+	d2 := 2 * k2          // d = 2k        -> 2n messages, O(1) load
+	points := []struct {
+		label  string
+		policy core.Policy
+		params core.Params
+	}{
+		{"single choice", core.SingleChoice, core.Params{N: n}},
+		{"two-choice", core.KDChoice, core.Params{N: n, K: 1, D: 2}},
+		{"(1+beta), beta=0.5", core.OnePlusBeta, core.Params{N: n, Beta: 0.5}},
+		{fmt.Sprintf("(k,d)=(%d,%d) [d=k+ln n]", k1, d1), core.KDChoice, core.Params{N: n, K: k1, D: d1}},
+		{fmt.Sprintf("(k,d)=(%d,%d) [d=2k]", k2, d2), core.KDChoice, core.Params{N: n, K: k2, D: d2}},
+	}
+	out := make([]TradeoffPoint, 0, len(points))
+	for i, pt := range points {
+		res, err := sim.Run(sim.Config{Policy: pt.policy, Params: pt.params, Runs: runs, Seed: seed + uint64(i)*7919})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tradeoff %q: %w", pt.label, err)
+		}
+		tp := TradeoffPoint{
+			Label:           pt.label,
+			Policy:          pt.policy.String(),
+			K:               pt.params.K,
+			D:               pt.params.D,
+			MeanMax:         res.MaxStats().Mean(),
+			MessagesPerBall: res.MeanMessages() / float64(n),
+		}
+		if pt.policy == core.KDChoice {
+			tp.Regime = theory.Classify(pt.params.K, pt.params.D, n).String()
+		}
+		out = append(out, tp)
+	}
+	return out, nil
+}
+
+// ilog returns ⌊ln n⌋, at least 1.
+func ilog(n int) int {
+	l := int(math.Log(float64(n)))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// RemarkRow is one Section 1.2 remark comparison.
+type RemarkRow struct {
+	Name        string
+	LeftLabel   string
+	RightLabel  string
+	LeftMax     []int
+	RightMax    []int
+	LeftMsgs    float64
+	RightMsgs   float64
+	Explanation string
+}
+
+// Remarks reproduces the three explicit observations of Section 1.2:
+// (8,9) ≈ two-choice, (128,193) matches (1,193), and (64,65) clearly beats
+// single choice.
+func Remarks(n, runs int, seed uint64) ([]RemarkRow, error) {
+	run := func(policy core.Policy, p core.Params, s uint64) (*sim.Result, error) {
+		return sim.Run(sim.Config{Policy: policy, Params: p, Runs: runs, Seed: s})
+	}
+	type spec struct {
+		name, explain string
+		lp, rp        core.Policy
+		l, r          core.Params
+	}
+	specs := []spec{
+		{
+			name: "(8,9) vs two-choice", explain: "close max loads at half the per-ball probes",
+			lp: core.KDChoice, l: core.Params{N: n, K: 8, D: 9},
+			rp: core.KDChoice, r: core.Params{N: n, K: 1, D: 2},
+		},
+		{
+			name: "(128,193) vs (1,193)", explain: "identical max load 2 at 1/128 of the rounds",
+			lp: core.KDChoice, l: core.Params{N: n, K: 128, D: 193},
+			rp: core.KDChoice, r: core.Params{N: n, K: 1, D: 193},
+		},
+		{
+			name: "(64,65) vs single choice", explain: "noticeably better than single choice",
+			lp: core.KDChoice, l: core.Params{N: n, K: 64, D: 65},
+			rp: core.SingleChoice, r: core.Params{N: n},
+		},
+	}
+	out := make([]RemarkRow, 0, len(specs))
+	for i, sp := range specs {
+		lres, err := run(sp.lp, sp.l, seed+uint64(i)*2)
+		if err != nil {
+			return nil, err
+		}
+		rres, err := run(sp.rp, sp.r, seed+uint64(i)*2+1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RemarkRow{
+			Name:        sp.name,
+			LeftLabel:   fmt.Sprintf("(%d,%d)", sp.l.K, sp.l.D),
+			RightLabel:  fmt.Sprintf("(%d,%d)", sp.r.K, sp.r.D),
+			LeftMax:     lres.DistinctMax(),
+			RightMax:    rres.DistinctMax(),
+			LeftMsgs:    lres.MeanMessages() / float64(n),
+			RightMsgs:   rres.MeanMessages() / float64(n),
+			Explanation: sp.explain,
+		})
+	}
+	return out, nil
+}
+
+// AdaptivePoint compares the strict (k,d) rule against the two Section 7
+// future-work variants for one (k, d): water-filling (AdaptiveKD) and
+// dynamic round size (DynamicKD, same d).
+type AdaptivePoint struct {
+	K, D                  int
+	StrictMax, AdaptMax   float64
+	StrictDist, AdaptDist []int
+	// DynMax and DynMsgsPerBall measure the dynamic-k policy at the same
+	// d (its k adapts, so only d carries over).
+	DynMax         float64
+	DynMsgsPerBall float64
+}
+
+// AdaptiveAblation measures the Section 7 conjectures: relaxing the
+// multiplicity rule (water-filling) should help most when k ≈ d, and
+// adjusting k dynamically should hold the ceiling at little message cost.
+func AdaptiveAblation(n, runs int, seed uint64, pairs [][2]int) ([]AdaptivePoint, error) {
+	out := make([]AdaptivePoint, 0, len(pairs))
+	for i, kd := range pairs {
+		k, d := kd[0], kd[1]
+		strict, err := sim.Run(sim.Config{
+			Policy: core.KDChoice, Params: core.Params{N: n, K: k, D: d},
+			Runs: runs, Seed: seed + uint64(i)*11,
+		})
+		if err != nil {
+			return nil, err
+		}
+		adapt, err := sim.Run(sim.Config{
+			Policy: core.AdaptiveKD, Params: core.Params{N: n, K: k, D: d},
+			Runs: runs, Seed: seed + uint64(i)*11 + 5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := sim.Run(sim.Config{
+			Policy: core.DynamicKD, Params: core.Params{N: n, D: d},
+			Runs: runs, Seed: seed + uint64(i)*11 + 9,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AdaptivePoint{
+			K: k, D: d,
+			StrictMax:      strict.MaxStats().Mean(),
+			AdaptMax:       adapt.MaxStats().Mean(),
+			StrictDist:     strict.DistinctMax(),
+			AdaptDist:      adapt.DistinctMax(),
+			DynMax:         dyn.MaxStats().Mean(),
+			DynMsgsPerBall: dyn.MeanMessages() / float64(n),
+		})
+	}
+	return out, nil
+}
+
+// MajCheck is one verified majorization relation (Section 3).
+type MajCheck struct {
+	Property    string
+	Left, Right string
+	LeftMean    float64
+	RightMean   float64
+	Holds       bool
+}
+
+// MajorizationChecks verifies properties (ii)-(v) at the expected-max-load
+// level over `runs` independent runs per side.
+func MajorizationChecks(n, runs int, seed uint64) ([]MajCheck, error) {
+	mean := func(policy core.Policy, p core.Params, s uint64) (float64, error) {
+		res, err := sim.Run(sim.Config{Policy: policy, Params: p, Runs: runs, Seed: s})
+		if err != nil {
+			return 0, err
+		}
+		return res.MaxStats().Mean(), nil
+	}
+	type check struct {
+		prop   string
+		lp, rp core.Params
+	}
+	checks := []check{
+		{"(ii) A(k,d+a) <= A(k,d)", core.Params{N: n, K: 2, D: 6}, core.Params{N: n, K: 2, D: 3}},
+		{"(iii) A(k-a,d) <= A(k,d)", core.Params{N: n, K: 1, D: 4}, core.Params{N: n, K: 3, D: 4}},
+		{"(iv) A(ak,ad) <= A(k,d)", core.Params{N: n, K: 2, D: 4}, core.Params{N: n, K: 1, D: 2}},
+		{"(v) A(k,d) <= A(k+a,d+a)", core.Params{N: n, K: 1, D: 2}, core.Params{N: n, K: 3, D: 4}},
+	}
+	// Tolerance for sampling noise at the configured run count.
+	tol := 0.2
+	if runs >= 400 {
+		tol = 0.12
+	}
+	out := make([]MajCheck, 0, len(checks))
+	for i, c := range checks {
+		lm, err := mean(core.KDChoice, c.lp, seed+uint64(i)*13)
+		if err != nil {
+			return nil, err
+		}
+		rm, err := mean(core.KDChoice, c.rp, seed+uint64(i)*13+6)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MajCheck{
+			Property:  c.prop,
+			Left:      fmt.Sprintf("(%d,%d)", c.lp.K, c.lp.D),
+			Right:     fmt.Sprintf("(%d,%d)", c.rp.K, c.rp.D),
+			LeftMean:  lm,
+			RightMean: rm,
+			Holds:     lm <= rm+tol,
+		})
+	}
+	return out, nil
+}
+
+// MeanOfInts is a convenience re-export used by the cmds.
+func MeanOfInts(xs []int) float64 { return stats.MeanInts(xs) }

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// PipelinePoint measures the distributed protocol at one pipeline depth.
+type PipelinePoint struct {
+	Pipeline     int
+	MeanMax      float64
+	MeanMakespan float64
+	MsgsPerBall  float64
+}
+
+// PipelineAblation runs the netsim protocol (AB3): (k,d)-choice as literal
+// probe/reply/place messages, sweeping the number of concurrent dispatcher
+// rounds. Depth 1 is the paper's sequential process; deeper pipelines
+// finish sooner but decide on stale load reports, trading balance for
+// latency — the gap the paper's synchronous model abstracts away.
+func PipelineAblation(servers, k, d, rounds, runs int, seed uint64, depths []int) ([]PipelinePoint, error) {
+	if len(depths) == 0 {
+		depths = []int{1, 4, 16, 64}
+	}
+	out := make([]PipelinePoint, 0, len(depths))
+	balls := float64(rounds * k)
+	for _, depth := range depths {
+		var maxes, spans, msgs stats.Online
+		for i := 0; i < runs; i++ {
+			st, err := netsim.Run(netsim.Config{
+				Servers:  servers,
+				K:        k,
+				D:        d,
+				Rounds:   rounds,
+				Pipeline: depth,
+				NetDelay: workload.Exponential(1),
+				Seed:     seed + uint64(depth)*1000 + uint64(i),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: pipeline depth %d: %w", depth, err)
+			}
+			maxes.Add(float64(st.MaxLoad))
+			spans.Add(st.Makespan)
+			msgs.Add(float64(st.Messages))
+		}
+		out = append(out, PipelinePoint{
+			Pipeline:     depth,
+			MeanMax:      maxes.Mean(),
+			MeanMakespan: spans.Mean(),
+			MsgsPerBall:  msgs.Mean() / balls,
+		})
+	}
+	return out, nil
+}

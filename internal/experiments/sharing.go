@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SharingPoint compares, at one probe budget, the paper's shared-batch
+// (k,d)-choice against the stale parallel baseline (each ball probing
+// independently against round-start loads) and against sequential d-choice
+// with the same per-ball probe count.
+type SharingPoint struct {
+	K          int
+	Budget     int // probes per round for the shared batch (= d)
+	SharedMax  float64
+	StaleMax   float64
+	DChoiceMax float64
+}
+
+// SharingAblation runs the information-sharing ablation (AB2): for each k,
+// the probe budget is 2k per round, spent either as one shared batch
+// ((k,2k)-choice), as 2 stale probes per ball (parallel model of the
+// paper's refs [1,16]), or as sequential per-ball two-choice.
+func SharingAblation(n, runs int, seed uint64, ks []int) ([]SharingPoint, error) {
+	if len(ks) == 0 {
+		ks = []int{2, 4, 8, 16}
+	}
+	out := make([]SharingPoint, 0, len(ks))
+	for i, k := range ks {
+		shared, err := sim.Run(sim.Config{
+			Policy: core.KDChoice, Params: core.Params{N: n, K: k, D: 2 * k},
+			Runs: runs, Seed: seed + uint64(i)*17,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sharing shared k=%d: %w", k, err)
+		}
+		stale, err := sim.Run(sim.Config{
+			Policy: core.StaleBatch, Params: core.Params{N: n, K: k, D: 2},
+			Runs: runs, Seed: seed + uint64(i)*17 + 3,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sharing stale k=%d: %w", k, err)
+		}
+		seq, err := sim.Run(sim.Config{
+			Policy: core.DChoice, Params: core.Params{N: n, D: 2},
+			Runs: runs, Seed: seed + uint64(i)*17 + 7,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sharing dchoice k=%d: %w", k, err)
+		}
+		out = append(out, SharingPoint{
+			K:          k,
+			Budget:     2 * k,
+			SharedMax:  shared.MaxStats().Mean(),
+			StaleMax:   stale.MaxStats().Mean(),
+			DChoiceMax: seq.MaxStats().Mean(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package loadvec
+
+import "sort"
+
+// Lorenz returns the Lorenz curve of the load vector: point i (0-based) is
+// the fraction of all balls held by the (i+1)/n least-loaded fraction of
+// bins. The curve has n points, is non-decreasing, and ends at 1. It
+// returns nil for an empty vector or a vector with no balls.
+func (v Vector) Lorenz() []float64 {
+	total := v.Total()
+	if len(v) == 0 || total == 0 {
+		return nil
+	}
+	asc := make([]int, len(v))
+	copy(asc, v)
+	sort.Ints(asc)
+	curve := make([]float64, len(v))
+	running := 0
+	for i, x := range asc {
+		running += x
+		curve[i] = float64(running) / float64(total)
+	}
+	return curve
+}
+
+// Gini returns the Gini coefficient of the load vector: 0 for perfectly
+// balanced loads, approaching 1 as all balls concentrate in one bin. The
+// storage experiments report it as a balance metric alongside max/mean.
+func (v Vector) Gini() float64 {
+	n := len(v)
+	total := v.Total()
+	if n == 0 || total == 0 {
+		return 0
+	}
+	asc := make([]int, n)
+	copy(asc, v)
+	sort.Ints(asc)
+	// G = (2*sum(i*x_i) - (n+1)*sum(x_i)) / (n*sum(x_i)) with 1-based i
+	// over ascending loads.
+	var weighted int64
+	for i, x := range asc {
+		weighted += int64(i+1) * int64(x)
+	}
+	num := 2*weighted - int64(n+1)*int64(total)
+	return float64(num) / (float64(n) * float64(total))
+}

@@ -1,0 +1,120 @@
+package loadvec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLorenzPerfectBalance(t *testing.T) {
+	v := Vector{2, 2, 2, 2}
+	curve := v.Lorenz()
+	want := []float64{0.25, 0.5, 0.75, 1.0}
+	for i, w := range want {
+		if math.Abs(curve[i]-w) > 1e-12 {
+			t.Fatalf("curve = %v, want %v", curve, want)
+		}
+	}
+}
+
+func TestLorenzConcentrated(t *testing.T) {
+	v := Vector{0, 0, 0, 8}
+	curve := v.Lorenz()
+	want := []float64{0, 0, 0, 1}
+	for i, w := range want {
+		if math.Abs(curve[i]-w) > 1e-12 {
+			t.Fatalf("curve = %v, want %v", curve, want)
+		}
+	}
+}
+
+func TestLorenzEmptyAndZero(t *testing.T) {
+	if Vector(nil).Lorenz() != nil {
+		t.Fatal("nil vector should give nil curve")
+	}
+	if (Vector{0, 0}).Lorenz() != nil {
+		t.Fatal("zero-ball vector should give nil curve")
+	}
+}
+
+func TestGiniExtremes(t *testing.T) {
+	if g := (Vector{3, 3, 3}).Gini(); math.Abs(g) > 1e-12 {
+		t.Fatalf("balanced Gini = %v, want 0", g)
+	}
+	// All mass in one of n bins: G = (n-1)/n.
+	g := (Vector{0, 0, 0, 12}).Gini()
+	if math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("concentrated Gini = %v, want 0.75", g)
+	}
+	if (Vector{}).Gini() != 0 || (Vector{0, 0}).Gini() != 0 {
+		t.Fatal("degenerate Gini should be 0")
+	}
+}
+
+func TestGiniKnownValue(t *testing.T) {
+	// {1, 3}: mean 2, mean abs diff = |1-3|*2/4 = 1, G = 1/(2*2) = 0.25.
+	g := (Vector{1, 3}).Gini()
+	if math.Abs(g-0.25) > 1e-12 {
+		t.Fatalf("Gini = %v, want 0.25", g)
+	}
+}
+
+func TestGiniProperties(t *testing.T) {
+	if err := quick.Check(func(raw []uint8) bool {
+		v := make(Vector, len(raw))
+		total := 0
+		for i, x := range raw {
+			v[i] = int(x % 32)
+			total += v[i]
+		}
+		g := v.Gini()
+		if total == 0 {
+			return g == 0
+		}
+		// Range [0, 1) and permutation invariance via sorted recompute.
+		if g < -1e-12 || g >= 1 {
+			return false
+		}
+		rev := make(Vector, len(v))
+		for i := range v {
+			rev[i] = v[len(v)-1-i]
+		}
+		return math.Abs(g-rev.Gini()) < 1e-12
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLorenzMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint8) bool {
+		v := make(Vector, len(raw))
+		for i, x := range raw {
+			v[i] = int(x % 16)
+		}
+		curve := v.Lorenz()
+		if curve == nil {
+			return true
+		}
+		prev := 0.0
+		for _, c := range curve {
+			if c < prev-1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return math.Abs(curve[len(curve)-1]-1) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGiniDominanceConsistency: a more balanced vector (majorized by the
+// other) never has a larger Gini coefficient when totals match.
+func TestGiniDominanceConsistency(t *testing.T) {
+	flat := Vector{2, 2, 2, 2}
+	tilted := Vector{4, 2, 1, 1}
+	peaked := Vector{8, 0, 0, 0}
+	if !(flat.Gini() <= tilted.Gini() && tilted.Gini() <= peaked.Gini()) {
+		t.Fatalf("Gini ordering broken: %v %v %v", flat.Gini(), tilted.Gini(), peaked.Gini())
+	}
+}

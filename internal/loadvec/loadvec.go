@@ -1,0 +1,233 @@
+// Package loadvec provides utilities over bin-load vectors: the sorted-load
+// view used throughout the paper's analysis (bin x = x-th most loaded bin),
+// the occupancy counts ν_y (bins with at least y balls) and µ_y (balls with
+// height at least y), the load gap, and the empirical majorization
+// comparison used to validate the paper's Section 3 properties.
+package loadvec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vector is a snapshot of bin loads indexed by bin id (NOT sorted).
+type Vector []int
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Total returns the number of balls in the vector.
+func (v Vector) Total() int {
+	sum := 0
+	for _, x := range v {
+		sum += x
+	}
+	return sum
+}
+
+// Max returns the maximum load, or 0 for an empty vector.
+func (v Vector) Max() int {
+	m := 0
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum load, or 0 for an empty vector.
+func (v Vector) Min() int {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Average returns the mean load, or 0 for an empty vector.
+func (v Vector) Average() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return float64(v.Total()) / float64(len(v))
+}
+
+// Gap returns max load minus average load — the quantity bounded in the
+// heavily loaded case (Theorem 2 / Berenbrink et al.).
+func (v Vector) Gap() float64 {
+	return float64(v.Max()) - v.Average()
+}
+
+// Sorted returns the loads in decreasing order, so Sorted()[x-1] is B_x, the
+// load of the x-th most loaded bin in the paper's notation.
+func (v Vector) Sorted() []int {
+	out := make([]int, len(v))
+	copy(out, v)
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// NuY returns ν_y: the number of bins with at least y balls. ν_0 = n.
+func (v Vector) NuY(y int) int {
+	c := 0
+	for _, x := range v {
+		if x >= y {
+			c++
+		}
+	}
+	return c
+}
+
+// NuAll returns ν_y for all y in [0, Max()]; the returned slice has length
+// Max()+1 and NuAll()[y] == NuY(y). Computed in one pass.
+func (v Vector) NuAll() []int {
+	maxLoad := v.Max()
+	counts := make([]int, maxLoad+2)
+	for _, x := range v {
+		counts[x]++
+	}
+	nu := make([]int, maxLoad+1)
+	running := 0
+	for y := maxLoad; y >= 0; y-- {
+		running += counts[y]
+		nu[y] = running
+	}
+	return nu
+}
+
+// MuY returns µ_y: the number of balls with height at least y, which for a
+// load vector equals sum over bins of max(load - y + 1, 0) for y >= 1, and
+// the total number of balls for y <= 0. (Ball heights within a bin are
+// 1..load.)
+func (v Vector) MuY(y int) int {
+	if y <= 0 {
+		return v.Total()
+	}
+	c := 0
+	for _, x := range v {
+		if x >= y {
+			c += x - y + 1
+		}
+	}
+	return c
+}
+
+// PrefixTop returns B_{<=x}: the number of balls in the x most loaded bins
+// (x is clamped to [0, n]).
+func (v Vector) PrefixTop(x int) int {
+	if x <= 0 {
+		return 0
+	}
+	sorted := v.Sorted()
+	if x > len(sorted) {
+		x = len(sorted)
+	}
+	sum := 0
+	for _, b := range sorted[:x] {
+		sum += b
+	}
+	return sum
+}
+
+// Histogram returns how many bins hold exactly y balls, for y in
+// [0, Max()].
+func (v Vector) Histogram() []int {
+	h := make([]int, v.Max()+1)
+	for _, x := range v {
+		h[x]++
+	}
+	return h
+}
+
+// Validate checks structural sanity: no negative loads and, if balls >= 0,
+// that the total matches. It returns a descriptive error on violation.
+func (v Vector) Validate(balls int) error {
+	for i, x := range v {
+		if x < 0 {
+			return fmt.Errorf("loadvec: bin %d has negative load %d", i, x)
+		}
+	}
+	if balls >= 0 {
+		if got := v.Total(); got != balls {
+			return fmt.Errorf("loadvec: total load %d does not match ball count %d", got, balls)
+		}
+	}
+	return nil
+}
+
+// MajorizesPrefixes reports whether a weakly majorizes b in the prefix-sum
+// sense used by the paper (Definition 2): for every x, the x most loaded
+// bins of a hold at least as many balls as the x most loaded bins of b.
+// The vectors may have different lengths; missing entries count as zero.
+// Note the paper's A1 ≤mj A2 is a distributional statement; this function is
+// the per-sample comparison used to verify it empirically over coupled runs.
+func MajorizesPrefixes(a, b Vector) bool {
+	sa, sb := a.Sorted(), b.Sorted()
+	n := len(sa)
+	if len(sb) > n {
+		n = len(sb)
+	}
+	sumA, sumB := 0, 0
+	for x := 0; x < n; x++ {
+		if x < len(sa) {
+			sumA += sa[x]
+		}
+		if x < len(sb) {
+			sumB += sb[x]
+		}
+		if sumA < sumB {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether a dominates b pointwise on the sorted vectors
+// (Definition 2(iii) per-sample analogue): B_x(a) >= B_x(b) for all x.
+func Dominates(a, b Vector) bool {
+	sa, sb := a.Sorted(), b.Sorted()
+	n := len(sa)
+	if len(sb) > n {
+		n = len(sb)
+	}
+	for x := 0; x < n; x++ {
+		va, vb := 0, 0
+		if x < len(sa) {
+			va = sa[x]
+		}
+		if x < len(sb) {
+			vb = sb[x]
+		}
+		if va < vb {
+			return false
+		}
+	}
+	return true
+}
+
+// TailCDFAtLeast returns, for an ensemble of sorted-load snapshots, the
+// empirical probability that B_{<=x} >= t. It is the building block for
+// checking the majorization inequalities of Definition 2 at the
+// distribution level.
+func TailCDFAtLeast(ensemble []Vector, x, t int) float64 {
+	if len(ensemble) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, v := range ensemble {
+		if v.PrefixTop(x) >= t {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(ensemble))
+}

@@ -1,0 +1,249 @@
+package loadvec
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicAccessors(t *testing.T) {
+	v := Vector{3, 0, 2, 2, 1}
+	if got := v.Total(); got != 8 {
+		t.Fatalf("Total = %d", got)
+	}
+	if got := v.Max(); got != 3 {
+		t.Fatalf("Max = %d", got)
+	}
+	if got := v.Min(); got != 0 {
+		t.Fatalf("Min = %d", got)
+	}
+	if got := v.Average(); got != 1.6 {
+		t.Fatalf("Average = %v", got)
+	}
+	if got := v.Gap(); got != 1.4 {
+		t.Fatalf("Gap = %v", got)
+	}
+}
+
+func TestEmptyVector(t *testing.T) {
+	var v Vector
+	if v.Total() != 0 || v.Max() != 0 || v.Min() != 0 || v.Average() != 0 {
+		t.Fatal("empty vector accessors should be zero")
+	}
+	if len(v.Sorted()) != 0 {
+		t.Fatal("Sorted of empty should be empty")
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestSortedDecreasing(t *testing.T) {
+	v := Vector{1, 5, 3, 3, 0}
+	want := []int{5, 3, 3, 1, 0}
+	if got := v.Sorted(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Sorted = %v, want %v", got, want)
+	}
+	// Original untouched.
+	if !reflect.DeepEqual(v, Vector{1, 5, 3, 3, 0}) {
+		t.Fatal("Sorted modified the receiver")
+	}
+}
+
+func TestNuY(t *testing.T) {
+	v := Vector{3, 0, 2, 2, 1}
+	cases := []struct{ y, want int }{
+		{0, 5}, {1, 4}, {2, 3}, {3, 1}, {4, 0},
+	}
+	for _, tc := range cases {
+		if got := v.NuY(tc.y); got != tc.want {
+			t.Fatalf("NuY(%d) = %d, want %d", tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestNuAllMatchesNuY(t *testing.T) {
+	v := Vector{3, 0, 2, 2, 1, 7, 7, 1}
+	nu := v.NuAll()
+	if len(nu) != v.Max()+1 {
+		t.Fatalf("NuAll length = %d, want %d", len(nu), v.Max()+1)
+	}
+	for y := 0; y <= v.Max(); y++ {
+		if nu[y] != v.NuY(y) {
+			t.Fatalf("NuAll[%d] = %d, NuY = %d", y, nu[y], v.NuY(y))
+		}
+	}
+}
+
+func TestMuY(t *testing.T) {
+	// Bin with 3 balls has heights 1,2,3; bin with 1 ball has height 1.
+	v := Vector{3, 1}
+	cases := []struct{ y, want int }{
+		{0, 4}, {1, 4}, {2, 2}, {3, 1}, {4, 0},
+	}
+	for _, tc := range cases {
+		if got := v.MuY(tc.y); got != tc.want {
+			t.Fatalf("MuY(%d) = %d, want %d", tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestNuLeMuProperty(t *testing.T) {
+	// ν_y <= µ_y for all y >= 1 (every bin with >= y balls contributes at
+	// least one ball of height >= y). Used implicitly by the paper.
+	if err := quick.Check(func(raw []uint8, yRaw uint8) bool {
+		v := make(Vector, len(raw))
+		for i, x := range raw {
+			v[i] = int(x % 16)
+		}
+		y := int(yRaw%18) + 1
+		return v.NuY(y) <= v.MuY(y)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixTop(t *testing.T) {
+	v := Vector{1, 5, 3}
+	cases := []struct{ x, want int }{
+		{-1, 0}, {0, 0}, {1, 5}, {2, 8}, {3, 9}, {10, 9},
+	}
+	for _, tc := range cases {
+		if got := v.PrefixTop(tc.x); got != tc.want {
+			t.Fatalf("PrefixTop(%d) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	v := Vector{0, 0, 1, 3, 3, 3}
+	want := []int{2, 1, 0, 3}
+	if got := v.Histogram(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Histogram = %v, want %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	v := Vector{1, 2, 3}
+	if err := v.Validate(6); err != nil {
+		t.Fatalf("valid vector rejected: %v", err)
+	}
+	if err := v.Validate(-1); err != nil {
+		t.Fatalf("ball count check should be skipped for negative balls: %v", err)
+	}
+	if err := v.Validate(5); err == nil {
+		t.Fatal("wrong total accepted")
+	}
+	if err := (Vector{1, -1}).Validate(-1); err == nil {
+		t.Fatal("negative load accepted")
+	}
+}
+
+func TestMajorizesPrefixes(t *testing.T) {
+	// {4,0} majorizes {2,2}: prefixes 4>=2, 4>=4.
+	if !MajorizesPrefixes(Vector{4, 0}, Vector{2, 2}) {
+		t.Fatal("{4,0} should majorize {2,2}")
+	}
+	if MajorizesPrefixes(Vector{2, 2}, Vector{4, 0}) {
+		t.Fatal("{2,2} should not majorize {4,0}")
+	}
+	// Equal vectors majorize each other.
+	if !MajorizesPrefixes(Vector{3, 1}, Vector{1, 3}) || !MajorizesPrefixes(Vector{1, 3}, Vector{3, 1}) {
+		t.Fatal("permuted vectors should majorize each other")
+	}
+}
+
+func TestMajorizesDifferentLengths(t *testing.T) {
+	// {2,1,1} vs {2,2}: prefix sums 2,3,4 vs 2,4,4 -> does NOT majorize.
+	if MajorizesPrefixes(Vector{2, 1, 1}, Vector{2, 2}) {
+		t.Fatal("{2,1,1} should not majorize {2,2}: prefix sum 3 < 4 at x=2")
+	}
+	// {2,2} vs {2,1,1}: prefix sums 2,4,4 vs 2,3,4 -> does majorize.
+	if !MajorizesPrefixes(Vector{2, 2}, Vector{2, 1, 1}) {
+		t.Fatal("{2,2} should majorize {2,1,1}")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	if !Dominates(Vector{3, 2}, Vector{2, 2}) {
+		t.Fatal("{3,2} should dominate {2,2}")
+	}
+	if Dominates(Vector{3, 1}, Vector{2, 2}) {
+		t.Fatal("{3,1} should not dominate {2,2} (sorted second entries 1 < 2)")
+	}
+	if !Dominates(Vector{1, 1, 1}, Vector{1, 1}) {
+		t.Fatal("longer vector with extra entries should dominate")
+	}
+	if Dominates(Vector{1, 1}, Vector{1, 1, 1}) {
+		t.Fatal("{1,1} should not dominate {1,1,1}")
+	}
+}
+
+func TestDominationImpliesMajorizationProperty(t *testing.T) {
+	// The paper notes domination is stronger than majorization; verify the
+	// per-sample analogue: Dominates(a,b) => MajorizesPrefixes(a,b).
+	if err := quick.Check(func(ra, rb []uint8) bool {
+		a := make(Vector, len(ra))
+		for i, x := range ra {
+			a[i] = int(x % 8)
+		}
+		b := make(Vector, len(rb))
+		for i, x := range rb {
+			b[i] = int(x % 8)
+		}
+		if Dominates(a, b) {
+			return MajorizesPrefixes(a, b)
+		}
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTailCDFAtLeast(t *testing.T) {
+	ensemble := []Vector{{2, 0}, {1, 1}, {3, 1}}
+	// PrefixTop(1) values: 2, 1, 3. P(>=2) = 2/3.
+	if got := TailCDFAtLeast(ensemble, 1, 2); got != 2.0/3.0 {
+		t.Fatalf("TailCDFAtLeast = %v", got)
+	}
+	if got := TailCDFAtLeast(nil, 1, 2); got != 0 {
+		t.Fatalf("empty ensemble = %v", got)
+	}
+}
+
+func TestSortedIsSortedProperty(t *testing.T) {
+	if err := quick.Check(func(raw []uint16) bool {
+		v := make(Vector, len(raw))
+		for i, x := range raw {
+			v[i] = int(x)
+		}
+		s := v.Sorted()
+		return sort.SliceIsSorted(s, func(i, j int) bool { return s[i] > s[j] })
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuNuTotalProperty(t *testing.T) {
+	// Sum over y>=1 of ν_y equals the total number of balls.
+	if err := quick.Check(func(raw []uint8) bool {
+		v := make(Vector, len(raw))
+		for i, x := range raw {
+			v[i] = int(x % 10)
+		}
+		sum := 0
+		for y := 1; y <= v.Max(); y++ {
+			sum += v.NuY(y)
+		}
+		return sum == v.Total()
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

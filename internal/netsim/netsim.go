@@ -1,0 +1,252 @@
+// Package netsim runs the (k,d)-choice allocation as an actual distributed
+// protocol over a simulated network, making the paper's cost measure — "the
+// number of bins to be probed" — literal: every probe, reply, and placement
+// is a network message with latency.
+//
+// Topology: one or more dispatcher (front-end) nodes place balls onto n
+// server nodes. A round at a dispatcher is a three-phase protocol:
+//
+//  1. PROBE: the dispatcher samples d servers (with replacement, as in the
+//     paper) and sends each distinct server one probe message.
+//  2. REPLY: each probed server reports its current load after a network
+//     delay.
+//  3. PLACE: when all replies have arrived the dispatcher applies the
+//     (k,d)-choice rule (k lowest slots, a server sampled m times receives
+//     at most m balls) and sends placement messages; servers increment
+//     their load when the placement arrives.
+//
+// With a single dispatcher the protocol reproduces the sequential process
+// exactly. With several concurrent dispatchers the load information in
+// replies goes STALE while placements are in flight — the distributed-
+// systems phenomenon (herding) that the paper's synchronous model abstracts
+// away. The Pipeline knob measures how much balance degrades with
+// concurrency, complementing the StaleBatch ablation in internal/core.
+package netsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/eventsim"
+	"repro/internal/loadvec"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Config describes a protocol run.
+type Config struct {
+	// Servers is the number of server nodes (bins), >= 1.
+	Servers int
+	// K and D are the (k,d)-choice parameters (1 <= K < D <= Servers).
+	K, D int
+	// Rounds is the number of allocation rounds; Rounds*K balls total.
+	Rounds int
+	// Pipeline is the number of dispatchers running rounds concurrently
+	// (default 1 = the paper's sequential process).
+	Pipeline int
+	// NetDelay is the one-way message latency distribution; the zero value
+	// means Deterministic(1).
+	NetDelay workload.Dist
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.Servers < 1 {
+		return fmt.Errorf("netsim: Servers = %d, need >= 1", c.Servers)
+	}
+	if c.K < 1 || c.D <= c.K {
+		return fmt.Errorf("netsim: need 1 <= K < D, got K=%d D=%d", c.K, c.D)
+	}
+	if c.D > c.Servers {
+		return fmt.Errorf("netsim: D = %d exceeds Servers = %d", c.D, c.Servers)
+	}
+	if c.Rounds < 1 {
+		return fmt.Errorf("netsim: Rounds = %d, need >= 1", c.Rounds)
+	}
+	if c.Pipeline < 0 {
+		return fmt.Errorf("netsim: Pipeline = %d, need >= 0", c.Pipeline)
+	}
+	return nil
+}
+
+// Stats summarizes a finished run.
+type Stats struct {
+	// Messages is the total network messages (probes + replies + places).
+	Messages int64
+	// ProbeMessages counts only probes — the paper's cost measure.
+	ProbeMessages int64
+	// MaxLoad is the final maximum server load.
+	MaxLoad int
+	// Loads is the final load vector.
+	Loads loadvec.Vector
+	// RoundLatencies holds each round's probe-to-last-placement latency.
+	RoundLatencies []float64
+	// Makespan is the simulated completion time.
+	Makespan float64
+}
+
+// MeanRoundLatency returns the average round latency.
+func (s *Stats) MeanRoundLatency() float64 { return stats.Mean(s.RoundLatencies) }
+
+// Run executes the protocol and returns its statistics.
+func Run(cfg Config) (*Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Pipeline == 0 {
+		cfg.Pipeline = 1
+	}
+	if cfg.NetDelay.Mean() == 0 {
+		cfg.NetDelay = workload.Deterministic(1)
+	}
+	r := &runner{
+		cfg:   cfg,
+		rng:   xrand.New(cfg.Seed),
+		loads: make([]int, cfg.Servers),
+		st:    &Stats{RoundLatencies: make([]float64, 0, cfg.Rounds)},
+	}
+	// Launch the initial window of concurrent rounds; each completed round
+	// starts the next pending one.
+	r.remaining = cfg.Rounds
+	launch := cfg.Pipeline
+	if launch > cfg.Rounds {
+		launch = cfg.Rounds
+	}
+	for i := 0; i < launch; i++ {
+		r.startRound()
+	}
+	r.sim.Run()
+	r.st.Loads = loadvec.Vector(r.loads)
+	r.st.MaxLoad = r.st.Loads.Max()
+	r.st.Makespan = r.sim.Now()
+	return r.st, nil
+}
+
+// MustRun is Run but panics on error.
+func MustRun(cfg Config) *Stats {
+	st, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+type runner struct {
+	cfg       Config
+	sim       eventsim.Sim
+	rng       *xrand.Rand
+	loads     []int
+	st        *Stats
+	remaining int
+}
+
+// roundState tracks one in-flight round at a dispatcher.
+type roundState struct {
+	samples   []int // d sampled servers (sorted, with duplicates)
+	replies   map[int]int
+	waitingOn int
+	started   float64
+}
+
+func (r *runner) delay() float64 { return r.cfg.NetDelay.Sample(r.rng) }
+
+// startRound begins one protocol round if any remain.
+func (r *runner) startRound() {
+	if r.remaining == 0 {
+		return
+	}
+	r.remaining--
+	rs := &roundState{
+		samples: make([]int, r.cfg.D),
+		replies: make(map[int]int, r.cfg.D),
+		started: r.sim.Now(),
+	}
+	r.rng.FillIntn(rs.samples, r.cfg.Servers)
+	sort.Ints(rs.samples)
+	// One probe per DISTINCT server; the reply covers all its slots.
+	prev := -1
+	for _, sv := range rs.samples {
+		if sv == prev {
+			continue
+		}
+		prev = sv
+		rs.waitingOn++
+		sv := sv
+		r.st.Messages++ // probe
+		r.st.ProbeMessages++
+		if err := r.sim.Schedule(r.delay(), func() { r.serverProbed(sv, rs) }); err != nil {
+			panic(err)
+		}
+	}
+	// The paper's cost measure counts d probed bins per round even when a
+	// bin is sampled twice; account the duplicates as free piggybacked
+	// probes in Messages but keep ProbeMessages at the distinct count.
+	r.st.ProbeMessages += int64(len(rs.samples)) - int64(rs.waitingOn)
+}
+
+// serverProbed runs at the server when the probe arrives: it replies with
+// its current load.
+func (r *runner) serverProbed(sv int, rs *roundState) {
+	load := r.loads[sv]
+	r.st.Messages++ // reply
+	if err := r.sim.Schedule(r.delay(), func() { r.dispatcherReply(sv, load, rs) }); err != nil {
+		panic(err)
+	}
+}
+
+// dispatcherReply runs at the dispatcher when a load reply arrives.
+func (r *runner) dispatcherReply(sv, load int, rs *roundState) {
+	rs.replies[sv] = load
+	rs.waitingOn--
+	if rs.waitingOn > 0 {
+		return
+	}
+	// All replies in: apply the (k,d) slot rule on the REPORTED loads.
+	type slot struct {
+		server int
+		height int
+		tie    uint64
+	}
+	slots := make([]slot, 0, len(rs.samples))
+	prev := -1
+	mult := 0
+	for _, s := range rs.samples {
+		if s == prev {
+			mult++
+		} else {
+			mult = 1
+			prev = s
+		}
+		slots = append(slots, slot{server: s, height: rs.replies[s] + mult, tie: r.rng.Uint64()})
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].height != slots[j].height {
+			return slots[i].height < slots[j].height
+		}
+		return slots[i].tie < slots[j].tie
+	})
+	placementsLeft := r.cfg.K
+	var lastArrival float64
+	for i := 0; i < placementsLeft && i < len(slots); i++ {
+		sv := slots[i].server
+		r.st.Messages++ // placement
+		d := r.delay()
+		if r.sim.Now()+d > lastArrival {
+			lastArrival = r.sim.Now() + d
+		}
+		if err := r.sim.Schedule(d, func() { r.loads[sv]++ }); err != nil {
+			panic(err)
+		}
+	}
+	// Record latency as of the last placement's arrival and pipeline the
+	// next round.
+	started := rs.started
+	if err := r.sim.At(lastArrival, func() {
+		r.st.RoundLatencies = append(r.st.RoundLatencies, r.sim.Now()-started)
+		r.startRound()
+	}); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+func baseConfig() Config {
+	return Config{
+		Servers: 128,
+		K:       2,
+		D:       3,
+		Rounds:  64, // 128 balls
+		Seed:    5,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		want   string
+	}{
+		{func(c *Config) { c.Servers = 0 }, "Servers"},
+		{func(c *Config) { c.K = 0 }, "K"},
+		{func(c *Config) { c.D = 2 }, "K"},
+		{func(c *Config) { c.D = 500 }, "exceeds"},
+		{func(c *Config) { c.Rounds = 0 }, "Rounds"},
+		{func(c *Config) { c.Pipeline = -1 }, "Pipeline"},
+	}
+	for i, tc := range cases {
+		cfg := baseConfig()
+		tc.mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("case %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+}
+
+func TestConservation(t *testing.T) {
+	cfg := baseConfig()
+	st := MustRun(cfg)
+	if got := st.Loads.Total(); got != cfg.Rounds*cfg.K {
+		t.Fatalf("total load %d, want %d", got, cfg.Rounds*cfg.K)
+	}
+	if len(st.RoundLatencies) != cfg.Rounds {
+		t.Fatalf("%d round latencies, want %d", len(st.RoundLatencies), cfg.Rounds)
+	}
+	if st.MaxLoad != st.Loads.Max() {
+		t.Fatal("MaxLoad inconsistent with load vector")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustRun(baseConfig())
+	b := MustRun(baseConfig())
+	if a.MaxLoad != b.MaxLoad || a.Messages != b.Messages || a.Makespan != b.Makespan {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	cfg := baseConfig()
+	st := MustRun(cfg)
+	// Per round: <= d probes + <= d replies + k placements; probes+replies
+	// shrink when a server is sampled twice. Paper-cost probes = d exactly.
+	if st.ProbeMessages != int64(cfg.Rounds*cfg.D) {
+		t.Fatalf("probe messages %d, want %d (d per round)", st.ProbeMessages, cfg.Rounds*cfg.D)
+	}
+	maxTotal := int64(cfg.Rounds * (2*cfg.D + cfg.K))
+	minTotal := int64(cfg.Rounds * (2 + cfg.K)) // at least 1 probe + 1 reply
+	if st.Messages > maxTotal || st.Messages < minTotal {
+		t.Fatalf("total messages %d outside [%d, %d]", st.Messages, minTotal, maxTotal)
+	}
+}
+
+func TestRoundLatencyDeterministicDelay(t *testing.T) {
+	cfg := baseConfig()
+	cfg.NetDelay = workload.Deterministic(1)
+	st := MustRun(cfg)
+	// probe (1) + reply (1) + placement (1) = 3 time units per round.
+	for i, l := range st.RoundLatencies {
+		if l != 3 {
+			t.Fatalf("round %d latency %v, want 3", i, l)
+		}
+	}
+	// Sequential pipeline: makespan = 3 * rounds.
+	if st.Makespan != float64(3*cfg.Rounds) {
+		t.Fatalf("makespan %v, want %v", st.Makespan, 3*cfg.Rounds)
+	}
+}
+
+// TestSequentialMatchesCoreDistribution: with Pipeline=1 the network
+// protocol is the paper's process; its max-load distribution must match
+// internal/core's KDChoice.
+func TestSequentialMatchesCoreDistribution(t *testing.T) {
+	const n, k, d, runs = 256, 2, 4, 250
+	var netMean, coreMean stats.Online
+	for i := 0; i < runs; i++ {
+		st := MustRun(Config{
+			Servers: n, K: k, D: d, Rounds: n / k, Seed: uint64(1000 + i),
+		})
+		netMean.Add(float64(st.MaxLoad))
+		pr := core.MustNew(core.KDChoice, core.Params{N: n, K: k, D: d}, xrand.NewStream(7, uint64(i)))
+		pr.Place(n)
+		coreMean.Add(float64(pr.MaxLoad()))
+	}
+	if diff := netMean.Mean() - coreMean.Mean(); diff < -0.2 || diff > 0.2 {
+		t.Fatalf("network mean max %.3f vs core %.3f", netMean.Mean(), coreMean.Mean())
+	}
+}
+
+// TestPipelineStalenessDegradesBalance: concurrent dispatchers see stale
+// loads, so deep pipelines should not improve balance — and with heavy
+// concurrency the max load must be at least as bad as sequential.
+func TestPipelineStalenessDegradesBalance(t *testing.T) {
+	const runs = 60
+	mean := func(pipeline int, seed uint64) float64 {
+		var o stats.Online
+		for i := 0; i < runs; i++ {
+			st := MustRun(Config{
+				Servers: 256, K: 2, D: 4, Rounds: 128,
+				Pipeline: pipeline,
+				NetDelay: workload.Exponential(1),
+				Seed:     seed + uint64(i),
+			})
+			o.Add(float64(st.MaxLoad))
+		}
+		return o.Mean()
+	}
+	seq := mean(1, 100)
+	deep := mean(64, 200)
+	if deep < seq-0.1 {
+		t.Fatalf("deep pipeline %.3f mysteriously better than sequential %.3f", deep, seq)
+	}
+}
+
+// TestPipelineSpeedsUpMakespan: the point of pipelining — wall-clock
+// completion shrinks even though balance may suffer.
+func TestPipelineSpeedsUpMakespan(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Rounds = 128
+	cfg.NetDelay = workload.Deterministic(1)
+	seq := MustRun(cfg)
+	cfg.Pipeline = 16
+	par := MustRun(cfg)
+	if par.Makespan >= seq.Makespan {
+		t.Fatalf("pipelined makespan %v not faster than sequential %v", par.Makespan, seq.Makespan)
+	}
+	// Total work is identical.
+	if par.Loads.Total() != seq.Loads.Total() {
+		t.Fatal("pipelining changed the ball count")
+	}
+}
+
+func TestMeanRoundLatency(t *testing.T) {
+	cfg := baseConfig()
+	cfg.NetDelay = workload.Deterministic(2)
+	st := MustRun(cfg)
+	if got := st.MeanRoundLatency(); got != 6 {
+		t.Fatalf("mean latency %v, want 6", got)
+	}
+}
+
+func TestPipelineZeroDefaultsToOne(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Pipeline = 0
+	st := MustRun(cfg)
+	if st.Loads.Total() != cfg.Rounds*cfg.K {
+		t.Fatal("default pipeline run broken")
+	}
+}

@@ -1,0 +1,231 @@
+// Package sim is the experiment harness: it runs an allocation process many
+// times with independent deterministic random streams, optionally in
+// parallel, and aggregates the per-run results into the summaries the
+// paper's evaluation reports (distinct maximum loads à la Table 1, means,
+// gaps, message counts, sorted-load profiles for the figure experiments).
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/loadvec"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Config describes one experiment cell: a process, a ball count, and a
+// number of independent runs.
+type Config struct {
+	// Policy and Params configure the allocation process.
+	Policy core.Policy
+	Params core.Params
+	// Balls is the number of balls to place per run; 0 means Params.N
+	// (the paper's default of n balls into n bins).
+	Balls int
+	// Runs is the number of independent repetitions; 0 means 1.
+	Runs int
+	// Seed is the root seed; run i uses the stream (Seed, i). The same
+	// Config therefore always produces the same Result.
+	Seed uint64
+	// Workers bounds the number of concurrent runs; 0 means GOMAXPROCS.
+	Workers int
+	// CollectLoads retains each run's final load vector (memory: Runs × N
+	// ints); required by the profile/figure experiments.
+	CollectLoads bool
+}
+
+// balls returns the effective ball count.
+func (c Config) balls() int {
+	if c.Balls > 0 {
+		return c.Balls
+	}
+	return c.Params.N
+}
+
+// runs returns the effective run count.
+func (c Config) runs() int {
+	if c.Runs > 0 {
+		return c.Runs
+	}
+	return 1
+}
+
+// Result aggregates the outcome of all runs of one Config. Slices are
+// indexed by run.
+type Result struct {
+	Config   Config
+	MaxLoads []int
+	Gaps     []float64
+	Messages []int64
+	// Discarded is only populated for the SAx0 policy.
+	Discarded []int
+	// Loads is populated when Config.CollectLoads is set.
+	Loads []loadvec.Vector
+}
+
+// Run executes the experiment. It validates the configuration by
+// constructing the first process eagerly, so a bad Config fails fast.
+func Run(cfg Config) (*Result, error) {
+	nRuns := cfg.runs()
+	m := cfg.balls()
+	// Validate the parameters once before spinning up workers.
+	if _, err := core.New(cfg.Policy, cfg.Params, xrand.New(0)); err != nil {
+		return nil, fmt.Errorf("sim: invalid config: %w", err)
+	}
+	res := &Result{
+		Config:   cfg,
+		MaxLoads: make([]int, nRuns),
+		Gaps:     make([]float64, nRuns),
+		Messages: make([]int64, nRuns),
+		Discarded: func() []int {
+			if cfg.Policy == core.SAx0 {
+				return make([]int, nRuns)
+			}
+			return nil
+		}(),
+	}
+	if cfg.CollectLoads {
+		res.Loads = make([]loadvec.Vector, nRuns)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nRuns {
+		workers = nRuns
+	}
+
+	var wg sync.WaitGroup
+	runCh := make(chan int)
+	errOnce := sync.Once{}
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range runCh {
+				pr, err := core.New(cfg.Policy, cfg.Params, xrand.NewStream(cfg.Seed, uint64(i)))
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				pr.Place(m)
+				res.MaxLoads[i] = pr.MaxLoad()
+				res.Gaps[i] = pr.Gap()
+				res.Messages[i] = pr.Messages()
+				if res.Discarded != nil {
+					res.Discarded[i] = pr.Discarded()
+				}
+				if cfg.CollectLoads {
+					res.Loads[i] = pr.Loads()
+				}
+			}
+		}()
+	}
+	for i := 0; i < nRuns; i++ {
+		runCh <- i
+	}
+	close(runCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, fmt.Errorf("sim: run failed: %w", firstErr)
+	}
+	return res, nil
+}
+
+// MustRun is Run but panics on error; for tests and examples with constant
+// configs.
+func MustRun(cfg Config) *Result {
+	res, err := Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// DistinctMax returns the sorted distinct maximum loads across runs — the
+// exact summary format of the paper's Table 1 cells.
+func (r *Result) DistinctMax() []int {
+	return stats.DistinctSortedInts(r.MaxLoads)
+}
+
+// MaxStats returns an Online accumulator over the per-run maximum loads.
+func (r *Result) MaxStats() *stats.Online {
+	var o stats.Online
+	for _, m := range r.MaxLoads {
+		o.Add(float64(m))
+	}
+	return &o
+}
+
+// GapStats returns an Online accumulator over the per-run gaps
+// (max − average load).
+func (r *Result) GapStats() *stats.Online {
+	var o stats.Online
+	for _, g := range r.Gaps {
+		o.Add(g)
+	}
+	return &o
+}
+
+// MeanMessages returns the average per-run message cost.
+func (r *Result) MeanMessages() float64 {
+	if len(r.Messages) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, m := range r.Messages {
+		sum += m
+	}
+	return float64(sum) / float64(len(r.Messages))
+}
+
+// MeanSortedProfile returns the position-wise mean of the sorted (desc)
+// load vectors over all runs: element x-1 approximates E[B_x], the paper's
+// sorted-load curve (Figures 1 and 2). It panics unless the runs collected
+// load vectors.
+func (r *Result) MeanSortedProfile() []float64 {
+	if r.Loads == nil {
+		panic("sim: MeanSortedProfile requires Config.CollectLoads")
+	}
+	n := r.Config.Params.N
+	acc := make([]float64, n)
+	for _, v := range r.Loads {
+		sorted := v.Sorted()
+		for i, x := range sorted {
+			acc[i] += float64(x)
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(len(r.Loads))
+	}
+	return acc
+}
+
+// MeanNuY returns the run-averaged ν_y for y in [0, maxload].
+func (r *Result) MeanNuY() []float64 {
+	if r.Loads == nil {
+		panic("sim: MeanNuY requires Config.CollectLoads")
+	}
+	maxY := 0
+	for _, m := range r.MaxLoads {
+		if m > maxY {
+			maxY = m
+		}
+	}
+	acc := make([]float64, maxY+1)
+	for _, v := range r.Loads {
+		nu := v.NuAll()
+		for y, c := range nu {
+			acc[y] += float64(c)
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(len(r.Loads))
+	}
+	return acc
+}

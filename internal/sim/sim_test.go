@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{
+		Policy: core.KDChoice,
+		Params: core.Params{N: 256, K: 2, D: 3},
+		Runs:   8,
+		Seed:   42,
+	}
+	a := MustRun(cfg)
+	b := MustRun(cfg)
+	if !reflect.DeepEqual(a.MaxLoads, b.MaxLoads) {
+		t.Fatalf("same config produced different max loads: %v vs %v", a.MaxLoads, b.MaxLoads)
+	}
+	if !reflect.DeepEqual(a.Messages, b.Messages) {
+		t.Fatal("same config produced different message counts")
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	base := Config{
+		Policy: core.KDChoice,
+		Params: core.Params{N: 128, K: 1, D: 2},
+		Runs:   16,
+		Seed:   7,
+	}
+	serial := base
+	serial.Workers = 1
+	parallel := base
+	parallel.Workers = 8
+	a := MustRun(serial)
+	b := MustRun(parallel)
+	if !reflect.DeepEqual(a.MaxLoads, b.MaxLoads) {
+		t.Fatalf("parallelism changed results: %v vs %v", a.MaxLoads, b.MaxLoads)
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	res := MustRun(Config{Policy: core.SingleChoice, Params: core.Params{N: 64}, Seed: 1})
+	if len(res.MaxLoads) != 1 {
+		t.Fatalf("default Runs != 1: %d", len(res.MaxLoads))
+	}
+	// Balls defaulted to N: messages for single choice == balls == 64.
+	if res.Messages[0] != 64 {
+		t.Fatalf("default Balls: messages = %d, want 64", res.Messages[0])
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	_, err := Run(Config{Policy: core.KDChoice, Params: core.Params{N: 8, K: 3, D: 2}})
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestDistinctMax(t *testing.T) {
+	res := &Result{MaxLoads: []int{4, 3, 4, 5, 3}}
+	if got := res.DistinctMax(); !reflect.DeepEqual(got, []int{3, 4, 5}) {
+		t.Fatalf("DistinctMax = %v", got)
+	}
+}
+
+func TestMaxAndGapStats(t *testing.T) {
+	cfg := Config{
+		Policy: core.KDChoice,
+		Params: core.Params{N: 128, K: 2, D: 4},
+		Runs:   10,
+		Seed:   3,
+	}
+	res := MustRun(cfg)
+	ms := res.MaxStats()
+	if ms.N() != 10 {
+		t.Fatalf("MaxStats N = %d", ms.N())
+	}
+	if ms.Min() < 1 {
+		t.Fatal("max load below 1 is impossible with n balls")
+	}
+	gs := res.GapStats()
+	// Gap = max - 1 here (n balls in n bins): mean gap = mean max - 1.
+	if diff := gs.Mean() - (ms.Mean() - 1); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("gap mean %v inconsistent with max mean %v", gs.Mean(), ms.Mean())
+	}
+}
+
+func TestMeanMessages(t *testing.T) {
+	cfg := Config{
+		Policy: core.KDChoice,
+		Params: core.Params{N: 64, K: 2, D: 6},
+		Runs:   4,
+		Seed:   9,
+	}
+	res := MustRun(cfg)
+	// 32 rounds x 6 probes = 192 messages per run, every run.
+	if got := res.MeanMessages(); got != 192 {
+		t.Fatalf("MeanMessages = %v, want 192", got)
+	}
+	empty := &Result{}
+	if empty.MeanMessages() != 0 {
+		t.Fatal("empty MeanMessages should be 0")
+	}
+}
+
+func TestCollectLoadsAndProfile(t *testing.T) {
+	cfg := Config{
+		Policy:       core.KDChoice,
+		Params:       core.Params{N: 64, K: 1, D: 2},
+		Runs:         5,
+		Seed:         11,
+		CollectLoads: true,
+	}
+	res := MustRun(cfg)
+	if len(res.Loads) != 5 {
+		t.Fatalf("Loads collected: %d", len(res.Loads))
+	}
+	for i, v := range res.Loads {
+		if v.Total() != 64 {
+			t.Fatalf("run %d: total %d", i, v.Total())
+		}
+	}
+	prof := res.MeanSortedProfile()
+	if len(prof) != 64 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	// Profile must be non-increasing and its sum must equal the ball count.
+	sum := 0.0
+	for i, x := range prof {
+		sum += x
+		if i > 0 && x > prof[i-1]+1e-9 {
+			t.Fatalf("profile not sorted at %d: %v > %v", i, x, prof[i-1])
+		}
+	}
+	if sum < 63.99 || sum > 64.01 {
+		t.Fatalf("profile sum %v, want 64", sum)
+	}
+}
+
+func TestMeanSortedProfilePanicsWithoutLoads(t *testing.T) {
+	res := MustRun(Config{Policy: core.SingleChoice, Params: core.Params{N: 16}, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	res.MeanSortedProfile()
+}
+
+func TestMeanNuY(t *testing.T) {
+	cfg := Config{
+		Policy:       core.KDChoice,
+		Params:       core.Params{N: 64, K: 1, D: 2},
+		Runs:         3,
+		Seed:         13,
+		CollectLoads: true,
+	}
+	res := MustRun(cfg)
+	nu := res.MeanNuY()
+	if nu[0] != 64 {
+		t.Fatalf("mean nu_0 = %v, want 64 (all bins have >= 0 balls)", nu[0])
+	}
+	for y := 1; y < len(nu); y++ {
+		if nu[y] > nu[y-1] {
+			t.Fatalf("mean nu not non-increasing at y=%d", y)
+		}
+	}
+}
+
+func TestDiscardedOnlyForSAx0(t *testing.T) {
+	res := MustRun(Config{
+		Policy: core.SAx0,
+		Params: core.Params{N: 64, X0: 8},
+		Balls:  256,
+		Runs:   3,
+		Seed:   17,
+	})
+	if res.Discarded == nil {
+		t.Fatal("SAx0 result should have Discarded")
+	}
+	other := MustRun(Config{Policy: core.SingleChoice, Params: core.Params{N: 64}, Seed: 17})
+	if other.Discarded != nil {
+		t.Fatal("non-SAx0 result should not have Discarded")
+	}
+}
+
+func TestHeavyBalls(t *testing.T) {
+	res := MustRun(Config{
+		Policy: core.KDChoice,
+		Params: core.Params{N: 32, K: 2, D: 4},
+		Balls:  32 * 16,
+		Runs:   2,
+		Seed:   19,
+	})
+	for _, g := range res.Gaps {
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+	}
+	for _, m := range res.MaxLoads {
+		if m < 16 {
+			t.Fatalf("max load %d below average 16", m)
+		}
+	}
+}

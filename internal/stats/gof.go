@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ChiSquare returns the chi-square goodness-of-fit statistic of observed
+// counts against expected counts. It panics if the slices have different
+// lengths, are empty, or any expected count is non-positive.
+func ChiSquare(observed []int, expected []float64) float64 {
+	if len(observed) == 0 || len(observed) != len(expected) {
+		panic("stats: ChiSquare with mismatched or empty inputs")
+	}
+	chi2 := 0.0
+	for i, o := range observed {
+		e := expected[i]
+		if e <= 0 {
+			panic("stats: ChiSquare with non-positive expected count")
+		}
+		d := float64(o) - e
+		chi2 += d * d / e
+	}
+	return chi2
+}
+
+// ChiSquareUniform returns the chi-square statistic of observed counts
+// against the uniform distribution over the buckets.
+func ChiSquareUniform(observed []int) float64 {
+	total := 0
+	for _, o := range observed {
+		total += o
+	}
+	expected := make([]float64, len(observed))
+	e := float64(total) / float64(len(observed))
+	for i := range expected {
+		expected[i] = e
+	}
+	return ChiSquare(observed, expected)
+}
+
+// KolmogorovSmirnov returns the KS statistic (max |F_emp - F|) of the sample
+// against the given CDF. It panics on empty input. xs is not modified.
+func KolmogorovSmirnov(xs []float64, cdf func(float64) float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: KolmogorovSmirnov of empty sample")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		lo := f - float64(i)/n
+		hi := float64(i+1)/n - f
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// KSCriticalValue returns the approximate critical value of the one-sample
+// KS statistic at the given significance level alpha for sample size n
+// (asymptotic formula c(alpha) / sqrt(n)).
+func KSCriticalValue(n int, alpha float64) float64 {
+	// c(alpha) = sqrt(-ln(alpha/2) / 2)
+	c := math.Sqrt(-math.Log(alpha/2) / 2)
+	return c / math.Sqrt(float64(n))
+}
+
+// EmpiricalCDF returns F(t) = fraction of xs <= t as a closure over a sorted
+// copy of xs.
+func EmpiricalCDF(xs []float64) func(float64) float64 {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return func(t float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		idx := sort.SearchFloat64s(sorted, math.Nextafter(t, math.Inf(1)))
+		return float64(idx) / float64(len(sorted))
+	}
+}
+
+// Histogram is a fixed-width binning of float64 observations.
+type Histogram struct {
+	Lo, Hi   float64 // range covered; observations outside are clamped into the end buckets
+	Counts   []int
+	binWidth float64
+	total    int
+}
+
+// NewHistogram creates a histogram with the given bucket count over [lo, hi).
+// It panics if buckets <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets <= 0 {
+		panic("stats: NewHistogram with buckets <= 0")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram with hi <= lo")
+	}
+	return &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		Counts:   make([]int, buckets),
+		binWidth: (hi - lo) / float64(buckets),
+	}
+}
+
+// Add records one observation, clamping out-of-range values into the
+// terminal buckets.
+func (h *Histogram) Add(x float64) {
+	idx := int((x - h.Lo) / h.binWidth)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// BucketMid returns the midpoint of bucket i.
+func (h *Histogram) BucketMid(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.binWidth
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquareZeroForExactFit(t *testing.T) {
+	obs := []int{10, 10, 10, 10}
+	exp := []float64{10, 10, 10, 10}
+	if got := ChiSquare(obs, exp); got != 0 {
+		t.Fatalf("ChiSquare exact fit = %v, want 0", got)
+	}
+}
+
+func TestChiSquareKnownValue(t *testing.T) {
+	obs := []int{8, 12}
+	exp := []float64{10, 10}
+	// (8-10)^2/10 + (12-10)^2/10 = 0.8
+	if got := ChiSquare(obs, exp); !almostEqual(got, 0.8, 1e-12) {
+		t.Fatalf("ChiSquare = %v, want 0.8", got)
+	}
+}
+
+func TestChiSquarePanics(t *testing.T) {
+	cases := []func(){
+		func() { ChiSquare(nil, nil) },
+		func() { ChiSquare([]int{1}, []float64{1, 2}) },
+		func() { ChiSquare([]int{1}, []float64{0}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	obs := []int{25, 25, 25, 25}
+	if got := ChiSquareUniform(obs); got != 0 {
+		t.Fatalf("uniform fit = %v", got)
+	}
+	obs = []int{30, 20, 25, 25}
+	// expected 25 each: (25+25+0+0)/25 = 2
+	if got := ChiSquareUniform(obs); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("ChiSquareUniform = %v, want 2", got)
+	}
+}
+
+func TestKolmogorovSmirnovPerfectFit(t *testing.T) {
+	// Sample = {0.25, 0.75} against U(0,1): D = max deviation = 0.25.
+	xs := []float64{0.25, 0.75}
+	uniform := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	if got := KolmogorovSmirnov(xs, uniform); !almostEqual(got, 0.25, 1e-12) {
+		t.Fatalf("KS = %v, want 0.25", got)
+	}
+}
+
+func TestKolmogorovSmirnovPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KolmogorovSmirnov(nil, func(float64) float64 { return 0 })
+}
+
+func TestKSCriticalValue(t *testing.T) {
+	// Classic value: c(0.05) = 1.3581, so D_crit(100, .05) ~ 0.13581.
+	got := KSCriticalValue(100, 0.05)
+	if !almostEqual(got, 0.13581, 1e-4) {
+		t.Fatalf("KSCriticalValue = %v, want ~0.13581", got)
+	}
+}
+
+func TestEmpiricalCDF(t *testing.T) {
+	cdf := EmpiricalCDF([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {100, 1},
+	}
+	for _, tc := range cases {
+		if got := cdf(tc.x); !almostEqual(got, tc.want, 1e-12) {
+			t.Fatalf("cdf(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	empty := EmpiricalCDF(nil)
+	if empty(1) != 0 {
+		t.Fatal("empty CDF should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5.5, 9.99, -3, 42} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	want := []int{3, 1, 1, 0, 2} // -3 clamps into bucket 0, 42 into bucket 4
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (counts=%v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+	if got := h.BucketMid(0); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("BucketMid(0) = %v", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestKSUniformSanity(t *testing.T) {
+	// A linearly spaced grid is as uniform as it gets; KS must be tiny.
+	n := 1000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = (float64(i) + 0.5) / float64(n)
+	}
+	d := KolmogorovSmirnov(xs, func(x float64) float64 { return math.Min(1, math.Max(0, x)) })
+	if d > 0.001 {
+		t.Fatalf("KS of perfect grid = %v", d)
+	}
+}

@@ -1,0 +1,239 @@
+// Package stats provides the statistical primitives used by the experiment
+// harness: online moment accumulation, exact quantiles, integer frequency
+// summaries, histograms, and the goodness-of-fit statistics used to validate
+// the random-number substrate.
+//
+// Everything here is deterministic given its inputs; nothing draws
+// randomness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Online accumulates count, mean and variance in one pass using Welford's
+// algorithm. The zero value is an empty accumulator ready for use.
+type Online struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// AddN incorporates the same observation w times (w >= 0).
+func (o *Online) AddN(x float64, w int64) {
+	for i := int64(0); i < w; i++ {
+		o.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (o *Online) N() int64 { return o.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Min returns the minimum observation, or 0 with no observations.
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the maximum observation, or 0 with no observations.
+func (o *Online) Max() float64 { return o.max }
+
+// Variance returns the unbiased sample variance (n-1 denominator), or 0 for
+// fewer than two observations.
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// StdErr returns the standard error of the mean, or 0 with no observations.
+func (o *Online) StdErr() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.StdDev() / math.Sqrt(float64(o.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (o *Online) CI95() float64 { return 1.96 * o.StdErr() }
+
+// Merge combines another accumulator into o (Chan et al. parallel variant).
+func (o *Online) Merge(other *Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *other
+		return
+	}
+	delta := other.mean - o.mean
+	total := o.n + other.n
+	o.mean += delta * float64(other.n) / float64(total)
+	o.m2 += other.m2 + delta*delta*float64(o.n)*float64(other.n)/float64(total)
+	if other.min < o.min {
+		o.min = other.min
+	}
+	if other.max > o.max {
+		o.max = other.max
+	}
+	o.n = total
+}
+
+// String summarizes the accumulator.
+func (o *Online) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f", o.n, o.Mean(), o.StdDev(), o.Min(), o.Max())
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy/R default).
+// It panics if xs is empty or q is outside [0, 1]. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: Quantile with q outside [0, 1]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// QuantilesSorted returns the q-quantiles of xs computed in one pass; xs
+// must already be sorted ascending. It panics on empty input or out-of-range
+// q values.
+func QuantilesSorted(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: QuantilesSorted of empty slice")
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			panic("stats: QuantilesSorted with q outside [0, 1]")
+		}
+		out[i] = quantileSorted(xs, q)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanInts returns the arithmetic mean of xs, or 0 for empty input.
+func MeanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// MaxInts returns the maximum of xs; it panics on empty input.
+func MaxInts(xs []int) int {
+	if len(xs) == 0 {
+		panic("stats: MaxInts of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MinInts returns the minimum of xs; it panics on empty input.
+func MinInts(xs []int) int {
+	if len(xs) == 0 {
+		panic("stats: MinInts of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// DistinctSortedInts returns the sorted distinct values of xs. The paper's
+// Table 1 reports exactly this summary of the max load over repeated runs
+// (e.g. "7, 8, 9" for ten runs of single-choice).
+func DistinctSortedInts(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	tmp := make([]int, len(xs))
+	copy(tmp, xs)
+	sort.Ints(tmp)
+	out := tmp[:1]
+	for _, v := range tmp[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FreqInts returns the frequency of each value in xs keyed by value.
+func FreqInts(xs []int) map[int]int {
+	m := make(map[int]int)
+	for _, v := range xs {
+		m[v]++
+	}
+	return m
+}

@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestOnlineBasics(t *testing.T) {
+	var o Online
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.N() != 8 {
+		t.Fatalf("N = %d, want 8", o.N())
+	}
+	if !almostEqual(o.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", o.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is 32/7.
+	if !almostEqual(o.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", o.Variance(), 32.0/7.0)
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineEmptyAndSingle(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 || o.StdErr() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+	o.Add(42)
+	if o.Mean() != 42 || o.Variance() != 0 {
+		t.Fatalf("single observation: mean=%v var=%v", o.Mean(), o.Variance())
+	}
+}
+
+func TestOnlineAddN(t *testing.T) {
+	var a, b Online
+	a.AddN(3, 5)
+	for i := 0; i < 5; i++ {
+		b.Add(3)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() {
+		t.Fatalf("AddN mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestOnlineMergeMatchesSequential(t *testing.T) {
+	xs := []float64{1, 2, 3, 10, 20, 30, -5, 0.5, 7, 7, 7}
+	var whole Online
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var left, right Online
+	for _, x := range xs[:4] {
+		left.Add(x)
+	}
+	for _, x := range xs[4:] {
+		right.Add(x)
+	}
+	left.Merge(&right)
+	if left.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", left.N(), whole.N())
+	}
+	if !almostEqual(left.Mean(), whole.Mean(), 1e-9) {
+		t.Fatalf("merged mean %v, want %v", left.Mean(), whole.Mean())
+	}
+	if !almostEqual(left.Variance(), whole.Variance(), 1e-9) {
+		t.Fatalf("merged variance %v, want %v", left.Variance(), whole.Variance())
+	}
+	if left.Min() != whole.Min() || left.Max() != whole.Max() {
+		t.Fatal("merged min/max mismatch")
+	}
+}
+
+func TestOnlineMergeEmptyCases(t *testing.T) {
+	var a, b Online
+	a.Merge(&b) // empty into empty
+	if a.N() != 0 {
+		t.Fatal("merging empties should stay empty")
+	}
+	b.Add(5)
+	a.Merge(&b)
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Fatalf("merge into empty failed: %v", a)
+	}
+	var c Online
+	a.Merge(&c) // merging empty is a no-op
+	if a.N() != 1 {
+		t.Fatal("merging empty changed accumulator")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %v", got)
+	}
+	// Interpolation case.
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Fatalf("interpolated median = %v", got)
+	}
+	// Input must not be modified.
+	if !reflect.DeepEqual(xs, []float64{3, 1, 2, 4, 5}) {
+		t.Fatal("Quantile modified its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuantilesSorted(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := QuantilesSorted(xs, 0, 0.5, 0.9, 1)
+	want := []float64{1, 5.5, 9.1, 10}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-9) {
+			t.Fatalf("quantiles = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	if err := quick.Check(func(raw []float64, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a := float64(qa%101) / 100
+		b := float64(qb%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(raw, a) <= Quantile(raw, b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if MeanInts(nil) != 0 {
+		t.Fatal("MeanInts(nil) != 0")
+	}
+	if got := MeanInts([]int{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("MeanInts = %v", got)
+	}
+}
+
+func TestMaxMinInts(t *testing.T) {
+	if got := MaxInts([]int{3, 9, 2}); got != 9 {
+		t.Fatalf("MaxInts = %d", got)
+	}
+	if got := MinInts([]int{3, 9, 2}); got != 2 {
+		t.Fatalf("MinInts = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MaxInts(nil) did not panic")
+		}
+	}()
+	MaxInts(nil)
+}
+
+func TestDistinctSortedInts(t *testing.T) {
+	cases := []struct {
+		in, want []int
+	}{
+		{nil, nil},
+		{[]int{5}, []int{5}},
+		{[]int{3, 1, 3, 2, 1}, []int{1, 2, 3}},
+		{[]int{7, 8, 9, 7, 8, 9, 8, 8, 7, 9}, []int{7, 8, 9}},
+	}
+	for _, tc := range cases {
+		if got := DistinctSortedInts(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("DistinctSortedInts(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDistinctSortedIntsProperty(t *testing.T) {
+	if err := quick.Check(func(xs []int) bool {
+		got := DistinctSortedInts(xs)
+		if !sort.IntsAreSorted(got) {
+			return false
+		}
+		// Every input value appears, and no others.
+		set := make(map[int]bool, len(xs))
+		for _, v := range xs {
+			set[v] = true
+		}
+		if len(got) != len(set) {
+			return false
+		}
+		for _, v := range got {
+			if !set[v] {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreqInts(t *testing.T) {
+	got := FreqInts([]int{1, 1, 2, 3, 3, 3})
+	want := map[int]int{1: 2, 2: 1, 3: 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("FreqInts = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,510 @@
+// Package storage simulates the paper's second application (Section 1.3):
+// replica/chunk placement in a distributed storage system.
+//
+// Each incoming file is replicated into k copies (or split into k chunks);
+// the (k,d)-choice strategy probes d servers once and stores the k copies
+// on the k least-loaded probed servers. The paper's observations reproduced
+// here:
+//
+//   - With d = k+1 and k = Θ(ln n), (k,d)-choice matches the two-choice
+//     balance at HALF the message cost (d/k ≈ 1 probe per replica vs 2).
+//   - A search retrieving all k chunks costs d = k+1 probes (one probe per
+//     candidate of the single shared sample set), roughly half of the 2k
+//     probes of per-chunk two-choice.
+//
+// Replication semantics: copies of the same file must live on distinct
+// servers to be useful for fault tolerance, so KDPlace probes d DISTINCT
+// servers (sampling without replacement) and picks the k least loaded.
+// Chunk mode (Distinct=false) keeps the paper's multiset rule verbatim.
+// Failure injection kills servers and re-replicates lost copies, verifying
+// the replication factor is restored.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/loadvec"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// PlacementPolicy selects how the k copies of a file are placed.
+type PlacementPolicy int
+
+// Placement policies.
+const (
+	// KDPlace probes D servers once per file and stores the K copies on
+	// the K least-loaded probed servers ((k,d)-choice).
+	KDPlace PlacementPolicy = iota + 1
+	// PerCopyD places every copy independently with DPerCopy-choice.
+	PerCopyD
+	// RandomPlace puts every copy on a uniformly random server.
+	RandomPlace
+)
+
+// String returns the canonical name of the policy.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case KDPlace:
+		return "kd"
+	case PerCopyD:
+		return "per-copy-d"
+	case RandomPlace:
+		return "random"
+	default:
+		return fmt.Sprintf("placement(%d)", int(p))
+	}
+}
+
+// Config describes a storage placement experiment.
+type Config struct {
+	// Servers is the number of storage servers (required, >= 1).
+	Servers int
+	// Files is the number of files to ingest (required, >= 1).
+	Files int
+	// K is the replication factor / chunk count per file (required, >= 1).
+	K int
+	// D is the probes per file for KDPlace (K < D <= Servers).
+	D int
+	// DPerCopy is the probes per copy for PerCopyD (default 2).
+	DPerCopy int
+	// SizeDist draws file sizes; zero value means Deterministic(1), i.e.
+	// balance by object count.
+	SizeDist workload.Dist
+	// ByBytes balances on cumulative bytes instead of object count.
+	ByBytes bool
+	// Distinct forces the copies of one file onto distinct servers
+	// (replication). When false, the paper's multiset rule applies
+	// verbatim (chunk mode). RandomPlace and PerCopyD also honor it.
+	Distinct bool
+	// Policy is the placement policy (required).
+	Policy PlacementPolicy
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.Servers < 1 {
+		return fmt.Errorf("storage: Servers = %d, need >= 1", c.Servers)
+	}
+	if c.Files < 1 {
+		return fmt.Errorf("storage: Files = %d, need >= 1", c.Files)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("storage: K = %d, need >= 1", c.K)
+	}
+	if c.Distinct && c.K > c.Servers {
+		return fmt.Errorf("storage: K = %d distinct copies exceed %d servers", c.K, c.Servers)
+	}
+	switch c.Policy {
+	case KDPlace:
+		if c.D <= c.K {
+			return fmt.Errorf("storage: KDPlace requires D > K, got K=%d D=%d", c.K, c.D)
+		}
+		if c.D > c.Servers {
+			return fmt.Errorf("storage: KDPlace requires D <= Servers, got D=%d servers=%d", c.D, c.Servers)
+		}
+	case PerCopyD:
+		if c.DPerCopy != 0 && (c.DPerCopy < 1 || c.DPerCopy > c.Servers) {
+			return fmt.Errorf("storage: DPerCopy = %d out of range", c.DPerCopy)
+		}
+	case RandomPlace:
+		// No extra parameters.
+	default:
+		return fmt.Errorf("storage: unknown policy %d", int(c.Policy))
+	}
+	return nil
+}
+
+// System is a storage cluster with files placed on servers. Construct with
+// New, ingest with Ingest (or IngestAll), then inspect.
+type System struct {
+	cfg      Config
+	rng      *xrand.Rand
+	objects  []int     // per-server object count
+	bytes    []float64 // per-server byte count
+	alive    []bool
+	files    [][]int // file -> server ids holding its copies
+	sizes    []float64
+	messages int64
+
+	samples []int
+	slots   []placeSlot
+}
+
+type placeSlot struct {
+	server int
+	load   float64
+	tie    uint64
+}
+
+// New validates cfg and returns an empty storage system.
+func New(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == PerCopyD && cfg.DPerCopy == 0 {
+		cfg.DPerCopy = 2
+	}
+	if cfg.SizeDist.Mean() == 0 {
+		cfg.SizeDist = workload.Deterministic(1)
+	}
+	s := &System{
+		cfg:     cfg,
+		rng:     xrand.New(cfg.Seed),
+		objects: make([]int, cfg.Servers),
+		bytes:   make([]float64, cfg.Servers),
+		alive:   make([]bool, cfg.Servers),
+		files:   make([][]int, 0, cfg.Files),
+		sizes:   make([]float64, 0, cfg.Files),
+	}
+	for i := range s.alive {
+		s.alive[i] = true
+	}
+	bufSize := cfg.D
+	if cfg.Policy == PerCopyD && cfg.DPerCopy > bufSize {
+		bufSize = cfg.DPerCopy
+	}
+	if bufSize < 1 {
+		bufSize = 1
+	}
+	s.samples = make([]int, bufSize)
+	s.slots = make([]placeSlot, 0, bufSize)
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// load returns the balancing load of server sv under the configured metric.
+func (s *System) load(sv int) float64 {
+	if s.cfg.ByBytes {
+		return s.bytes[sv]
+	}
+	return float64(s.objects[sv])
+}
+
+// addCopy records one copy of the given size on server sv.
+func (s *System) addCopy(sv int, size float64) {
+	s.objects[sv]++
+	s.bytes[sv] += size
+}
+
+// Ingest places one file and returns its id.
+func (s *System) Ingest() int {
+	size := s.cfg.SizeDist.Sample(s.rng)
+	var servers []int
+	switch s.cfg.Policy {
+	case KDPlace:
+		servers = s.placeKD(s.cfg.K, size, nil)
+	case PerCopyD:
+		servers = s.placePerCopy(s.cfg.K, s.cfg.DPerCopy, size, nil)
+	case RandomPlace:
+		servers = s.placePerCopy(s.cfg.K, 1, size, nil)
+	}
+	id := len(s.files)
+	s.files = append(s.files, servers)
+	s.sizes = append(s.sizes, size)
+	return id
+}
+
+// IngestAll ingests the configured number of files.
+func (s *System) IngestAll() {
+	for i := 0; i < s.cfg.Files; i++ {
+		s.Ingest()
+	}
+}
+
+// placeKD probes d servers once and returns the k least loaded, honoring
+// Distinct and skipping dead servers and any server in exclude.
+func (s *System) placeKD(k int, size float64, exclude []int) []int {
+	d := s.cfg.D
+	s.messages += int64(d)
+	slots := s.slots[:0]
+	if s.cfg.Distinct {
+		// Sample d distinct candidate servers (Floyd), then keep the k
+		// least loaded among the eligible ones.
+		cands := s.rng.SampleWithoutReplacement(s.cfg.Servers, d)
+		for _, sv := range cands {
+			if !s.alive[sv] || contains(exclude, sv) {
+				continue
+			}
+			slots = append(slots, placeSlot{server: sv, load: s.load(sv), tie: s.rng.Uint64()})
+		}
+	} else {
+		// Multiset rule: the i-th sample of a server has height load+i
+		// (in the object metric a copy weighs 1; in bytes it weighs size).
+		s.rng.FillIntn(s.samples[:d], s.cfg.Servers)
+		sort.Ints(s.samples[:d])
+		for i := 0; i < d; {
+			sv := s.samples[i]
+			j := i
+			for j < d && s.samples[j] == sv {
+				j++
+			}
+			if s.alive[sv] && !contains(exclude, sv) {
+				base := s.load(sv)
+				step := 1.0
+				if s.cfg.ByBytes {
+					step = size
+				}
+				for c := 1; c <= j-i; c++ {
+					slots = append(slots, placeSlot{server: sv, load: base + float64(c)*step, tie: s.rng.Uint64()})
+				}
+			}
+			i = j
+		}
+	}
+	sort.Slice(slots, func(a, b int) bool {
+		if slots[a].load != slots[b].load {
+			return slots[a].load < slots[b].load
+		}
+		return slots[a].tie < slots[b].tie
+	})
+	s.slots = slots
+	out := make([]int, 0, k)
+	for _, sl := range slots {
+		if len(out) == k {
+			break
+		}
+		out = append(out, sl.server)
+	}
+	// If the probe set could not supply k copies (dead servers, excludes),
+	// fall back to 1-of-d probes until filled — still counted as messages.
+	for len(out) < k {
+		sv := s.pickFallback(exclude, out)
+		if sv < 0 {
+			break
+		}
+		out = append(out, sv)
+	}
+	for _, sv := range out {
+		s.addCopy(sv, size)
+	}
+	return out
+}
+
+// placePerCopy places k copies, each via dPerCopy-choice among alive
+// servers, honoring Distinct by excluding servers already chosen for this
+// file.
+func (s *System) placePerCopy(k, dPerCopy int, size float64, exclude []int) []int {
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		best := -1
+		for p := 0; p < dPerCopy; p++ {
+			s.messages++
+			sv := s.rng.Intn(s.cfg.Servers)
+			if !s.alive[sv] || contains(exclude, sv) {
+				continue
+			}
+			if s.cfg.Distinct && contains(out, sv) {
+				continue
+			}
+			if best == -1 || s.load(sv) < s.load(best) {
+				best = sv
+			}
+		}
+		if best == -1 {
+			best = s.pickFallback(exclude, out)
+			if best < 0 {
+				break
+			}
+		}
+		out = append(out, best)
+		s.addCopy(best, size)
+	}
+	return out
+}
+
+// pickFallback scans for any eligible alive server (uniformly at random
+// start) when probing failed to find one; returns -1 if none exists.
+func (s *System) pickFallback(exclude, chosen []int) int {
+	start := s.rng.Intn(s.cfg.Servers)
+	for off := 0; off < s.cfg.Servers; off++ {
+		sv := (start + off) % s.cfg.Servers
+		if !s.alive[sv] || contains(exclude, sv) {
+			continue
+		}
+		if s.cfg.Distinct && contains(chosen, sv) {
+			continue
+		}
+		s.messages++
+		return sv
+	}
+	return -1
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// FailServer kills server sv, drops its copies, and re-replicates every
+// affected file onto a new server chosen by 1-of-(d-k+1) probing among
+// alive servers not already holding the file. It returns the number of
+// copies re-replicated. Failing a dead server is a no-op.
+func (s *System) FailServer(sv int) int {
+	if sv < 0 || sv >= s.cfg.Servers || !s.alive[sv] {
+		return 0
+	}
+	s.alive[sv] = false
+	s.objects[sv] = 0
+	s.bytes[sv] = 0
+	moved := 0
+	for fid, servers := range s.files {
+		for i, holder := range servers {
+			if holder != sv {
+				continue
+			}
+			// Re-replicate this copy: exclude the file's other holders.
+			repl := s.replacementFor(fid)
+			if repl >= 0 {
+				servers[i] = repl
+				s.addCopy(repl, s.sizes[fid])
+				moved++
+			} else {
+				// No eligible server; drop the copy (under-replicated).
+				servers[i] = -1
+			}
+		}
+	}
+	return moved
+}
+
+// replacementFor picks a new server for one lost copy of file fid: the
+// least loaded of a few probes among alive servers not already holding the
+// file.
+func (s *System) replacementFor(fid int) int {
+	probes := s.cfg.D - s.cfg.K + 1
+	if probes < 2 {
+		probes = 2
+	}
+	exclude := s.files[fid]
+	best := -1
+	for p := 0; p < probes; p++ {
+		s.messages++
+		sv := s.rng.Intn(s.cfg.Servers)
+		if !s.alive[sv] || contains(exclude, sv) {
+			continue
+		}
+		if best == -1 || s.load(sv) < s.load(best) {
+			best = sv
+		}
+	}
+	if best == -1 {
+		return s.pickFallback(exclude, nil)
+	}
+	return best
+}
+
+// Messages returns the cumulative probe count (the paper's message cost).
+func (s *System) Messages() int64 { return s.messages }
+
+// SearchCost returns the number of probes needed to retrieve all k copies
+// of one file under the configured policy: d for the shared-sample KDPlace
+// (one probe per candidate of the single sample set) versus k·dPerCopy for
+// per-copy placement — the paper's "k+1 vs 2k" comparison when d = k+1 and
+// dPerCopy = 2.
+func (s *System) SearchCost() int {
+	switch s.cfg.Policy {
+	case KDPlace:
+		return s.cfg.D
+	case PerCopyD:
+		return s.cfg.K * s.cfg.DPerCopy
+	default:
+		return s.cfg.K
+	}
+}
+
+// MaxLoad returns the maximum per-server load under the balancing metric.
+func (s *System) MaxLoad() float64 {
+	m := 0.0
+	for sv := range s.objects {
+		if l := s.load(sv); l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// MeanLoad returns the mean per-server load over ALIVE servers.
+func (s *System) MeanLoad() float64 {
+	var o stats.Online
+	for sv := range s.objects {
+		if s.alive[sv] {
+			o.Add(s.load(sv))
+		}
+	}
+	return o.Mean()
+}
+
+// Imbalance returns MaxLoad/MeanLoad (1.0 is perfect balance); 0 when
+// empty.
+func (s *System) Imbalance() float64 {
+	mean := s.MeanLoad()
+	if mean == 0 {
+		return 0
+	}
+	return s.MaxLoad() / mean
+}
+
+// Gini returns the Gini coefficient of the per-server object counts
+// (0 = perfect balance), a scale-free companion to Imbalance.
+func (s *System) Gini() float64 {
+	return loadvec.Vector(s.objects).Gini()
+}
+
+// Objects returns a copy of the per-server object counts.
+func (s *System) Objects() []int {
+	out := make([]int, len(s.objects))
+	copy(out, s.objects)
+	return out
+}
+
+// ReplicationOK reports whether every file still has K live copies on
+// distinct (when configured) servers.
+func (s *System) ReplicationOK() error {
+	for fid, servers := range s.files {
+		if len(servers) != s.cfg.K {
+			return fmt.Errorf("storage: file %d has %d copies, want %d", fid, len(servers), s.cfg.K)
+		}
+		for i, sv := range servers {
+			if sv < 0 {
+				return fmt.Errorf("storage: file %d copy %d was dropped", fid, i)
+			}
+			if !s.alive[sv] {
+				return fmt.Errorf("storage: file %d copy %d on dead server %d", fid, i, sv)
+			}
+			if s.cfg.Distinct {
+				for j := i + 1; j < len(servers); j++ {
+					if servers[j] == sv {
+						return fmt.Errorf("storage: file %d has duplicate server %d", fid, sv)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FileServers returns a copy of the server list currently holding file id.
+func (s *System) FileServers(id int) []int {
+	out := make([]int, len(s.files[id]))
+	copy(out, s.files[id])
+	return out
+}
+
+// Files returns the number of ingested files.
+func (s *System) Files() int { return len(s.files) }

@@ -1,0 +1,99 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextAlignment(t *testing.T) {
+	tb := New("k", "d", "max")
+	tb.AddRow("1", "2", "3, 4")
+	tb.AddRow("128", "193", "2")
+	out := tb.Text()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "k  ") {
+		t.Fatalf("header misaligned: %q", lines[0])
+	}
+	// All rows must be equal width after trailing-space trim differences;
+	// check the rule row covers each column.
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("rule row missing: %q", lines[1])
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tb := New("a", "b")
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3")
+	out := tb.Text()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("overflow cell lost:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("n", "x")
+	tb.AddRowf(42, 3.5)
+	if !strings.Contains(tb.Text(), "42") || !strings.Contains(tb.Text(), "3.5") {
+		t.Fatalf("AddRowf formatting failed:\n%s", tb.Text())
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("k", "d")
+	tb.AddRow("1", "2|3")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| k | d |") {
+		t.Fatalf("markdown header wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Fatalf("markdown rule wrong:\n%s", md)
+	}
+	if !strings.Contains(md, "2\\|3") {
+		t.Fatalf("pipe not escaped:\n%s", md)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("name", "vals")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", "a\"b")
+	csv := tb.CSV()
+	want := "name,vals\nplain,1\n\"with,comma\",\"a\"\"b\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestIntsCell(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want string
+	}{
+		{nil, "-"},
+		{[]int{2}, "2"},
+		{[]int{7, 8, 9}, "7, 8, 9"},
+	}
+	for _, tc := range cases {
+		if got := IntsCell(tc.in); got != tc.want {
+			t.Fatalf("IntsCell(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := New("only")
+	out := tb.Text()
+	if !strings.HasPrefix(out, "only") {
+		t.Fatalf("empty table text:\n%s", out)
+	}
+	if tb.NumRows() != 0 {
+		t.Fatal("empty table has rows")
+	}
+}

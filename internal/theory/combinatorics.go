@@ -1,0 +1,104 @@
+package theory
+
+import "math"
+
+// LogFactorial returns ln(y!) via the log-gamma function.
+func LogFactorial(y int) float64 {
+	if y < 0 {
+		panic("theory: LogFactorial of negative value")
+	}
+	lg, _ := math.Lgamma(float64(y) + 1)
+	return lg
+}
+
+// Factorial returns y! as a float64 (overflows to +Inf around y = 171,
+// which is fine for the tail bounds it feeds).
+func Factorial(y int) float64 {
+	return math.Exp(LogFactorial(y))
+}
+
+// LogChoose returns ln C(n, k); it panics for k < 0 or n < 0 and returns
+// -Inf when k > n (C = 0).
+func LogChoose(n, k int) float64 {
+	if n < 0 || k < 0 {
+		panic("theory: LogChoose with negative arguments")
+	}
+	if k > n {
+		return math.Inf(-1)
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}
+
+// Choose returns C(n, k) as a float64.
+func Choose(n, k int) float64 {
+	return math.Exp(LogChoose(n, k))
+}
+
+// Lemma2Bound returns the Lemma 2 upper bound 8n/y! on µ_y for the single
+// choice process (the number of balls of height at least y).
+func Lemma2Bound(n, y int) float64 {
+	return 8 * float64(n) * math.Exp(-LogFactorial(y))
+}
+
+// Lemma11Bound returns the Lemma 11 lower bound n/(8·y!) on ν_y for the
+// single choice process (the number of bins with at least y balls), which
+// holds with probability 1−exp(−n/(32·y!)).
+func Lemma11Bound(n, y int) float64 {
+	return float64(n) / 8 * math.Exp(-LogFactorial(y))
+}
+
+// Lemma4Bound returns the Lemma 4 tail bound on the number X_r of balls
+// placed with height ≥ y+1 in one round of (k,d)-choice, given that ν_y
+// bins hold at least y balls:
+//
+//	Pr(X_r >= j | ν_y) <= C(d, d−k+j) · (ν_y/n)^{d−k+j}.
+//
+// The returned value is clamped to 1.
+func Lemma4Bound(k, d, n, j int, nuY int) float64 {
+	if j < 1 || j > k {
+		panic("theory: Lemma4Bound requires 1 <= j <= k")
+	}
+	exp := d - k + j
+	p := math.Exp(LogChoose(d, exp) + float64(exp)*math.Log(float64(nuY)/float64(n)))
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// BetaSequence returns the Theorem 4 layered-induction sequence
+//
+//	β₀ = n/(6·d_k),   β_{i+1} = 6·(n/k)·C(d, d−k+1)·(β_i/n)^{d−k+1},
+//
+// truncated at the first i with β_i < 6·ln n (the proof's i*), always
+// including that final below-threshold element so callers can see the
+// crossing. The sequence decreases doubly exponentially — the heart of the
+// upper-bound proof.
+func BetaSequence(k, d, n int) []float64 {
+	beta := []float64{float64(n) / (6 * Dk(k, d))}
+	threshold := 6 * math.Log(float64(n))
+	logC := LogChoose(d, d-k+1)
+	for beta[len(beta)-1] >= threshold && len(beta) < 64 {
+		cur := beta[len(beta)-1]
+		next := 6 * float64(n) / float64(k) *
+			math.Exp(logC+float64(d-k+1)*math.Log(cur/float64(n)))
+		beta = append(beta, next)
+	}
+	return beta
+}
+
+// IStar returns the proof's i*: the largest i with BetaSequence[i] >=
+// 6 ln n, i.e. the number of doubly-exponential shrinking steps available
+// before the union bound takes over. Theorem 4 shows i* <= ln ln n /
+// ln(d−k+1).
+func IStar(k, d, n int) int {
+	beta := BetaSequence(k, d, n)
+	threshold := 6 * math.Log(float64(n))
+	istar := 0
+	for i, b := range beta {
+		if b >= threshold {
+			istar = i
+		}
+	}
+	return istar
+}

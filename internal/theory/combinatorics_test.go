@@ -1,0 +1,181 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogFactorial(t *testing.T) {
+	cases := []struct {
+		y    int
+		want float64
+	}{
+		{0, 0}, {1, 0}, {2, math.Log(2)}, {5, math.Log(120)}, {10, math.Log(3628800)},
+	}
+	for _, tc := range cases {
+		if got := LogFactorial(tc.y); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("LogFactorial(%d) = %v, want %v", tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestLogFactorialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LogFactorial(-1)
+}
+
+func TestFactorial(t *testing.T) {
+	if got := Factorial(6); math.Abs(got-720) > 1e-6 {
+		t.Fatalf("Factorial(6) = %v", got)
+	}
+	if !math.IsInf(Factorial(200), 1) {
+		t.Fatal("Factorial(200) should overflow to +Inf")
+	}
+}
+
+func TestChoose(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 2, 10}, {10, 0, 1}, {10, 10, 1}, {17, 9, 24310}, {193, 2, 18528},
+	}
+	for _, tc := range cases {
+		if got := Choose(tc.n, tc.k); math.Abs(got-tc.want)/tc.want > 1e-9 {
+			t.Fatalf("Choose(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+	if Choose(3, 5) != 0 {
+		t.Fatal("Choose(3,5) should be 0")
+	}
+}
+
+func TestChoosePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LogChoose(-1, 0)
+}
+
+func TestChooseSymmetryProperty(t *testing.T) {
+	if err := quick.Check(func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		k := int(kRaw) % (n + 1)
+		a, b := Choose(n, k), Choose(n, n-k)
+		return math.Abs(a-b) <= 1e-6*math.Max(a, 1)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoosePascalProperty(t *testing.T) {
+	// C(n,k) = C(n-1,k-1) + C(n-1,k) for 1 <= k <= n-1.
+	if err := quick.Check(func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		k := int(kRaw)%(n-1) + 1
+		lhs := Choose(n, k)
+		rhs := Choose(n-1, k-1) + Choose(n-1, k)
+		return math.Abs(lhs-rhs) <= 1e-6*lhs
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemmaBounds(t *testing.T) {
+	n := 1 << 16
+	// Lemma 2: 8n/y! decreasing in y; at y=1 it is 8n.
+	if got := Lemma2Bound(n, 1); got != 8*float64(n) {
+		t.Fatalf("Lemma2Bound(n,1) = %v", got)
+	}
+	if Lemma2Bound(n, 5) >= Lemma2Bound(n, 4) {
+		t.Fatal("Lemma2Bound not decreasing")
+	}
+	// Lemma 11 is 1/64 of Lemma 2 at equal y.
+	ratio := Lemma11Bound(n, 3) / Lemma2Bound(n, 3)
+	if math.Abs(ratio-1.0/64.0) > 1e-12 {
+		t.Fatalf("bound ratio = %v, want 1/64", ratio)
+	}
+}
+
+func TestLemma4Bound(t *testing.T) {
+	n := 1 << 12
+	// Bound is a probability: in [0, 1].
+	for j := 1; j <= 3; j++ {
+		p := Lemma4Bound(3, 4, n, j, n/8)
+		if p < 0 || p > 1 {
+			t.Fatalf("Lemma4Bound j=%d out of range: %v", j, p)
+		}
+	}
+	// Decreasing in j (higher overflow counts are rarer).
+	if Lemma4Bound(3, 4, n, 2, n/8) > Lemma4Bound(3, 4, n, 1, n/8) {
+		t.Fatal("Lemma4Bound not decreasing in j")
+	}
+	// Increasing in nu_y.
+	if Lemma4Bound(3, 4, n, 1, n/16) > Lemma4Bound(3, 4, n, 1, n/4) {
+		t.Fatal("Lemma4Bound not increasing in nu_y")
+	}
+	// Clamped to 1 when nu_y = n.
+	if Lemma4Bound(1, 2, n, 1, n) != 1 {
+		t.Fatal("Lemma4Bound should clamp to 1")
+	}
+}
+
+func TestLemma4BoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Lemma4Bound(3, 4, 100, 0, 10)
+}
+
+func TestBetaSequence(t *testing.T) {
+	n := 1 << 16
+	beta := BetaSequence(1, 2, n)
+	if len(beta) < 2 {
+		t.Fatalf("sequence too short: %v", beta)
+	}
+	// β0 = n/(6 d_k) with d_k = 2.
+	if math.Abs(beta[0]-float64(n)/12) > 1e-9 {
+		t.Fatalf("beta0 = %v", beta[0])
+	}
+	// Strictly decreasing, and the last element is below the threshold.
+	for i := 1; i < len(beta); i++ {
+		if beta[i] >= beta[i-1] {
+			t.Fatalf("beta not decreasing at %d: %v", i, beta)
+		}
+	}
+	if beta[len(beta)-1] >= 6*math.Log(float64(n)) {
+		t.Fatal("sequence did not cross the 6 ln n threshold")
+	}
+}
+
+func TestIStarMatchesTheorem(t *testing.T) {
+	// Theorem 4: i* <= ln ln n / ln(d-k+1) (up to rounding at finite n).
+	for _, tc := range []struct{ k, d int }{{1, 2}, {2, 4}, {1, 5}, {4, 8}} {
+		for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+			istar := IStar(tc.k, tc.d, n)
+			bound := LnLn(n)/math.Log(float64(tc.d-tc.k+1)) + 2
+			if float64(istar) > bound {
+				t.Fatalf("IStar(%d,%d,%d) = %d exceeds theorem bound %.2f",
+					tc.k, tc.d, n, istar, bound)
+			}
+		}
+	}
+}
+
+func TestIStarGrowsWithN(t *testing.T) {
+	// More bins -> more shrinking steps available (weakly).
+	a := IStar(1, 2, 1<<10)
+	b := IStar(1, 2, 1<<20)
+	if b < a {
+		t.Fatalf("IStar decreased with n: %d -> %d", a, b)
+	}
+}

@@ -1,0 +1,197 @@
+// Package theory computes the paper's theoretical quantities: the parameter
+// d_k = d/(d−k), the Theorem 1 / Corollary 1 / Theorem 2 bound terms, the
+// message-cost formulas, and the regime classification used to interpret
+// experiments. All bounds are asymptotic with unspecified O(1)/o(1) terms,
+// so these functions return the leading terms; experiment code compares
+// shapes (growth, ordering, crossovers) rather than absolute values.
+package theory
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dk returns d_k = d / (d - k), the paper's central parameter: d_k is O(1)
+// in the d-choice-like regime and grows as k approaches d (single-choice
+// limit). It panics unless 1 <= k < d.
+func Dk(k, d int) float64 {
+	if k < 1 || d <= k {
+		panic(fmt.Sprintf("theory: Dk requires 1 <= k < d, got k=%d d=%d", k, d))
+	}
+	return float64(d) / float64(d-k)
+}
+
+// LnLn returns ln ln n, clamped to 0 for n <= e (ln ln of small n is
+// negative or undefined and every bound in the paper is stated for n → ∞).
+func LnLn(n int) float64 {
+	if n <= 2 {
+		return 0
+	}
+	l := math.Log(float64(n))
+	if l <= 1 {
+		return 0
+	}
+	return math.Log(l)
+}
+
+// GapTerm returns ln ln n / ln(d-k+1) — the load-difference term
+// (B_1 − B_{β0}) in Theorem 1, which reduces to the classical d-choice
+// bound ln ln n / ln d when k = 1.
+func GapTerm(k, d, n int) float64 {
+	if d-k+1 < 2 {
+		return math.Inf(1) // d = k: no filtering power
+	}
+	return LnLn(n) / math.Log(float64(d-k+1))
+}
+
+// CrowdTerm returns ln d_k / ln ln d_k — the B_{β0} term of Theorem 1(ii).
+// The expression is asymptotic in d_k; at finite parameters the denominator
+// is clamped to >= 1 so the term stays finite and monotone (for d_k <= e,
+// where the paper's case (i) applies anyway, the term is 0).
+func CrowdTerm(k, d int) float64 {
+	dk := Dk(k, d)
+	if dk <= math.E {
+		return 0
+	}
+	ln := math.Log(dk)
+	lnln := math.Log(ln)
+	if lnln < 1 {
+		lnln = 1
+	}
+	return ln / lnln
+}
+
+// MaxLoadUpper returns the leading term of the Theorem 1 upper bound on the
+// maximum load M(k,d,n): GapTerm + CrowdTerm. The true bound adds O(1)
+// (case i) or a (1+o(1)) factor on the crowd term (case ii).
+func MaxLoadUpper(k, d, n int) float64 {
+	return GapTerm(k, d, n) + CrowdTerm(k, d)
+}
+
+// SingleChoiceMaxLoad returns the classical (1+o(1)) ln n / ln ln n leading
+// term for single choice (Raab–Steger / ref [15]).
+func SingleChoiceMaxLoad(n int) float64 {
+	if n <= 2 {
+		return 1
+	}
+	return math.Log(float64(n)) / LnLn(n)
+}
+
+// Regime labels the asymptotic regime of a (k,d) pair at a given n.
+type Regime int
+
+// Regimes of Theorem 1 and Corollary 1.
+const (
+	// RegimeDChoiceLike: d_k = O(1) — Theorem 1(i), max load
+	// ln ln n / ln(d-k+1) + O(1).
+	RegimeDChoiceLike Regime = iota + 1
+	// RegimeMixed: d_k → ∞ but below the Corollary 1 threshold — both
+	// Theorem 1(ii) terms matter.
+	RegimeMixed
+	// RegimeSingleLike: d_k >= e^{(ln ln n)^3} — Corollary 1, max load
+	// (1 ± o(1)) ln d_k / ln ln d_k.
+	RegimeSingleLike
+)
+
+// String returns a short label for the regime.
+func (r Regime) String() string {
+	switch r {
+	case RegimeDChoiceLike:
+		return "d-choice-like"
+	case RegimeMixed:
+		return "mixed"
+	case RegimeSingleLike:
+		return "single-like"
+	default:
+		return fmt.Sprintf("regime(%d)", int(r))
+	}
+}
+
+// Classify returns the Theorem 1 regime of (k, d) at n. The O(1)-vs-∞
+// distinction is necessarily heuristic at finite n; the cutoffs follow the
+// paper: d_k constant (<= 8) is d-choice-like, d_k above e^{(ln ln n)^3} is
+// single-like, anything between is mixed.
+func Classify(k, d, n int) Regime {
+	dk := Dk(k, d)
+	if dk <= 8 {
+		return RegimeDChoiceLike
+	}
+	lll := LnLn(n)
+	if dk >= math.Exp(lll*lll*lll) {
+		return RegimeSingleLike
+	}
+	return RegimeMixed
+}
+
+// Messages returns the total message cost of (k,d)-choice placing m balls
+// into n bins: d probes per round over ceil(m/k) rounds. The paper's
+// sweet-spot observations — 2n messages with d = 2k and (1+o(1))n messages
+// with d = k + Θ(ln n), k = Θ(ln² n) — follow from this formula.
+func Messages(k, d, m int) int64 {
+	if k < 1 {
+		panic("theory: Messages requires k >= 1")
+	}
+	rounds := (m + k - 1) / k
+	return int64(rounds) * int64(d)
+}
+
+// MessagesPerBall returns the amortized probe count per ball, d/k.
+func MessagesPerBall(k, d int) float64 {
+	return float64(d) / float64(k)
+}
+
+// Beta0 returns β₀ = n/(6 d_k), the sorted-load-vector checkpoint of the
+// upper-bound analysis (Theorem 3 / Figure 1): B_{β0} is bounded by the
+// crowd term.
+func Beta0(k, d, n int) int {
+	b := float64(n) / (6 * Dk(k, d))
+	if b < 1 {
+		return 1
+	}
+	return int(b)
+}
+
+// GammaStar returns γ* = 4n/d_k, the lower-bound checkpoint (Theorem 6 /
+// Figure 2): B_{γ*} ≥ (1−o(1)) ln d_k / ln ln d_k when d_k → ∞.
+func GammaStar(k, d, n int) int {
+	g := 4 * float64(n) / Dk(k, d)
+	if g < 1 {
+		return 1
+	}
+	if g > float64(n) {
+		return n
+	}
+	return int(g)
+}
+
+// Gamma0 returns γ₀ = n/d, the checkpoint of the lower-bound load-difference
+// analysis (Theorem 7).
+func Gamma0(d, n int) int {
+	g := n / d
+	if g < 1 {
+		return 1
+	}
+	return g
+}
+
+// HeavyGapUpper returns the Theorem 2 upper-bound leading term on the load
+// above average for m > n balls with d >= 2k: ln ln n / ln floor(d/k).
+func HeavyGapUpper(k, d, n int) float64 {
+	q := d / k
+	if q < 2 {
+		return math.Inf(1) // Theorem 2 requires d >= 2k
+	}
+	return LnLn(n) / math.Log(float64(q))
+}
+
+// HeavyGapLower returns the Theorem 2 lower-bound leading term:
+// ln ln n / ln(d-k+1).
+func HeavyGapLower(k, d, n int) float64 {
+	return GapTerm(k, d, n)
+}
+
+// TwoChoiceMaxLoad returns the classical ln ln n / ln 2 + Θ(1) leading term
+// for d = 2 (Azar et al.), a frequent comparison point in Table 1.
+func TwoChoiceMaxLoad(n int) float64 {
+	return LnLn(n) / math.Ln2
+}

@@ -1,0 +1,241 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDk(t *testing.T) {
+	cases := []struct {
+		k, d int
+		want float64
+	}{
+		{1, 2, 2},
+		{1, 193, 193.0 / 192.0},
+		{2, 3, 3},
+		{192, 193, 193},
+		{64, 128, 2},
+	}
+	for _, tc := range cases {
+		if got := Dk(tc.k, tc.d); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("Dk(%d,%d) = %v, want %v", tc.k, tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestDkPanics(t *testing.T) {
+	for _, tc := range []struct{ k, d int }{{0, 2}, {2, 2}, {3, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Dk(%d,%d) did not panic", tc.k, tc.d)
+				}
+			}()
+			Dk(tc.k, tc.d)
+		}()
+	}
+}
+
+func TestLnLn(t *testing.T) {
+	if got := LnLn(2); got != 0 {
+		t.Fatalf("LnLn(2) = %v", got)
+	}
+	n := 1 << 16
+	want := math.Log(math.Log(float64(n)))
+	if got := LnLn(n); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("LnLn(%d) = %v, want %v", n, got, want)
+	}
+	// Monotone non-decreasing.
+	prev := 0.0
+	for _, n := range []int{2, 3, 10, 100, 10000, 1 << 20} {
+		got := LnLn(n)
+		if got < prev {
+			t.Fatalf("LnLn not monotone at %d", n)
+		}
+		prev = got
+	}
+}
+
+func TestGapTermReducesToDChoice(t *testing.T) {
+	// k=1: gap term must equal ln ln n / ln d, the Azar et al. bound.
+	n := 1 << 16
+	for _, d := range []int{2, 3, 5} {
+		want := LnLn(n) / math.Log(float64(d))
+		if got := GapTerm(1, d, n); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("GapTerm(1,%d) = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestGapTermInfiniteWhenNoFiltering(t *testing.T) {
+	if got := GapTerm(2, 2, 100); !math.IsInf(got, 1) {
+		t.Fatalf("GapTerm(k=d) = %v, want +Inf", got)
+	}
+}
+
+func TestCrowdTermGrowsWithDk(t *testing.T) {
+	// For d = k+1, d_k = d, so the crowd term grows like ln d / ln ln d
+	// (with the denominator clamped at 1, the term is monotone throughout).
+	prev := 0.0
+	for _, k := range []int{4, 16, 64, 256, 1024} {
+		got := CrowdTerm(k, k+1)
+		if got < prev {
+			t.Fatalf("CrowdTerm not monotone at k=%d: %v < %v", k, got, prev)
+		}
+		prev = got
+	}
+	// Small d_k: term is suppressed.
+	if got := CrowdTerm(1, 2); got != 0 {
+		t.Fatalf("CrowdTerm(1,2) = %v, want 0", got)
+	}
+}
+
+func TestMaxLoadUpperComposition(t *testing.T) {
+	n := 1 << 18
+	if got, want := MaxLoadUpper(1, 2, n), GapTerm(1, 2, n); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MaxLoadUpper(1,2) = %v, want gap term %v", got, want)
+	}
+	k, d := 192, 193
+	sum := GapTerm(k, d, n) + CrowdTerm(k, d)
+	if got := MaxLoadUpper(k, d, n); math.Abs(got-sum) > 1e-12 {
+		t.Fatalf("MaxLoadUpper = %v, want %v", got, sum)
+	}
+}
+
+func TestSingleChoiceMaxLoad(t *testing.T) {
+	n := 3 * (1 << 16)
+	got := SingleChoiceMaxLoad(n)
+	// ln(196608)/lnln(196608) = 12.19/2.50 ~ 4.9; the O(1)-free leading
+	// term undershoots the observed 7-9, as expected for a leading term.
+	if got < 4 || got > 6 {
+		t.Fatalf("SingleChoiceMaxLoad(%d) = %v, outside [4,6]", n, got)
+	}
+	if SingleChoiceMaxLoad(2) != 1 {
+		t.Fatal("degenerate n should return 1")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	n := 3 * (1 << 16)
+	cases := []struct {
+		k, d int
+		want Regime
+	}{
+		{1, 2, RegimeDChoiceLike},
+		{2, 3, RegimeDChoiceLike},
+		{8, 9, RegimeMixed},     // d_k = 9 > 8
+		{192, 193, RegimeMixed}, // d_k = 193, threshold e^{2.5^3} ~ e^15.6 >> 193
+		{1, 193, RegimeDChoiceLike},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.k, tc.d, n); got != tc.want {
+			t.Fatalf("Classify(%d,%d) = %v, want %v", tc.k, tc.d, got, tc.want)
+		}
+	}
+	// Tiny n has (ln ln n)^3 ~ 0, so large d_k goes single-like.
+	if got := Classify(63, 64, 16); got != RegimeSingleLike {
+		t.Fatalf("Classify(63,64,16) = %v, want single-like", got)
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	for _, r := range []Regime{RegimeDChoiceLike, RegimeMixed, RegimeSingleLike} {
+		if r.String() == "" {
+			t.Fatal("empty regime label")
+		}
+	}
+	if Regime(42).String() == "" {
+		t.Fatal("unknown regime should still print")
+	}
+}
+
+func TestMessages(t *testing.T) {
+	// The paper's sweet spot: d = 2k gives exactly 2n messages when k | n.
+	n := 1 << 16
+	k := 256
+	if got := Messages(k, 2*k, n); got != int64(2*n) {
+		t.Fatalf("Messages(k,2k,n) = %d, want %d", got, 2*n)
+	}
+	// Partial round rounds up.
+	if got := Messages(4, 8, 10); got != 3*8 {
+		t.Fatalf("Messages partial = %d, want 24", got)
+	}
+	// Single choice equivalent: k=1, d=1.
+	if got := Messages(1, 1, 100); got != 100 {
+		t.Fatalf("Messages(1,1,100) = %d", got)
+	}
+}
+
+func TestMessagesPerBall(t *testing.T) {
+	if got := MessagesPerBall(128, 193); math.Abs(got-193.0/128.0) > 1e-12 {
+		t.Fatalf("MessagesPerBall = %v", got)
+	}
+}
+
+func TestCheckpointsSane(t *testing.T) {
+	n := 1 << 16
+	for _, tc := range []struct{ k, d int }{{1, 2}, {2, 3}, {8, 9}, {192, 193}} {
+		b0 := Beta0(tc.k, tc.d, n)
+		gs := GammaStar(tc.k, tc.d, n)
+		g0 := Gamma0(tc.d, n)
+		if b0 < 1 || b0 > n {
+			t.Fatalf("Beta0(%d,%d) = %d out of range", tc.k, tc.d, b0)
+		}
+		if gs < 1 || gs > n {
+			t.Fatalf("GammaStar(%d,%d) = %d out of range", tc.k, tc.d, gs)
+		}
+		if g0 < 1 || g0 > n {
+			t.Fatalf("Gamma0(%d) = %d out of range", tc.d, g0)
+		}
+		// γ* = 4n/d_k and β0 = n/(6 d_k): γ* = 24 β0 > β0.
+		if gs <= b0 {
+			t.Fatalf("GammaStar %d should exceed Beta0 %d", gs, b0)
+		}
+	}
+}
+
+func TestHeavyGapBounds(t *testing.T) {
+	n := 1 << 16
+	// d >= 2k: upper and lower leading terms are finite and ordered
+	// (ln(d-k+1) >= ln floor(d/k) for d >= 2k... check a concrete case).
+	lo := HeavyGapLower(2, 6, n) // lnln n / ln 5
+	hi := HeavyGapUpper(2, 6, n) // lnln n / ln 3
+	if lo > hi {
+		t.Fatalf("heavy-gap lower %v exceeds upper %v", lo, hi)
+	}
+	if !math.IsInf(HeavyGapUpper(3, 4, n), 1) {
+		t.Fatal("HeavyGapUpper should be +Inf for d < 2k")
+	}
+}
+
+func TestHeavyGapOrderingProperty(t *testing.T) {
+	// For all valid (k, d >= 2k): floor(d/k) <= d-k+1, so the lower leading
+	// term never exceeds the upper one.
+	if err := quick.Check(func(kRaw, dRaw uint8) bool {
+		k := int(kRaw%16) + 1
+		d := 2*k + int(dRaw%16)
+		n := 1 << 16
+		return HeavyGapLower(k, d, n) <= HeavyGapUpper(k, d, n)+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoChoiceMaxLoad(t *testing.T) {
+	n := 3 * (1 << 16)
+	got := TwoChoiceMaxLoad(n)
+	// lnln(196608)/ln2 ~ 3.6; Table 1 reports 3-4 for two-choice.
+	if got < 3 || got > 4.5 {
+		t.Fatalf("TwoChoiceMaxLoad = %v", got)
+	}
+}
+
+func TestMessagesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Messages(0,...) did not panic")
+		}
+	}()
+	Messages(0, 1, 10)
+}

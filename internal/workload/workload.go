@@ -1,0 +1,131 @@
+// Package workload provides the shared workload generators for the
+// application substrates: arrival processes and size/duration
+// distributions. The paper's applications (cluster job scheduling and
+// distributed storage, Section 1.3) are exercised with exponential,
+// heavy-tailed (Pareto), uniform and deterministic workloads.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Dist is a non-negative scalar distribution (task durations, file sizes).
+type Dist struct {
+	kind  distKind
+	mean  float64
+	alpha float64 // Pareto shape
+	xm    float64 // Pareto scale
+	lo    float64 // Uniform low
+	hi    float64 // Uniform high
+}
+
+type distKind int
+
+const (
+	distDeterministic distKind = iota + 1
+	distExponential
+	distPareto
+	distUniform
+)
+
+// Deterministic returns a distribution that always yields v (v >= 0).
+func Deterministic(v float64) Dist {
+	if v < 0 {
+		panic("workload: Deterministic with negative value")
+	}
+	return Dist{kind: distDeterministic, mean: v}
+}
+
+// Exponential returns an exponential distribution with the given mean > 0.
+func Exponential(mean float64) Dist {
+	if mean <= 0 {
+		panic("workload: Exponential with non-positive mean")
+	}
+	return Dist{kind: distExponential, mean: mean}
+}
+
+// Pareto returns a Pareto distribution with shape alpha > 1 scaled so its
+// mean is the given value. Heavy-tailed: smaller alpha means heavier tail.
+func Pareto(alpha, mean float64) Dist {
+	if alpha <= 1 {
+		panic("workload: Pareto requires alpha > 1 for a finite mean")
+	}
+	if mean <= 0 {
+		panic("workload: Pareto with non-positive mean")
+	}
+	// mean = alpha*xm/(alpha-1)  =>  xm = mean*(alpha-1)/alpha.
+	return Dist{kind: distPareto, mean: mean, alpha: alpha, xm: mean * (alpha - 1) / alpha}
+}
+
+// Uniform returns the uniform distribution on [lo, hi), 0 <= lo < hi.
+func Uniform(lo, hi float64) Dist {
+	if lo < 0 || hi <= lo {
+		panic("workload: Uniform requires 0 <= lo < hi")
+	}
+	return Dist{kind: distUniform, mean: (lo + hi) / 2, lo: lo, hi: hi}
+}
+
+// Mean returns the distribution mean.
+func (d Dist) Mean() float64 { return d.mean }
+
+// Sample draws one value using r.
+func (d Dist) Sample(r *xrand.Rand) float64 {
+	switch d.kind {
+	case distDeterministic:
+		return d.mean
+	case distExponential:
+		return r.Exponential(d.mean)
+	case distPareto:
+		return r.Pareto(d.alpha, d.xm)
+	case distUniform:
+		return d.lo + r.Float64()*(d.hi-d.lo)
+	default:
+		panic("workload: Sample on zero-value Dist; use a constructor")
+	}
+}
+
+// String describes the distribution.
+func (d Dist) String() string {
+	switch d.kind {
+	case distDeterministic:
+		return fmt.Sprintf("det(%g)", d.mean)
+	case distExponential:
+		return fmt.Sprintf("exp(mean=%g)", d.mean)
+	case distPareto:
+		return fmt.Sprintf("pareto(alpha=%g,mean=%g)", d.alpha, d.mean)
+	case distUniform:
+		return fmt.Sprintf("uniform[%g,%g)", d.lo, d.hi)
+	default:
+		return "dist(uninitialized)"
+	}
+}
+
+// Arrivals is a Poisson arrival process with the given rate (events per
+// unit time).
+type Arrivals struct {
+	rate float64
+	rng  *xrand.Rand
+}
+
+// NewArrivals creates a Poisson arrival process. It panics if rate <= 0 or
+// rng is nil.
+func NewArrivals(rate float64, rng *xrand.Rand) *Arrivals {
+	if rate <= 0 || math.IsNaN(rate) {
+		panic("workload: NewArrivals with non-positive rate")
+	}
+	if rng == nil {
+		panic("workload: NewArrivals with nil rng")
+	}
+	return &Arrivals{rate: rate, rng: rng}
+}
+
+// Next returns the next exponential interarrival time.
+func (a *Arrivals) Next() float64 {
+	return a.rng.Exponential(1 / a.rate)
+}
+
+// Rate returns the arrival rate.
+func (a *Arrivals) Rate() float64 { return a.rate }

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func sampleMean(d Dist, n int, seed uint64) float64 {
+	r := xrand.New(seed)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	return sum / float64(n)
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic(3.5)
+	r := xrand.New(1)
+	for i := 0; i < 10; i++ {
+		if got := d.Sample(r); got != 3.5 {
+			t.Fatalf("Sample = %v", got)
+		}
+	}
+	if d.Mean() != 3.5 {
+		t.Fatalf("Mean = %v", d.Mean())
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential(2.0)
+	got := sampleMean(d, 100000, 2)
+	if math.Abs(got-2.0) > 0.05 {
+		t.Fatalf("exp sample mean %v, want ~2", got)
+	}
+}
+
+func TestParetoMeanAndScale(t *testing.T) {
+	d := Pareto(2.5, 4.0)
+	got := sampleMean(d, 200000, 3)
+	if math.Abs(got-4.0)/4.0 > 0.05 {
+		t.Fatalf("pareto sample mean %v, want ~4", got)
+	}
+	// Samples never fall below xm = mean*(alpha-1)/alpha = 2.4.
+	r := xrand.New(4)
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(r); v < 2.4-1e-9 {
+			t.Fatalf("pareto sample %v below scale", v)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	d := Uniform(1, 3)
+	if d.Mean() != 2 {
+		t.Fatalf("Mean = %v", d.Mean())
+	}
+	r := xrand.New(5)
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(r)
+		if v < 1 || v >= 3 {
+			t.Fatalf("uniform sample %v out of range", v)
+		}
+	}
+	got := sampleMean(d, 100000, 6)
+	if math.Abs(got-2.0) > 0.02 {
+		t.Fatalf("uniform sample mean %v", got)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Deterministic(-1) },
+		func() { Exponential(0) },
+		func() { Pareto(1, 1) },
+		func() { Pareto(2, 0) },
+		func() { Uniform(-1, 2) },
+		func() { Uniform(2, 2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZeroValueDistPanics(t *testing.T) {
+	var d Dist
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-value Dist Sample did not panic")
+		}
+	}()
+	d.Sample(xrand.New(1))
+}
+
+func TestDistString(t *testing.T) {
+	cases := []struct {
+		d    Dist
+		want string
+	}{
+		{Deterministic(1), "det"},
+		{Exponential(2), "exp"},
+		{Pareto(2, 3), "pareto"},
+		{Uniform(0, 1), "uniform"},
+		{Dist{}, "uninitialized"},
+	}
+	for _, tc := range cases {
+		if !strings.Contains(tc.d.String(), tc.want) {
+			t.Fatalf("String %q does not mention %q", tc.d.String(), tc.want)
+		}
+	}
+}
+
+func TestArrivals(t *testing.T) {
+	a := NewArrivals(4.0, xrand.New(7))
+	if a.Rate() != 4.0 {
+		t.Fatalf("Rate = %v", a.Rate())
+	}
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := a.Next()
+		if v < 0 {
+			t.Fatalf("negative interarrival %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.25) > 0.01 {
+		t.Fatalf("interarrival mean %v, want ~0.25", mean)
+	}
+}
+
+func TestArrivalsPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewArrivals(0, xrand.New(1)) },
+		func() { NewArrivals(1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,239 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExponentialMoments(t *testing.T) {
+	r := New(21)
+	const draws = 200000
+	const mean = 3.5
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		v := r.Exponential(mean)
+		if v < 0 {
+			t.Fatalf("Exponential returned negative value %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / draws
+	if math.Abs(m-mean)/mean > 0.02 {
+		t.Fatalf("Exponential mean %.4f, want about %.1f", m, mean)
+	}
+	variance := sumSq/draws - m*m
+	if math.Abs(variance-mean*mean)/(mean*mean) > 0.05 {
+		t.Fatalf("Exponential variance %.4f, want about %.2f", variance, mean*mean)
+	}
+}
+
+func TestExponentialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exponential(0) did not panic")
+		}
+	}()
+	New(1).Exponential(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(22)
+	const draws = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Fatalf("NormFloat64 mean %.4f, want about 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Fatalf("NormFloat64 variance %.4f, want about 1", variance)
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	r := New(23)
+	const alpha, xm = 3.0, 2.0
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		v := r.Pareto(alpha, xm)
+		if v < xm {
+			t.Fatalf("Pareto sample %v below scale %v", v, xm)
+		}
+		sum += v
+	}
+	wantMean := alpha * xm / (alpha - 1)
+	mean := sum / draws
+	if math.Abs(mean-wantMean)/wantMean > 0.03 {
+		t.Fatalf("Pareto mean %.4f, want about %.4f", mean, wantMean)
+	}
+}
+
+func TestParetoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pareto(0, 1) did not panic")
+		}
+	}()
+	New(1).Pareto(0, 1)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := New(24)
+	for _, mean := range []float64{0.5, 3, 12, 30, 80, 250} {
+		const draws = 60000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			v := float64(r.Poisson(mean))
+			if v < 0 {
+				t.Fatalf("Poisson(%v) returned negative %v", mean, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / draws
+		variance := sumSq/draws - m*m
+		if math.Abs(m-mean)/mean > 0.03 {
+			t.Fatalf("Poisson(%v) mean %.4f", mean, m)
+		}
+		if math.Abs(variance-mean)/mean > 0.06 {
+			t.Fatalf("Poisson(%v) variance %.4f", mean, variance)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	r := New(25)
+	if v := r.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", v)
+	}
+}
+
+func TestPoissonPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Poisson(-1) did not panic")
+		}
+	}()
+	New(1).Poisson(-1)
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(26)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10, 0.5}, {64, 0.1}, {500, 0.02}, {500, 0.4}, {2000, 0.001},
+	}
+	for _, tc := range cases {
+		const draws = 40000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			v := r.Binomial(tc.n, tc.p)
+			if v < 0 || v > tc.n {
+				t.Fatalf("Binomial(%d, %v) out of range: %d", tc.n, tc.p, v)
+			}
+			f := float64(v)
+			sum += f
+			sumSq += f * f
+		}
+		wantMean := float64(tc.n) * tc.p
+		m := sum / draws
+		if math.Abs(m-wantMean) > 0.05*wantMean+0.05 {
+			t.Fatalf("Binomial(%d, %v) mean %.4f, want about %.4f", tc.n, tc.p, m, wantMean)
+		}
+		wantVar := wantMean * (1 - tc.p)
+		variance := sumSq/draws - m*m
+		if math.Abs(variance-wantVar) > 0.08*wantVar+0.08 {
+			t.Fatalf("Binomial(%d, %v) variance %.4f, want about %.4f", tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(27)
+	if v := r.Binomial(0, 0.5); v != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", v)
+	}
+	if v := r.Binomial(100, 0); v != 0 {
+		t.Fatalf("Binomial(100, 0) = %d", v)
+	}
+	if v := r.Binomial(100, 1); v != 100 {
+		t.Fatalf("Binomial(100, 1) = %d", v)
+	}
+}
+
+func TestBinomialPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Binomial(-1, .5) did not panic")
+		}
+	}()
+	New(1).Binomial(-1, 0.5)
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := New(28)
+	const imax = 999
+	z := NewZipf(r, 1.5, 1, imax)
+	const draws = 100000
+	counts := make([]int, imax+1)
+	for i := 0; i < draws; i++ {
+		v := z.Uint64()
+		if v > imax {
+			t.Fatalf("Zipf sample %d exceeds imax %d", v, imax)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate, and frequencies should decay.
+	if counts[0] <= counts[1] || counts[1] <= counts[10] {
+		t.Fatalf("Zipf frequencies not decaying: c0=%d c1=%d c10=%d", counts[0], counts[1], counts[10])
+	}
+	// P(X=0) for s=1.5, v=1 is 1/zeta-ish; just require it is substantial.
+	if float64(counts[0])/draws < 0.3 {
+		t.Fatalf("Zipf P(0) = %.3f, suspiciously small", float64(counts[0])/draws)
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf with s=1 did not panic")
+		}
+	}()
+	NewZipf(New(1), 1.0, 1, 10)
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = r.Intn(196608)
+	}
+	_ = sink
+}
+
+func BenchmarkExponential(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Exponential(1)
+	}
+	_ = sink
+}

@@ -1,0 +1,74 @@
+package xrand
+
+// Kolmogorov–Smirnov shape tests for the variate generators, using the
+// stats substrate's KS machinery. Seeds are fixed, so the tests are
+// deterministic; the critical values are at alpha = 0.001 to keep a large
+// safety margin over sampling noise.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func ksCheck(t *testing.T, name string, sample []float64, cdf func(float64) float64) {
+	t.Helper()
+	d := stats.KolmogorovSmirnov(sample, cdf)
+	crit := stats.KSCriticalValue(len(sample), 0.001)
+	if d > crit {
+		t.Fatalf("%s: KS statistic %.5f exceeds critical value %.5f (n=%d)", name, d, crit, len(sample))
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	r := New(101)
+	sample := make([]float64, 20000)
+	for i := range sample {
+		sample[i] = r.Float64()
+	}
+	ksCheck(t, "Float64", sample, func(x float64) float64 {
+		return math.Min(1, math.Max(0, x))
+	})
+}
+
+func TestKSExponential(t *testing.T) {
+	r := New(102)
+	const mean = 2.0
+	sample := make([]float64, 20000)
+	for i := range sample {
+		sample[i] = r.Exponential(mean)
+	}
+	ksCheck(t, "Exponential", sample, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x/mean)
+	})
+}
+
+func TestKSNormal(t *testing.T) {
+	r := New(103)
+	sample := make([]float64, 20000)
+	for i := range sample {
+		sample[i] = r.NormFloat64()
+	}
+	ksCheck(t, "NormFloat64", sample, func(x float64) float64 {
+		return 0.5 * math.Erfc(-x/math.Sqrt2)
+	})
+}
+
+func TestKSPareto(t *testing.T) {
+	r := New(104)
+	const alpha, xm = 2.5, 1.5
+	sample := make([]float64, 20000)
+	for i := range sample {
+		sample[i] = r.Pareto(alpha, xm)
+	}
+	ksCheck(t, "Pareto", sample, func(x float64) float64 {
+		if x < xm {
+			return 0
+		}
+		return 1 - math.Pow(xm/x, alpha)
+	})
+}

@@ -1,0 +1,179 @@
+// Package xrand provides a fast, deterministic pseudo-random number
+// generator and the sampling primitives used throughout the repository.
+//
+// The paper ("A Generalization of Multiple Choice Balls-into-Bins: Tight
+// Bounds", Park, PODC'11) only states that "a pseudo random number generator
+// is used to sample d random bins in each round"; this package is the
+// concrete substitute. It implements xoshiro256** seeded through splitmix64,
+// which has a 2^256-1 period and passes the standard statistical batteries,
+// and layers unbiased bounded integers, permutations and the variate
+// generators needed by the workload models on top of it.
+//
+// Every generator is explicitly seeded, so any experiment in this repository
+// can be reproduced bit-for-bit from its root seed. Generators are NOT safe
+// for concurrent use; derive one per goroutine with NewStream.
+package xrand
+
+import "math/bits"
+
+// Rand is a deterministic pseudo-random number generator (xoshiro256**).
+// The zero value is not usable; construct with New or NewStream.
+type Rand struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the given state and returns the next splitmix64 output.
+// It is the recommended seeding procedure for the xoshiro family: it
+// guarantees the xoshiro state is never all-zero and decorrelates similar
+// seeds.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator deterministically derived from seed.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the state derived from seed.
+func (r *Rand) Seed(seed uint64) {
+	st := seed
+	r.s0 = splitmix64(&st)
+	r.s1 = splitmix64(&st)
+	r.s2 = splitmix64(&st)
+	r.s3 = splitmix64(&st)
+}
+
+// NewStream returns the id-th of 2^64 independent generators derived from a
+// root seed. Streams with distinct (seed, id) pairs are statistically
+// independent for all practical purposes because the combined 128 bits are
+// diffused through splitmix64 before seeding.
+func NewStream(seed, id uint64) *Rand {
+	st := seed
+	mixed := splitmix64(&st) ^ (id * 0xda942042e4dd58b5)
+	return New(splitmix64(&mixed))
+}
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Uint64n returns a uniformly distributed value in [0, n). It panics if
+// n == 0. The implementation is Lemire's nearly-divisionless bounded
+// generation, which is unbiased.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Int63 returns a non-negative 63-bit value, mirroring math/rand.Int63.
+func (r *Rand) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniformly distributed value in [0, 1) with 53 random
+// bits of mantissa.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool returns true with probability 1/2.
+func (r *Rand) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the provided swap
+// function (Fisher–Yates). It panics if n < 0.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("xrand: Shuffle with n < 0")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// FillIntn fills dst with independent uniform draws from [0, n). This is the
+// hot-path primitive used to sample the d candidate bins of a round without
+// per-round allocation.
+func (r *Rand) FillIntn(dst []int, n int) {
+	for i := range dst {
+		dst[i] = r.Intn(n)
+	}
+}
+
+// SampleWithoutReplacement returns m distinct uniform values from [0, n)
+// using Floyd's algorithm. It panics if m > n or m < 0. The result order is
+// randomized.
+func (r *Rand) SampleWithoutReplacement(n, m int) []int {
+	if m < 0 || m > n {
+		panic("xrand: SampleWithoutReplacement with m out of range")
+	}
+	chosen := make(map[int]struct{}, m)
+	out := make([]int, 0, m)
+	for j := n - m; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

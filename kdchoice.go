@@ -1,0 +1,223 @@
+// Package kdchoice is a library for the (k,d)-choice balanced-allocation
+// process and its classical relatives, reproducing "A Generalization of
+// Multiple Choice Balls-into-Bins: Tight Bounds" (Gahyun Park; brief
+// announcement in PODC'11, full version arXiv:1201.3310).
+//
+// In the (k,d)-choice process, n balls are placed into n bins over n/k
+// rounds: each round samples d bins independently and uniformly at random
+// (with replacement) and places k < d balls into the k least-loaded sampled
+// bins, where a bin sampled m times receives at most m balls. Choosing k
+// and d trades maximum load against message cost (total bins probed):
+//
+//   - d = 2k with k = Θ(polylog n): constant maximum load at 2n messages;
+//   - d − k = Θ(ln n) with k ≥ Θ(ln² n): o(ln ln n) maximum load at
+//     (1+o(1))n messages;
+//   - k = 1: the classical d-choice of Azar et al.;
+//   - k = d−1 with large d: approaches classical single choice.
+//
+// The package exposes the allocation processes (Allocator), the paper's
+// theoretical bound terms (Dk, PredictMaxLoad, ...), and a deterministic
+// multi-run simulation helper (Simulate). Application-level simulations
+// built on the same core — cluster job scheduling and distributed storage,
+// the paper's Section 1.3 — are exercised by the example programs and
+// benchmark harness in this repository.
+//
+// All randomness is drawn from explicitly seeded deterministic generators:
+// the same configuration and seed always reproduce the same results.
+package kdchoice
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Policy selects the allocation process run by an Allocator.
+type Policy int
+
+// Supported allocation policies.
+const (
+	// KDChoice is the paper's (k,d)-choice process (default).
+	KDChoice Policy = iota + 1
+	// Serialized is Aσ(k,d), the serialized (k,d)-choice of Definition 1;
+	// it is distributionally equivalent to KDChoice for every σ
+	// (Property (i)) and exists for experimentation.
+	Serialized
+	// DChoice is the classical d-choice process (k = 1) of Azar et al.
+	DChoice
+	// SingleChoice is the classical single-choice process.
+	SingleChoice
+	// OnePlusBeta is the (1+β)-choice process of Peres, Talwar and Wieder.
+	OnePlusBeta
+	// AlwaysGoLeft is Vöcking's asymmetric d-choice process.
+	AlwaysGoLeft
+	// AdaptiveKD is the paper's Section 7 water-filling variant.
+	AdaptiveKD
+	// StaleBatch is the parallel-allocation baseline: the K balls of a
+	// round probe independently (D probes each) against round-start loads
+	// with no information sharing — the model the paper's intro contrasts
+	// (k,d)-choice against.
+	StaleBatch
+	// DynamicKD adapts k per round (the paper's Section 7 future-work
+	// sketch): every sampled slot at or below the running ceiling
+	// floor(m/n)+1 receives a ball.
+	DynamicKD
+)
+
+// String returns the canonical short name of the policy.
+func (p Policy) String() string {
+	if cp, err := p.toCore(); err == nil {
+		return cp.String()
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+func (p Policy) toCore() (core.Policy, error) {
+	switch p {
+	case KDChoice:
+		return core.KDChoice, nil
+	case Serialized:
+		return core.SerializedKD, nil
+	case DChoice:
+		return core.DChoice, nil
+	case SingleChoice:
+		return core.SingleChoice, nil
+	case OnePlusBeta:
+		return core.OnePlusBeta, nil
+	case AlwaysGoLeft:
+		return core.AlwaysGoLeft, nil
+	case AdaptiveKD:
+		return core.AdaptiveKD, nil
+	case StaleBatch:
+		return core.StaleBatch, nil
+	case DynamicKD:
+		return core.DynamicKD, nil
+	default:
+		return 0, fmt.Errorf("kdchoice: unknown policy %d", int(p))
+	}
+}
+
+// Config fully describes an Allocator. The zero value is not valid: Bins
+// must be positive and K/D set for the round-based policies (New applies
+// defaults where documented).
+type Config struct {
+	// Bins is the number of bins n (required, >= 1).
+	Bins int
+	// K is the number of balls per round (KDChoice, Serialized,
+	// AdaptiveKD).
+	K int
+	// D is the number of probes per round (all multi-choice policies).
+	D int
+	// Policy selects the process; zero value means KDChoice.
+	Policy Policy
+	// Seed makes the allocator deterministic; allocators with equal
+	// Config produce identical sequences.
+	Seed uint64
+	// Beta is the two-choice probability for OnePlusBeta (in [0, 1]).
+	Beta float64
+	// Sigma is a fixed serialization permutation of {0..K-1} for the
+	// Serialized policy (nil = identity).
+	Sigma []int
+	// RandomSigma draws a fresh random σ every round (Serialized).
+	RandomSigma bool
+}
+
+// Allocator runs one allocation process instance. Construct with New or
+// NewKD. Not safe for concurrent use; run one Allocator per goroutine.
+type Allocator struct {
+	pr  *core.Process
+	cfg Config
+}
+
+// New creates an Allocator from cfg.
+func New(cfg Config) (*Allocator, error) {
+	if cfg.Policy == 0 {
+		cfg.Policy = KDChoice
+	}
+	cp, err := cfg.Policy.toCore()
+	if err != nil {
+		return nil, err
+	}
+	params := core.Params{
+		N:           cfg.Bins,
+		K:           cfg.K,
+		D:           cfg.D,
+		Beta:        cfg.Beta,
+		Sigma:       cfg.Sigma,
+		RandomSigma: cfg.RandomSigma,
+	}
+	pr, err := core.New(cp, params, newRNG(cfg.Seed))
+	if err != nil {
+		return nil, fmt.Errorf("kdchoice: %w", err)
+	}
+	return &Allocator{pr: pr, cfg: cfg}, nil
+}
+
+// NewKD creates a (k,d)-choice allocator over n bins — the common case.
+func NewKD(n, k, d int, seed uint64) (*Allocator, error) {
+	return New(Config{Bins: n, K: k, D: d, Seed: seed})
+}
+
+// Config returns the configuration the allocator was built with.
+func (a *Allocator) Config() Config { return a.cfg }
+
+// Place places m more balls (m >= 0). For round-based policies a final
+// partial round is used when the round size does not divide m.
+func (a *Allocator) Place(m int) error {
+	if m < 0 {
+		return fmt.Errorf("kdchoice: Place(%d): ball count must be non-negative", m)
+	}
+	a.pr.Place(m)
+	return nil
+}
+
+// PlaceAll places one ball per bin (the paper's canonical n-balls-into-
+// n-bins experiment).
+func (a *Allocator) PlaceAll() {
+	a.pr.Place(a.pr.N())
+}
+
+// Round advances the process by one full round (K balls for round-based
+// policies, 1 ball otherwise).
+func (a *Allocator) Round() { a.pr.Round() }
+
+// N returns the number of bins.
+func (a *Allocator) N() int { return a.pr.N() }
+
+// Balls returns the number of balls placed.
+func (a *Allocator) Balls() int { return a.pr.Balls() }
+
+// Rounds returns the number of completed rounds.
+func (a *Allocator) Rounds() int { return a.pr.Rounds() }
+
+// MaxLoad returns the current maximum bin load — the quantity bounded by
+// the paper's Theorem 1 and Theorem 2.
+func (a *Allocator) MaxLoad() int { return a.pr.MaxLoad() }
+
+// Gap returns max load minus average load, the heavily-loaded-case metric.
+func (a *Allocator) Gap() float64 { return a.pr.Gap() }
+
+// Messages returns the cumulative message cost (total bins probed).
+func (a *Allocator) Messages() int64 { return a.pr.Messages() }
+
+// Load returns the load of bin id (0-based).
+func (a *Allocator) Load(bin int) int {
+	if bin < 0 || bin >= a.pr.N() {
+		return 0
+	}
+	return a.pr.Load(bin)
+}
+
+// Loads returns a copy of the per-bin load vector.
+func (a *Allocator) Loads() []int { return a.pr.Loads() }
+
+// SortedLoads returns the loads in decreasing order, so SortedLoads()[x-1]
+// is B_x in the paper's notation (the x-th most loaded bin).
+func (a *Allocator) SortedLoads() []int { return a.pr.Loads().Sorted() }
+
+// BinsWithAtLeast returns ν_y: the number of bins holding at least y balls.
+func (a *Allocator) BinsWithAtLeast(y int) int { return a.pr.NuY(y) }
+
+// Reset empties all bins and zeroes the counters without rewinding the
+// random stream, giving an independent fresh run.
+func (a *Allocator) Reset() { a.pr.Reset() }

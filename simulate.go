@@ -1,0 +1,67 @@
+package kdchoice
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// SimResult aggregates repeated independent runs of one configuration.
+type SimResult struct {
+	// MaxLoads holds the maximum load of each run.
+	MaxLoads []int
+	// DistinctMax is the sorted set of distinct maximum loads — the
+	// summary format of the paper's Table 1 cells (e.g. "7, 8, 9").
+	DistinctMax []int
+	// MeanMax is the mean of MaxLoads.
+	MeanMax float64
+	// MeanGap is the mean of (max − average) load over runs.
+	MeanGap float64
+	// MeanMessages is the mean per-run message cost.
+	MeanMessages float64
+}
+
+// Simulate runs the configured process `runs` times, placing `balls` balls
+// per run (0 means Bins, the canonical n-into-n experiment), with
+// independent deterministic random streams derived from cfg.Seed. It is
+// the programmatic equivalent of one Table 1 cell.
+func Simulate(cfg Config, balls, runs int) (*SimResult, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("kdchoice: Simulate needs runs >= 1, got %d", runs)
+	}
+	if balls < 0 {
+		return nil, fmt.Errorf("kdchoice: Simulate needs balls >= 0, got %d", balls)
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = KDChoice
+	}
+	cp, err := cfg.Policy.toCore()
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(sim.Config{
+		Policy: cp,
+		Params: core.Params{
+			N:           cfg.Bins,
+			K:           cfg.K,
+			D:           cfg.D,
+			Beta:        cfg.Beta,
+			Sigma:       cfg.Sigma,
+			RandomSigma: cfg.RandomSigma,
+		},
+		Balls: balls,
+		Runs:  runs,
+		Seed:  cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kdchoice: %w", err)
+	}
+	return &SimResult{
+		MaxLoads:     res.MaxLoads,
+		DistinctMax:  res.DistinctMax(),
+		MeanMax:      res.MaxStats().Mean(),
+		MeanGap:      res.GapStats().Mean(),
+		MeanMessages: res.MeanMessages(),
+	}, nil
+}

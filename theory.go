@@ -1,0 +1,47 @@
+package kdchoice
+
+import (
+	"repro/internal/theory"
+	"repro/internal/xrand"
+)
+
+// newRNG constructs the deterministic generator used by Allocators.
+func newRNG(seed uint64) *xrand.Rand { return xrand.New(seed) }
+
+// Dk returns the paper's central parameter d_k = d/(d−k): small constant
+// d_k means d-choice-like behavior, d_k → ∞ means single-choice-like
+// behavior. It panics unless 1 <= k < d.
+func Dk(k, d int) float64 { return theory.Dk(k, d) }
+
+// PredictMaxLoad returns the leading term of the Theorem 1 upper bound on
+// the maximum load of (k,d)-choice with n balls in n bins:
+//
+//	ln ln n / ln(d−k+1)  +  ln d_k / ln ln d_k  (second term when d_k > e).
+//
+// The exact bound carries an additive O(1) (Theorem 1(i)) or a (1+o(1))
+// factor (Theorem 1(ii)); use this to compare shapes, not absolutes.
+func PredictMaxLoad(k, d, n int) float64 { return theory.MaxLoadUpper(k, d, n) }
+
+// PredictGapTerm returns ln ln n / ln(d−k+1), the B_1 − B_{β0} term of
+// Theorem 1. For k = 1 it is the classical d-choice bound ln ln n / ln d.
+func PredictGapTerm(k, d, n int) float64 { return theory.GapTerm(k, d, n) }
+
+// PredictCrowdTerm returns ln d_k / ln ln d_k, the B_{β0} term of
+// Theorem 1(ii), which dominates in the single-choice-like regime
+// (Corollary 1).
+func PredictCrowdTerm(k, d int) float64 { return theory.CrowdTerm(k, d) }
+
+// PredictSingleChoice returns the classical single-choice leading term
+// ln n / ln ln n.
+func PredictSingleChoice(n int) float64 { return theory.SingleChoiceMaxLoad(n) }
+
+// MessageCost returns the total probes issued by (k,d)-choice placing m
+// balls: d per round over ceil(m/k) rounds. The paper's tradeoffs — 2n
+// messages at d = 2k, (1+o(1))n messages at d = k + Θ(ln n) — follow
+// directly.
+func MessageCost(k, d, m int) int64 { return theory.Messages(k, d, m) }
+
+// Regime labels the Theorem 1 regime of a (k,d) pair at a given n:
+// "d-choice-like" (d_k = O(1)), "mixed", or "single-like"
+// (d_k ≥ e^{(ln ln n)^3}, Corollary 1).
+func Regime(k, d, n int) string { return theory.Classify(k, d, n).String() }
