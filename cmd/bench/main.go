@@ -1,0 +1,200 @@
+// Command bench runs the repository's tracked performance grid and writes
+// the results to BENCH_kd.json, the benchmark trajectory future PRs regress
+// against.
+//
+// Each cell of the grid benchmarks one allocation process configuration
+// (n, k, d, policy) through the public API, measuring ns per round, heap
+// allocations per round, and placement throughput in balls per second. The
+// grid also times the (k,d)-choice acceptance cell (n = 1e5, k = 2, d = 64)
+// on both slot-selection kernels and reports the fast-vs-sort speedup.
+//
+// Usage:
+//
+//	bench [-out BENCH_kd.json] [-quick]
+//
+// -quick shrinks the grid to tiny cells (for smoke tests); tracked results
+// should always come from the full grid, e.g. via `scripts/ci.sh bench`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	kdchoice "repro"
+)
+
+// cell is one grid entry.
+type cell struct {
+	Name string
+	Cfg  kdchoice.Config
+}
+
+// result is the serialized outcome of one cell.
+type result struct {
+	Name            string  `json:"name"`
+	Policy          string  `json:"policy"`
+	N               int     `json:"n"`
+	K               int     `json:"k,omitempty"`
+	D               int     `json:"d,omitempty"`
+	ReferenceSelect bool    `json:"reference_select,omitempty"`
+	NsPerRound      float64 `json:"ns_per_round"`
+	BytesPerRound   int64   `json:"bytes_per_round"`
+	AllocsPerRound  int64   `json:"allocs_per_round"`
+	BallsPerRound   float64 `json:"balls_per_round"`
+	BallsPerSec     float64 `json:"balls_per_sec"`
+}
+
+// report is the BENCH_kd.json schema.
+type report struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Grid      []result `json:"grid"`
+	// SpeedupFastVsSort is ns/round(sort kernel) / ns/round(fast kernel)
+	// on the n=1e5, k=2, d=64 acceptance cell; the floor is 1.5.
+	SpeedupFastVsSort float64 `json:"speedup_fast_vs_sort_n1e5_k2_d64,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// cellName derives the canonical cell name from its configuration, so
+// names can never disagree with the recorded parameters (quick mode
+// shrinks n, and the names shrink with it). Grid configs always set
+// Policy explicitly, so no defaulting logic is duplicated here.
+func cellName(cfg kdchoice.Config) string {
+	policy := cfg.Policy
+	name := fmt.Sprintf("%v/n=%d", policy, cfg.Bins)
+	if policy == kdchoice.KDChoice {
+		kernel := "fast"
+		if cfg.ReferenceSelect {
+			kernel = "sort"
+		}
+		name = fmt.Sprintf("kd/%s/n=%d", kernel, cfg.Bins)
+	}
+	if cfg.K > 0 {
+		name += fmt.Sprintf(",k=%d", cfg.K)
+	}
+	if cfg.D > 0 {
+		name += fmt.Sprintf(",d=%d", cfg.D)
+	}
+	if cfg.Beta > 0 {
+		name += fmt.Sprintf(",beta=%g", cfg.Beta)
+	}
+	return name
+}
+
+// grid returns the tracked benchmark cells. The first two cells are the
+// kernel-ablation pair the speedup criterion is computed from.
+func grid(quick bool) []cell {
+	n, small := 100000, 10000
+	if quick {
+		n, small = 2048, 512
+	}
+	configs := []kdchoice.Config{
+		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice},
+		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, ReferenceSelect: true},
+		{Bins: n, K: 8, D: 16, Seed: 1, Policy: kdchoice.KDChoice},
+		{Bins: n, K: 128, D: 192, Seed: 1, Policy: kdchoice.KDChoice},
+		{Bins: small, K: 2, D: 4, Seed: 1, Policy: kdchoice.KDChoice},
+		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.Serialized},
+		{Bins: n, D: 2, Seed: 1, Policy: kdchoice.DChoice},
+		{Bins: n, Seed: 1, Policy: kdchoice.SingleChoice},
+		{Bins: n, Beta: 0.5, Seed: 1, Policy: kdchoice.OnePlusBeta},
+		{Bins: n, K: 8, D: 2, Seed: 1, Policy: kdchoice.StaleBatch},
+	}
+	cells := make([]cell, len(configs))
+	for i, cfg := range configs {
+		cells[i] = cell{Name: cellName(cfg), Cfg: cfg}
+	}
+	return cells
+}
+
+// runCell benchmarks one cell: steady-state rounds through the public API.
+func runCell(c cell) (result, error) {
+	probe, err := kdchoice.New(c.Cfg)
+	if err != nil {
+		return result{}, fmt.Errorf("cell %s: %w", c.Name, err)
+	}
+	// New normalizes the config (zero Policy means KDChoice), so the
+	// stored Config carries the canonical policy name.
+	policy := probe.Config().Policy.String()
+	var ballsPerRound float64
+	br := testing.Benchmark(func(b *testing.B) {
+		alloc, err := kdchoice.New(c.Cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm to steady state (~1 ball per bin) so scratch buffers are
+		// grown and the load vector is realistic.
+		alloc.PlaceAll()
+		b.ReportAllocs()
+		b.ResetTimer()
+		start := alloc.Balls()
+		for i := 0; i < b.N; i++ {
+			alloc.Round()
+		}
+		ballsPerRound = float64(alloc.Balls()-start) / float64(b.N)
+	})
+	ns := float64(br.NsPerOp())
+	res := result{
+		Name:            c.Name,
+		Policy:          policy,
+		N:               c.Cfg.Bins,
+		K:               c.Cfg.K,
+		D:               c.Cfg.D,
+		ReferenceSelect: c.Cfg.ReferenceSelect,
+		NsPerRound:      ns,
+		BytesPerRound:   br.AllocedBytesPerOp(),
+		AllocsPerRound:  br.AllocsPerOp(),
+		BallsPerRound:   ballsPerRound,
+	}
+	if ns > 0 {
+		res.BallsPerSec = ballsPerRound * 1e9 / ns
+	}
+	return res, nil
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	outPath := fs.String("out", "BENCH_kd.json", "output JSON path (empty: stdout only)")
+	quick := fs.Bool("quick", false, "tiny cells for smoke testing (do not commit quick results)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep := report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	for _, c := range grid(*quick) {
+		res, err := runCell(c)
+		if err != nil {
+			return err
+		}
+		rep.Grid = append(rep.Grid, res)
+		fmt.Fprintf(out, "%-32s %12.0f ns/round %8.1f balls/round %14.0f balls/sec %3d allocs\n",
+			res.Name, res.NsPerRound, res.BallsPerRound, res.BallsPerSec, res.AllocsPerRound)
+	}
+	if rep.Grid[0].NsPerRound > 0 {
+		rep.SpeedupFastVsSort = rep.Grid[1].NsPerRound / rep.Grid[0].NsPerRound
+		fmt.Fprintf(out, "fast-vs-sort speedup (%s): %.2fx\n", rep.Grid[0].Name, rep.SpeedupFastVsSort)
+	}
+	if *outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	return nil
+}

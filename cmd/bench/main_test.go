@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	kdchoice "repro"
+)
+
+func TestGridShape(t *testing.T) {
+	for _, quick := range []bool{false, true} {
+		cells := grid(quick)
+		if len(cells) < 8 {
+			t.Fatalf("quick=%v: grid has %d cells, want >= 8", quick, len(cells))
+		}
+		// The first two cells must be the kernel-ablation pair the speedup
+		// is computed from: same shape, fast vs reference kernel.
+		a, b := cells[0].Cfg, cells[1].Cfg
+		if a.ReferenceSelect || !b.ReferenceSelect {
+			t.Fatalf("quick=%v: cells 0/1 are not the fast/sort pair", quick)
+		}
+		if a.Bins != b.Bins || a.K != b.K || a.D != b.D {
+			t.Fatalf("quick=%v: ablation pair shapes differ: %+v vs %+v", quick, a, b)
+		}
+		for _, c := range cells {
+			if _, err := kdchoice.New(c.Cfg); err != nil {
+				t.Fatalf("cell %s has invalid config: %v", c.Name, err)
+			}
+			if !strings.Contains(c.Name, fmt.Sprintf("n=%d", c.Cfg.Bins)) {
+				t.Fatalf("cell name %q does not reflect its bin count %d", c.Name, c.Cfg.Bins)
+			}
+			if c.Cfg.Policy == 0 || strings.Contains(c.Name, "policy(") {
+				t.Fatalf("cell %q must set Policy explicitly (cellName does no defaulting)", c.Name)
+			}
+		}
+	}
+}
+
+func TestRunCell(t *testing.T) {
+	res, err := runCell(cell{"kd/tiny", kdchoice.Config{Bins: 512, K: 2, D: 8, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NsPerRound <= 0 {
+		t.Fatalf("ns/round = %v", res.NsPerRound)
+	}
+	if res.BallsPerRound != 2 {
+		t.Fatalf("balls/round = %v, want 2 (k)", res.BallsPerRound)
+	}
+	if res.AllocsPerRound != 0 {
+		t.Fatalf("steady-state rounds allocated: %d allocs/round", res.AllocsPerRound)
+	}
+	if res.BallsPerSec <= 0 {
+		t.Fatalf("balls/sec = %v", res.BallsPerSec)
+	}
+}
+
+func TestRunQuickWritesReport(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-out", outPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Fatalf("summary missing speedup line:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Grid) != len(grid(true)) {
+		t.Fatalf("report has %d cells, want %d", len(rep.Grid), len(grid(true)))
+	}
+	if rep.SpeedupFastVsSort <= 0 {
+		t.Fatal("speedup not recorded")
+	}
+	if rep.GoVersion == "" {
+		t.Fatal("go version not recorded")
+	}
+	for _, res := range rep.Grid {
+		if strings.Contains(res.Policy, "policy(") {
+			t.Fatalf("cell %s recorded unnormalized policy name %q", res.Name, res.Policy)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}

@@ -120,6 +120,13 @@ type Params struct {
 	// RandomSigma makes SerializedKD draw a fresh uniformly random σ_r each
 	// round (overrides Sigma).
 	RandomSigma bool
+	// ReferenceSelect switches the round-based policies (KDChoice,
+	// SerializedKD) to the reference sort-based slot-selection kernel
+	// instead of the default O(d + k log k) counting kernel. Both kernels
+	// consume the random stream identically and induce the same allocation
+	// law (see select.go); the reference kernel exists as the oracle for
+	// equivalence testing and debugging.
+	ReferenceSelect bool
 }
 
 // Observer receives a callback after every round. It is intended for tests
@@ -151,10 +158,18 @@ type Process struct {
 
 	// Reused per-round buffers (never escape a round).
 	samples  []int
+	sortBuf  []int // bin-sorted copy of samples (reference kernel)
 	slots    []slot
-	ranked   []int // slot indexes ordered by rank (SerializedKD)
 	sigmaBuf []int
 	cands    []int // distinct candidate bins (AdaptiveKD)
+
+	// Scratch for the counting selection kernel (select.go). mult and hist
+	// are zeroed outside their touched entries between rounds.
+	mult    []int32 // per-bin sample multiplicity (len N)
+	touched []int   // distinct bins sampled this round
+	hist    []int32 // height histogram over the round's dense window
+	sel     []slot  // selected slots, ranked
+	bnd     []slot  // boundary-height tie cohort
 
 	// SAx0 bookkeeping: loadCount[y] = number of bins with load exactly y.
 	loadCount []int
@@ -247,8 +262,19 @@ func New(policy Policy, p Params, rng *xrand.Rand) (*Process, error) {
 	}
 	if d := p.D; d > 0 {
 		pr.samples = make([]int, d)
+		pr.sortBuf = make([]int, d)
 		pr.slots = make([]slot, 0, d)
-		pr.ranked = make([]int, 0, d)
+	}
+	if policy == KDChoice || policy == SerializedKD {
+		d := p.D
+		pr.mult = make([]int32, p.N)
+		pr.touched = make([]int, 0, d)
+		// The counting window covers every height pattern whose sampled
+		// loads span less than ~2d; wider spreads (extreme imbalance) fall
+		// back to the reference sort inside fastSelect.
+		pr.hist = make([]int32, 2*d+16)
+		pr.sel = make([]slot, 0, d)
+		pr.bnd = make([]slot, 0, d)
 	}
 	if policy == SerializedKD {
 		pr.sigmaBuf = make([]int, p.K)

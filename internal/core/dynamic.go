@@ -22,7 +22,7 @@ package core
 // placed.
 func (pr *Process) roundDynamic(maxPlace int) int {
 	pr.rng.FillIntn(pr.samples, len(pr.loads))
-	pr.makeSlots()
+	pr.makeSlots(pr.rng.Uint64())
 	sortSlots(pr.slots)
 	target := pr.balls/len(pr.loads) + 1
 	toPlace := 0

@@ -341,7 +341,7 @@ func TestMakeSlotsHeights(t *testing.T) {
 	pr := MustNew(KDChoice, Params{N: 6, K: 2, D: 5}, xrand.New(1))
 	pr.loads = []int{2, 0, 1, 0, 0, 0}
 	copy(pr.samples, []int{0, 0, 2, 1, 0})
-	pr.makeSlots()
+	pr.makeSlots(1)
 	// Sorted samples: 0,0,0,1,2 -> slots: bin0 h3,h4,h5; bin1 h1; bin2 h2.
 	type hs struct{ bin, height int }
 	want := []hs{{0, 3}, {0, 4}, {0, 5}, {1, 1}, {2, 2}}

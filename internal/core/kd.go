@@ -1,17 +1,17 @@
 package core
 
-import "sort"
-
 // roundKD executes one round of the (k,d)-choice process, placing toPlace
 // balls (toPlace = k except possibly in a final partial round).
 //
 // Implementation of the paper's disambiguated policy: the d samples are
 // materialized as slots, where the i-th sample of bin b this round has
 // height load(b)+i; the toPlace slots of minimum height survive, with ties
-// between bins broken uniformly at random (per-slot random keys). Because
-// same-bin slot heights are consecutive and distinct, the surviving slots of
-// any bin always form a prefix of its slots, which is exactly the rule "a
-// bin sampled m times receives at most m balls".
+// between bins broken uniformly at random. Because same-bin slot heights
+// are consecutive and distinct, the surviving slots of any bin always form
+// a prefix of its slots, which is exactly the rule "a bin sampled m times
+// receives at most m balls". Slot selection is delegated to the kernel in
+// select.go (counting selection by default, full sort with
+// Params.ReferenceSelect).
 func (pr *Process) roundKD(toPlace int) {
 	pr.rng.FillIntn(pr.samples, len(pr.loads))
 	pr.roundKDFromSamples(toPlace)
@@ -21,14 +21,10 @@ func (pr *Process) roundKD(toPlace int) {
 // seam that lets tests replay the paper's worked scenarios with fixed
 // samples.
 func (pr *Process) roundKDFromSamples(toPlace int) {
-	pr.makeSlots()
-	sortSlots(pr.slots)
-	if toPlace > len(pr.slots) {
-		toPlace = len(pr.slots)
-	}
-	placed, heights := pr.beginObs(toPlace)
-	for s := 0; s < toPlace; s++ {
-		b := pr.slots[s].bin
+	sel := pr.rankSelect(toPlace)
+	placed, heights := pr.beginObs(len(sel))
+	for s := range sel {
+		b := sel[s].bin
 		h := pr.place(b)
 		if placed != nil {
 			placed[s] = b
@@ -46,11 +42,8 @@ func (pr *Process) roundKDFromSamples(toPlace int) {
 // the per-ball height labels) differs — this is Property (i).
 func (pr *Process) roundSerialized(toPlace int) {
 	pr.rng.FillIntn(pr.samples, len(pr.loads))
-	pr.makeSlots()
-	sortSlots(pr.slots)
-	if toPlace > len(pr.slots) {
-		toPlace = len(pr.slots)
-	}
+	sel := pr.rankSelect(toPlace)
+	toPlace = len(sel)
 	sigma := pr.sigmaBuf
 	if pr.p.RandomSigma {
 		for i := range sigma {
@@ -67,7 +60,7 @@ func (pr *Process) roundSerialized(toPlace int) {
 		if rank >= toPlace {
 			continue
 		}
-		b := pr.slots[rank].bin
+		b := sel[rank].bin
 		h := pr.place(b)
 		if placed != nil {
 			placed[j] = b
@@ -131,29 +124,6 @@ func (pr *Process) roundAdaptive(toPlace int) {
 	pr.notify(pr.samples, placed, heights)
 }
 
-// makeSlots materializes the round's slots (heights and tie-break keys)
-// from the current pr.samples. The samples buffer is left sorted by bin id
-// (sorting groups duplicates so heights can be assigned); observers receive
-// this sorted order.
-func (pr *Process) makeSlots() {
-	d := pr.p.D
-	sort.Ints(pr.samples)
-	slots := pr.slots[:0]
-	for i := 0; i < d; {
-		b := pr.samples[i]
-		j := i
-		for j < d && pr.samples[j] == b {
-			j++
-		}
-		load := pr.loads[b]
-		for c := 1; c <= j-i; c++ {
-			slots = append(slots, slot{bin: b, height: load + c, tie: pr.rng.Uint64()})
-		}
-		i = j
-	}
-	pr.slots = slots
-}
-
 // beginObs returns per-round observation buffers (nil when no observer is
 // installed, keeping the hot path allocation-free).
 func (pr *Process) beginObs(toPlace int) (placed, heights []int) {
@@ -165,69 +135,4 @@ func (pr *Process) beginObs(toPlace int) (placed, heights []int) {
 		pr.obsHeights = make([]int, toPlace)
 	}
 	return pr.obsPlaced[:toPlace], pr.obsHeights[:toPlace]
-}
-
-// sortSlots orders slots by (height, tie) ascending. Hand-rolled hybrid
-// quicksort/insertion sort: zero allocations and no interface calls on the
-// hot path.
-func sortSlots(s []slot) {
-	for len(s) > 12 {
-		p := partitionSlots(s)
-		if p < len(s)-p-1 {
-			sortSlots(s[:p])
-			s = s[p+1:]
-		} else {
-			sortSlots(s[p+1:])
-			s = s[:p]
-		}
-	}
-	// Insertion sort for short (sub)slices.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && slotLess(s[j], s[j-1]); j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}
-
-func slotLess(a, b slot) bool {
-	if a.height != b.height {
-		return a.height < b.height
-	}
-	return a.tie < b.tie
-}
-
-// partitionSlots performs Hoare-style partition around a median-of-three
-// pivot and returns the pivot's final index.
-func partitionSlots(s []slot) int {
-	mid := len(s) / 2
-	hi := len(s) - 1
-	// Median of three to s[0].
-	if slotLess(s[mid], s[0]) {
-		s[mid], s[0] = s[0], s[mid]
-	}
-	if slotLess(s[hi], s[0]) {
-		s[hi], s[0] = s[0], s[hi]
-	}
-	if slotLess(s[hi], s[mid]) {
-		s[hi], s[mid] = s[mid], s[hi]
-	}
-	pivot := s[mid]
-	s[mid], s[hi-1] = s[hi-1], s[mid]
-	i, j := 0, hi-1
-	for {
-		i++
-		for slotLess(s[i], pivot) {
-			i++
-		}
-		j--
-		for slotLess(pivot, s[j]) {
-			j--
-		}
-		if i >= j {
-			break
-		}
-		s[i], s[j] = s[j], s[i]
-	}
-	s[i], s[hi-1] = s[hi-1], s[i]
-	return i
 }

@@ -1,0 +1,277 @@
+package core
+
+import "sort"
+
+// This file is the round engine's selection kernel: given the d samples of a
+// round it materializes the conceptual slots (the i-th sample of bin b has
+// height load(b)+i) and returns the toPlace slots of minimum height, ranked
+// by (height, tie, bin) ascending, with ties between bins at equal height
+// broken uniformly at random.
+//
+// Two implementations exist:
+//
+//   - fastSelect, the default: O(d + k log k) expected. Samples are grouped
+//     with a per-bin multiplicity scratch (no sort), the k-th smallest
+//     height is located by counting over the round's dense height window,
+//     and random tie keys are derived lazily — only for slots at or below
+//     the boundary height — via a keyed hash of (bin, height) under a
+//     per-round nonce.
+//   - the reference kernel (Params.ReferenceSelect): the original
+//     sort-everything path, kept as the oracle the fast kernel is tested
+//     against.
+//
+// Both kernels consume the random stream identically (d sample draws plus
+// one nonce draw per round) and order slots by the same total order, so for
+// a fixed seed they select bitwise-identical slot sets — the property
+// TestFastSelectMatchesReference checks exhaustively. A keyed hash instead
+// of one rng.Uint64 per slot is what makes this possible: tie keys are a
+// pure function of (nonce, bin, height), so computing them lazily does not
+// perturb the stream.
+
+// tieKey derives the uniform tie-break key of the slot (bin, height) under
+// the round nonce. Distinct slots of one round hash distinct (bin, height)
+// pairs, so within a tied cohort (equal height, distinct bins) the keys are
+// independent uniform lottery tickets, exactly as in ballDChoice.
+func tieKey(nonce uint64, bin, height int) uint64 {
+	return mix64(nonce ^ uint64(bin)*0x9e3779b97f4a7c15 ^ uint64(height)*0xda942042e4dd58b5)
+}
+
+// rankSelect draws the round nonce and returns the toPlace minimum slots of
+// the current pr.samples, ranked ascending. The returned slice aliases
+// process scratch and is valid until the next round.
+func (pr *Process) rankSelect(toPlace int) []slot {
+	nonce := pr.rng.Uint64()
+	if pr.p.ReferenceSelect {
+		pr.makeSlots(nonce)
+		sortSlots(pr.slots)
+		if toPlace > len(pr.slots) {
+			toPlace = len(pr.slots)
+		}
+		return pr.slots[:toPlace]
+	}
+	return pr.fastSelect(nonce, toPlace)
+}
+
+// fastSelect is the O(d + k log k) selection kernel.
+func (pr *Process) fastSelect(nonce uint64, toPlace int) []slot {
+	// Group the samples by bin without sorting: one multiplicity counter
+	// per bin, resetting only the touched entries afterwards.
+	touched := pr.touched[:0]
+	for _, b := range pr.samples {
+		if pr.mult[b] == 0 {
+			touched = append(touched, b)
+		}
+		pr.mult[b]++
+	}
+	// Materialize the slots and the round's height window.
+	slots := pr.slots[:0]
+	minH := int(^uint(0) >> 1)
+	maxH := 0
+	for _, b := range touched {
+		m := int(pr.mult[b])
+		pr.mult[b] = 0
+		load := pr.loads[b]
+		for c := 1; c <= m; c++ {
+			slots = append(slots, slot{bin: b, height: load + c})
+		}
+		if load+1 < minH {
+			minH = load + 1
+		}
+		if load+m > maxH {
+			maxH = load + m
+		}
+	}
+	pr.touched = touched
+	pr.slots = slots
+	if toPlace > len(slots) {
+		toPlace = len(slots)
+	}
+	if toPlace == 0 {
+		return slots[:0]
+	}
+
+	if maxH-minH >= len(pr.hist) {
+		// Sparse heights (sampled loads spread wider than the counting
+		// window, only possible under extreme imbalance): fall back to the
+		// reference full sort. Same comparator and keys, so the selected
+		// set is identical to what the counting path would pick.
+		for i := range slots {
+			slots[i].tie = tieKey(nonce, slots[i].bin, slots[i].height)
+		}
+		sortSlots(slots)
+		return slots[:toPlace]
+	}
+
+	// Count slots per height and locate the boundary: the height of the
+	// toPlace-th smallest slot.
+	hist := pr.hist
+	for i := range slots {
+		hist[slots[i].height-minH]++
+	}
+	below := 0 // slots strictly below the boundary height
+	off := 0
+	for {
+		c := int(hist[off])
+		if below+c >= toPlace {
+			break
+		}
+		below += c
+		off++
+	}
+	boundary := minH + off
+	need := toPlace - below // slots to take at the boundary height
+	for i := range slots {
+		hist[slots[i].height-minH] = 0
+	}
+
+	// Gather: everything below the boundary is selected outright; the
+	// boundary cohort is genuinely tied, so only now are tie keys derived.
+	sel := pr.sel[:0]
+	bnd := pr.bnd[:0]
+	for i := range slots {
+		s := slots[i]
+		if s.height > boundary {
+			continue
+		}
+		s.tie = tieKey(nonce, s.bin, s.height)
+		if s.height < boundary {
+			sel = append(sel, s)
+		} else {
+			bnd = append(bnd, s)
+		}
+	}
+	if need < len(bnd) {
+		selectSmallestSlots(bnd, need)
+	}
+	sel = append(sel, bnd[:need]...)
+	pr.bnd = bnd
+
+	// Rank the k selected slots so SerializedKD sees a total order of
+	// ranks; k is small, so this costs O(k log k) at worst.
+	sortSlots(sel)
+	pr.sel = sel
+	return sel
+}
+
+// selectSmallestSlots partially sorts s so that s[:k] holds its k smallest
+// elements under the slot total order (expected O(len(s)) quickselect).
+func selectSmallestSlots(s []slot, k int) {
+	for k > 0 && k < len(s) && len(s) > 12 {
+		p := partitionSlots(s)
+		switch {
+		case k <= p:
+			s = s[:p]
+		case k == p+1:
+			return // s[:p+1] is exactly the k smallest
+		default:
+			s = s[p+1:]
+			k -= p + 1
+		}
+	}
+	if k <= 0 {
+		return
+	}
+	// The residual segment is short; insertion sort finishes the job.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && slotLess(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// makeSlots materializes the round's slots (heights and tie-break keys)
+// from the current pr.samples for the reference kernel. Sorting groups
+// duplicate samples so heights can be assigned; the sort works on a scratch
+// copy so pr.samples keeps the draw order observers are promised.
+func (pr *Process) makeSlots(nonce uint64) {
+	d := pr.p.D
+	sorted := pr.sortBuf[:d]
+	copy(sorted, pr.samples)
+	sort.Ints(sorted)
+	slots := pr.slots[:0]
+	for i := 0; i < d; {
+		b := sorted[i]
+		j := i
+		for j < d && sorted[j] == b {
+			j++
+		}
+		load := pr.loads[b]
+		for c := 1; c <= j-i; c++ {
+			slots = append(slots, slot{bin: b, height: load + c, tie: tieKey(nonce, b, load+c)})
+		}
+		i = j
+	}
+	pr.slots = slots
+}
+
+// sortSlots orders slots by (height, tie, bin) ascending. Hand-rolled
+// hybrid quicksort/insertion sort: zero allocations and no interface calls
+// on the hot path.
+func sortSlots(s []slot) {
+	for len(s) > 12 {
+		p := partitionSlots(s)
+		if p < len(s)-p-1 {
+			sortSlots(s[:p])
+			s = s[p+1:]
+		} else {
+			sortSlots(s[p+1:])
+			s = s[:p]
+		}
+	}
+	// Insertion sort for short (sub)slices.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && slotLess(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// slotLess is the slot total order: height, then tie key, then bin id. The
+// bin fallback makes the order deterministic even under (astronomically
+// rare) tie-key collisions, which keeps the fast and reference kernels
+// bitwise-coupled.
+func slotLess(a, b slot) bool {
+	if a.height != b.height {
+		return a.height < b.height
+	}
+	if a.tie != b.tie {
+		return a.tie < b.tie
+	}
+	return a.bin < b.bin
+}
+
+// partitionSlots performs Hoare-style partition around a median-of-three
+// pivot and returns the pivot's final index.
+func partitionSlots(s []slot) int {
+	mid := len(s) / 2
+	hi := len(s) - 1
+	// Median of three to s[0].
+	if slotLess(s[mid], s[0]) {
+		s[mid], s[0] = s[0], s[mid]
+	}
+	if slotLess(s[hi], s[0]) {
+		s[hi], s[0] = s[0], s[hi]
+	}
+	if slotLess(s[hi], s[mid]) {
+		s[hi], s[mid] = s[mid], s[hi]
+	}
+	pivot := s[mid]
+	s[mid], s[hi-1] = s[hi-1], s[mid]
+	i, j := 0, hi-1
+	for {
+		i++
+		for slotLess(s[i], pivot) {
+			i++
+		}
+		j--
+		for slotLess(pivot, s[j]) {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+	}
+	s[i], s[hi-1] = s[hi-1], s[i]
+	return i
+}

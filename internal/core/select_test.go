@@ -1,0 +1,181 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// roundLog records the multiset of receiving bins of every round.
+type roundLog struct {
+	rounds [][]int
+}
+
+func (rl *roundLog) RoundPlaced(round int, samples, placed, heights []int) {
+	r := append([]int(nil), placed...)
+	sort.Ints(r)
+	rl.rounds = append(rl.rounds, r)
+}
+
+// TestFastSelectMatchesReference is the kernel equivalence property: for
+// random (n, k, d, seed) the counting kernel and the reference sort kernel
+// — run under the same random stream — must select the identical
+// receiving-bin multiset in EVERY round, and therefore identical final
+// load vectors. This is exact coupling, not a distributional comparison:
+// both kernels consume the stream identically and share the keyed-hash tie
+// order.
+func TestFastSelectMatchesReference(t *testing.T) {
+	for _, policy := range []Policy{KDChoice, SerializedKD} {
+		t.Run(policy.String(), func(t *testing.T) {
+			if err := quick.Check(func(seed uint64, nRaw, kRaw, dRaw, multRaw uint8) bool {
+				n := int(nRaw%120) + 8
+				k := int(kRaw%8) + 1
+				d := k + 1 + int(dRaw%12)
+				if d > n {
+					d = n
+					if k >= d {
+						k = d - 1
+					}
+				}
+				m := (int(multRaw%4) + 1) * n / 2
+				fast := MustNew(policy, Params{N: n, K: k, D: d}, xrand.New(seed))
+				ref := MustNew(policy, Params{N: n, K: k, D: d, ReferenceSelect: true}, xrand.New(seed))
+				fastLog, refLog := &roundLog{}, &roundLog{}
+				fast.SetObserver(fastLog)
+				ref.SetObserver(refLog)
+				fast.Place(m)
+				ref.Place(m)
+				if !reflect.DeepEqual(fastLog.rounds, refLog.rounds) {
+					return false
+				}
+				return reflect.DeepEqual(fast.Loads(), ref.Loads())
+			}, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFastSelectMatchesReferenceHeavy extends the coupling to the heavily
+// loaded case (m = 8n + partial final round).
+func TestFastSelectMatchesReferenceHeavy(t *testing.T) {
+	const n, k, d, seed = 96, 3, 9, 1234
+	m := 8*n + 5
+	fast := MustNew(KDChoice, Params{N: n, K: k, D: d}, xrand.New(seed))
+	ref := MustNew(KDChoice, Params{N: n, K: k, D: d, ReferenceSelect: true}, xrand.New(seed))
+	fast.Place(m)
+	ref.Place(m)
+	if !reflect.DeepEqual(fast.Loads(), ref.Loads()) {
+		t.Fatal("fast and reference kernels diverged under heavy load")
+	}
+}
+
+// TestFastSelectSparseFallback forces the counting window to overflow
+// (sampled loads spread far wider than 2d) so the fast kernel must take its
+// internal full-sort fallback — and still match the reference kernel
+// exactly.
+func TestFastSelectSparseFallback(t *testing.T) {
+	const n, k, d, seed = 32, 2, 6, 7
+	mk := func(reference bool) *Process {
+		pr := MustNew(KDChoice, Params{N: n, K: k, D: d, ReferenceSelect: reference}, xrand.New(seed))
+		// Extreme imbalance: loads 0, 1000, 2000, ... — any round sampling
+		// two different bins spans far more than the counting window.
+		total := 0
+		for b := range pr.loads {
+			pr.loads[b] = b * 1000
+			total += b * 1000
+		}
+		pr.maxLoad = (n - 1) * 1000
+		pr.balls = total
+		return pr
+	}
+	fast, ref := mk(false), mk(true)
+	fast.Place(20 * k)
+	ref.Place(20 * k)
+	if !reflect.DeepEqual(fast.Loads(), ref.Loads()) {
+		t.Fatal("fallback path diverged from reference kernel")
+	}
+	if fast.MaxLoad() != ref.MaxLoad() {
+		t.Fatal("fallback max loads differ")
+	}
+}
+
+// TestSelectSmallestSlots: quickselect must put exactly the k smallest
+// slots (under the slot total order) into the prefix, for arbitrary inputs.
+func TestSelectSmallestSlots(t *testing.T) {
+	if err := quick.Check(func(seed uint64, sizeRaw, kRaw uint8) bool {
+		size := int(sizeRaw%100) + 1
+		k := int(kRaw) % (size + 1)
+		rng := xrand.New(seed)
+		s := make([]slot, size)
+		for i := range s {
+			s[i] = slot{bin: i, height: rng.Intn(6), tie: rng.Uint64() % 8}
+		}
+		want := make([]slot, size)
+		copy(want, s)
+		sort.Slice(want, func(i, j int) bool { return slotLess(want[i], want[j]) })
+		selectSmallestSlots(s, k)
+		got := append([]slot{}, s[:k]...)
+		sort.Slice(got, func(i, j int) bool { return slotLess(got[i], got[j]) })
+		return reflect.DeepEqual(got, append([]slot{}, want[:k]...))
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBoundaryTieUniform checks the lazily derived tie keys statistically:
+// with all bins empty and fixed samples {0,1,2,3}, a (1,4) round has a
+// four-way tie at height 1 and each bin must win with probability 1/4.
+func TestBoundaryTieUniform(t *testing.T) {
+	const trials = 20000
+	pr := MustNew(KDChoice, Params{N: 4, K: 1, D: 4}, xrand.New(5))
+	counts := make([]int, 4)
+	for i := 0; i < trials; i++ {
+		copy(pr.samples, []int{0, 1, 2, 3})
+		pr.roundKDFromSamples(1)
+		for b := range pr.loads {
+			counts[b] += pr.loads[b]
+			pr.loads[b] = 0
+		}
+		pr.balls, pr.maxLoad = 0, 0
+	}
+	for b, c := range counts {
+		p := float64(c) / trials
+		if p < 0.23 || p > 0.27 {
+			t.Fatalf("bin %d won %0.4f of four-way ties, want ~0.25 (counts %v)", b, p, counts)
+		}
+	}
+}
+
+// TestRoundAllocationFree pins the acceptance criterion that the steady-
+// state round hot path performs zero heap allocations, on both kernels.
+func TestRoundAllocationFree(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ref  bool
+	}{{"fast", false}, {"sort", true}} {
+		pr := MustNew(KDChoice, Params{N: 4096, K: 2, D: 64, ReferenceSelect: tc.ref}, xrand.New(9))
+		pr.Place(4096) // warm the scratch buffers
+		if avg := testing.AllocsPerRun(200, pr.Round); avg != 0 {
+			t.Fatalf("%s kernel: %v allocs per round, want 0", tc.name, avg)
+		}
+	}
+}
+
+// TestMultiplicityRuleFastKernel re-runs the paper's disambiguation-rule
+// observer over the fast kernel at adversarial (k, d) shapes, including the
+// acceptance-cell shape k=2, d=64.
+func TestMultiplicityRuleFastKernel(t *testing.T) {
+	for _, tc := range []struct{ k, d int }{{1, 2}, {2, 64}, {7, 8}, {16, 33}} {
+		pr := MustNew(KDChoice, Params{N: 256, K: tc.k, D: tc.d}, xrand.New(17))
+		rc := &ruleChecker{t: t}
+		pr.SetObserver(rc)
+		pr.Place(1024)
+		if rc.maxSeen != pr.MaxLoad() {
+			t.Fatalf("k=%d d=%d: max height seen %d != max load %d", tc.k, tc.d, rc.maxSeen, pr.MaxLoad())
+		}
+	}
+}

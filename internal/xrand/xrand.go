@@ -150,10 +150,24 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 
 // FillIntn fills dst with independent uniform draws from [0, n). This is the
 // hot-path primitive used to sample the d candidate bins of a round without
-// per-round allocation.
+// per-round allocation. The batched loop inlines Lemire's nearly-divisionless
+// bounded generation (Uint64n cannot be inlined by the compiler because of
+// its rejection loop) and produces exactly the same draw sequence as
+// repeated Intn calls, so batching never changes a seeded experiment.
 func (r *Rand) FillIntn(dst []int, n int) {
+	if n <= 0 {
+		panic("xrand: FillIntn with n <= 0")
+	}
+	un := uint64(n)
 	for i := range dst {
-		dst[i] = r.Intn(n)
+		hi, lo := bits.Mul64(r.Uint64(), un)
+		if lo < un {
+			thresh := -un % un
+			for lo < thresh {
+				hi, lo = bits.Mul64(r.Uint64(), un)
+			}
+		}
+		dst[i] = int(hi)
 	}
 }
 

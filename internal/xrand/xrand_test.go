@@ -216,6 +216,34 @@ func TestFillIntn(t *testing.T) {
 	}
 }
 
+// TestFillIntnMatchesIntn pins the batching contract: the inlined loop must
+// produce exactly the draw sequence of repeated Intn calls, so switching a
+// caller to FillIntn can never change a seeded experiment.
+func TestFillIntnMatchesIntn(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64, 1000, 1 << 20} {
+		a, b := New(99), New(99)
+		buf := make([]int, 257)
+		a.FillIntn(buf, n)
+		for i, got := range buf {
+			if want := b.Intn(n); got != want {
+				t.Fatalf("n=%d: FillIntn[%d] = %d, Intn sequence gives %d", n, i, got, want)
+			}
+		}
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: generators diverged after batch", n)
+		}
+	}
+}
+
+func TestFillIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FillIntn(dst, 0) did not panic")
+		}
+	}()
+	New(1).FillIntn(make([]int, 4), 0)
+}
+
 func TestSampleWithoutReplacement(t *testing.T) {
 	r := New(13)
 	for _, tc := range []struct{ n, m int }{{10, 0}, {10, 1}, {10, 5}, {10, 10}, {100, 37}} {

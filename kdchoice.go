@@ -120,6 +120,48 @@ type Config struct {
 	Sigma []int
 	// RandomSigma draws a fresh random σ every round (Serialized).
 	RandomSigma bool
+	// ReferenceSelect runs the round-based policies on the reference
+	// sort-based slot-selection kernel instead of the default O(d + k log k)
+	// counting kernel. Both induce the same allocation law and, for a fixed
+	// Seed, the same results; the option exists for verification and
+	// benchmarking against the reference implementation.
+	ReferenceSelect bool
+}
+
+// withDefaults returns cfg with the documented zero-value defaults applied
+// (Policy zero means KDChoice). New and Simulate share this normalization,
+// so the two entry points can never disagree about what a zero field means.
+func (cfg Config) withDefaults() Config {
+	if cfg.Policy == 0 {
+		cfg.Policy = KDChoice
+	}
+	return cfg
+}
+
+// coreConfig validates the fields core cannot diagnose clearly (negative
+// K/D would otherwise surface as confusing "requires K >= 1" errors even
+// for policies that ignore K) and maps cfg onto the core process
+// parameters. cfg must already be normalized by withDefaults.
+func (cfg Config) coreConfig() (core.Policy, core.Params, error) {
+	cp, err := cfg.Policy.toCore()
+	if err != nil {
+		return 0, core.Params{}, err
+	}
+	if cfg.K < 0 {
+		return 0, core.Params{}, fmt.Errorf("kdchoice: K = %d, must be non-negative", cfg.K)
+	}
+	if cfg.D < 0 {
+		return 0, core.Params{}, fmt.Errorf("kdchoice: D = %d, must be non-negative", cfg.D)
+	}
+	return cp, core.Params{
+		N:               cfg.Bins,
+		K:               cfg.K,
+		D:               cfg.D,
+		Beta:            cfg.Beta,
+		Sigma:           cfg.Sigma,
+		RandomSigma:     cfg.RandomSigma,
+		ReferenceSelect: cfg.ReferenceSelect,
+	}, nil
 }
 
 // Allocator runs one allocation process instance. Construct with New or
@@ -131,20 +173,10 @@ type Allocator struct {
 
 // New creates an Allocator from cfg.
 func New(cfg Config) (*Allocator, error) {
-	if cfg.Policy == 0 {
-		cfg.Policy = KDChoice
-	}
-	cp, err := cfg.Policy.toCore()
+	cfg = cfg.withDefaults()
+	cp, params, err := cfg.coreConfig()
 	if err != nil {
 		return nil, err
-	}
-	params := core.Params{
-		N:           cfg.Bins,
-		K:           cfg.K,
-		D:           cfg.D,
-		Beta:        cfg.Beta,
-		Sigma:       cfg.Sigma,
-		RandomSigma: cfg.RandomSigma,
 	}
 	pr, err := core.New(cp, params, newRNG(cfg.Seed))
 	if err != nil {

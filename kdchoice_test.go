@@ -324,3 +324,64 @@ func TestDynamicKDPublicAPI(t *testing.T) {
 		t.Fatalf("policy name %q", a.Config().Policy.String())
 	}
 }
+
+// TestNegativeKDRejected: negative K or D must be rejected with a clear
+// message at the kdchoice layer, by both New and Simulate, before they can
+// reach core and surface as confusing policy-specific errors.
+func TestNegativeKDRejected(t *testing.T) {
+	bad := []Config{
+		{Bins: 8, K: -1, D: 2},
+		{Bins: 8, K: 1, D: -2},
+		{Bins: 8, K: -3, D: -1, Policy: SingleChoice},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil || !strings.Contains(err.Error(), "non-negative") {
+			t.Fatalf("New(K=%d,D=%d): err = %v, want non-negative complaint", cfg.K, cfg.D, err)
+		}
+		if _, err := Simulate(cfg, 0, 1); err == nil || !strings.Contains(err.Error(), "non-negative") {
+			t.Fatalf("Simulate(K=%d,D=%d): err = %v, want non-negative complaint", cfg.K, cfg.D, err)
+		}
+	}
+}
+
+// TestSimulateZeroPolicyMatchesExplicit: Simulate's zero-value Policy
+// default must agree with New's (both mean KDChoice, as the Config docs
+// promise).
+func TestSimulateZeroPolicyMatchesExplicit(t *testing.T) {
+	base := Config{Bins: 128, K: 2, D: 4, Seed: 11}
+	explicit := base
+	explicit.Policy = KDChoice
+	a, err := Simulate(base, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(explicit, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.MaxLoads, b.MaxLoads) {
+		t.Fatalf("zero policy %v != explicit KDChoice %v", a.MaxLoads, b.MaxLoads)
+	}
+}
+
+// TestReferenceSelectPublicCoupling: through the public API, the counting
+// kernel and the reference sort kernel must produce identical results for
+// the same seed (the select.go coupling, end to end).
+func TestReferenceSelectPublicCoupling(t *testing.T) {
+	fast, err := New(Config{Bins: 512, K: 4, D: 9, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(Config{Bins: 512, K: 4, D: 9, Seed: 21, ReferenceSelect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast.PlaceAll()
+	ref.PlaceAll()
+	if !reflect.DeepEqual(fast.Loads(), ref.Loads()) {
+		t.Fatal("public-API kernels diverged for equal seeds")
+	}
+	if fast.MaxLoad() != ref.MaxLoad() || fast.Messages() != ref.Messages() {
+		t.Fatal("public-API kernel summaries diverged")
+	}
+}

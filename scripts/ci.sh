@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# ci.sh — the repository's check pipeline.
+#
+#   scripts/ci.sh          format check, vet, build, full tests, and a
+#                          -race pass over the simulation engine
+#   scripts/ci.sh bench    refresh the tracked benchmark grid (BENCH_kd.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "bench" ]; then
+    echo "==> refreshing BENCH_kd.json (full grid, ~15s)"
+    go run ./cmd/bench -out BENCH_kd.json
+    exit 0
+fi
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race ./internal/sim ./internal/core"
+go test -race ./internal/sim ./internal/core
+
+echo "==> ok"

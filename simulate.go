@@ -3,7 +3,6 @@ package kdchoice
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -33,26 +32,17 @@ func Simulate(cfg Config, balls, runs int) (*SimResult, error) {
 	if balls < 0 {
 		return nil, fmt.Errorf("kdchoice: Simulate needs balls >= 0, got %d", balls)
 	}
-	if cfg.Policy == 0 {
-		cfg.Policy = KDChoice
-	}
-	cp, err := cfg.Policy.toCore()
+	cfg = cfg.withDefaults()
+	cp, params, err := cfg.coreConfig()
 	if err != nil {
 		return nil, err
 	}
 	res, err := sim.Run(sim.Config{
 		Policy: cp,
-		Params: core.Params{
-			N:           cfg.Bins,
-			K:           cfg.K,
-			D:           cfg.D,
-			Beta:        cfg.Beta,
-			Sigma:       cfg.Sigma,
-			RandomSigma: cfg.RandomSigma,
-		},
-		Balls: balls,
-		Runs:  runs,
-		Seed:  cfg.Seed,
+		Params: params,
+		Balls:  balls,
+		Runs:   runs,
+		Seed:   cfg.Seed,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("kdchoice: %w", err)
