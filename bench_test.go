@@ -1,4 +1,4 @@
-package kdchoice
+package kdchoice_test
 
 // The benchmark harness regenerates every table and figure of the paper at
 // laptop scale, one benchmark per experiment (see DESIGN.md §4 for the
@@ -27,6 +27,7 @@ import (
 	"os"
 	"testing"
 
+	kdchoice "repro"
 	"repro/internal/experiments"
 )
 
@@ -51,11 +52,11 @@ func BenchmarkTable1(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var lastMax float64
 			for i := 0; i < b.N; i++ {
-				cfg := Config{Bins: n, K: c.k, D: c.d, Seed: uint64(i + 1)}
+				cfg := kdchoice.Config{Bins: n, K: c.k, D: c.d, Seed: uint64(i + 1)}
 				if c.k == 1 && c.d == 1 {
-					cfg = Config{Bins: n, Policy: SingleChoice, Seed: uint64(i + 1)}
+					cfg = kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice, Seed: uint64(i + 1)}
 				}
-				res, err := Simulate(cfg, 0, 1)
+				res, err := kdchoice.Simulate(cfg, 0, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -119,14 +120,14 @@ func BenchmarkCorollary1(b *testing.B) {
 		b.Run(fmt.Sprintf("k=%d,d=%d", k, k+1), func(b *testing.B) {
 			var mean float64
 			for i := 0; i < b.N; i++ {
-				res, err := Simulate(Config{Bins: 1 << 14, K: k, D: k + 1, Seed: uint64(i + 1)}, 0, 2)
+				res, err := kdchoice.Simulate(kdchoice.Config{Bins: 1 << 14, K: k, D: k + 1, Seed: uint64(i + 1)}, 0, 2)
 				if err != nil {
 					b.Fatal(err)
 				}
 				mean = res.MeanMax
 			}
 			b.ReportMetric(mean, "maxload")
-			b.ReportMetric(PredictCrowdTerm(k, k+1), "crowdterm")
+			b.ReportMetric(kdchoice.PredictCrowdTerm(k, k+1), "crowdterm")
 		})
 	}
 }
@@ -137,7 +138,7 @@ func BenchmarkThm2Heavy(b *testing.B) {
 			const n = 1 << 12
 			var gap float64
 			for i := 0; i < b.N; i++ {
-				res, err := Simulate(Config{Bins: n, K: 2, D: 4, Seed: uint64(i + 1)}, mult*n, 2)
+				res, err := kdchoice.Simulate(kdchoice.Config{Bins: n, K: 2, D: 4, Seed: uint64(i + 1)}, mult*n, 2)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -259,16 +260,16 @@ func BenchmarkAdaptivePolicy(b *testing.B) {
 func BenchmarkAllocatorThroughput(b *testing.B) {
 	cases := []struct {
 		name string
-		cfg  Config
+		cfg  kdchoice.Config
 	}{
-		{"kd-2-3", Config{Bins: 1 << 16, K: 2, D: 3, Seed: 1}},
-		{"kd-8-17", Config{Bins: 1 << 16, K: 8, D: 17, Seed: 1}},
-		{"two-choice", Config{Bins: 1 << 16, K: 1, D: 2, Seed: 1}},
-		{"single", Config{Bins: 1 << 16, Policy: SingleChoice, Seed: 1}},
+		{"kd-2-3", kdchoice.Config{Bins: 1 << 16, K: 2, D: 3, Seed: 1}},
+		{"kd-8-17", kdchoice.Config{Bins: 1 << 16, K: 8, D: 17, Seed: 1}},
+		{"two-choice", kdchoice.Config{Bins: 1 << 16, K: 1, D: 2, Seed: 1}},
+		{"single", kdchoice.Config{Bins: 1 << 16, Policy: kdchoice.SingleChoice, Seed: 1}},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
-			alloc, err := New(tc.cfg)
+			alloc, err := kdchoice.New(tc.cfg)
 			if err != nil {
 				b.Fatal(err)
 			}

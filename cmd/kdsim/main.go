@@ -1,5 +1,6 @@
 // Command kdsim runs one allocation experiment and prints the resulting
-// load statistics next to the paper's theoretical predictions.
+// load statistics next to the paper's theoretical predictions. It is a thin
+// front-end over the public kdchoice Experiment API.
 //
 // Usage:
 //
@@ -7,7 +8,8 @@
 //
 // -m 0 places n balls (the paper's canonical experiment); -m > n exercises
 // the heavily loaded case of Theorem 2. -policy accepts kd, kd-serialized,
-// kd-adaptive, dchoice, single, oneplusbeta, alwaysgoleft.
+// kd-adaptive, kd-dynamic, dchoice, single, oneplusbeta, alwaysgoleft,
+// stale-batch.
 package main
 
 import (
@@ -16,10 +18,9 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/sim"
+	kdchoice "repro"
+	"repro/internal/stats"
 	"repro/internal/table"
-	"repro/internal/theory"
 )
 
 func main() {
@@ -44,22 +45,28 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	policy, err := core.ParsePolicy(*policyName)
+	policy, err := kdchoice.ParsePolicy(*policyName)
 	if err != nil {
 		return err
 	}
-	cfg := sim.Config{
-		Policy:       policy,
-		Params:       core.Params{N: *n, K: *k, D: *d, Beta: *beta},
+	rep, err := kdchoice.Experiment{
+		Cells: []kdchoice.Cell{{Config: kdchoice.Config{
+			Bins:   *n,
+			K:      *k,
+			D:      *d,
+			Policy: policy,
+			Beta:   *beta,
+			Seed:   *seed,
+		}}},
 		Balls:        *m,
 		Runs:         *runs,
 		Seed:         *seed,
 		CollectLoads: *profile > 0,
-	}
-	res, err := sim.Run(cfg)
+	}.Run()
 	if err != nil {
 		return err
 	}
+	res := &rep.Cells[0]
 
 	balls := *m
 	if balls == 0 {
@@ -68,24 +75,29 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "policy=%s n=%d k=%d d=%d balls=%d runs=%d seed=%d\n\n",
 		policy, *n, *k, *d, balls, *runs, *seed)
 
-	ms := res.MaxStats()
-	gs := res.GapStats()
+	var maxStats stats.Online
+	for _, m := range res.MaxLoads {
+		maxStats.Add(float64(m))
+	}
 	t := table.New("metric", "value")
-	t.AddRow("max load (distinct)", table.IntsCell(res.DistinctMax()))
-	t.AddRowf("max load (mean ± sd)", fmt.Sprintf("%.3f ± %.3f", ms.Mean(), ms.StdDev()))
-	t.AddRowf("gap max-avg (mean)", fmt.Sprintf("%.3f", gs.Mean()))
-	t.AddRowf("messages (mean)", fmt.Sprintf("%.0f", res.MeanMessages()))
-	t.AddRowf("messages per ball", fmt.Sprintf("%.3f", res.MeanMessages()/float64(balls)))
-	if policy == core.KDChoice && *k >= 1 && *d > *k {
-		t.AddRowf("theory: d_k", fmt.Sprintf("%.3f", theory.Dk(*k, *d)))
-		t.AddRowf("theory: gap term", fmt.Sprintf("%.3f", theory.GapTerm(*k, *d, *n)))
-		t.AddRowf("theory: crowd term", fmt.Sprintf("%.3f", theory.CrowdTerm(*k, *d)))
-		t.AddRowf("theory: regime", theory.Classify(*k, *d, *n).String())
+	t.AddRow("max load (distinct)", table.IntsCell(res.DistinctMax))
+	t.AddRowf("max load (mean ± sd)", fmt.Sprintf("%.3f ± %.3f", res.MeanMax, maxStats.StdDev()))
+	t.AddRowf("gap max-avg (mean)", fmt.Sprintf("%.3f", res.MeanGap))
+	t.AddRowf("messages (mean)", fmt.Sprintf("%.0f", res.MeanMessages))
+	t.AddRowf("messages per ball", fmt.Sprintf("%.3f", res.MeanMessages/float64(balls)))
+	if policy == kdchoice.KDChoice && *k >= 1 && *d > *k {
+		t.AddRowf("theory: d_k", fmt.Sprintf("%.3f", kdchoice.Dk(*k, *d)))
+		t.AddRowf("theory: gap term", fmt.Sprintf("%.3f", kdchoice.PredictGapTerm(*k, *d, *n)))
+		t.AddRowf("theory: crowd term", fmt.Sprintf("%.3f", kdchoice.PredictCrowdTerm(*k, *d)))
+		t.AddRowf("theory: regime", kdchoice.Regime(*k, *d, *n))
 	}
 	fmt.Fprint(out, t.Text())
 
 	if *profile > 0 {
-		prof := res.MeanSortedProfile()
+		prof, err := res.MeanSortedProfile()
+		if err != nil {
+			return err
+		}
 		limit := *profile
 		if limit > len(prof) {
 			limit = len(prof)

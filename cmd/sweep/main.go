@@ -85,11 +85,12 @@ func run(args []string, out io.Writer) error {
 func loadvecTable(n, runs int, seed uint64) (*table.Table, error) {
 	t := table.New("k", "d", "beta0", "gamma*", "B_1", "B_beta0", "B_gamma*",
 		"gap B1-Bbeta0", "theory gap", "theory crowd")
-	for _, kd := range [][2]int{{2, 3}, {8, 9}, {32, 48}, {128, 193}} {
-		p, err := experiments.LoadVectorProfile(kd[0], kd[1], n, runs, seed)
-		if err != nil {
-			return nil, err
-		}
+	profiles, err := experiments.LoadVectorProfiles(
+		[][2]int{{2, 3}, {8, 9}, {32, 48}, {128, 193}}, n, runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range profiles {
 		t.AddRowf(p.K, p.D, p.Beta0, p.GammaStar,
 			fmt.Sprintf("%.2f", p.B1), fmt.Sprintf("%.2f", p.BBeta0),
 			fmt.Sprintf("%.2f", p.BGammaStar), fmt.Sprintf("%.2f", p.MeasuredGap),
@@ -101,13 +102,13 @@ func loadvecTable(n, runs int, seed uint64) (*table.Table, error) {
 func scalingTable(runs int, seed uint64) (*table.Table, error) {
 	ns := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18}
 	t := table.New("k", "d", "n", "mean max", "theory leading term")
-	for _, kd := range [][2]int{{1, 2}, {2, 4}, {4, 8}, {8, 16}} {
-		pts, err := experiments.ScalingSeries(kd[0], kd[1], ns, runs, seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range pts {
-			t.AddRowf(kd[0], kd[1], p.N,
+	grid, err := experiments.ScalingGrid([][2]int{{1, 2}, {2, 4}, {4, 8}, {8, 16}}, ns, runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range grid {
+		for _, p := range row.Points {
+			t.AddRowf(row.K, row.D, p.N,
 				fmt.Sprintf("%.2f", p.MeanMax), fmt.Sprintf("%.2f", p.Predicted))
 		}
 	}
@@ -116,14 +117,18 @@ func scalingTable(runs int, seed uint64) (*table.Table, error) {
 
 func cor1Table(runs int, seed uint64) (*table.Table, error) {
 	ns := []int{1 << 12, 1 << 14, 1 << 16}
-	t := table.New("k", "d", "n", "mean max", "theory leading term")
+	pairs := make([][2]int, 0, 4)
 	for _, k := range []int{4, 16, 64, 256} {
-		pts, err := experiments.ScalingSeries(k, k+1, ns, runs, seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range pts {
-			t.AddRowf(k, k+1, p.N,
+		pairs = append(pairs, [2]int{k, k + 1})
+	}
+	t := table.New("k", "d", "n", "mean max", "theory leading term")
+	grid, err := experiments.ScalingGrid(pairs, ns, runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range grid {
+		for _, p := range row.Points {
+			t.AddRowf(row.K, row.D, p.N,
 				fmt.Sprintf("%.2f", p.MeanMax), fmt.Sprintf("%.2f", p.Predicted))
 		}
 	}
@@ -134,13 +139,13 @@ func heavyTable(runs int, seed uint64) (*table.Table, error) {
 	const n = 1 << 14
 	mults := []int{1, 2, 4, 8, 16, 32}
 	t := table.New("k", "d", "m/n", "mean gap", "theory lower", "theory upper")
-	for _, kd := range [][2]int{{1, 2}, {2, 4}, {4, 8}, {2, 6}} {
-		pts, err := experiments.HeavySeries(kd[0], kd[1], n, mults, runs, seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, p := range pts {
-			t.AddRowf(kd[0], kd[1], p.Mult,
+	grid, err := experiments.HeavyGrid([][2]int{{1, 2}, {2, 4}, {4, 8}, {2, 6}}, n, mults, runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range grid {
+		for _, p := range row.Points {
+			t.AddRowf(row.K, row.D, p.Mult,
 				fmt.Sprintf("%.3f", p.MeanGap),
 				fmt.Sprintf("%.2f", p.GapLower), fmt.Sprintf("%.2f", p.GapUpper))
 		}

@@ -6,6 +6,10 @@
 // and tracks the gap, also contrasting a d < 2k pair (open question in the
 // paper) and single choice, whose gap diverges like sqrt(m ln n / n).
 //
+// The whole 4×4 (config × ball-count) grid runs as one Experiment: every
+// cell carries its own Balls override, and all cells × runs share one
+// worker pool.
+//
 // Run with:
 //
 //	go run ./examples/heavyload
@@ -31,22 +35,33 @@ func main() {
 		{"(3,4)-choice [d<2k, open]", kdchoice.Config{Bins: n, K: 3, D: 4, Seed: 23}},
 		{"single choice", kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice, Seed: 24}},
 	}
+	mults := []int{1, 4, 16, 64}
+
+	// One cell per (config, m/n) point; the per-cell Balls override builds
+	// the heavy-load axis.
+	var cells []kdchoice.Cell
+	for _, c := range configs {
+		for mi, mult := range mults {
+			cfg := c.cfg
+			cfg.Seed += uint64(mi) * 1000 // independent streams per ball count
+			cells = append(cells, kdchoice.Cell{Config: cfg, Balls: mult * n})
+		}
+	}
+	report, err := kdchoice.Experiment{Cells: cells, Runs: runs, Seed: 2}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("n = %d bins, m growing to 64n, gap = max load - m/n (mean of %d runs)\n\n", n, runs)
 	fmt.Printf("%-26s", "m/n:")
-	mults := []int{1, 4, 16, 64}
 	for _, m := range mults {
 		fmt.Printf("  %8d", m)
 	}
 	fmt.Println()
-	for _, c := range configs {
+	for ci, c := range configs {
 		fmt.Printf("%-26s", c.label)
-		for _, mult := range mults {
-			res, err := kdchoice.Simulate(c.cfg, mult*n, runs)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("  %8.2f", res.MeanGap)
+		for mi := range mults {
+			fmt.Printf("  %8.2f", report.Cells[ci*len(mults)+mi].MeanGap)
 		}
 		fmt.Println()
 	}

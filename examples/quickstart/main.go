@@ -1,5 +1,6 @@
 // Quickstart: place n balls into n bins with (k,d)-choice and inspect the
-// result through the public API.
+// result through the three layers of the public API — the process
+// (Allocator), observers (Attach + recorders), and experiments (Sweep).
 //
 // Run with:
 //
@@ -16,12 +17,20 @@ import (
 func main() {
 	const n = 1 << 16 // 65536 bins
 
-	// The paper's process: each round samples d bins and places the k < d
-	// balls into the k least-loaded sampled bins.
+	// Layer 1 — the process. Each round samples d bins and places the
+	// k < d balls into the k least-loaded sampled bins.
 	alloc, err := kdchoice.NewKD(n, 2, 3, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Layer 2 — observers. Attach instruments before placing: a time
+	// series of the per-round trajectory and a height recorder that
+	// reconstructs the occupancy numbers ν_y from the placement stream.
+	ts := kdchoice.NewTimeSeriesRecorder(n / (2 * 8)) // 8 samples over n/2 rounds
+	hr := kdchoice.NewHeightRecorder(0)
+	alloc.Attach(ts, hr)
+
 	alloc.PlaceAll() // n balls into n bins
 
 	fmt.Println("=== (2,3)-choice quickstart ===")
@@ -36,22 +45,33 @@ func main() {
 	top := alloc.SortedLoads()[:8]
 	fmt.Printf("top loads: %v\n", top)
 
-	// Compare against the classical baselines on the same n.
-	fmt.Println("\n=== baselines (10 runs each, distinct max loads) ===")
-	for _, cfg := range []struct {
-		name string
-		c    kdchoice.Config
-	}{
-		{"single choice", kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice, Seed: 1}},
-		{"two-choice   ", kdchoice.Config{Bins: n, K: 1, D: 2, Seed: 2}},
-		{"(2,3)-choice ", kdchoice.Config{Bins: n, K: 2, D: 3, Seed: 3}},
-		{"(8,17)-choice", kdchoice.Config{Bins: n, K: 8, D: 17, Seed: 4}},
-	} {
-		res, err := kdchoice.Simulate(cfg.c, 0, 10)
-		if err != nil {
-			log.Fatal(err)
-		}
+	fmt.Println("\n=== observer streams ===")
+	fmt.Printf("%10s  %8s  %8s  %6s\n", "round", "balls", "max", "gap")
+	for _, p := range ts.Points() {
+		fmt.Printf("%10d  %8d  %8d  %6.2f\n", p.Round, p.Balls, p.MaxLoad, p.Gap)
+	}
+	fmt.Printf("occupancy from the height stream: nu_1=%d nu_2=%d nu_3=%d (max height %d)\n",
+		hr.NuY(1), hr.NuY(2), hr.NuY(3), hr.MaxHeight())
+
+	// Layer 3 — experiments. One Sweep runs the baselines as a batch of
+	// cells on a shared worker pool.
+	fmt.Println("\n=== baselines (10 runs each, one sweep) ===")
+	report, err := kdchoice.Experiment{
+		Cells: []kdchoice.Cell{
+			{Label: "single choice", Config: kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice, Seed: 1}},
+			{Label: "two-choice   ", Config: kdchoice.Config{Bins: n, K: 1, D: 2, Seed: 2}},
+			{Label: "(2,3)-choice ", Config: kdchoice.Config{Bins: n, K: 2, D: 3, Seed: 3}},
+			{Label: "(8,17)-choice", Config: kdchoice.Config{Bins: n, K: 8, D: 17, Seed: 4}},
+		},
+		Runs: 10,
+		Seed: 1,
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range report.Cells {
+		c := &report.Cells[i]
 		fmt.Printf("%s  max loads %v  (%.2f msgs/ball)\n",
-			cfg.name, res.DistinctMax, res.MeanMessages/float64(n))
+			c.Cell.Label, c.DistinctMax, c.MeanMessages/float64(n))
 	}
 }

@@ -1,0 +1,48 @@
+// Sweep: map the paper's whole (k, d) parameter space in one call.
+//
+// Sweep builds the cross product of bin counts, k values, d values and
+// policies, drops the grid points the process rejects (k >= d — the blank
+// cells of Table 1), and runs every cell × run on one shared bounded worker
+// pool with deterministic per-(cell, run) random streams. The Report then
+// answers cross-cell questions directly: here, the message-cost/max-load
+// frontier of Theorem 1 over a 3×4 grid.
+//
+// Run with:
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	kdchoice "repro"
+)
+
+func main() {
+	const n = 1 << 14
+
+	report, err := kdchoice.Sweep{
+		N:           []int{n},
+		K:           []int{1, 2, 8},
+		D:           []int{2, 4, 9, 17},
+		Runs:        10,
+		Seed:        7,
+		Workers:     0,    // GOMAXPROCS
+		SkipInvalid: true, // drop k >= d grid points
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("swept %d valid cells of the 3x4 (k,d) rectangle at n = %d\n\n", len(report.Cells), n)
+	fmt.Printf("%-18s  %10s  %12s  %12s\n", "cell", "mean max", "probes/ball", "distinct max")
+	for _, p := range report.TradeoffCurve() {
+		cell := report.Find(p.Policy, p.Bins, p.K, p.D)
+		fmt.Printf("%-18s  %10.2f  %12.3f  %v\n", p.Label, p.MeanMaxLoad, p.MessagesPerBall, cell.DistinctMax)
+	}
+
+	fmt.Println("\nEvery point is one (k,d) operating mode; scanning down the curve shows")
+	fmt.Println("what max-load reduction each extra probe per ball buys — the paper's")
+	fmt.Println("Theorem 1 tradeoff, measured rather than proved.")
+}

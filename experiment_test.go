@@ -1,0 +1,332 @@
+package kdchoice
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testSweep() Sweep {
+	return Sweep{
+		N:           []int{128, 256},
+		K:           []int{1, 2, 4},
+		D:           []int{2, 3, 5},
+		Runs:        4,
+		Seed:        11,
+		SkipInvalid: true,
+	}
+}
+
+// TestSweepCellsGrid: the grid builder must emit exactly the valid cells in
+// row-major order.
+func TestSweepCellsGrid(t *testing.T) {
+	cells, err := testSweep().Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k < d everywhere: k=1 -> d in {2,3,5}; k=2 -> {3,5}; k=4 -> {5}.
+	// 6 valid (k,d) pairs per n, two n values.
+	if len(cells) != 12 {
+		t.Fatalf("grid has %d cells, want 12", len(cells))
+	}
+	if cells[0].Config.Bins != 128 || cells[6].Config.Bins != 256 {
+		t.Fatal("N is not the outermost axis")
+	}
+	first := cells[0].Config
+	if first.K != 1 || first.D != 2 || first.Policy != KDChoice {
+		t.Fatalf("first cell %+v", first)
+	}
+}
+
+// TestSweepInvalidCells: without SkipInvalid a bad grid point must fail
+// with an error naming the cell.
+func TestSweepInvalidCells(t *testing.T) {
+	s := testSweep()
+	s.SkipInvalid = false
+	_, err := s.Cells()
+	if err == nil {
+		t.Fatal("invalid grid accepted")
+	}
+	if !strings.Contains(err.Error(), "k=2") {
+		t.Fatalf("error does not name the cell: %v", err)
+	}
+	// A sweep where nothing survives must fail rather than return an empty
+	// experiment.
+	empty := Sweep{N: []int{64}, K: []int{5}, D: []int{2}, SkipInvalid: true}
+	if _, err := empty.Cells(); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	// No bin counts anywhere.
+	if _, err := (Sweep{K: []int{1}, D: []int{2}}).Cells(); err == nil {
+		t.Fatal("sweep without N accepted")
+	}
+}
+
+// TestSweepPolicyAxis: the policy axis is part of the cross product.
+func TestSweepPolicyAxis(t *testing.T) {
+	rep, err := Sweep{
+		N:        []int{64},
+		K:        []int{1},
+		D:        []int{2},
+		Policies: []Policy{KDChoice, DChoice},
+		Runs:     2,
+		Seed:     5,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("%d cells, want 2", len(rep.Cells))
+	}
+	if rep.Find(KDChoice, 64, 1, 2) == nil || rep.Find(DChoice, 64, 1, 2) == nil {
+		t.Fatal("Find cannot locate the swept policies")
+	}
+	if rep.Find(SingleChoice, 64, 1, 2) != nil {
+		t.Fatal("Find invented a cell")
+	}
+}
+
+// TestExperimentWorkerCountInvariance is the scheduler-determinism
+// guarantee: a sweep run with Workers=1 and Workers=8 must produce
+// byte-identical Reports (same seeds -> same cells), even though the shared
+// pool interleaves (cell, run) tasks completely differently. Running it
+// under -race also exercises concurrent cells sharing one pool.
+func TestExperimentWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) *Report {
+		s := testSweep()
+		s.CollectLoads = true
+		cells, err := s.Cells()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Experiment{
+			Cells:        cells,
+			Runs:         s.Runs,
+			Seed:         s.Seed,
+			Workers:      workers,
+			CollectLoads: true,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial, parallel := run(1), run(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("Workers=1 and Workers=8 reports differ")
+	}
+}
+
+// TestSimulateIsOneCellSweep: the compatibility wrapper must produce
+// exactly the result of a one-cell Experiment with the same seed.
+func TestSimulateIsOneCellSweep(t *testing.T) {
+	cfg := Config{Bins: 256, K: 2, D: 4, Seed: 10}
+	sim, err := Simulate(cfg, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Experiment{Cells: []Cell{{Config: cfg}}, Runs: 8, Seed: 99}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cell's explicit Config.Seed wins over the experiment seed, so
+	// both paths must agree run for run.
+	if !reflect.DeepEqual(sim.MaxLoads, rep.Cells[0].MaxLoads) {
+		t.Fatalf("Simulate %v vs one-cell sweep %v", sim.MaxLoads, rep.Cells[0].MaxLoads)
+	}
+	if !reflect.DeepEqual(sim.Messages, rep.Cells[0].Messages) {
+		t.Fatal("message streams diverged")
+	}
+}
+
+// TestExperimentSeedDerivation: cells without an explicit seed draw
+// distinct deterministic streams from the root seed; cell 0 keeps the root
+// seed itself.
+func TestExperimentSeedDerivation(t *testing.T) {
+	cells := []Cell{
+		{Config: Config{Bins: 256, K: 1, D: 2}},
+		{Config: Config{Bins: 256, K: 1, D: 2}},
+	}
+	rep, err := Experiment{Cells: cells, Runs: 4, Seed: 21}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(rep.Cells[0].MaxLoads, rep.Cells[1].MaxLoads) &&
+		reflect.DeepEqual(rep.Cells[0].Messages, rep.Cells[1].Messages) &&
+		reflect.DeepEqual(rep.Cells[0].Gaps, rep.Cells[1].Gaps) {
+		t.Fatal("identical configs at different cell indices reused one stream")
+	}
+	// Cell 0 must match the classic Simulate derivation for the root seed.
+	sim, err := Simulate(Config{Bins: 256, K: 1, D: 2, Seed: 21}, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sim.MaxLoads, rep.Cells[0].MaxLoads) {
+		t.Fatal("cell 0 does not inherit the root seed")
+	}
+}
+
+// TestExperimentPerCellOverrides: per-cell Balls/Runs win over the
+// experiment defaults.
+func TestExperimentPerCellOverrides(t *testing.T) {
+	rep, err := Experiment{
+		Cells: []Cell{
+			{Config: Config{Bins: 64, K: 2, D: 4, Seed: 1}},
+			{Config: Config{Bins: 64, K: 2, D: 4, Seed: 2}, Balls: 640, Runs: 2},
+		},
+		Runs: 3,
+		Seed: 1,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells[0].EffectiveBalls != 64 || rep.Cells[0].EffectiveRuns != 3 {
+		t.Fatalf("cell 0 effective = (%d, %d)", rep.Cells[0].EffectiveBalls, rep.Cells[0].EffectiveRuns)
+	}
+	if rep.Cells[1].EffectiveBalls != 640 || rep.Cells[1].EffectiveRuns != 2 {
+		t.Fatalf("cell 1 effective = (%d, %d)", rep.Cells[1].EffectiveBalls, rep.Cells[1].EffectiveRuns)
+	}
+	for _, m := range rep.Cells[1].MaxLoads {
+		if m < 10 {
+			t.Fatalf("heavy cell max load %d below average 10", m)
+		}
+	}
+}
+
+// TestExperimentErrors: invalid experiment shapes fail fast with cell
+// context.
+func TestExperimentErrors(t *testing.T) {
+	if _, err := (Experiment{}).Run(); err == nil {
+		t.Fatal("empty experiment accepted")
+	}
+	bad := Experiment{Cells: []Cell{
+		{Config: Config{Bins: 64, K: 1, D: 2}},
+		{Config: Config{Bins: 64, K: -1, D: 2}, Label: "bad-cell"},
+	}}
+	_, err := bad.Run()
+	if err == nil {
+		t.Fatal("invalid cell accepted")
+	}
+	if !strings.Contains(err.Error(), "bad-cell") {
+		t.Fatalf("error lacks cell label: %v", err)
+	}
+	// Process-level parameter errors (k >= d) must also carry the label,
+	// not just the public-layer sign checks.
+	_, err = (Experiment{Cells: []Cell{
+		{Config: Config{Bins: 64, K: 1, D: 2}},
+		{Config: Config{Bins: 64, K: 5, D: 3}, Label: "kd-inverted"},
+	}}).Run()
+	if err == nil || !strings.Contains(err.Error(), "kd-inverted") {
+		t.Fatalf("process-invalid cell not named: %v", err)
+	}
+	if _, err := (Experiment{Cells: []Cell{{Config: Config{Bins: 8, K: 1, D: 2}}}, Balls: -1}).Run(); err == nil {
+		t.Fatal("negative Balls accepted")
+	}
+	if _, err := (Experiment{Cells: []Cell{{Config: Config{Bins: 8, K: 1, D: 2}}}, Runs: -1}).Run(); err == nil {
+		t.Fatal("negative Runs accepted")
+	}
+}
+
+// TestReportProfileAccessors: the CollectLoads-dependent accessors must
+// return data when enabled and ErrNoLoads when not — the error contract
+// that replaced the old panics.
+func TestReportProfileAccessors(t *testing.T) {
+	with, err := Sweep{N: []int{64}, K: []int{1}, D: []int{2}, Runs: 3, Seed: 2, CollectLoads: true}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := with.Cells[0].MeanSortedProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 64 {
+		t.Fatalf("profile length %d", len(prof))
+	}
+	sum := 0.0
+	for _, x := range prof {
+		sum += x
+	}
+	if sum < 63.99 || sum > 64.01 {
+		t.Fatalf("profile sum %v, want 64", sum)
+	}
+	nu, err := with.Cells[0].MeanNuY()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nu[0] != 64 {
+		t.Fatalf("nu_0 = %v", nu[0])
+	}
+	loads, err := with.Cells[0].RunLoads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 3 || len(loads[0]) != 64 {
+		t.Fatalf("RunLoads shape %dx%d", len(loads), len(loads[0]))
+	}
+
+	without, err := Sweep{N: []int{64}, K: []int{1}, D: []int{2}, Runs: 3, Seed: 2}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := without.Cells[0].MeanSortedProfile(); err != ErrNoLoads {
+		t.Fatalf("MeanSortedProfile err = %v, want ErrNoLoads", err)
+	}
+	if _, err := without.Cells[0].MeanNuY(); err != ErrNoLoads {
+		t.Fatalf("MeanNuY err = %v, want ErrNoLoads", err)
+	}
+	if _, err := without.Cells[0].RunLoads(); err != ErrNoLoads {
+		t.Fatalf("RunLoads err = %v, want ErrNoLoads", err)
+	}
+}
+
+// TestTradeoffCurve: the cross-cell summary must cover every cell, be
+// sorted by message cost, and reproduce the paper's qualitative frontier —
+// more probes per ball buy a lower max load.
+func TestTradeoffCurve(t *testing.T) {
+	rep, err := Experiment{
+		Cells: []Cell{
+			{Config: Config{Bins: 4096, Policy: SingleChoice}, Label: "single"},
+			{Config: Config{Bins: 4096, K: 1, D: 2}, Label: "two-choice"},
+			{Config: Config{Bins: 4096, K: 1, D: 8}, Label: "8-choice"},
+		},
+		Runs: 5,
+		Seed: 31,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := rep.TradeoffCurve()
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].MessagesPerBall < curve[i-1].MessagesPerBall {
+			t.Fatal("curve not sorted by messages per ball")
+		}
+	}
+	if curve[0].Label != "single" || curve[2].Label != "8-choice" {
+		t.Fatalf("curve order: %q, %q, %q", curve[0].Label, curve[1].Label, curve[2].Label)
+	}
+	if !(curve[0].MeanMaxLoad > curve[1].MeanMaxLoad && curve[1].MeanMaxLoad >= curve[2].MeanMaxLoad) {
+		t.Fatalf("frontier not monotone: %v", curve)
+	}
+	if curve[0].MessagesPerBall < 0.99 || curve[0].MessagesPerBall > 1.01 {
+		t.Fatalf("single choice probes/ball = %v", curve[0].MessagesPerBall)
+	}
+}
+
+// TestCellLabels: derived labels identify the configuration.
+func TestCellLabels(t *testing.T) {
+	c := Cell{Config: Config{Bins: 64, K: 2, D: 3}}
+	if got := c.label(); !strings.Contains(got, "kd(2,3)") {
+		t.Fatalf("label = %q", got)
+	}
+	c = Cell{Config: Config{Bins: 64, Policy: SingleChoice}}
+	if got := c.label(); !strings.Contains(got, "single") {
+		t.Fatalf("label = %q", got)
+	}
+	c = Cell{Config: Config{Bins: 64, D: 4, Policy: DChoice}, Label: "custom"}
+	if got := c.label(); got != "custom" {
+		t.Fatalf("label = %q", got)
+	}
+}

@@ -1,4 +1,4 @@
-package kdchoice
+package kdchoice_test
 
 // Integration tests: cross-package flows exercised exactly as the command
 // line tools and a downstream user would, checking the paper's claims end
@@ -7,6 +7,7 @@ package kdchoice
 import (
 	"testing"
 
+	kdchoice "repro"
 	"repro/internal/experiments"
 )
 
@@ -57,11 +58,11 @@ func TestEndToEndTable1Agreement(t *testing.T) {
 // seed derivation.
 func TestPublicAPIAgreesWithExperiments(t *testing.T) {
 	const n, k, d = 2048, 2, 3
-	pub, err := Simulate(Config{Bins: n, K: k, D: d, Seed: 77}, 0, 6)
+	pub, err := kdchoice.Simulate(kdchoice.Config{Bins: n, K: k, D: d, Seed: 77}, 0, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub2, err := Simulate(Config{Bins: n, K: k, D: d, Seed: 77}, 0, 6)
+	pub2, err := kdchoice.Simulate(kdchoice.Config{Bins: n, K: k, D: d, Seed: 77}, 0, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,14 +80,14 @@ func TestMessageCostMatchesTheory(t *testing.T) {
 		{64, 2, 3, 64}, {64, 2, 3, 63}, {64, 4, 8, 130}, {128, 1, 2, 128},
 	}
 	for _, tc := range cases {
-		a, err := NewKD(tc.n, tc.k, tc.d, 5)
+		a, err := kdchoice.NewKD(tc.n, tc.k, tc.d, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if err := a.Place(tc.m); err != nil {
 			t.Fatal(err)
 		}
-		if got, want := a.Messages(), MessageCost(tc.k, tc.d, tc.m); got != want {
+		if got, want := a.Messages(), kdchoice.MessageCost(tc.k, tc.d, tc.m); got != want {
 			t.Fatalf("(%d,%d) m=%d: measured %d, theory %d", tc.k, tc.d, tc.m, got, want)
 		}
 	}
@@ -99,7 +100,7 @@ func TestRegimeTransition(t *testing.T) {
 	const n, d = 4096, 64
 	prevMax := -1.0
 	for _, k := range []int{1, 16, 32, 48, 63} {
-		res, err := Simulate(Config{Bins: n, K: k, D: d, Seed: 13}, 0, 8)
+		res, err := kdchoice.Simulate(kdchoice.Config{Bins: n, K: k, D: d, Seed: 13}, 0, 8)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,8 +110,8 @@ func TestRegimeTransition(t *testing.T) {
 		prevMax = res.MeanMax
 	}
 	// And the message cost per ball falls toward 1 as k -> d.
-	lo := MessageCost(63, 64, n)
-	hi := MessageCost(1, 64, n)
+	lo := kdchoice.MessageCost(63, 64, n)
+	hi := kdchoice.MessageCost(1, 64, n)
 	if lo >= hi {
 		t.Fatal("message cost should shrink as k approaches d")
 	}
@@ -121,11 +122,11 @@ func TestRegimeTransition(t *testing.T) {
 // approaches single choice (within one ball at this scale).
 func TestFullSpectrumEndpoints(t *testing.T) {
 	const n = 4096
-	kd1, err := Simulate(Config{Bins: n, K: 1, D: 3, Seed: 21}, 0, 20)
+	kd1, err := kdchoice.Simulate(kdchoice.Config{Bins: n, K: 1, D: 3, Seed: 21}, 0, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dch, err := Simulate(Config{Bins: n, D: 3, Policy: DChoice, Seed: 22}, 0, 20)
+	dch, err := kdchoice.Simulate(kdchoice.Config{Bins: n, D: 3, Policy: kdchoice.DChoice, Seed: 22}, 0, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +134,11 @@ func TestFullSpectrumEndpoints(t *testing.T) {
 		t.Fatalf("(1,3) mean %.2f vs 3-choice %.2f", kd1.MeanMax, dch.MeanMax)
 	}
 
-	wide, err := Simulate(Config{Bins: n, K: 255, D: 256, Seed: 23}, 0, 10)
+	wide, err := kdchoice.Simulate(kdchoice.Config{Bins: n, K: 255, D: 256, Seed: 23}, 0, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	single, err := Simulate(Config{Bins: n, Policy: SingleChoice, Seed: 24}, 0, 10)
+	single, err := kdchoice.Simulate(kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice, Seed: 24}, 0, 10)
 	if err != nil {
 		t.Fatal(err)
 	}

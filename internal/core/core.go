@@ -197,61 +197,8 @@ func New(policy Policy, p Params, rng *xrand.Rand) (*Process, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("core: nil rng")
 	}
-	if p.N < 1 {
-		return nil, fmt.Errorf("core: N = %d, need N >= 1", p.N)
-	}
-	switch policy {
-	case KDChoice, SerializedKD, AdaptiveKD:
-		if p.K < 1 {
-			return nil, fmt.Errorf("core: %v requires K >= 1, got %d", policy, p.K)
-		}
-		if p.D <= p.K {
-			return nil, fmt.Errorf("core: %v requires D > K, got K=%d D=%d", policy, p.K, p.D)
-		}
-		if p.D > p.N {
-			return nil, fmt.Errorf("core: %v requires D <= N, got D=%d N=%d", policy, p.D, p.N)
-		}
-		if policy == SerializedKD && !p.RandomSigma && p.Sigma != nil {
-			if err := checkPermutation(p.Sigma, p.K); err != nil {
-				return nil, err
-			}
-		}
-	case DynamicKD:
-		if p.D < 2 {
-			return nil, fmt.Errorf("core: DynamicKD requires D >= 2, got %d", p.D)
-		}
-		if p.D > p.N {
-			return nil, fmt.Errorf("core: DynamicKD requires D <= N, got D=%d N=%d", p.D, p.N)
-		}
-	case DChoice, AlwaysGoLeft:
-		if p.D < 1 {
-			return nil, fmt.Errorf("core: %v requires D >= 1, got %d", policy, p.D)
-		}
-		if p.D > p.N {
-			return nil, fmt.Errorf("core: %v requires D <= N, got D=%d N=%d", policy, p.D, p.N)
-		}
-	case StaleBatch:
-		if p.K < 1 {
-			return nil, fmt.Errorf("core: StaleBatch requires K >= 1, got %d", p.K)
-		}
-		if p.D < 1 {
-			return nil, fmt.Errorf("core: StaleBatch requires D >= 1 probes per ball, got %d", p.D)
-		}
-		if p.D > p.N {
-			return nil, fmt.Errorf("core: StaleBatch requires D <= N, got D=%d N=%d", p.D, p.N)
-		}
-	case SingleChoice:
-		// No extra parameters.
-	case OnePlusBeta:
-		if p.Beta < 0 || p.Beta > 1 {
-			return nil, fmt.Errorf("core: OnePlusBeta requires Beta in [0,1], got %v", p.Beta)
-		}
-	case SAx0:
-		if p.X0 < 0 || p.X0 > p.N {
-			return nil, fmt.Errorf("core: SAx0 requires X0 in [0,N], got X0=%d N=%d", p.X0, p.N)
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown policy %d", int(policy))
+	if err := Validate(policy, p); err != nil {
+		return nil, err
 	}
 
 	pr := &Process{
@@ -310,6 +257,70 @@ func New(policy Policy, p Params, rng *xrand.Rand) (*Process, error) {
 		pr.groupStart[p.D] = p.N
 	}
 	return pr, nil
+}
+
+// Validate checks policy and params exactly as New does, without allocating
+// a process. It lets batch schedulers reject a bad configuration up front —
+// even one with a large N — before spinning up workers.
+func Validate(policy Policy, p Params) error {
+	if p.N < 1 {
+		return fmt.Errorf("core: N = %d, need N >= 1", p.N)
+	}
+	switch policy {
+	case KDChoice, SerializedKD, AdaptiveKD:
+		if p.K < 1 {
+			return fmt.Errorf("core: %v requires K >= 1, got %d", policy, p.K)
+		}
+		if p.D <= p.K {
+			return fmt.Errorf("core: %v requires D > K, got K=%d D=%d", policy, p.K, p.D)
+		}
+		if p.D > p.N {
+			return fmt.Errorf("core: %v requires D <= N, got D=%d N=%d", policy, p.D, p.N)
+		}
+		if policy == SerializedKD && !p.RandomSigma && p.Sigma != nil {
+			if err := checkPermutation(p.Sigma, p.K); err != nil {
+				return err
+			}
+		}
+	case DynamicKD:
+		if p.D < 2 {
+			return fmt.Errorf("core: DynamicKD requires D >= 2, got %d", p.D)
+		}
+		if p.D > p.N {
+			return fmt.Errorf("core: DynamicKD requires D <= N, got D=%d N=%d", p.D, p.N)
+		}
+	case DChoice, AlwaysGoLeft:
+		if p.D < 1 {
+			return fmt.Errorf("core: %v requires D >= 1, got %d", policy, p.D)
+		}
+		if p.D > p.N {
+			return fmt.Errorf("core: %v requires D <= N, got D=%d N=%d", policy, p.D, p.N)
+		}
+	case StaleBatch:
+		if p.K < 1 {
+			return fmt.Errorf("core: StaleBatch requires K >= 1, got %d", p.K)
+		}
+		if p.D < 1 {
+			return fmt.Errorf("core: StaleBatch requires D >= 1 probes per ball, got %d", p.D)
+		}
+		if p.D > p.N {
+			return fmt.Errorf("core: StaleBatch requires D <= N, got D=%d N=%d", p.D, p.N)
+		}
+	case SingleChoice:
+		// No extra parameters.
+	case OnePlusBeta:
+		if p.Beta < 0 || p.Beta > 1 {
+			return fmt.Errorf("core: OnePlusBeta requires Beta in [0,1], got %v", p.Beta)
+		}
+	case SAx0:
+		if p.X0 < 0 || p.X0 > p.N {
+			return fmt.Errorf("core: SAx0 requires X0 in [0,N], got X0=%d N=%d", p.X0, p.N)
+		}
+	default:
+		return fmt.Errorf("core: unknown policy %d", int(policy))
+	}
+
+	return nil
 }
 
 func checkPermutation(sigma []int, k int) error {

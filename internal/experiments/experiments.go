@@ -4,6 +4,12 @@
 // and the Section 7 ablation — as reusable functions shared by the command
 // line tools, the benchmark harness and EXPERIMENTS.md generation.
 //
+// The simulation experiments are built entirely on the public kdchoice
+// Experiment API: each study assembles its grid of cells once and runs
+// every (cell, run) pair on one shared worker pool. Only the
+// proof-machinery checks in analysis.go reach below the public surface
+// (they drive the core engine round by round).
+//
 // Every function is deterministic given its seed.
 package experiments
 
@@ -11,8 +17,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/core"
-	"repro/internal/sim"
+	kdchoice "repro"
 	"repro/internal/stats"
 	"repro/internal/table"
 	"repro/internal/theory"
@@ -44,10 +49,19 @@ type Table1Cell struct {
 	DistinctMax []int
 }
 
+// table1Seed derives the historical per-cell seed: every cell's random
+// stream is a pure function of (root seed, k, d), so adding or removing
+// grid rows never reshuffles the other cells.
+func table1Seed(seed uint64, k, d int) uint64 {
+	return seed ^ (uint64(k)<<32 | uint64(d))
+}
+
 // Table1 reproduces the paper's Table 1: for every (k, d) cell of the grid
 // with k < d (plus the single-choice cell k = d = 1), the distinct maximum
-// loads over the configured number of runs. Cells are returned in row-major
-// order.
+// loads over the configured number of runs. The triangular grid is built by
+// a public Sweep over the full k × d rectangle with the invalid cells
+// dropped, and all cells × runs execute together on one shared worker pool.
+// Cells are returned in row-major order.
 func Table1(opts Table1Opts) ([]Table1Cell, error) {
 	n := opts.N
 	if n == 0 {
@@ -57,33 +71,53 @@ func Table1(opts Table1Opts) ([]Table1Cell, error) {
 	if runs == 0 {
 		runs = 10
 	}
-	var cells []Table1Cell
-	for _, k := range Table1Ks {
-		for _, d := range Table1Ds {
-			if d > n {
-				continue // the process requires d <= n (reduced-scale runs)
-			}
-			var cfg sim.Config
-			switch {
-			case k == 1 && d == 1:
-				cfg = sim.Config{Policy: core.SingleChoice, Params: core.Params{N: n}}
-			case k == 1 && d > 1:
-				cfg = sim.Config{Policy: core.KDChoice, Params: core.Params{N: n, K: 1, D: d}}
-			case k < d:
-				cfg = sim.Config{Policy: core.KDChoice, Params: core.Params{N: n, K: k, D: d}}
-			default:
-				continue // the paper leaves k >= d blank
-			}
-			cfg.Runs = runs
-			cfg.Seed = opts.Seed ^ (uint64(k)<<32 | uint64(d))
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: table1 cell k=%d d=%d: %w", k, d, err)
-			}
-			cells = append(cells, Table1Cell{K: k, D: d, DistinctMax: res.DistinctMax()})
+	type gridKey struct{ k, d int }
+	var cells []kdchoice.Cell
+	var keys []gridKey
+
+	// The k = d = 1 corner is the paper's single-choice cell; the sweep
+	// proper covers the k < d triangle.
+	if containsInt(Table1Ks, 1) && containsInt(Table1Ds, 1) && n >= 1 {
+		cells = append(cells, kdchoice.Cell{
+			Config: kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice, Seed: table1Seed(opts.Seed, 1, 1)},
+			Label:  "single-choice",
+		})
+		keys = append(keys, gridKey{1, 1})
+	}
+	grid, err := kdchoice.Sweep{
+		N:           []int{n},
+		K:           Table1Ks,
+		D:           Table1Ds,
+		SkipInvalid: true, // drops k >= d and d > n, the blank cells
+	}.Cells()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table1 grid: %w", err)
+	}
+	for _, c := range grid {
+		k, d := c.Config.K, c.Config.D
+		c.Config.Seed = table1Seed(opts.Seed, k, d)
+		cells = append(cells, c)
+		keys = append(keys, gridKey{k, d})
+	}
+
+	rep, err := kdchoice.Experiment{Cells: cells, Runs: runs, Seed: opts.Seed}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table1: %w", err)
+	}
+	out := make([]Table1Cell, len(rep.Cells))
+	for i := range rep.Cells {
+		out[i] = Table1Cell{K: keys[i].k, D: keys[i].d, DistinctMax: rep.Cells[i].DistinctMax}
+	}
+	return out, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
 		}
 	}
-	return cells, nil
+	return false
 }
 
 // Table1Render renders cells in the paper's layout (k rows, d columns,
@@ -161,44 +195,60 @@ type Profile struct {
 	MeanProfile []float64
 }
 
-// LoadVectorProfile measures the mean sorted-load vector of (k,d)-choice
-// with n balls into n bins over the given runs (Figures 1 and 2).
-func LoadVectorProfile(k, d, n, runs int, seed uint64) (*Profile, error) {
-	res, err := sim.Run(sim.Config{
-		Policy:       core.KDChoice,
-		Params:       core.Params{N: n, K: k, D: d},
-		Runs:         runs,
-		Seed:         seed,
-		CollectLoads: true,
-	})
+// LoadVectorProfiles measures the mean sorted-load vectors of the given
+// (k,d) pairs with n balls into n bins over the given runs (Figures 1
+// and 2), running every pair's runs on one shared pool.
+func LoadVectorProfiles(kds [][2]int, n, runs int, seed uint64) ([]*Profile, error) {
+	cells := make([]kdchoice.Cell, len(kds))
+	for i, kd := range kds {
+		cells[i] = kdchoice.Cell{Config: kdchoice.Config{Bins: n, K: kd[0], D: kd[1], Seed: seed}}
+	}
+	rep, err := kdchoice.Experiment{Cells: cells, Runs: runs, Seed: seed, CollectLoads: true}.Run()
 	if err != nil {
-		return nil, fmt.Errorf("experiments: profile k=%d d=%d: %w", k, d, err)
+		return nil, fmt.Errorf("experiments: profiles: %w", err)
 	}
-	prof := res.MeanSortedProfile()
-	at := func(pos int) float64 {
-		if pos < 1 {
-			pos = 1
+	out := make([]*Profile, len(kds))
+	for i, kd := range kds {
+		k, d := kd[0], kd[1]
+		prof, err := rep.Cells[i].MeanSortedProfile()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: profile k=%d d=%d: %w", k, d, err)
 		}
-		if pos > n {
-			pos = n
+		at := func(pos int) float64 {
+			if pos < 1 {
+				pos = 1
+			}
+			if pos > n {
+				pos = n
+			}
+			return prof[pos-1]
 		}
-		return prof[pos-1]
+		p := &Profile{
+			K: k, D: d, N: n, Runs: runs,
+			Beta0:          theory.Beta0(k, d, n),
+			GammaStar:      theory.GammaStar(k, d, n),
+			Gamma0:         theory.Gamma0(d, n),
+			PredictedGap:   theory.GapTerm(k, d, n),
+			PredictedCrowd: theory.CrowdTerm(k, d),
+			MeanProfile:    prof,
+		}
+		p.B1 = at(1)
+		p.BBeta0 = at(p.Beta0)
+		p.BGammaStar = at(p.GammaStar)
+		p.BGamma0 = at(p.Gamma0)
+		p.MeasuredGap = p.B1 - p.BBeta0
+		out[i] = p
 	}
-	p := &Profile{
-		K: k, D: d, N: n, Runs: runs,
-		Beta0:          theory.Beta0(k, d, n),
-		GammaStar:      theory.GammaStar(k, d, n),
-		Gamma0:         theory.Gamma0(d, n),
-		PredictedGap:   theory.GapTerm(k, d, n),
-		PredictedCrowd: theory.CrowdTerm(k, d),
-		MeanProfile:    prof,
+	return out, nil
+}
+
+// LoadVectorProfile is the one-pair convenience form of LoadVectorProfiles.
+func LoadVectorProfile(k, d, n, runs int, seed uint64) (*Profile, error) {
+	ps, err := LoadVectorProfiles([][2]int{{k, d}}, n, runs, seed)
+	if err != nil {
+		return nil, err
 	}
-	p.B1 = at(1)
-	p.BBeta0 = at(p.Beta0)
-	p.BGammaStar = at(p.GammaStar)
-	p.BGamma0 = at(p.Gamma0)
-	p.MeasuredGap = p.B1 - p.BBeta0
-	return p, nil
+	return ps[0], nil
 }
 
 // ScalingPoint is one (n, measured, predicted) triple of a scaling series.
@@ -208,32 +258,63 @@ type ScalingPoint struct {
 	Predicted float64
 }
 
-// ScalingSeries measures the mean max load of (k,d)-choice as n grows
-// (Theorem 1 shape: ln ln n growth when d_k = O(1), Corollary 1 plateau
-// when d_k is large). k = 1 uses the d-choice fast path semantics via
-// KDChoice's k=1 case; d = 1 means single choice.
-func ScalingSeries(k, d int, ns []int, runs int, seed uint64) ([]ScalingPoint, error) {
-	out := make([]ScalingPoint, 0, len(ns))
-	for i, n := range ns {
-		var cfg sim.Config
-		if d == 1 {
-			cfg = sim.Config{Policy: core.SingleChoice, Params: core.Params{N: n}}
-		} else {
-			cfg = sim.Config{Policy: core.KDChoice, Params: core.Params{N: n, K: k, D: d}}
+// ScalingSeriesResult is one (k, d) row of a scaling grid.
+type ScalingSeriesResult struct {
+	K, D   int
+	Points []ScalingPoint
+}
+
+// scalingCell builds the cell for one (k, d, n) grid point; d = 1 means
+// single choice. The seed depends only on the n index, matching the
+// historical derivation (all pairs share the per-n streams).
+func scalingCell(k, d, n, ni int, seed uint64) kdchoice.Cell {
+	cfg := kdchoice.Config{Bins: n, K: k, D: d, Seed: seed + uint64(ni)*1e6}
+	if d == 1 {
+		cfg = kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice, Seed: seed + uint64(ni)*1e6}
+	}
+	return kdchoice.Cell{Config: cfg}
+}
+
+// ScalingGrid measures the mean max load of every (k,d) pair at every n on
+// one shared pool (Theorem 1 shape: ln ln n growth when d_k = O(1),
+// Corollary 1 plateau when d_k is large). k = 1 uses the d-choice fast path
+// semantics via KDChoice's k=1 case; d = 1 means single choice.
+func ScalingGrid(pairs [][2]int, ns []int, runs int, seed uint64) ([]ScalingSeriesResult, error) {
+	var cells []kdchoice.Cell
+	for _, kd := range pairs {
+		for i, n := range ns {
+			cells = append(cells, scalingCell(kd[0], kd[1], n, i, seed))
 		}
-		cfg.Runs = runs
-		cfg.Seed = seed + uint64(i)*1e6
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scaling n=%d: %w", n, err)
+	}
+	rep, err := kdchoice.Experiment{Cells: cells, Runs: runs, Seed: seed}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scaling grid: %w", err)
+	}
+	out := make([]ScalingSeriesResult, len(pairs))
+	ci := 0
+	for pi, kd := range pairs {
+		k, d := kd[0], kd[1]
+		res := ScalingSeriesResult{K: k, D: d, Points: make([]ScalingPoint, len(ns))}
+		for i, n := range ns {
+			pred := theory.SingleChoiceMaxLoad(n)
+			if d > 1 {
+				pred = theory.MaxLoadUpper(k, d, n)
+			}
+			res.Points[i] = ScalingPoint{N: n, MeanMax: rep.Cells[ci].MeanMax, Predicted: pred}
+			ci++
 		}
-		pred := theory.SingleChoiceMaxLoad(n)
-		if d > 1 {
-			pred = theory.MaxLoadUpper(k, d, n)
-		}
-		out = append(out, ScalingPoint{N: n, MeanMax: res.MaxStats().Mean(), Predicted: pred})
+		out[pi] = res
 	}
 	return out, nil
+}
+
+// ScalingSeries is the one-pair convenience form of ScalingGrid.
+func ScalingSeries(k, d int, ns []int, runs int, seed uint64) ([]ScalingPoint, error) {
+	grid, err := ScalingGrid([][2]int{{k, d}}, ns, runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return grid[0].Points, nil
 }
 
 // HeavyPoint is one heavy-load measurement at m = Mult·n balls.
@@ -245,30 +326,55 @@ type HeavyPoint struct {
 	GapUpper float64 // Theorem 2 upper leading term
 }
 
-// HeavySeries measures the gap (max − m/n) of (k,d)-choice as the ball
-// count grows to Mult·n (Theorem 2, d >= 2k).
-func HeavySeries(k, d, n int, mults []int, runs int, seed uint64) ([]HeavyPoint, error) {
-	out := make([]HeavyPoint, 0, len(mults))
-	for i, mult := range mults {
-		res, err := sim.Run(sim.Config{
-			Policy: core.KDChoice,
-			Params: core.Params{N: n, K: k, D: d},
-			Balls:  mult * n,
-			Runs:   runs,
-			Seed:   seed + uint64(i)*1e6,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: heavy m=%dn: %w", mult, err)
+// HeavySeriesResult is one (k, d) row of a heavy-load grid.
+type HeavySeriesResult struct {
+	K, D   int
+	Points []HeavyPoint
+}
+
+// HeavyGrid measures the gap (max − m/n) of every (k,d) pair as the ball
+// count grows to Mult·n (Theorem 2, d >= 2k), all on one shared pool.
+func HeavyGrid(pairs [][2]int, n int, mults []int, runs int, seed uint64) ([]HeavySeriesResult, error) {
+	var cells []kdchoice.Cell
+	for _, kd := range pairs {
+		for i, mult := range mults {
+			cells = append(cells, kdchoice.Cell{
+				Config: kdchoice.Config{Bins: n, K: kd[0], D: kd[1], Seed: seed + uint64(i)*1e6},
+				Balls:  mult * n,
+			})
 		}
-		out = append(out, HeavyPoint{
-			Mult:     mult,
-			MeanGap:  res.GapStats().Mean(),
-			MeanMax:  res.MaxStats().Mean(),
-			GapLower: theory.HeavyGapLower(k, d, n),
-			GapUpper: theory.HeavyGapUpper(k, d, n),
-		})
+	}
+	rep, err := kdchoice.Experiment{Cells: cells, Runs: runs, Seed: seed}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: heavy grid: %w", err)
+	}
+	out := make([]HeavySeriesResult, len(pairs))
+	ci := 0
+	for pi, kd := range pairs {
+		k, d := kd[0], kd[1]
+		res := HeavySeriesResult{K: k, D: d, Points: make([]HeavyPoint, len(mults))}
+		for i, mult := range mults {
+			res.Points[i] = HeavyPoint{
+				Mult:     mult,
+				MeanGap:  rep.Cells[ci].MeanGap,
+				MeanMax:  rep.Cells[ci].MeanMax,
+				GapLower: theory.HeavyGapLower(k, d, n),
+				GapUpper: theory.HeavyGapUpper(k, d, n),
+			}
+			ci++
+		}
+		out[pi] = res
 	}
 	return out, nil
+}
+
+// HeavySeries is the one-pair convenience form of HeavyGrid.
+func HeavySeries(k, d, n int, mults []int, runs int, seed uint64) ([]HeavyPoint, error) {
+	grid, err := HeavyGrid([][2]int{{k, d}}, n, mults, runs, seed)
+	if err != nil {
+		return nil, err
+	}
+	return grid[0].Points, nil
 }
 
 // TradeoffPoint is one point of the message-cost/max-load frontier.
@@ -284,7 +390,7 @@ type TradeoffPoint struct {
 // TradeoffFrontier measures the paper's headline tradeoff at one n: the
 // max load and amortized message cost of single choice, two-choice,
 // (1+β)-choice, and the (k,d) sweet spots (d = 2k constant-load regime and
-// d = k + ln n minimal-message regime).
+// d = k + ln n minimal-message regime), as one experiment batch.
 func TradeoffFrontier(n, runs int, seed uint64) ([]TradeoffPoint, error) {
 	// Integer approximations of the paper's parameter choices.
 	logn := ilog(n)       // ⌊ln n⌋
@@ -292,33 +398,38 @@ func TradeoffFrontier(n, runs int, seed uint64) ([]TradeoffPoint, error) {
 	d1 := k1 + logn       // d = k + ln n  -> (1+o(1))n messages
 	k2 := logn * logn / 2 // k = Θ(polylog n)
 	d2 := 2 * k2          // d = 2k        -> 2n messages, O(1) load
-	points := []struct {
-		label  string
-		policy core.Policy
-		params core.Params
-	}{
-		{"single choice", core.SingleChoice, core.Params{N: n}},
-		{"two-choice", core.KDChoice, core.Params{N: n, K: 1, D: 2}},
-		{"(1+beta), beta=0.5", core.OnePlusBeta, core.Params{N: n, Beta: 0.5}},
-		{fmt.Sprintf("(k,d)=(%d,%d) [d=k+ln n]", k1, d1), core.KDChoice, core.Params{N: n, K: k1, D: d1}},
-		{fmt.Sprintf("(k,d)=(%d,%d) [d=2k]", k2, d2), core.KDChoice, core.Params{N: n, K: k2, D: d2}},
+	cells := []kdchoice.Cell{
+		{Label: "single choice", Config: kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice}},
+		{Label: "two-choice", Config: kdchoice.Config{Bins: n, K: 1, D: 2}},
+		{Label: "(1+beta), beta=0.5", Config: kdchoice.Config{Bins: n, Policy: kdchoice.OnePlusBeta, Beta: 0.5}},
+		{Label: fmt.Sprintf("(k,d)=(%d,%d) [d=k+ln n]", k1, d1), Config: kdchoice.Config{Bins: n, K: k1, D: d1}},
+		{Label: fmt.Sprintf("(k,d)=(%d,%d) [d=2k]", k2, d2), Config: kdchoice.Config{Bins: n, K: k2, D: d2}},
 	}
-	out := make([]TradeoffPoint, 0, len(points))
-	for i, pt := range points {
-		res, err := sim.Run(sim.Config{Policy: pt.policy, Params: pt.params, Runs: runs, Seed: seed + uint64(i)*7919})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: tradeoff %q: %w", pt.label, err)
+	for i := range cells {
+		cells[i].Config.Seed = seed + uint64(i)*7919
+	}
+	rep, err := kdchoice.Experiment{Cells: cells, Runs: runs, Seed: seed}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: tradeoff: %w", err)
+	}
+	out := make([]TradeoffPoint, 0, len(rep.Cells))
+	for i := range rep.Cells {
+		c := &rep.Cells[i]
+		cfg := c.Cell.Config
+		pol := cfg.Policy
+		if pol == 0 {
+			pol = kdchoice.KDChoice
 		}
 		tp := TradeoffPoint{
-			Label:           pt.label,
-			Policy:          pt.policy.String(),
-			K:               pt.params.K,
-			D:               pt.params.D,
-			MeanMax:         res.MaxStats().Mean(),
-			MessagesPerBall: res.MeanMessages() / float64(n),
+			Label:           c.Cell.Label,
+			Policy:          pol.String(),
+			K:               cfg.K,
+			D:               cfg.D,
+			MeanMax:         c.MeanMax,
+			MessagesPerBall: c.MeanMessages / float64(n),
 		}
-		if pt.policy == core.KDChoice {
-			tp.Regime = theory.Classify(pt.params.K, pt.params.D, n).String()
+		if pol == kdchoice.KDChoice {
+			tp.Regime = theory.Classify(cfg.K, cfg.D, n).String()
 		}
 		out = append(out, tp)
 	}
@@ -348,51 +459,50 @@ type RemarkRow struct {
 
 // Remarks reproduces the three explicit observations of Section 1.2:
 // (8,9) ≈ two-choice, (128,193) matches (1,193), and (64,65) clearly beats
-// single choice.
+// single choice. All six sides run as one experiment batch.
 func Remarks(n, runs int, seed uint64) ([]RemarkRow, error) {
-	run := func(policy core.Policy, p core.Params, s uint64) (*sim.Result, error) {
-		return sim.Run(sim.Config{Policy: policy, Params: p, Runs: runs, Seed: s})
-	}
 	type spec struct {
 		name, explain string
-		lp, rp        core.Policy
-		l, r          core.Params
+		l, r          kdchoice.Config
 	}
 	specs := []spec{
 		{
 			name: "(8,9) vs two-choice", explain: "close max loads at half the per-ball probes",
-			lp: core.KDChoice, l: core.Params{N: n, K: 8, D: 9},
-			rp: core.KDChoice, r: core.Params{N: n, K: 1, D: 2},
+			l: kdchoice.Config{Bins: n, K: 8, D: 9},
+			r: kdchoice.Config{Bins: n, K: 1, D: 2},
 		},
 		{
 			name: "(128,193) vs (1,193)", explain: "identical max load 2 at 1/128 of the rounds",
-			lp: core.KDChoice, l: core.Params{N: n, K: 128, D: 193},
-			rp: core.KDChoice, r: core.Params{N: n, K: 1, D: 193},
+			l: kdchoice.Config{Bins: n, K: 128, D: 193},
+			r: kdchoice.Config{Bins: n, K: 1, D: 193},
 		},
 		{
 			name: "(64,65) vs single choice", explain: "noticeably better than single choice",
-			lp: core.KDChoice, l: core.Params{N: n, K: 64, D: 65},
-			rp: core.SingleChoice, r: core.Params{N: n},
+			l: kdchoice.Config{Bins: n, K: 64, D: 65},
+			r: kdchoice.Config{Bins: n, Policy: kdchoice.SingleChoice},
 		},
+	}
+	cells := make([]kdchoice.Cell, 0, 2*len(specs))
+	for i, sp := range specs {
+		sp.l.Seed = seed + uint64(i)*2
+		sp.r.Seed = seed + uint64(i)*2 + 1
+		cells = append(cells, kdchoice.Cell{Config: sp.l}, kdchoice.Cell{Config: sp.r})
+	}
+	rep, err := kdchoice.Experiment{Cells: cells, Runs: runs, Seed: seed}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: remarks: %w", err)
 	}
 	out := make([]RemarkRow, 0, len(specs))
 	for i, sp := range specs {
-		lres, err := run(sp.lp, sp.l, seed+uint64(i)*2)
-		if err != nil {
-			return nil, err
-		}
-		rres, err := run(sp.rp, sp.r, seed+uint64(i)*2+1)
-		if err != nil {
-			return nil, err
-		}
+		lres, rres := &rep.Cells[2*i], &rep.Cells[2*i+1]
 		out = append(out, RemarkRow{
 			Name:        sp.name,
 			LeftLabel:   fmt.Sprintf("(%d,%d)", sp.l.K, sp.l.D),
 			RightLabel:  fmt.Sprintf("(%d,%d)", sp.r.K, sp.r.D),
-			LeftMax:     lres.DistinctMax(),
-			RightMax:    rres.DistinctMax(),
-			LeftMsgs:    lres.MeanMessages() / float64(n),
-			RightMsgs:   rres.MeanMessages() / float64(n),
+			LeftMax:     lres.DistinctMax,
+			RightMax:    rres.DistinctMax,
+			LeftMsgs:    lres.MeanMessages / float64(n),
+			RightMsgs:   rres.MeanMessages / float64(n),
 			Explanation: sp.explain,
 		})
 	}
@@ -415,39 +525,32 @@ type AdaptivePoint struct {
 // AdaptiveAblation measures the Section 7 conjectures: relaxing the
 // multiplicity rule (water-filling) should help most when k ≈ d, and
 // adjusting k dynamically should hold the ceiling at little message cost.
+// The whole 3 × pairs grid runs as one experiment batch.
 func AdaptiveAblation(n, runs int, seed uint64, pairs [][2]int) ([]AdaptivePoint, error) {
-	out := make([]AdaptivePoint, 0, len(pairs))
+	cells := make([]kdchoice.Cell, 0, 3*len(pairs))
 	for i, kd := range pairs {
 		k, d := kd[0], kd[1]
-		strict, err := sim.Run(sim.Config{
-			Policy: core.KDChoice, Params: core.Params{N: n, K: k, D: d},
-			Runs: runs, Seed: seed + uint64(i)*11,
-		})
-		if err != nil {
-			return nil, err
-		}
-		adapt, err := sim.Run(sim.Config{
-			Policy: core.AdaptiveKD, Params: core.Params{N: n, K: k, D: d},
-			Runs: runs, Seed: seed + uint64(i)*11 + 5,
-		})
-		if err != nil {
-			return nil, err
-		}
-		dyn, err := sim.Run(sim.Config{
-			Policy: core.DynamicKD, Params: core.Params{N: n, D: d},
-			Runs: runs, Seed: seed + uint64(i)*11 + 9,
-		})
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells,
+			kdchoice.Cell{Config: kdchoice.Config{Bins: n, K: k, D: d, Seed: seed + uint64(i)*11}},
+			kdchoice.Cell{Config: kdchoice.Config{Bins: n, K: k, D: d, Policy: kdchoice.AdaptiveKD, Seed: seed + uint64(i)*11 + 5}},
+			kdchoice.Cell{Config: kdchoice.Config{Bins: n, D: d, Policy: kdchoice.DynamicKD, Seed: seed + uint64(i)*11 + 9}},
+		)
+	}
+	rep, err := kdchoice.Experiment{Cells: cells, Runs: runs, Seed: seed}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: adaptive ablation: %w", err)
+	}
+	out := make([]AdaptivePoint, 0, len(pairs))
+	for i, kd := range pairs {
+		strict, adapt, dyn := &rep.Cells[3*i], &rep.Cells[3*i+1], &rep.Cells[3*i+2]
 		out = append(out, AdaptivePoint{
-			K: k, D: d,
-			StrictMax:      strict.MaxStats().Mean(),
-			AdaptMax:       adapt.MaxStats().Mean(),
-			StrictDist:     strict.DistinctMax(),
-			AdaptDist:      adapt.DistinctMax(),
-			DynMax:         dyn.MaxStats().Mean(),
-			DynMsgsPerBall: dyn.MeanMessages() / float64(n),
+			K: kd[0], D: kd[1],
+			StrictMax:      strict.MeanMax,
+			AdaptMax:       adapt.MeanMax,
+			StrictDist:     strict.DistinctMax,
+			AdaptDist:      adapt.DistinctMax,
+			DynMax:         dyn.MeanMax,
+			DynMsgsPerBall: dyn.MeanMessages / float64(n),
 		})
 	}
 	return out, nil
@@ -463,24 +566,27 @@ type MajCheck struct {
 }
 
 // MajorizationChecks verifies properties (ii)-(v) at the expected-max-load
-// level over `runs` independent runs per side.
+// level over `runs` independent runs per side, as one experiment batch.
 func MajorizationChecks(n, runs int, seed uint64) ([]MajCheck, error) {
-	mean := func(policy core.Policy, p core.Params, s uint64) (float64, error) {
-		res, err := sim.Run(sim.Config{Policy: policy, Params: p, Runs: runs, Seed: s})
-		if err != nil {
-			return 0, err
-		}
-		return res.MaxStats().Mean(), nil
-	}
 	type check struct {
 		prop   string
-		lp, rp core.Params
+		lp, rp kdchoice.Config
 	}
 	checks := []check{
-		{"(ii) A(k,d+a) <= A(k,d)", core.Params{N: n, K: 2, D: 6}, core.Params{N: n, K: 2, D: 3}},
-		{"(iii) A(k-a,d) <= A(k,d)", core.Params{N: n, K: 1, D: 4}, core.Params{N: n, K: 3, D: 4}},
-		{"(iv) A(ak,ad) <= A(k,d)", core.Params{N: n, K: 2, D: 4}, core.Params{N: n, K: 1, D: 2}},
-		{"(v) A(k,d) <= A(k+a,d+a)", core.Params{N: n, K: 1, D: 2}, core.Params{N: n, K: 3, D: 4}},
+		{"(ii) A(k,d+a) <= A(k,d)", kdchoice.Config{Bins: n, K: 2, D: 6}, kdchoice.Config{Bins: n, K: 2, D: 3}},
+		{"(iii) A(k-a,d) <= A(k,d)", kdchoice.Config{Bins: n, K: 1, D: 4}, kdchoice.Config{Bins: n, K: 3, D: 4}},
+		{"(iv) A(ak,ad) <= A(k,d)", kdchoice.Config{Bins: n, K: 2, D: 4}, kdchoice.Config{Bins: n, K: 1, D: 2}},
+		{"(v) A(k,d) <= A(k+a,d+a)", kdchoice.Config{Bins: n, K: 1, D: 2}, kdchoice.Config{Bins: n, K: 3, D: 4}},
+	}
+	cells := make([]kdchoice.Cell, 0, 2*len(checks))
+	for i, c := range checks {
+		c.lp.Seed = seed + uint64(i)*13
+		c.rp.Seed = seed + uint64(i)*13 + 6
+		cells = append(cells, kdchoice.Cell{Config: c.lp}, kdchoice.Cell{Config: c.rp})
+	}
+	rep, err := kdchoice.Experiment{Cells: cells, Runs: runs, Seed: seed}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: majorization: %w", err)
 	}
 	// Tolerance for sampling noise at the configured run count.
 	tol := 0.2
@@ -489,14 +595,8 @@ func MajorizationChecks(n, runs int, seed uint64) ([]MajCheck, error) {
 	}
 	out := make([]MajCheck, 0, len(checks))
 	for i, c := range checks {
-		lm, err := mean(core.KDChoice, c.lp, seed+uint64(i)*13)
-		if err != nil {
-			return nil, err
-		}
-		rm, err := mean(core.KDChoice, c.rp, seed+uint64(i)*13+6)
-		if err != nil {
-			return nil, err
-		}
+		lm := rep.Cells[2*i].MeanMax
+		rm := rep.Cells[2*i+1].MeanMax
 		out = append(out, MajCheck{
 			Property:  c.prop,
 			Left:      fmt.Sprintf("(%d,%d)", c.lp.K, c.lp.D),

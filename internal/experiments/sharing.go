@@ -3,8 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/sim"
+	kdchoice "repro"
 )
 
 // SharingPoint compares, at one probe budget, the paper's shared-batch
@@ -22,40 +21,32 @@ type SharingPoint struct {
 // SharingAblation runs the information-sharing ablation (AB2): for each k,
 // the probe budget is 2k per round, spent either as one shared batch
 // ((k,2k)-choice), as 2 stale probes per ball (parallel model of the
-// paper's refs [1,16]), or as sequential per-ball two-choice.
+// paper's refs [1,16]), or as sequential per-ball two-choice. The whole
+// 3 × len(ks) grid runs as one experiment batch.
 func SharingAblation(n, runs int, seed uint64, ks []int) ([]SharingPoint, error) {
 	if len(ks) == 0 {
 		ks = []int{2, 4, 8, 16}
 	}
+	cells := make([]kdchoice.Cell, 0, 3*len(ks))
+	for i, k := range ks {
+		cells = append(cells,
+			kdchoice.Cell{Config: kdchoice.Config{Bins: n, K: k, D: 2 * k, Seed: seed + uint64(i)*17}},
+			kdchoice.Cell{Config: kdchoice.Config{Bins: n, K: k, D: 2, Policy: kdchoice.StaleBatch, Seed: seed + uint64(i)*17 + 3}},
+			kdchoice.Cell{Config: kdchoice.Config{Bins: n, D: 2, Policy: kdchoice.DChoice, Seed: seed + uint64(i)*17 + 7}},
+		)
+	}
+	rep, err := kdchoice.Experiment{Cells: cells, Runs: runs, Seed: seed}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sharing ablation: %w", err)
+	}
 	out := make([]SharingPoint, 0, len(ks))
 	for i, k := range ks {
-		shared, err := sim.Run(sim.Config{
-			Policy: core.KDChoice, Params: core.Params{N: n, K: k, D: 2 * k},
-			Runs: runs, Seed: seed + uint64(i)*17,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: sharing shared k=%d: %w", k, err)
-		}
-		stale, err := sim.Run(sim.Config{
-			Policy: core.StaleBatch, Params: core.Params{N: n, K: k, D: 2},
-			Runs: runs, Seed: seed + uint64(i)*17 + 3,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: sharing stale k=%d: %w", k, err)
-		}
-		seq, err := sim.Run(sim.Config{
-			Policy: core.DChoice, Params: core.Params{N: n, D: 2},
-			Runs: runs, Seed: seed + uint64(i)*17 + 7,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: sharing dchoice k=%d: %w", k, err)
-		}
 		out = append(out, SharingPoint{
 			K:          k,
 			Budget:     2 * k,
-			SharedMax:  shared.MaxStats().Mean(),
-			StaleMax:   stale.MaxStats().Mean(),
-			DChoiceMax: seq.MaxStats().Mean(),
+			SharedMax:  rep.Cells[3*i].MeanMax,
+			StaleMax:   rep.Cells[3*i+1].MeanMax,
+			DChoiceMax: rep.Cells[3*i+2].MeanMax,
 		})
 	}
 	return out, nil

@@ -1,8 +1,19 @@
-// Package sim is the experiment harness: it runs an allocation process many
-// times with independent deterministic random streams, optionally in
-// parallel, and aggregates the per-run results into the summaries the
-// paper's evaluation reports (distinct maximum loads à la Table 1, means,
-// gaps, message counts, sorted-load profiles for the figure experiments).
+// Package sim is the experiment engine beneath the public kdchoice API: it
+// runs allocation processes many times with independent deterministic random
+// streams on a bounded shared worker pool, and aggregates the per-run
+// results into the summaries the paper's evaluation reports (distinct
+// maximum loads à la Table 1, means, gaps, message counts, sorted-load
+// profiles for the figure experiments).
+//
+// The unit of scheduling is a (cell, run) pair: RunAll flattens every run of
+// every configuration onto one pool, so a multi-cell sweep keeps all workers
+// busy even when individual cells have few runs. Results are written into
+// preallocated per-run slots, so the outcome is byte-identical for any
+// worker count.
+//
+// This package is internal; the sanctioned entry points are
+// kdchoice.Experiment, kdchoice.Sweep, and kdchoice.Simulate in the root
+// package.
 package sim
 
 import (
@@ -30,7 +41,9 @@ type Config struct {
 	// Seed is the root seed; run i uses the stream (Seed, i). The same
 	// Config therefore always produces the same Result.
 	Seed uint64
-	// Workers bounds the number of concurrent runs; 0 means GOMAXPROCS.
+	// Workers bounds the number of concurrent runs when the cell is run on
+	// its own via Run; 0 means GOMAXPROCS. RunAll ignores this field — the
+	// pool size is shared across cells and passed explicitly.
 	Workers int
 	// CollectLoads retains each run's final load vector (memory: Runs × N
 	// ints); required by the profile/figure experiments.
@@ -66,75 +79,128 @@ type Result struct {
 	Loads []loadvec.Vector
 }
 
-// Run executes the experiment. It validates the configuration by
-// constructing the first process eagerly, so a bad Config fails fast.
-func Run(cfg Config) (*Result, error) {
+// newResult preallocates the per-run slots for one cell.
+func newResult(cfg Config) *Result {
 	nRuns := cfg.runs()
-	m := cfg.balls()
-	// Validate the parameters once before spinning up workers.
-	if _, err := core.New(cfg.Policy, cfg.Params, xrand.New(0)); err != nil {
-		return nil, fmt.Errorf("sim: invalid config: %w", err)
-	}
 	res := &Result{
 		Config:   cfg,
 		MaxLoads: make([]int, nRuns),
 		Gaps:     make([]float64, nRuns),
 		Messages: make([]int64, nRuns),
-		Discarded: func() []int {
-			if cfg.Policy == core.SAx0 {
-				return make([]int, nRuns)
-			}
-			return nil
-		}(),
+	}
+	if cfg.Policy == core.SAx0 {
+		res.Discarded = make([]int, nRuns)
 	}
 	if cfg.CollectLoads {
 		res.Loads = make([]loadvec.Vector, nRuns)
 	}
+	return res
+}
 
-	workers := cfg.Workers
+// task identifies one unit of work: run `run` of cell `cell`.
+type task struct {
+	cell, run int
+}
+
+// newProcess is the construction seam the workers use; tests stub it to
+// exercise the stop-on-first-error dispatch path, which is otherwise
+// unreachable because RunAll validates every config up front.
+var newProcess = core.New
+
+// RunAll executes every run of every cell on one shared pool of `workers`
+// goroutines (0 means GOMAXPROCS). All (cell, run) pairs are scheduled
+// together, so a sweep of many small cells parallelizes as well as one cell
+// with many runs. Run i of cell c draws from the stream (cfgs[c].Seed, i):
+// results are a pure function of the configs, independent of the worker
+// count and of scheduling order.
+//
+// Every config is validated before any work is dispatched; if a process
+// construction still fails inside a worker, dispatching stops at the first
+// error and RunAll returns it (no partially-zero results are ever returned).
+func RunAll(workers int, cfgs []Config) ([]*Result, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("sim: RunAll needs at least one config")
+	}
+	results := make([]*Result, len(cfgs))
+	total := 0
+	for i, cfg := range cfgs {
+		if err := core.Validate(cfg.Policy, cfg.Params); err != nil {
+			return nil, fmt.Errorf("sim: invalid config %d: %w", i, err)
+		}
+		results[i] = newResult(cfg)
+		total += cfg.runs()
+	}
+
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > nRuns {
-		workers = nRuns
+	if workers > total {
+		workers = total
 	}
 
-	var wg sync.WaitGroup
-	runCh := make(chan int)
-	errOnce := sync.Once{}
-	var firstErr error
+	var (
+		wg       sync.WaitGroup
+		taskCh   = make(chan task)
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+		firstErr error
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range runCh {
-				pr, err := core.New(cfg.Policy, cfg.Params, xrand.NewStream(cfg.Seed, uint64(i)))
+			for t := range taskCh {
+				cfg := &results[t.cell].Config
+				pr, err := newProcess(cfg.Policy, cfg.Params, xrand.NewStream(cfg.Seed, uint64(t.run)))
 				if err != nil {
-					errOnce.Do(func() { firstErr = err })
+					// Stop the dispatcher: no point constructing the same
+					// failure for every remaining (cell, run) pair.
+					stopOnce.Do(func() {
+						firstErr = err
+						close(stop)
+					})
 					continue
 				}
-				pr.Place(m)
-				res.MaxLoads[i] = pr.MaxLoad()
-				res.Gaps[i] = pr.Gap()
-				res.Messages[i] = pr.Messages()
+				pr.Place(cfg.balls())
+				res := results[t.cell]
+				res.MaxLoads[t.run] = pr.MaxLoad()
+				res.Gaps[t.run] = pr.Gap()
+				res.Messages[t.run] = pr.Messages()
 				if res.Discarded != nil {
-					res.Discarded[i] = pr.Discarded()
+					res.Discarded[t.run] = pr.Discarded()
 				}
 				if cfg.CollectLoads {
-					res.Loads[i] = pr.Loads()
+					res.Loads[t.run] = pr.Loads()
 				}
 			}
 		}()
 	}
-	for i := 0; i < nRuns; i++ {
-		runCh <- i
+dispatch:
+	for ci := range cfgs {
+		for r := 0; r < cfgs[ci].runs(); r++ {
+			select {
+			case taskCh <- task{cell: ci, run: r}:
+			case <-stop:
+				break dispatch
+			}
+		}
 	}
-	close(runCh)
+	close(taskCh)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, fmt.Errorf("sim: run failed: %w", firstErr)
 	}
-	return res, nil
+	return results, nil
+}
+
+// Run executes one cell: it is RunAll with a single config, using the
+// config's own Workers bound for the pool.
+func Run(cfg Config) (*Result, error) {
+	results, err := RunAll(cfg.Workers, []Config{cfg})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
 }
 
 // MustRun is Run but panics on error; for tests and examples with constant
@@ -184,13 +250,17 @@ func (r *Result) MeanMessages() float64 {
 	return float64(sum) / float64(len(r.Messages))
 }
 
+// ErrNoLoads is returned by the profile accessors when the runs did not
+// retain their load vectors (Config.CollectLoads unset).
+var ErrNoLoads = fmt.Errorf("sim: result has no load vectors (Config.CollectLoads was not set)")
+
 // MeanSortedProfile returns the position-wise mean of the sorted (desc)
 // load vectors over all runs: element x-1 approximates E[B_x], the paper's
-// sorted-load curve (Figures 1 and 2). It panics unless the runs collected
+// sorted-load curve (Figures 1 and 2). It fails unless the runs collected
 // load vectors.
-func (r *Result) MeanSortedProfile() []float64 {
+func (r *Result) MeanSortedProfile() ([]float64, error) {
 	if r.Loads == nil {
-		panic("sim: MeanSortedProfile requires Config.CollectLoads")
+		return nil, ErrNoLoads
 	}
 	n := r.Config.Params.N
 	acc := make([]float64, n)
@@ -203,13 +273,14 @@ func (r *Result) MeanSortedProfile() []float64 {
 	for i := range acc {
 		acc[i] /= float64(len(r.Loads))
 	}
-	return acc
+	return acc, nil
 }
 
-// MeanNuY returns the run-averaged ν_y for y in [0, maxload].
-func (r *Result) MeanNuY() []float64 {
+// MeanNuY returns the run-averaged ν_y for y in [0, maxload]. It fails
+// unless the runs collected load vectors.
+func (r *Result) MeanNuY() ([]float64, error) {
 	if r.Loads == nil {
-		panic("sim: MeanNuY requires Config.CollectLoads")
+		return nil, ErrNoLoads
 	}
 	maxY := 0
 	for _, m := range r.MaxLoads {
@@ -227,5 +298,5 @@ func (r *Result) MeanNuY() []float64 {
 	for i := range acc {
 		acc[i] /= float64(len(r.Loads))
 	}
-	return acc
+	return acc, nil
 }

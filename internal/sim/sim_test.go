@@ -1,10 +1,14 @@
 package sim
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/xrand"
 )
 
 func TestRunDeterministic(t *testing.T) {
@@ -124,7 +128,10 @@ func TestCollectLoadsAndProfile(t *testing.T) {
 			t.Fatalf("run %d: total %d", i, v.Total())
 		}
 	}
-	prof := res.MeanSortedProfile()
+	prof, err := res.MeanSortedProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(prof) != 64 {
 		t.Fatalf("profile length %d", len(prof))
 	}
@@ -141,14 +148,14 @@ func TestCollectLoadsAndProfile(t *testing.T) {
 	}
 }
 
-func TestMeanSortedProfilePanicsWithoutLoads(t *testing.T) {
+func TestProfileAccessorsErrorWithoutLoads(t *testing.T) {
 	res := MustRun(Config{Policy: core.SingleChoice, Params: core.Params{N: 16}, Seed: 1})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	res.MeanSortedProfile()
+	if _, err := res.MeanSortedProfile(); err == nil {
+		t.Fatal("MeanSortedProfile without CollectLoads should fail")
+	}
+	if _, err := res.MeanNuY(); err == nil {
+		t.Fatal("MeanNuY without CollectLoads should fail")
+	}
 }
 
 func TestMeanNuY(t *testing.T) {
@@ -160,7 +167,10 @@ func TestMeanNuY(t *testing.T) {
 		CollectLoads: true,
 	}
 	res := MustRun(cfg)
-	nu := res.MeanNuY()
+	nu, err := res.MeanNuY()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if nu[0] != 64 {
 		t.Fatalf("mean nu_0 = %v, want 64 (all bins have >= 0 balls)", nu[0])
 	}
@@ -205,5 +215,88 @@ func TestHeavyBalls(t *testing.T) {
 		if m < 16 {
 			t.Fatalf("max load %d below average 16", m)
 		}
+	}
+}
+
+func runAllConfigs() []Config {
+	return []Config{
+		{Policy: core.KDChoice, Params: core.Params{N: 128, K: 2, D: 3}, Runs: 5, Seed: 1},
+		{Policy: core.KDChoice, Params: core.Params{N: 256, K: 1, D: 2}, Runs: 3, Seed: 2},
+		{Policy: core.SingleChoice, Params: core.Params{N: 64}, Runs: 7, Seed: 3},
+		{Policy: core.OnePlusBeta, Params: core.Params{N: 64, Beta: 0.5}, Runs: 2, Seed: 4},
+	}
+}
+
+// TestRunAllMatchesRun: scheduling cells on the shared pool must produce
+// exactly the per-cell results of running each config alone.
+func TestRunAllMatchesRun(t *testing.T) {
+	cfgs := runAllConfigs()
+	all, err := RunAll(4, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		solo := MustRun(cfg)
+		if !reflect.DeepEqual(all[i].MaxLoads, solo.MaxLoads) {
+			t.Fatalf("cell %d: pooled %v vs solo %v", i, all[i].MaxLoads, solo.MaxLoads)
+		}
+		if !reflect.DeepEqual(all[i].Messages, solo.Messages) {
+			t.Fatalf("cell %d: message counts diverged", i)
+		}
+	}
+}
+
+// TestRunAllWorkerCountInvariance: the pool size must not leak into results.
+func TestRunAllWorkerCountInvariance(t *testing.T) {
+	a, err := RunAll(1, runAllConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAll(8, runAllConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("worker count changed RunAll results")
+	}
+}
+
+// TestRunAllValidatesEveryCell: one bad cell anywhere fails the whole batch
+// before any work is dispatched.
+func TestRunAllValidatesEveryCell(t *testing.T) {
+	cfgs := runAllConfigs()
+	cfgs = append(cfgs, Config{Policy: core.KDChoice, Params: core.Params{N: 8, K: 3, D: 2}})
+	if _, err := RunAll(4, cfgs); err == nil {
+		t.Fatal("invalid cell accepted")
+	}
+	if _, err := RunAll(2, nil); err == nil {
+		t.Fatal("empty config list accepted")
+	}
+}
+
+// TestRunAllStopsDispatchOnWorkerError: if process construction fails inside
+// a worker, the dispatcher must stop instead of pushing every remaining
+// (cell, run) pair through the same failure.
+func TestRunAllStopsDispatchOnWorkerError(t *testing.T) {
+	var mu sync.Mutex
+	constructed := 0
+	orig := newProcess
+	newProcess = func(p core.Policy, params core.Params, rng *xrand.Rand) (*core.Process, error) {
+		mu.Lock()
+		constructed++
+		mu.Unlock()
+		return nil, fmt.Errorf("injected failure")
+	}
+	defer func() { newProcess = orig }()
+
+	const runs = 64
+	_, err := RunAll(1, []Config{{Policy: core.SingleChoice, Params: core.Params{N: 16}, Runs: runs, Seed: 1}})
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	// With one worker the dispatcher can enqueue at most a couple of tasks
+	// past the failing one before it observes the stop signal.
+	if constructed >= runs {
+		t.Fatalf("dispatcher pushed all %d runs through a failing worker (constructed %d)", runs, constructed)
 	}
 }

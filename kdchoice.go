@@ -15,15 +15,31 @@
 //   - k = 1: the classical d-choice of Azar et al.;
 //   - k = d−1 with large d: approaches classical single choice.
 //
-// The package exposes the allocation processes (Allocator), the paper's
-// theoretical bound terms (Dk, PredictMaxLoad, ...), and a deterministic
-// multi-run simulation helper (Simulate). Application-level simulations
-// built on the same core — cluster job scheduling and distributed storage,
-// the paper's Section 1.3 — are exercised by the example programs and
-// benchmark harness in this repository.
+// The package is organized in three layers:
+//
+//   - Process: Allocator runs one allocation process instance (New, NewKD,
+//     Place, Round, MaxLoad, Gap, Messages, ...), alongside the paper's
+//     theoretical bound terms (Dk, PredictMaxLoad, Regime, ...).
+//   - Observers: Attach streams a RoundEvent to any number of Observer
+//     implementations after every round. HeightRecorder reconstructs the
+//     occupancy statistics ν_y/µ_y from the height stream, and
+//     TimeSeriesRecorder records the per-round max-load/gap/message
+//     trajectory. Unobserved allocators pay no instrumentation cost.
+//   - Experiments: Experiment runs many cells × runs on one shared bounded
+//     worker pool with deterministic per-(cell,run) random streams; Sweep
+//     builds experiment cells over a (N, K, D, Policy) grid; Report carries
+//     the per-cell results plus cross-cell tradeoff summaries (the paper's
+//     max-load vs message-cost frontier). Simulate remains as the one-cell
+//     convenience wrapper.
+//
+// Application-level simulations built on the same core — cluster job
+// scheduling and distributed storage, the paper's Section 1.3 — are
+// exercised by the example programs and benchmark harness in this
+// repository.
 //
 // All randomness is drawn from explicitly seeded deterministic generators:
-// the same configuration and seed always reproduce the same results.
+// the same configuration and seed always reproduce the same results, for
+// any worker count.
 package kdchoice
 
 import (
@@ -70,6 +86,46 @@ func (p Policy) String() string {
 		return cp.String()
 	}
 	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy converts a short policy name (as printed by Policy.String,
+// e.g. "kd", "dchoice", "single") back into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	cp, err := core.ParsePolicy(s)
+	if err != nil {
+		return 0, fmt.Errorf("kdchoice: unknown policy %q", s)
+	}
+	p, ok := policyFromCore(cp)
+	if !ok {
+		return 0, fmt.Errorf("kdchoice: policy %q is not part of the public API", s)
+	}
+	return p, nil
+}
+
+// policyFromCore maps a core policy back onto its public counterpart.
+func policyFromCore(cp core.Policy) (Policy, bool) {
+	switch cp {
+	case core.KDChoice:
+		return KDChoice, true
+	case core.SerializedKD:
+		return Serialized, true
+	case core.DChoice:
+		return DChoice, true
+	case core.SingleChoice:
+		return SingleChoice, true
+	case core.OnePlusBeta:
+		return OnePlusBeta, true
+	case core.AlwaysGoLeft:
+		return AlwaysGoLeft, true
+	case core.AdaptiveKD:
+		return AdaptiveKD, true
+	case core.StaleBatch:
+		return StaleBatch, true
+	case core.DynamicKD:
+		return DynamicKD, true
+	default:
+		return 0, false
+	}
 }
 
 func (p Policy) toCore() (core.Policy, error) {
@@ -164,11 +220,26 @@ func (cfg Config) coreConfig() (core.Policy, core.Params, error) {
 	}, nil
 }
 
+// validate checks cfg end to end — the public-layer checks plus the process
+// parameter validation — without constructing an allocator (no N-sized
+// allocations). Sweep uses it to classify grid cells.
+func (cfg Config) validate() error {
+	cp, params, err := cfg.withDefaults().coreConfig()
+	if err != nil {
+		return err
+	}
+	if err := core.Validate(cp, params); err != nil {
+		return fmt.Errorf("kdchoice: %w", err)
+	}
+	return nil
+}
+
 // Allocator runs one allocation process instance. Construct with New or
 // NewKD. Not safe for concurrent use; run one Allocator per goroutine.
 type Allocator struct {
-	pr  *core.Process
-	cfg Config
+	pr        *core.Process
+	cfg       Config
+	observers []Observer
 }
 
 // New creates an Allocator from cfg.
@@ -232,10 +303,12 @@ func (a *Allocator) Gap() float64 { return a.pr.Gap() }
 // Messages returns the cumulative message cost (total bins probed).
 func (a *Allocator) Messages() int64 { return a.pr.Messages() }
 
-// Load returns the load of bin id (0-based).
+// Load returns the load of bin id (0-based). It panics when bin is out of
+// range, consistent with the rest of the API's explicit validation — a bad
+// index is a caller bug, not an empty bin.
 func (a *Allocator) Load(bin int) int {
 	if bin < 0 || bin >= a.pr.N() {
-		return 0
+		panic(fmt.Sprintf("kdchoice: Load(%d): bin index out of range [0, %d)", bin, a.pr.N()))
 	}
 	return a.pr.Load(bin)
 }

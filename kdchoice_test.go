@@ -102,6 +102,26 @@ func TestPolicyString(t *testing.T) {
 	}
 }
 
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []Policy{KDChoice, Serialized, DChoice, SingleChoice,
+		OnePlusBeta, AlwaysGoLeft, AdaptiveKD, StaleBatch, DynamicKD} {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", p.String(), err)
+		}
+		if got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := ParsePolicy("zzz"); err == nil {
+		t.Fatal("unknown policy name accepted")
+	}
+	// sax0 exists in the engine but is not part of the public surface.
+	if _, err := ParsePolicy("sax0"); err == nil {
+		t.Fatal("sax0 should not parse at the public layer")
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	mk := func() []int {
 		a, err := NewKD(256, 3, 7, 99)
@@ -154,8 +174,15 @@ func TestAccessors(t *testing.T) {
 	if a.BinsWithAtLeast(a.MaxLoad()+1) != 0 {
 		t.Fatal("BinsWithAtLeast above max != 0")
 	}
-	if a.Load(-1) != 0 || a.Load(99) != 0 {
-		t.Fatal("out-of-range Load should be 0")
+	for _, bin := range []int{-1, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Load(%d) should panic for out-of-range bin", bin)
+				}
+			}()
+			a.Load(bin)
+		}()
 	}
 	wantGap := float64(a.MaxLoad()) - 1
 	if a.Gap() != wantGap {

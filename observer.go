@@ -1,0 +1,219 @@
+package kdchoice
+
+import (
+	"repro/internal/core"
+)
+
+// RoundEvent describes one completed round of an allocation process. It is
+// delivered to every attached Observer after the round's balls are placed.
+//
+// The Samples, Placed and Heights slices are reused between rounds: they are
+// valid only for the duration of the callback. Observers that need to retain
+// them must copy.
+type RoundEvent struct {
+	// Round is the 1-based round number.
+	Round int
+	// Samples holds the sampled bin ids in the order drawn (length d for
+	// the round-based policies, 1-2 for the per-ball policies).
+	Samples []int
+	// Placed holds the bin that received each ball of the round, one entry
+	// per placed ball.
+	Placed []int
+	// Heights holds the height at which each ball landed: Heights[i] is the
+	// load of Placed[i] immediately after its ball arrived.
+	Heights []int
+	// Bins is the number of bins n.
+	Bins int
+	// Balls is the cumulative number of balls placed, including this round.
+	Balls int
+	// MaxLoad is the maximum bin load after this round.
+	MaxLoad int
+	// Messages is the cumulative message cost (bins probed) after this
+	// round.
+	Messages int64
+}
+
+// Gap returns the current max-load-minus-average-load, the heavily-loaded
+// metric of Theorem 2, as of this event.
+func (e RoundEvent) Gap() float64 {
+	return float64(e.MaxLoad) - float64(e.Balls)/float64(e.Bins)
+}
+
+// Observer receives a callback after every completed round of an Allocator
+// it is attached to. Observers enable per-round instrumentation — height
+// streams, time series, proof-machinery checks — without touching the
+// process internals. When no observer is attached the allocation hot path
+// performs no observation bookkeeping at all.
+type Observer interface {
+	ObserveRound(e RoundEvent)
+}
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc func(e RoundEvent)
+
+// ObserveRound implements Observer.
+func (f ObserverFunc) ObserveRound(e RoundEvent) { f(e) }
+
+// Attach registers observers to receive a RoundEvent after every round.
+// Attaching is cumulative; nil observers are ignored. Observers are invoked
+// in attachment order, synchronously, on the goroutine driving the
+// Allocator.
+func (a *Allocator) Attach(obs ...Observer) {
+	for _, o := range obs {
+		if o != nil {
+			a.observers = append(a.observers, o)
+		}
+	}
+	if len(a.observers) > 0 {
+		a.pr.SetObserver(observerBridge{a})
+	}
+}
+
+// DetachAll removes every attached observer, restoring the unobserved
+// (bookkeeping-free) hot path.
+func (a *Allocator) DetachAll() {
+	a.observers = nil
+	a.pr.SetObserver(nil)
+}
+
+// Observers returns the currently attached observers (shared slice; do not
+// mutate).
+func (a *Allocator) Observers() []Observer { return a.observers }
+
+// observerBridge adapts the internal core.Observer callback to the public
+// RoundEvent contract, enriching it with the process-level state the core
+// callback does not carry.
+type observerBridge struct{ a *Allocator }
+
+// RoundPlaced implements core.Observer.
+func (b observerBridge) RoundPlaced(round int, samples, placed, heights []int) {
+	pr := b.a.pr
+	e := RoundEvent{
+		Round:    round,
+		Samples:  samples,
+		Placed:   placed,
+		Heights:  heights,
+		Bins:     pr.N(),
+		Balls:    pr.Balls(),
+		MaxLoad:  pr.MaxLoad(),
+		Messages: pr.Messages(),
+	}
+	for _, o := range b.a.observers {
+		o.ObserveRound(e)
+	}
+}
+
+// RecorderSnapshot is the occupancy state captured by a HeightRecorder at
+// the end of a specific round.
+type RecorderSnapshot = core.RecorderSnapshot
+
+// HeightRecorder is an Observer that reconstructs the occupancy statistics
+// ν_y (bins with at least y balls) and µ_y (balls with height at least y)
+// from the stream of per-ball placement heights alone, without reading the
+// load vector — the quantity the paper's layered-induction proof (Theorem 4)
+// tracks round by round.
+type HeightRecorder struct {
+	rec *core.HeightRecorder
+}
+
+// NewHeightRecorder creates a height recorder; snapshotEvery > 0 captures a
+// snapshot of the ν vector after each snapshotEvery rounds (<= 0 disables
+// snapshots).
+func NewHeightRecorder(snapshotEvery int) *HeightRecorder {
+	return &HeightRecorder{rec: core.NewHeightRecorder(snapshotEvery)}
+}
+
+// ObserveRound implements Observer.
+func (h *HeightRecorder) ObserveRound(e RoundEvent) {
+	h.rec.RoundPlaced(e.Round, e.Samples, e.Placed, e.Heights)
+}
+
+// Balls returns the number of placements observed.
+func (h *HeightRecorder) Balls() int { return h.rec.Balls() }
+
+// Rounds returns the number of rounds observed.
+func (h *HeightRecorder) Rounds() int { return h.rec.Rounds() }
+
+// MaxHeight returns the largest placement height observed; it equals the
+// allocator's MaxLoad when the recorder observed every round from the start.
+func (h *HeightRecorder) MaxHeight() int { return h.rec.MaxHeight() }
+
+// NuY returns ν_y reconstructed from the height stream (y >= 1; ν_0 is the
+// bin count, which the height stream does not determine).
+func (h *HeightRecorder) NuY(y int) int { return h.rec.NuY(y) }
+
+// MuY returns µ_y, the number of balls at height >= y (y >= 1).
+func (h *HeightRecorder) MuY(y int) int { return h.rec.MuY(y) }
+
+// Snapshots returns the recorded ν snapshots (shared slice; do not mutate).
+func (h *HeightRecorder) Snapshots() []RecorderSnapshot { return h.rec.Snapshots() }
+
+// SetRoundHook installs a callback receiving each round's placement heights
+// after the recorder's internal state is updated.
+func (h *HeightRecorder) SetRoundHook(fn func(round int, heights []int)) {
+	h.rec.SetRoundHook(fn)
+}
+
+// TimeSeriesPoint is one sample of a TimeSeriesRecorder: the allocator's
+// headline metrics at the end of one round.
+type TimeSeriesPoint struct {
+	// Round is the 1-based round number of the sample.
+	Round int
+	// Balls is the cumulative ball count.
+	Balls int
+	// MaxLoad is the maximum bin load.
+	MaxLoad int
+	// Gap is max load minus average load.
+	Gap float64
+	// Messages is the cumulative message cost.
+	Messages int64
+}
+
+// TimeSeriesRecorder is an Observer that streams the per-round trajectory
+// of the paper's two headline quantities — maximum load (Theorems 1-2) and
+// message cost — plus the heavily-loaded gap. It answers "how did the run
+// get there", where SimResult only answers "where did it end".
+type TimeSeriesRecorder struct {
+	every  int
+	points []TimeSeriesPoint
+}
+
+// NewTimeSeriesRecorder creates a recorder sampling every `every` rounds
+// (values < 1 mean every round). The final round of a placement is always
+// worth sampling; pair a sparse recorder with a final manual reading of the
+// Allocator when exact end state matters.
+func NewTimeSeriesRecorder(every int) *TimeSeriesRecorder {
+	if every < 1 {
+		every = 1
+	}
+	return &TimeSeriesRecorder{every: every}
+}
+
+// ObserveRound implements Observer.
+func (t *TimeSeriesRecorder) ObserveRound(e RoundEvent) {
+	if e.Round%t.every != 0 {
+		return
+	}
+	t.points = append(t.points, TimeSeriesPoint{
+		Round:    e.Round,
+		Balls:    e.Balls,
+		MaxLoad:  e.MaxLoad,
+		Gap:      e.Gap(),
+		Messages: e.Messages,
+	})
+}
+
+// Points returns the recorded samples in round order (shared slice; do not
+// mutate).
+func (t *TimeSeriesRecorder) Points() []TimeSeriesPoint { return t.points }
+
+// Len returns the number of recorded samples.
+func (t *TimeSeriesRecorder) Len() int { return len(t.points) }
+
+// Last returns the most recent sample, if any.
+func (t *TimeSeriesRecorder) Last() (TimeSeriesPoint, bool) {
+	if len(t.points) == 0 {
+		return TimeSeriesPoint{}, false
+	}
+	return t.points[len(t.points)-1], true
+}

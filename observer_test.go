@@ -1,0 +1,196 @@
+package kdchoice
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAttachStreamsEveryRound: every round of a placement must reach every
+// attached observer, with consistent running state in the event.
+func TestAttachStreamsEveryRound(t *testing.T) {
+	a, err := NewKD(64, 2, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds, balls int
+	var lastMax int
+	a.Attach(ObserverFunc(func(e RoundEvent) {
+		rounds++
+		balls += len(e.Placed)
+		if len(e.Placed) != len(e.Heights) {
+			t.Fatalf("round %d: %d placed vs %d heights", e.Round, len(e.Placed), len(e.Heights))
+		}
+		if len(e.Samples) != 4 {
+			t.Fatalf("round %d: %d samples, want d=4", e.Round, len(e.Samples))
+		}
+		if e.Bins != 64 {
+			t.Fatalf("round %d: Bins = %d", e.Round, e.Bins)
+		}
+		if e.Balls != balls {
+			t.Fatalf("round %d: event Balls %d vs counted %d", e.Round, e.Balls, balls)
+		}
+		lastMax = e.MaxLoad
+	}))
+	a.PlaceAll()
+	if rounds != 32 {
+		t.Fatalf("observed %d rounds, want 32", rounds)
+	}
+	if balls != 64 {
+		t.Fatalf("observed %d balls, want 64", balls)
+	}
+	if lastMax != a.MaxLoad() {
+		t.Fatalf("final event MaxLoad %d vs allocator %d", lastMax, a.MaxLoad())
+	}
+}
+
+// TestAttachDoesNotChangeAllocation: observation must be read-only — the
+// same seed with and without observers yields identical loads.
+func TestAttachDoesNotChangeAllocation(t *testing.T) {
+	mk := func(observe bool) []int {
+		a, err := NewKD(256, 3, 7, 41)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if observe {
+			a.Attach(NewHeightRecorder(0), NewTimeSeriesRecorder(1))
+		}
+		a.PlaceAll()
+		return a.Loads()
+	}
+	if !reflect.DeepEqual(mk(false), mk(true)) {
+		t.Fatal("attaching observers changed the allocation")
+	}
+}
+
+// TestDetachAll: after DetachAll no further events are delivered.
+func TestDetachAll(t *testing.T) {
+	a, err := NewKD(32, 2, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	a.Attach(ObserverFunc(func(RoundEvent) { count++ }))
+	a.Round()
+	if count != 1 {
+		t.Fatalf("count = %d after one round", count)
+	}
+	a.DetachAll()
+	a.Round()
+	if count != 1 {
+		t.Fatal("observer fired after DetachAll")
+	}
+	if len(a.Observers()) != 0 {
+		t.Fatal("Observers not cleared")
+	}
+	// Attaching nil observers must not install the bridge.
+	a.Attach(nil)
+	if len(a.Observers()) != 0 {
+		t.Fatal("nil observer retained")
+	}
+}
+
+// TestHeightRecorderMatchesLoads: the recorder's reconstructed ν_y must
+// equal the occupancy computed from the final load vector, and its
+// MaxHeight must equal the allocator's MaxLoad.
+func TestHeightRecorderMatchesLoads(t *testing.T) {
+	a, err := NewKD(512, 4, 9, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr := NewHeightRecorder(8)
+	a.Attach(hr)
+	a.PlaceAll()
+	if hr.Balls() != 512 {
+		t.Fatalf("recorder balls = %d", hr.Balls())
+	}
+	if hr.Rounds() != a.Rounds() {
+		t.Fatalf("recorder rounds = %d vs %d", hr.Rounds(), a.Rounds())
+	}
+	if hr.MaxHeight() != a.MaxLoad() {
+		t.Fatalf("recorder max height %d vs max load %d", hr.MaxHeight(), a.MaxLoad())
+	}
+	for y := 1; y <= a.MaxLoad(); y++ {
+		if got, want := hr.NuY(y), a.BinsWithAtLeast(y); got != want {
+			t.Fatalf("nu_%d: recorder %d vs loads %d", y, got, want)
+		}
+	}
+	if len(hr.Snapshots()) == 0 {
+		t.Fatal("snapshots enabled but none captured")
+	}
+}
+
+// TestTimeSeriesRecorder: the trajectory must be monotone in rounds, balls
+// and messages, sample at the configured stride, and end at the allocator's
+// final state.
+func TestTimeSeriesRecorder(t *testing.T) {
+	a, err := NewKD(128, 2, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTimeSeriesRecorder(1)
+	sparse := NewTimeSeriesRecorder(16)
+	a.Attach(ts, sparse)
+	a.PlaceAll()
+
+	pts := ts.Points()
+	if len(pts) != 64 {
+		t.Fatalf("dense recorder has %d points, want 64 rounds", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Round != pts[i-1].Round+1 {
+			t.Fatalf("round gap at %d", i)
+		}
+		if pts[i].Balls < pts[i-1].Balls || pts[i].Messages < pts[i-1].Messages ||
+			pts[i].MaxLoad < pts[i-1].MaxLoad {
+			t.Fatalf("non-monotone trajectory at %d: %+v -> %+v", i, pts[i-1], pts[i])
+		}
+	}
+	last, ok := ts.Last()
+	if !ok {
+		t.Fatal("Last on non-empty recorder")
+	}
+	if last.MaxLoad != a.MaxLoad() || last.Messages != a.Messages() || last.Balls != a.Balls() {
+		t.Fatalf("final point %+v disagrees with allocator", last)
+	}
+	if g := last.Gap; g != a.Gap() {
+		t.Fatalf("final gap %v vs %v", g, a.Gap())
+	}
+
+	if sparse.Len() != 4 {
+		t.Fatalf("sparse recorder has %d points, want 4 (64 rounds / 16)", sparse.Len())
+	}
+	if _, ok := NewTimeSeriesRecorder(0).Last(); ok {
+		t.Fatal("Last on empty recorder")
+	}
+}
+
+// TestObserversAcrossPolicies: every public policy must deliver events whose
+// placed-ball count per event sums to the total.
+func TestObserversAcrossPolicies(t *testing.T) {
+	cases := []Config{
+		{Bins: 64, K: 2, D: 3, Policy: KDChoice},
+		{Bins: 64, K: 2, D: 3, Policy: Serialized},
+		{Bins: 64, D: 2, Policy: DChoice},
+		{Bins: 64, Policy: SingleChoice},
+		{Bins: 64, Beta: 0.5, Policy: OnePlusBeta},
+		{Bins: 64, D: 4, Policy: AlwaysGoLeft},
+		{Bins: 64, K: 2, D: 3, Policy: AdaptiveKD},
+		{Bins: 64, K: 4, D: 2, Policy: StaleBatch},
+		{Bins: 64, D: 4, Policy: DynamicKD},
+	}
+	for _, cfg := range cases {
+		t.Run(cfg.Policy.String(), func(t *testing.T) {
+			cfg.Seed = 13
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			a.Attach(ObserverFunc(func(e RoundEvent) { total += len(e.Placed) }))
+			a.PlaceAll()
+			if total != 64 {
+				t.Fatalf("events reported %d balls, want 64", total)
+			}
+		})
+	}
+}

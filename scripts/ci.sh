@@ -30,7 +30,19 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race ./internal/sim ./internal/core"
-go test -race ./internal/sim ./internal/core
+echo "==> go test -race . ./internal/sim ./internal/core"
+go test -race . ./internal/sim ./internal/core
+
+echo "==> import hygiene: cmd/ and examples/ stay on the public API"
+# The public kdchoice package (Experiment/Sweep/Simulate, observers) is the
+# only sanctioned simulation entry point: no command or example may import
+# the internal engine packages directly.
+bad=$(go list -f '{{$p := .ImportPath}}{{range .Imports}}{{$p}} imports {{.}}{{"\n"}}{{end}}' ./cmd/... ./examples/... \
+    | grep -E 'repro/internal/(sim|core)$' || true)
+if [ -n "$bad" ]; then
+    echo "forbidden internal-engine imports (use the public kdchoice API):" >&2
+    echo "$bad" >&2
+    exit 1
+fi
 
 echo "==> ok"

@@ -1,15 +1,27 @@
 package kdchoice
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/sim"
 )
 
+// ErrNoLoads is returned by the profile accessors when the runs did not
+// retain their final load vectors; set Experiment.CollectLoads (or
+// Sweep.CollectLoads) to enable them.
+var ErrNoLoads = errors.New("kdchoice: result has no load vectors (CollectLoads was not set)")
+
 // SimResult aggregates repeated independent runs of one configuration.
+// Slices indexed by run are ordered by run id and are identical for any
+// worker count.
 type SimResult struct {
 	// MaxLoads holds the maximum load of each run.
 	MaxLoads []int
+	// Gaps holds each run's max-minus-average load.
+	Gaps []float64
+	// Messages holds each run's total message cost (bins probed).
+	Messages []int64
 	// DistinctMax is the sorted set of distinct maximum loads — the
 	// summary format of the paper's Table 1 cells (e.g. "7, 8, 9").
 	DistinctMax []int
@@ -19,12 +31,75 @@ type SimResult struct {
 	MeanGap float64
 	// MeanMessages is the mean per-run message cost.
 	MeanMessages float64
+	// EffectiveBalls is the per-run ball count actually used (Balls, or
+	// Bins when Balls was 0).
+	EffectiveBalls int
+	// EffectiveRuns is the run count actually used.
+	EffectiveRuns int
+
+	res *sim.Result
+}
+
+// newSimResult builds the public aggregate view of one simulated cell.
+func newSimResult(res *sim.Result) SimResult {
+	balls := res.Config.Balls
+	if balls == 0 {
+		balls = res.Config.Params.N
+	}
+	return SimResult{
+		MaxLoads:       res.MaxLoads,
+		Gaps:           res.Gaps,
+		Messages:       res.Messages,
+		DistinctMax:    res.DistinctMax(),
+		MeanMax:        res.MaxStats().Mean(),
+		MeanGap:        res.GapStats().Mean(),
+		MeanMessages:   res.MeanMessages(),
+		EffectiveBalls: balls,
+		EffectiveRuns:  len(res.MaxLoads),
+		res:            res,
+	}
+}
+
+// MeanSortedProfile returns the position-wise mean of the sorted
+// (descending) load vectors over all runs: element x-1 approximates E[B_x],
+// the paper's sorted-load curve (Figures 1 and 2). It returns ErrNoLoads
+// unless the experiment ran with CollectLoads.
+func (r *SimResult) MeanSortedProfile() ([]float64, error) {
+	if r.res == nil || r.res.Loads == nil {
+		return nil, ErrNoLoads
+	}
+	return r.res.MeanSortedProfile()
+}
+
+// MeanNuY returns the run-averaged occupancy ν_y for y in [0, max load].
+// It returns ErrNoLoads unless the experiment ran with CollectLoads.
+func (r *SimResult) MeanNuY() ([]float64, error) {
+	if r.res == nil || r.res.Loads == nil {
+		return nil, ErrNoLoads
+	}
+	return r.res.MeanNuY()
+}
+
+// RunLoads returns each run's final load vector (indexed by run, then bin),
+// or ErrNoLoads unless the experiment ran with CollectLoads. The vectors
+// are not copied; treat them as read-only.
+func (r *SimResult) RunLoads() ([][]int, error) {
+	if r.res == nil || r.res.Loads == nil {
+		return nil, ErrNoLoads
+	}
+	out := make([][]int, len(r.res.Loads))
+	for i, v := range r.res.Loads {
+		out[i] = v
+	}
+	return out, nil
 }
 
 // Simulate runs the configured process `runs` times, placing `balls` balls
 // per run (0 means Bins, the canonical n-into-n experiment), with
 // independent deterministic random streams derived from cfg.Seed. It is
-// the programmatic equivalent of one Table 1 cell.
+// the programmatic equivalent of one Table 1 cell — a one-cell Experiment
+// on the shared pool. Multi-cell studies should use Experiment or Sweep
+// directly.
 func Simulate(cfg Config, balls, runs int) (*SimResult, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("kdchoice: Simulate needs runs >= 1, got %d", runs)
@@ -32,26 +107,14 @@ func Simulate(cfg Config, balls, runs int) (*SimResult, error) {
 	if balls < 0 {
 		return nil, fmt.Errorf("kdchoice: Simulate needs balls >= 0, got %d", balls)
 	}
-	cfg = cfg.withDefaults()
-	cp, params, err := cfg.coreConfig()
+	rep, err := Experiment{
+		Cells: []Cell{{Config: cfg}},
+		Balls: balls,
+		Runs:  runs,
+		Seed:  cfg.Seed,
+	}.Run()
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Run(sim.Config{
-		Policy: cp,
-		Params: params,
-		Balls:  balls,
-		Runs:   runs,
-		Seed:   cfg.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("kdchoice: %w", err)
-	}
-	return &SimResult{
-		MaxLoads:     res.MaxLoads,
-		DistinctMax:  res.DistinctMax(),
-		MeanMax:      res.MaxStats().Mean(),
-		MeanGap:      res.GapStats().Mean(),
-		MeanMessages: res.MeanMessages(),
-	}, nil
+	return &rep.Cells[0].SimResult, nil
 }
