@@ -1,0 +1,666 @@
+package kdchoice
+
+import (
+	"fmt"
+
+	"repro/internal/appevent"
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// This file is the public surface of the paper's Section 1.3 application
+// substrates: cluster job scheduling (Sparrow-style batch sampling),
+// replicated storage, and the netsim message-level protocol. A Study runs
+// any mix of their cells — each a (substrate, policy, k, d, load) tuple —
+// on the same shared bounded worker pool as the core Experiment/Sweep
+// harness, with deterministic per-(cell, run) seed streams, so application
+// grids parallelize and reproduce exactly like Table 1 sweeps do.
+
+// Dist is a non-negative scalar distribution for workload parameters (task
+// durations, file sizes, network delays). The zero value means "substrate
+// default" (documented per field).
+type Dist struct {
+	d workload.Dist
+}
+
+// DeterministicDist always yields v (v >= 0).
+func DeterministicDist(v float64) Dist { return Dist{workload.Deterministic(v)} }
+
+// ExponentialDist is the exponential distribution with the given mean > 0.
+func ExponentialDist(mean float64) Dist { return Dist{workload.Exponential(mean)} }
+
+// ParetoDist is the heavy-tailed Pareto distribution with shape alpha > 1,
+// scaled to the given mean > 0.
+func ParetoDist(alpha, mean float64) Dist { return Dist{workload.Pareto(alpha, mean)} }
+
+// UniformDist is the uniform distribution on [lo, hi), 0 <= lo < hi.
+func UniformDist(lo, hi float64) Dist { return Dist{workload.Uniform(lo, hi)} }
+
+// Mean returns the distribution mean (0 for the zero value).
+func (d Dist) Mean() float64 { return d.d.Mean() }
+
+// SchedulerPolicy selects how a SchedulerCell assigns a job's tasks.
+type SchedulerPolicy int
+
+// Scheduler placement policies.
+const (
+	// BatchSampling is the (k,d)-choice strategy: one batch of D probes per
+	// job, tasks to the K least-loaded probed workers (Sparrow's batch
+	// sampling). The zero SchedulerPolicy defaults to it.
+	BatchSampling SchedulerPolicy = iota + 1
+	// SparrowBinding is Sparrow's late-binding refinement: D reservations,
+	// the first K workers to free up pull the tasks.
+	SparrowBinding
+	// PerTaskChoice gives every task its own DPerTask-choice probes — the
+	// classical strategy the paper argues against.
+	PerTaskChoice
+	// RandomAssignment sends every task to a uniformly random worker.
+	RandomAssignment
+)
+
+// String returns the canonical name of the policy.
+func (p SchedulerPolicy) String() string { return p.internal().String() }
+
+func (p SchedulerPolicy) internal() cluster.PlacementPolicy {
+	switch p {
+	case 0, BatchSampling:
+		return cluster.BatchKD
+	case SparrowBinding:
+		return cluster.LateBinding
+	case PerTaskChoice:
+		return cluster.PerTaskD
+	case RandomAssignment:
+		return cluster.RandomPlace
+	default:
+		return cluster.PlacementPolicy(-1)
+	}
+}
+
+// SchedulerCell is one cluster-scheduling study cell: K-task parallel jobs
+// placed on Workers FIFO machines under the chosen policy, with Poisson
+// arrivals sized to utilization Rho.
+type SchedulerCell struct {
+	// Workers is the number of worker machines (default 100).
+	Workers int
+	// K is the number of parallel tasks per job (required, >= 1).
+	K int
+	// D is the probe (or reservation) budget per job for BatchSampling and
+	// SparrowBinding (default 2K).
+	D int
+	// DPerTask is the per-task probe count under PerTaskChoice (default 2).
+	DPerTask int
+	// Jobs is the number of jobs run to completion (default 2000).
+	Jobs int
+	// Rho is the target utilization in (0, 1) (default 0.85).
+	Rho float64
+	// TaskDist draws task durations; the zero value means
+	// ExponentialDist(1).
+	TaskDist Dist
+	// Policy is the placement policy (zero value = BatchSampling).
+	Policy SchedulerPolicy
+	// Seed, when non-zero, pins the cell's seed; otherwise the Study
+	// derives one from its root seed and the cell index.
+	Seed uint64
+	// Label optionally names the cell in the report.
+	Label string
+}
+
+// config maps the cell onto the internal substrate configuration.
+func (c SchedulerCell) config() cluster.Config {
+	if c.Workers == 0 {
+		c.Workers = 100
+	}
+	if c.D == 0 {
+		c.D = 2 * c.K
+	}
+	if c.DPerTask == 0 {
+		c.DPerTask = 2
+	}
+	if c.Jobs == 0 {
+		c.Jobs = 2000
+	}
+	if c.Rho == 0 {
+		c.Rho = 0.85
+	}
+	dist := c.TaskDist.d
+	if dist.Mean() == 0 {
+		dist = workload.Exponential(1)
+	}
+	return cluster.Config{
+		NumWorkers: c.Workers,
+		K:          c.K,
+		D:          c.D,
+		DPerTask:   c.DPerTask,
+		Jobs:       c.Jobs,
+		Rho:        c.Rho,
+		TaskDist:   dist,
+		Policy:     c.Policy.internal(),
+		Seed:       c.Seed,
+	}
+}
+
+func (c SchedulerCell) appLabel() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	cfg := c.config()
+	return fmt.Sprintf("sched/%s k=%d d=%d n=%d", cfg.Policy, cfg.K, cfg.D, cfg.NumWorkers)
+}
+
+func (c SchedulerCell) appSeed() uint64 { return c.Seed }
+
+func (c SchedulerCell) appValidate() error { return c.config().Validate() }
+
+func (c SchedulerCell) runApp(seed uint64, obs []Observer) (AppMetrics, error) {
+	cfg := c.config()
+	cfg.Seed = seed
+	cfg.Observer = fanoutObserver(obs)
+	m, err := cluster.Run(cfg)
+	if err != nil {
+		return AppMetrics{}, err
+	}
+	met := AppMetrics{
+		MaxLoad:       float64(m.MaxQueueSeen),
+		Messages:      m.Probes,
+		ProbeMessages: m.Probes,
+		Units:         m.JobsRun,
+		Makespan:      m.Makespan,
+		MeanResponse:  m.MeanResponse(),
+	}
+	if len(m.ResponseTimes) > 0 {
+		met.P95Response = m.ResponseQuantile(0.95)
+		met.P99Response = m.ResponseQuantile(0.99)
+	}
+	return met, nil
+}
+
+// StoragePolicy selects how a StorageCell places the K copies of a file.
+type StoragePolicy int
+
+// Storage placement policies.
+const (
+	// KDPlacement probes D servers once per file and stores the K copies on
+	// the K least loaded ((k,d)-choice). The zero StoragePolicy defaults to
+	// it.
+	KDPlacement StoragePolicy = iota + 1
+	// PerCopyChoice places every copy independently with DPerCopy-choice.
+	PerCopyChoice
+	// RandomCopyPlacement puts every copy on a uniformly random server.
+	RandomCopyPlacement
+)
+
+// String returns the canonical name of the policy.
+func (p StoragePolicy) String() string { return p.internal().String() }
+
+func (p StoragePolicy) internal() storage.PlacementPolicy {
+	switch p {
+	case 0, KDPlacement:
+		return storage.KDPlace
+	case PerCopyChoice:
+		return storage.PerCopyD
+	case RandomCopyPlacement:
+		return storage.RandomPlace
+	default:
+		return storage.PlacementPolicy(-1)
+	}
+}
+
+// StorageCell is one replicated-storage study cell: Files files of K copies
+// each, placed on Servers under the chosen policy.
+type StorageCell struct {
+	// Servers is the number of storage servers (default 256).
+	Servers int
+	// Files is the number of files ingested per run (default 20000).
+	Files int
+	// K is the replication factor / chunk count per file (required, >= 1).
+	K int
+	// D is the probe budget per file for KDPlacement (default K+1, the
+	// paper's storage sweet spot).
+	D int
+	// DPerCopy is the per-copy probe count under PerCopyChoice (default 2).
+	DPerCopy int
+	// SizeDist draws file sizes; the zero value means DeterministicDist(1),
+	// i.e. balance by object count.
+	SizeDist Dist
+	// ByBytes balances on cumulative bytes instead of object count.
+	ByBytes bool
+	// Distinct forces the copies of one file onto distinct servers
+	// (replication); false keeps the paper's multiset rule (chunk mode).
+	Distinct bool
+	// Policy is the placement policy (zero value = KDPlacement).
+	Policy StoragePolicy
+	// Seed, when non-zero, pins the cell's seed; otherwise the Study
+	// derives one from its root seed and the cell index.
+	Seed uint64
+	// Label optionally names the cell in the report.
+	Label string
+}
+
+// config maps the cell onto the internal substrate configuration.
+func (c StorageCell) config() storage.Config {
+	if c.Servers == 0 {
+		c.Servers = 256
+	}
+	if c.Files == 0 {
+		c.Files = 20000
+	}
+	if c.D == 0 {
+		c.D = c.K + 1
+	}
+	if c.DPerCopy == 0 {
+		c.DPerCopy = 2
+	}
+	return storage.Config{
+		Servers:  c.Servers,
+		Files:    c.Files,
+		K:        c.K,
+		D:        c.D,
+		DPerCopy: c.DPerCopy,
+		SizeDist: c.SizeDist.d,
+		ByBytes:  c.ByBytes,
+		Distinct: c.Distinct,
+		Policy:   c.Policy.internal(),
+		Seed:     c.Seed,
+	}
+}
+
+func (c StorageCell) appLabel() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	cfg := c.config()
+	return fmt.Sprintf("store/%s k=%d d=%d n=%d", cfg.Policy, cfg.K, cfg.D, cfg.Servers)
+}
+
+func (c StorageCell) appSeed() uint64 { return c.Seed }
+
+func (c StorageCell) appValidate() error { return c.config().Validate() }
+
+func (c StorageCell) runApp(seed uint64, obs []Observer) (AppMetrics, error) {
+	cfg := c.config()
+	cfg.Seed = seed
+	cfg.Observer = fanoutObserver(obs)
+	s, err := storage.New(cfg)
+	if err != nil {
+		return AppMetrics{}, err
+	}
+	s.IngestAll()
+	return AppMetrics{
+		MaxLoad:       s.MaxLoad(),
+		Messages:      s.Messages(),
+		ProbeMessages: s.Messages(),
+		Units:         s.Files(),
+		SearchCost:    s.SearchCost(),
+	}, nil
+}
+
+// ProtocolCell is one netsim study cell: the (k,d)-choice allocation run as
+// a literal probe/reply/place message protocol over a simulated network,
+// with Pipeline dispatchers deciding rounds concurrently on stale load
+// reports.
+type ProtocolCell struct {
+	// Servers is the number of server nodes (required, >= 1).
+	Servers int
+	// K and D are the (k,d)-choice parameters (1 <= K < D <= Servers).
+	K, D int
+	// Rounds is the number of allocation rounds (default Servers/K, the
+	// n-balls-into-n-bins experiment).
+	Rounds int
+	// Pipeline is the number of concurrent dispatchers (default 1, the
+	// paper's sequential process).
+	Pipeline int
+	// NetDelay draws one-way message latencies; the zero value means
+	// DeterministicDist(1).
+	NetDelay Dist
+	// Seed, when non-zero, pins the cell's seed; otherwise the Study
+	// derives one from its root seed and the cell index.
+	Seed uint64
+	// Label optionally names the cell in the report.
+	Label string
+}
+
+// config maps the cell onto the internal substrate configuration.
+func (c ProtocolCell) config() netsim.Config {
+	if c.Rounds == 0 && c.K > 0 {
+		c.Rounds = c.Servers / c.K
+	}
+	return netsim.Config{
+		Servers:  c.Servers,
+		K:        c.K,
+		D:        c.D,
+		Rounds:   c.Rounds,
+		Pipeline: c.Pipeline,
+		NetDelay: c.NetDelay.d,
+		Seed:     c.Seed,
+	}
+}
+
+func (c ProtocolCell) appLabel() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	cfg := c.config()
+	return fmt.Sprintf("proto/kd k=%d d=%d n=%d pipe=%d", cfg.K, cfg.D, cfg.Servers, max(cfg.Pipeline, 1))
+}
+
+func (c ProtocolCell) appSeed() uint64 { return c.Seed }
+
+func (c ProtocolCell) appValidate() error { return c.config().Validate() }
+
+func (c ProtocolCell) runApp(seed uint64, obs []Observer) (AppMetrics, error) {
+	cfg := c.config()
+	cfg.Seed = seed
+	cfg.Observer = fanoutObserver(obs)
+	st, err := netsim.Run(cfg)
+	if err != nil {
+		return AppMetrics{}, err
+	}
+	met := AppMetrics{
+		MaxLoad:       float64(st.MaxLoad),
+		Messages:      st.Messages,
+		ProbeMessages: st.ProbeMessages,
+		Units:         cfg.Rounds * cfg.K,
+		Makespan:      st.Makespan,
+		MeanResponse:  st.MeanRoundLatency(),
+	}
+	if len(st.RoundLatencies) > 0 {
+		met.P95Response = stats.Quantile(st.RoundLatencies, 0.95)
+		met.P99Response = stats.Quantile(st.RoundLatencies, 0.99)
+	}
+	return met, nil
+}
+
+// AppCell is one application-study cell: a substrate plus its full
+// configuration. The concrete implementations are SchedulerCell,
+// StorageCell and ProtocolCell.
+type AppCell interface {
+	// appLabel names the cell for reports and errors.
+	appLabel() string
+	// appSeed returns the cell's explicit seed (0 = derive).
+	appSeed() uint64
+	// appValidate rejects unrunnable configurations before dispatch.
+	appValidate() error
+	// runApp executes one run with the given seed and observers.
+	runApp(seed uint64, obs []Observer) (AppMetrics, error)
+}
+
+// fanoutObserver adapts public observers to the substrate round-event
+// hook, translating each appevent.Round into the package's RoundEvent
+// contract. It returns nil for an empty observer set so the substrate hot
+// path stays observation-free.
+func fanoutObserver(obs []Observer) appevent.Observer {
+	live := obs[:0:0]
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	return func(ev appevent.Round) {
+		e := RoundEvent{
+			Round:    ev.Round,
+			Samples:  ev.Samples,
+			Placed:   ev.Placed,
+			Heights:  ev.Heights,
+			Bins:     ev.Bins,
+			Balls:    ev.Balls,
+			MaxLoad:  ev.MaxLoad,
+			Messages: ev.Messages,
+		}
+		for _, o := range live {
+			o.ObserveRound(e)
+		}
+	}
+}
+
+// AppMetrics is the outcome of one application-cell run, reported on the
+// axes every substrate shares: balance, message cost, and time. Fields
+// that do not apply to a substrate are zero (e.g. SearchCost outside
+// storage, response quantiles for storage).
+type AppMetrics struct {
+	// MaxLoad is the substrate's balance figure: the deepest queue observed
+	// at any placement (scheduler), the maximum per-server load under the
+	// configured metric (storage), or the final maximum bin load (protocol).
+	MaxLoad float64
+	// Messages is the run's network cost: probes for the scheduler and
+	// storage substrates, total wire messages for the protocol.
+	Messages int64
+	// ProbeMessages is the paper's "bins probed" cost measure; for the
+	// protocol substrate it counts every sampled slot (duplicates included)
+	// and can exceed Messages' probe share.
+	ProbeMessages int64
+	// Units is the number of placement units the run completed: jobs,
+	// files, or balls.
+	Units int
+	// Makespan is the simulated completion time (0 for storage, which is
+	// not a timed simulation).
+	Makespan float64
+	// MeanResponse is the mean job response time (scheduler) or mean round
+	// latency (protocol).
+	MeanResponse float64
+	// P95Response and P99Response are tail quantiles of the same series.
+	P95Response float64
+	P99Response float64
+	// SearchCost is the probes needed to retrieve all copies of one file
+	// (storage only).
+	SearchCost int
+}
+
+// MessagesPerUnit returns the run's amortized message cost.
+func (m AppMetrics) MessagesPerUnit() float64 {
+	if m.Units == 0 {
+		return 0
+	}
+	return float64(m.Messages) / float64(m.Units)
+}
+
+// Study runs a set of application cells — each repeated Runs times — on one
+// shared bounded worker pool, exactly as Experiment does for the core
+// process. Scheduler, storage and protocol cells can be mixed freely in one
+// study; all (cell, run) pairs are flattened onto the pool together.
+//
+// Determinism: run r of cell i uses seed stream (seedᵢ, r), where seedᵢ is
+// the cell's explicit Seed when non-zero and is otherwise derived from
+// (Seed, i); run 0 uses seedᵢ itself, so a one-run study reproduces a
+// direct substrate run bit for bit. The StudyReport is a pure function of
+// the Study value — identical for any Workers setting.
+type Study struct {
+	// Cells lists the application cells to run (at least one).
+	Cells []AppCell
+	// Runs is the number of independent runs per cell; 0 means 1.
+	Runs int
+	// Seed is the root seed from which cells without an explicit seed
+	// derive theirs.
+	Seed uint64
+	// Workers bounds the shared pool; 0 means GOMAXPROCS.
+	Workers int
+	// Observe, when non-nil, is called once per (cell, run) before that run
+	// starts; the returned observers receive a RoundEvent after every
+	// placement round of the substrate (job, file, or protocol round). It
+	// is called from the pool goroutines and must be safe for concurrent
+	// use; per-(cell, run) observer instances keep runs independent.
+	Observe func(cell, run int) []Observer
+}
+
+// appRunSeed derives run r's seed from the cell seed; run 0 keeps the cell
+// seed itself so single-run cells reproduce direct substrate runs.
+func appRunSeed(cellSeed uint64, run int) uint64 {
+	return cellSeed ^ (uint64(run) * 0xBF58476D1CE4E5B9)
+}
+
+// Run executes the study and aggregates per-cell results into a
+// StudyReport. Every cell is validated before any work starts; an invalid
+// cell fails the whole study with an error naming it.
+func (s Study) Run() (*StudyReport, error) {
+	if len(s.Cells) == 0 {
+		return nil, fmt.Errorf("kdchoice: Study needs at least one cell")
+	}
+	if s.Runs < 0 {
+		return nil, fmt.Errorf("kdchoice: Study.Runs = %d, must be non-negative", s.Runs)
+	}
+	runs := s.Runs
+	if runs == 0 {
+		runs = 1
+	}
+	seeds := make([]uint64, len(s.Cells))
+	counts := make([]int, len(s.Cells))
+	results := make([][]AppMetrics, len(s.Cells))
+	for i, c := range s.Cells {
+		if c == nil {
+			return nil, fmt.Errorf("kdchoice: study cell %d is nil", i)
+		}
+		if err := c.appValidate(); err != nil {
+			return nil, fmt.Errorf("kdchoice: study cell %d (%s): %w", i, c.appLabel(), err)
+		}
+		seeds[i] = cellSeed(s.Seed, i, c.appSeed())
+		counts[i] = runs
+		results[i] = make([]AppMetrics, runs)
+	}
+	err := sim.RunTasks(s.Workers, counts, func(cell, run int) error {
+		var obs []Observer
+		if s.Observe != nil {
+			obs = s.Observe(cell, run)
+		}
+		m, err := s.Cells[cell].runApp(appRunSeed(seeds[cell], run), obs)
+		if err != nil {
+			return fmt.Errorf("cell %d (%s) run %d: %w", cell, s.Cells[cell].appLabel(), run, err)
+		}
+		results[cell][run] = m
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kdchoice: study: %w", err)
+	}
+	rep := &StudyReport{Cells: make([]StudyCellResult, len(s.Cells))}
+	for i, c := range s.Cells {
+		rep.Cells[i] = newStudyCellResult(i, c, results[i])
+	}
+	return rep, nil
+}
+
+// StudyCellResult is the outcome of one study cell: its per-run metrics in
+// run order plus their aggregates.
+type StudyCellResult struct {
+	// Index is the cell's position in Study.Cells.
+	Index int
+	// Cell is the cell as submitted.
+	Cell AppCell
+	// Runs holds each run's metrics, indexed by run.
+	Runs []AppMetrics
+	// MeanMaxLoad, MeanMessages, MeanProbeMessages, MeanMakespan,
+	// MeanResponse and MeanP95 average the corresponding AppMetrics field
+	// over runs.
+	MeanMaxLoad       float64
+	MeanMessages      float64
+	MeanProbeMessages float64
+	MeanMakespan      float64
+	MeanResponse      float64
+	MeanP95           float64
+	// MessagesPerUnit is total messages over total units across runs — the
+	// paper's amortized cost measure (probes/job, msgs/file, msgs/ball).
+	MessagesPerUnit float64
+}
+
+// Label returns the cell's display name.
+func (c *StudyCellResult) Label() string { return c.Cell.appLabel() }
+
+// newStudyCellResult aggregates one cell's runs.
+func newStudyCellResult(index int, cell AppCell, runs []AppMetrics) StudyCellResult {
+	r := StudyCellResult{Index: index, Cell: cell, Runs: runs}
+	var maxes, msgs, probes, spans, resp, p95 stats.Online
+	var totalMsgs int64
+	totalUnits := 0
+	for _, m := range runs {
+		maxes.Add(m.MaxLoad)
+		msgs.Add(float64(m.Messages))
+		probes.Add(float64(m.ProbeMessages))
+		spans.Add(m.Makespan)
+		resp.Add(m.MeanResponse)
+		p95.Add(m.P95Response)
+		totalMsgs += m.Messages
+		totalUnits += m.Units
+	}
+	r.MeanMaxLoad = maxes.Mean()
+	r.MeanMessages = msgs.Mean()
+	r.MeanProbeMessages = probes.Mean()
+	r.MeanMakespan = spans.Mean()
+	r.MeanResponse = resp.Mean()
+	r.MeanP95 = p95.Mean()
+	if totalUnits > 0 {
+		r.MessagesPerUnit = float64(totalMsgs) / float64(totalUnits)
+	}
+	return r
+}
+
+// StudyReport carries the results of a Study: one StudyCellResult per cell,
+// in cell order.
+type StudyReport struct {
+	Cells []StudyCellResult
+}
+
+// StorageSystem is an interactive handle on one storage substrate instance,
+// for scenarios a batch Study cannot express: incremental ingest, failure
+// injection, and replication checks. Construct with NewStorageSystem; the
+// cell's Seed is used directly (Study-style derivation does not apply).
+type StorageSystem struct {
+	sys *storage.System
+}
+
+// NewStorageSystem validates the cell and returns an empty system; the
+// given observers receive one RoundEvent per ingested file.
+func NewStorageSystem(c StorageCell, obs ...Observer) (*StorageSystem, error) {
+	cfg := c.config()
+	cfg.Observer = fanoutObserver(obs)
+	s, err := storage.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("kdchoice: %w", err)
+	}
+	return &StorageSystem{sys: s}, nil
+}
+
+// Ingest places one file and returns its id.
+func (s *StorageSystem) Ingest() int { return s.sys.Ingest() }
+
+// IngestAll ingests the cell's configured number of files.
+func (s *StorageSystem) IngestAll() { s.sys.IngestAll() }
+
+// FailServer kills server sv, drops its copies, and re-replicates every
+// affected file; it returns the number of copies re-replicated.
+func (s *StorageSystem) FailServer(sv int) int { return s.sys.FailServer(sv) }
+
+// ReplicationOK reports whether every file still has K live copies on
+// distinct (when configured) servers.
+func (s *StorageSystem) ReplicationOK() error { return s.sys.ReplicationOK() }
+
+// MaxLoad returns the maximum per-server load under the balancing metric.
+func (s *StorageSystem) MaxLoad() float64 { return s.sys.MaxLoad() }
+
+// MeanLoad returns the mean per-server load over alive servers.
+func (s *StorageSystem) MeanLoad() float64 { return s.sys.MeanLoad() }
+
+// Imbalance returns MaxLoad/MeanLoad (1.0 is perfect balance).
+func (s *StorageSystem) Imbalance() float64 { return s.sys.Imbalance() }
+
+// Gini returns the Gini coefficient of the per-server object counts.
+func (s *StorageSystem) Gini() float64 { return s.sys.Gini() }
+
+// Messages returns the cumulative probe count (the paper's message cost).
+func (s *StorageSystem) Messages() int64 { return s.sys.Messages() }
+
+// SearchCost returns the probes needed to retrieve all copies of one file.
+func (s *StorageSystem) SearchCost() int { return s.sys.SearchCost() }
+
+// Files returns the number of ingested files.
+func (s *StorageSystem) Files() int { return s.sys.Files() }
+
+// Objects returns a copy of the per-server object counts.
+func (s *StorageSystem) Objects() []int { return s.sys.Objects() }
+
+// FileServers returns a copy of the server list holding file id.
+func (s *StorageSystem) FileServers(id int) []int { return s.sys.FileServers(id) }

@@ -1,0 +1,302 @@
+package kdchoice
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// studyCells returns a small mixed-substrate grid: scheduler, storage and
+// protocol cells in one study.
+func studyCells() []AppCell {
+	return []AppCell{
+		SchedulerCell{Workers: 40, K: 4, D: 8, Jobs: 300, Rho: 0.7},
+		SchedulerCell{Workers: 40, K: 4, D: 8, Jobs: 300, Rho: 0.7, Policy: SparrowBinding},
+		SchedulerCell{Workers: 40, K: 4, Jobs: 300, Rho: 0.7, Policy: PerTaskChoice},
+		StorageCell{Servers: 64, Files: 1500, K: 3, Distinct: true},
+		StorageCell{Servers: 64, Files: 1500, K: 3, Distinct: true, Policy: PerCopyChoice},
+		ProtocolCell{Servers: 128, K: 2, D: 4, Rounds: 64, Pipeline: 8, NetDelay: ExponentialDist(1)},
+	}
+}
+
+// TestStudyWorkerCountInvariance is the harness's core determinism claim:
+// the report must be byte-identical for any worker count. It runs under
+// -race in scripts/ci.sh.
+func TestStudyWorkerCountInvariance(t *testing.T) {
+	base := Study{Cells: studyCells(), Runs: 3, Seed: 99}
+	serial := base
+	serial.Workers = 1
+	parallel := base
+	parallel.Workers = 8
+	a, err := serial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("worker count changed the study report")
+	}
+}
+
+// TestStudyReproducible: same study value, same report.
+func TestStudyReproducible(t *testing.T) {
+	s := Study{Cells: studyCells(), Runs: 2, Seed: 7, Workers: 4}
+	a, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same study produced different reports")
+	}
+}
+
+// TestStudyRunSeedStreams: distinct cells and distinct runs draw from
+// different streams; run 0 keeps the cell seed (single-run studies
+// reproduce direct substrate runs).
+func TestStudyRunSeedStreams(t *testing.T) {
+	if appRunSeed(42, 0) != 42 {
+		t.Fatal("run 0 must keep the cell seed")
+	}
+	if appRunSeed(42, 1) == 42 {
+		t.Fatal("run 1 must not reuse the cell seed")
+	}
+	rep, err := Study{Cells: studyCells()[:1], Runs: 4, Seed: 5}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := rep.Cells[0].Runs
+	distinct := make(map[float64]bool)
+	for _, m := range runs {
+		distinct[m.MeanResponse] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("4 runs produced %d distinct outcomes; seed streams look shared", len(distinct))
+	}
+}
+
+// TestStudyExplicitSeedWins: a cell's explicit seed pins its stream
+// regardless of position or root seed.
+func TestStudyExplicitSeedWins(t *testing.T) {
+	cell := SchedulerCell{Workers: 32, K: 2, D: 4, Jobs: 200, Rho: 0.6, Seed: 1234}
+	a, err := Study{Cells: []AppCell{cell}, Seed: 1}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad := StorageCell{Servers: 32, Files: 100, K: 2, Distinct: true}
+	b, err := Study{Cells: []AppCell{pad, cell}, Seed: 999}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Cells[0].Runs, b.Cells[1].Runs) {
+		t.Fatal("explicit cell seed did not pin the outcome")
+	}
+}
+
+// TestStudyValidation: empty studies, nil cells and invalid cells fail
+// eagerly with an error naming the cell.
+func TestStudyValidation(t *testing.T) {
+	if _, err := (Study{}).Run(); err == nil {
+		t.Fatal("empty study accepted")
+	}
+	if _, err := (Study{Cells: []AppCell{nil}}).Run(); err == nil {
+		t.Fatal("nil cell accepted")
+	}
+	if _, err := (Study{Cells: studyCells(), Runs: -1}).Run(); err == nil {
+		t.Fatal("negative runs accepted")
+	}
+	bad := Study{Cells: []AppCell{
+		SchedulerCell{Workers: 10, K: 4, D: 8, Jobs: 100, Rho: 0.5},
+		SchedulerCell{Workers: 10, K: 4, D: 4, Jobs: 100, Rho: 0.5}, // D <= K
+	}}
+	_, err := bad.Run()
+	if err == nil {
+		t.Fatal("invalid cell accepted")
+	}
+	if !strings.Contains(err.Error(), "cell 1") {
+		t.Fatalf("error does not name the failing cell: %v", err)
+	}
+}
+
+// TestStudyDefaults: zero-value knobs resolve to the documented defaults.
+func TestStudyDefaults(t *testing.T) {
+	rep, err := Study{Cells: []AppCell{
+		SchedulerCell{K: 2, Jobs: 100},
+		StorageCell{K: 2, Files: 200, Distinct: true},
+		ProtocolCell{Servers: 64, K: 2, D: 4},
+	}, Seed: 3}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Cells[0].Runs[0].Units; got != 100 {
+		t.Fatalf("scheduler units %d, want 100 jobs", got)
+	}
+	// Storage default D = K+1: messages per file = 3 probes.
+	if mpu := rep.Cells[1].MessagesPerUnit; mpu != 3 {
+		t.Fatalf("storage msgs/file %v, want 3 (d = k+1)", mpu)
+	}
+	// Protocol default Rounds = Servers/K: 32 rounds of 2 balls.
+	if got := rep.Cells[2].Runs[0].Units; got != 64 {
+		t.Fatalf("protocol units %d, want 64 balls", got)
+	}
+	if pm := rep.Cells[2].Runs[0].ProbeMessages; pm != 32*4 {
+		t.Fatalf("protocol probe messages %d, want d x rounds = 128", pm)
+	}
+}
+
+// TestStudyObservers: per-(cell, run) observers see every substrate round,
+// and observation does not change the report.
+func TestStudyObservers(t *testing.T) {
+	cells := []AppCell{
+		SchedulerCell{Workers: 32, K: 2, D: 4, Jobs: 150, Rho: 0.6},
+		StorageCell{Servers: 32, Files: 120, K: 2, Distinct: true},
+		ProtocolCell{Servers: 64, K: 2, D: 4, Rounds: 40},
+	}
+	wantRounds := []int{150, 120, 40}
+	plain, err := Study{Cells: cells, Runs: 2, Seed: 11}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	counts := make(map[[2]int]int)
+	observed, err := Study{Cells: cells, Runs: 2, Seed: 11,
+		Observe: func(cell, run int) []Observer {
+			return []Observer{ObserverFunc(func(e RoundEvent) {
+				if e.Round < 1 || e.Bins < 1 || e.Balls < 1 {
+					t.Errorf("cell %d run %d: malformed event %+v", cell, run, e)
+				}
+				mu.Lock()
+				counts[[2]int{cell, run}]++
+				mu.Unlock()
+			})}
+		}}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatal("observers changed the study report")
+	}
+	for cell := range cells {
+		for run := 0; run < 2; run++ {
+			if got := counts[[2]int{cell, run}]; got != wantRounds[cell] {
+				t.Fatalf("cell %d run %d: observed %d rounds, want %d", cell, run, got, wantRounds[cell])
+			}
+		}
+	}
+}
+
+// TestStudyTimeSeriesRecorder: the existing public observers compose with
+// event-driven substrates — the trajectory of a protocol cell is visible
+// round by round.
+func TestStudyTimeSeriesRecorder(t *testing.T) {
+	recorders := make([]*TimeSeriesRecorder, 1)
+	_, err := Study{
+		Cells: []AppCell{ProtocolCell{Servers: 64, K: 2, D: 4, Rounds: 32}},
+		Observe: func(cell, run int) []Observer {
+			recorders[run] = NewTimeSeriesRecorder(1)
+			return []Observer{recorders[run]}
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := recorders[0].Points()
+	if len(pts) != 32 {
+		t.Fatalf("recorded %d points, want 32", len(pts))
+	}
+	last, _ := recorders[0].Last()
+	if last.Balls != 64 || last.Messages == 0 {
+		t.Fatalf("final trajectory point inconsistent: %+v", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Messages <= pts[i-1].Messages {
+			t.Fatal("message trajectory not increasing")
+		}
+	}
+}
+
+// TestStudySingleRunMatchesDirectSubstrate: run 0 of a pinned-seed protocol
+// cell must equal a direct netsim-style run through the same public path —
+// exercised via two studies sharing the explicit seed but different root
+// seeds and runs counts.
+func TestStudySingleRunMatchesDirectSubstrate(t *testing.T) {
+	cell := ProtocolCell{Servers: 128, K: 2, D: 4, Rounds: 64, Seed: 77}
+	one, err := Study{Cells: []AppCell{cell}, Seed: 1}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Study{Cells: []AppCell{cell}, Runs: 3, Seed: 2}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one.Cells[0].Runs[0], many.Cells[0].Runs[0]) {
+		t.Fatal("run 0 depends on the runs count or root seed despite an explicit cell seed")
+	}
+}
+
+// TestStorageSystemLifecycle: the interactive handle supports the failure
+// injection scenario end to end on the public surface.
+func TestStorageSystemLifecycle(t *testing.T) {
+	sys, err := NewStorageSystem(StorageCell{Servers: 64, Files: 2000, K: 3, Distinct: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.IngestAll()
+	if sys.Files() != 2000 {
+		t.Fatalf("files %d", sys.Files())
+	}
+	if sys.SearchCost() != 4 {
+		t.Fatalf("search cost %d, want d = k+1 = 4", sys.SearchCost())
+	}
+	moved := 0
+	for sv := 0; sv < 6; sv++ {
+		moved += sys.FailServer(sv)
+	}
+	if moved == 0 {
+		t.Fatal("no copies re-replicated after killing 6 servers")
+	}
+	if err := sys.ReplicationOK(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Imbalance() < 1 {
+		t.Fatalf("imbalance %v < 1", sys.Imbalance())
+	}
+	if g := sys.Gini(); g < 0 || g > 1 {
+		t.Fatalf("gini %v outside [0,1]", g)
+	}
+	if len(sys.Objects()) != 64 {
+		t.Fatal("objects length")
+	}
+	if len(sys.FileServers(0)) != 3 {
+		t.Fatal("file servers length")
+	}
+	if _, err := NewStorageSystem(StorageCell{Servers: 4, Files: 10, K: 9, Distinct: true}); err == nil {
+		t.Fatal("invalid storage cell accepted")
+	}
+}
+
+// TestStudyLabels: derived labels identify substrate, policy and geometry;
+// explicit labels win.
+func TestStudyLabels(t *testing.T) {
+	for _, tc := range []struct {
+		cell AppCell
+		want string
+	}{
+		{SchedulerCell{K: 4}, "sched/batch-kd k=4 d=8 n=100"},
+		{SchedulerCell{K: 4, Policy: SparrowBinding}, "sched/late-binding k=4 d=8 n=100"},
+		{StorageCell{K: 3}, "store/kd k=3 d=4 n=256"},
+		{ProtocolCell{Servers: 64, K: 2, D: 4}, "proto/kd k=2 d=4 n=64 pipe=1"},
+		{ProtocolCell{Servers: 64, K: 2, D: 4, Pipeline: 16, Label: "deep"}, "deep"},
+	} {
+		if got := tc.cell.appLabel(); got != tc.want {
+			t.Fatalf("label %q, want %q", got, tc.want)
+		}
+	}
+}

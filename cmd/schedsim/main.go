@@ -1,11 +1,14 @@
 // Command schedsim runs the Section 1.3 cluster-scheduling experiment
 // (A1): response time of parallel jobs under batch (k,d)-choice placement
 // versus per-task d-choice at the SAME total probe budget, across job
-// parallelism levels.
+// parallelism levels. The whole grid runs in parallel on the shared
+// kdchoice.Study worker pool; -runs averages each cell over independent
+// replicas.
 //
 // Usage:
 //
-//	schedsim [-workers 100] [-jobs 2000] [-rho 0.85] [-seed 1] [-pareto]
+//	schedsim [-workers 100] [-jobs 2000] [-rho 0.85] [-seed 1] [-runs 1]
+//	         [-pool 0] [-pareto] [-format text|csv]
 package main
 
 import (
@@ -31,10 +34,15 @@ func run(args []string, out io.Writer) error {
 	jobs := fs.Int("jobs", 2000, "jobs per cell")
 	rho := fs.Float64("rho", 0.85, "target utilization (0,1)")
 	seed := fs.Uint64("seed", 1, "root seed")
+	runs := fs.Int("runs", 1, "independent runs averaged per cell")
+	pool := fs.Int("pool", 0, "study worker-pool bound (0 = GOMAXPROCS)")
 	pareto := fs.Bool("pareto", false, "heavy-tailed (Pareto) task durations")
 	format := fs.String("format", "text", "output format: text or csv")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("unknown -format %q (text, csv)", *format)
 	}
 
 	rows, err := experiments.SchedulerComparison(experiments.SchedulerOpts{
@@ -42,6 +50,8 @@ func run(args []string, out io.Writer) error {
 		Jobs:    *jobs,
 		Rho:     *rho,
 		Seed:    *seed,
+		Runs:    *runs,
+		Pool:    *pool,
 		Pareto:  *pareto,
 	})
 	if err != nil {
@@ -52,7 +62,7 @@ func run(args []string, out io.Writer) error {
 	if *pareto {
 		dist = "pareto(2, mean 1)"
 	}
-	fmt.Fprintf(out, "cluster scheduling: %d workers, %d jobs, rho=%.2f, tasks ~ %s\n", *workers, *jobs, *rho, dist)
+	fmt.Fprintf(out, "cluster scheduling: %d workers, %d jobs, rho=%.2f, tasks ~ %s, %d run(s)/cell\n", *workers, *jobs, *rho, dist, *runs)
 	fmt.Fprintf(out, "batch = (k,2k)-choice per job; per-task = 2-choice per task (equal probe budgets)\n\n")
 	t := table.New("k", "batch mean", "batch p95", "late-bind mean", "late-bind p95", "per-task mean", "per-task p95", "random mean", "probes/job")
 	for _, r := range rows {

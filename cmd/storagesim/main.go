@@ -1,10 +1,13 @@
 // Command storagesim runs the Section 1.3 distributed-storage experiment
 // (A2): balance, placement-message cost and search cost of (k,k+1)-choice
-// replica placement versus per-copy two-choice and random placement.
+// replica placement versus per-copy two-choice and random placement. The
+// whole grid runs in parallel on the shared kdchoice.Study worker pool;
+// -runs averages each cell over independent replicas.
 //
 // Usage:
 //
-//	storagesim [-servers 256] [-files 20000] [-seed 1]
+//	storagesim [-servers 256] [-files 20000] [-seed 1] [-runs 1] [-pool 0]
+//	           [-format text|csv]
 package main
 
 import (
@@ -29,9 +32,14 @@ func run(args []string, out io.Writer) error {
 	servers := fs.Int("servers", 256, "storage servers")
 	files := fs.Int("files", 20000, "files to ingest")
 	seed := fs.Uint64("seed", 1, "root seed")
+	runs := fs.Int("runs", 1, "independent runs averaged per cell")
+	pool := fs.Int("pool", 0, "study worker-pool bound (0 = GOMAXPROCS)")
 	format := fs.String("format", "text", "output format: text or csv")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *format != "text" && *format != "csv" {
+		return fmt.Errorf("unknown -format %q (text, csv)", *format)
 	}
 	if *servers < 1 || *files < 1 {
 		return fmt.Errorf("servers (%d) and files (%d) must be >= 1", *servers, *files)
@@ -41,12 +49,14 @@ func run(args []string, out io.Writer) error {
 		Servers: *servers,
 		Files:   *files,
 		Seed:    *seed,
+		Runs:    *runs,
+		Pool:    *pool,
 	})
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "storage placement: %d servers, %d files, k replicas on distinct servers\n", *servers, *files)
+	fmt.Fprintf(out, "storage placement: %d servers, %d files, k replicas on distinct servers, %d run(s)/cell\n", *servers, *files, *runs)
 	fmt.Fprintf(out, "kd = (k,k+1)-choice per file; two = 2-choice per copy\n\n")
 	t := table.New("k", "kd max", "two max", "rand max",
 		"kd msgs/file", "two msgs/file", "kd search", "two search")

@@ -38,3 +38,31 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("bad flag accepted")
 	}
 }
+
+func TestRunRejectsUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-servers", "64", "-files", "100", "-format", "markdown"}, &buf)
+	if err == nil {
+		t.Fatal("unknown -format accepted")
+	}
+	if !strings.Contains(err.Error(), "markdown") {
+		t.Fatalf("error does not name the bad format: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("output produced despite invalid format")
+	}
+}
+
+func TestRunMultiRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	args := []string{"-servers", "64", "-files", "300", "-runs", "2", "-seed", "9"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-pool", "1"), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("pool size changed command output")
+	}
+}

@@ -6,9 +6,10 @@
 // motivation for (k,d)-choice: share one batch of d probes across the
 // job's k tasks (this is Sparrow's "batch sampling").
 //
-// The example drives the discrete-event cluster simulator at several
-// parallelism levels with EQUAL probe budgets (batch d = 2k vs per-task
-// d = 2) and prints mean and tail response times.
+// The example builds one kdchoice.Study over the (parallelism, policy)
+// grid with EQUAL probe budgets (batch d = 2k vs per-task d = 2) and runs
+// every cell concurrently on the shared worker pool, then prints mean and
+// tail response times.
 //
 // Run with:
 //
@@ -19,54 +20,52 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cluster"
-	"repro/internal/workload"
+	kdchoice "repro"
 )
 
 func main() {
 	const workers = 100
 	const jobs = 3000
 	const rho = 0.85
+	ks := []int{2, 4, 8, 16}
+	policies := []kdchoice.SchedulerPolicy{
+		kdchoice.BatchSampling, kdchoice.SparrowBinding, kdchoice.PerTaskChoice,
+	}
+
+	// One study cell per (k, policy); the whole grid shares the pool.
+	cells := make([]kdchoice.AppCell, 0, len(ks)*len(policies))
+	for _, k := range ks {
+		for _, policy := range policies {
+			cells = append(cells, kdchoice.SchedulerCell{
+				Workers:  workers,
+				K:        k,
+				D:        2 * k,
+				DPerTask: 2,
+				Jobs:     jobs,
+				Rho:      rho,
+				TaskDist: kdchoice.ExponentialDist(1.0),
+				Policy:   policy,
+				Seed:     99,
+			})
+		}
+	}
+	rep, err := kdchoice.Study{Cells: cells}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("cluster: %d workers, %d jobs, utilization %.0f%%, exp(1) tasks\n", workers, jobs, rho*100)
 	fmt.Printf("equal probe budgets per job: batch (k,2k) vs per-task two-choice\n\n")
 	fmt.Printf("%3s  %28s  %28s  %28s\n", "", "batch (k,d)-choice", "late binding (Sparrow)", "per-task 2-choice")
 	fmt.Printf("%3s  %9s %9s %9s  %9s %9s %9s  %9s %9s %9s\n", "k", "mean", "p95", "p99", "mean", "p95", "p99", "mean", "p95", "p99")
 
-	for _, k := range []int{2, 4, 8, 16} {
-		base := cluster.Config{
-			NumWorkers: workers,
-			K:          k,
-			D:          2 * k,
-			DPerTask:   2,
-			Jobs:       jobs,
-			Rho:        rho,
-			TaskDist:   workload.Exponential(1.0),
-			Seed:       99,
+	for i, k := range ks {
+		fmt.Printf("%3d", k)
+		for j := range policies {
+			m := rep.Cells[i*len(policies)+j].Runs[0]
+			fmt.Printf("  %9.2f %9.2f %9.2f", m.MeanResponse, m.P95Response, m.P99Response)
 		}
-		batchCfg := base
-		batchCfg.Policy = cluster.BatchKD
-		batch, err := cluster.Run(batchCfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		lateCfg := base
-		lateCfg.Policy = cluster.LateBinding
-		late, err := cluster.Run(lateCfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		ptCfg := base
-		ptCfg.Policy = cluster.PerTaskD
-		perTask, err := cluster.Run(ptCfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%3d  %9.2f %9.2f %9.2f  %9.2f %9.2f %9.2f  %9.2f %9.2f %9.2f\n",
-			k,
-			batch.MeanResponse(), batch.ResponseQuantile(0.95), batch.ResponseQuantile(0.99),
-			late.MeanResponse(), late.ResponseQuantile(0.95), late.ResponseQuantile(0.99),
-			perTask.MeanResponse(), perTask.ResponseQuantile(0.95), perTask.ResponseQuantile(0.99))
+		fmt.Println()
 	}
 
 	fmt.Println("\nSharing the probe batch across the job's tasks cuts the tail that the")

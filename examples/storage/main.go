@@ -3,9 +3,12 @@
 // A file is replicated k times; (k,k+1)-choice probes k+1 servers once and
 // stores the k copies on the k least loaded. Compared with per-copy
 // two-choice this halves both the placement message cost (k+1 vs 2k probes
-// per file) and the search cost, at asymptotically the same balance. The
-// example also kills servers and shows re-replication restoring the
-// replication factor.
+// per file) and the search cost, at asymptotically the same balance.
+//
+// The policy comparison runs as one kdchoice.Study (all three cells in
+// parallel on the shared pool); the failure-injection scenario then drives
+// an interactive kdchoice.StorageSystem, killing servers and showing
+// re-replication restoring the replication factor.
 //
 // Run with:
 //
@@ -16,8 +19,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/storage"
-	"repro/internal/workload"
+	kdchoice "repro"
 )
 
 func main() {
@@ -25,52 +27,55 @@ func main() {
 	const files = 20000
 	const k = 3
 
-	mk := func(policy storage.PlacementPolicy, seed uint64) *storage.System {
-		s, err := storage.New(storage.Config{
+	cell := func(policy kdchoice.StoragePolicy) kdchoice.StorageCell {
+		return kdchoice.StorageCell{
 			Servers:  servers,
 			Files:    files,
 			K:        k,
 			D:        k + 1,
 			DPerCopy: 2,
-			SizeDist: workload.Pareto(2.5, 1.0), // heavy-tailed file sizes
-			Distinct: true,                      // replicas on distinct servers
+			SizeDist: kdchoice.ParetoDist(2.5, 1.0), // heavy-tailed file sizes
+			Distinct: true,                          // replicas on distinct servers
 			Policy:   policy,
-			Seed:     seed,
-		})
-		if err != nil {
-			log.Fatal(err)
+			Seed:     7,
 		}
-		s.IngestAll()
-		return s
+	}
+	names := []string{"(k,k+1)-choice", "per-copy two-choice", "random"}
+	rep, err := kdchoice.Study{Cells: []kdchoice.AppCell{
+		cell(kdchoice.KDPlacement),
+		cell(kdchoice.PerCopyChoice),
+		cell(kdchoice.RandomCopyPlacement),
+	}}.Run()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("storage: %d servers, %d files x %d replicas, distinct servers\n\n", servers, files, k)
-	fmt.Printf("%-22s  %9s  %9s  %11s  %10s\n", "policy", "max load", "imbalance", "msgs/file", "search cost")
-	for _, row := range []struct {
-		name   string
-		policy storage.PlacementPolicy
-	}{
-		{"(k,k+1)-choice", storage.KDPlace},
-		{"per-copy two-choice", storage.PerCopyD},
-		{"random", storage.RandomPlace},
-	} {
-		s := mk(row.policy, 7)
-		fmt.Printf("%-22s  %9.0f  %9.3f  %11.2f  %10d\n",
-			row.name, s.MaxLoad(), s.Imbalance(),
-			float64(s.Messages())/float64(files), s.SearchCost())
+	fmt.Printf("%-22s  %9s  %11s  %10s\n", "policy", "max load", "msgs/file", "search cost")
+	for i, c := range rep.Cells {
+		m := c.Runs[0]
+		fmt.Printf("%-22s  %9.0f  %11.2f  %10d\n",
+			names[i], m.MaxLoad, m.MessagesPerUnit(), m.SearchCost)
 	}
 
-	// Fault tolerance: kill a tenth of the fleet, one server at a time.
+	// Fault tolerance: kill a tenth of the fleet, one server at a time, on
+	// an interactive system handle.
 	fmt.Println("\nfailure injection on the (k,k+1) system:")
-	s := mk(storage.KDPlace, 8)
+	c := cell(kdchoice.KDPlacement)
+	c.Seed = 8
+	sys, err := kdchoice.NewStorageSystem(c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.IngestAll()
 	moved := 0
 	for sv := 0; sv < servers/10; sv++ {
-		moved += s.FailServer(sv)
+		moved += sys.FailServer(sv)
 	}
-	if err := s.ReplicationOK(); err != nil {
+	if err := sys.ReplicationOK(); err != nil {
 		log.Fatalf("replication broken after failures: %v", err)
 	}
 	fmt.Printf("killed %d servers, re-replicated %d copies, replication factor intact\n",
 		servers/10, moved)
-	fmt.Printf("post-failure imbalance: %.3f\n", s.Imbalance())
+	fmt.Printf("post-failure imbalance: %.3f\n", sys.Imbalance())
 }

@@ -67,13 +67,14 @@ type Experiment struct {
 	CollectLoads bool
 }
 
-// cellSeed derives the seed of cell i: an explicit Config.Seed wins,
-// otherwise the root seed is mixed with the cell index (cell 0 keeps the
-// root seed itself, which makes a one-cell Experiment bit-compatible with
-// the classic Simulate seed derivation).
-func cellSeed(root uint64, i int, cfg Config) uint64 {
-	if cfg.Seed != 0 {
-		return cfg.Seed
+// cellSeed derives the seed of cell i: an explicit (non-zero) cell seed
+// wins, otherwise the root seed is mixed with the cell index (cell 0 keeps
+// the root seed itself, which makes a one-cell Experiment bit-compatible
+// with the classic Simulate seed derivation). Experiment and Study share
+// this derivation so core and application grids stream seeds identically.
+func cellSeed(root uint64, i int, explicit uint64) uint64 {
+	if explicit != 0 {
+		return explicit
 	}
 	return root ^ (uint64(i) * 0x9E3779B97F4A7C15)
 }
@@ -123,7 +124,7 @@ func (e Experiment) Run() (*Report, error) {
 			Params:       params,
 			Balls:        balls,
 			Runs:         runs,
-			Seed:         cellSeed(e.Seed, i, cfg),
+			Seed:         cellSeed(e.Seed, i, cfg.Seed),
 			CollectLoads: e.CollectLoads,
 		}
 	}

@@ -1,0 +1,47 @@
+// Package appevent defines the round-event contract shared by the
+// discrete-event application substrates (cluster scheduling, replicated
+// storage, the netsim protocol). Each substrate emits one Round per
+// placement round — one job, one file, one protocol round — to the observer
+// installed in its Config, mirroring the core process observer so the public
+// kdchoice Observer/RoundEvent machinery extends to the Section 1.3
+// applications.
+//
+// Substrates pay no observation cost when no observer is installed: they
+// must not compute any Round field (in particular MaxLoad, which can require
+// an O(n) scan) unless the hook is non-nil.
+package appevent
+
+// Round describes one completed placement round of an application
+// substrate. The slice fields are reused between rounds and are valid only
+// for the duration of the callback; observers that retain them must copy.
+type Round struct {
+	// Round is the 1-based round number. Substrates whose rounds can
+	// complete out of order (the pipelined netsim protocol) number rounds
+	// by completion order.
+	Round int
+	// Samples holds the probed bin ids (workers, servers) in the order
+	// drawn.
+	Samples []int
+	// Placed holds the bin that received each placed unit (task, copy,
+	// ball), one entry per unit.
+	Placed []int
+	// Heights holds the load at which each unit landed: Heights[i] is the
+	// load of Placed[i] immediately after its unit arrived. For the
+	// late-binding scheduler policy it is the reservation-queue depth at
+	// enqueue time.
+	Heights []int
+	// Bins is the number of bins (workers, servers).
+	Bins int
+	// Balls is the cumulative number of placed units, including this round.
+	Balls int
+	// MaxLoad is the maximum bin load after this round (object count for
+	// the storage substrate, even when balancing by bytes).
+	MaxLoad int
+	// Messages is the cumulative message cost after this round: probes for
+	// the scheduler and storage substrates, network sends for netsim.
+	Messages int64
+}
+
+// Observer receives a callback after every completed round. Substrates
+// invoke it synchronously on the goroutine driving the simulation.
+type Observer func(Round)

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/appevent"
 	"repro/internal/eventsim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -90,7 +91,16 @@ type Config struct {
 	Policy PlacementPolicy
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Observer, when non-nil, receives one appevent.Round per placed job
+	// (per reservation batch under LateBinding). The hot path performs no
+	// observation bookkeeping when it is nil.
+	Observer appevent.Observer
 }
+
+// Validate reports whether the configuration is runnable; it is the check
+// Run applies before starting. Exposed so batch harnesses can validate
+// every cell before dispatching any work.
+func (c Config) Validate() error { return c.validate() }
 
 func (c Config) validate() error {
 	if c.NumWorkers < 1 {
@@ -217,6 +227,12 @@ type runner struct {
 	samples []int
 	slots   []placementSlot
 	durs    []float64
+
+	// Observation state, touched only when cfg.Observer is non-nil.
+	obsRound   int
+	obsTasks   int
+	obsSamples []int
+	obsHeights []int
 }
 
 type placementSlot struct {
@@ -286,6 +302,11 @@ func (r *runner) placeJob(arrival float64) {
 	for i := 0; i < k; i++ {
 		r.durs[i] = r.cfg.TaskDist.Sample(r.rng)
 	}
+	observing := r.cfg.Observer != nil
+	if observing {
+		r.obsSamples = r.obsSamples[:0]
+		r.obsHeights = r.obsHeights[:0]
+	}
 	var targets []int
 	switch r.cfg.Policy {
 	case BatchKD:
@@ -313,6 +334,9 @@ func (r *runner) placeJob(arrival float64) {
 		finish := start + r.durs[i]
 		wk.freeAt = finish
 		wk.queueLen++
+		if observing {
+			r.obsHeights = append(r.obsHeights, wk.queueLen)
+		}
 		r.metrics.TaskWaits = append(r.metrics.TaskWaits, start-arrival)
 		if finish > finishLast {
 			finishLast = finish
@@ -334,6 +358,44 @@ func (r *runner) placeJob(arrival float64) {
 			panic(err)
 		}
 	}
+	if observing {
+		r.obsTasks += k
+		r.emitRound(r.obsSamples, targets, r.obsHeights)
+	}
+}
+
+// emitRound delivers one appevent.Round to the configured observer; callers
+// guarantee cfg.Observer is non-nil.
+func (r *runner) emitRound(samples, placed, heights []int) {
+	r.obsRound++
+	r.cfg.Observer(appevent.Round{
+		Round:    r.obsRound,
+		Samples:  samples,
+		Placed:   placed,
+		Heights:  heights,
+		Bins:     r.cfg.NumWorkers,
+		Balls:    r.obsTasks,
+		MaxLoad:  r.maxQueueNow(),
+		Messages: r.metrics.Probes,
+	})
+}
+
+// maxQueueNow scans the fleet for the deepest queue, counting queued plus
+// running tasks and, under late binding, pending reservations. Only called
+// on the observed path.
+func (r *runner) maxQueueNow() int {
+	m := 0
+	for i := range r.workers {
+		wk := &r.workers[i]
+		depth := wk.queueLen + len(wk.resQueue)
+		if wk.busy {
+			depth++
+		}
+		if depth > m {
+			m = depth
+		}
+	}
+	return m
 }
 
 // placeBatchKD implements the (k,d)-choice placement over worker queue
@@ -343,6 +405,9 @@ func (r *runner) placeBatchKD(k int) []int {
 	d := r.cfg.D
 	r.metrics.Probes += int64(d)
 	r.rng.FillIntn(r.samples[:d], len(r.workers))
+	if r.cfg.Observer != nil {
+		r.obsSamples = append(r.obsSamples, r.samples[:d]...)
+	}
 	sort.Ints(r.samples[:d])
 	slots := r.slots[:0]
 	for i := 0; i < d; {
@@ -375,11 +440,18 @@ func (r *runner) placeBatchKD(k int) []int {
 // uniform random placement).
 func (r *runner) placePerTask(k, dPerTask int) []int {
 	targets := make([]int, k)
+	observing := r.cfg.Observer != nil
 	for i := 0; i < k; i++ {
 		r.metrics.Probes += int64(dPerTask)
 		best := r.rng.Intn(len(r.workers))
+		if observing {
+			r.obsSamples = append(r.obsSamples, best)
+		}
 		for p := 1; p < dPerTask; p++ {
 			w := r.rng.Intn(len(r.workers))
+			if observing {
+				r.obsSamples = append(r.obsSamples, w)
+			}
 			if r.workers[w].queueLen < r.workers[best].queueLen {
 				best = w
 			}

@@ -21,6 +21,7 @@ func (r *runner) placeLateBinding(arrival float64, k int) {
 		durs:      append([]float64(nil), r.durs[:k]...),
 		remaining: k,
 	}
+	observing := r.cfg.Observer != nil
 	r.rng.FillIntn(r.samples[:d], len(r.workers))
 	for _, w := range r.samples[:d] {
 		wk := &r.workers[w]
@@ -32,7 +33,20 @@ func (r *runner) placeLateBinding(arrival float64, k int) {
 			r.metrics.MaxQueueSeen = depth
 		}
 		wk.resQueue = append(wk.resQueue, &reservation{job: job})
+		if observing {
+			r.obsSamples = append(r.obsSamples, w)
+			r.obsHeights = append(r.obsHeights, depth+1)
+		}
 		r.latePull(w)
+	}
+	// A late-binding "round" is the reservation batch: Placed mirrors the
+	// sampled workers (one reservation each) and Heights holds each
+	// reservation's queue depth at enqueue time; the job's k tasks count as
+	// placed now for the cumulative Balls figure, even though workers pull
+	// them later.
+	if observing {
+		r.obsTasks += k
+		r.emitRound(r.obsSamples, r.obsSamples, r.obsHeights)
 	}
 }
 

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/appevent"
+)
+
+// TestObserverRounds: one event per job with consistent cumulative
+// counters, and observation must not perturb the simulation outcome.
+func TestObserverRounds(t *testing.T) {
+	plain := MustRun(baseConfig())
+	for _, policy := range []PlacementPolicy{BatchKD, PerTaskD, RandomPlace, LateBinding} {
+		cfg := baseConfig()
+		cfg.Policy = policy
+		bare := MustRun(cfg)
+
+		cfg = baseConfig()
+		cfg.Policy = policy
+		rounds := 0
+		var lastProbes int64
+		cfg.Observer = func(ev appevent.Round) {
+			rounds++
+			if ev.Round != rounds {
+				t.Fatalf("%s: round numbering %d, want %d", policy, ev.Round, rounds)
+			}
+			if ev.Bins != cfg.NumWorkers {
+				t.Fatalf("%s: bins %d", policy, ev.Bins)
+			}
+			if ev.Balls != rounds*cfg.K {
+				t.Fatalf("%s: cumulative tasks %d, want %d", policy, ev.Balls, rounds*cfg.K)
+			}
+			if len(ev.Placed) == 0 || len(ev.Placed) != len(ev.Heights) {
+				t.Fatalf("%s: %d placed vs %d heights", policy, len(ev.Placed), len(ev.Heights))
+			}
+			if ev.Messages < lastProbes {
+				t.Fatalf("%s: probe counter went backwards", policy)
+			}
+			lastProbes = ev.Messages
+			for _, h := range ev.Heights {
+				if h < 1 {
+					t.Fatalf("%s: height %d < 1", policy, h)
+				}
+			}
+		}
+		observed := MustRun(cfg)
+		if rounds != cfg.Jobs {
+			t.Fatalf("%s: observed %d rounds, want %d jobs", policy, rounds, cfg.Jobs)
+		}
+		if observed.MeanResponse() != bare.MeanResponse() || observed.Probes != bare.Probes {
+			t.Fatalf("%s: observer changed the run outcome", policy)
+		}
+	}
+	// The unobserved baseline run was not affected by any of this.
+	again := MustRun(baseConfig())
+	if again.MeanResponse() != plain.MeanResponse() {
+		t.Fatal("baseline not reproducible")
+	}
+}
+
+// TestObserverSampleCounts: the sample stream matches each policy's probe
+// arithmetic.
+func TestObserverSampleCounts(t *testing.T) {
+	for _, tc := range []struct {
+		policy PlacementPolicy
+		perJob int
+	}{
+		{BatchKD, 8},     // d per job
+		{LateBinding, 8}, // d reservations per job
+		{PerTaskD, 8},    // k·dPerTask = 4·2
+		{RandomPlace, 4}, // k·1
+	} {
+		cfg := baseConfig()
+		cfg.Policy = tc.policy
+		cfg.DPerTask = 2
+		cfg.Observer = func(ev appevent.Round) {
+			if len(ev.Samples) != tc.perJob {
+				t.Fatalf("%s: %d samples per job, want %d", tc.policy, len(ev.Samples), tc.perJob)
+			}
+		}
+		MustRun(cfg)
+	}
+}

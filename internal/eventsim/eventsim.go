@@ -42,6 +42,10 @@ func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
+	// Zero the vacated slot: the backing array keeps its capacity across
+	// pops, and a stale fn would pin the closure (and everything it
+	// captures) for the rest of a multi-million-event run.
+	old[n-1] = event{}
 	*h = old[:n-1]
 	return e
 }

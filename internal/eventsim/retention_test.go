@@ -1,0 +1,65 @@
+package eventsim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestPopClearsVacatedSlot: the heap's backing array must not keep a popped
+// event's closure reachable. Inspect the slot just past the live window
+// after each Step.
+func TestPopClearsVacatedSlot(t *testing.T) {
+	var s Sim
+	for i := 0; i < 32; i++ {
+		i := i
+		if err := s.Schedule(float64(i), func() { _ = i }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for s.Step() {
+		live := len(s.events)
+		spare := s.events[:cap(s.events)]
+		for i := live; i < cap(s.events); i++ {
+			if spare[i].fn != nil {
+				t.Fatalf("vacated slot %d (live %d) still holds a closure", i, live)
+			}
+		}
+	}
+}
+
+// TestPoppedClosureIsCollectable: once fired, an event's closure (and what
+// it captures) must be garbage-collectable even while the Sim — with its
+// grown backing array — stays alive.
+func TestPoppedClosureIsCollectable(t *testing.T) {
+	var s Sim
+	collected := make(chan struct{})
+	payload := &struct{ buf [1 << 16]byte }{}
+	runtime.SetFinalizer(payload, func(*struct{ buf [1 << 16]byte }) { close(collected) })
+	if err := s.Schedule(0, func() { _ = payload.buf[0] }); err != nil {
+		t.Fatal(err)
+	}
+	// Keep the heap's backing array alive with later events.
+	for i := 1; i <= 8; i++ {
+		if err := s.Schedule(float64(i), func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(0.5) // fires only the payload event; the rest stay pending
+	payload = nil
+	deadline := 100
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			if s.Pending() != 8 {
+				t.Fatalf("pending %d, want 8", s.Pending())
+			}
+			return
+		default:
+		}
+		deadline--
+		if deadline == 0 {
+			t.Fatal("popped closure still reachable after 100 GC cycles")
+		}
+	}
+}

@@ -3,10 +3,16 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/cluster"
-	"repro/internal/storage"
-	"repro/internal/workload"
+	kdchoice "repro"
 )
+
+// The Section 1.3 application comparisons run on the public kdchoice.Study
+// harness: every (parallelism, policy) cell of a comparison is one study
+// cell, and the whole grid — thousands of discrete-event runs — executes on
+// the shared bounded worker pool with deterministic per-(cell, run) seed
+// streams. Cell seeds reproduce the original serial drivers exactly, so
+// rows are bit-identical to the pre-harness implementation for equal seeds
+// (pinned by TestSchedulerComparisonMatchesSerialPath and friends).
 
 // SchedulerOpts configures the Section 1.3 cluster-scheduling experiment
 // (A1): batch (k,d)-choice placement vs per-task d-choice at equal probe
@@ -15,9 +21,22 @@ type SchedulerOpts struct {
 	Workers int     // worker machines (default 100)
 	Jobs    int     // jobs per cell (default 2000)
 	Rho     float64 // utilization (default 0.85)
-	Seed    uint64
-	Ks      []int // job parallelism levels (default {2,4,8,16})
-	Pareto  bool  // heavy-tailed task durations instead of exponential
+	Seed    uint64  // root seed (0 is normalized to 1)
+	Ks      []int   // job parallelism levels (default {2,4,8,16})
+	Pareto  bool    // heavy-tailed task durations instead of exponential
+	Runs    int     // independent runs averaged per cell (default 1)
+	Pool    int     // study worker-pool bound (default GOMAXPROCS)
+}
+
+// normalizeSeed keeps derived cell seeds away from 0: a zero cell seed is
+// the Study's "derive from the root seed" sentinel, which would silently
+// give the policies of a comparison row different streams instead of the
+// shared one the serial drivers used. Seed 0 therefore means seed 1.
+func normalizeSeed(seed uint64) uint64 {
+	if seed == 0 {
+		return 1
+	}
+	return seed
 }
 
 // SchedulerRow is one parallelism level of the scheduler comparison.
@@ -34,9 +53,18 @@ type SchedulerRow struct {
 	ProbesPerJob float64 // identical for batch, late-binding and per-task by design
 }
 
+// schedulerPolicies is the fixed policy order of one comparison row.
+var schedulerPolicies = []kdchoice.SchedulerPolicy{
+	kdchoice.BatchSampling,
+	kdchoice.SparrowBinding,
+	kdchoice.PerTaskChoice,
+	kdchoice.RandomAssignment,
+}
+
 // SchedulerComparison runs the A1 experiment: for each parallelism k, batch
-// sampling with d = 2k against per-task two-choice (same total probes) and
-// random placement.
+// sampling with d = 2k against Sparrow late binding, per-task two-choice
+// (same total probes) and random placement. All cells run in parallel as
+// one study.
 func SchedulerComparison(opts SchedulerOpts) ([]SchedulerRow, error) {
 	if opts.Workers == 0 {
 		opts.Workers = 100
@@ -50,6 +78,7 @@ func SchedulerComparison(opts SchedulerOpts) ([]SchedulerRow, error) {
 	if len(opts.Ks) == 0 {
 		opts.Ks = []int{2, 4, 8, 16}
 	}
+	opts.Seed = normalizeSeed(opts.Seed)
 	// Drop parallelism levels whose probe batch d = 2k cannot fit the
 	// cluster (the comparison needs D <= workers).
 	feasible := make([]int, 0, len(opts.Ks))
@@ -62,57 +91,52 @@ func SchedulerComparison(opts SchedulerOpts) ([]SchedulerRow, error) {
 		return nil, fmt.Errorf("experiments: no parallelism level fits %d workers (need 2k <= workers)", opts.Workers)
 	}
 	opts.Ks = feasible
-	dist := workload.Exponential(1.0)
+	dist := kdchoice.ExponentialDist(1.0)
 	if opts.Pareto {
-		dist = workload.Pareto(2.0, 1.0)
+		dist = kdchoice.ParetoDist(2.0, 1.0)
+	}
+	cells := make([]kdchoice.AppCell, 0, len(schedulerPolicies)*len(opts.Ks))
+	for i, k := range opts.Ks {
+		base := kdchoice.SchedulerCell{
+			Workers:  opts.Workers,
+			K:        k,
+			D:        2 * k,
+			DPerTask: 2,
+			Jobs:     opts.Jobs,
+			Rho:      opts.Rho,
+			TaskDist: dist,
+			// The row's policies share one seed, exactly as the serial
+			// driver ran them (normalized away from the 0 sentinel, which
+			// only an overflowing opts.Seed can produce here).
+			Seed: normalizeSeed(opts.Seed + uint64(i)*101),
+		}
+		for _, pol := range schedulerPolicies {
+			c := base
+			c.Policy = pol
+			cells = append(cells, c)
+		}
+	}
+	rep, err := kdchoice.Study{Cells: cells, Runs: opts.Runs, Seed: opts.Seed, Workers: opts.Pool}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scheduler comparison: %w", err)
 	}
 	rows := make([]SchedulerRow, 0, len(opts.Ks))
 	for i, k := range opts.Ks {
-		base := cluster.Config{
-			NumWorkers: opts.Workers,
-			K:          k,
-			D:          2 * k,
-			DPerTask:   2,
-			Jobs:       opts.Jobs,
-			Rho:        opts.Rho,
-			TaskDist:   dist,
-			Seed:       opts.Seed + uint64(i)*101,
-		}
-		batchCfg := base
-		batchCfg.Policy = cluster.BatchKD
-		batch, err := cluster.Run(batchCfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scheduler batch k=%d: %w", k, err)
-		}
-		lateCfg := base
-		lateCfg.Policy = cluster.LateBinding
-		late, err := cluster.Run(lateCfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scheduler late-binding k=%d: %w", k, err)
-		}
-		ptCfg := base
-		ptCfg.Policy = cluster.PerTaskD
-		perTask, err := cluster.Run(ptCfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scheduler per-task k=%d: %w", k, err)
-		}
-		rndCfg := base
-		rndCfg.Policy = cluster.RandomPlace
-		random, err := cluster.Run(rndCfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scheduler random k=%d: %w", k, err)
-		}
+		batch := &rep.Cells[len(schedulerPolicies)*i]
+		late := &rep.Cells[len(schedulerPolicies)*i+1]
+		perTask := &rep.Cells[len(schedulerPolicies)*i+2]
+		random := &rep.Cells[len(schedulerPolicies)*i+3]
 		rows = append(rows, SchedulerRow{
 			K:            k,
-			BatchMean:    batch.MeanResponse(),
-			BatchP95:     batch.ResponseQuantile(0.95),
-			LateMean:     late.MeanResponse(),
-			LateP95:      late.ResponseQuantile(0.95),
-			PerTaskMean:  perTask.MeanResponse(),
-			PerTaskP95:   perTask.ResponseQuantile(0.95),
-			RandomMean:   random.MeanResponse(),
-			RandomP95:    random.ResponseQuantile(0.95),
-			ProbesPerJob: batch.ProbesPerJob(),
+			BatchMean:    batch.MeanResponse,
+			BatchP95:     batch.MeanP95,
+			LateMean:     late.MeanResponse,
+			LateP95:      late.MeanP95,
+			PerTaskMean:  perTask.MeanResponse,
+			PerTaskP95:   perTask.MeanP95,
+			RandomMean:   random.MeanResponse,
+			RandomP95:    random.MeanP95,
+			ProbesPerJob: batch.MessagesPerUnit,
 		})
 	}
 	return rows, nil
@@ -120,10 +144,12 @@ func SchedulerComparison(opts SchedulerOpts) ([]SchedulerRow, error) {
 
 // StorageOpts configures the Section 1.3 storage experiment (A2).
 type StorageOpts struct {
-	Servers int // default 256
-	Files   int // default 20000
-	Seed    uint64
-	Ks      []int // replication factors (default {2,3,5,8})
+	Servers int    // default 256
+	Files   int    // default 20000
+	Seed    uint64 // root seed (0 is normalized to 1)
+	Ks      []int  // replication factors (default {2,3,5,8})
+	Runs    int    // independent runs averaged per cell (default 1)
+	Pool    int    // study worker-pool bound (default GOMAXPROCS)
 }
 
 // StorageRow compares (k,k+1)-choice against per-copy two-choice and random
@@ -140,8 +166,20 @@ type StorageRow struct {
 	RandMsgsPerFile float64
 }
 
+// storagePolicies is the fixed policy order of one comparison row; the
+// offsets preserve the serial driver's per-policy seed staggering.
+var storagePolicies = []struct {
+	policy  kdchoice.StoragePolicy
+	seedOff uint64
+}{
+	{kdchoice.KDPlacement, 0},
+	{kdchoice.PerCopyChoice, 1},
+	{kdchoice.RandomCopyPlacement, 2},
+}
+
 // StorageComparison runs the A2 experiment: placement balance, message
 // cost, and search cost of (k,k+1)-choice vs per-copy two-choice vs random.
+// All cells run in parallel as one study.
 func StorageComparison(opts StorageOpts) ([]StorageRow, error) {
 	if opts.Servers == 0 {
 		opts.Servers = 256
@@ -152,48 +190,41 @@ func StorageComparison(opts StorageOpts) ([]StorageRow, error) {
 	if len(opts.Ks) == 0 {
 		opts.Ks = []int{2, 3, 5, 8}
 	}
-	rows := make([]StorageRow, 0, len(opts.Ks))
+	opts.Seed = normalizeSeed(opts.Seed)
+	cells := make([]kdchoice.AppCell, 0, len(storagePolicies)*len(opts.Ks))
 	for i, k := range opts.Ks {
-		mk := func(policy storage.PlacementPolicy, seedOff uint64) (*storage.System, error) {
-			s, err := storage.New(storage.Config{
+		for _, p := range storagePolicies {
+			cells = append(cells, kdchoice.StorageCell{
 				Servers:  opts.Servers,
 				Files:    opts.Files,
 				K:        k,
 				D:        k + 1,
 				DPerCopy: 2,
 				Distinct: true,
-				Policy:   policy,
-				Seed:     opts.Seed + uint64(i)*307 + seedOff,
+				Policy:   p.policy,
+				Seed:     normalizeSeed(opts.Seed + uint64(i)*307 + p.seedOff),
 			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: storage k=%d: %w", k, err)
-			}
-			s.IngestAll()
-			return s, nil
 		}
-		kd, err := mk(storage.KDPlace, 0)
-		if err != nil {
-			return nil, err
-		}
-		two, err := mk(storage.PerCopyD, 1)
-		if err != nil {
-			return nil, err
-		}
-		rnd, err := mk(storage.RandomPlace, 2)
-		if err != nil {
-			return nil, err
-		}
-		files := float64(opts.Files)
+	}
+	rep, err := kdchoice.Study{Cells: cells, Runs: opts.Runs, Seed: opts.Seed, Workers: opts.Pool}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: storage comparison: %w", err)
+	}
+	rows := make([]StorageRow, 0, len(opts.Ks))
+	for i, k := range opts.Ks {
+		kd := &rep.Cells[len(storagePolicies)*i]
+		two := &rep.Cells[len(storagePolicies)*i+1]
+		rnd := &rep.Cells[len(storagePolicies)*i+2]
 		rows = append(rows, StorageRow{
 			K:               k,
-			KDMax:           kd.MaxLoad(),
-			KDMsgsPerFile:   float64(kd.Messages()) / files,
-			KDSearch:        kd.SearchCost(),
-			TwoMax:          two.MaxLoad(),
-			TwoMsgsPerFile:  float64(two.Messages()) / files,
-			TwoSearch:       two.SearchCost(),
-			RandMax:         rnd.MaxLoad(),
-			RandMsgsPerFile: float64(rnd.Messages()) / files,
+			KDMax:           kd.MeanMaxLoad,
+			KDMsgsPerFile:   kd.MessagesPerUnit,
+			KDSearch:        kd.Runs[0].SearchCost,
+			TwoMax:          two.MeanMaxLoad,
+			TwoMsgsPerFile:  two.MessagesPerUnit,
+			TwoSearch:       two.Runs[0].SearchCost,
+			RandMax:         rnd.MeanMaxLoad,
+			RandMsgsPerFile: rnd.MessagesPerUnit,
 		})
 	}
 	return rows, nil

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// These tests pin the Study-based comparisons to the pre-harness serial
+// implementations: for equal seeds, every row must be BIT-identical. The
+// serial reference below is the original driver verbatim — direct
+// cluster.Run / storage.New calls, one policy after another — so any drift
+// in seed derivation, policy mapping or aggregation shows up as a failure.
+
+// serialSchedulerComparison is the pre-refactor SchedulerComparison.
+func serialSchedulerComparison(opts SchedulerOpts) ([]SchedulerRow, error) {
+	dist := workload.Exponential(1.0)
+	if opts.Pareto {
+		dist = workload.Pareto(2.0, 1.0)
+	}
+	rows := make([]SchedulerRow, 0, len(opts.Ks))
+	for i, k := range opts.Ks {
+		base := cluster.Config{
+			NumWorkers: opts.Workers,
+			K:          k,
+			D:          2 * k,
+			DPerTask:   2,
+			Jobs:       opts.Jobs,
+			Rho:        opts.Rho,
+			TaskDist:   dist,
+			Seed:       opts.Seed + uint64(i)*101,
+		}
+		run := func(p cluster.PlacementPolicy) (*cluster.Metrics, error) {
+			cfg := base
+			cfg.Policy = p
+			return cluster.Run(cfg)
+		}
+		batch, err := run(cluster.BatchKD)
+		if err != nil {
+			return nil, err
+		}
+		late, err := run(cluster.LateBinding)
+		if err != nil {
+			return nil, err
+		}
+		perTask, err := run(cluster.PerTaskD)
+		if err != nil {
+			return nil, err
+		}
+		random, err := run(cluster.RandomPlace)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SchedulerRow{
+			K:            k,
+			BatchMean:    batch.MeanResponse(),
+			BatchP95:     batch.ResponseQuantile(0.95),
+			LateMean:     late.MeanResponse(),
+			LateP95:      late.ResponseQuantile(0.95),
+			PerTaskMean:  perTask.MeanResponse(),
+			PerTaskP95:   perTask.ResponseQuantile(0.95),
+			RandomMean:   random.MeanResponse(),
+			RandomP95:    random.ResponseQuantile(0.95),
+			ProbesPerJob: batch.ProbesPerJob(),
+		})
+	}
+	return rows, nil
+}
+
+// serialStorageComparison is the pre-refactor StorageComparison.
+func serialStorageComparison(opts StorageOpts) ([]StorageRow, error) {
+	rows := make([]StorageRow, 0, len(opts.Ks))
+	for i, k := range opts.Ks {
+		mk := func(policy storage.PlacementPolicy, seedOff uint64) (*storage.System, error) {
+			s, err := storage.New(storage.Config{
+				Servers:  opts.Servers,
+				Files:    opts.Files,
+				K:        k,
+				D:        k + 1,
+				DPerCopy: 2,
+				Distinct: true,
+				Policy:   policy,
+				Seed:     opts.Seed + uint64(i)*307 + seedOff,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.IngestAll()
+			return s, nil
+		}
+		kd, err := mk(storage.KDPlace, 0)
+		if err != nil {
+			return nil, err
+		}
+		two, err := mk(storage.PerCopyD, 1)
+		if err != nil {
+			return nil, err
+		}
+		rnd, err := mk(storage.RandomPlace, 2)
+		if err != nil {
+			return nil, err
+		}
+		files := float64(opts.Files)
+		rows = append(rows, StorageRow{
+			K:               k,
+			KDMax:           kd.MaxLoad(),
+			KDMsgsPerFile:   float64(kd.Messages()) / files,
+			KDSearch:        kd.SearchCost(),
+			TwoMax:          two.MaxLoad(),
+			TwoMsgsPerFile:  float64(two.Messages()) / files,
+			TwoSearch:       two.SearchCost(),
+			RandMax:         rnd.MaxLoad(),
+			RandMsgsPerFile: float64(rnd.Messages()) / files,
+		})
+	}
+	return rows, nil
+}
+
+func TestSchedulerComparisonMatchesSerialPath(t *testing.T) {
+	for _, opts := range []SchedulerOpts{
+		{Workers: 50, Jobs: 400, Rho: 0.8, Seed: 29, Ks: []int{2, 8}},
+		{Workers: 40, Jobs: 300, Rho: 0.7, Seed: 1, Ks: []int{4}, Pareto: true},
+	} {
+		got, err := SchedulerComparison(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := serialSchedulerComparison(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("row counts %d vs %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("row %d diverged from the serial path:\nstudy:  %+v\nserial: %+v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStorageComparisonMatchesSerialPath(t *testing.T) {
+	opts := StorageOpts{Servers: 128, Files: 3000, Seed: 31, Ks: []int{2, 3, 5}}
+	got, err := StorageComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serialStorageComparison(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("row counts %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("row %d diverged from the serial path:\nstudy:  %+v\nserial: %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestComparisonSeedZeroNormalized: seed 0 would turn the shared row seed
+// into the Study's derive-sentinel (splitting one row across different
+// streams per policy); it must instead behave exactly as seed 1.
+func TestComparisonSeedZeroNormalized(t *testing.T) {
+	zero, err := SchedulerComparison(SchedulerOpts{Workers: 40, Jobs: 200, Rho: 0.7, Seed: 0, Ks: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := SchedulerComparison(SchedulerOpts{Workers: 40, Jobs: 200, Rho: 0.7, Seed: 1, Ks: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serialSchedulerComparison(SchedulerOpts{Workers: 40, Jobs: 200, Rho: 0.7, Seed: 1, Ks: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range zero {
+		if zero[i] != one[i] || one[i] != want[i] {
+			t.Fatalf("row %d: seed 0 not normalized to seed 1:\nseed0:  %+v\nseed1:  %+v\nserial: %+v", i, zero[i], one[i], want[i])
+		}
+	}
+	szero, err := StorageComparison(StorageOpts{Servers: 64, Files: 800, Seed: 0, Ks: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sone, err := serialStorageComparison(StorageOpts{Servers: 64, Files: 800, Seed: 1, Ks: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if szero[0] != sone[0] {
+		t.Fatalf("storage seed 0 not normalized to seed 1:\nseed0:  %+v\nserial: %+v", szero[0], sone[0])
+	}
+}
+
+// TestComparisonPoolInvariance: the comparisons are pure functions of their
+// options — the pool bound must not leak into any row.
+func TestComparisonPoolInvariance(t *testing.T) {
+	a, err := SchedulerComparison(SchedulerOpts{Workers: 40, Jobs: 200, Rho: 0.7, Seed: 5, Ks: []int{2, 4}, Pool: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SchedulerComparison(SchedulerOpts{Workers: 40, Jobs: 200, Rho: 0.7, Seed: 5, Ks: []int{2, 4}, Pool: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scheduler row %d depends on pool size", i)
+		}
+	}
+	sa, err := StorageComparison(StorageOpts{Servers: 64, Files: 1000, Seed: 5, Ks: []int{2, 3}, Runs: 3, Pool: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := StorageComparison(StorageOpts{Servers: 64, Files: 1000, Seed: 5, Ks: []int{2, 3}, Runs: 3, Pool: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("storage row %d depends on pool size", i)
+		}
+	}
+}
+
+// TestSchedulerComparisonMultiRun: averaging over runs keeps probe
+// arithmetic exact and stays deterministic.
+func TestSchedulerComparisonMultiRun(t *testing.T) {
+	rows, err := SchedulerComparison(SchedulerOpts{Workers: 40, Jobs: 150, Rho: 0.7, Seed: 13, Ks: []int{2}, Runs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].ProbesPerJob != 4 {
+		t.Fatalf("probes/job %v, want 4 (d = 2k, averaged over runs)", rows[0].ProbesPerJob)
+	}
+	again, err := SchedulerComparison(SchedulerOpts{Workers: 40, Jobs: 150, Rho: 0.7, Seed: 13, Ks: []int{2}, Runs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0] != again[0] {
+		t.Fatal("multi-run comparison not reproducible")
+	}
+}

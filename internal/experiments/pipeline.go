@@ -3,9 +3,7 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/netsim"
-	"repro/internal/stats"
-	"repro/internal/workload"
+	kdchoice "repro"
 )
 
 // PipelinePoint measures the distributed protocol at one pipeline depth.
@@ -20,37 +18,37 @@ type PipelinePoint struct {
 // probe/reply/place messages, sweeping the number of concurrent dispatcher
 // rounds. Depth 1 is the paper's sequential process; deeper pipelines
 // finish sooner but decide on stale load reports, trading balance for
-// latency — the gap the paper's synchronous model abstracts away.
+// latency — the gap the paper's synchronous model abstracts away. The whole
+// depths × runs grid executes as one study on the shared worker pool.
 func PipelineAblation(servers, k, d, rounds, runs int, seed uint64, depths []int) ([]PipelinePoint, error) {
 	if len(depths) == 0 {
 		depths = []int{1, 4, 16, 64}
 	}
-	out := make([]PipelinePoint, 0, len(depths))
-	balls := float64(rounds * k)
+	cells := make([]kdchoice.AppCell, 0, len(depths))
 	for _, depth := range depths {
-		var maxes, spans, msgs stats.Online
-		for i := 0; i < runs; i++ {
-			st, err := netsim.Run(netsim.Config{
-				Servers:  servers,
-				K:        k,
-				D:        d,
-				Rounds:   rounds,
-				Pipeline: depth,
-				NetDelay: workload.Exponential(1),
-				Seed:     seed + uint64(depth)*1000 + uint64(i),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: pipeline depth %d: %w", depth, err)
-			}
-			maxes.Add(float64(st.MaxLoad))
-			spans.Add(st.Makespan)
-			msgs.Add(float64(st.Messages))
-		}
+		cells = append(cells, kdchoice.ProtocolCell{
+			Servers:  servers,
+			K:        k,
+			D:        d,
+			Rounds:   rounds,
+			Pipeline: depth,
+			NetDelay: kdchoice.ExponentialDist(1),
+			Seed:     normalizeSeed(seed + uint64(depth)*1000),
+		})
+	}
+	rep, err := kdchoice.Study{Cells: cells, Runs: runs, Seed: seed}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pipeline ablation: %w", err)
+	}
+	balls := float64(rounds * k)
+	out := make([]PipelinePoint, 0, len(depths))
+	for i, depth := range depths {
+		c := &rep.Cells[i]
 		out = append(out, PipelinePoint{
 			Pipeline:     depth,
-			MeanMax:      maxes.Mean(),
-			MeanMakespan: spans.Mean(),
-			MsgsPerBall:  msgs.Mean() / balls,
+			MeanMax:      c.MeanMaxLoad,
+			MeanMakespan: c.MeanMakespan,
+			MsgsPerBall:  c.MeanMessages / balls,
 		})
 	}
 	return out, nil

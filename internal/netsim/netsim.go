@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/appevent"
 	"repro/internal/eventsim"
 	"repro/internal/loadvec"
 	"repro/internal/stats"
@@ -50,7 +51,17 @@ type Config struct {
 	NetDelay workload.Dist
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Observer, when non-nil, receives one appevent.Round per completed
+	// protocol round, numbered in completion order (pipelined rounds can
+	// finish out of launch order). The protocol performs no observation
+	// bookkeeping when it is nil.
+	Observer appevent.Observer
 }
+
+// Validate reports whether the configuration is runnable; it is the check
+// Run applies before starting. Exposed so batch harnesses can validate
+// every cell before dispatching any work.
+func (c Config) Validate() error { return c.validate() }
 
 func (c Config) validate() error {
 	if c.Servers < 1 {
@@ -73,10 +84,21 @@ func (c Config) validate() error {
 
 // Stats summarizes a finished run.
 type Stats struct {
-	// Messages is the total network messages (probes + replies + places).
+	// Messages is the total number of messages actually sent over the
+	// network: probe sends + replies + placements. A server sampled m > 1
+	// times in one round receives a single probe message covering all its
+	// slots (the reply piggybacks every slot), so duplicates do not appear
+	// here.
 	Messages int64
-	// ProbeMessages counts only probes — the paper's cost measure.
+	// ProbeMessages is the paper's cost measure — "the number of bins to be
+	// probed": all d sampled slots of every round, duplicates included.
+	// It always equals d × rounds, matching theory.Messages(k, d, k·rounds).
 	ProbeMessages int64
+	// ProbesSent counts the probe messages actually sent (one per DISTINCT
+	// sampled server per round), so ProbeMessages − ProbesSent is the
+	// number of duplicate slots piggybacked for free, and
+	// Messages = 2·ProbesSent + placements (each probe gets one reply).
+	ProbesSent int64
 	// MaxLoad is the final maximum server load.
 	MaxLoad int
 	// Loads is the final load vector.
@@ -140,6 +162,12 @@ type runner struct {
 	loads     []int
 	st        *Stats
 	remaining int
+
+	// Observation state, touched only when cfg.Observer is non-nil.
+	obsRound  int
+	obsBalls  int
+	obsPlaced []int
+	obsHeight []int
 }
 
 // roundState tracks one in-flight round at a dispatcher.
@@ -165,7 +193,12 @@ func (r *runner) startRound() {
 	}
 	r.rng.FillIntn(rs.samples, r.cfg.Servers)
 	sort.Ints(rs.samples)
-	// One probe per DISTINCT server; the reply covers all its slots.
+	// The paper's cost measure charges every sampled slot, so ProbeMessages
+	// grows by d per round even when a server is sampled more than once.
+	r.st.ProbeMessages += int64(len(rs.samples))
+	// On the wire, one probe per DISTINCT server suffices: its reply covers
+	// all of the server's slots, so duplicates ride along for free. Only
+	// these distinct sends count toward Messages (and ProbesSent).
 	prev := -1
 	for _, sv := range rs.samples {
 		if sv == prev {
@@ -175,15 +208,11 @@ func (r *runner) startRound() {
 		rs.waitingOn++
 		sv := sv
 		r.st.Messages++ // probe
-		r.st.ProbeMessages++
+		r.st.ProbesSent++
 		if err := r.sim.Schedule(r.delay(), func() { r.serverProbed(sv, rs) }); err != nil {
 			panic(err)
 		}
 	}
-	// The paper's cost measure counts d probed bins per round even when a
-	// bin is sampled twice; account the duplicates as free piggybacked
-	// probes in Messages but keep ProbeMessages at the distinct count.
-	r.st.ProbeMessages += int64(len(rs.samples)) - int64(rs.waitingOn)
 }
 
 // serverProbed runs at the server when the probe arrives: it replies with
@@ -227,6 +256,11 @@ func (r *runner) dispatcherReply(sv, load int, rs *roundState) {
 		}
 		return slots[i].tie < slots[j].tie
 	})
+	observing := r.cfg.Observer != nil
+	if observing {
+		r.obsPlaced = r.obsPlaced[:0]
+		r.obsHeight = r.obsHeight[:0]
+	}
 	placementsLeft := r.cfg.K
 	var lastArrival float64
 	for i := 0; i < placementsLeft && i < len(slots); i++ {
@@ -236,9 +270,37 @@ func (r *runner) dispatcherReply(sv, load int, rs *roundState) {
 		if r.sim.Now()+d > lastArrival {
 			lastArrival = r.sim.Now() + d
 		}
+		if observing {
+			r.obsPlaced = append(r.obsPlaced, sv)
+			r.obsHeight = append(r.obsHeight, slots[i].height)
+		}
 		if err := r.sim.Schedule(d, func() { r.loads[sv]++ }); err != nil {
 			panic(err)
 		}
+	}
+	// A round is observed when its placement decision is made: Heights are
+	// the slot heights of the (k,d) rule on the REPORTED loads, and MaxLoad
+	// is the dispatcher-visible state (in-flight placements of concurrent
+	// rounds have not landed yet).
+	if observing {
+		r.obsRound++
+		r.obsBalls += len(r.obsPlaced)
+		maxLoad := 0
+		for _, l := range r.loads {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		r.cfg.Observer(appevent.Round{
+			Round:    r.obsRound,
+			Samples:  rs.samples,
+			Placed:   r.obsPlaced,
+			Heights:  r.obsHeight,
+			Bins:     r.cfg.Servers,
+			Balls:    r.obsBalls,
+			MaxLoad:  maxLoad,
+			Messages: r.st.Messages,
+		})
 	}
 	// Record latency as of the last placement's arrival and pipeline the
 	// next round.

@@ -107,30 +107,25 @@ type task struct {
 // unreachable because RunAll validates every config up front.
 var newProcess = core.New
 
-// RunAll executes every run of every cell on one shared pool of `workers`
-// goroutines (0 means GOMAXPROCS). All (cell, run) pairs are scheduled
-// together, so a sweep of many small cells parallelizes as well as one cell
-// with many runs. Run i of cell c draws from the stream (cfgs[c].Seed, i):
-// results are a pure function of the configs, independent of the worker
-// count and of scheduling order.
+// RunTasks executes counts[i] tasks for every cell i on one shared pool of
+// `workers` goroutines (0 means GOMAXPROCS). All (cell, run) pairs are
+// flattened onto the pool, so many small cells parallelize as well as one
+// cell with many runs. fn is called concurrently from the pool goroutines;
+// it must write its outcome into a per-(cell, run) slot of its own so the
+// overall result is independent of scheduling order.
 //
-// Every config is validated before any work is dispatched; if a process
-// construction still fails inside a worker, dispatching stops at the first
-// error and RunAll returns it (no partially-zero results are ever returned).
-func RunAll(workers int, cfgs []Config) ([]*Result, error) {
-	if len(cfgs) == 0 {
-		return nil, fmt.Errorf("sim: RunAll needs at least one config")
-	}
-	results := make([]*Result, len(cfgs))
+// The first non-nil error stops dispatching — in-flight tasks finish, the
+// remaining ones are never started — and is returned. This generic pool is
+// the scheduling substrate shared by the core Experiment/Sweep harness
+// (RunAll) and the application-study harness (kdchoice.Study).
+func RunTasks(workers int, counts []int, fn func(cell, run int) error) error {
 	total := 0
-	for i, cfg := range cfgs {
-		if err := core.Validate(cfg.Policy, cfg.Params); err != nil {
-			return nil, fmt.Errorf("sim: invalid config %d: %w", i, err)
-		}
-		results[i] = newResult(cfg)
-		total += cfg.runs()
+	for _, c := range counts {
+		total += c
 	}
-
+	if total == 0 {
+		return nil
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -150,34 +145,20 @@ func RunAll(workers int, cfgs []Config) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for t := range taskCh {
-				cfg := &results[t.cell].Config
-				pr, err := newProcess(cfg.Policy, cfg.Params, xrand.NewStream(cfg.Seed, uint64(t.run)))
-				if err != nil {
-					// Stop the dispatcher: no point constructing the same
+				if err := fn(t.cell, t.run); err != nil {
+					// Stop the dispatcher: no point running the same
 					// failure for every remaining (cell, run) pair.
 					stopOnce.Do(func() {
 						firstErr = err
 						close(stop)
 					})
-					continue
-				}
-				pr.Place(cfg.balls())
-				res := results[t.cell]
-				res.MaxLoads[t.run] = pr.MaxLoad()
-				res.Gaps[t.run] = pr.Gap()
-				res.Messages[t.run] = pr.Messages()
-				if res.Discarded != nil {
-					res.Discarded[t.run] = pr.Discarded()
-				}
-				if cfg.CollectLoads {
-					res.Loads[t.run] = pr.Loads()
 				}
 			}
 		}()
 	}
 dispatch:
-	for ci := range cfgs {
-		for r := 0; r < cfgs[ci].runs(); r++ {
+	for ci := range counts {
+		for r := 0; r < counts[ci]; r++ {
 			select {
 			case taskCh <- task{cell: ci, run: r}:
 			case <-stop:
@@ -187,8 +168,54 @@ dispatch:
 	}
 	close(taskCh)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, fmt.Errorf("sim: run failed: %w", firstErr)
+	return firstErr
+}
+
+// RunAll executes every run of every cell on one shared pool of `workers`
+// goroutines (0 means GOMAXPROCS). All (cell, run) pairs are scheduled
+// together, so a sweep of many small cells parallelizes as well as one cell
+// with many runs. Run i of cell c draws from the stream (cfgs[c].Seed, i):
+// results are a pure function of the configs, independent of the worker
+// count and of scheduling order.
+//
+// Every config is validated before any work is dispatched; if a process
+// construction still fails inside a worker, dispatching stops at the first
+// error and RunAll returns it (no partially-zero results are ever returned).
+func RunAll(workers int, cfgs []Config) ([]*Result, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("sim: RunAll needs at least one config")
+	}
+	results := make([]*Result, len(cfgs))
+	counts := make([]int, len(cfgs))
+	for i, cfg := range cfgs {
+		if err := core.Validate(cfg.Policy, cfg.Params); err != nil {
+			return nil, fmt.Errorf("sim: invalid config %d: %w", i, err)
+		}
+		results[i] = newResult(cfg)
+		counts[i] = cfg.runs()
+	}
+
+	err := RunTasks(workers, counts, func(cell, run int) error {
+		cfg := &results[cell].Config
+		pr, err := newProcess(cfg.Policy, cfg.Params, xrand.NewStream(cfg.Seed, uint64(run)))
+		if err != nil {
+			return err
+		}
+		pr.Place(cfg.balls())
+		res := results[cell]
+		res.MaxLoads[run] = pr.MaxLoad()
+		res.Gaps[run] = pr.Gap()
+		res.Messages[run] = pr.Messages()
+		if res.Discarded != nil {
+			res.Discarded[run] = pr.Discarded()
+		}
+		if cfg.CollectLoads {
+			res.Loads[run] = pr.Loads()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: run failed: %w", err)
 	}
 	return results, nil
 }

@@ -274,6 +274,73 @@ func TestRunAllValidatesEveryCell(t *testing.T) {
 	}
 }
 
+// TestRunTasksCoversEveryPair: the generic pool must call fn exactly once
+// per (cell, run) pair, for any worker count.
+func TestRunTasksCoversEveryPair(t *testing.T) {
+	counts := []int{3, 0, 5, 1}
+	for _, workers := range []int{0, 1, 4, 32} {
+		var mu sync.Mutex
+		seen := make(map[[2]int]int)
+		err := RunTasks(workers, counts, func(cell, run int) error {
+			mu.Lock()
+			seen[[2]int{cell, run}]++
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if len(seen) != total {
+			t.Fatalf("workers=%d: %d distinct pairs, want %d", workers, len(seen), total)
+		}
+		for pair, n := range seen {
+			if n != 1 {
+				t.Fatalf("workers=%d: pair %v ran %d times", workers, pair, n)
+			}
+			if pair[0] < 0 || pair[0] >= len(counts) || pair[1] < 0 || pair[1] >= counts[pair[0]] {
+				t.Fatalf("workers=%d: out-of-range pair %v", workers, pair)
+			}
+		}
+	}
+}
+
+// TestRunTasksEmpty: zero total tasks is a no-op, not a hang.
+func TestRunTasksEmpty(t *testing.T) {
+	if err := RunTasks(4, []int{0, 0}, func(cell, run int) error {
+		t.Fatal("fn called with no tasks")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunTasks(4, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunTasksStopsOnFirstError: an error from fn stops dispatch and is
+// returned.
+func TestRunTasksStopsOnFirstError(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	const runs = 64
+	err := RunTasks(1, []int{runs}, func(cell, run int) error {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return fmt.Errorf("boom at run %d", run)
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls >= runs {
+		t.Fatalf("dispatcher pushed all %d runs through a failing fn (%d calls)", runs, calls)
+	}
+}
+
 // TestRunAllStopsDispatchOnWorkerError: if process construction fails inside
 // a worker, the dispatcher must stop instead of pushing every remaining
 // (cell, run) pair through the same failure.

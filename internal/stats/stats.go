@@ -41,11 +41,33 @@ func (o *Online) Add(x float64) {
 	o.m2 += delta * (x - o.mean)
 }
 
-// AddN incorporates the same observation w times (w >= 0).
+// AddN incorporates the same observation w times (w >= 0) in O(1): it is
+// the Chan et al. merge of o with a w-point accumulator concentrated at x
+// (mean x, zero within-group variance), so heavy-multiplicity frequency
+// summaries cost one update instead of w Welford steps. The result agrees
+// with w repeated Add calls up to floating-point rounding.
 func (o *Online) AddN(x float64, w int64) {
-	for i := int64(0); i < w; i++ {
-		o.Add(x)
+	if w <= 0 {
+		return
 	}
+	if o.n == 0 {
+		o.n = w
+		o.mean = x
+		o.m2 = 0
+		o.min, o.max = x, x
+		return
+	}
+	if x < o.min {
+		o.min = x
+	}
+	if x > o.max {
+		o.max = x
+	}
+	delta := x - o.mean
+	total := o.n + w
+	o.mean += delta * float64(w) / float64(total)
+	o.m2 += delta * delta * float64(o.n) * float64(w) / float64(total)
+	o.n = total
 }
 
 // N returns the number of observations.

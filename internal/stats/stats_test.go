@@ -52,6 +52,67 @@ func TestOnlineAddN(t *testing.T) {
 	}
 }
 
+// TestOnlineAddNMatchesRepeatedAdd: property test of the closed-form
+// weighted update — for arbitrary interleavings of Add and AddN, the
+// accumulator must agree with the observation-by-observation reference on
+// every statistic (up to floating-point rounding).
+func TestOnlineAddNMatchesRepeatedAdd(t *testing.T) {
+	approx := func(a, b float64) bool {
+		diff := math.Abs(a - b)
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		return diff <= 1e-9*math.Max(scale, 1)
+	}
+	// Deterministic pseudo-random stream of (value, weight) pairs.
+	next := uint64(0x9E3779B97F4A7C15)
+	rnd := func() uint64 {
+		next ^= next << 13
+		next ^= next >> 7
+		next ^= next << 17
+		return next
+	}
+	for trial := 0; trial < 50; trial++ {
+		var fast, slow Online
+		for step := 0; step < 20; step++ {
+			x := float64(int64(rnd()%2001)-1000) / 7
+			w := int64(rnd() % 500)
+			if step%3 == 0 {
+				w = 1
+			}
+			fast.AddN(x, w)
+			for i := int64(0); i < w; i++ {
+				slow.Add(x)
+			}
+		}
+		if fast.N() != slow.N() {
+			t.Fatalf("trial %d: n %d vs %d", trial, fast.N(), slow.N())
+		}
+		if fast.Min() != slow.Min() || fast.Max() != slow.Max() {
+			t.Fatalf("trial %d: min/max (%v,%v) vs (%v,%v)", trial, fast.Min(), fast.Max(), slow.Min(), slow.Max())
+		}
+		if !approx(fast.Mean(), slow.Mean()) {
+			t.Fatalf("trial %d: mean %v vs %v", trial, fast.Mean(), slow.Mean())
+		}
+		if !approx(fast.Variance(), slow.Variance()) {
+			t.Fatalf("trial %d: variance %v vs %v", trial, fast.Variance(), slow.Variance())
+		}
+	}
+}
+
+// TestOnlineAddNEdgeCases: zero and negative weights are no-ops; AddN into
+// an empty accumulator seeds it exactly.
+func TestOnlineAddNEdgeCases(t *testing.T) {
+	var o Online
+	o.AddN(5, 0)
+	o.AddN(5, -3)
+	if o.N() != 0 {
+		t.Fatalf("non-positive weights added observations: n=%d", o.N())
+	}
+	o.AddN(2.5, 4)
+	if o.N() != 4 || o.Mean() != 2.5 || o.Variance() != 0 || o.Min() != 2.5 || o.Max() != 2.5 {
+		t.Fatalf("AddN seed wrong: %v", o.String())
+	}
+}
+
 func TestOnlineMergeMatchesSequential(t *testing.T) {
 	xs := []float64{1, 2, 3, 10, 20, 30, -5, 0.5, 7, 7, 7}
 	var whole Online

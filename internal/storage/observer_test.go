@@ -1,0 +1,62 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/appevent"
+)
+
+// TestObserverRounds: one event per ingested file with consistent
+// cumulative counters, and observation must not perturb placement.
+func TestObserverRounds(t *testing.T) {
+	for _, policy := range []PlacementPolicy{KDPlace, PerCopyD, RandomPlace} {
+		cfg := baseConfig()
+		cfg.Policy = policy
+		bare := MustNew(cfg)
+		bare.IngestAll()
+
+		cfg = baseConfig()
+		cfg.Policy = policy
+		rounds := 0
+		var lastMessages int64
+		cfg.Observer = func(ev appevent.Round) {
+			rounds++
+			if ev.Round != rounds {
+				t.Fatalf("%s: round numbering %d, want %d", policy, ev.Round, rounds)
+			}
+			if ev.Bins != cfg.Servers {
+				t.Fatalf("%s: bins %d", policy, ev.Bins)
+			}
+			if len(ev.Placed) != cfg.K || len(ev.Heights) != cfg.K {
+				t.Fatalf("%s: %d placed / %d heights, want %d copies", policy, len(ev.Placed), len(ev.Heights), cfg.K)
+			}
+			if ev.Balls != rounds*cfg.K {
+				t.Fatalf("%s: cumulative copies %d, want %d", policy, ev.Balls, rounds*cfg.K)
+			}
+			if ev.Messages <= lastMessages {
+				t.Fatalf("%s: message counter not increasing", policy)
+			}
+			lastMessages = ev.Messages
+			maxSeen := 0
+			for _, h := range ev.Heights {
+				if h < 1 {
+					t.Fatalf("%s: height %d < 1", policy, h)
+				}
+				if h > maxSeen {
+					maxSeen = h
+				}
+			}
+			if ev.MaxLoad < maxSeen {
+				t.Fatalf("%s: max load %d below placed height %d", policy, ev.MaxLoad, maxSeen)
+			}
+		}
+		observed := MustNew(cfg)
+		observed.IngestAll()
+		if rounds != cfg.Files {
+			t.Fatalf("%s: observed %d rounds, want %d files", policy, rounds, cfg.Files)
+		}
+		if observed.MaxLoad() != bare.MaxLoad() || observed.Messages() != bare.Messages() {
+			t.Fatalf("%s: observer changed placement", policy)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/appevent"
 	"repro/internal/loadvec"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -83,7 +84,15 @@ type Config struct {
 	Policy PlacementPolicy
 	// Seed makes the run reproducible.
 	Seed uint64
+	// Observer, when non-nil, receives one appevent.Round per ingested
+	// file. Ingestion performs no observation bookkeeping when it is nil.
+	Observer appevent.Observer
 }
+
+// Validate reports whether the configuration is runnable; it is the check
+// Run applies before starting. Exposed so batch harnesses can validate
+// every cell before dispatching any work.
+func (c Config) Validate() error { return c.validate() }
 
 func (c Config) validate() error {
 	if c.Servers < 1 {
@@ -132,6 +141,12 @@ type System struct {
 
 	samples []int
 	slots   []placeSlot
+
+	// Observation state, touched only when cfg.Observer is non-nil.
+	obsRound   int
+	obsCopies  int
+	obsSamples []int
+	obsHeights []int
 }
 
 type placeSlot struct {
@@ -196,11 +211,20 @@ func (s *System) load(sv int) float64 {
 func (s *System) addCopy(sv int, size float64) {
 	s.objects[sv]++
 	s.bytes[sv] += size
+	if s.cfg.Observer != nil {
+		s.obsCopies++
+		s.obsHeights = append(s.obsHeights, s.objects[sv])
+	}
 }
 
 // Ingest places one file and returns its id.
 func (s *System) Ingest() int {
 	size := s.cfg.SizeDist.Sample(s.rng)
+	observing := s.cfg.Observer != nil
+	if observing {
+		s.obsSamples = s.obsSamples[:0]
+		s.obsHeights = s.obsHeights[:0]
+	}
 	var servers []int
 	switch s.cfg.Policy {
 	case KDPlace:
@@ -213,7 +237,32 @@ func (s *System) Ingest() int {
 	id := len(s.files)
 	s.files = append(s.files, servers)
 	s.sizes = append(s.sizes, size)
+	if observing {
+		s.obsRound++
+		s.cfg.Observer(appevent.Round{
+			Round:    s.obsRound,
+			Samples:  s.obsSamples,
+			Placed:   servers,
+			Heights:  s.obsHeights,
+			Bins:     s.cfg.Servers,
+			Balls:    s.obsCopies,
+			MaxLoad:  s.maxObjects(),
+			Messages: s.messages,
+		})
+	}
 	return id
+}
+
+// maxObjects scans for the largest per-server object count; only called on
+// the observed path.
+func (s *System) maxObjects() int {
+	m := 0
+	for _, c := range s.objects {
+		if c > m {
+			m = c
+		}
+	}
+	return m
 }
 
 // IngestAll ingests the configured number of files.
@@ -233,6 +282,9 @@ func (s *System) placeKD(k int, size float64, exclude []int) []int {
 		// Sample d distinct candidate servers (Floyd), then keep the k
 		// least loaded among the eligible ones.
 		cands := s.rng.SampleWithoutReplacement(s.cfg.Servers, d)
+		if s.cfg.Observer != nil {
+			s.obsSamples = append(s.obsSamples, cands...)
+		}
 		for _, sv := range cands {
 			if !s.alive[sv] || contains(exclude, sv) {
 				continue
@@ -243,6 +295,9 @@ func (s *System) placeKD(k int, size float64, exclude []int) []int {
 		// Multiset rule: the i-th sample of a server has height load+i
 		// (in the object metric a copy weighs 1; in bytes it weighs size).
 		s.rng.FillIntn(s.samples[:d], s.cfg.Servers)
+		if s.cfg.Observer != nil {
+			s.obsSamples = append(s.obsSamples, s.samples[:d]...)
+		}
 		sort.Ints(s.samples[:d])
 		for i := 0; i < d; {
 			sv := s.samples[i]
@@ -297,11 +352,15 @@ func (s *System) placeKD(k int, size float64, exclude []int) []int {
 // file.
 func (s *System) placePerCopy(k, dPerCopy int, size float64, exclude []int) []int {
 	out := make([]int, 0, k)
+	observing := s.cfg.Observer != nil
 	for i := 0; i < k; i++ {
 		best := -1
 		for p := 0; p < dPerCopy; p++ {
 			s.messages++
 			sv := s.rng.Intn(s.cfg.Servers)
+			if observing {
+				s.obsSamples = append(s.obsSamples, sv)
+			}
 			if !s.alive[sv] || contains(exclude, sv) {
 				continue
 			}

@@ -15,7 +15,7 @@
 //   - k = 1: the classical d-choice of Azar et al.;
 //   - k = d−1 with large d: approaches classical single choice.
 //
-// The package is organized in three layers:
+// The package is organized in four layers:
 //
 //   - Process: Allocator runs one allocation process instance (New, NewKD,
 //     Place, Round, MaxLoad, Gap, Messages, ...), alongside the paper's
@@ -31,11 +31,14 @@
 //     the per-cell results plus cross-cell tradeoff summaries (the paper's
 //     max-load vs message-cost frontier). Simulate remains as the one-cell
 //     convenience wrapper.
-//
-// Application-level simulations built on the same core — cluster job
-// scheduling and distributed storage, the paper's Section 1.3 — are
-// exercised by the example programs and benchmark harness in this
-// repository.
+//   - Application studies: Study runs the paper's Section 1.3 application
+//     substrates — cluster job scheduling (SchedulerCell), replicated
+//     storage (StorageCell), and the message-level protocol
+//     (ProtocolCell) — as cells on the same shared worker pool with the
+//     same seed-stream determinism, and carries the Observer contract
+//     through to their per-round (per-job, per-file) events.
+//     StorageSystem is the interactive handle for failure-injection
+//     scenarios.
 //
 // All randomness is drawn from explicitly seeded deterministic generators:
 // the same configuration and seed always reproduce the same results, for

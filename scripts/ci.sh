@@ -34,13 +34,25 @@ echo "==> go test -race . ./internal/sim ./internal/core"
 go test -race . ./internal/sim ./internal/core
 
 echo "==> import hygiene: cmd/ and examples/ stay on the public API"
-# The public kdchoice package (Experiment/Sweep/Simulate, observers) is the
-# only sanctioned simulation entry point: no command or example may import
-# the internal engine packages directly.
+# The public kdchoice package (Experiment/Sweep/Simulate for the core
+# process, Study/StorageSystem for the application substrates, observers)
+# is the only sanctioned simulation entry point: no command or example may
+# import the internal engine or substrate packages directly.
 bad=$(go list -f '{{$p := .ImportPath}}{{range .Imports}}{{$p}} imports {{.}}{{"\n"}}{{end}}' ./cmd/... ./examples/... \
-    | grep -E 'repro/internal/(sim|core)$' || true)
+    | grep -E 'repro/internal/(sim|core|cluster|netsim|storage|eventsim|appevent)$' || true)
 if [ -n "$bad" ]; then
     echo "forbidden internal-engine imports (use the public kdchoice API):" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
+# The substrate packages themselves are reachable only through the root
+# package and the internal/experiments evaluation suite.
+bad=$(go list -f '{{$p := .ImportPath}}{{range .Imports}}{{$p}} imports {{.}}{{"\n"}}{{end}}' ./internal/... \
+    | grep -E ' repro/internal/(cluster|netsim|storage)$' \
+    | grep -vE '^repro/internal/experiments ' || true)
+if [ -n "$bad" ]; then
+    echo "application substrates may only be imported by the root package and internal/experiments:" >&2
     echo "$bad" >&2
     exit 1
 fi
