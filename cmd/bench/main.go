@@ -1,19 +1,27 @@
-// Command bench runs the repository's tracked performance grid and writes
-// the results to BENCH_kd.json, the benchmark trajectory future PRs regress
+// Command bench runs the repository's tracked performance grids and writes
+// the results to BENCH_kd.json (per-round micro grid) and BENCH_scale.json
+// (large-n scale grid), the benchmark trajectories future PRs regress
 // against.
 //
-// Each cell of the grid benchmarks one allocation process configuration
-// (n, k, d, policy) through the public API, measuring ns per round, heap
-// allocations per round, and placement throughput in balls per second. The
-// grid also times the (k,d)-choice acceptance cell (n = 1e5, k = 2, d = 64)
-// on both slot-selection kernels and reports the fast-vs-sort speedup.
+// Each cell of the micro grid benchmarks one allocation process
+// configuration (n, k, d, policy) through the public API, measuring ns per
+// round, heap allocations per round, and placement throughput in balls per
+// second. The grid also times the (k,d)-choice acceptance cell (n = 1e5,
+// k = 2, d = 64) on both slot-selection kernels and with the pipelined
+// random engine, reporting both speedups.
+//
+// The scale grid (-scale) runs the heavy-load cells the compact stores
+// exist for: n = 1e6 and 1e7 with k=2/d=64 and an m = 100n heavy-load
+// cell, one column per bin store, measuring sustained balls/sec and the
+// steady-state bytes per bin (via runtime.MemStats).
 //
 // Usage:
 //
-//	bench [-out BENCH_kd.json] [-quick]
+//	bench [-out BENCH_kd.json] [-quick]          # micro grid
+//	bench -scale [-out BENCH_scale.json] [-quick] # scale grid
 //
-// -quick shrinks the grid to tiny cells (for smoke tests); tracked results
-// should always come from the full grid, e.g. via `scripts/ci.sh bench`.
+// -quick shrinks the grids to tiny cells (for smoke tests); tracked results
+// should always come from the full grids, e.g. via `scripts/ci.sh bench`.
 package main
 
 import (
@@ -24,17 +32,18 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	kdchoice "repro"
 )
 
-// cell is one grid entry.
+// cell is one micro-grid entry.
 type cell struct {
 	Name string
 	Cfg  kdchoice.Config
 }
 
-// result is the serialized outcome of one cell.
+// result is the serialized outcome of one micro-grid cell.
 type result struct {
 	Name            string  `json:"name"`
 	Policy          string  `json:"policy"`
@@ -42,6 +51,8 @@ type result struct {
 	K               int     `json:"k,omitempty"`
 	D               int     `json:"d,omitempty"`
 	ReferenceSelect bool    `json:"reference_select,omitempty"`
+	Pipeline        bool    `json:"pipeline,omitempty"`
+	Shards          int     `json:"shards,omitempty"`
 	NsPerRound      float64 `json:"ns_per_round"`
 	BytesPerRound   int64   `json:"bytes_per_round"`
 	AllocsPerRound  int64   `json:"allocs_per_round"`
@@ -58,6 +69,10 @@ type report struct {
 	// SpeedupFastVsSort is ns/round(sort kernel) / ns/round(fast kernel)
 	// on the n=1e5, k=2, d=64 acceptance cell; the floor is 1.5.
 	SpeedupFastVsSort float64 `json:"speedup_fast_vs_sort_n1e5_k2_d64,omitempty"`
+	// SpeedupPipeVsSerial is ns/round(serial fast kernel) / ns/round
+	// (pipelined fast kernel) on the same cell; the pipelined engine must
+	// keep this above 1.0 (it improves the tracked cell's balls/sec).
+	SpeedupPipeVsSerial float64 `json:"speedup_pipe_vs_serial_n1e5_k2_d64,omitempty"`
 }
 
 func main() {
@@ -79,6 +94,9 @@ func cellName(cfg kdchoice.Config) string {
 		if cfg.ReferenceSelect {
 			kernel = "sort"
 		}
+		if cfg.Pipeline {
+			kernel += "+pipe"
+		}
 		name = fmt.Sprintf("kd/%s/n=%d", kernel, cfg.Bins)
 	}
 	if cfg.K > 0 {
@@ -90,11 +108,18 @@ func cellName(cfg kdchoice.Config) string {
 	if cfg.Beta > 0 {
 		name += fmt.Sprintf(",beta=%g", cfg.Beta)
 	}
+	if cfg.Store != kdchoice.StoreDense {
+		name += fmt.Sprintf(",store=%v", cfg.Store)
+	}
+	if cfg.Shards > 1 {
+		name += fmt.Sprintf(",shards=%d", cfg.Shards)
+	}
 	return name
 }
 
-// grid returns the tracked benchmark cells. The first two cells are the
-// kernel-ablation pair the speedup criterion is computed from.
+// grid returns the tracked micro-benchmark cells. The first two cells are
+// the kernel-ablation pair the fast-vs-sort speedup is computed from; the
+// third is the pipelined variant of cell 0 for the pipeline speedup.
 func grid(quick bool) []cell {
 	n, small := 100000, 10000
 	if quick {
@@ -103,6 +128,9 @@ func grid(quick bool) []cell {
 	configs := []kdchoice.Config{
 		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice},
 		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, ReferenceSelect: true},
+		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Pipeline: true},
+		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Pipeline: true, Store: kdchoice.StoreCompact},
+		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Store: kdchoice.StoreHist},
 		{Bins: n, K: 8, D: 16, Seed: 1, Policy: kdchoice.KDChoice},
 		{Bins: n, K: 128, D: 192, Seed: 1, Policy: kdchoice.KDChoice},
 		{Bins: small, K: 2, D: 4, Seed: 1, Policy: kdchoice.KDChoice},
@@ -111,6 +139,7 @@ func grid(quick bool) []cell {
 		{Bins: n, Seed: 1, Policy: kdchoice.SingleChoice},
 		{Bins: n, Beta: 0.5, Seed: 1, Policy: kdchoice.OnePlusBeta},
 		{Bins: n, K: 8, D: 2, Seed: 1, Policy: kdchoice.StaleBatch},
+		{Bins: n, K: 256, D: 2, Seed: 1, Policy: kdchoice.StaleBatch, Shards: 4},
 	}
 	cells := make([]cell, len(configs))
 	for i, cfg := range configs {
@@ -125,6 +154,7 @@ func runCell(c cell) (result, error) {
 	if err != nil {
 		return result{}, fmt.Errorf("cell %s: %w", c.Name, err)
 	}
+	probe.Close()
 	// New normalizes the config (zero Policy means KDChoice), so the
 	// stored Config carries the canonical policy name.
 	policy := probe.Config().Policy.String()
@@ -134,6 +164,7 @@ func runCell(c cell) (result, error) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		defer alloc.Close()
 		// Warm to steady state (~1 ball per bin) so scratch buffers are
 		// grown and the load vector is realistic.
 		alloc.PlaceAll()
@@ -153,6 +184,8 @@ func runCell(c cell) (result, error) {
 		K:               c.Cfg.K,
 		D:               c.Cfg.D,
 		ReferenceSelect: c.Cfg.ReferenceSelect,
+		Pipeline:        c.Cfg.Pipeline,
+		Shards:          c.Cfg.Shards,
 		NsPerRound:      ns,
 		BytesPerRound:   br.AllocedBytesPerOp(),
 		AllocsPerRound:  br.AllocsPerOp(),
@@ -164,12 +197,191 @@ func runCell(c cell) (result, error) {
 	return res, nil
 }
 
+// scaleCell is one scale-grid entry: a configuration plus its warmup and
+// timed ball counts.
+type scaleCell struct {
+	Name  string
+	Cfg   kdchoice.Config
+	Warm  int // balls placed before the timed section
+	Balls int // balls placed in the timed section
+}
+
+// scaleResult is the serialized outcome of one scale-grid cell.
+type scaleResult struct {
+	Name        string  `json:"name"`
+	Policy      string  `json:"policy"`
+	Store       string  `json:"store"`
+	Pipeline    bool    `json:"pipeline,omitempty"`
+	N           int     `json:"n"`
+	K           int     `json:"k"`
+	D           int     `json:"d"`
+	TotalBalls  int     `json:"total_balls"`
+	TimedBalls  int     `json:"timed_balls"`
+	BallsPerSec float64 `json:"balls_per_sec"`
+	NsPerRound  float64 `json:"ns_per_round"`
+	BytesPerBin float64 `json:"bytes_per_bin"`
+	MaxLoad     int     `json:"max_load"`
+	Gap         float64 `json:"gap"`
+}
+
+// scaleReport is the BENCH_scale.json schema.
+type scaleReport struct {
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Cells     []scaleResult `json:"cells"`
+}
+
+// scaleGrid returns the scale cells: the (k=2, d=64) acceptance shape at
+// n = 1e6 and 1e7 plus a heavy-load m = 100n cell, each with one column
+// per bin store. Quick mode shrinks n for smoke tests.
+func scaleGrid(quick bool) []scaleCell {
+	n1, n2, heavyN := 1_000_000, 10_000_000, 1_000_000
+	if quick {
+		n1, n2, heavyN = 20_000, 100_000, 20_000
+	}
+	stores := []kdchoice.Store{kdchoice.StoreDense, kdchoice.StoreCompact, kdchoice.StoreHist}
+	var cells []scaleCell
+	capBalls := func(n, cap int) int {
+		if n < cap {
+			return n
+		}
+		return cap
+	}
+	for _, n := range []int{n1, n2} {
+		for _, store := range stores {
+			cfg := kdchoice.Config{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Store: store, Pipeline: true}
+			cells = append(cells, scaleCell{
+				Name:  fmt.Sprintf("kd/n=%d,k=2,d=64,store=%v", n, store),
+				Cfg:   cfg,
+				Warm:  capBalls(n, 2_000_000),
+				Balls: capBalls(n, 4_000_000),
+			})
+		}
+	}
+	// Heavy load: m = 100n exercises the Theorem 2 regime (gap growth with
+	// m/n) at a cheaper per-ball shape (k=8, d=16).
+	for _, store := range stores {
+		cfg := kdchoice.Config{Bins: heavyN, K: 8, D: 16, Seed: 1, Policy: kdchoice.KDChoice, Store: store, Pipeline: true}
+		cells = append(cells, scaleCell{
+			Name:  fmt.Sprintf("kd-heavy/n=%d,k=8,d=16,m=100n,store=%v", heavyN, store),
+			Cfg:   cfg,
+			Warm:  0,
+			Balls: 100 * heavyN,
+		})
+	}
+	return cells
+}
+
+// runScaleCell places the cell's balls, timing the post-warmup section, and
+// measures the steady-state heap footprint per bin.
+func runScaleCell(c scaleCell) (scaleResult, error) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	alloc, err := kdchoice.New(c.Cfg)
+	if err != nil {
+		return scaleResult{}, fmt.Errorf("cell %s: %w", c.Name, err)
+	}
+	defer alloc.Close()
+	if c.Warm > 0 {
+		if err := alloc.Place(c.Warm); err != nil {
+			return scaleResult{}, err
+		}
+	}
+	startRounds := alloc.Rounds()
+	start := time.Now()
+	if err := alloc.Place(c.Balls); err != nil {
+		return scaleResult{}, err
+	}
+	elapsed := time.Since(start)
+	rounds := alloc.Rounds() - startRounds
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	bytesPerBin := 0.0
+	if after.HeapAlloc > before.HeapAlloc {
+		bytesPerBin = float64(after.HeapAlloc-before.HeapAlloc) / float64(c.Cfg.Bins)
+	}
+
+	res := scaleResult{
+		Name:        c.Name,
+		Policy:      alloc.Config().Policy.String(),
+		Store:       c.Cfg.Store.String(),
+		Pipeline:    c.Cfg.Pipeline,
+		N:           c.Cfg.Bins,
+		K:           c.Cfg.K,
+		D:           c.Cfg.D,
+		TotalBalls:  alloc.Balls(),
+		TimedBalls:  c.Balls,
+		BytesPerBin: bytesPerBin,
+		MaxLoad:     alloc.MaxLoad(),
+		Gap:         alloc.Gap(),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.BallsPerSec = float64(c.Balls) / secs
+		if rounds > 0 {
+			res.NsPerRound = float64(elapsed.Nanoseconds()) / float64(rounds)
+		}
+	}
+	runtime.KeepAlive(alloc)
+	return res, nil
+}
+
+// runScale executes the scale grid and writes BENCH_scale.json.
+func runScale(quick bool, outPath string, out io.Writer) error {
+	rep := scaleReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	for _, c := range scaleGrid(quick) {
+		res, err := runScaleCell(c)
+		if err != nil {
+			return err
+		}
+		rep.Cells = append(rep.Cells, res)
+		fmt.Fprintf(out, "%-44s %14.0f balls/sec %7.2f B/bin  max=%d gap=%.2f\n",
+			res.Name, res.BallsPerSec, res.BytesPerBin, res.MaxLoad, res.Gap)
+	}
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	outPath := fs.String("out", "BENCH_kd.json", "output JSON path (empty: stdout only)")
+	outPath := fs.String("out", "", "output JSON path (default BENCH_kd.json, or BENCH_scale.json with -scale; empty: stdout only)")
 	quick := fs.Bool("quick", false, "tiny cells for smoke testing (do not commit quick results)")
+	scale := fs.Bool("scale", false, "run the large-n scale grid instead of the micro grid")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// The tracked-file default applies only when -out is not given at all;
+	// an explicit empty -out means stdout only (the smoke-test form).
+	path := *outPath
+	outSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
+	if !outSet {
+		if *scale {
+			path = "BENCH_scale.json"
+		} else {
+			path = "BENCH_kd.json"
+		}
+	}
+	if *scale {
+		return runScale(*quick, path, out)
 	}
 	rep := report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 	for _, c := range grid(*quick) {
@@ -178,23 +390,27 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		rep.Grid = append(rep.Grid, res)
-		fmt.Fprintf(out, "%-32s %12.0f ns/round %8.1f balls/round %14.0f balls/sec %3d allocs\n",
+		fmt.Fprintf(out, "%-40s %12.0f ns/round %8.1f balls/round %14.0f balls/sec %3d allocs\n",
 			res.Name, res.NsPerRound, res.BallsPerRound, res.BallsPerSec, res.AllocsPerRound)
 	}
 	if rep.Grid[0].NsPerRound > 0 {
 		rep.SpeedupFastVsSort = rep.Grid[1].NsPerRound / rep.Grid[0].NsPerRound
 		fmt.Fprintf(out, "fast-vs-sort speedup (%s): %.2fx\n", rep.Grid[0].Name, rep.SpeedupFastVsSort)
 	}
-	if *outPath == "" {
+	if rep.Grid[2].NsPerRound > 0 {
+		rep.SpeedupPipeVsSerial = rep.Grid[0].NsPerRound / rep.Grid[2].NsPerRound
+		fmt.Fprintf(out, "pipeline-vs-serial speedup (%s): %.2fx\n", rep.Grid[2].Name, rep.SpeedupPipeVsSerial)
+	}
+	if path == "" {
 		return nil
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "wrote %s\n", *outPath)
+	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }

@@ -27,6 +27,12 @@ func TestGridShape(t *testing.T) {
 		if a.Bins != b.Bins || a.K != b.K || a.D != b.D {
 			t.Fatalf("quick=%v: ablation pair shapes differ: %+v vs %+v", quick, a, b)
 		}
+		// Cell 2 must be the pipelined variant of cell 0 (the pipeline
+		// speedup pair).
+		p := cells[2].Cfg
+		if !p.Pipeline || p.ReferenceSelect || p.Bins != a.Bins || p.K != a.K || p.D != a.D {
+			t.Fatalf("quick=%v: cell 2 is not the pipelined twin of cell 0: %+v", quick, p)
+		}
 		for _, c := range cells {
 			if _, err := kdchoice.New(c.Cfg); err != nil {
 				t.Fatalf("cell %s has invalid config: %v", c.Name, err)
@@ -97,5 +103,93 @@ func TestRunBadFlags(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-bogus"}, &buf); err == nil {
 		t.Fatal("bogus flag accepted")
+	}
+}
+
+func TestScaleGridShape(t *testing.T) {
+	for _, quick := range []bool{false, true} {
+		cells := scaleGrid(quick)
+		// Two throughput n values plus one heavy row, three stores each.
+		if len(cells) != 9 {
+			t.Fatalf("quick=%v: scale grid has %d cells, want 9", quick, len(cells))
+		}
+		stores := map[string]int{}
+		heavy := 0
+		for _, c := range cells {
+			a, err := kdchoice.New(c.Cfg)
+			if err != nil {
+				t.Fatalf("cell %s invalid: %v", c.Name, err)
+			}
+			a.Close()
+			stores[c.Cfg.Store.String()]++
+			if c.Balls == 100*c.Cfg.Bins {
+				heavy++
+				if c.Cfg.Bins < 10000 {
+					t.Fatalf("quick=%v: heavy cell %s too small for a meaningful m=100n run", quick, c.Name)
+				}
+			}
+		}
+		for _, want := range []string{"dense", "compact", "hist"} {
+			if stores[want] != 3 {
+				t.Fatalf("quick=%v: store column %q appears %d times, want 3", quick, want, stores[want])
+			}
+		}
+		if heavy != 3 {
+			t.Fatalf("quick=%v: %d heavy-load cells, want 3 (one per store)", quick, heavy)
+		}
+	}
+}
+
+func TestRunScaleCellTiny(t *testing.T) {
+	res, err := runScaleCell(scaleCell{
+		Name:  "tiny",
+		Cfg:   kdchoice.Config{Bins: 4096, K: 2, D: 16, Seed: 1, Policy: kdchoice.KDChoice, Store: kdchoice.StoreCompact, Pipeline: true},
+		Warm:  4096,
+		Balls: 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BallsPerSec <= 0 || res.NsPerRound <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	if res.TotalBalls != 4096+8192 {
+		t.Fatalf("TotalBalls = %d", res.TotalBalls)
+	}
+	if res.Store != "compact" {
+		t.Fatalf("Store = %q", res.Store)
+	}
+	if res.MaxLoad < 2 || res.Gap <= 0 {
+		t.Fatalf("load stats missing: %+v", res)
+	}
+}
+
+func TestRunScaleQuickWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick scale grid still places millions of balls")
+	}
+	outPath := filepath.Join(t.TempDir(), "scale.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "-quick", "-out", outPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep scaleReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != len(scaleGrid(true)) {
+		t.Fatalf("report has %d cells, want %d", len(rep.Cells), len(scaleGrid(true)))
+	}
+	for _, c := range rep.Cells {
+		if c.BytesPerBin <= 0 {
+			t.Fatalf("cell %s: bytes/bin not measured", c.Name)
+		}
+		if c.BallsPerSec <= 0 {
+			t.Fatalf("cell %s: throughput not measured", c.Name)
+		}
 	}
 }

@@ -4,12 +4,14 @@
 //
 // Usage:
 //
-//	kdsim [-n 65536] [-k 2] [-d 3] [-m 0] [-runs 10] [-policy kd] [-beta 0.5] [-seed 1] [-profile 10]
+//	kdsim [-n 65536] [-k 2] [-d 3] [-m 0] [-runs 10] [-policy kd] [-beta 0.5]
+//	      [-store dense] [-pipeline] [-seed 1] [-profile 10]
 //
 // -m 0 places n balls (the paper's canonical experiment); -m > n exercises
-// the heavily loaded case of Theorem 2. -policy accepts kd, kd-serialized,
-// kd-adaptive, kd-dynamic, dchoice, single, oneplusbeta, alwaysgoleft,
-// stale-batch.
+// the heavily loaded case of Theorem 2. -policy and -store list their valid
+// values (sorted) in the flag help and in unknown-value errors. -store
+// compact runs 10⁷–10⁸ bin experiments in ~2 bytes/bin; -pipeline pre-draws
+// sample blocks on a producer goroutine (bit-identical results either way).
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	kdchoice "repro"
 	"repro/internal/stats"
@@ -37,8 +40,10 @@ func run(args []string, out io.Writer) error {
 	d := fs.Int("d", 3, "probes per round")
 	m := fs.Int("m", 0, "balls to place (0 = n)")
 	runs := fs.Int("runs", 10, "independent runs")
-	policyName := fs.String("policy", "kd", "allocation policy")
+	policyName := fs.String("policy", "kd", "allocation policy: "+strings.Join(kdchoice.PolicyNames(), ", "))
 	beta := fs.Float64("beta", 0.5, "beta for oneplusbeta")
+	storeName := fs.String("store", "dense", "bin-load store: "+strings.Join(kdchoice.StoreNames(), ", "))
+	pipeline := fs.Bool("pipeline", false, "pre-draw sample blocks on a producer goroutine (bit-identical)")
 	seed := fs.Uint64("seed", 1, "root seed")
 	profile := fs.Int("profile", 10, "print the top P mean sorted loads (0 to disable)")
 	if err := fs.Parse(args); err != nil {
@@ -49,14 +54,20 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	store, err := kdchoice.ParseStore(*storeName)
+	if err != nil {
+		return err
+	}
 	rep, err := kdchoice.Experiment{
 		Cells: []kdchoice.Cell{{Config: kdchoice.Config{
-			Bins:   *n,
-			K:      *k,
-			D:      *d,
-			Policy: policy,
-			Beta:   *beta,
-			Seed:   *seed,
+			Bins:     *n,
+			K:        *k,
+			D:        *d,
+			Policy:   policy,
+			Beta:     *beta,
+			Store:    store,
+			Pipeline: *pipeline,
+			Seed:     *seed,
 		}}},
 		Balls:        *m,
 		Runs:         *runs,

@@ -63,8 +63,17 @@ type Experiment struct {
 	// Workers bounds the shared pool; 0 means GOMAXPROCS.
 	Workers int
 	// CollectLoads retains each run's final load vector (memory:
-	// cells × runs × N ints), enabling the Report's profile accessors.
+	// cells × runs × N ints), enabling the Report's profile accessors and
+	// RunLoads.
 	CollectLoads bool
+	// CollectProfiles streams each finished run's sorted-load profile and
+	// occupancy counts into per-cell integer accumulators instead of
+	// retaining the vectors: memory stays O(N) per cell regardless of the
+	// run count, and the profile accessors still work. The aggregation
+	// order cannot affect integer sums, so reports remain identical for any
+	// Workers setting. Use this (not CollectLoads) on giant heavy-load
+	// grids.
+	CollectProfiles bool
 }
 
 // cellSeed derives the seed of cell i: an explicit (non-zero) cell seed
@@ -120,12 +129,13 @@ func (e Experiment) Run() (*Report, error) {
 			runs = 1
 		}
 		cfgs[i] = sim.Config{
-			Policy:       cp,
-			Params:       params,
-			Balls:        balls,
-			Runs:         runs,
-			Seed:         cellSeed(e.Seed, i, cfg.Seed),
-			CollectLoads: e.CollectLoads,
+			Policy:          cp,
+			Params:          params,
+			Balls:           balls,
+			Runs:            runs,
+			Seed:            cellSeed(e.Seed, i, cfg.Seed),
+			CollectLoads:    e.CollectLoads,
+			CollectProfiles: e.CollectProfiles,
 		}
 	}
 	results, err := sim.RunAll(e.Workers, cfgs)
@@ -161,13 +171,15 @@ type Sweep struct {
 	// Sigma, ReferenceSelect, Seed, ...). Bins/K/D/Policy are overwritten
 	// per cell.
 	Base Config
-	// Balls, Runs, Seed, Workers and CollectLoads configure the Experiment
-	// built by Run, exactly as the Experiment fields of the same names.
-	Balls        int
-	Runs         int
-	Seed         uint64
-	Workers      int
-	CollectLoads bool
+	// Balls, Runs, Seed, Workers, CollectLoads and CollectProfiles
+	// configure the Experiment built by Run, exactly as the Experiment
+	// fields of the same names.
+	Balls           int
+	Runs            int
+	Seed            uint64
+	Workers         int
+	CollectLoads    bool
+	CollectProfiles bool
 	// SkipInvalid drops grid points the process rejects (k >= d, d > n,
 	// ...) instead of failing. This is how the paper's triangular Table 1
 	// grid is expressed: sweep the full rectangle, keep the valid cells.
@@ -233,12 +245,13 @@ func (s Sweep) Run() (*Report, error) {
 		return nil, err
 	}
 	return Experiment{
-		Cells:        cells,
-		Balls:        s.Balls,
-		Runs:         s.Runs,
-		Seed:         s.Seed,
-		Workers:      s.Workers,
-		CollectLoads: s.CollectLoads,
+		Cells:           cells,
+		Balls:           s.Balls,
+		Runs:            s.Runs,
+		Seed:            s.Seed,
+		Workers:         s.Workers,
+		CollectLoads:    s.CollectLoads,
+		CollectProfiles: s.CollectProfiles,
 	}.Run()
 }
 

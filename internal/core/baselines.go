@@ -7,7 +7,7 @@ package core
 
 // ballSingle places one ball into a bin chosen uniformly at random.
 func (pr *Process) ballSingle() {
-	b := pr.rng.Intn(len(pr.loads))
+	b := pr.rng.Intn(pr.n)
 	h := pr.place(b)
 	pr.messages++
 	if pr.obs != nil {
@@ -26,16 +26,25 @@ func (pr *Process) ballSingle() {
 // several times, in O(d) per ball.
 func (pr *Process) ballDChoice() {
 	d := pr.p.D
-	pr.rng.FillIntn(pr.samples, len(pr.loads))
-	nonce := pr.rng.Uint64()
+	var nonce uint64
+	if pr.kpipe != nil {
+		r := pr.kpipe.next()
+		pr.samples = r.samples
+		nonce = r.nonce
+	} else {
+		pr.rng.FillIntn(pr.samples, pr.n)
+		nonce = pr.rng.Uint64()
+	}
 	best := pr.samples[0]
+	bestLoad := pr.store.Load(best)
 	bestTie := mix64(nonce ^ uint64(best)*0x9e3779b97f4a7c15)
 	for _, b := range pr.samples[1:] {
+		load := pr.store.Load(b)
 		switch {
-		case pr.loads[b] < pr.loads[best]:
-			best = b
+		case load < bestLoad:
+			best, bestLoad = b, load
 			bestTie = mix64(nonce ^ uint64(b)*0x9e3779b97f4a7c15)
-		case pr.loads[b] == pr.loads[best] && b != best:
+		case load == bestLoad && b != best:
 			if tie := mix64(nonce ^ uint64(b)*0x9e3779b97f4a7c15); tie < bestTie {
 				best = b
 				bestTie = tie
@@ -62,11 +71,12 @@ func mix64(z uint64) uint64 {
 // otherwise to a single uniform sample.
 func (pr *Process) ballOnePlusBeta() {
 	if pr.rng.Bernoulli(pr.p.Beta) {
-		a := pr.rng.Intn(len(pr.loads))
-		b := pr.rng.Intn(len(pr.loads))
+		a := pr.rng.Intn(pr.n)
+		b := pr.rng.Intn(pr.n)
 		pr.messages += 2
 		best := a
-		if pr.loads[b] < pr.loads[a] || (pr.loads[b] == pr.loads[a] && pr.rng.Bool()) {
+		la, lb := pr.store.Load(a), pr.store.Load(b)
+		if lb < la || (lb == la && pr.rng.Bool()) {
 			best = b
 		}
 		h := pr.place(best)
@@ -92,7 +102,7 @@ func (pr *Process) ballAlwaysGoLeft() {
 		}
 		b := lo + pr.rng.Intn(hi-lo)
 		pr.samples[g] = b
-		if best == -1 || pr.loads[b] < pr.loads[best] {
+		if best == -1 || pr.store.Load(b) < pr.store.Load(best) {
 			best = b // strict inequality: ties stay with the leftmost group
 		}
 	}
@@ -109,11 +119,11 @@ func (pr *Process) ballAlwaysGoLeft() {
 // placed. Rank computation uses the maintained load histogram, so each step
 // costs O(max load).
 func (pr *Process) ballSAx0() {
-	b := pr.rng.Intn(len(pr.loads))
-	load := pr.loads[b]
+	b := pr.rng.Intn(pr.n)
+	load := pr.store.Load(b)
 	// Number of bins strictly more loaded than b.
 	greater := 0
-	for y := load + 1; y <= pr.maxLoad; y++ {
+	for y := load + 1; y <= pr.store.MaxLoad(); y++ {
 		greater += pr.loadCount[y]
 	}
 	equal := pr.loadCount[load]

@@ -25,12 +25,25 @@
 //
 // All processes run over n bins, support m ≥ n balls (the heavily loaded
 // case of Theorem 2), count message cost (number of bin probes, the paper's
-// cost measure), and draw all randomness from an explicit *xrand.Rand so
+// cost measure), and draw all randomness from an explicit xrand.Source so
 // every run is reproducible.
+//
+// The bin-load state lives behind the loadvec.Store abstraction
+// (Params.Store): the dense []int reference, the 2-bytes/bin compact store
+// and the histogram-indexed store all produce bit-identical results for
+// equal seeds, so production-scale runs (10⁷–10⁸ bins) can pick the memory
+// layout without changing a single result. Params.Pipeline moves raw
+// random-word generation onto a producer goroutine (bit-identical by
+// construction, see xrand.Pipelined), and Params.Shards parallelizes the
+// decision phase of StaleBatch rounds — the one policy whose intra-round
+// independence makes true sharding semantics-preserving.
 package core
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"strings"
 
 	"repro/internal/loadvec"
 	"repro/internal/xrand"
@@ -87,15 +100,28 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
+// PolicyNames returns the canonical names of every supported policy in
+// sorted order — the deterministic list used by error messages and command
+// usage strings (policyNames is a map, so ranging it directly would print a
+// different order on every run).
+func PolicyNames() []string {
+	names := make([]string, 0, len(policyNames))
+	for _, n := range policyNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // ParsePolicy converts a short name (as printed by Policy.String) back into
-// a Policy.
+// a Policy. Unknown names list the valid policies in sorted order.
 func ParsePolicy(s string) (Policy, error) {
 	for p, name := range policyNames {
 		if name == s {
 			return p, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown policy %q", s)
+	return 0, fmt.Errorf("core: unknown policy %q (valid: %s)", s, strings.Join(PolicyNames(), ", "))
 }
 
 // Params configures a process. Fields not used by the selected policy are
@@ -127,6 +153,23 @@ type Params struct {
 	// law (see select.go); the reference kernel exists as the oracle for
 	// equivalence testing and debugging.
 	ReferenceSelect bool
+	// Store selects the bin-load representation: the dense []int reference
+	// (zero value), the compact 2-bytes/bin store with overflow escape, or
+	// the histogram-indexed store with O(1) occupancy statistics. All
+	// stores produce bit-identical results for equal seeds.
+	Store loadvec.StoreKind
+	// Pipeline pre-fills blocks of raw random words on a producer
+	// goroutine while the round loop consumes them. Bit-identical to the
+	// serial path by construction. A pipelined process owns a background
+	// goroutine: call Process.Close when done with it.
+	Pipeline bool
+	// Shards parallelizes the read-only decision phase of StaleBatch
+	// rounds over this many goroutines (0 or 1 = serial). Only StaleBatch
+	// may shard: its k balls decide independently against round-start
+	// loads, so sharding is semantics-preserving (and bit-identical, since
+	// all randomness is drawn serially up front). Other policies reject
+	// Shards > 1.
+	Shards int
 }
 
 // Observer receives a callback after every round. It is intended for tests
@@ -145,10 +188,12 @@ type Observer interface {
 type Process struct {
 	policy Policy
 	p      Params
-	rng    *xrand.Rand
+	rng    xrand.Source
+	pipe   *xrand.Pipelined // word-level engine (Params.Pipeline fallback)
+	kpipe  *kdPipe          // round-record engine (fixed-prologue policies)
 
-	loads     []int
-	maxLoad   int
+	store     loadvec.Store
+	n         int
 	balls     int
 	messages  int64
 	discarded int
@@ -161,15 +206,21 @@ type Process struct {
 	sortBuf  []int // bin-sorted copy of samples (reference kernel)
 	slots    []slot
 	sigmaBuf []int
-	cands    []int // distinct candidate bins (AdaptiveKD)
+	cands    []int // distinct candidate bins (AdaptiveKD) / dests (StaleBatch)
 
-	// Scratch for the counting selection kernel (select.go). mult and hist
-	// are zeroed outside their touched entries between rounds.
-	mult    []int32 // per-bin sample multiplicity (len N)
-	touched []int   // distinct bins sampled this round
-	hist    []int32 // height histogram over the round's dense window
-	sel     []slot  // selected slots, ranked
-	bnd     []slot  // boundary-height tie cohort
+	// Scratch for the counting selection kernel (select.go): a small
+	// open-addressed hash table groups the d samples by bin in O(d) space —
+	// no O(n) scratch, which is what keeps the compact store's bytes/bin
+	// budget intact at 10⁸ bins.
+	gtab *groupTab    // open-addressed grouping scratch
+	gbuf []groupEntry // grouped (bin+1, count) pairs, first-occurrence order
+	hist []int32      // height histogram over the round's dense window
+	sel  []slot       // selected slots, ranked
+	bnd  []slot       // boundary-height tie cohort
+
+	// StaleBatch sharded rounds: all k·D samples of a round, drawn up
+	// front so the decision phase is read-only.
+	shardBuf []int
 
 	// SAx0 bookkeeping: loadCount[y] = number of bins with load exactly y.
 	loadCount []int
@@ -180,6 +231,13 @@ type Process struct {
 
 	obsPlaced  []int
 	obsHeights []int
+}
+
+// groupEntry is one cell of the sample-grouping hash table: bin+1 (0 means
+// empty) and the bin's sample multiplicity this round.
+type groupEntry struct {
+	bin   int32
+	count int32
 }
 
 // slot is one conceptual ball of a round: the i-th sample of bin b this
@@ -193,19 +251,40 @@ type slot struct {
 }
 
 // New validates params and returns a ready process with all-empty bins.
-func New(policy Policy, p Params, rng *xrand.Rand) (*Process, error) {
+func New(policy Policy, p Params, rng xrand.Source) (*Process, error) {
 	if rng == nil {
 		return nil, fmt.Errorf("core: nil rng")
 	}
 	if err := Validate(policy, p); err != nil {
 		return nil, err
 	}
+	store, err := loadvec.NewStore(p.Store, p.N)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 
 	pr := &Process{
 		policy: policy,
 		p:      p,
 		rng:    rng,
-		loads:  make([]int, p.N),
+		store:  store,
+		n:      p.N,
+	}
+	if p.Pipeline {
+		if pipeEligible(policy, p) {
+			// Fixed round prologue: pre-draw whole rounds (and pre-group
+			// them for the counting kernel). The pipe owns the rng from
+			// here on; nil out pr.rng so any future code path that tries
+			// to draw from it alongside the producer fails fast (nil
+			// dereference) instead of racing the producer goroutine.
+			wantGroups := (policy == KDChoice || policy == SerializedKD) && !p.ReferenceSelect
+			pr.kpipe = newKDPipe(rng, p.N, p.D, wantGroups)
+			pr.rng = nil
+		} else {
+			// Data-dependent draw pattern: prefetch raw words instead.
+			pr.pipe = xrand.NewPipelined(rng, 0, 0)
+			pr.rng = pr.pipe
+		}
 	}
 	if d := p.D; d > 0 {
 		pr.samples = make([]int, d)
@@ -214,8 +293,8 @@ func New(policy Policy, p Params, rng *xrand.Rand) (*Process, error) {
 	}
 	if policy == KDChoice || policy == SerializedKD {
 		d := p.D
-		pr.mult = make([]int32, p.N)
-		pr.touched = make([]int, 0, d)
+		pr.gtab = newGroupTab(d)
+		pr.gbuf = make([]groupEntry, 0, d)
 		// The counting window covers every height pattern whose sampled
 		// loads span less than ~2d; wider spreads (extreme imbalance) fall
 		// back to the reference sort inside fastSelect.
@@ -238,6 +317,9 @@ func New(policy Policy, p Params, rng *xrand.Rand) (*Process, error) {
 	}
 	if policy == StaleBatch {
 		pr.cands = make([]int, p.K)
+		if p.Shards > 1 {
+			pr.shardBuf = make([]int, p.K*p.D)
+		}
 	}
 	if policy == SAx0 {
 		pr.loadCount = make([]int, 8)
@@ -259,12 +341,36 @@ func New(policy Policy, p Params, rng *xrand.Rand) (*Process, error) {
 	return pr, nil
 }
 
+// groupTableSize returns the power-of-two hash-table size for grouping d
+// samples: at most half full, so linear probing stays short.
+func groupTableSize(d int) int {
+	size := 8
+	for size < 2*d {
+		size *= 2
+	}
+	return size
+}
+
 // Validate checks policy and params exactly as New does, without allocating
 // a process. It lets batch schedulers reject a bad configuration up front —
 // even one with a large N — before spinning up workers.
 func Validate(policy Policy, p Params) error {
 	if p.N < 1 {
 		return fmt.Errorf("core: N = %d, need N >= 1", p.N)
+	}
+	if p.N > math.MaxInt32 {
+		return fmt.Errorf("core: N = %d exceeds the supported maximum %d", p.N, math.MaxInt32)
+	}
+	switch p.Store {
+	case loadvec.StoreDense, loadvec.StoreCompact, loadvec.StoreHist:
+	default:
+		return fmt.Errorf("core: unknown store %d (valid: %s)", int(p.Store), strings.Join(loadvec.StoreNames(), ", "))
+	}
+	if p.Shards < 0 {
+		return fmt.Errorf("core: Shards = %d, must be non-negative", p.Shards)
+	}
+	if p.Shards > 1 && policy != StaleBatch {
+		return fmt.Errorf("core: Shards > 1 requires the StaleBatch policy (%v rounds are not intra-round independent)", policy)
 	}
 	switch policy {
 	case KDChoice, SerializedKD, AdaptiveKD:
@@ -339,12 +445,25 @@ func checkPermutation(sigma []int, k int) error {
 
 // MustNew is New but panics on error; intended for tests and examples with
 // constant parameters.
-func MustNew(policy Policy, p Params, rng *xrand.Rand) *Process {
+func MustNew(policy Policy, p Params, rng xrand.Source) *Process {
 	pr, err := New(policy, p, rng)
 	if err != nil {
 		panic(err)
 	}
 	return pr
+}
+
+// Close releases the pipelined random engine's producer goroutine
+// (Params.Pipeline). It is a no-op for serial processes and is idempotent.
+// A closed process must not place further balls; its accessors remain
+// valid.
+func (pr *Process) Close() {
+	if pr.pipe != nil {
+		pr.pipe.Close()
+	}
+	if pr.kpipe != nil {
+		pr.kpipe.Close()
+	}
 }
 
 // SetObserver installs (or removes, with nil) the round observer.
@@ -358,7 +477,7 @@ func (pr *Process) Policy() Policy { return pr.policy }
 func (pr *Process) Params() Params { return pr.p }
 
 // N returns the number of bins.
-func (pr *Process) N() int { return len(pr.loads) }
+func (pr *Process) N() int { return pr.n }
 
 // Balls returns the number of balls placed so far (discarded balls in SAx0
 // are not counted as placed).
@@ -375,32 +494,44 @@ func (pr *Process) Messages() int64 { return pr.messages }
 // for all other policies).
 func (pr *Process) Discarded() int { return pr.discarded }
 
-// MaxLoad returns the current maximum bin load.
-func (pr *Process) MaxLoad() int { return pr.maxLoad }
+// MaxLoad returns the current maximum bin load (O(1) on every store).
+func (pr *Process) MaxLoad() int { return pr.store.MaxLoad() }
 
 // Load returns the load of the bin with the given id.
-func (pr *Process) Load(bin int) int { return pr.loads[bin] }
+func (pr *Process) Load(bin int) int { return pr.store.Load(bin) }
+
+// Store returns the process's bin-load store (read-only access; mutating
+// it directly desynchronizes the process counters).
+func (pr *Process) Store() loadvec.Store { return pr.store }
 
 // Loads returns a copy of the load vector indexed by bin id.
 func (pr *Process) Loads() loadvec.Vector {
-	return loadvec.Vector(pr.loads).Clone()
+	return pr.store.Vector()
 }
 
 // Gap returns max load minus average load.
 func (pr *Process) Gap() float64 {
-	return float64(pr.maxLoad) - float64(pr.balls)/float64(len(pr.loads))
+	return float64(pr.store.MaxLoad()) - float64(pr.balls)/float64(pr.n)
 }
 
-// NuY returns ν_y, the number of bins with at least y balls.
-func (pr *Process) NuY(y int) int { return loadvec.Vector(pr.loads).NuY(y) }
+// NuY returns ν_y, the number of bins with at least y balls. On the
+// histogram store this never scans the bins.
+func (pr *Process) NuY(y int) int { return pr.store.NuY(y) }
+
+// setLoads overwrites the per-bin loads, keeping the store's aggregate
+// bookkeeping consistent and syncing the ball counter. It is the seam the
+// scenario tests use to start a round from a prescribed load vector.
+func (pr *Process) setLoads(loads []int) {
+	for b, v := range loads {
+		pr.store.Set(b, v)
+	}
+	pr.balls = pr.store.Balls()
+}
 
 // Reset restores all bins to empty and zeroes the counters. The random
 // stream is NOT rewound; reuse the process for an independent run.
 func (pr *Process) Reset() {
-	for i := range pr.loads {
-		pr.loads[i] = 0
-	}
-	pr.maxLoad = 0
+	pr.store.Reset()
 	pr.balls = 0
 	pr.messages = 0
 	pr.discarded = 0
@@ -409,7 +540,7 @@ func (pr *Process) Reset() {
 		for i := range pr.loadCount {
 			pr.loadCount[i] = 0
 		}
-		pr.loadCount[0] = len(pr.loads)
+		pr.loadCount[0] = pr.n
 	}
 }
 
@@ -494,11 +625,7 @@ func (pr *Process) step(toPlace int) {
 // place adds one ball to bin b and returns its height (the bin's load after
 // placement).
 func (pr *Process) place(b int) int {
-	pr.loads[b]++
-	h := pr.loads[b]
-	if h > pr.maxLoad {
-		pr.maxLoad = h
-	}
+	h := pr.store.Add(b)
 	pr.balls++
 	return h
 }

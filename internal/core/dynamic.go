@@ -21,10 +21,16 @@ package core
 // roundDynamic places between 1 and maxPlace balls and returns the number
 // placed.
 func (pr *Process) roundDynamic(maxPlace int) int {
-	pr.rng.FillIntn(pr.samples, len(pr.loads))
-	pr.makeSlots(pr.rng.Uint64())
+	if pr.kpipe != nil {
+		r := pr.kpipe.next()
+		pr.samples = r.samples
+		pr.makeSlots(r.nonce)
+	} else {
+		pr.rng.FillIntn(pr.samples, pr.n)
+		pr.makeSlots(pr.rng.Uint64())
+	}
 	sortSlots(pr.slots)
-	target := pr.balls/len(pr.loads) + 1
+	target := pr.balls/pr.n + 1
 	toPlace := 0
 	for toPlace < len(pr.slots) && toPlace < maxPlace && pr.slots[toPlace].height <= target {
 		toPlace++

@@ -339,7 +339,7 @@ func TestSortSlotsMatchesReference(t *testing.T) {
 
 func TestMakeSlotsHeights(t *testing.T) {
 	pr := MustNew(KDChoice, Params{N: 6, K: 2, D: 5}, xrand.New(1))
-	pr.loads = []int{2, 0, 1, 0, 0, 0}
+	pr.setLoads([]int{2, 0, 1, 0, 0, 0})
 	copy(pr.samples, []int{0, 0, 2, 1, 0})
 	pr.makeSlots(1)
 	// Sorted samples: 0,0,0,1,2 -> slots: bin0 h3,h4,h5; bin1 h1; bin2 h2.

@@ -13,7 +13,14 @@ package core
 // select.go (counting selection by default, full sort with
 // Params.ReferenceSelect).
 func (pr *Process) roundKD(toPlace int) {
-	pr.rng.FillIntn(pr.samples, len(pr.loads))
+	if pr.kpipe != nil {
+		r := pr.kpipe.next()
+		pr.samples = r.samples // observers see the round's raw samples
+		sel := pr.rankSelectWith(r.nonce, r.groups, toPlace)
+		pr.placeSelected(sel)
+		return
+	}
+	pr.rng.FillIntn(pr.samples, pr.n)
 	pr.roundKDFromSamples(toPlace)
 }
 
@@ -21,7 +28,11 @@ func (pr *Process) roundKD(toPlace int) {
 // seam that lets tests replay the paper's worked scenarios with fixed
 // samples.
 func (pr *Process) roundKDFromSamples(toPlace int) {
-	sel := pr.rankSelect(toPlace)
+	pr.placeSelected(pr.rankSelect(toPlace))
+}
+
+// placeSelected commits the round's ranked slots and accounts the round.
+func (pr *Process) placeSelected(sel []slot) {
 	placed, heights := pr.beginObs(len(sel))
 	for s := range sel {
 		b := sel[s].bin
@@ -41,8 +52,15 @@ func (pr *Process) roundKDFromSamples(toPlace int) {
 // to roundKD under the same random draws; only the placement order (and so
 // the per-ball height labels) differs — this is Property (i).
 func (pr *Process) roundSerialized(toPlace int) {
-	pr.rng.FillIntn(pr.samples, len(pr.loads))
-	sel := pr.rankSelect(toPlace)
+	var sel []slot
+	if pr.kpipe != nil {
+		r := pr.kpipe.next()
+		pr.samples = r.samples
+		sel = pr.rankSelectWith(r.nonce, r.groups, toPlace)
+	} else {
+		pr.rng.FillIntn(pr.samples, pr.n)
+		sel = pr.rankSelect(toPlace)
+	}
 	toPlace = len(sel)
 	sigma := pr.sigmaBuf
 	if pr.p.RandomSigma {
@@ -82,7 +100,7 @@ func (pr *Process) roundSerialized(toPlace int) {
 // paper's (2,3) example with sampled loads {0,2,3} both balls land in the
 // empty bin.
 func (pr *Process) roundAdaptive(toPlace int) {
-	pr.rng.FillIntn(pr.samples, len(pr.loads))
+	pr.rng.FillIntn(pr.samples, pr.n)
 	cands := pr.cands[:0]
 	for _, b := range pr.samples {
 		seen := false
@@ -103,10 +121,10 @@ func (pr *Process) roundAdaptive(toPlace int) {
 		ties := 0
 		for _, b := range cands {
 			switch {
-			case best == -1 || pr.loads[b] < pr.loads[best]:
+			case best == -1 || pr.store.Load(b) < pr.store.Load(best):
 				best = b
 				ties = 1
-			case pr.loads[b] == pr.loads[best]:
+			case pr.store.Load(b) == pr.store.Load(best):
 				// Reservoir sampling over ties keeps the choice uniform.
 				ties++
 				if pr.rng.Intn(ties) == 0 {

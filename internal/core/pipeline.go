@@ -1,0 +1,305 @@
+package core
+
+// This file is the within-run pipelined round engine (Params.Pipeline) for
+// the policies whose per-round random-draw pattern is fixed: a producer
+// goroutine repeatedly performs exactly the round prologue the serial path
+// would perform — FillIntn(d samples) followed by one nonce draw, in stream
+// order on the run's own generator — and packages the results as flat
+// per-round records. Because the producer executes the identical draw
+// sequence, the pipelined process is bit-identical to the serial one by
+// construction (pinned by TestStorePolicyBitIdentity); the consumer simply
+// starts each round with its samples already materialized.
+//
+// For the counting-kernel policies (KDChoice, fixed-σ SerializedKD) the
+// producer additionally pre-groups each round's samples by bin — grouping
+// is a pure function of the samples, so doing it ahead of time changes
+// nothing — which removes both the sampling and the grouping work from the
+// round loop, leaving it only the load reads and the selection itself.
+//
+// The consumer bulk-copies each block into its own buffers when it switches
+// blocks: one streamed memcpy (prefetch-friendly) instead of per-round
+// demand misses on cache lines still owned by the producer core, which is
+// what makes the handoff profitable. Blocks are recycled through a free
+// list (zero steady-state allocations) and handed over channels (clean
+// happens-before edges under -race).
+//
+// On a single-CPU host (GOMAXPROCS == 1) a producer goroutine could only
+// timeshare the consumer's core, so the handoff would be pure overhead;
+// there the pipe degrades to filling blocks inline on demand — the same
+// records in the same stream order, bit-identical either way — and the
+// engine is simply at parity with the serial path instead of ahead of it.
+//
+// Policies with data-dependent draw patterns (AdaptiveKD's reservoir ties,
+// RandomSigma's shuffles, SAx0's rank draws, ...) cannot pre-draw rounds;
+// they fall back to the generic word-level prefetcher (xrand.Pipelined),
+// which is bit-identical for any policy.
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// kdRound is the consumer's view of one pre-drawn round, aliasing the
+// consumer-local block copy; it is valid until the next next() call.
+type kdRound struct {
+	samples []int
+	groups  []groupEntry
+	nonce   uint64
+}
+
+// kdBlock is a batch of pre-drawn rounds in flat layout (bulk-copyable).
+type kdBlock struct {
+	samples []int        // rounds × d raw samples
+	nonces  []uint64     // rounds
+	groups  []groupEntry // concatenated per-round groups (counting kernel)
+	gend    []int32      // per-round end offsets into groups
+}
+
+func newKDBlock(rounds, d int, wantGroups bool) *kdBlock {
+	b := &kdBlock{
+		samples: make([]int, rounds*d),
+		nonces:  make([]uint64, rounds),
+	}
+	if wantGroups {
+		b.groups = make([]groupEntry, 0, rounds*d)
+		b.gend = make([]int32, rounds)
+	}
+	return b
+}
+
+// copyFrom bulk-copies src into b (one streamed pass per array).
+func (b *kdBlock) copyFrom(src *kdBlock) {
+	copy(b.samples, src.samples)
+	copy(b.nonces, src.nonces)
+	if src.gend != nil {
+		b.groups = b.groups[:len(src.groups)]
+		copy(b.groups, src.groups)
+		copy(b.gend, src.gend)
+	}
+}
+
+// kdPipe produces kdRound records ahead of the round loop.
+type kdPipe struct {
+	d      int
+	rounds int
+
+	// Async mode (extra CPUs available): producer goroutine + channels.
+	full chan *kdBlock
+	free chan *kdBlock
+	done chan struct{}
+	once sync.Once
+
+	// Inline mode (single CPU): the consumer fills local itself.
+	inline     bool
+	rng        xrand.Source
+	n          int
+	wantGroups bool
+	gt         *groupTab
+
+	local *kdBlock // consumer-owned copy of the current block
+	idx   int
+	cur   kdRound // scratch for next()'s return value
+}
+
+// pipeEligible reports whether the policy/params combination has the fixed
+// FillIntn-then-nonce round prologue the record pipeline pre-draws.
+func pipeEligible(policy Policy, p Params) bool {
+	switch policy {
+	case KDChoice, DChoice, DynamicKD:
+		return true
+	case SerializedKD:
+		// RandomSigma draws a shuffle after the nonce, so its rounds are
+		// not a fixed prologue.
+		return !p.RandomSigma
+	default:
+		return false
+	}
+}
+
+// kdPipeDepth is the number of producer blocks in flight.
+const kdPipeDepth = 3
+
+// kdPipeRounds sizes a block: ~4096 samples per block, at least 4 rounds.
+func kdPipeRounds(d int) int {
+	r := 4096 / d
+	if r < 4 {
+		r = 4
+	}
+	return r
+}
+
+// newKDPipe starts the engine. wantGroups enables producer-side grouping
+// (the counting kernel's input); rng is owned by the pipe from here on. In
+// async mode a producer goroutine pre-draws blocks; on a single-CPU host
+// the pipe fills blocks inline instead.
+func newKDPipe(rng xrand.Source, n, d int, wantGroups bool) *kdPipe {
+	rounds := kdPipeRounds(d)
+	p := &kdPipe{
+		d:          d,
+		rounds:     rounds,
+		n:          n,
+		wantGroups: wantGroups,
+		local:      newKDBlock(rounds, d, wantGroups),
+	}
+	p.idx = rounds // force a refill on the first next()
+	if runtime.GOMAXPROCS(0) <= 1 {
+		p.inline = true
+		p.rng = rng
+		if wantGroups {
+			p.gt = newGroupTab(d)
+		}
+		return p
+	}
+	p.full = make(chan *kdBlock, kdPipeDepth)
+	p.free = make(chan *kdBlock, kdPipeDepth)
+	p.done = make(chan struct{})
+	for i := 0; i < kdPipeDepth; i++ {
+		p.free <- newKDBlock(rounds, d, wantGroups)
+	}
+	go p.produce(rng, n, wantGroups)
+	return p
+}
+
+// fillBlock pre-draws one block of rounds into b: per round, exactly
+// FillIntn(samples, n) then one Uint64 nonce — the serial prologue — plus
+// the pure grouping pass. Shared by the async producer and inline mode, so
+// the two modes cannot diverge.
+func fillBlock(b *kdBlock, rng xrand.Source, gt *groupTab, n, d, rounds int, wantGroups bool) {
+	if wantGroups {
+		b.groups = b.groups[:0]
+	}
+	for r := 0; r < rounds; r++ {
+		samples := b.samples[r*d : (r+1)*d]
+		rng.FillIntn(samples, n)
+		b.nonces[r] = rng.Uint64()
+		if wantGroups {
+			b.groups = gt.groupInto(samples, b.groups)
+			b.gend[r] = int32(len(b.groups))
+		}
+	}
+}
+
+// produce is the async producer loop.
+func (p *kdPipe) produce(rng xrand.Source, n int, wantGroups bool) {
+	var gt *groupTab
+	if wantGroups {
+		gt = newGroupTab(p.d)
+	}
+	for {
+		var b *kdBlock
+		select {
+		case <-p.done:
+			return
+		case b = <-p.free:
+		}
+		fillBlock(b, rng, gt, n, p.d, p.rounds, wantGroups)
+		select {
+		case <-p.done:
+			return
+		case p.full <- b:
+		}
+	}
+}
+
+// next returns the next pre-drawn round. The returned record (and its
+// samples/groups slices) is valid until the following next call.
+func (p *kdPipe) next() *kdRound {
+	if p.idx == p.rounds {
+		p.advance()
+	}
+	i := p.idx
+	p.idx++
+	b := p.local
+	p.cur.samples = b.samples[i*p.d : (i+1)*p.d]
+	p.cur.nonce = b.nonces[i]
+	if b.gend != nil {
+		start := int32(0)
+		if i > 0 {
+			start = b.gend[i-1]
+		}
+		p.cur.groups = b.groups[start:b.gend[i]]
+	}
+	return &p.cur
+}
+
+// advance refills the local block: inline mode draws it directly; async
+// mode takes the next producer block, bulk-copies it, and recycles it
+// immediately (published blocks are drained before honoring Close).
+func (p *kdPipe) advance() {
+	if p.inline {
+		fillBlock(p.local, p.rng, p.gt, p.n, p.d, p.rounds, p.wantGroups)
+		p.idx = 0
+		return
+	}
+	var b *kdBlock
+	select {
+	case b = <-p.full:
+	default:
+		select {
+		case b = <-p.full:
+		case <-p.done:
+			panic("core: pipelined process used after Close")
+		}
+	}
+	p.local.copyFrom(b)
+	p.free <- b
+	p.idx = 0
+}
+
+// Close stops the producer goroutine (no-op in inline mode). Idempotent.
+func (p *kdPipe) Close() {
+	if p.inline {
+		return
+	}
+	p.once.Do(func() { close(p.done) })
+}
+
+// groupTab is the reusable open-addressed grouping scratch: tab entries
+// pack (bin+1) in the high 32 bits and the multiplicity in the low 32, so
+// an insert or increment is a single word load/store; used records the
+// occupied table slots so clearing is one direct store per distinct bin
+// (no re-probing).
+type groupTab struct {
+	tab  []uint64
+	used []int32
+}
+
+func newGroupTab(d int) *groupTab {
+	return &groupTab{tab: make([]uint64, groupTableSize(d)), used: make([]int32, 0, d)}
+}
+
+// groupInto appends samples grouped by bin to dst ((bin+1, multiplicity)
+// pairs in first-occurrence order). It is the one grouping implementation —
+// the serial round loop and the pipeline producer both call it, so the
+// grouping order can never diverge between engines.
+func (gt *groupTab) groupInto(samples []int, dst []groupEntry) []groupEntry {
+	tab := gt.tab
+	mask := uint32(len(tab) - 1)
+	used := gt.used[:0]
+	for _, b := range samples {
+		key := uint64(b+1) << 32
+		h := uint32((uint64(uint32(b))*0x9e3779b97f4a7c15)>>32) & mask
+		for {
+			e := tab[h]
+			if e == 0 {
+				tab[h] = key | 1
+				used = append(used, int32(h))
+				break
+			}
+			if e&^0xffffffff == key {
+				tab[h] = e + 1
+				break
+			}
+			h = (h + 1) & mask
+		}
+	}
+	for _, h := range used {
+		e := tab[h]
+		tab[h] = 0
+		dst = append(dst, groupEntry{bin: int32(e >> 32), count: int32(e)})
+	}
+	gt.used = used
+	return dst
+}

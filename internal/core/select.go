@@ -11,11 +11,13 @@ import "sort"
 // Two implementations exist:
 //
 //   - fastSelect, the default: O(d + k log k) expected. Samples are grouped
-//     with a per-bin multiplicity scratch (no sort), the k-th smallest
-//     height is located by counting over the round's dense height window,
-//     and random tie keys are derived lazily — only for slots at or below
-//     the boundary height — via a keyed hash of (bin, height) under a
-//     per-round nonce.
+//     by bin with a small open-addressed hash table (O(d) space — the old
+//     per-bin multiplicity array cost O(n) scratch and one random cache
+//     miss per sample at large n, which would have dwarfed the compact
+//     store's 2-bytes/bin budget), the k-th smallest height is located by
+//     counting over the round's dense height window, and random tie keys
+//     are derived lazily — only for slots at or below the boundary height —
+//     via a keyed hash of (bin, height) under a per-round nonce.
 //   - the reference kernel (Params.ReferenceSelect): the original
 //     sort-everything path, kept as the oracle the fast kernel is tested
 //     against.
@@ -36,11 +38,23 @@ func tieKey(nonce uint64, bin, height int) uint64 {
 	return mix64(nonce ^ uint64(bin)*0x9e3779b97f4a7c15 ^ uint64(height)*0xda942042e4dd58b5)
 }
 
-// rankSelect draws the round nonce and returns the toPlace minimum slots of
-// the current pr.samples, ranked ascending. The returned slice aliases
-// process scratch and is valid until the next round.
+// rankSelect draws the round nonce, groups the current pr.samples, and
+// returns the toPlace minimum slots ranked ascending. The returned slice
+// aliases process scratch and is valid until the next round. The pipelined
+// round paths skip this and call rankSelectWith on their pre-drawn record.
 func (pr *Process) rankSelect(toPlace int) []slot {
 	nonce := pr.rng.Uint64()
+	var groups []groupEntry
+	if !pr.p.ReferenceSelect {
+		groups = pr.groupSamples()
+	}
+	return pr.rankSelectWith(nonce, groups, toPlace)
+}
+
+// rankSelectWith is rankSelect with the nonce (and, for the counting
+// kernel, the grouped samples) already materialized — either by rankSelect
+// itself or by the pipeline producer.
+func (pr *Process) rankSelectWith(nonce uint64, groups []groupEntry, toPlace int) []slot {
 	if pr.p.ReferenceSelect {
 		pr.makeSlots(nonce)
 		sortSlots(pr.slots)
@@ -49,28 +63,32 @@ func (pr *Process) rankSelect(toPlace int) []slot {
 		}
 		return pr.slots[:toPlace]
 	}
-	return pr.fastSelect(nonce, toPlace)
+	return pr.fastSelect(nonce, groups, toPlace)
 }
 
-// fastSelect is the O(d + k log k) selection kernel.
-func (pr *Process) fastSelect(nonce uint64, toPlace int) []slot {
-	// Group the samples by bin without sorting: one multiplicity counter
-	// per bin, resetting only the touched entries afterwards.
-	touched := pr.touched[:0]
-	for _, b := range pr.samples {
-		if pr.mult[b] == 0 {
-			touched = append(touched, b)
-		}
-		pr.mult[b]++
-	}
+// groupSamples groups pr.samples by bin in first-occurrence order: a
+// half-full open-addressed hash table over the round's <= d distinct bins.
+// The table lives in L1 regardless of n — the old per-bin multiplicity
+// array cost O(n) scratch and one random cache miss per sample — and the
+// selected slot set does not depend on grouping mechanics (the final
+// ranking is by the (height, tie, bin) total order), so hashing preserves
+// bit-identity with the reference kernel.
+func (pr *Process) groupSamples() []groupEntry {
+	pr.gbuf = pr.gtab.groupInto(pr.samples, pr.gbuf[:0])
+	return pr.gbuf
+}
+
+// fastSelect is the O(d + k log k) selection kernel over pre-grouped
+// samples.
+func (pr *Process) fastSelect(nonce uint64, groups []groupEntry, toPlace int) []slot {
 	// Materialize the slots and the round's height window.
 	slots := pr.slots[:0]
 	minH := int(^uint(0) >> 1)
 	maxH := 0
-	for _, b := range touched {
-		m := int(pr.mult[b])
-		pr.mult[b] = 0
-		load := pr.loads[b]
+	for i := range groups {
+		b := int(groups[i].bin) - 1
+		m := int(groups[i].count)
+		load := pr.store.Load(b)
 		for c := 1; c <= m; c++ {
 			slots = append(slots, slot{bin: b, height: load + c})
 		}
@@ -81,7 +99,6 @@ func (pr *Process) fastSelect(nonce uint64, toPlace int) []slot {
 			maxH = load + m
 		}
 	}
-	pr.touched = touched
 	pr.slots = slots
 	if toPlace > len(slots) {
 		toPlace = len(slots)
@@ -154,8 +171,25 @@ func (pr *Process) fastSelect(nonce uint64, toPlace int) []slot {
 }
 
 // selectSmallestSlots partially sorts s so that s[:k] holds its k smallest
-// elements under the slot total order (expected O(len(s)) quickselect).
+// elements under the slot total order. Small k uses k min-scan passes —
+// the common boundary cohort in steady state is "every slot tied at one
+// height" (the process keeps loads flat), where O(k·len) scans beat
+// quickselect's partition passes — larger k uses expected-O(len)
+// quickselect. Both compute the same smallest-k SET, and the caller sorts
+// the final selection, so the choice cannot affect results.
 func selectSmallestSlots(s []slot, k int) {
+	if k < len(s) && k <= 4 {
+		for i := 0; i < k; i++ {
+			min := i
+			for j := i + 1; j < len(s); j++ {
+				if slotLess(s[j], s[min]) {
+					min = j
+				}
+			}
+			s[i], s[min] = s[min], s[i]
+		}
+		return
+	}
 	for k > 0 && k < len(s) && len(s) > 12 {
 		p := partitionSlots(s)
 		switch {
@@ -195,7 +229,7 @@ func (pr *Process) makeSlots(nonce uint64) {
 		for j < d && sorted[j] == b {
 			j++
 		}
-		load := pr.loads[b]
+		load := pr.store.Load(b)
 		for c := 1; c <= j-i; c++ {
 			slots = append(slots, slot{bin: b, height: load + c, tie: tieKey(nonce, b, load+c)})
 		}

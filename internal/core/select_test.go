@@ -83,13 +83,11 @@ func TestFastSelectSparseFallback(t *testing.T) {
 		pr := MustNew(KDChoice, Params{N: n, K: k, D: d, ReferenceSelect: reference}, xrand.New(seed))
 		// Extreme imbalance: loads 0, 1000, 2000, ... — any round sampling
 		// two different bins spans far more than the counting window.
-		total := 0
-		for b := range pr.loads {
-			pr.loads[b] = b * 1000
-			total += b * 1000
+		loads := make([]int, n)
+		for b := range loads {
+			loads[b] = b * 1000
 		}
-		pr.maxLoad = (n - 1) * 1000
-		pr.balls = total
+		pr.setLoads(loads)
 		return pr
 	}
 	fast, ref := mk(false), mk(true)
@@ -136,11 +134,10 @@ func TestBoundaryTieUniform(t *testing.T) {
 	for i := 0; i < trials; i++ {
 		copy(pr.samples, []int{0, 1, 2, 3})
 		pr.roundKDFromSamples(1)
-		for b := range pr.loads {
-			counts[b] += pr.loads[b]
-			pr.loads[b] = 0
+		for b := 0; b < 4; b++ {
+			counts[b] += pr.Load(b)
 		}
-		pr.balls, pr.maxLoad = 0, 0
+		pr.Reset()
 	}
 	for b, c := range counts {
 		p := float64(c) / trials

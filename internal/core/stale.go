@@ -1,5 +1,11 @@
 package core
 
+import (
+	"sync"
+
+	"repro/internal/loadvec"
+)
+
 // StaleBatch is the parallel-allocation counterpoint to (k,d)-choice: the
 // k balls of a round probe INDEPENDENTLY (PerBallD probes each) and every
 // ball commits to the least loaded of its own probes as of the START of
@@ -12,12 +18,54 @@ package core
 //
 // Message cost is k·PerBallD per round; to compare against A(k,d) at equal
 // budget choose PerBallD = d/k.
+//
+// Because every ball decides against the frozen round-start loads with no
+// shared state, the decision phase is embarrassingly parallel: with
+// Params.Shards > 1 the per-ball argmin computations are split over
+// goroutines while all randomness is drawn serially up front, so the
+// sharded round is bit-identical to the serial one (pinned by
+// TestStaleBatchShardedMatchesSerial, including under -race). Placements
+// are applied serially in ball order afterwards, exactly as in the serial
+// path. This is the one policy where true sharding is semantics-preserving;
+// the round-based (k,d) policies share one probe batch and serialize
+// through the selection kernel, so they cannot shard a round.
 
-// ballStaleBatchRound places toPlace balls, each with its own perBall
-// probes judged against the stale round-start loads.
+// staleDecide returns the destination of one StaleBatch ball: the least
+// loaded of its samples judged against the frozen round-start store, ties
+// broken by the per-(round, ball, bin) keyed hash. It must stay a pure
+// function of (store, nonce, ball, samples) — the sharded round calls it
+// concurrently.
+func staleDecide(store loadvec.Store, nonce uint64, ball int, samples []int) int {
+	best := samples[0]
+	bestLoad := store.Load(best)
+	bestTie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(best)*0x9e3779b97f4a7c15)
+	for _, cand := range samples[1:] {
+		if cand == best {
+			continue
+		}
+		load := store.Load(cand)
+		switch {
+		case load < bestLoad:
+			best, bestLoad = cand, load
+			bestTie = mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15)
+		case load == bestLoad:
+			if tie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15); tie < bestTie {
+				best = cand
+				bestTie = tie
+			}
+		}
+	}
+	return best
+}
+
+// roundStaleBatch places toPlace balls, each with its own perBall probes
+// judged against the stale round-start loads.
 func (pr *Process) roundStaleBatch(toPlace int) {
+	if shards := pr.p.Shards; shards > 1 && toPlace > 1 {
+		pr.roundStaleBatchSharded(toPlace, shards)
+		return
+	}
 	perBall := pr.p.D
-	n := len(pr.loads)
 	nonce := pr.rng.Uint64()
 	placed, heights := pr.beginObs(toPlace)
 	// Decide all destinations against stale loads first.
@@ -26,27 +74,56 @@ func (pr *Process) roundStaleBatch(toPlace int) {
 	}
 	dests := pr.cands[:toPlace]
 	for b := 0; b < toPlace; b++ {
-		pr.rng.FillIntn(pr.samples[:perBall], n)
-		best := pr.samples[0]
-		bestTie := mix64(nonce ^ uint64(b)<<32 ^ uint64(best)*0x9e3779b97f4a7c15)
-		for _, cand := range pr.samples[1:perBall] {
-			if cand == best {
-				continue
-			}
-			switch {
-			case pr.loads[cand] < pr.loads[best]:
-				best = cand
-				bestTie = mix64(nonce ^ uint64(b)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15)
-			case pr.loads[cand] == pr.loads[best]:
-				if tie := mix64(nonce ^ uint64(b)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15); tie < bestTie {
-					best = cand
-					bestTie = tie
-				}
-			}
-		}
-		dests[b] = best
+		pr.rng.FillIntn(pr.samples[:perBall], pr.n)
+		dests[b] = staleDecide(pr.store, nonce, b, pr.samples[:perBall])
 	}
-	// Apply all placements afterwards (round-synchronous commit).
+	pr.applyStaleDests(dests, placed, heights)
+}
+
+// roundStaleBatchSharded is the multi-goroutine round: all randomness (the
+// nonce plus every ball's samples, in ball order) is drawn serially first —
+// the exact draw sequence of the serial path — and only the read-only
+// argmin phase fans out over the shards.
+func (pr *Process) roundStaleBatchSharded(toPlace, shards int) {
+	perBall := pr.p.D
+	nonce := pr.rng.Uint64()
+	placed, heights := pr.beginObs(toPlace)
+	if cap(pr.cands) < toPlace {
+		pr.cands = make([]int, toPlace)
+	}
+	dests := pr.cands[:toPlace]
+	buf := pr.shardBuf[:toPlace*perBall]
+	pr.rng.FillIntn(buf, pr.n)
+
+	if shards > toPlace {
+		shards = toPlace
+	}
+	chunk := (toPlace + shards - 1) / shards
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > toPlace {
+			hi = toPlace
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for b := lo; b < hi; b++ {
+				dests[b] = staleDecide(pr.store, nonce, b, buf[b*perBall:(b+1)*perBall])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	pr.applyStaleDests(dests, placed, heights)
+}
+
+// applyStaleDests commits the round's decisions in ball order (the
+// round-synchronous update) and accounts messages.
+func (pr *Process) applyStaleDests(dests, placed, heights []int) {
 	for i, dst := range dests {
 		h := pr.place(dst)
 		if placed != nil {
@@ -54,6 +131,6 @@ func (pr *Process) roundStaleBatch(toPlace int) {
 			heights[i] = h
 		}
 	}
-	pr.messages += int64(toPlace) * int64(perBall)
+	pr.messages += int64(len(dests)) * int64(pr.p.D)
 	pr.notify(nil, placed, heights)
 }

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loadvec"
+	"repro/internal/xrand"
+)
+
+// allPolicyCases is the directed policy matrix: every supported policy with
+// representative parameters, including the dynamic and stale paths whose
+// max-load/occupancy bookkeeping the new stores must keep consistent.
+func allPolicyCases() []struct {
+	policy Policy
+	p      Params
+} {
+	return []struct {
+		policy Policy
+		p      Params
+	}{
+		{KDChoice, Params{N: 64, K: 2, D: 7}},
+		{KDChoice, Params{N: 64, K: 8, D: 17}},
+		{SerializedKD, Params{N: 64, K: 3, D: 5, Sigma: []int{2, 0, 1}}},
+		{SerializedKD, Params{N: 64, K: 3, D: 5, RandomSigma: true}},
+		{AdaptiveKD, Params{N: 64, K: 2, D: 5}},
+		{DChoice, Params{N: 64, D: 3}},
+		{SingleChoice, Params{N: 64}},
+		{OnePlusBeta, Params{N: 64, Beta: 0.4}},
+		{AlwaysGoLeft, Params{N: 64, D: 4}},
+		{SAx0, Params{N: 64, X0: 9}},
+		{StaleBatch, Params{N: 64, K: 6, D: 3}},
+		{DynamicKD, Params{N: 64, D: 6}},
+	}
+}
+
+// stateEqual compares every observable of two processes.
+func stateEqual(t *testing.T, stage string, ref, got *Process) {
+	t.Helper()
+	if !reflect.DeepEqual(ref.Loads(), got.Loads()) {
+		t.Fatalf("%s: load vectors differ:\nref %v\ngot %v", stage, ref.Loads(), got.Loads())
+	}
+	if ref.MaxLoad() != got.MaxLoad() {
+		t.Fatalf("%s: MaxLoad %d != %d", stage, ref.MaxLoad(), got.MaxLoad())
+	}
+	if ref.Balls() != got.Balls() {
+		t.Fatalf("%s: Balls %d != %d", stage, ref.Balls(), got.Balls())
+	}
+	if ref.Messages() != got.Messages() {
+		t.Fatalf("%s: Messages %d != %d", stage, ref.Messages(), got.Messages())
+	}
+	if ref.Rounds() != got.Rounds() {
+		t.Fatalf("%s: Rounds %d != %d", stage, ref.Rounds(), got.Rounds())
+	}
+	if ref.Discarded() != got.Discarded() {
+		t.Fatalf("%s: Discarded %d != %d", stage, ref.Discarded(), got.Discarded())
+	}
+	if ref.Gap() != got.Gap() {
+		t.Fatalf("%s: Gap %v != %v", stage, ref.Gap(), got.Gap())
+	}
+	// The store's own bookkeeping must agree with a fresh scan.
+	if got.MaxLoad() != got.Loads().Max() {
+		t.Fatalf("%s: store MaxLoad %d != scanned max %d", stage, got.MaxLoad(), got.Loads().Max())
+	}
+	for _, y := range []int{0, 1, ref.MaxLoad(), ref.MaxLoad() + 1} {
+		if ref.NuY(y) != got.NuY(y) {
+			t.Fatalf("%s: NuY(%d) %d != %d", stage, y, ref.NuY(y), got.NuY(y))
+		}
+	}
+}
+
+// TestStorePolicyBitIdentity is the cross-store acceptance property: every
+// policy produces bit-identical loads, max load and message counters on the
+// compact and histogram stores — and on the pipelined engine — for equal
+// seeds, including across a mid-run Reset (which must rebuild the stores'
+// max-load/histogram bookkeeping from scratch).
+func TestStorePolicyBitIdentity(t *testing.T) {
+	variants := []struct {
+		name     string
+		store    loadvec.StoreKind
+		pipeline bool
+	}{
+		{"compact", loadvec.StoreCompact, false},
+		{"hist", loadvec.StoreHist, false},
+		{"dense+pipeline", loadvec.StoreDense, true},
+		{"compact+pipeline", loadvec.StoreCompact, true},
+	}
+	for _, tc := range allPolicyCases() {
+		t.Run(tc.policy.String(), func(t *testing.T) {
+			const seed, m = 12345, 333 // m deliberately not a multiple of any k above
+			ref := MustNew(tc.policy, tc.p, xrand.New(seed))
+			ref.Place(m)
+			for _, v := range variants {
+				p := tc.p
+				p.Store = v.store
+				p.Pipeline = v.pipeline
+				got := MustNew(tc.policy, p, xrand.New(seed))
+				got.Place(m)
+				stateEqual(t, v.name, ref, got)
+
+				// Reset and re-place: the second run continues the random
+				// stream, so it must stay coupled to the reference too.
+				got.Reset()
+				refReset := MustNew(tc.policy, tc.p, xrand.New(seed))
+				refReset.Place(m)
+				refReset.Reset()
+				refReset.Place(m / 2)
+				got.Place(m / 2)
+				stateEqual(t, v.name+"/post-reset", refReset, got)
+				got.Close()
+				refReset.Close()
+			}
+		})
+	}
+}
+
+// TestStorePolicyBitIdentityProperty fuzzes (policy, k, d, seed, m) over
+// the compact and histogram stores.
+func TestStorePolicyBitIdentityProperty(t *testing.T) {
+	policies := []Policy{KDChoice, SerializedKD, AdaptiveKD, StaleBatch, DChoice, DynamicKD}
+	if err := quick.Check(func(seed uint64, pRaw, kRaw, dRaw, mRaw uint8, storeRaw bool) bool {
+		policy := policies[int(pRaw)%len(policies)]
+		k := int(kRaw%6) + 1
+		d := k + 1 + int(dRaw%7)
+		if policy == StaleBatch || policy == DChoice {
+			d = 1 + int(dRaw%5)
+		}
+		m := int(mRaw) * 3
+		p := Params{N: 48, K: k, D: d}
+		ref := MustNew(policy, p, xrand.New(seed))
+		ref.Place(m)
+		p.Store = loadvec.StoreCompact
+		if storeRaw {
+			p.Store = loadvec.StoreHist
+		}
+		got := MustNew(policy, p, xrand.New(seed))
+		got.Place(m)
+		return reflect.DeepEqual(ref.Loads(), got.Loads()) &&
+			ref.MaxLoad() == got.MaxLoad() &&
+			ref.Messages() == got.Messages() &&
+			got.MaxLoad() == got.Loads().Max()
+	}, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaleBatchShardedMatchesSerial pins the sharded round engine: for
+// every store and several shard counts, the sharded StaleBatch process is
+// bit-identical to the serial one (all randomness is drawn serially up
+// front; only the read-only decision phase fans out). Run under -race in CI
+// to prove the decision phase never races the store.
+func TestStaleBatchShardedMatchesSerial(t *testing.T) {
+	for _, store := range []loadvec.StoreKind{loadvec.StoreDense, loadvec.StoreCompact, loadvec.StoreHist} {
+		for _, shards := range []int{2, 3, 8} {
+			const seed = 777
+			p := Params{N: 96, K: 32, D: 3, Store: store}
+			ref := MustNew(StaleBatch, p, xrand.New(seed))
+			p.Shards = shards
+			got := MustNew(StaleBatch, p, xrand.New(seed))
+			// 10 full rounds plus a partial one (m not divisible by k).
+			const m = 32*10 + 7
+			ref.Place(m)
+			got.Place(m)
+			stateEqual(t, store.String(), ref, got)
+		}
+	}
+}
+
+// TestStaleBatchShardedPipelined combines both parallel engines: sharded
+// decisions fed by the pipelined random stream stay bit-identical to the
+// fully serial path.
+func TestStaleBatchShardedPipelined(t *testing.T) {
+	const seed, m = 4242, 515
+	ref := MustNew(StaleBatch, Params{N: 128, K: 50, D: 4}, xrand.New(seed))
+	got := MustNew(StaleBatch, Params{N: 128, K: 50, D: 4, Shards: 4, Pipeline: true, Store: loadvec.StoreCompact}, xrand.New(seed))
+	defer got.Close()
+	ref.Place(m)
+	got.Place(m)
+	stateEqual(t, "sharded+pipelined", ref, got)
+}
+
+// TestPipelinedAsyncMatchesSerial forces the record pipeline's ASYNC mode
+// (producer goroutine + block handoff) by raising GOMAXPROCS, so the
+// concurrent path is exercised — and bit-identical — even when the test
+// host has a single CPU (where newKDPipe would otherwise pick inline
+// mode). Runs under -race in CI.
+func TestPipelinedAsyncMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for _, tc := range []struct {
+		policy Policy
+		p      Params
+	}{
+		{KDChoice, Params{N: 200, K: 2, D: 64}},
+		{SerializedKD, Params{N: 200, K: 3, D: 8, Sigma: []int{1, 2, 0}}},
+		{DChoice, Params{N: 200, D: 3}},
+		{DynamicKD, Params{N: 200, D: 5}},
+	} {
+		const seed, m = 90125, 1111
+		ref := MustNew(tc.policy, tc.p, xrand.New(seed))
+		p := tc.p
+		p.Pipeline = true
+		p.Store = loadvec.StoreCompact
+		got := MustNew(tc.policy, p, xrand.New(seed))
+		if got.kpipe == nil || got.kpipe.inline {
+			t.Fatalf("%v: expected async record pipeline (GOMAXPROCS=%d)", tc.policy, runtime.GOMAXPROCS(0))
+		}
+		ref.Place(m)
+		got.Place(m)
+		stateEqual(t, tc.policy.String()+"/async", ref, got)
+		got.Close()
+		got.Close() // idempotent
+	}
+}
+
+// TestPipelinedObserverSeesSamples: the pipelined rounds must hand the
+// observer the round's true raw samples (copied into the consumer-local
+// block), under both pipe modes.
+func TestPipelinedObserverSeesSamples(t *testing.T) {
+	run := func(name string) {
+		t.Helper()
+		pr := MustNew(KDChoice, Params{N: 128, K: 2, D: 9, Pipeline: true}, xrand.New(44))
+		defer pr.Close()
+		rc := &ruleChecker{t: t}
+		pr.SetObserver(rc)
+		pr.Place(512)
+		if rc.rounds != pr.Rounds() {
+			t.Fatalf("%s: observer saw %d rounds, process ran %d", name, rc.rounds, pr.Rounds())
+		}
+		if rc.maxSeen != pr.MaxLoad() {
+			t.Fatalf("%s: max height seen %d != max load %d", name, rc.maxSeen, pr.MaxLoad())
+		}
+	}
+	run("default-mode")
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	run("async-mode")
+}
+
+// TestShardsValidation: only StaleBatch may shard.
+func TestShardsValidation(t *testing.T) {
+	if err := Validate(KDChoice, Params{N: 8, K: 1, D: 2, Shards: 2}); err == nil {
+		t.Fatal("KDChoice accepted Shards > 1")
+	}
+	if err := Validate(StaleBatch, Params{N: 8, K: 2, D: 2, Shards: 4}); err != nil {
+		t.Fatalf("StaleBatch rejected Shards: %v", err)
+	}
+	if err := Validate(StaleBatch, Params{N: 8, K: 2, D: 2, Shards: -1}); err == nil {
+		t.Fatal("negative Shards accepted")
+	}
+	if err := Validate(KDChoice, Params{N: 8, K: 1, D: 2, Store: loadvec.StoreKind(9)}); err == nil {
+		t.Fatal("unknown store accepted")
+	}
+}
+
+// TestSAx0LoadCountConsistentAcrossStores: the SAx0 rank histogram (process
+// bookkeeping) must stay consistent with the store's occupancy counts on
+// every store.
+func TestSAx0LoadCountConsistentAcrossStores(t *testing.T) {
+	for _, store := range []loadvec.StoreKind{loadvec.StoreDense, loadvec.StoreCompact, loadvec.StoreHist} {
+		pr := MustNew(SAx0, Params{N: 64, X0: 8, Store: store}, xrand.New(3))
+		pr.Place(500)
+		for y := 0; y <= pr.MaxLoad(); y++ {
+			want := pr.NuY(y) - pr.NuY(y+1) // bins with load exactly y
+			if pr.loadCount[y] != want {
+				t.Fatalf("%s: loadCount[%d] = %d, want %d", store, y, pr.loadCount[y], want)
+			}
+		}
+	}
+}
+
+// TestRoundAllocationFreeEngines extends the zero-allocs-per-round pin to
+// the new engines: compact and histogram stores, the pipelined sampler, and
+// sharded StaleBatch rounds (goroutine launches recycle g's, so the steady
+// state stays allocation-free).
+func TestRoundAllocationFreeEngines(t *testing.T) {
+	cases := []struct {
+		name   string
+		policy Policy
+		p      Params
+	}{
+		{"kd/compact", KDChoice, Params{N: 4096, K: 2, D: 64, Store: loadvec.StoreCompact}},
+		{"kd/hist", KDChoice, Params{N: 4096, K: 2, D: 64, Store: loadvec.StoreHist}},
+		{"kd/pipeline", KDChoice, Params{N: 4096, K: 2, D: 64, Pipeline: true}},
+		{"kd/compact+pipeline", KDChoice, Params{N: 4096, K: 2, D: 64, Store: loadvec.StoreCompact, Pipeline: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pr := MustNew(tc.policy, tc.p, xrand.New(9))
+			defer pr.Close()
+			pr.Place(4096) // warm the scratch buffers and pipeline blocks
+			if avg := testing.AllocsPerRun(200, pr.Round); avg != 0 {
+				t.Fatalf("%v allocs per round, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestCompactStoreEscapeUnderProcess drives a tiny-bin single-choice
+// process far past the uint16 range so the escape path runs inside a real
+// process, coupled against the dense reference.
+func TestCompactStoreEscapeUnderProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long escape run")
+	}
+	const seed = 11
+	const m = 3 * 70000 // ~70k balls per bin across 3 bins
+	ref := MustNew(SingleChoice, Params{N: 3}, xrand.New(seed))
+	got := MustNew(SingleChoice, Params{N: 3, Store: loadvec.StoreCompact}, xrand.New(seed))
+	ref.Place(m)
+	got.Place(m)
+	stateEqual(t, "escape", ref, got)
+	if got.MaxLoad() <= 65535 {
+		t.Fatalf("test did not cross the escape threshold (max %d)", got.MaxLoad())
+	}
+}

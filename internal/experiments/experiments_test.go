@@ -346,3 +346,46 @@ func TestSchedulerComparisonSkipsInfeasibleK(t *testing.T) {
 		t.Fatal("infeasible cluster accepted")
 	}
 }
+
+func TestHeavyScaleQuick(t *testing.T) {
+	points, err := HeavyScale(HeavyScaleOpts{
+		Ns:   []int{512, 2048},
+		Mult: 8,
+		Runs: 2,
+		Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Balls != 8*p.N {
+			t.Fatalf("n=%d: balls = %d, want %d", p.N, p.Balls, 8*p.N)
+		}
+		// Theorem 2: the gap stays far below any linear-in-m/n growth; at
+		// (2,64) it is O(1) with generous slack.
+		if p.MeanGap < 0 || p.MeanGap > 5 {
+			t.Fatalf("n=%d: gap %v out of the Theorem 2 window", p.N, p.MeanGap)
+		}
+		if p.GapUpper <= 0 {
+			t.Fatalf("n=%d: missing upper term", p.N)
+		}
+		// ν_{avg+1} comes from the streamed occupancy profile and is
+		// bounded by the bin count.
+		if p.AboveAvg < 0 || p.AboveAvg > float64(p.N) {
+			t.Fatalf("n=%d: AboveAvg %v out of range", p.N, p.AboveAvg)
+		}
+	}
+	// Determinism: the same options reproduce the same points.
+	again, err := HeavyScale(HeavyScaleOpts{Ns: []int{512, 2048}, Mult: 8, Runs: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if points[i] != again[i] {
+			t.Fatalf("HeavyScale not deterministic at point %d", i)
+		}
+	}
+}

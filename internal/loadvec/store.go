@@ -1,0 +1,460 @@
+package loadvec
+
+// This file defines Store, the bin-load state abstraction behind the core
+// allocation engine. A Store holds the load of every bin and maintains the
+// aggregate statistics the processes and experiments query after (or during)
+// a run: maximum load, total balls, and the occupancy counts ν_y.
+//
+// Three implementations exist, selectable per run:
+//
+//   - DenseStore: the reference representation, one int per bin (8 B/bin).
+//   - CompactStore: one uint16 per bin (2 B/bin) with an overflow escape —
+//     a cell that reaches load 65535 is marked escaped and its true load
+//     moves to a wide side table. The paper's regimes keep loads tiny
+//     (Theorems 1-2: O(ln ln n) or m/n + O(1)), so in practice the side
+//     table stays empty and a 10⁸-bin run fits in ~200 MB instead of 800.
+//   - HistStore: int32 loads (4 B/bin) plus a maintained load histogram
+//     (count[y] = bins with load exactly y), giving MaxLoad, Gap and NuY
+//     without ever scanning the n bins — NuY costs O(max load − y), and max
+//     load in the processes studied here is tiny compared to n.
+//
+// All stores are exact: loads never saturate or approximate, so every
+// process produces bit-identical results on every store for equal seeds
+// (pinned by the cross-store equivalence tests in internal/core).
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// StoreKind selects a Store implementation.
+type StoreKind int
+
+// Supported store kinds.
+const (
+	// StoreDense is the reference []int representation (8 bytes/bin).
+	StoreDense StoreKind = iota
+	// StoreCompact is the uint16-with-overflow-escape representation
+	// (2 bytes/bin steady state).
+	StoreCompact
+	// StoreHist is the histogram-indexed representation (4 bytes/bin,
+	// occupancy statistics without scanning the bins).
+	StoreHist
+)
+
+var storeNames = map[StoreKind]string{
+	StoreDense:   "dense",
+	StoreCompact: "compact",
+	StoreHist:    "hist",
+}
+
+// String returns the canonical short name of the store kind.
+func (k StoreKind) String() string {
+	if s, ok := storeNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("store(%d)", int(k))
+}
+
+// StoreNames returns the canonical store names in sorted order.
+func StoreNames() []string {
+	names := make([]string, 0, len(storeNames))
+	for _, n := range storeNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseStoreKind converts a short name (as printed by StoreKind.String)
+// back into a StoreKind.
+func ParseStoreKind(s string) (StoreKind, error) {
+	for k, name := range storeNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("loadvec: unknown store %q (valid: %v)", s, StoreNames())
+}
+
+// Store is the bin-load state of an allocation process. Loads only ever
+// grow through Add; Set exists for test scenarios and snapshot restoration.
+// A Store is not safe for concurrent mutation, but concurrent reads
+// (Load/MaxLoad/NuY) with no writer are safe — the sharded StaleBatch round
+// relies on this during its read-only decision phase.
+type Store interface {
+	// Kind identifies the implementation.
+	Kind() StoreKind
+	// Len returns the number of bins.
+	Len() int
+	// Load returns the load of the given bin.
+	Load(bin int) int
+	// Add places one ball into the bin and returns its new load (the
+	// ball's height).
+	Add(bin int) int
+	// Set overwrites the bin's load, keeping the aggregate bookkeeping
+	// (balls, max load, histogram) consistent. Not a hot-path operation.
+	Set(bin, load int)
+	// MaxLoad returns the current maximum load in O(1).
+	MaxLoad() int
+	// Balls returns the total number of balls held.
+	Balls() int
+	// NuY returns ν_y, the number of bins with at least y balls.
+	NuY(y int) int
+	// Vector returns a dense copy of the per-bin loads.
+	Vector() Vector
+	// Reset restores all bins to empty.
+	Reset()
+	// BytesPerBin reports the approximate steady-state memory cost per bin
+	// of this store instance.
+	BytesPerBin() float64
+}
+
+// NewStore constructs the store of the given kind over n bins.
+func NewStore(kind StoreKind, n int) (Store, error) {
+	switch kind {
+	case StoreDense:
+		return NewDense(n), nil
+	case StoreCompact:
+		return NewCompact(n), nil
+	case StoreHist:
+		return NewHist(n), nil
+	default:
+		return nil, fmt.Errorf("loadvec: unknown store kind %d (valid: %v)", int(kind), StoreNames())
+	}
+}
+
+// DenseStore is the reference representation: one int per bin.
+type DenseStore struct {
+	loads []int
+	max   int
+	balls int
+}
+
+// NewDense returns an empty dense store over n bins.
+func NewDense(n int) *DenseStore {
+	return &DenseStore{loads: make([]int, n)}
+}
+
+// Kind implements Store.
+func (s *DenseStore) Kind() StoreKind { return StoreDense }
+
+// Len implements Store.
+func (s *DenseStore) Len() int { return len(s.loads) }
+
+// Load implements Store.
+func (s *DenseStore) Load(bin int) int { return s.loads[bin] }
+
+// Add implements Store.
+func (s *DenseStore) Add(bin int) int {
+	s.loads[bin]++
+	h := s.loads[bin]
+	if h > s.max {
+		s.max = h
+	}
+	s.balls++
+	return h
+}
+
+// Set implements Store.
+func (s *DenseStore) Set(bin, load int) {
+	old := s.loads[bin]
+	s.loads[bin] = load
+	s.balls += load - old
+	switch {
+	case load > s.max:
+		s.max = load
+	case old == s.max && load < old:
+		s.max = Vector(s.loads).Max()
+	}
+}
+
+// MaxLoad implements Store.
+func (s *DenseStore) MaxLoad() int { return s.max }
+
+// Balls implements Store.
+func (s *DenseStore) Balls() int { return s.balls }
+
+// NuY implements Store.
+func (s *DenseStore) NuY(y int) int { return Vector(s.loads).NuY(y) }
+
+// Vector implements Store.
+func (s *DenseStore) Vector() Vector { return Vector(s.loads).Clone() }
+
+// Reset implements Store.
+func (s *DenseStore) Reset() {
+	for i := range s.loads {
+		s.loads[i] = 0
+	}
+	s.max, s.balls = 0, 0
+}
+
+// BytesPerBin implements Store.
+func (s *DenseStore) BytesPerBin() float64 { return 8 }
+
+// escape16 marks a compact cell whose load outgrew uint16; the true load
+// lives in the wide side table.
+const escape16 = math.MaxUint16
+
+// CompactStore holds one uint16 per bin; cells that reach load 65535 escape
+// to a wide side table. Loads stay exact at every magnitude.
+type CompactStore struct {
+	small []uint16
+	wide  map[int]int
+	max   int
+	balls int
+}
+
+// NewCompact returns an empty compact store over n bins.
+func NewCompact(n int) *CompactStore {
+	return &CompactStore{small: make([]uint16, n), wide: make(map[int]int)}
+}
+
+// Kind implements Store.
+func (s *CompactStore) Kind() StoreKind { return StoreCompact }
+
+// Len implements Store.
+func (s *CompactStore) Len() int { return len(s.small) }
+
+// Load implements Store.
+func (s *CompactStore) Load(bin int) int {
+	if v := s.small[bin]; v != escape16 {
+		return int(v)
+	}
+	return s.wide[bin]
+}
+
+// Add implements Store.
+func (s *CompactStore) Add(bin int) int {
+	var h int
+	switch v := s.small[bin]; {
+	case v == escape16:
+		h = s.wide[bin] + 1
+		s.wide[bin] = h
+	case v == escape16-1:
+		// The cell reaches the escape sentinel: move it to the wide table.
+		h = escape16
+		s.small[bin] = escape16
+		s.wide[bin] = h
+	default:
+		s.small[bin] = v + 1
+		h = int(v) + 1
+	}
+	if h > s.max {
+		s.max = h
+	}
+	s.balls++
+	return h
+}
+
+// Set implements Store.
+func (s *CompactStore) Set(bin, load int) {
+	old := s.Load(bin)
+	if s.small[bin] == escape16 {
+		delete(s.wide, bin)
+	}
+	if load >= escape16 {
+		s.small[bin] = escape16
+		s.wide[bin] = load
+	} else {
+		s.small[bin] = uint16(load)
+	}
+	s.balls += load - old
+	switch {
+	case load > s.max:
+		s.max = load
+	case old == s.max && load < old:
+		s.max = s.rescanMax()
+	}
+}
+
+func (s *CompactStore) rescanMax() int {
+	m := 0
+	for bin := range s.small {
+		if v := s.Load(bin); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxLoad implements Store.
+func (s *CompactStore) MaxLoad() int { return s.max }
+
+// Balls implements Store.
+func (s *CompactStore) Balls() int { return s.balls }
+
+// NuY implements Store.
+func (s *CompactStore) NuY(y int) int {
+	if y <= 0 {
+		return len(s.small)
+	}
+	c := 0
+	if y >= escape16 {
+		// Only escaped cells can hold loads this large.
+		for _, v := range s.wide {
+			if v >= y {
+				c++
+			}
+		}
+		return c
+	}
+	yy := uint16(y)
+	for _, v := range s.small {
+		if v >= yy {
+			c++ // escaped cells (v == escape16) hold >= 65535 >= y
+		}
+	}
+	return c
+}
+
+// Vector implements Store.
+func (s *CompactStore) Vector() Vector {
+	out := make(Vector, len(s.small))
+	for i, v := range s.small {
+		if v == escape16 {
+			out[i] = s.wide[i]
+		} else {
+			out[i] = int(v)
+		}
+	}
+	return out
+}
+
+// Reset implements Store.
+func (s *CompactStore) Reset() {
+	for i := range s.small {
+		s.small[i] = 0
+	}
+	s.wide = make(map[int]int)
+	s.max, s.balls = 0, 0
+}
+
+// BytesPerBin implements Store.
+func (s *CompactStore) BytesPerBin() float64 {
+	// ~48 bytes per escaped entry is a conservative map-overhead estimate.
+	return 2 + float64(len(s.wide)*48)/float64(len(s.small))
+}
+
+// Escaped returns the number of bins currently in the wide side table.
+func (s *CompactStore) Escaped() int { return len(s.wide) }
+
+// HistStore keeps int32 loads plus a maintained histogram over load values,
+// so MaxLoad, Balls and NuY never scan the bins: NuY(y) sums the histogram
+// tail above y, which is O(max load − y) — and max load is exponentially
+// smaller than n in every regime the paper studies.
+type HistStore struct {
+	loads []int32
+	// count[y] = number of bins with load exactly y; len(count) = max+1
+	// (grown on demand).
+	count []int
+	max   int
+	balls int
+}
+
+// NewHist returns an empty histogram-indexed store over n bins.
+func NewHist(n int) *HistStore {
+	return &HistStore{loads: make([]int32, n), count: []int{n}}
+}
+
+// Kind implements Store.
+func (s *HistStore) Kind() StoreKind { return StoreHist }
+
+// Len implements Store.
+func (s *HistStore) Len() int { return len(s.loads) }
+
+// Load implements Store.
+func (s *HistStore) Load(bin int) int { return int(s.loads[bin]) }
+
+// Add implements Store.
+func (s *HistStore) Add(bin int) int {
+	y := int(s.loads[bin])
+	s.loads[bin] = int32(y + 1)
+	s.count[y]--
+	if y+1 >= len(s.count) {
+		s.count = append(s.count, 0)
+	}
+	s.count[y+1]++
+	if y+1 > s.max {
+		s.max = y + 1
+	}
+	s.balls++
+	return y + 1
+}
+
+// Set implements Store.
+func (s *HistStore) Set(bin, load int) {
+	if load > math.MaxInt32 {
+		panic("loadvec: HistStore load exceeds int32")
+	}
+	old := int(s.loads[bin])
+	s.loads[bin] = int32(load)
+	s.count[old]--
+	for load >= len(s.count) {
+		s.count = append(s.count, 0)
+	}
+	s.count[load]++
+	s.balls += load - old
+	if load > s.max {
+		s.max = load
+	} else if old == s.max {
+		// Walk the histogram down; no bin scan needed.
+		for s.max > 0 && s.count[s.max] == 0 {
+			s.max--
+		}
+	}
+}
+
+// MaxLoad implements Store.
+func (s *HistStore) MaxLoad() int { return s.max }
+
+// Balls implements Store.
+func (s *HistStore) Balls() int { return s.balls }
+
+// NuY implements Store.
+func (s *HistStore) NuY(y int) int {
+	if y <= 0 {
+		return len(s.loads)
+	}
+	if y > s.max {
+		return 0
+	}
+	c := 0
+	for h := y; h <= s.max; h++ {
+		c += s.count[h]
+	}
+	return c
+}
+
+// Histogram returns a copy of count[0..MaxLoad()], where count[y] is the
+// number of bins holding exactly y balls.
+func (s *HistStore) Histogram() []int {
+	out := make([]int, s.max+1)
+	copy(out, s.count[:s.max+1])
+	return out
+}
+
+// Vector implements Store.
+func (s *HistStore) Vector() Vector {
+	out := make(Vector, len(s.loads))
+	for i, v := range s.loads {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Reset implements Store.
+func (s *HistStore) Reset() {
+	for i := range s.loads {
+		s.loads[i] = 0
+	}
+	s.count = s.count[:1]
+	s.count[0] = len(s.loads)
+	s.max, s.balls = 0, 0
+}
+
+// BytesPerBin implements Store.
+func (s *HistStore) BytesPerBin() float64 {
+	return 4 + float64(8*len(s.count))/float64(len(s.loads))
+}

@@ -1,0 +1,236 @@
+package loadvec
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func allStores(t *testing.T, n int) map[string]Store {
+	t.Helper()
+	out := make(map[string]Store)
+	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist} {
+		s, err := NewStore(kind, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Kind() != kind {
+			t.Fatalf("Kind() = %v, want %v", s.Kind(), kind)
+		}
+		out[kind.String()] = s
+	}
+	return out
+}
+
+func TestStoreKindRoundTrip(t *testing.T) {
+	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist} {
+		got, err := ParseStoreKind(kind.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != kind {
+			t.Fatalf("round trip %v -> %q -> %v", kind, kind.String(), got)
+		}
+	}
+	if _, err := ParseStoreKind("nope"); err == nil {
+		t.Fatal("ParseStoreKind accepted garbage")
+	}
+	if _, err := NewStore(StoreKind(99), 4); err == nil {
+		t.Fatal("NewStore accepted an unknown kind")
+	}
+	names := StoreNames()
+	want := []string{"compact", "dense", "hist"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("StoreNames() = %v, want sorted %v", names, want)
+	}
+}
+
+// TestStoresAgreeWithDense drives all three stores through an identical
+// random-ish Add/Set/Reset schedule and checks every accessor agrees with
+// the dense reference after every mutation batch.
+func TestStoresAgreeWithDense(t *testing.T) {
+	const n = 17
+	stores := allStores(t, n)
+	ref := stores["dense"]
+
+	check := func(stage string) {
+		t.Helper()
+		want := ref.Vector()
+		for name, s := range stores {
+			if s.Len() != n {
+				t.Fatalf("%s/%s: Len = %d", stage, name, s.Len())
+			}
+			if got := s.Vector(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%s: Vector = %v, want %v", stage, name, got, want)
+			}
+			for b := 0; b < n; b++ {
+				if s.Load(b) != want[b] {
+					t.Fatalf("%s/%s: Load(%d) = %d, want %d", stage, name, b, s.Load(b), want[b])
+				}
+			}
+			if s.MaxLoad() != ref.MaxLoad() {
+				t.Fatalf("%s/%s: MaxLoad = %d, want %d", stage, name, s.MaxLoad(), ref.MaxLoad())
+			}
+			if s.Balls() != ref.Balls() {
+				t.Fatalf("%s/%s: Balls = %d, want %d", stage, name, s.Balls(), ref.Balls())
+			}
+			for y := -1; y <= ref.MaxLoad()+2; y++ {
+				if s.NuY(y) != ref.NuY(y) {
+					t.Fatalf("%s/%s: NuY(%d) = %d, want %d", stage, name, y, s.NuY(y), ref.NuY(y))
+				}
+			}
+		}
+	}
+
+	add := func(bin int) {
+		var want int
+		first := true
+		for name, s := range stores {
+			h := s.Add(bin)
+			if first {
+				want, first = h, false
+			} else if h != want {
+				t.Fatalf("Add(%d) on %s returned %d, other store returned %d", bin, name, h, want)
+			}
+		}
+	}
+
+	for i := 0; i < 200; i++ {
+		add((i * 7) % n)
+	}
+	check("adds")
+
+	for _, s := range stores {
+		s.Set(3, 0)
+		s.Set(5, 42)
+	}
+	check("sets")
+
+	// Lowering the unique maximum must rescan correctly.
+	for _, s := range stores {
+		s.Set(5, 1)
+	}
+	check("lower-max")
+
+	for _, s := range stores {
+		s.Reset()
+	}
+	check("reset")
+	if ref.Balls() != 0 || ref.MaxLoad() != 0 {
+		t.Fatal("reset left non-zero aggregates")
+	}
+
+	for i := 0; i < 50; i++ {
+		add(i % n)
+	}
+	check("post-reset adds")
+}
+
+// TestCompactOverflowEscape pushes a bin past the uint16 range and checks
+// the wide-cell escape keeps loads exact.
+func TestCompactOverflowEscape(t *testing.T) {
+	s := NewCompact(3)
+	d := NewDense(3)
+	const target = escape16 + 10
+	for i := 0; i < target; i++ {
+		hs := s.Add(1)
+		hd := d.Add(1)
+		if hs != hd {
+			t.Fatalf("height diverged at ball %d: compact %d dense %d", i, hs, hd)
+		}
+	}
+	if s.Escaped() != 1 {
+		t.Fatalf("Escaped = %d, want 1", s.Escaped())
+	}
+	if s.Load(1) != target || s.MaxLoad() != target {
+		t.Fatalf("Load/MaxLoad = %d/%d, want %d", s.Load(1), s.MaxLoad(), target)
+	}
+	if got, want := s.Vector(), d.Vector(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Vector = %v, want %v", got, want)
+	}
+	for _, y := range []int{0, 1, escape16 - 1, escape16, target, target + 1} {
+		if s.NuY(y) != d.NuY(y) {
+			t.Fatalf("NuY(%d) = %d, want %d", y, s.NuY(y), d.NuY(y))
+		}
+	}
+	// Set across the escape boundary in both directions.
+	s.Set(1, 5)
+	d.Set(1, 5)
+	if s.Escaped() != 0 {
+		t.Fatalf("Escaped after Set = %d, want 0", s.Escaped())
+	}
+	s.Set(2, escape16+3)
+	d.Set(2, escape16+3)
+	if !reflect.DeepEqual(s.Vector(), d.Vector()) || s.MaxLoad() != d.MaxLoad() || s.Balls() != d.Balls() {
+		t.Fatalf("post-Set state diverged: %v vs %v", s.Vector(), d.Vector())
+	}
+	s.Reset()
+	if s.Escaped() != 0 || s.Balls() != 0 || s.MaxLoad() != 0 {
+		t.Fatal("Reset left escaped state behind")
+	}
+}
+
+// TestHistStoreHistogram checks the maintained histogram against the dense
+// Vector().Histogram().
+func TestHistStoreHistogram(t *testing.T) {
+	s := NewHist(9)
+	for i := 0; i < 40; i++ {
+		s.Add((i * i) % 9)
+	}
+	got := s.Histogram()
+	want := s.Vector().Histogram()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Histogram = %v, want %v", got, want)
+	}
+}
+
+// TestStoreAgreementProperty: random Add schedules leave all stores in
+// identical observable states.
+func TestStoreAgreementProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, nRaw, ballsRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		balls := int(ballsRaw) * 4
+		stores := []Store{NewDense(n), NewCompact(n), NewHist(n)}
+		st := seed
+		next := func() uint64 { // splitmix-style local stream
+			st += 0x9e3779b97f4a7c15
+			z := st
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			return z ^ (z >> 27)
+		}
+		for i := 0; i < balls; i++ {
+			bin := int(next() % uint64(n))
+			h := stores[0].Add(bin)
+			for _, s := range stores[1:] {
+				if s.Add(bin) != h {
+					return false
+				}
+			}
+		}
+		ref := stores[0]
+		for _, s := range stores[1:] {
+			if !reflect.DeepEqual(s.Vector(), ref.Vector()) ||
+				s.MaxLoad() != ref.MaxLoad() || s.Balls() != ref.Balls() ||
+				s.NuY(ref.MaxLoad()) != ref.NuY(ref.MaxLoad()) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreBytesPerBin(t *testing.T) {
+	n := 64
+	stores := allStores(t, n)
+	if b := stores["dense"].BytesPerBin(); b != 8 {
+		t.Fatalf("dense BytesPerBin = %v", b)
+	}
+	if b := stores["compact"].BytesPerBin(); b != 2 {
+		t.Fatalf("compact BytesPerBin (no escapes) = %v", b)
+	}
+	if b := stores["hist"].BytesPerBin(); b < 4 {
+		t.Fatalf("hist BytesPerBin = %v", b)
+	}
+}

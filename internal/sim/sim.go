@@ -46,8 +46,15 @@ type Config struct {
 	// pool size is shared across cells and passed explicitly.
 	Workers int
 	// CollectLoads retains each run's final load vector (memory: Runs × N
-	// ints); required by the profile/figure experiments.
+	// ints); required by RunLoads and the per-run figure experiments.
 	CollectLoads bool
+	// CollectProfiles streams each finished run's sorted-load profile and
+	// occupancy counts into shared integer accumulators instead of
+	// retaining the vector: memory stays O(N) for the whole cell rather
+	// than O(Runs × N), which is what lets giant heavy-load grids compute
+	// MeanSortedProfile/MeanNuY. The sums are integers, so the aggregate is
+	// exactly independent of worker count and scheduling order.
+	CollectProfiles bool
 }
 
 // balls returns the effective ball count.
@@ -77,6 +84,37 @@ type Result struct {
 	Discarded []int
 	// Loads is populated when Config.CollectLoads is set.
 	Loads []loadvec.Vector
+
+	// Streaming profile accumulators (Config.CollectProfiles): position-
+	// wise sums of the sorted load vectors and of the ν_y occupancy counts
+	// over finished runs. Integer sums commute, so the totals are identical
+	// for any worker count. Guarded by profMu while runs are in flight.
+	profMu     sync.Mutex
+	profileSum []int64
+	nuSum      []int64
+	profRuns   int
+}
+
+// accumulateProfile folds one finished run's load vector into the streaming
+// accumulators and drops it.
+func (r *Result) accumulateProfile(v loadvec.Vector) {
+	sorted := v.Sorted()
+	nu := v.NuAll()
+	r.profMu.Lock()
+	defer r.profMu.Unlock()
+	if r.profileSum == nil {
+		r.profileSum = make([]int64, len(sorted))
+	}
+	for i, x := range sorted {
+		r.profileSum[i] += int64(x)
+	}
+	for len(r.nuSum) < len(nu) {
+		r.nuSum = append(r.nuSum, 0)
+	}
+	for y, c := range nu {
+		r.nuSum[y] += int64(c)
+	}
+	r.profRuns++
 }
 
 // newResult preallocates the per-run slots for one cell.
@@ -201,6 +239,9 @@ func RunAll(workers int, cfgs []Config) ([]*Result, error) {
 		if err != nil {
 			return err
 		}
+		// Release the pipelined engine's producer (no-op otherwise) even on
+		// early exits, so failed batches never leak goroutines.
+		defer pr.Close()
 		pr.Place(cfg.balls())
 		res := results[cell]
 		res.MaxLoads[run] = pr.MaxLoad()
@@ -209,8 +250,14 @@ func RunAll(workers int, cfgs []Config) ([]*Result, error) {
 		if res.Discarded != nil {
 			res.Discarded[run] = pr.Discarded()
 		}
-		if cfg.CollectLoads {
-			res.Loads[run] = pr.Loads()
+		if cfg.CollectLoads || cfg.CollectProfiles {
+			v := pr.Loads()
+			if cfg.CollectLoads {
+				res.Loads[run] = v
+			}
+			if cfg.CollectProfiles {
+				res.accumulateProfile(v)
+			}
 		}
 		return nil
 	})
@@ -277,17 +324,32 @@ func (r *Result) MeanMessages() float64 {
 	return float64(sum) / float64(len(r.Messages))
 }
 
-// ErrNoLoads is returned by the profile accessors when the runs did not
-// retain their load vectors (Config.CollectLoads unset).
-var ErrNoLoads = fmt.Errorf("sim: result has no load vectors (Config.CollectLoads was not set)")
+// ErrNoLoads is returned by the profile accessors when the runs neither
+// retained their load vectors (Config.CollectLoads) nor streamed profile
+// sums (Config.CollectProfiles).
+var ErrNoLoads = fmt.Errorf("sim: result has no load vectors (set Config.CollectLoads or CollectProfiles)")
+
+// HasProfiles reports whether the profile accessors can serve (either raw
+// vectors or streamed sums are present).
+func (r *Result) HasProfiles() bool {
+	return r.Loads != nil || r.profileSum != nil
+}
 
 // MeanSortedProfile returns the position-wise mean of the sorted (desc)
 // load vectors over all runs: element x-1 approximates E[B_x], the paper's
-// sorted-load curve (Figures 1 and 2). It fails unless the runs collected
-// load vectors.
+// sorted-load curve (Figures 1 and 2). It serves from the retained vectors
+// (CollectLoads) or, without them, from the streamed integer sums
+// (CollectProfiles); it fails when the runs collected neither.
 func (r *Result) MeanSortedProfile() ([]float64, error) {
 	if r.Loads == nil {
-		return nil, ErrNoLoads
+		if r.profileSum == nil {
+			return nil, ErrNoLoads
+		}
+		acc := make([]float64, len(r.profileSum))
+		for i, s := range r.profileSum {
+			acc[i] = float64(s) / float64(r.profRuns)
+		}
+		return acc, nil
 	}
 	n := r.Config.Params.N
 	acc := make([]float64, n)
@@ -303,11 +365,18 @@ func (r *Result) MeanSortedProfile() ([]float64, error) {
 	return acc, nil
 }
 
-// MeanNuY returns the run-averaged ν_y for y in [0, maxload]. It fails
-// unless the runs collected load vectors.
+// MeanNuY returns the run-averaged ν_y for y in [0, maxload]. Like
+// MeanSortedProfile it serves from retained vectors or streamed sums.
 func (r *Result) MeanNuY() ([]float64, error) {
 	if r.Loads == nil {
-		return nil, ErrNoLoads
+		if r.nuSum == nil {
+			return nil, ErrNoLoads
+		}
+		acc := make([]float64, len(r.nuSum))
+		for y, s := range r.nuSum {
+			acc[y] = float64(s) / float64(r.profRuns)
+		}
+		return acc, nil
 	}
 	maxY := 0
 	for _, m := range r.MaxLoads {

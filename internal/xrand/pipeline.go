@@ -1,0 +1,227 @@
+package xrand
+
+// This file implements the within-run pipelined random engine: a Pipelined
+// source runs a producer goroutine that pre-fills fixed-size blocks of raw
+// 64-bit outputs from an underlying stream, in stream order, while the
+// consumer (the allocation round loop) derives samples from the buffered
+// words. Every derived operation (bounded integers, floats, shuffles)
+// replicates Rand's logic over the identical word sequence, so a Pipelined
+// source is bit-identical to its underlying Rand by construction — the
+// property TestPipelinedMatchesRand pins. The handoff uses channels, so the
+// producer/consumer ordering is a happens-before edge and the engine is
+// clean under the race detector.
+//
+// Blocks are recycled through a free list, so the steady state performs
+// zero allocations. Close releases the producer goroutine; a Pipelined
+// source must not be used after Close.
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Source is the random-stream interface the allocation engine consumes.
+// Both *Rand and *Pipelined implement it; for the same underlying seed the
+// two produce identical value sequences, so swapping one for the other
+// never changes a seeded experiment.
+type Source interface {
+	Uint64() uint64
+	Uint64n(n uint64) uint64
+	Intn(n int) int
+	Float64() float64
+	Bool() bool
+	Bernoulli(p float64) bool
+	Shuffle(n int, swap func(i, j int))
+	FillIntn(dst []int, n int)
+}
+
+var (
+	_ Source = (*Rand)(nil)
+	_ Source = (*Pipelined)(nil)
+)
+
+// DefaultPipelineBlock is the default number of 64-bit words per prefetch
+// block (16 KiB per block).
+const DefaultPipelineBlock = 2048
+
+// defaultPipelineDepth is the default number of blocks in flight.
+const defaultPipelineDepth = 3
+
+// Pipelined is a Source whose raw 64-bit words are produced ahead of time
+// by a background goroutine. Not safe for concurrent use (like Rand);
+// the concurrency is internal and ordered.
+type Pipelined struct {
+	buf  []uint64
+	pos  int
+	full chan []uint64
+	free chan []uint64
+	done chan struct{}
+	once sync.Once
+}
+
+// NewPipelined wraps src in a pipelined prefetcher with the given block
+// size (words; <= 0 means DefaultPipelineBlock) and pipeline depth (blocks
+// in flight; < 2 means the default). src must not be used elsewhere while
+// the Pipelined source is live — the producer goroutine owns it. Call Close
+// when done, or the producer goroutine leaks.
+func NewPipelined(src Source, blockWords, depth int) *Pipelined {
+	if blockWords <= 0 {
+		blockWords = DefaultPipelineBlock
+	}
+	if depth < 2 {
+		depth = defaultPipelineDepth
+	}
+	p := &Pipelined{
+		full: make(chan []uint64, depth),
+		free: make(chan []uint64, depth),
+		done: make(chan struct{}),
+	}
+	for i := 0; i < depth; i++ {
+		p.free <- make([]uint64, blockWords)
+	}
+	go p.produce(src)
+	return p
+}
+
+// produce is the producer loop: take a free block, fill it with the next
+// words of the stream, publish it. Close unblocks both waits.
+func (p *Pipelined) produce(src Source) {
+	for {
+		var b []uint64
+		select {
+		case <-p.done:
+			return
+		case b = <-p.free:
+		}
+		for i := range b {
+			b[i] = src.Uint64()
+		}
+		select {
+		case <-p.done:
+			return
+		case p.full <- b:
+		}
+	}
+}
+
+// Close stops the producer goroutine. Idempotent; the source must not be
+// used after Close.
+func (p *Pipelined) Close() {
+	p.once.Do(func() { close(p.done) })
+}
+
+// advance recycles the exhausted block and takes the next one, preferring
+// already-published blocks over the closed signal so in-flight data is
+// never lost to a racing Close.
+func (p *Pipelined) advance() {
+	if p.buf != nil {
+		p.free <- p.buf
+		p.buf = nil
+	}
+	select {
+	case b := <-p.full:
+		p.buf, p.pos = b, 0
+		return
+	default:
+	}
+	select {
+	case b := <-p.full:
+		p.buf, p.pos = b, 0
+	case <-p.done:
+		panic("xrand: Pipelined used after Close")
+	}
+}
+
+// Uint64 returns the next word of the underlying stream.
+func (p *Pipelined) Uint64() uint64 {
+	if p.pos == len(p.buf) {
+		p.advance()
+	}
+	v := p.buf[p.pos]
+	p.pos++
+	return v
+}
+
+// Uint64n mirrors Rand.Uint64n (Lemire) over the buffered stream.
+func (p *Pipelined) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(p.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(p.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn mirrors Rand.Intn.
+func (p *Pipelined) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(p.Uint64n(uint64(n)))
+}
+
+// Float64 mirrors Rand.Float64.
+func (p *Pipelined) Float64() float64 {
+	return float64(p.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool mirrors Rand.Bool.
+func (p *Pipelined) Bool() bool {
+	return p.Uint64()&1 == 1
+}
+
+// Bernoulli mirrors Rand.Bernoulli.
+func (p *Pipelined) Bernoulli(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	return p.Float64() < prob
+}
+
+// Shuffle mirrors Rand.Shuffle (Fisher–Yates).
+func (p *Pipelined) Shuffle(n int, swap func(i, j int)) {
+	if n < 0 {
+		panic("xrand: Shuffle with n < 0")
+	}
+	for i := n - 1; i > 0; i-- {
+		j := p.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// FillIntn mirrors Rand.FillIntn: the inner loop reads buffered words
+// directly, which is the hot path the pipelined engine exists for — the
+// consumer only pays the Lemire reduction while the producer generates the
+// next block in parallel.
+func (p *Pipelined) FillIntn(dst []int, n int) {
+	if n <= 0 {
+		panic("xrand: FillIntn with n <= 0")
+	}
+	un := uint64(n)
+	for i := range dst {
+		if p.pos == len(p.buf) {
+			p.advance()
+		}
+		hi, lo := bits.Mul64(p.buf[p.pos], un)
+		p.pos++
+		if lo < un {
+			thresh := -un % un
+			for lo < thresh {
+				if p.pos == len(p.buf) {
+					p.advance()
+				}
+				hi, lo = bits.Mul64(p.buf[p.pos], un)
+				p.pos++
+			}
+		}
+		dst[i] = int(hi)
+	}
+}

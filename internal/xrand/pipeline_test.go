@@ -1,0 +1,143 @@
+package xrand
+
+import (
+	"testing"
+)
+
+// TestPipelinedMatchesRand is the engine's bit-identity property: a
+// Pipelined source over Rand(seed) must produce exactly the value sequence
+// of Rand(seed) itself, across every derived operation and across block
+// boundaries (the block size is set far below the draw count).
+func TestPipelinedMatchesRand(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 0xdeadbeef} {
+		ref := New(seed)
+		p := NewPipelined(New(seed), 64, 2)
+		defer p.Close()
+
+		dstR := make([]int, 37)
+		dstP := make([]int, 37)
+		permR := make([]int, 19)
+		permP := make([]int, 19)
+		for step := 0; step < 500; step++ {
+			switch step % 7 {
+			case 0:
+				if a, b := ref.Uint64(), p.Uint64(); a != b {
+					t.Fatalf("seed %d step %d: Uint64 %d != %d", seed, step, a, b)
+				}
+			case 1:
+				if a, b := ref.Intn(1000), p.Intn(1000); a != b {
+					t.Fatalf("seed %d step %d: Intn %d != %d", seed, step, a, b)
+				}
+			case 2:
+				if a, b := ref.Float64(), p.Float64(); a != b {
+					t.Fatalf("seed %d step %d: Float64 %v != %v", seed, step, a, b)
+				}
+			case 3:
+				if a, b := ref.Bool(), p.Bool(); a != b {
+					t.Fatalf("seed %d step %d: Bool %v != %v", seed, step, a, b)
+				}
+			case 4:
+				if a, b := ref.Bernoulli(0.3), p.Bernoulli(0.3); a != b {
+					t.Fatalf("seed %d step %d: Bernoulli %v != %v", seed, step, a, b)
+				}
+			case 5:
+				ref.FillIntn(dstR, 97)
+				p.FillIntn(dstP, 97)
+				for i := range dstR {
+					if dstR[i] != dstP[i] {
+						t.Fatalf("seed %d step %d: FillIntn[%d] %d != %d", seed, step, i, dstR[i], dstP[i])
+					}
+				}
+			case 6:
+				for i := range permR {
+					permR[i], permP[i] = i, i
+				}
+				ref.Shuffle(len(permR), func(i, j int) { permR[i], permR[j] = permR[j], permR[i] })
+				p.Shuffle(len(permP), func(i, j int) { permP[i], permP[j] = permP[j], permP[i] })
+				for i := range permR {
+					if permR[i] != permP[i] {
+						t.Fatalf("seed %d step %d: Shuffle[%d] %d != %d", seed, step, i, permR[i], permP[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPipelinedSmallBounds exercises the Lemire rejection path (tiny n
+// makes rejections more likely relative to draws) across block boundaries.
+func TestPipelinedSmallBounds(t *testing.T) {
+	ref := New(7)
+	p := NewPipelined(New(7), 16, 2)
+	defer p.Close()
+	dstR := make([]int, 5)
+	dstP := make([]int, 5)
+	for i := 0; i < 2000; i++ {
+		n := i%3 + 1
+		if a, b := ref.Uint64n(uint64(n)), p.Uint64n(uint64(n)); a != b {
+			t.Fatalf("iter %d: Uint64n(%d) %d != %d", i, n, a, b)
+		}
+		ref.FillIntn(dstR, n)
+		p.FillIntn(dstP, n)
+		for j := range dstR {
+			if dstR[j] != dstP[j] {
+				t.Fatalf("iter %d: FillIntn(%d)[%d] %d != %d", i, n, j, dstR[j], dstP[j])
+			}
+		}
+	}
+}
+
+func TestPipelinedCloseIdempotent(t *testing.T) {
+	p := NewPipelined(New(1), 32, 2)
+	_ = p.Uint64()
+	p.Close()
+	p.Close() // must not panic or deadlock
+}
+
+func TestPipelinedUseAfterCloseDrainsThenPanics(t *testing.T) {
+	p := NewPipelined(New(1), 8, 2)
+	p.Close()
+	// Blocks already published may still be consumed; eventually the source
+	// must panic rather than hang.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic after exhausting a closed Pipelined")
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		_ = p.Uint64()
+	}
+}
+
+func TestPipelinedPanicsMirrorRand(t *testing.T) {
+	p := NewPipelined(New(1), 8, 2)
+	defer p.Close()
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Uint64n(0)", func() { p.Uint64n(0) })
+	mustPanic("Intn(0)", func() { p.Intn(0) })
+	mustPanic("FillIntn n=0", func() { p.FillIntn(make([]int, 1), 0) })
+	mustPanic("Shuffle(-1)", func() { p.Shuffle(-1, func(i, j int) {}) })
+}
+
+// TestPipelinedAllocFree pins that the steady-state consume path performs
+// no heap allocations (blocks are recycled through the free list).
+func TestPipelinedAllocFree(t *testing.T) {
+	p := NewPipelined(New(3), 256, 3)
+	defer p.Close()
+	dst := make([]int, 64)
+	p.FillIntn(dst, 1000) // warm: first blocks in flight
+	if avg := testing.AllocsPerRun(200, func() {
+		p.FillIntn(dst, 1000)
+		_ = p.Uint64()
+	}); avg != 0 {
+		t.Fatalf("%v allocs per op, want 0", avg)
+	}
+}

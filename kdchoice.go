@@ -47,8 +47,10 @@ package kdchoice
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/loadvec"
 )
 
 // Policy selects the allocation process run by an Allocator.
@@ -91,18 +93,92 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
+// PolicyNames returns the canonical names of every public policy in sorted
+// order — the deterministic list for usage strings and error messages.
+func PolicyNames() []string {
+	names := make([]string, 0, len(core.PolicyNames()))
+	for _, name := range core.PolicyNames() {
+		cp, err := core.ParsePolicy(name)
+		if err != nil {
+			continue
+		}
+		if _, ok := policyFromCore(cp); ok {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
 // ParsePolicy converts a short policy name (as printed by Policy.String,
-// e.g. "kd", "dchoice", "single") back into a Policy.
+// e.g. "kd", "dchoice", "single") back into a Policy. Unknown names list
+// the valid policies in sorted order.
 func ParsePolicy(s string) (Policy, error) {
 	cp, err := core.ParsePolicy(s)
 	if err != nil {
-		return 0, fmt.Errorf("kdchoice: unknown policy %q", s)
+		return 0, fmt.Errorf("kdchoice: unknown policy %q (valid: %s)", s, strings.Join(PolicyNames(), ", "))
 	}
 	p, ok := policyFromCore(cp)
 	if !ok {
-		return 0, fmt.Errorf("kdchoice: policy %q is not part of the public API", s)
+		return 0, fmt.Errorf("kdchoice: policy %q is not part of the public API (valid: %s)", s, strings.Join(PolicyNames(), ", "))
 	}
 	return p, nil
+}
+
+// Store selects the bin-load representation backing an Allocator or
+// experiment cell. All stores produce bit-identical results for equal
+// seeds; they trade memory for statistics cost:
+//
+//   - StoreDense (default): one int per bin, 8 bytes/bin.
+//   - StoreCompact: one uint16 per bin, 2 bytes/bin; a bin whose load
+//     reaches 65535 escapes losslessly to a wide side table, so loads stay
+//     exact at every magnitude. The right choice for 10⁷–10⁸ bin runs.
+//   - StoreHist: int32 loads plus a maintained load histogram, 4 bytes/bin;
+//     max load, gap and the occupancy counts ν_y come from the histogram
+//     without ever scanning the bins.
+type Store int
+
+// Supported bin-load stores.
+const (
+	// StoreDense is the reference []int representation.
+	StoreDense Store = iota
+	// StoreCompact is the 2-bytes/bin representation with overflow escape.
+	StoreCompact
+	// StoreHist is the histogram-indexed representation.
+	StoreHist
+)
+
+// String returns the canonical short name of the store.
+func (s Store) String() string { return s.toKind().String() }
+
+func (s Store) toKind() loadvec.StoreKind {
+	switch s {
+	case StoreCompact:
+		return loadvec.StoreCompact
+	case StoreHist:
+		return loadvec.StoreHist
+	default:
+		return loadvec.StoreKind(s) // dense, or out of range (rejected by Validate)
+	}
+}
+
+// StoreNames returns the canonical store names in sorted order.
+func StoreNames() []string { return loadvec.StoreNames() }
+
+// ParseStore converts a short store name ("dense", "compact", "hist") back
+// into a Store. Unknown names list the valid stores in sorted order.
+func ParseStore(s string) (Store, error) {
+	k, err := loadvec.ParseStoreKind(s)
+	if err != nil {
+		return 0, fmt.Errorf("kdchoice: unknown store %q (valid: %s)", s, strings.Join(StoreNames(), ", "))
+	}
+	switch k {
+	case loadvec.StoreCompact:
+		return StoreCompact, nil
+	case loadvec.StoreHist:
+		return StoreHist, nil
+	default:
+		return StoreDense, nil
+	}
 }
 
 // policyFromCore maps a core policy back onto its public counterpart.
@@ -185,6 +261,24 @@ type Config struct {
 	// Seed, the same results; the option exists for verification and
 	// benchmarking against the reference implementation.
 	ReferenceSelect bool
+	// Store selects the bin-load representation (StoreDense, StoreCompact,
+	// StoreHist). The zero value is the dense reference; all stores are
+	// bit-identical in outcome for equal seeds.
+	Store Store
+	// Pipeline pre-fills blocks of raw random words on a producer
+	// goroutine while the round loop consumes them — bit-identical to the
+	// serial path by construction, and typically faster for sample-heavy
+	// configurations (large d). A pipelined Allocator owns a background
+	// goroutine: call Close when done with it. Experiment/Sweep/Simulate
+	// manage the lifecycle automatically.
+	Pipeline bool
+	// Shards parallelizes the read-only decision phase of StaleBatch
+	// rounds over this many goroutines (0 or 1 = serial; bit-identical to
+	// serial for any value). Only the StaleBatch policy may shard: its
+	// balls decide independently against frozen round-start loads, which is
+	// exactly the intra-round independence that makes sharding
+	// semantics-preserving. Other policies reject Shards > 1.
+	Shards int
 }
 
 // withDefaults returns cfg with the documented zero-value defaults applied
@@ -220,6 +314,9 @@ func (cfg Config) coreConfig() (core.Policy, core.Params, error) {
 		Sigma:           cfg.Sigma,
 		RandomSigma:     cfg.RandomSigma,
 		ReferenceSelect: cfg.ReferenceSelect,
+		Store:           cfg.Store.toKind(),
+		Pipeline:        cfg.Pipeline,
+		Shards:          cfg.Shards,
 	}, nil
 }
 
@@ -329,3 +426,9 @@ func (a *Allocator) BinsWithAtLeast(y int) int { return a.pr.NuY(y) }
 // Reset empties all bins and zeroes the counters without rewinding the
 // random stream, giving an independent fresh run.
 func (a *Allocator) Reset() { a.pr.Reset() }
+
+// Close releases background resources — the pipelined random engine's
+// producer goroutine (Config.Pipeline). It is a no-op for serial
+// allocators and is idempotent; a closed allocator must not place further
+// balls, but its accessors remain valid.
+func (a *Allocator) Close() { a.pr.Close() }

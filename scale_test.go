@@ -1,0 +1,154 @@
+package kdchoice
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestStoreParseRoundTrip pins the store names and their sorted listing.
+func TestStoreParseRoundTrip(t *testing.T) {
+	for _, s := range []Store{StoreDense, StoreCompact, StoreHist} {
+		got, err := ParseStore(s.String())
+		if err != nil {
+			t.Fatalf("ParseStore(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round trip %v -> %q -> %v", s, s.String(), got)
+		}
+	}
+	_, err := ParseStore("zzz")
+	if err == nil {
+		t.Fatal("ParseStore accepted garbage")
+	}
+	if !strings.Contains(err.Error(), "compact, dense, hist") {
+		t.Fatalf("ParseStore error %q does not list valid stores in sorted order", err)
+	}
+	if got := StoreNames(); !reflect.DeepEqual(got, []string{"compact", "dense", "hist"}) {
+		t.Fatalf("StoreNames() = %v", got)
+	}
+}
+
+// TestPolicyNamesSortedAndParseErrors pins the deterministic policy
+// listing: PolicyNames is sorted, covers exactly the public policies, and
+// unknown-policy errors embed it.
+func TestPolicyNamesSortedAndParseErrors(t *testing.T) {
+	names := PolicyNames()
+	if !sortedStrings(names) {
+		t.Fatalf("PolicyNames() not sorted: %v", names)
+	}
+	for _, name := range names {
+		if _, err := ParsePolicy(name); err != nil {
+			t.Fatalf("PolicyNames entry %q does not parse: %v", name, err)
+		}
+	}
+	for _, name := range []string{"zzz", "sax0"} {
+		_, err := ParsePolicy(name)
+		if err == nil {
+			t.Fatalf("ParsePolicy(%q) succeeded", name)
+		}
+		if !strings.Contains(err.Error(), strings.Join(names, ", ")) {
+			t.Fatalf("ParsePolicy(%q) error %q does not list the sorted policies", name, err)
+		}
+	}
+}
+
+func sortedStrings(xs []string) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAllocatorStoresBitIdentical: the public Allocator produces identical
+// results on every store and engine combination for equal seeds.
+func TestAllocatorStoresBitIdentical(t *testing.T) {
+	base := Config{Bins: 512, K: 2, D: 16, Seed: 5}
+	ref, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.PlaceAll()
+	for _, store := range []Store{StoreCompact, StoreHist} {
+		for _, pipeline := range []bool{false, true} {
+			cfg := base
+			cfg.Store = store
+			cfg.Pipeline = pipeline
+			a, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a.PlaceAll()
+			if !reflect.DeepEqual(a.Loads(), ref.Loads()) {
+				t.Fatalf("store=%v pipeline=%v: loads diverged", store, pipeline)
+			}
+			if a.MaxLoad() != ref.MaxLoad() || a.Messages() != ref.Messages() || a.Gap() != ref.Gap() {
+				t.Fatalf("store=%v pipeline=%v: summary stats diverged", store, pipeline)
+			}
+			a.Close()
+			a.Close() // idempotent
+		}
+	}
+}
+
+// TestShardsRejectedOutsideStaleBatch: the public config surfaces the core
+// sharding rule.
+func TestShardsRejectedOutsideStaleBatch(t *testing.T) {
+	if _, err := New(Config{Bins: 16, K: 1, D: 2, Shards: 2}); err == nil {
+		t.Fatal("KDChoice accepted Shards > 1")
+	}
+	a, err := New(Config{Bins: 16, K: 4, D: 2, Policy: StaleBatch, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.PlaceAll()
+	if a.Balls() != 16 {
+		t.Fatalf("sharded StaleBatch placed %d balls", a.Balls())
+	}
+}
+
+// TestExperimentCollectProfiles: streamed profiles flow through the public
+// Experiment and keep worker independence.
+func TestExperimentCollectProfiles(t *testing.T) {
+	run := func(workers int) *Report {
+		t.Helper()
+		rep, err := Experiment{
+			Cells: []Cell{{Config: Config{
+				Bins: 128, K: 2, D: 6, Store: StoreCompact, Pipeline: true,
+			}}},
+			Runs:            8,
+			Seed:            21,
+			Workers:         workers,
+			CollectProfiles: true,
+		}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep1, rep8 := run(1), run(8)
+	p1, err := rep1.Cells[0].MeanSortedProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, err := rep8.Cells[0].MeanSortedProfile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p8) {
+		t.Fatal("streamed profile differs across worker counts")
+	}
+	nu, err := rep1.Cells[0].MeanNuY()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nu[0] != 128 {
+		t.Fatalf("mean ν_0 = %v, want 128", nu[0])
+	}
+	// RunLoads still requires the retained vectors.
+	if _, err := rep1.Cells[0].RunLoads(); err != ErrNoLoads {
+		t.Fatalf("RunLoads with streamed profiles: err = %v, want ErrNoLoads", err)
+	}
+}

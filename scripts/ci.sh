@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # ci.sh — the repository's check pipeline.
 #
-#   scripts/ci.sh          format check, vet, build, full tests, and a
-#                          -race pass over the simulation engine
-#   scripts/ci.sh bench    refresh the tracked benchmark grid (BENCH_kd.json)
+#   scripts/ci.sh          format check, vet, build, full tests, a -race
+#                          pass over the simulation engine, and quick-mode
+#                          bench + scale smoke runs (exercising every store
+#                          and the pipelined engine end to end)
+#   scripts/ci.sh bench    refresh the tracked benchmark grids
+#                          (BENCH_kd.json and BENCH_scale.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "bench" ]; then
-    echo "==> refreshing BENCH_kd.json (full grid, ~15s)"
+    echo "==> refreshing BENCH_kd.json (full micro grid, ~30s)"
     go run ./cmd/bench -out BENCH_kd.json
+    echo "==> refreshing BENCH_scale.json (scale grid, ~60s)"
+    go run ./cmd/bench -scale -out BENCH_scale.json
     exit 0
 fi
 
@@ -32,6 +37,12 @@ go test ./...
 
 echo "==> go test -race . ./internal/sim ./internal/core"
 go test -race . ./internal/sim ./internal/core
+
+echo "==> bench smoke: micro grid (-quick)"
+go run ./cmd/bench -quick -out ''
+
+echo "==> bench smoke: scale grid (-scale -quick; all stores + pipeline)"
+go run ./cmd/bench -scale -quick -out ''
 
 echo "==> import hygiene: cmd/ and examples/ stay on the public API"
 # The public kdchoice package (Experiment/Sweep/Simulate for the core

@@ -7,10 +7,11 @@ import (
 	"repro/internal/sim"
 )
 
-// ErrNoLoads is returned by the profile accessors when the runs did not
-// retain their final load vectors; set Experiment.CollectLoads (or
-// Sweep.CollectLoads) to enable them.
-var ErrNoLoads = errors.New("kdchoice: result has no load vectors (CollectLoads was not set)")
+// ErrNoLoads is returned by the profile accessors when the runs neither
+// retained their final load vectors nor streamed profile sums; set
+// Experiment.CollectLoads or CollectProfiles (or the Sweep fields of the
+// same names) to enable them.
+var ErrNoLoads = errors.New("kdchoice: result has no load vectors (set CollectLoads or CollectProfiles)")
 
 // SimResult aggregates repeated independent runs of one configuration.
 // Slices indexed by run are ordered by run id and are identical for any
@@ -63,18 +64,19 @@ func newSimResult(res *sim.Result) SimResult {
 // MeanSortedProfile returns the position-wise mean of the sorted
 // (descending) load vectors over all runs: element x-1 approximates E[B_x],
 // the paper's sorted-load curve (Figures 1 and 2). It returns ErrNoLoads
-// unless the experiment ran with CollectLoads.
+// unless the experiment ran with CollectLoads or CollectProfiles.
 func (r *SimResult) MeanSortedProfile() ([]float64, error) {
-	if r.res == nil || r.res.Loads == nil {
+	if r.res == nil || !r.res.HasProfiles() {
 		return nil, ErrNoLoads
 	}
 	return r.res.MeanSortedProfile()
 }
 
 // MeanNuY returns the run-averaged occupancy ν_y for y in [0, max load].
-// It returns ErrNoLoads unless the experiment ran with CollectLoads.
+// It returns ErrNoLoads unless the experiment ran with CollectLoads or
+// CollectProfiles.
 func (r *SimResult) MeanNuY() ([]float64, error) {
-	if r.res == nil || r.res.Loads == nil {
+	if r.res == nil || !r.res.HasProfiles() {
 		return nil, ErrNoLoads
 	}
 	return r.res.MeanNuY()
