@@ -17,11 +17,21 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_kd.json] [-quick]          # micro grid
+//	bench [-out BENCH_kd.json] [-quick]           # micro grid
 //	bench -scale [-out BENCH_scale.json] [-quick] # scale grid
+//	bench -compare BENCH_kd.json                  # perf ratchet (CI)
+//	bench -cpuprofile cpu.out -memprofile mem.out # hot-path diagnosis
 //
 // -quick shrinks the grids to tiny cells (for smoke tests); tracked results
 // should always come from the full grids, e.g. via `scripts/ci.sh bench`.
+// -compare re-times only the tracked acceptance cells at full size against
+// a committed BENCH_kd.json and prints a non-fatal PERF WARNING when a cell
+// regresses more than 15% — the CI ratchet that keeps the committed
+// trajectory honest. -cpuprofile/-memprofile write pprof profiles of the
+// benchmark run so hot-path regressions can be diagnosed without editing
+// the harness; -block overrides the superstep size of every cell (an
+// ablation — it requires an explicit empty -out, stdout only, so it can
+// never overwrite a tracked trajectory, and it cannot be combined with -compare).
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -52,6 +63,7 @@ type result struct {
 	D               int     `json:"d,omitempty"`
 	ReferenceSelect bool    `json:"reference_select,omitempty"`
 	Pipeline        bool    `json:"pipeline,omitempty"`
+	Block           int     `json:"block,omitempty"`
 	Shards          int     `json:"shards,omitempty"`
 	NsPerRound      float64 `json:"ns_per_round"`
 	BytesPerRound   int64   `json:"bytes_per_round"`
@@ -70,8 +82,10 @@ type report struct {
 	// on the n=1e5, k=2, d=64 acceptance cell; the floor is 1.5.
 	SpeedupFastVsSort float64 `json:"speedup_fast_vs_sort_n1e5_k2_d64,omitempty"`
 	// SpeedupPipeVsSerial is ns/round(serial fast kernel) / ns/round
-	// (pipelined fast kernel) on the same cell; the pipelined engine must
-	// keep this above 1.0 (it improves the tracked cell's balls/sec).
+	// (pipelined fast kernel) on the same cell. On a single-CPU host the
+	// pipelined engine runs inline, so parity (~1.0) is the expected
+	// reading there; the producer goroutine only pulls ahead with a spare
+	// core.
 	SpeedupPipeVsSerial float64 `json:"speedup_pipe_vs_serial_n1e5_k2_d64,omitempty"`
 }
 
@@ -111,6 +125,9 @@ func cellName(cfg kdchoice.Config) string {
 	if cfg.Store != kdchoice.StoreDense {
 		name += fmt.Sprintf(",store=%v", cfg.Store)
 	}
+	if cfg.Block > 0 {
+		name += fmt.Sprintf(",block=%d", cfg.Block)
+	}
 	if cfg.Shards > 1 {
 		name += fmt.Sprintf(",shards=%d", cfg.Shards)
 	}
@@ -131,6 +148,9 @@ func grid(quick bool) []cell {
 		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Pipeline: true},
 		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Pipeline: true, Store: kdchoice.StoreCompact},
 		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Store: kdchoice.StoreHist},
+		// Superstep ablation: Block=1 pays every per-round fixed cost the
+		// auto-sized superstep amortizes away (results are bit-identical).
+		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Block: 1},
 		{Bins: n, K: 8, D: 16, Seed: 1, Policy: kdchoice.KDChoice},
 		{Bins: n, K: 128, D: 192, Seed: 1, Policy: kdchoice.KDChoice},
 		{Bins: small, K: 2, D: 4, Seed: 1, Policy: kdchoice.KDChoice},
@@ -185,6 +205,7 @@ func runCell(c cell) (result, error) {
 		D:               c.Cfg.D,
 		ReferenceSelect: c.Cfg.ReferenceSelect,
 		Pipeline:        c.Cfg.Pipeline,
+		Block:           c.Cfg.Block,
 		Shards:          c.Cfg.Shards,
 		NsPerRound:      ns,
 		BytesPerRound:   br.AllocedBytesPerOp(),
@@ -212,6 +233,7 @@ type scaleResult struct {
 	Policy      string  `json:"policy"`
 	Store       string  `json:"store"`
 	Pipeline    bool    `json:"pipeline,omitempty"`
+	Block       int     `json:"block,omitempty"`
 	N           int     `json:"n"`
 	K           int     `json:"k"`
 	D           int     `json:"d"`
@@ -311,6 +333,7 @@ func runScaleCell(c scaleCell) (scaleResult, error) {
 		Policy:      alloc.Config().Policy.String(),
 		Store:       c.Cfg.Store.String(),
 		Pipeline:    c.Cfg.Pipeline,
+		Block:       c.Cfg.Block,
 		N:           c.Cfg.Bins,
 		K:           c.Cfg.K,
 		D:           c.Cfg.D,
@@ -331,9 +354,18 @@ func runScaleCell(c scaleCell) (scaleResult, error) {
 }
 
 // runScale executes the scale grid and writes BENCH_scale.json.
-func runScale(quick bool, outPath string, out io.Writer) error {
+func runScale(quick bool, block int, outPath string, out io.Writer) error {
 	rep := scaleReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
-	for _, c := range scaleGrid(quick) {
+	cells := scaleGrid(quick)
+	if block != 0 {
+		for i := range cells {
+			cells[i].Cfg.Block = block
+			if block > 0 {
+				cells[i].Name += fmt.Sprintf(",block=%d", block)
+			}
+		}
+	}
+	for _, c := range cells {
 		res, err := runScaleCell(c)
 		if err != nil {
 			return err
@@ -356,13 +388,108 @@ func runScale(quick bool, outPath string, out io.Writer) error {
 	return nil
 }
 
+// compareCells returns the cells the -compare ratchet re-times — the
+// serial and pipelined acceptance cells (n=1e5, k=2, d=64) — constructed
+// directly rather than plucked from grid() by index, so reordering or
+// extending the grid can never silently redirect the ratchet.
+func compareCells() []cell {
+	serial := kdchoice.Config{Bins: 100000, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice}
+	pipe := serial
+	pipe.Pipeline = true
+	return []cell{
+		{Name: cellName(serial), Cfg: serial},
+		{Name: cellName(pipe), Cfg: pipe},
+	}
+}
+
+// runCompare re-times the tracked acceptance cells at full size and
+// compares them against the committed BENCH_kd.json. Regressions beyond
+// the threshold print a PERF WARNING but never fail the run — benchmark
+// boxes are noisy, so the ratchet informs rather than blocks.
+func runCompare(path string, out io.Writer) error {
+	const threshold = 1.15
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compare: %w", err)
+	}
+	var tracked report
+	if err := json.Unmarshal(data, &tracked); err != nil {
+		return fmt.Errorf("compare: parsing %s: %w", path, err)
+	}
+	warned := false
+	compared := 0
+	for _, c := range compareCells() {
+		var prev *result
+		for i := range tracked.Grid {
+			if tracked.Grid[i].Name == c.Name {
+				prev = &tracked.Grid[i]
+				break
+			}
+		}
+		if prev == nil || prev.NsPerRound <= 0 {
+			fmt.Fprintf(out, "compare: cell %q not tracked in %s; skipping\n", c.Name, path)
+			continue
+		}
+		res, err := runCell(c)
+		if err != nil {
+			return err
+		}
+		compared++
+		ratio := res.NsPerRound / prev.NsPerRound
+		fmt.Fprintf(out, "%-44s tracked %6.0f ns/round, now %6.0f ns/round (%.2fx)\n",
+			c.Name, prev.NsPerRound, res.NsPerRound, ratio)
+		if ratio > threshold {
+			warned = true
+			fmt.Fprintf(out, "PERF WARNING: %s regressed %.0f%% vs %s (threshold %.0f%%)\n",
+				c.Name, (ratio-1)*100, path, (threshold-1)*100)
+		}
+	}
+	switch {
+	case compared == 0:
+		// A dead ratchet must not read as a green one.
+		fmt.Fprintf(out, "PERF WARNING: no tracked cells compared — %s does not carry the acceptance cells\n", path)
+	case !warned:
+		fmt.Fprintln(out, "compare: tracked cells within threshold")
+	}
+	return nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	outPath := fs.String("out", "", "output JSON path (default BENCH_kd.json, or BENCH_scale.json with -scale; empty: stdout only)")
 	quick := fs.Bool("quick", false, "tiny cells for smoke testing (do not commit quick results)")
 	scale := fs.Bool("scale", false, "run the large-n scale grid instead of the micro grid")
+	block := fs.Int("block", 0, "superstep size in rounds applied to every cell (0 = auto, bit-identical for any value)")
+	compare := fs.String("compare", "", "compare the tracked acceptance cells against this BENCH_kd.json and warn (non-fatal) on >15% regression")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench: memprofile:", err)
+			}
+		}()
 	}
 	// The tracked-file default applies only when -out is not given at all;
 	// an explicit empty -out means stdout only (the smoke-test form).
@@ -373,6 +500,15 @@ func run(args []string, out io.Writer) error {
 			outSet = true
 		}
 	})
+	if *compare != "" {
+		// The ratchet always re-times the full-size acceptance cells
+		// against the named file; silently dropping grid flags would make
+		// `-quick -compare` look like a smoke check it is not.
+		if *quick || *scale || *block != 0 || outSet {
+			return fmt.Errorf("-compare cannot be combined with -quick, -scale, -block or -out (it always re-times the full-size acceptance cells)")
+		}
+		return runCompare(*compare, out)
+	}
 	if !outSet {
 		if *scale {
 			path = "BENCH_scale.json"
@@ -380,11 +516,44 @@ func run(args []string, out io.Writer) error {
 			path = "BENCH_kd.json"
 		}
 	}
+	if *block != 0 && path != "" {
+		// A block-overridden run is an ablation, not the tracked
+		// trajectory: the canonical speedup fields and the -compare cell
+		// names assume the default superstep. Keep the output inspectable
+		// but never let it masquerade as BENCH_kd.json/BENCH_scale.json.
+		return fmt.Errorf("-block runs are ablations: use -out '' (stdout only) so the override cannot overwrite a tracked trajectory")
+	}
 	if *scale {
-		return runScale(*quick, path, out)
+		return runScale(*quick, *block, path, out)
 	}
 	rep := report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
-	for _, c := range grid(*quick) {
+	cells := grid(*quick)
+	if *block != 0 {
+		// Negative values flow through to Config validation, which names
+		// the knob in its error. Cells with an explicit Block (the
+		// ablation cell) keep their own size, and any resulting name
+		// collision (e.g. -block 1 turning cell 0 into the ablation cell)
+		// keeps only the first occurrence, so reports never carry
+		// ambiguous duplicate rows.
+		for i := range cells {
+			if cells[i].Cfg.Block != 0 {
+				continue
+			}
+			cells[i].Cfg.Block = *block
+			cells[i].Name = cellName(cells[i].Cfg)
+		}
+		seen := make(map[string]bool, len(cells))
+		dedup := cells[:0]
+		for _, c := range cells {
+			if seen[c.Name] {
+				continue
+			}
+			seen[c.Name] = true
+			dedup = append(dedup, c)
+		}
+		cells = dedup
+	}
+	for _, c := range cells {
 		res, err := runCell(c)
 		if err != nil {
 			return err

@@ -193,3 +193,112 @@ func TestRunScaleQuickWritesReport(t *testing.T) {
 		}
 	}
 }
+
+func TestRunCompareRatchet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compare re-times full-size cells")
+	}
+	// The ratchet cells must exist in the committed grid under the exact
+	// names -compare looks up.
+	cmpCells := compareCells()
+	for _, c := range cmpCells {
+		found := false
+		for _, g := range grid(false) {
+			if g.Name == c.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("compare cell %q is not part of the tracked grid", c.Name)
+		}
+	}
+	// An empty tracked report must warn loudly instead of reading green.
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"grid":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var ebuf bytes.Buffer
+	if err := run([]string{"-compare", empty}, &ebuf); err != nil {
+		t.Fatalf("empty compare must be non-fatal: %v", err)
+	}
+	if !strings.Contains(ebuf.String(), "no tracked cells compared") {
+		t.Fatalf("dead ratchet not flagged:\n%s", ebuf.String())
+	}
+	// Fabricate a tracked report carrying only the serial cell at an
+	// impossibly fast time: one compare run then exercises the warning
+	// path (guaranteed regression) AND the missing-cell skip path, while
+	// re-timing just a single full-size cell — ci.sh already runs the real
+	// two-cell ratchet, so the test keeps the duplicate work minimal.
+	tracked := report{Grid: []result{
+		{Name: cmpCells[0].Name, NsPerRound: 1},
+	}}
+	data, err := json.Marshal(tracked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tracked.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", path}, &buf); err != nil {
+		t.Fatalf("compare must be non-fatal: %v", err)
+	}
+	out := buf.String()
+	if strings.Count(out, "PERF WARNING") != 1 {
+		t.Fatalf("want exactly one PERF WARNING:\n%s", out)
+	}
+	if !strings.Contains(out, cmpCells[0].Name) {
+		t.Fatalf("compare output missing the timed cell line:\n%s", out)
+	}
+	if !strings.Contains(out, "not tracked") || !strings.Contains(out, cmpCells[1].Name) {
+		t.Fatalf("compare output missing the skipped-cell notice:\n%s", out)
+	}
+}
+
+func TestRunProfilesAndBlock(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-block", "3", "-out", "", "-cpuprofile", cpu, "-memprofile", mem}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "block=3") {
+		t.Fatalf("-block 3 not reflected in cell names:\n%s", buf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := run([]string{"-quick", "-block", "-3", "-out", ""}, &buf2); err == nil {
+		t.Fatal("negative -block accepted")
+	}
+}
+
+func TestFlagCombinations(t *testing.T) {
+	var buf bytes.Buffer
+	// -compare is exclusive with the grid flags.
+	for _, args := range [][]string{
+		{"-quick", "-compare", "x.json"},
+		{"-scale", "-compare", "x.json"},
+		{"-block", "2", "-compare", "x.json"},
+		{"-out", "y.json", "-compare", "x.json"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+	// -block ablations must not overwrite a tracked trajectory: without an
+	// explicit empty -out the default path would be BENCH_kd.json.
+	if err := run([]string{"-quick", "-block", "2"}, &buf); err == nil {
+		t.Fatal("-block without -out '' accepted")
+	}
+}

@@ -5,13 +5,14 @@
 // Usage:
 //
 //	kdsim [-n 65536] [-k 2] [-d 3] [-m 0] [-runs 10] [-policy kd] [-beta 0.5]
-//	      [-store dense] [-pipeline] [-seed 1] [-profile 10]
+//	      [-store dense] [-pipeline] [-block 0] [-seed 1] [-profile 10]
 //
 // -m 0 places n balls (the paper's canonical experiment); -m > n exercises
 // the heavily loaded case of Theorem 2. -policy and -store list their valid
 // values (sorted) in the flag help and in unknown-value errors. -store
 // compact runs 10⁷–10⁸ bin experiments in ~2 bytes/bin; -pipeline pre-draws
-// sample blocks on a producer goroutine (bit-identical results either way).
+// sample supersteps on a producer goroutine and -block overrides the
+// superstep size (bit-identical results for any setting of either).
 package main
 
 import (
@@ -43,7 +44,8 @@ func run(args []string, out io.Writer) error {
 	policyName := fs.String("policy", "kd", "allocation policy: "+strings.Join(kdchoice.PolicyNames(), ", "))
 	beta := fs.Float64("beta", 0.5, "beta for oneplusbeta")
 	storeName := fs.String("store", "dense", "bin-load store: "+strings.Join(kdchoice.StoreNames(), ", "))
-	pipeline := fs.Bool("pipeline", false, "pre-draw sample blocks on a producer goroutine (bit-identical)")
+	pipeline := fs.Bool("pipeline", false, "pre-draw sample supersteps on a producer goroutine (bit-identical)")
+	block := fs.Int("block", 0, "superstep size in rounds for the round policies (0 = auto, bit-identical for any value)")
 	seed := fs.Uint64("seed", 1, "root seed")
 	profile := fs.Int("profile", 10, "print the top P mean sorted loads (0 to disable)")
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +69,7 @@ func run(args []string, out io.Writer) error {
 			Beta:     *beta,
 			Store:    store,
 			Pipeline: *pipeline,
+			Block:    *block,
 			Seed:     *seed,
 		}}},
 		Balls:        *m,

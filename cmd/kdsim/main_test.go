@@ -64,3 +64,24 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("bogus flag accepted")
 	}
 }
+
+func TestRunBlockFlag(t *testing.T) {
+	// Explicit superstep sizes are bit-identical to the auto default, so
+	// the run must succeed and report the same summary stats.
+	var auto, blocked bytes.Buffer
+	if err := run([]string{"-n", "512", "-runs", "2"}, &auto); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "512", "-runs", "2", "-block", "3"}, &blocked); err != nil {
+		t.Fatal(err)
+	}
+	if auto.String() != blocked.String() {
+		t.Fatalf("-block 3 changed results:\nauto:\n%s\nblocked:\n%s", auto.String(), blocked.String())
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "512", "-block", "-2"}, &buf); err == nil {
+		t.Fatal("negative -block accepted")
+	} else if !strings.Contains(err.Error(), "Block") {
+		t.Fatalf("negative -block error does not name the knob: %v", err)
+	}
+}

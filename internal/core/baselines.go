@@ -25,34 +25,10 @@ func (pr *Process) ballSingle() {
 // distinct bin exactly one uniform lottery ticket even when it is sampled
 // several times, in O(d) per ball.
 func (pr *Process) ballDChoice() {
-	d := pr.p.D
-	var nonce uint64
-	if pr.kpipe != nil {
-		r := pr.kpipe.next()
-		pr.samples = r.samples
-		nonce = r.nonce
-	} else {
-		pr.rng.FillIntn(pr.samples, pr.n)
-		nonce = pr.rng.Uint64()
-	}
-	best := pr.samples[0]
-	bestLoad := pr.store.Load(best)
-	bestTie := mix64(nonce ^ uint64(best)*0x9e3779b97f4a7c15)
-	for _, b := range pr.samples[1:] {
-		load := pr.store.Load(b)
-		switch {
-		case load < bestLoad:
-			best, bestLoad = b, load
-			bestTie = mix64(nonce ^ uint64(b)*0x9e3779b97f4a7c15)
-		case load == bestLoad && b != best:
-			if tie := mix64(nonce ^ uint64(b)*0x9e3779b97f4a7c15); tie < bestTie {
-				best = b
-				bestTie = tie
-			}
-		}
-	}
+	nonce := pr.roundPrologue()
+	best := pr.kern.dchoiceBest(pr, nonce)
 	h := pr.place(best)
-	pr.messages += int64(d)
+	pr.messages += int64(pr.p.D)
 	if pr.obs != nil {
 		pr.notify(pr.samples, []int{best}, []int{h})
 	}

@@ -32,11 +32,16 @@
 // (Params.Store): the dense []int reference, the 2-bytes/bin compact store
 // and the histogram-indexed store all produce bit-identical results for
 // equal seeds, so production-scale runs (10⁷–10⁸ bins) can pick the memory
-// layout without changing a single result. Params.Pipeline moves raw
-// random-word generation onto a producer goroutine (bit-identical by
-// construction, see xrand.Pipelined), and Params.Shards parallelizes the
-// decision phase of StaleBatch rounds — the one policy whose intra-round
-// independence makes true sharding semantics-preserving.
+// layout without changing a single result. The store-touching inner loops
+// are specialized per concrete store type through the generic kernels in
+// kernel.go (one dynamic dispatch per round instead of one per bin
+// access); fixed-prologue round policies batch their randomness into
+// supersteps of Params.Block rounds (kernel and engine both bit-identical
+// to the interface/per-round reference paths). Params.Pipeline moves
+// random generation onto a producer goroutine (bit-identical by
+// construction), and Params.Shards parallelizes the decision phase of
+// StaleBatch rounds — the one policy whose intra-round independence makes
+// true sharding semantics-preserving.
 package core
 
 import (
@@ -158,11 +163,21 @@ type Params struct {
 	// the histogram-indexed store with O(1) occupancy statistics. All
 	// stores produce bit-identical results for equal seeds.
 	Store loadvec.StoreKind
-	// Pipeline pre-fills blocks of raw random words on a producer
-	// goroutine while the round loop consumes them. Bit-identical to the
-	// serial path by construction. A pipelined process owns a background
-	// goroutine: call Process.Close when done with it.
+	// Pipeline moves random generation onto a producer goroutine while the
+	// round loop consumes it: whole pre-drawn supersteps for the
+	// fixed-prologue policies, raw word blocks (xrand.Pipelined) for the
+	// rest. Bit-identical to the serial path by construction. A pipelined
+	// process owns a background goroutine: call Process.Close when done
+	// with it.
 	Pipeline bool
+	// Block is the superstep size of the fixed-prologue round policies
+	// (KDChoice, fixed-σ SerializedKD, DChoice, DynamicKD): rounds are
+	// pre-drawn in blocks of Block rounds — one bulk random fill and one
+	// group-table epoch per round instead of per-round setup — which is
+	// bit-identical to per-round drawing for any value. 0 auto-sizes the
+	// superstep (~4096 samples); explicit values must be >= 1. Policies
+	// without a fixed prologue ignore Block.
+	Block int
 	// Shards parallelizes the read-only decision phase of StaleBatch
 	// rounds over this many goroutines (0 or 1 = serial). Only StaleBatch
 	// may shard: its k balls decide independently against round-start
@@ -190,7 +205,12 @@ type Process struct {
 	p      Params
 	rng    xrand.Source
 	pipe   *xrand.Pipelined // word-level engine (Params.Pipeline fallback)
-	kpipe  *kdPipe          // round-record engine (fixed-prologue policies)
+	eng    *roundEngine     // superstep engine (fixed-prologue policies)
+
+	// kern is the store-specialized kernel the round loops dispatch
+	// through: one dynamic call per round, with every bin access inside
+	// devirtualized to the concrete store type (kernel.go).
+	kern kernelOps
 
 	store     loadvec.Store
 	n         int
@@ -205,18 +225,19 @@ type Process struct {
 	samples  []int
 	sortBuf  []int // bin-sorted copy of samples (reference kernel)
 	slots    []slot
+	ldv      []int // per-sample loads (kernel gather pass)
 	sigmaBuf []int
 	cands    []int // distinct candidate bins (AdaptiveKD) / dests (StaleBatch)
 
-	// Scratch for the counting selection kernel (select.go): a small
-	// open-addressed hash table groups the d samples by bin in O(d) space —
-	// no O(n) scratch, which is what keeps the compact store's bytes/bin
-	// budget intact at 10⁸ bins.
-	gtab *groupTab    // open-addressed grouping scratch
-	gbuf []groupEntry // grouped (bin+1, count) pairs, first-occurrence order
-	hist []int32      // height histogram over the round's dense window
-	sel  []slot       // selected slots, ranked
-	bnd  []slot       // boundary-height tie cohort
+	// Scratch for the counting selection kernel (kernel.go/select.go): a
+	// small epoch-stamped open-addressed hash table groups the d samples by
+	// bin in O(d) space — no O(n) scratch, which is what keeps the compact
+	// store's bytes/bin budget intact at 10⁸ bins.
+	gtab    *groupTab // epoch-stamped grouping scratch
+	hist    []int32   // height histogram over the round's dense window
+	sel     []slot    // selected slots, ranked
+	bnd     []slot    // boundary-height tie cohort
+	binsBuf []int     // receiving-bin scratch for batch placement
 
 	// StaleBatch sharded rounds: all k·D samples of a round, drawn up
 	// front so the decision phase is read-only.
@@ -231,13 +252,6 @@ type Process struct {
 
 	obsPlaced  []int
 	obsHeights []int
-}
-
-// groupEntry is one cell of the sample-grouping hash table: bin+1 (0 means
-// empty) and the bin's sample multiplicity this round.
-type groupEntry struct {
-	bin   int32
-	count int32
 }
 
 // slot is one conceptual ball of a round: the i-th sample of bin b this
@@ -269,38 +283,41 @@ func New(policy Policy, p Params, rng xrand.Source) (*Process, error) {
 		rng:    rng,
 		store:  store,
 		n:      p.N,
+		kern:   newKernel(store),
 	}
-	if p.Pipeline {
-		if pipeEligible(policy, p) {
-			// Fixed round prologue: pre-draw whole rounds (and pre-group
-			// them for the counting kernel). The pipe owns the rng from
-			// here on; nil out pr.rng so any future code path that tries
-			// to draw from it alongside the producer fails fast (nil
-			// dereference) instead of racing the producer goroutine.
-			wantGroups := (policy == KDChoice || policy == SerializedKD) && !p.ReferenceSelect
-			pr.kpipe = newKDPipe(rng, p.N, p.D, wantGroups)
+	if blockEligible(policy, p) {
+		// Fixed round prologue: pre-draw whole supersteps of rounds. In
+		// inline mode (the default) the engine shares pr.rng and fills
+		// lazily; under Params.Pipeline on a multi-CPU host a producer
+		// goroutine owns the rng from here on — then nil out pr.rng so any
+		// future code path that tries to draw from it alongside the
+		// producer fails fast (nil dereference) instead of racing the
+		// producer goroutine.
+		pr.eng = newRoundEngine(rng, p.N, p.D, blockRounds(p.D, p.Block), p.Pipeline)
+		if !pr.eng.inline {
 			pr.rng = nil
-		} else {
-			// Data-dependent draw pattern: prefetch raw words instead.
-			pr.pipe = xrand.NewPipelined(rng, 0, 0)
-			pr.rng = pr.pipe
 		}
+	} else if p.Pipeline {
+		// Data-dependent draw pattern: prefetch raw words instead.
+		pr.pipe = xrand.NewPipelined(rng, 0, 0)
+		pr.rng = pr.pipe
 	}
 	if d := p.D; d > 0 {
 		pr.samples = make([]int, d)
 		pr.sortBuf = make([]int, d)
 		pr.slots = make([]slot, 0, d)
+		pr.ldv = make([]int, d)
 	}
 	if policy == KDChoice || policy == SerializedKD {
 		d := p.D
 		pr.gtab = newGroupTab(d)
-		pr.gbuf = make([]groupEntry, 0, d)
 		// The counting window covers every height pattern whose sampled
 		// loads span less than ~2d; wider spreads (extreme imbalance) fall
-		// back to the reference sort inside fastSelect.
+		// back to the reference sort inside the counting kernel.
 		pr.hist = make([]int32, 2*d+16)
 		pr.sel = make([]slot, 0, d)
 		pr.bnd = make([]slot, 0, d)
+		pr.binsBuf = make([]int, 0, d)
 	}
 	if policy == SerializedKD {
 		pr.sigmaBuf = make([]int, p.K)
@@ -342,10 +359,12 @@ func New(policy Policy, p Params, rng xrand.Source) (*Process, error) {
 }
 
 // groupTableSize returns the power-of-two hash-table size for grouping d
-// samples: at most half full, so linear probing stays short.
+// samples: at most quarter full, so linear probing almost never collides
+// (the table is a few KB regardless — epoch stamping means it is never
+// cleared, so a larger table costs nothing per round).
 func groupTableSize(d int) int {
 	size := 8
-	for size < 2*d {
+	for size < 4*d {
 		size *= 2
 	}
 	return size
@@ -368,6 +387,23 @@ func Validate(policy Policy, p Params) error {
 	}
 	if p.Shards < 0 {
 		return fmt.Errorf("core: Shards = %d, must be non-negative", p.Shards)
+	}
+	if p.Block < 0 {
+		return fmt.Errorf("core: Block = %d, must be >= 1 (or 0 for the auto-sized superstep)", p.Block)
+	}
+	if p.Block > 0 && blockEligible(policy, p) {
+		// A superstep buffers Block*D samples per block (several blocks in
+		// flight when pipelined); reject sizes that could only end in an
+		// opaque allocation failure. The product is what matters, so the
+		// cap scales down with D. Policies without a fixed prologue never
+		// allocate a superstep, so Block stays ignored there.
+		d := p.D
+		if d < 1 {
+			d = 1
+		}
+		if p.Block > maxBlockSamples/d {
+			return fmt.Errorf("core: Block = %d with D = %d exceeds the supported superstep size (%d samples)", p.Block, p.D, maxBlockSamples)
+		}
 	}
 	if p.Shards > 1 && policy != StaleBatch {
 		return fmt.Errorf("core: Shards > 1 requires the StaleBatch policy (%v rounds are not intra-round independent)", policy)
@@ -461,8 +497,8 @@ func (pr *Process) Close() {
 	if pr.pipe != nil {
 		pr.pipe.Close()
 	}
-	if pr.kpipe != nil {
-		pr.kpipe.Close()
+	if pr.eng != nil {
+		pr.eng.Close()
 	}
 }
 

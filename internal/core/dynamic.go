@@ -21,14 +21,7 @@ package core
 // roundDynamic places between 1 and maxPlace balls and returns the number
 // placed.
 func (pr *Process) roundDynamic(maxPlace int) int {
-	if pr.kpipe != nil {
-		r := pr.kpipe.next()
-		pr.samples = r.samples
-		pr.makeSlots(r.nonce)
-	} else {
-		pr.rng.FillIntn(pr.samples, pr.n)
-		pr.makeSlots(pr.rng.Uint64())
-	}
+	pr.makeSlots(pr.roundPrologue())
 	sortSlots(pr.slots)
 	target := pr.balls/pr.n + 1
 	toPlace := 0

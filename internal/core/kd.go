@@ -1,5 +1,19 @@
 package core
 
+// roundPrologue materializes the round's d samples into pr.samples and
+// returns the round nonce: from the superstep engine's pre-drawn records
+// when the policy has one, otherwise drawn directly — the identical
+// FillIntn-then-nonce sequence either way.
+func (pr *Process) roundPrologue() uint64 {
+	if pr.eng != nil {
+		r := pr.eng.next()
+		pr.samples = r.samples // observers see the round's raw samples
+		return r.nonce
+	}
+	pr.rng.FillIntn(pr.samples, pr.n)
+	return pr.rng.Uint64()
+}
+
 // roundKD executes one round of the (k,d)-choice process, placing toPlace
 // balls (toPlace = k except possibly in a final partial round).
 //
@@ -9,19 +23,12 @@ package core
 // between bins broken uniformly at random. Because same-bin slot heights
 // are consecutive and distinct, the surviving slots of any bin always form
 // a prefix of its slots, which is exactly the rule "a bin sampled m times
-// receives at most m balls". Slot selection is delegated to the kernel in
-// select.go (counting selection by default, full sort with
-// Params.ReferenceSelect).
+// receives at most m balls". Slot selection is delegated to the
+// store-specialized counting kernel (kernel.go/select.go; reference sort
+// kernel behind Params.ReferenceSelect).
 func (pr *Process) roundKD(toPlace int) {
-	if pr.kpipe != nil {
-		r := pr.kpipe.next()
-		pr.samples = r.samples // observers see the round's raw samples
-		sel := pr.rankSelectWith(r.nonce, r.groups, toPlace)
-		pr.placeSelected(sel)
-		return
-	}
-	pr.rng.FillIntn(pr.samples, pr.n)
-	pr.roundKDFromSamples(toPlace)
+	nonce := pr.roundPrologue()
+	pr.placeSelected(pr.rankSelectWith(nonce, toPlace))
 }
 
 // roundKDFromSamples is roundKD with pr.samples already drawn; it is the
@@ -31,17 +38,10 @@ func (pr *Process) roundKDFromSamples(toPlace int) {
 	pr.placeSelected(pr.rankSelect(toPlace))
 }
 
-// placeSelected commits the round's ranked slots and accounts the round.
+// placeSelected commits the round's ranked slots through the specialized
+// kernel and accounts the round.
 func (pr *Process) placeSelected(sel []slot) {
-	placed, heights := pr.beginObs(len(sel))
-	for s := range sel {
-		b := sel[s].bin
-		h := pr.place(b)
-		if placed != nil {
-			placed[s] = b
-			heights[s] = h
-		}
-	}
+	placed, heights := pr.kern.placeSlots(pr, sel)
 	pr.messages += int64(pr.p.D)
 	pr.notify(pr.samples, placed, heights)
 }
@@ -52,15 +52,7 @@ func (pr *Process) placeSelected(sel []slot) {
 // to roundKD under the same random draws; only the placement order (and so
 // the per-ball height labels) differs — this is Property (i).
 func (pr *Process) roundSerialized(toPlace int) {
-	var sel []slot
-	if pr.kpipe != nil {
-		r := pr.kpipe.next()
-		pr.samples = r.samples
-		sel = pr.rankSelectWith(r.nonce, r.groups, toPlace)
-	} else {
-		pr.rng.FillIntn(pr.samples, pr.n)
-		sel = pr.rankSelect(toPlace)
-	}
+	sel := pr.rankSelectWith(pr.roundPrologue(), toPlace)
 	toPlace = len(sel)
 	sigma := pr.sigmaBuf
 	if pr.p.RandomSigma {

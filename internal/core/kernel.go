@@ -1,0 +1,313 @@
+package core
+
+// This file is the devirtualized kernel layer: the store-touching inner
+// loops of the round engine (slot materialization with its bin-load reads,
+// ball placement, the d-choice argmin scan, the StaleBatch decision scan)
+// are specialized per concrete bin store so every load read compiles to a
+// direct array access instead of a dynamic interface call.
+//
+// The specialization mechanism is generics over the RAW LOAD ELEMENT TYPE
+// (~int for the dense store, ~uint16 for the compact store, ~int32 for the
+// histogram store): the three element widths have distinct GC shapes, so
+// the compiler stencils a full instantiation per store in which indexing
+// the load slice is straight-line inlined code the optimizer can
+// bounds-check-eliminate, schedule, and overlap across loop iterations.
+// (Generics over the store POINTER types would not achieve this: all
+// pointers share one GC shape, so their method calls stay behind a shared
+// dictionary and cost as much as interface dispatch.) The compact store's
+// escape sentinel rides along as a plain value — a cell equal to esc
+// defers to the wide side table; dense and hist pass esc = -1, which no
+// cell can hold, so their escape branch is statically dead weight only.
+//
+// The round loop pays ONE dynamic dispatch per round (through kernelOps)
+// instead of one per bin access. The fourth kernelOps implementation,
+// kernIface, routes every access through the loadvec.Store interface: it
+// is the fallback for store implementations newKernel does not recognize,
+// and the reference the specialized kernels are pinned bit-identical
+// against in store_equivalence_test.go. The store-free ranking tail
+// (rankFromSlots in select.go) is shared by every path, so the selection
+// logic itself cannot drift.
+
+import "repro/internal/loadvec"
+
+// loadElem enumerates the raw per-bin element types of the concrete
+// stores; each has its own GC shape, forcing one full kernel instantiation
+// per store.
+type loadElem interface {
+	~int | ~int32 | ~uint16
+}
+
+// kernelOps is the per-round dispatch seam between the policy round
+// functions and the store-specialized kernels: one dynamic call per round
+// (or per StaleBatch ball), with all per-bin work devirtualized inside.
+type kernelOps interface {
+	// fastSelect groups pr.samples, materializes the round's slots, and
+	// returns the toPlace minimum slots ranked ascending (the counting
+	// selection kernel). The result aliases process scratch.
+	fastSelect(pr *Process, nonce uint64, toPlace int) []slot
+	// placeSlots commits one ball per selected slot and returns the
+	// observation buffers (nil, nil when no observer is installed).
+	placeSlots(pr *Process, sel []slot) (placed, heights []int)
+	// dchoiceBest returns the least-loaded of pr.samples with ties broken
+	// by the per-round keyed hash (the greedy[d] argmin scan).
+	dchoiceBest(pr *Process, nonce uint64) int
+	// staleDecide returns the destination of one StaleBatch ball judged
+	// against the frozen round-start loads. Read-only: the sharded round
+	// calls it concurrently.
+	staleDecide(nonce uint64, ball int, samples []int) int
+	// bulkAdd is the store-specific batch increment (no heights observed).
+	bulkAdd(bins []int)
+}
+
+// newKernel returns the kernel specialized to the concrete store type, or
+// the interface fallback for custom stores.
+func newKernel(store loadvec.Store) kernelOps {
+	switch st := store.(type) {
+	case *loadvec.DenseStore:
+		return kernDense{st}
+	case *loadvec.CompactStore:
+		return kernCompact{st}
+	case *loadvec.HistStore:
+		return kernHist{st}
+	default:
+		return kernIface{store}
+	}
+}
+
+// forceInterfaceKernel reroutes the process through the interface-dispatch
+// kernel — the fallback custom stores get — regardless of the concrete
+// store type. It is the test seam for the specialized-vs-interface
+// bit-identity properties.
+func (pr *Process) forceInterfaceKernel() {
+	pr.kern = kernIface{pr.store}
+}
+
+// bulkAddMin is the selection size at which placeSlots switches from
+// individual adds to the store's batch increment (registerized max/ball
+// counters amortize only over larger batches).
+const bulkAddMin = 16
+
+// kernDense is the kernel over the dense []int store.
+type kernDense struct{ s *loadvec.DenseStore }
+
+func (k kernDense) fastSelect(pr *Process, nonce uint64, toPlace int) []slot {
+	return fastSelectTyped(pr, k.s.RawLoads(), -1, nil, nonce, toPlace)
+}
+func (k kernDense) dchoiceBest(pr *Process, nonce uint64) int {
+	return staleDecideTyped(pr.samples, k.s.RawLoads(), -1, nil, nonce, 0)
+}
+func (k kernDense) staleDecide(nonce uint64, ball int, samples []int) int {
+	return staleDecideTyped(samples, k.s.RawLoads(), -1, nil, nonce, ball)
+}
+func (k kernDense) placeSlots(pr *Process, sel []slot) ([]int, []int) {
+	return placeSlotsOn(pr, k.s, sel)
+}
+func (k kernDense) bulkAdd(bins []int) { k.s.BulkAdd(bins) }
+
+// kernCompact is the kernel over the 2-bytes/bin compact store.
+type kernCompact struct{ s *loadvec.CompactStore }
+
+func (k kernCompact) fastSelect(pr *Process, nonce uint64, toPlace int) []slot {
+	small, wide := k.s.RawLoads()
+	return fastSelectTyped(pr, small, loadvec.CompactEscape, wide, nonce, toPlace)
+}
+func (k kernCompact) dchoiceBest(pr *Process, nonce uint64) int {
+	small, wide := k.s.RawLoads()
+	return staleDecideTyped(pr.samples, small, loadvec.CompactEscape, wide, nonce, 0)
+}
+func (k kernCompact) staleDecide(nonce uint64, ball int, samples []int) int {
+	small, wide := k.s.RawLoads()
+	return staleDecideTyped(samples, small, loadvec.CompactEscape, wide, nonce, ball)
+}
+func (k kernCompact) placeSlots(pr *Process, sel []slot) ([]int, []int) {
+	return placeSlotsOn(pr, k.s, sel)
+}
+func (k kernCompact) bulkAdd(bins []int) { k.s.BulkAdd(bins) }
+
+// kernHist is the kernel over the histogram-indexed store.
+type kernHist struct{ s *loadvec.HistStore }
+
+func (k kernHist) fastSelect(pr *Process, nonce uint64, toPlace int) []slot {
+	return fastSelectTyped(pr, k.s.RawLoads(), -1, nil, nonce, toPlace)
+}
+func (k kernHist) dchoiceBest(pr *Process, nonce uint64) int {
+	return staleDecideTyped(pr.samples, k.s.RawLoads(), -1, nil, nonce, 0)
+}
+func (k kernHist) staleDecide(nonce uint64, ball int, samples []int) int {
+	return staleDecideTyped(samples, k.s.RawLoads(), -1, nil, nonce, ball)
+}
+func (k kernHist) placeSlots(pr *Process, sel []slot) ([]int, []int) {
+	return placeSlotsOn(pr, k.s, sel)
+}
+func (k kernHist) bulkAdd(bins []int) { k.s.BulkAdd(bins) }
+
+// kernIface is the interface-dispatch fallback kernel: every bin access
+// goes through loadvec.Store exactly as the pre-specialization engine did.
+type kernIface struct{ s loadvec.Store }
+
+func (k kernIface) fastSelect(pr *Process, nonce uint64, toPlace int) []slot {
+	// Load-gather pass through the Store interface (the devirtualized
+	// kernels index the raw array here), then the shared probe pass.
+	samples := pr.samples
+	ldv := pr.ldv[:len(samples)]
+	for i, b := range samples {
+		ldv[i] = k.s.Load(b)
+	}
+	return pr.probeAndRank(nonce, toPlace)
+}
+func (k kernIface) dchoiceBest(pr *Process, nonce uint64) int {
+	return k.staleDecide(nonce, 0, pr.samples)
+}
+func (k kernIface) staleDecide(nonce uint64, ball int, samples []int) int {
+	best := samples[0]
+	bestLoad := k.s.Load(best)
+	bestTie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(best)*0x9e3779b97f4a7c15)
+	for _, cand := range samples[1:] {
+		if cand == best {
+			continue
+		}
+		load := k.s.Load(cand)
+		switch {
+		case load < bestLoad:
+			best, bestLoad = cand, load
+			bestTie = mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15)
+		case load == bestLoad:
+			if tie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15); tie < bestTie {
+				best = cand
+				bestTie = tie
+			}
+		}
+	}
+	return best
+}
+func (k kernIface) placeSlots(pr *Process, sel []slot) ([]int, []int) {
+	return placeSlotsOn(pr, k.s, sel)
+}
+func (k kernIface) bulkAdd(bins []int) { k.s.BulkAdd(bins) }
+
+// fastSelectTyped is the specialized entry of the counting kernel: the
+// load-gather pass reads every sampled bin's load through a direct inlined
+// index into the raw array — d independent reads in a tight loop the CPU
+// overlaps at full memory-level parallelism, which is where the interface
+// path loses — and hands off to the shared store-free probe/rank pass.
+func fastSelectTyped[E loadElem](pr *Process, raw []E, esc int, wide map[int]int, nonce uint64, toPlace int) []slot {
+	samples := pr.samples
+	ldv := pr.ldv[:len(samples)]
+	for i, b := range samples {
+		v := int(raw[b])
+		if v == esc {
+			v = wide[b] // compact escape; unreachable otherwise
+		}
+		ldv[i] = v
+	}
+	return pr.probeAndRank(nonce, toPlace)
+}
+
+// The greedy[d] argmin scan of dchoiceBest is staleDecideTyped with
+// ball = 0: the per-ball tie term uint64(ball)<<32 vanishes, leaving
+// exactly the per-(round, bin) keyed hash ballDChoice documents, and the
+// duplicate-bin skip is equivalent to the equal-load tie guard. One scan
+// body therefore serves both policies.
+
+// staleDecideTyped is the specialized StaleBatch per-ball decision scan; it
+// must stay a pure function of (raw state, nonce, ball, samples) — the
+// sharded round calls it concurrently.
+func staleDecideTyped[E loadElem](samples []int, raw []E, esc int, wide map[int]int, nonce uint64, ball int) int {
+	best := samples[0]
+	bestLoad := int(raw[best])
+	if bestLoad == esc {
+		bestLoad = wide[best]
+	}
+	bestTie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(best)*0x9e3779b97f4a7c15)
+	for _, cand := range samples[1:] {
+		if cand == best {
+			continue
+		}
+		load := int(raw[cand])
+		if load == esc {
+			load = wide[cand]
+		}
+		switch {
+		case load < bestLoad:
+			best, bestLoad = cand, load
+			bestTie = mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15)
+		case load == bestLoad:
+			if tie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15); tie < bestTie {
+				best = cand
+				bestTie = tie
+			}
+		}
+	}
+	return best
+}
+
+// adderStore is the placement constraint: Add/BulkAdd mutate aggregate
+// bookkeeping (max load, ball and histogram counters), so placement calls
+// the store's own methods — k calls per round, off the per-bin read path.
+type adderStore interface {
+	Add(bin int) int
+	BulkAdd(bins []int)
+}
+
+// placeSlotsOn commits the selected slots: the unobserved path uses direct
+// (or, for large selections, batch) increments with no height bookkeeping;
+// the observed path records each ball's bin and height.
+func placeSlotsOn[S adderStore](pr *Process, st S, sel []slot) (placed, heights []int) {
+	placed, heights = pr.beginObs(len(sel))
+	if placed == nil {
+		if len(sel) >= bulkAddMin {
+			bins := pr.binsBuf[:0]
+			for i := range sel {
+				bins = append(bins, sel[i].bin)
+			}
+			pr.binsBuf = bins
+			st.BulkAdd(bins)
+		} else {
+			for i := range sel {
+				st.Add(sel[i].bin)
+			}
+		}
+		pr.balls += len(sel)
+		return nil, nil
+	}
+	for s := range sel {
+		b := sel[s].bin
+		h := st.Add(b)
+		placed[s] = b
+		heights[s] = h
+	}
+	pr.balls += len(sel)
+	return placed, heights
+}
+
+// groupTab is the reusable epoch-stamped grouping scratch of the fused
+// kernels: a slot is live iff its stamp equals the current epoch, so a
+// superstep of rounds reuses the table with one epoch increment per round
+// instead of a per-round clear pass. tab packs (bin+1) in the high 32 bits
+// and the sample multiplicity so far in the low 32.
+type groupTab struct {
+	tab   []uint64
+	stamp []uint32
+	epoch uint32
+}
+
+func newGroupTab(d int) *groupTab {
+	size := groupTableSize(d)
+	return &groupTab{
+		tab:   make([]uint64, size),
+		stamp: make([]uint32, size),
+	}
+}
+
+// nextEpoch starts a new round. On uint32 wraparound the stamps are
+// cleared so a slot stamped 4 billion rounds ago can never alias as live.
+func (gt *groupTab) nextEpoch() uint32 {
+	gt.epoch++
+	if gt.epoch == 0 {
+		for i := range gt.stamp {
+			gt.stamp[i] = 0
+		}
+		gt.epoch = 1
+	}
+	return gt.epoch
+}

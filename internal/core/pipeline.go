@@ -1,38 +1,38 @@
 package core
 
-// This file is the within-run pipelined round engine (Params.Pipeline) for
-// the policies whose per-round random-draw pattern is fixed: a producer
-// goroutine repeatedly performs exactly the round prologue the serial path
-// would perform — FillIntn(d samples) followed by one nonce draw, in stream
-// order on the run's own generator — and packages the results as flat
-// per-round records. Because the producer executes the identical draw
-// sequence, the pipelined process is bit-identical to the serial one by
-// construction (pinned by TestStorePolicyBitIdentity); the consumer simply
-// starts each round with its samples already materialized.
+// This file is the superstep round engine behind every fixed-prologue
+// policy: rounds whose random-draw pattern is a constant FillIntn(d
+// samples) followed by one nonce draw (KDChoice, fixed-σ SerializedKD,
+// DChoice, DynamicKD) are pre-drawn in blocks of B rounds — one
+// xrand.FillRounds bulk fill per block instead of 2B separate generator
+// calls — and consumed one kdRound record at a time. Because the bulk fill
+// performs exactly the serial draw sequence (samples then nonce, per round,
+// in stream order), the block engine is bit-identical to per-round drawing
+// by construction; pre-drawing only moves work earlier in time, never
+// changes a word of the stream.
 //
-// For the counting-kernel policies (KDChoice, fixed-σ SerializedKD) the
-// producer additionally pre-groups each round's samples by bin — grouping
-// is a pure function of the samples, so doing it ahead of time changes
-// nothing — which removes both the sampling and the grouping work from the
-// round loop, leaving it only the load reads and the selection itself.
+// B comes from Params.Block (0 auto-sizes to ~4096 samples per superstep),
+// which amortizes the fixed per-round costs — generator state loads, Lemire
+// threshold setup, call overhead — across the whole block.
 //
-// The consumer bulk-copies each block into its own buffers when it switches
-// blocks: one streamed memcpy (prefetch-friendly) instead of per-round
-// demand misses on cache lines still owned by the producer core, which is
-// what makes the handoff profitable. Blocks are recycled through a free
-// list (zero steady-state allocations) and handed over channels (clean
-// happens-before edges under -race).
+// The engine runs in one of two modes:
 //
-// On a single-CPU host (GOMAXPROCS == 1) a producer goroutine could only
-// timeshare the consumer's core, so the handoff would be pure overhead;
-// there the pipe degrades to filling blocks inline on demand — the same
-// records in the same stream order, bit-identical either way — and the
-// engine is simply at parity with the serial path instead of ahead of it.
+//   - inline (the default, and always on a single-CPU host): the consumer
+//     fills its local block in place whenever it runs dry. Same records,
+//     same stream order, zero copies, zero goroutines.
+//   - async (Params.Pipeline on a multi-CPU host): a producer goroutine
+//     pre-draws whole blocks ahead of the round loop and hands them through
+//     channels (clean happens-before edges under -race). The consumer
+//     bulk-copies each block into its own buffers when it switches blocks:
+//     one streamed memcpy instead of per-round demand misses on cache lines
+//     still owned by the producer core. Blocks are recycled through a free
+//     list, so the steady state performs zero allocations.
 //
 // Policies with data-dependent draw patterns (AdaptiveKD's reservoir ties,
-// RandomSigma's shuffles, SAx0's rank draws, ...) cannot pre-draw rounds;
-// they fall back to the generic word-level prefetcher (xrand.Pipelined),
-// which is bit-identical for any policy.
+// RandomSigma's shuffles, SAx0's rank draws, StaleBatch's per-ball fills,
+// ...) cannot pre-draw rounds; under Params.Pipeline they fall back to the
+// generic word-level prefetcher (xrand.Pipelined), which is bit-identical
+// for any policy.
 
 import (
 	"runtime"
@@ -42,70 +42,57 @@ import (
 )
 
 // kdRound is the consumer's view of one pre-drawn round, aliasing the
-// consumer-local block copy; it is valid until the next next() call.
+// consumer-local block; it is valid until the next next() call.
 type kdRound struct {
 	samples []int
-	groups  []groupEntry
 	nonce   uint64
 }
 
-// kdBlock is a batch of pre-drawn rounds in flat layout (bulk-copyable).
+// kdBlock is one superstep of pre-drawn rounds in flat layout
+// (bulk-copyable).
 type kdBlock struct {
-	samples []int        // rounds × d raw samples
-	nonces  []uint64     // rounds
-	groups  []groupEntry // concatenated per-round groups (counting kernel)
-	gend    []int32      // per-round end offsets into groups
+	samples []int    // rounds × d raw samples
+	nonces  []uint64 // rounds
 }
 
-func newKDBlock(rounds, d int, wantGroups bool) *kdBlock {
-	b := &kdBlock{
+func newKDBlock(rounds, d int) *kdBlock {
+	return &kdBlock{
 		samples: make([]int, rounds*d),
 		nonces:  make([]uint64, rounds),
 	}
-	if wantGroups {
-		b.groups = make([]groupEntry, 0, rounds*d)
-		b.gend = make([]int32, rounds)
-	}
-	return b
 }
 
 // copyFrom bulk-copies src into b (one streamed pass per array).
 func (b *kdBlock) copyFrom(src *kdBlock) {
 	copy(b.samples, src.samples)
 	copy(b.nonces, src.nonces)
-	if src.gend != nil {
-		b.groups = b.groups[:len(src.groups)]
-		copy(b.groups, src.groups)
-		copy(b.gend, src.gend)
-	}
 }
 
-// kdPipe produces kdRound records ahead of the round loop.
-type kdPipe struct {
+// roundEngine produces kdRound records ahead of the round loop.
+type roundEngine struct {
 	d      int
-	rounds int
+	rounds int // superstep size B
 
-	// Async mode (extra CPUs available): producer goroutine + channels.
+	// Async mode (Params.Pipeline, extra CPUs): producer + channels.
 	full chan *kdBlock
 	free chan *kdBlock
 	done chan struct{}
 	once sync.Once
 
-	// Inline mode (single CPU): the consumer fills local itself.
-	inline     bool
-	rng        xrand.Source
-	n          int
-	wantGroups bool
-	gt         *groupTab
+	// Inline mode: the consumer fills local itself. rng is shared with the
+	// owning Process (pr.rng stays valid for the non-engine seams).
+	inline bool
+	rng    xrand.Source
+	n      int
 
 	local *kdBlock // consumer-owned copy of the current block
 	idx   int
 	cur   kdRound // scratch for next()'s return value
 }
 
-// pipeEligible reports whether the policy/params combination has the fixed
-// FillIntn-then-nonce round prologue the record pipeline pre-draws.
-func pipeEligible(policy Policy, p Params) bool {
+// blockEligible reports whether the policy/params combination has the
+// fixed FillIntn-then-nonce round prologue the superstep engine pre-draws.
+func blockEligible(policy Policy, p Params) bool {
 	switch policy {
 	case KDChoice, DChoice, DynamicKD:
 		return true
@@ -118,11 +105,22 @@ func pipeEligible(policy Policy, p Params) bool {
 	}
 }
 
-// kdPipeDepth is the number of producer blocks in flight.
-const kdPipeDepth = 3
+// enginePipeDepth is the number of producer blocks in flight (async mode).
+const enginePipeDepth = 3
 
-// kdPipeRounds sizes a block: ~4096 samples per block, at least 4 rounds.
-func kdPipeRounds(d int) int {
+// maxBlockSamples bounds Params.Block * D, the per-block sample buffer: a
+// superstep past 2^24 samples (128 MB of ints, several blocks in flight
+// when pipelined) would fail as an opaque giant allocation instead of a
+// config error, and is far beyond any amortization benefit (auto-sizing
+// picks a few thousand samples).
+const maxBlockSamples = 1 << 24
+
+// blockRounds sizes a superstep: Params.Block when set, otherwise ~4096
+// samples per block with a floor of 4 rounds.
+func blockRounds(d, block int) int {
+	if block > 0 {
+		return block
+	}
 	r := 4096 / d
 	if r < 4 {
 		r = 4
@@ -130,63 +128,43 @@ func kdPipeRounds(d int) int {
 	return r
 }
 
-// newKDPipe starts the engine. wantGroups enables producer-side grouping
-// (the counting kernel's input); rng is owned by the pipe from here on. In
-// async mode a producer goroutine pre-draws blocks; on a single-CPU host
-// the pipe fills blocks inline instead.
-func newKDPipe(rng xrand.Source, n, d int, wantGroups bool) *kdPipe {
-	rounds := kdPipeRounds(d)
-	p := &kdPipe{
-		d:          d,
-		rounds:     rounds,
-		n:          n,
-		wantGroups: wantGroups,
-		local:      newKDBlock(rounds, d, wantGroups),
+// newRoundEngine starts the engine over blocks of `rounds` rounds. In
+// inline mode the rng is shared with the caller and drawn from lazily; in
+// async mode (wantAsync on a multi-CPU host) a producer goroutine owns the
+// rng from here on.
+func newRoundEngine(rng xrand.Source, n, d, rounds int, wantAsync bool) *roundEngine {
+	p := &roundEngine{
+		d:      d,
+		rounds: rounds,
+		n:      n,
+		local:  newKDBlock(rounds, d),
 	}
 	p.idx = rounds // force a refill on the first next()
-	if runtime.GOMAXPROCS(0) <= 1 {
+	if !wantAsync || runtime.GOMAXPROCS(0) <= 1 {
 		p.inline = true
 		p.rng = rng
-		if wantGroups {
-			p.gt = newGroupTab(d)
-		}
 		return p
 	}
-	p.full = make(chan *kdBlock, kdPipeDepth)
-	p.free = make(chan *kdBlock, kdPipeDepth)
+	p.full = make(chan *kdBlock, enginePipeDepth)
+	p.free = make(chan *kdBlock, enginePipeDepth)
 	p.done = make(chan struct{})
-	for i := 0; i < kdPipeDepth; i++ {
-		p.free <- newKDBlock(rounds, d, wantGroups)
+	for i := 0; i < enginePipeDepth; i++ {
+		p.free <- newKDBlock(rounds, d)
 	}
-	go p.produce(rng, n, wantGroups)
+	go p.produce(rng)
 	return p
 }
 
-// fillBlock pre-draws one block of rounds into b: per round, exactly
-// FillIntn(samples, n) then one Uint64 nonce — the serial prologue — plus
-// the pure grouping pass. Shared by the async producer and inline mode, so
+// fillBlock pre-draws one superstep into b: per round, exactly
+// FillIntn(samples, n) then one Uint64 nonce — the serial prologue — via
+// the unrolled bulk fill. Shared by the async producer and inline mode, so
 // the two modes cannot diverge.
-func fillBlock(b *kdBlock, rng xrand.Source, gt *groupTab, n, d, rounds int, wantGroups bool) {
-	if wantGroups {
-		b.groups = b.groups[:0]
-	}
-	for r := 0; r < rounds; r++ {
-		samples := b.samples[r*d : (r+1)*d]
-		rng.FillIntn(samples, n)
-		b.nonces[r] = rng.Uint64()
-		if wantGroups {
-			b.groups = gt.groupInto(samples, b.groups)
-			b.gend[r] = int32(len(b.groups))
-		}
-	}
+func fillBlock(b *kdBlock, rng xrand.Source, n, d int) {
+	rng.FillRounds(b.samples, b.nonces, d, n)
 }
 
 // produce is the async producer loop.
-func (p *kdPipe) produce(rng xrand.Source, n int, wantGroups bool) {
-	var gt *groupTab
-	if wantGroups {
-		gt = newGroupTab(p.d)
-	}
+func (p *roundEngine) produce(rng xrand.Source) {
 	for {
 		var b *kdBlock
 		select {
@@ -194,7 +172,7 @@ func (p *kdPipe) produce(rng xrand.Source, n int, wantGroups bool) {
 			return
 		case b = <-p.free:
 		}
-		fillBlock(b, rng, gt, n, p.d, p.rounds, wantGroups)
+		fillBlock(b, rng, p.n, p.d)
 		select {
 		case <-p.done:
 			return
@@ -204,8 +182,8 @@ func (p *kdPipe) produce(rng xrand.Source, n int, wantGroups bool) {
 }
 
 // next returns the next pre-drawn round. The returned record (and its
-// samples/groups slices) is valid until the following next call.
-func (p *kdPipe) next() *kdRound {
+// samples slice) is valid until the following next call.
+func (p *roundEngine) next() *kdRound {
 	if p.idx == p.rounds {
 		p.advance()
 	}
@@ -214,22 +192,15 @@ func (p *kdPipe) next() *kdRound {
 	b := p.local
 	p.cur.samples = b.samples[i*p.d : (i+1)*p.d]
 	p.cur.nonce = b.nonces[i]
-	if b.gend != nil {
-		start := int32(0)
-		if i > 0 {
-			start = b.gend[i-1]
-		}
-		p.cur.groups = b.groups[start:b.gend[i]]
-	}
 	return &p.cur
 }
 
 // advance refills the local block: inline mode draws it directly; async
 // mode takes the next producer block, bulk-copies it, and recycles it
 // immediately (published blocks are drained before honoring Close).
-func (p *kdPipe) advance() {
+func (p *roundEngine) advance() {
 	if p.inline {
-		fillBlock(p.local, p.rng, p.gt, p.n, p.d, p.rounds, p.wantGroups)
+		fillBlock(p.local, p.rng, p.n, p.d)
 		p.idx = 0
 		return
 	}
@@ -249,57 +220,9 @@ func (p *kdPipe) advance() {
 }
 
 // Close stops the producer goroutine (no-op in inline mode). Idempotent.
-func (p *kdPipe) Close() {
+func (p *roundEngine) Close() {
 	if p.inline {
 		return
 	}
 	p.once.Do(func() { close(p.done) })
-}
-
-// groupTab is the reusable open-addressed grouping scratch: tab entries
-// pack (bin+1) in the high 32 bits and the multiplicity in the low 32, so
-// an insert or increment is a single word load/store; used records the
-// occupied table slots so clearing is one direct store per distinct bin
-// (no re-probing).
-type groupTab struct {
-	tab  []uint64
-	used []int32
-}
-
-func newGroupTab(d int) *groupTab {
-	return &groupTab{tab: make([]uint64, groupTableSize(d)), used: make([]int32, 0, d)}
-}
-
-// groupInto appends samples grouped by bin to dst ((bin+1, multiplicity)
-// pairs in first-occurrence order). It is the one grouping implementation —
-// the serial round loop and the pipeline producer both call it, so the
-// grouping order can never diverge between engines.
-func (gt *groupTab) groupInto(samples []int, dst []groupEntry) []groupEntry {
-	tab := gt.tab
-	mask := uint32(len(tab) - 1)
-	used := gt.used[:0]
-	for _, b := range samples {
-		key := uint64(b+1) << 32
-		h := uint32((uint64(uint32(b))*0x9e3779b97f4a7c15)>>32) & mask
-		for {
-			e := tab[h]
-			if e == 0 {
-				tab[h] = key | 1
-				used = append(used, int32(h))
-				break
-			}
-			if e&^0xffffffff == key {
-				tab[h] = e + 1
-				break
-			}
-			h = (h + 1) & mask
-		}
-	}
-	for _, h := range used {
-		e := tab[h]
-		tab[h] = 0
-		dst = append(dst, groupEntry{bin: int32(e >> 32), count: int32(e)})
-	}
-	gt.used = used
-	return dst
 }

@@ -10,14 +10,16 @@ import "sort"
 //
 // Two implementations exist:
 //
-//   - fastSelect, the default: O(d + k log k) expected. Samples are grouped
-//     by bin with a small open-addressed hash table (O(d) space — the old
-//     per-bin multiplicity array cost O(n) scratch and one random cache
-//     miss per sample at large n, which would have dwarfed the compact
-//     store's 2-bytes/bin budget), the k-th smallest height is located by
-//     counting over the round's dense height window, and random tie keys
-//     are derived lazily — only for slots at or below the boundary height —
-//     via a keyed hash of (bin, height) under a per-round nonce.
+//   - the counting kernel, the default: O(d + k log k) expected. The
+//     store-specialized fused pass in kernel.go groups the samples with an
+//     epoch-stamped open-addressed table (O(d) space, reused clear-free
+//     across a whole superstep) and materializes the slots in the same
+//     scan, reading each distinct bin's load exactly once through a
+//     devirtualized store access; rankFromSlots below then locates the
+//     k-th smallest height by counting over the round's dense height
+//     window, deriving random tie keys lazily — only for slots at or below
+//     the boundary height — via a keyed hash of (bin, height) under a
+//     per-round nonce.
 //   - the reference kernel (Params.ReferenceSelect): the original
 //     sort-everything path, kept as the oracle the fast kernel is tested
 //     against.
@@ -38,23 +40,17 @@ func tieKey(nonce uint64, bin, height int) uint64 {
 	return mix64(nonce ^ uint64(bin)*0x9e3779b97f4a7c15 ^ uint64(height)*0xda942042e4dd58b5)
 }
 
-// rankSelect draws the round nonce, groups the current pr.samples, and
-// returns the toPlace minimum slots ranked ascending. The returned slice
-// aliases process scratch and is valid until the next round. The pipelined
-// round paths skip this and call rankSelectWith on their pre-drawn record.
+// rankSelect draws the round nonce and ranks the current pr.samples. The
+// returned slice aliases process scratch and is valid until the next round.
+// The engine round paths skip this and call rankSelectWith on their
+// pre-drawn nonce.
 func (pr *Process) rankSelect(toPlace int) []slot {
-	nonce := pr.rng.Uint64()
-	var groups []groupEntry
-	if !pr.p.ReferenceSelect {
-		groups = pr.groupSamples()
-	}
-	return pr.rankSelectWith(nonce, groups, toPlace)
+	return pr.rankSelectWith(pr.rng.Uint64(), toPlace)
 }
 
-// rankSelectWith is rankSelect with the nonce (and, for the counting
-// kernel, the grouped samples) already materialized — either by rankSelect
-// itself or by the pipeline producer.
-func (pr *Process) rankSelectWith(nonce uint64, groups []groupEntry, toPlace int) []slot {
+// rankSelectWith is rankSelect with the nonce already materialized — either
+// by rankSelect itself or by the superstep engine.
+func (pr *Process) rankSelectWith(nonce uint64, toPlace int) []slot {
 	if pr.p.ReferenceSelect {
 		pr.makeSlots(nonce)
 		sortSlots(pr.slots)
@@ -63,43 +59,128 @@ func (pr *Process) rankSelectWith(nonce uint64, groups []groupEntry, toPlace int
 		}
 		return pr.slots[:toPlace]
 	}
-	return pr.fastSelect(nonce, groups, toPlace)
+	return pr.kern.fastSelect(pr, nonce, toPlace)
 }
 
-// groupSamples groups pr.samples by bin in first-occurrence order: a
-// half-full open-addressed hash table over the round's <= d distinct bins.
-// The table lives in L1 regardless of n — the old per-bin multiplicity
-// array cost O(n) scratch and one random cache miss per sample — and the
-// selected slot set does not depend on grouping mechanics (the final
-// ranking is by the (height, tie, bin) total order), so hashing preserves
-// bit-identity with the reference kernel.
-func (pr *Process) groupSamples() []groupEntry {
-	pr.gbuf = pr.gtab.groupInto(pr.samples, pr.gbuf[:0])
-	return pr.gbuf
-}
+// probeAndRank is the store-free heart of the counting kernel, shared by
+// every kernel instantiation: pr.ldv holds the load of each sample (filled
+// by the kernel's specialized gather pass), and one scan over the samples
+// probes the epoch-stamped group table and materializes the conceptual
+// slots (the i-th sample of bin b has height load(b)+i). The slot SET and
+// the final ranking are independent of slot emission order (the total
+// order on (height, tie, bin) is strict), so fusing the former
+// group-then-materialize pipeline changes no result. A repeat sample's
+// height comes straight from its own ldv entry — the table records only
+// the multiplicity, never the load.
+func (pr *Process) probeAndRank(nonce uint64, toPlace int) []slot {
+	samples := pr.samples
+	ldv := pr.ldv[:len(samples)]
+	gt := pr.gtab
+	epoch := gt.nextEpoch()
+	tab := gt.tab
+	stamp := gt.stamp[:len(tab)] // same power-of-two size; ties the lengths for the prover
+	mask := len(tab) - 1
 
-// fastSelect is the O(d + k log k) selection kernel over pre-grouped
-// samples.
-func (pr *Process) fastSelect(nonce uint64, groups []groupEntry, toPlace int) []slot {
-	// Materialize the slots and the round's height window.
-	slots := pr.slots[:0]
+	if toPlace > 0 && toPlace <= 4 && toPlace < len(samples) {
+		// Small-k fast path: selection is fused into the probe scan as a
+		// streaming top-toPlace under the full (height, tie, bin) order —
+		// no slot materialization, no histogram, no second pass. A slot
+		// strictly above the running worst can never enter the selection,
+		// so its tie key is never derived; the surviving set (and, after
+		// the final sort, its ranking) is exactly what the counting path
+		// computes, for ANY height spread — the lazy-tie window exists
+		// only to spare keys, not to define results.
+		topk := pr.sel[:0]
+		worst := -1
+		var wslot slot // register copy of topk[worst]: the compare touches no memory
+		for i, b := range samples {
+			key := uint64(b+1) << 32
+			h := int((uint64(uint32(b)) * 0x9e3779b97f4a7c15) >> 32)
+			var ht int
+			for {
+				if stamp[h&mask] != epoch {
+					stamp[h&mask] = epoch
+					tab[h&mask] = key | 1
+					ht = ldv[i] + 1
+					break
+				}
+				if e := tab[h&mask]; e&^0xffffffff == key {
+					c := int(uint32(e)) + 1
+					tab[h&mask] = e + 1
+					ht = ldv[i] + c
+					break
+				}
+				h++
+			}
+			if worst >= 0 {
+				if ht > wslot.height {
+					continue // cannot contend; tie key never needed
+				}
+				s := slot{bin: b, height: ht, tie: tieKey(nonce, b, ht)}
+				if slotLess(s, wslot) {
+					topk[worst] = s
+					worst = worstSlot(topk)
+					wslot = topk[worst]
+				}
+				continue
+			}
+			topk = append(topk, slot{bin: b, height: ht, tie: tieKey(nonce, b, ht)})
+			if len(topk) == toPlace {
+				worst = worstSlot(topk)
+				wslot = topk[worst]
+			}
+		}
+		sortSlots(topk)
+		pr.sel = topk
+		return topk
+	}
+
+	slots := pr.slots[:len(samples)]
 	minH := int(^uint(0) >> 1)
 	maxH := 0
-	for i := range groups {
-		b := int(groups[i].bin) - 1
-		m := int(groups[i].count)
-		load := pr.store.Load(b)
-		for c := 1; c <= m; c++ {
-			slots = append(slots, slot{bin: b, height: load + c})
+	for i, b := range samples {
+		key := uint64(b+1) << 32
+		h := int((uint64(uint32(b)) * 0x9e3779b97f4a7c15) >> 32)
+		var ht int
+		for {
+			// Indexing through h&mask lets the compiler drop the bounds
+			// checks: mask is len-1 of both power-of-two-sized arrays.
+			if stamp[h&mask] != epoch {
+				// First occurrence of b this round: claim a table slot.
+				stamp[h&mask] = epoch
+				tab[h&mask] = key | 1
+				ht = ldv[i] + 1
+				if ht < minH {
+					minH = ht
+				}
+				break
+			}
+			if e := tab[h&mask]; e&^0xffffffff == key {
+				// Repeat sample: the next conceptual ball of b sits its
+				// multiplicity above the bin's load.
+				c := int(uint32(e)) + 1
+				tab[h&mask] = e + 1
+				ht = ldv[i] + c
+				break
+			}
+			h++
 		}
-		if load+1 < minH {
-			minH = load + 1
+		if ht > maxH {
+			maxH = ht
 		}
-		if load+m > maxH {
-			maxH = load + m
-		}
+		slots[i] = slot{bin: b, height: ht}
 	}
 	pr.slots = slots
+	return pr.rankFromSlots(nonce, toPlace, minH, maxH)
+}
+
+// rankFromSlots is the ranking tail of the counting kernel: pr.slots holds
+// the round's materialized slots with heights spanning [minH, maxH]; the
+// toPlace minimum slots are returned ranked ascending. In the steady-state
+// common case every slot sits at one height (minH == maxH) and the
+// boundary is known without touching the histogram at all.
+func (pr *Process) rankFromSlots(nonce uint64, toPlace, minH, maxH int) []slot {
+	slots := pr.slots
 	if toPlace > len(slots) {
 		toPlace = len(slots)
 	}
@@ -107,60 +188,100 @@ func (pr *Process) fastSelect(nonce uint64, groups []groupEntry, toPlace int) []
 		return slots[:0]
 	}
 
-	if maxH-minH >= len(pr.hist) {
-		// Sparse heights (sampled loads spread wider than the counting
-		// window, only possible under extreme imbalance): fall back to the
-		// reference full sort. Same comparator and keys, so the selected
-		// set is identical to what the counting path would pick.
-		for i := range slots {
-			slots[i].tie = tieKey(nonce, slots[i].bin, slots[i].height)
+	boundary, need := minH, toPlace
+	if maxH != minH {
+		hist := pr.hist
+		if maxH-minH >= len(hist) {
+			// Sparse heights (sampled loads spread wider than the counting
+			// window, only possible under extreme imbalance): fall back to
+			// the reference full sort. Same comparator and keys, so the
+			// selected set is identical to what the counting path would
+			// pick.
+			for i := range slots {
+				slots[i].tie = tieKey(nonce, slots[i].bin, slots[i].height)
+			}
+			sortSlots(slots)
+			return slots[:toPlace]
 		}
-		sortSlots(slots)
-		return slots[:toPlace]
-	}
 
-	// Count slots per height and locate the boundary: the height of the
-	// toPlace-th smallest slot.
-	hist := pr.hist
-	for i := range slots {
-		hist[slots[i].height-minH]++
-	}
-	below := 0 // slots strictly below the boundary height
-	off := 0
-	for {
-		c := int(hist[off])
-		if below+c >= toPlace {
-			break
+		// Count slots per height and locate the boundary: the height of
+		// the toPlace-th smallest slot.
+		for i := range slots {
+			hist[slots[i].height-minH]++
 		}
-		below += c
-		off++
-	}
-	boundary := minH + off
-	need := toPlace - below // slots to take at the boundary height
-	for i := range slots {
-		hist[slots[i].height-minH] = 0
+		below := 0 // slots strictly below the boundary height
+		off := 0
+		for {
+			c := int(hist[off])
+			if below+c >= toPlace {
+				break
+			}
+			below += c
+			off++
+		}
+		boundary = minH + off
+		need = toPlace - below // slots to take at the boundary height
+		for i := 0; i <= maxH-minH; i++ {
+			hist[i] = 0
+		}
 	}
 
 	// Gather: everything below the boundary is selected outright; the
 	// boundary cohort is genuinely tied, so only now are tie keys derived.
+	// Small cohorts feed a streaming top-need selection directly (one
+	// comparison per candidate against the running worst in the common
+	// all-tied steady state); large cohorts are gathered and quickselected.
+	// bkey hoists the height term of the boundary cohort's tie keys: every
+	// cohort member shares the boundary height, so its key reduces to one
+	// multiply and the mixer. Identical arithmetic to tieKey.
+	bkey := nonce ^ uint64(boundary)*0xda942042e4dd58b5
 	sel := pr.sel[:0]
 	bnd := pr.bnd[:0]
-	for i := range slots {
-		s := slots[i]
-		if s.height > boundary {
-			continue
+	if need <= 4 {
+		worst := -1
+		for i := range slots {
+			s := slots[i]
+			if s.height > boundary {
+				continue
+			}
+			if s.height < boundary {
+				s.tie = tieKey(nonce, s.bin, s.height)
+				sel = append(sel, s)
+				continue
+			}
+			s.tie = mix64(bkey ^ uint64(s.bin)*0x9e3779b97f4a7c15)
+			if len(bnd) < need {
+				bnd = append(bnd, s)
+				if len(bnd) == need {
+					worst = worstSlot(bnd)
+				}
+				continue
+			}
+			if slotLess(s, bnd[worst]) {
+				bnd[worst] = s
+				worst = worstSlot(bnd)
+			}
 		}
-		s.tie = tieKey(nonce, s.bin, s.height)
-		if s.height < boundary {
-			sel = append(sel, s)
-		} else {
-			bnd = append(bnd, s)
+		sel = append(sel, bnd...)
+	} else {
+		for i := range slots {
+			s := slots[i]
+			if s.height > boundary {
+				continue
+			}
+			if s.height < boundary {
+				s.tie = tieKey(nonce, s.bin, s.height)
+				sel = append(sel, s)
+			} else {
+				s.tie = mix64(bkey ^ uint64(s.bin)*0x9e3779b97f4a7c15)
+				bnd = append(bnd, s)
+			}
 		}
+		if need < len(bnd) {
+			selectSmallestSlots(bnd, need)
+		}
+		sel = append(sel, bnd[:need]...)
 	}
-	if need < len(bnd) {
-		selectSmallestSlots(bnd, need)
-	}
-	sel = append(sel, bnd[:need]...)
 	pr.bnd = bnd
 
 	// Rank the k selected slots so SerializedKD sees a total order of
@@ -170,23 +291,39 @@ func (pr *Process) fastSelect(nonce uint64, groups []groupEntry, toPlace int) []
 	return sel
 }
 
+// worstSlot returns the index of the largest element under the slot total
+// order (the streaming top-k's replacement candidate).
+func worstSlot(s []slot) int {
+	worst := 0
+	for i := 1; i < len(s); i++ {
+		if slotLess(s[worst], s[i]) {
+			worst = i
+		}
+	}
+	return worst
+}
+
 // selectSmallestSlots partially sorts s so that s[:k] holds its k smallest
-// elements under the slot total order. Small k uses k min-scan passes —
-// the common boundary cohort in steady state is "every slot tied at one
-// height" (the process keeps loads flat), where O(k·len) scans beat
-// quickselect's partition passes — larger k uses expected-O(len)
-// quickselect. Both compute the same smallest-k SET, and the caller sorts
-// the final selection, so the choice cannot affect results.
+// elements under the slot total order. Small k uses a single streaming pass
+// that keeps the running top-k in the prefix — the common boundary cohort
+// in steady state is "every slot tied at one height" (the process keeps
+// loads flat), where one comparison per candidate against the running worst
+// beats k min-scan passes — larger k uses expected-O(len) quickselect. Both
+// compute the same smallest-k SET, and the caller sorts the final
+// selection, so the choice cannot affect results.
 func selectSmallestSlots(s []slot, k int) {
+	if k <= 0 {
+		return
+	}
 	if k < len(s) && k <= 4 {
-		for i := 0; i < k; i++ {
-			min := i
-			for j := i + 1; j < len(s); j++ {
-				if slotLess(s[j], s[min]) {
-					min = j
-				}
+		// worst is the index of the largest element of the running top-k
+		// prefix; most candidates lose one comparison against it and move on.
+		worst := worstSlot(s[:k])
+		for j := k; j < len(s); j++ {
+			if slotLess(s[j], s[worst]) {
+				s[worst], s[j] = s[j], s[worst]
+				worst = worstSlot(s[:k])
 			}
-			s[i], s[min] = s[min], s[i]
 		}
 		return
 	}

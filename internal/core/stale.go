@@ -1,10 +1,6 @@
 package core
 
-import (
-	"sync"
-
-	"repro/internal/loadvec"
-)
+import "sync"
 
 // StaleBatch is the parallel-allocation counterpoint to (k,d)-choice: the
 // k balls of a round probe INDEPENDENTLY (PerBallD probes each) and every
@@ -30,33 +26,9 @@ import (
 // the round-based (k,d) policies share one probe batch and serialize
 // through the selection kernel, so they cannot shard a round.
 
-// staleDecide returns the destination of one StaleBatch ball: the least
-// loaded of its samples judged against the frozen round-start store, ties
-// broken by the per-(round, ball, bin) keyed hash. It must stay a pure
-// function of (store, nonce, ball, samples) — the sharded round calls it
-// concurrently.
-func staleDecide(store loadvec.Store, nonce uint64, ball int, samples []int) int {
-	best := samples[0]
-	bestLoad := store.Load(best)
-	bestTie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(best)*0x9e3779b97f4a7c15)
-	for _, cand := range samples[1:] {
-		if cand == best {
-			continue
-		}
-		load := store.Load(cand)
-		switch {
-		case load < bestLoad:
-			best, bestLoad = cand, load
-			bestTie = mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15)
-		case load == bestLoad:
-			if tie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15); tie < bestTie {
-				best = cand
-				bestTie = tie
-			}
-		}
-	}
-	return best
-}
+// The per-ball decision scan lives in kernel.go (kern.staleDecide): one
+// dynamic dispatch per ball, with the d load reads inside devirtualized to
+// the concrete store type.
 
 // roundStaleBatch places toPlace balls, each with its own perBall probes
 // judged against the stale round-start loads.
@@ -75,7 +47,7 @@ func (pr *Process) roundStaleBatch(toPlace int) {
 	dests := pr.cands[:toPlace]
 	for b := 0; b < toPlace; b++ {
 		pr.rng.FillIntn(pr.samples[:perBall], pr.n)
-		dests[b] = staleDecide(pr.store, nonce, b, pr.samples[:perBall])
+		dests[b] = pr.kern.staleDecide(nonce, b, pr.samples[:perBall])
 	}
 	pr.applyStaleDests(dests, placed, heights)
 }
@@ -113,7 +85,7 @@ func (pr *Process) roundStaleBatchSharded(toPlace, shards int) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for b := lo; b < hi; b++ {
-				dests[b] = staleDecide(pr.store, nonce, b, buf[b*perBall:(b+1)*perBall])
+				dests[b] = pr.kern.staleDecide(nonce, b, buf[b*perBall:(b+1)*perBall])
 			}
 		}(lo, hi)
 	}
@@ -122,11 +94,16 @@ func (pr *Process) roundStaleBatchSharded(toPlace, shards int) {
 }
 
 // applyStaleDests commits the round's decisions in ball order (the
-// round-synchronous update) and accounts messages.
+// round-synchronous update) and accounts messages. Unobserved rounds use
+// the store-specific batch increment (dests is already the plain bin list
+// BulkAdd wants); observed rounds record per-ball heights.
 func (pr *Process) applyStaleDests(dests, placed, heights []int) {
-	for i, dst := range dests {
-		h := pr.place(dst)
-		if placed != nil {
+	if placed == nil {
+		pr.kern.bulkAdd(dests)
+		pr.balls += len(dests)
+	} else {
+		for i, dst := range dests {
+			h := pr.place(dst)
 			placed[i] = dst
 			heights[i] = h
 		}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -203,7 +205,7 @@ func TestPipelinedAsyncMatchesSerial(t *testing.T) {
 		p.Pipeline = true
 		p.Store = loadvec.StoreCompact
 		got := MustNew(tc.policy, p, xrand.New(seed))
-		if got.kpipe == nil || got.kpipe.inline {
+		if got.eng == nil || got.eng.inline {
 			t.Fatalf("%v: expected async record pipeline (GOMAXPROCS=%d)", tc.policy, runtime.GOMAXPROCS(0))
 		}
 		ref.Place(m)
@@ -312,5 +314,121 @@ func TestCompactStoreEscapeUnderProcess(t *testing.T) {
 	stateEqual(t, "escape", ref, got)
 	if got.MaxLoad() <= 65535 {
 		t.Fatalf("test did not cross the escape threshold (max %d)", got.MaxLoad())
+	}
+}
+
+// TestSpecializedKernelMatchesInterface is the devirtualization acceptance
+// property: for every policy, every concrete store, every superstep size
+// (auto, B=1, and a non-divisor B), and both engine modes, the
+// store-specialized kernels produce results bit-identical to the
+// interface-dispatch reference kernel (the path custom stores take). The
+// reference runs serially with the default superstep; the variants cover
+// the full (policy × store × block × pipeline) matrix, so this pins kernel
+// specialization, superstep batching, and the pipelined engine against one
+// oracle at once. Run under -race in CI.
+func TestSpecializedKernelMatchesInterface(t *testing.T) {
+	stores := []loadvec.StoreKind{loadvec.StoreDense, loadvec.StoreCompact, loadvec.StoreHist}
+	blocks := []int{0, 1, 3} // auto, single-round, non-divisor of the round count
+	const seed, m = 90210, 331
+	for _, tc := range allPolicyCases() {
+		t.Run(tc.policy.String(), func(t *testing.T) {
+			for _, store := range stores {
+				// Reference: interface kernel, serial, default superstep.
+				rp := tc.p
+				rp.Store = store
+				ref := MustNew(tc.policy, rp, xrand.New(seed))
+				ref.forceInterfaceKernel()
+				ref.Place(m)
+				for _, block := range blocks {
+					for _, pipeline := range []bool{false, true} {
+						p := tc.p
+						p.Store = store
+						p.Block = block
+						p.Pipeline = pipeline
+						got := MustNew(tc.policy, p, xrand.New(seed))
+						got.Place(m)
+						stage := fmt.Sprintf("%v/block=%d/pipeline=%v", store, block, pipeline)
+						stateEqual(t, stage, ref, got)
+						got.Close()
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInterfaceKernelBlockMatrix closes the loop the other way: the
+// interface kernel itself run at every block size matches the specialized
+// default — superstep batching and kernel dispatch are independent axes.
+func TestInterfaceKernelBlockMatrix(t *testing.T) {
+	const seed, m = 777, 257
+	p := Params{N: 96, K: 3, D: 11}
+	ref := MustNew(KDChoice, p, xrand.New(seed))
+	ref.Place(m)
+	for _, block := range []int{1, 2, 5, 64} {
+		pb := p
+		pb.Block = block
+		got := MustNew(KDChoice, pb, xrand.New(seed))
+		got.forceInterfaceKernel()
+		got.Place(m)
+		stateEqual(t, fmt.Sprintf("iface/block=%d", block), ref, got)
+	}
+}
+
+// TestBlockValidation: negative supersteps are rejected with a clear
+// error; zero (auto) and explicit sizes are accepted, and non-prologue
+// policies ignore the knob.
+func TestBlockValidation(t *testing.T) {
+	if err := Validate(KDChoice, Params{N: 8, K: 1, D: 2, Block: -1}); err == nil {
+		t.Fatal("negative Block accepted")
+	} else if !strings.Contains(err.Error(), "Block") {
+		t.Fatalf("negative Block error does not name the field: %v", err)
+	}
+	for _, block := range []int{0, 1, 7, 4096, maxBlockSamples / 2} {
+		if err := Validate(KDChoice, Params{N: 8, K: 1, D: 2, Block: block}); err != nil {
+			t.Fatalf("Block=%d rejected: %v", block, err)
+		}
+	}
+	// The cap bounds the Block*D product, so it scales down with D.
+	if err := Validate(KDChoice, Params{N: 8, K: 1, D: 2, Block: maxBlockSamples/2 + 1}); err == nil {
+		t.Fatal("absurd Block accepted (would allocate Block*D samples)")
+	}
+	if err := Validate(KDChoice, Params{N: 4096, K: 1, D: 4096, Block: maxBlockSamples / 8}); err == nil {
+		t.Fatal("absurd Block*D accepted at large D")
+	}
+	if err := Validate(SingleChoice, Params{N: 8, Block: 3}); err != nil {
+		t.Fatalf("non-prologue policy rejected Block: %v", err)
+	}
+	// Non-prologue policies never allocate a superstep, so the size cap
+	// does not apply to them either.
+	if err := Validate(SingleChoice, Params{N: 8, Block: maxBlockSamples + 1}); err != nil {
+		t.Fatalf("non-prologue policy hit the superstep cap: %v", err)
+	}
+}
+
+// TestRoundAllocationFreeKernels extends the zero-allocs-per-round pin to
+// the specialized kernels across stores and superstep sizes, including
+// B=1 (a refill every round) and a non-divisor B.
+func TestRoundAllocationFreeKernels(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"dense/auto", Params{N: 4096, K: 2, D: 64}},
+		{"dense/block=1", Params{N: 4096, K: 2, D: 64, Block: 1}},
+		{"dense/block=5", Params{N: 4096, K: 2, D: 64, Block: 5}},
+		{"compact/block=3", Params{N: 4096, K: 2, D: 64, Store: loadvec.StoreCompact, Block: 3}},
+		{"hist/block=1", Params{N: 4096, K: 2, D: 64, Store: loadvec.StoreHist, Block: 1}},
+		{"large-k/auto", Params{N: 4096, K: 16, D: 48}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pr := MustNew(KDChoice, tc.p, xrand.New(9))
+			defer pr.Close()
+			pr.Place(4096) // warm the scratch buffers and superstep blocks
+			if avg := testing.AllocsPerRun(200, pr.Round); avg != 0 {
+				t.Fatalf("%v allocs per round, want 0", avg)
+			}
+		})
 	}
 }

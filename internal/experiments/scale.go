@@ -32,8 +32,11 @@ type HeavyScaleOpts struct {
 	Runs int
 	// Seed is the root seed.
 	Seed uint64
-	// Store selects the bin-load representation (default StoreCompact).
-	Store kdchoice.Store
+	// Store selects the bin-load representation; nil means the study
+	// default, StoreCompact. A pointer distinguishes "unset" from an
+	// explicit StoreDense (the zero Store value), so the dense baseline
+	// is selectable too.
+	Store *kdchoice.Store
 	// Workers bounds the shared pool; 0 means GOMAXPROCS.
 	Workers int
 }
@@ -54,8 +57,9 @@ func (o HeavyScaleOpts) withDefaults() HeavyScaleOpts {
 	if o.Runs == 0 {
 		o.Runs = 3
 	}
-	if o.Store == 0 { // zero value is StoreDense; the study defaults to compact
-		o.Store = kdchoice.StoreCompact
+	if o.Store == nil {
+		def := kdchoice.StoreCompact
+		o.Store = &def
 	}
 	return o
 }
@@ -90,7 +94,7 @@ func HeavyScale(opts HeavyScaleOpts) ([]HeavyScalePoint, error) {
 				Bins:     n,
 				K:        o.K,
 				D:        o.D,
-				Store:    o.Store,
+				Store:    *o.Store,
 				Pipeline: true,
 				Seed:     o.Seed + uint64(i)*1e6,
 			},

@@ -93,6 +93,12 @@ type Store interface {
 	// Add places one ball into the bin and returns its new load (the
 	// ball's height).
 	Add(bin int) int
+	// BulkAdd places one ball into every listed bin (bins may repeat) with
+	// a single aggregate-bookkeeping update — the store-specific bulk
+	// increment used by the round engines when no per-ball height needs to
+	// be observed. The final state is exactly that of calling Add once per
+	// entry in order.
+	BulkAdd(bins []int)
 	// Set overwrites the bin's load, keeping the aggregate bookkeeping
 	// (balls, max load, histogram) consistent. Not a hot-path operation.
 	Set(bin, load int)
@@ -157,6 +163,21 @@ func (s *DenseStore) Add(bin int) int {
 	return h
 }
 
+// BulkAdd implements Store: the max and ball counters stay in registers
+// across the whole batch instead of being re-written per ball.
+func (s *DenseStore) BulkAdd(bins []int) {
+	max := s.max
+	for _, b := range bins {
+		v := s.loads[b] + 1
+		s.loads[b] = v
+		if v > max {
+			max = v
+		}
+	}
+	s.max = max
+	s.balls += len(bins)
+}
+
 // Set implements Store.
 func (s *DenseStore) Set(bin, load int) {
 	old := s.loads[bin]
@@ -217,35 +238,76 @@ func (s *CompactStore) Kind() StoreKind { return StoreCompact }
 // Len implements Store.
 func (s *CompactStore) Len() int { return len(s.small) }
 
-// Load implements Store.
+// Load implements Store. The non-escaped fast path is small enough to
+// inline into the specialized round kernels; the wide-table lookup is
+// outlined so the map access cannot blow the inlining budget.
 func (s *CompactStore) Load(bin int) int {
 	if v := s.small[bin]; v != escape16 {
 		return int(v)
 	}
-	return s.wide[bin]
+	return s.loadWide(bin)
 }
 
-// Add implements Store.
+// loadWide returns the load of an escaped cell from the wide side table.
+func (s *CompactStore) loadWide(bin int) int { return s.wide[bin] }
+
+// Add implements Store. Like Load, the in-range increment stays inlinable
+// and the escape transitions are outlined into addEscaped.
 func (s *CompactStore) Add(bin int) int {
-	var h int
-	switch v := s.small[bin]; {
-	case v == escape16:
+	if v := s.small[bin]; v < escape16-1 {
+		v++
+		s.small[bin] = v
+		h := int(v)
+		if h > s.max {
+			s.max = h
+		}
+		s.balls++
+		return h
+	}
+	return s.addEscaped(bin)
+}
+
+// addEscaped handles the two escape cases of Add — the cell is already
+// wide, or this increment reaches the escape sentinel and moves it to the
+// wide table — including the aggregate bookkeeping.
+func (s *CompactStore) addEscaped(bin int) int {
+	h := escape16
+	if s.small[bin] == escape16 {
 		h = s.wide[bin] + 1
 		s.wide[bin] = h
-	case v == escape16-1:
-		// The cell reaches the escape sentinel: move it to the wide table.
-		h = escape16
+	} else {
 		s.small[bin] = escape16
-		s.wide[bin] = h
-	default:
-		s.small[bin] = v + 1
-		h = int(v) + 1
+		s.wide[bin] = escape16
 	}
 	if h > s.max {
 		s.max = h
 	}
 	s.balls++
 	return h
+}
+
+// BulkAdd implements Store: in-range cells increment with the max counter
+// in a register; escaped cells fall back to addEscaped.
+func (s *CompactStore) BulkAdd(bins []int) {
+	max := s.max
+	balls := s.balls
+	for _, b := range bins {
+		if v := s.small[b]; v < escape16-1 {
+			s.small[b] = v + 1
+			if h := int(v) + 1; h > max {
+				max = h
+			}
+			balls++
+			continue
+		}
+		// Escape transition: flush the register copies so addEscaped sees
+		// consistent state, then reload them.
+		s.max, s.balls = max, balls
+		s.addEscaped(b)
+		max, balls = s.max, s.balls
+	}
+	s.max = max
+	s.balls = balls
 }
 
 // Set implements Store.
@@ -367,20 +429,37 @@ func (s *HistStore) Len() int { return len(s.loads) }
 // Load implements Store.
 func (s *HistStore) Load(bin int) int { return int(s.loads[bin]) }
 
-// Add implements Store.
+// Add implements Store. The histogram-growth path is outlined so the
+// common increment stays small enough to inline into the specialized round
+// kernels.
 func (s *HistStore) Add(bin int) int {
-	y := int(s.loads[bin])
-	s.loads[bin] = int32(y + 1)
-	s.count[y]--
-	if y+1 >= len(s.count) {
-		s.count = append(s.count, 0)
+	y := int(s.loads[bin]) + 1
+	s.loads[bin] = int32(y)
+	s.count[y-1]--
+	if y >= len(s.count) {
+		s.grow(y)
 	}
-	s.count[y+1]++
-	if y+1 > s.max {
-		s.max = y + 1
+	s.count[y]++
+	if y > s.max {
+		s.max = y
 	}
 	s.balls++
-	return y + 1
+	return y
+}
+
+// grow extends the histogram to cover load y.
+func (s *HistStore) grow(y int) {
+	for y >= len(s.count) {
+		s.count = append(s.count, 0)
+	}
+}
+
+// BulkAdd implements Store. The histogram must move one unit per ball, so
+// there is no cheaper aggregate form; the batch simply loops Add.
+func (s *HistStore) BulkAdd(bins []int) {
+	for _, b := range bins {
+		s.Add(b)
+	}
 }
 
 // Set implements Store.
@@ -458,3 +537,21 @@ func (s *HistStore) Reset() {
 func (s *HistStore) BytesPerBin() float64 {
 	return 4 + float64(8*len(s.count))/float64(len(s.loads))
 }
+
+// CompactEscape is the sentinel cell value marking an escaped compact bin;
+// exported for the specialized kernels' raw fast path.
+const CompactEscape = escape16
+
+// RawLoads exposes the dense store's backing load array for the
+// store-specialized kernels. Read-only for callers: mutating it directly
+// desynchronizes the aggregate bookkeeping.
+func (s *DenseStore) RawLoads() []int { return s.loads }
+
+// RawLoads exposes the compact store's small cells and wide side table for
+// the store-specialized kernels: a cell equal to CompactEscape holds its
+// true load in the map. Read-only for callers.
+func (s *CompactStore) RawLoads() ([]uint16, map[int]int) { return s.small, s.wide }
+
+// RawLoads exposes the histogram store's backing load array for the
+// store-specialized kernels. Read-only for callers.
+func (s *HistStore) RawLoads() []int32 { return s.loads }

@@ -234,3 +234,64 @@ func TestStoreBytesPerBin(t *testing.T) {
 		t.Fatalf("hist BytesPerBin = %v", b)
 	}
 }
+
+// TestBulkAddMatchesAdd: on every store, BulkAdd must leave exactly the
+// state of calling Add once per entry — including the compact store's
+// escape transition mid-batch, whose register flush/reload around
+// addEscaped no process-level test crosses (the kernel equivalence oracle
+// calls the same BulkAdd on both sides, so only a direct store-level
+// coupling can catch a bug here).
+func TestBulkAddMatchesAdd(t *testing.T) {
+	build := func(kind StoreKind) (Store, Store) {
+		a, err := NewStore(kind, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewStore(kind, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, b
+	}
+	check := func(name string, a, b Store) {
+		t.Helper()
+		if !reflect.DeepEqual(a.Vector(), b.Vector()) {
+			t.Fatalf("%s: vectors diverged:\nbulk %v\nadds %v", name, a.Vector(), b.Vector())
+		}
+		if a.MaxLoad() != b.MaxLoad() || a.Balls() != b.Balls() {
+			t.Fatalf("%s: aggregates diverged: max %d/%d balls %d/%d",
+				name, a.MaxLoad(), b.MaxLoad(), a.Balls(), b.Balls())
+		}
+	}
+	bins := []int{3, 1, 3, 3, 7, 1, 3, 0, 3}
+	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist} {
+		bulk, serial := build(kind)
+		bulk.BulkAdd(bins)
+		for _, b := range bins {
+			serial.Add(b)
+		}
+		check(kind.String(), bulk, serial)
+	}
+
+	// Compact escape transition inside one batch: start bin 2 just below
+	// the sentinel so the batch crosses 65534 -> escape -> wide increments,
+	// interleaved with in-range increments on other bins.
+	bulk, serial := build(StoreCompact)
+	bulk.Set(2, 65533)
+	serial.Set(2, 65533)
+	batch := []int{2, 5, 2, 2, 5, 2}
+	bulk.BulkAdd(batch)
+	for _, b := range batch {
+		serial.Add(b)
+	}
+	check("compact-escape", bulk, serial)
+	if got := bulk.Load(2); got != 65537 {
+		t.Fatalf("escaped bin load = %d, want 65537", got)
+	}
+	if bulk.(*CompactStore).Escaped() != 1 {
+		t.Fatalf("escaped cells = %d, want 1", bulk.(*CompactStore).Escaped())
+	}
+	if bulk.MaxLoad() != 65537 {
+		t.Fatalf("MaxLoad = %d, want 65537", bulk.MaxLoad())
+	}
+}

@@ -9,7 +9,10 @@
 // every configuration onto one pool, so a multi-cell sweep keeps all workers
 // busy even when individual cells have few runs. Results are written into
 // preallocated per-run slots, so the outcome is byte-identical for any
-// worker count.
+// worker count. Per-run engine knobs (Params.Store, Params.Pipeline, the
+// Params.Block superstep size, Params.Shards) flow through untouched and
+// are bit-identical by construction, so experiment results never depend on
+// which engine configuration a cell happened to run with.
 //
 // This package is internal; the sanctioned entry points are
 // kdchoice.Experiment, kdchoice.Sweep, and kdchoice.Simulate in the root

@@ -33,6 +33,7 @@ type Source interface {
 	Bernoulli(p float64) bool
 	Shuffle(n int, swap func(i, j int))
 	FillIntn(dst []int, n int)
+	FillRounds(samples []int, nonces []uint64, d, n int)
 }
 
 var (
@@ -194,6 +195,21 @@ func (p *Pipelined) Shuffle(n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {
 		j := p.Intn(i + 1)
 		swap(i, j)
+	}
+}
+
+// FillRounds mirrors Rand.FillRounds over the buffered stream: per round,
+// d bounded samples then one raw nonce, in exactly the serial draw order.
+func (p *Pipelined) FillRounds(samples []int, nonces []uint64, d, n int) {
+	if n <= 0 {
+		panic("xrand: FillRounds with n <= 0")
+	}
+	if d < 0 || len(samples) != len(nonces)*d {
+		panic("xrand: FillRounds buffer shape mismatch")
+	}
+	for ri := range nonces {
+		p.FillIntn(samples[ri*d:(ri+1)*d], n)
+		nonces[ri] = p.Uint64()
 	}
 }
 

@@ -171,6 +171,150 @@ func (r *Rand) FillIntn(dst []int, n int) {
 	}
 }
 
+// FillRounds bulk-draws the fixed round prologue of len(nonces) rounds in
+// one call: for each round, d bounded samples in [0, n) followed by one raw
+// 64-bit nonce. The draw sequence is exactly FillIntn(d samples) then
+// Uint64() per round, so a block engine that pre-draws whole supersteps
+// through FillRounds consumes the stream identically to the per-round
+// serial path — pre-drawing can never change a seeded experiment.
+//
+// This is the superstep hot path: the generator state lives in locals for
+// the whole block, and the inner loop is unrolled four wide with a single
+// Lemire rejection test per group — four raw words are generated and
+// width-reduced, and only when one of the four low products falls below n
+// (probability ~4n/2^64) does the group rewind and replay through the exact
+// serial rejection loop. len(samples) must equal len(nonces)*d.
+func (r *Rand) FillRounds(samples []int, nonces []uint64, d, n int) {
+	if n <= 0 {
+		panic("xrand: FillRounds with n <= 0")
+	}
+	if d < 0 || len(samples) != len(nonces)*d {
+		panic("xrand: FillRounds buffer shape mismatch")
+	}
+	un := uint64(n)
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for ri := range nonces {
+		dst := samples[ri*d : (ri+1)*d]
+		i := 0
+		for ; i+4 <= d; i += 4 {
+			// Save the state so a (rare) rejection can rewind and replay
+			// these four slots with exact serial semantics.
+			t0, t1, t2, t3 := s0, s1, s2, s3
+			w0 := bits.RotateLeft64(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = bits.RotateLeft64(s3, 45)
+			w1 := bits.RotateLeft64(s1*5, 7) * 9
+			t = s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = bits.RotateLeft64(s3, 45)
+			w2 := bits.RotateLeft64(s1*5, 7) * 9
+			t = s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = bits.RotateLeft64(s3, 45)
+			w3 := bits.RotateLeft64(s1*5, 7) * 9
+			t = s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = bits.RotateLeft64(s3, 45)
+			hi0, lo0 := bits.Mul64(w0, un)
+			hi1, lo1 := bits.Mul64(w1, un)
+			hi2, lo2 := bits.Mul64(w2, un)
+			hi3, lo3 := bits.Mul64(w3, un)
+			if lo0 >= un && lo1 >= un && lo2 >= un && lo3 >= un {
+				// No draw can be rejected (lo >= un >= thresh): accept all
+				// four. This is the overwhelmingly common case.
+				dst[i] = int(hi0)
+				dst[i+1] = int(hi1)
+				dst[i+2] = int(hi2)
+				dst[i+3] = int(hi3)
+				continue
+			}
+			// Rewind and replay the group through the canonical rejection
+			// loop so the word stream stays bit-identical to FillIntn.
+			s0, s1, s2, s3 = t0, t1, t2, t3
+			for j := i; j < i+4; j++ {
+				w := bits.RotateLeft64(s1*5, 7) * 9
+				t = s1 << 17
+				s2 ^= s0
+				s3 ^= s1
+				s1 ^= s2
+				s0 ^= s3
+				s2 ^= t
+				s3 = bits.RotateLeft64(s3, 45)
+				hi, lo := bits.Mul64(w, un)
+				if lo < un {
+					thresh := -un % un
+					for lo < thresh {
+						w = bits.RotateLeft64(s1*5, 7) * 9
+						t = s1 << 17
+						s2 ^= s0
+						s3 ^= s1
+						s1 ^= s2
+						s0 ^= s3
+						s2 ^= t
+						s3 = bits.RotateLeft64(s3, 45)
+						hi, lo = bits.Mul64(w, un)
+					}
+				}
+				dst[j] = int(hi)
+			}
+		}
+		// Tail (d % 4 slots): the same canonical per-slot generation on the
+		// local state — no state round-trips, which matters for tiny d.
+		for ; i < d; i++ {
+			w := bits.RotateLeft64(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = bits.RotateLeft64(s3, 45)
+			hi, lo := bits.Mul64(w, un)
+			if lo < un {
+				thresh := -un % un
+				for lo < thresh {
+					w = bits.RotateLeft64(s1*5, 7) * 9
+					t = s1 << 17
+					s2 ^= s0
+					s3 ^= s1
+					s1 ^= s2
+					s0 ^= s3
+					s2 ^= t
+					s3 = bits.RotateLeft64(s3, 45)
+					hi, lo = bits.Mul64(w, un)
+				}
+			}
+			dst[i] = int(hi)
+		}
+		nonces[ri] = bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
 // SampleWithoutReplacement returns m distinct uniform values from [0, n)
 // using Floyd's algorithm. It panics if m > n or m < 0. The result order is
 // randomized.

@@ -2,6 +2,7 @@ package xrand
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -352,5 +353,112 @@ func TestUint64nSmallBoundsExactCoverage(t *testing.T) {
 		if uint64(len(seen)) != n {
 			t.Fatalf("Uint64n(%d) hit %d distinct values", n, len(seen))
 		}
+	}
+}
+
+// TestFillRoundsMatchesSerial pins the superstep contract: FillRounds must
+// consume the stream exactly as FillIntn(d)+Uint64 per round, for every
+// shape — including d below the unroll width, d not a multiple of it, and
+// d = 0 — so block pre-drawing can never change a seeded experiment.
+func TestFillRoundsMatchesSerial(t *testing.T) {
+	for _, d := range []int{0, 1, 2, 3, 4, 5, 7, 8, 31, 64} {
+		for _, n := range []int{1, 7, 1000, 1 << 20} {
+			const rounds, seed = 9, 12345
+			a, b := New(seed), New(seed)
+			gotS := make([]int, rounds*d)
+			gotN := make([]uint64, rounds)
+			a.FillRounds(gotS, gotN, d, n)
+			wantS := make([]int, rounds*d)
+			wantN := make([]uint64, rounds)
+			for r := 0; r < rounds; r++ {
+				b.FillIntn(wantS[r*d:(r+1)*d], n)
+				wantN[r] = b.Uint64()
+			}
+			if !reflect.DeepEqual(gotS, wantS) || !reflect.DeepEqual(gotN, wantN) {
+				t.Fatalf("d=%d n=%d: FillRounds diverged from the serial prologue", d, n)
+			}
+			// The generators must land in the same state: the next word of
+			// both streams agrees.
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("d=%d n=%d: generator states diverged after FillRounds", d, n)
+			}
+		}
+	}
+}
+
+// TestFillRoundsRejectionHeavy forces the Lemire rejection path (a bound
+// just above 2^63 rejects roughly half of all raw words), so the unrolled
+// fill's rewind-and-replay branch runs constantly — and must still match
+// the serial stream word for word.
+func TestFillRoundsRejectionHeavy(t *testing.T) {
+	const d, rounds, seed = 10, 40, 99
+	n := 1<<62 + 3<<60 + 12345 // ~2^64 mod n ≈ 2^63: heavy rejection
+	a, b := New(seed), New(seed)
+	gotS := make([]int, rounds*d)
+	gotN := make([]uint64, rounds)
+	a.FillRounds(gotS, gotN, d, n)
+	wantS := make([]int, rounds*d)
+	wantN := make([]uint64, rounds)
+	for r := 0; r < rounds; r++ {
+		b.FillIntn(wantS[r*d:(r+1)*d], n)
+		wantN[r] = b.Uint64()
+	}
+	if !reflect.DeepEqual(gotS, wantS) || !reflect.DeepEqual(gotN, wantN) {
+		t.Fatal("rejection-heavy FillRounds diverged from the serial prologue")
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("generator states diverged after rejection-heavy FillRounds")
+	}
+}
+
+// TestFillRoundsPanics: invalid bounds and mismatched buffer shapes are
+// caller bugs and must fail loudly.
+func TestFillRoundsPanics(t *testing.T) {
+	mustPanicF := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanicF("n=0", func() { New(1).FillRounds(make([]int, 4), make([]uint64, 2), 2, 0) })
+	mustPanicF("shape mismatch", func() { New(1).FillRounds(make([]int, 3), make([]uint64, 2), 2, 10) })
+	mustPanicF("pipelined n=0", func() {
+		p := NewPipelined(New(1), 0, 0)
+		defer p.Close()
+		p.FillRounds(make([]int, 4), make([]uint64, 2), 2, 0)
+	})
+}
+
+// TestPipelinedFillRoundsMatchesRand extends the pipelined bit-identity
+// contract to the superstep fill.
+func TestPipelinedFillRoundsMatchesRand(t *testing.T) {
+	const d, rounds, n, seed = 6, 50, 997, 4242
+	ref := New(seed)
+	p := NewPipelined(New(seed), 64, 2)
+	defer p.Close()
+	wantS := make([]int, rounds*d)
+	wantN := make([]uint64, rounds)
+	ref.FillRounds(wantS, wantN, d, n)
+	gotS := make([]int, rounds*d)
+	gotN := make([]uint64, rounds)
+	p.FillRounds(gotS, gotN, d, n)
+	if !reflect.DeepEqual(gotS, wantS) || !reflect.DeepEqual(gotN, wantN) {
+		t.Fatal("Pipelined.FillRounds diverged from Rand.FillRounds")
+	}
+}
+
+// TestFillRoundsAllocationFree: the superstep fill is on the hot path and
+// must not allocate.
+func TestFillRoundsAllocationFree(t *testing.T) {
+	r := New(7)
+	samples := make([]int, 16*64)
+	nonces := make([]uint64, 16)
+	if avg := testing.AllocsPerRun(100, func() {
+		r.FillRounds(samples, nonces, 64, 100000)
+	}); avg != 0 {
+		t.Fatalf("FillRounds allocated %v per call, want 0", avg)
 	}
 }

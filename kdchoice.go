@@ -265,13 +265,22 @@ type Config struct {
 	// StoreHist). The zero value is the dense reference; all stores are
 	// bit-identical in outcome for equal seeds.
 	Store Store
-	// Pipeline pre-fills blocks of raw random words on a producer
-	// goroutine while the round loop consumes them — bit-identical to the
-	// serial path by construction, and typically faster for sample-heavy
+	// Pipeline moves random generation onto a producer goroutine while the
+	// round loop consumes it (whole pre-drawn supersteps for the round
+	// policies, raw word blocks otherwise) — bit-identical to the serial
+	// path by construction, and typically faster for sample-heavy
 	// configurations (large d). A pipelined Allocator owns a background
 	// goroutine: call Close when done with it. Experiment/Sweep/Simulate
 	// manage the lifecycle automatically.
 	Pipeline bool
+	// Block is the superstep size of the fixed-prologue round policies
+	// (KDChoice, fixed-σ Serialized, DChoice, DynamicKD): randomness is
+	// pre-drawn in blocks of Block rounds, amortizing per-round generator
+	// and scratch setup. Results are bit-identical for every value. 0
+	// (the default) auto-sizes the superstep to ~4096 samples; explicit
+	// values must be >= 1. Policies without a fixed round prologue ignore
+	// Block.
+	Block int
 	// Shards parallelizes the read-only decision phase of StaleBatch
 	// rounds over this many goroutines (0 or 1 = serial; bit-identical to
 	// serial for any value). Only the StaleBatch policy may shard: its
@@ -316,6 +325,7 @@ func (cfg Config) coreConfig() (core.Policy, core.Params, error) {
 		ReferenceSelect: cfg.ReferenceSelect,
 		Store:           cfg.Store.toKind(),
 		Pipeline:        cfg.Pipeline,
+		Block:           cfg.Block,
 		Shards:          cfg.Shards,
 	}, nil
 }

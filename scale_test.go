@@ -93,6 +93,37 @@ func TestAllocatorStoresBitIdentical(t *testing.T) {
 	}
 }
 
+// TestAllocatorBlockBitIdentical: the superstep size is a pure performance
+// knob on the public surface — every value (auto, 1, non-divisor) produces
+// identical results, and negative values are rejected with an error naming
+// the field.
+func TestAllocatorBlockBitIdentical(t *testing.T) {
+	base := Config{Bins: 512, K: 2, D: 16, Seed: 5}
+	ref, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.PlaceAll()
+	for _, block := range []int{1, 3, 4096} {
+		cfg := base
+		cfg.Block = block
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatalf("Block=%d: %v", block, err)
+		}
+		a.PlaceAll()
+		if !reflect.DeepEqual(a.Loads(), ref.Loads()) {
+			t.Fatalf("Block=%d: loads diverged", block)
+		}
+		a.Close()
+	}
+	if _, err := New(Config{Bins: 16, K: 1, D: 2, Block: -1}); err == nil {
+		t.Fatal("negative Block accepted")
+	} else if !strings.Contains(err.Error(), "Block") {
+		t.Fatalf("negative Block error does not name the field: %v", err)
+	}
+}
+
 // TestShardsRejectedOutsideStaleBatch: the public config surfaces the core
 // sharding rule.
 func TestShardsRejectedOutsideStaleBatch(t *testing.T) {

@@ -44,6 +44,17 @@ go run ./cmd/bench -quick -out ''
 echo "==> bench smoke: scale grid (-scale -quick; all stores + pipeline)"
 go run ./cmd/bench -scale -quick -out ''
 
+echo "==> bench smoke: explicit superstep sizes (-block 1 and 7, bit-identical engines)"
+go run ./cmd/bench -quick -block 1 -out ''
+go run ./cmd/bench -quick -block 7 -out ''
+
+echo "==> perf ratchet: tracked cells vs committed BENCH_kd.json (warns, never fails)"
+# Re-times the two acceptance cells at full size against the committed
+# trajectory. A >15% regression prints a PERF WARNING but does not fail the
+# pipeline (benchmark boxes are noisy); treat warnings as a prompt to run
+# `scripts/ci.sh bench` and investigate before refreshing the JSONs.
+go run ./cmd/bench -compare BENCH_kd.json || echo "perf ratchet skipped (bench error)"
+
 echo "==> import hygiene: cmd/ and examples/ stay on the public API"
 # The public kdchoice package (Experiment/Sweep/Simulate for the core
 # process, Study/StorageSystem for the application substrates, observers)
