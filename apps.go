@@ -412,6 +412,7 @@ func fanoutObserver(obs []Observer) appevent.Observer {
 			Balls:    ev.Balls,
 			MaxLoad:  ev.MaxLoad,
 			Messages: ev.Messages,
+			Weight:   len(ev.Placed),
 		}
 		for _, o := range live {
 			o.ObserveRound(e)
@@ -426,8 +427,12 @@ func fanoutObserver(obs []Observer) appevent.Observer {
 type AppMetrics struct {
 	// MaxLoad is the substrate's balance figure: the deepest queue observed
 	// at any placement (scheduler), the maximum per-server load under the
-	// configured metric (storage), or the final maximum bin load (protocol).
+	// configured metric (storage), or the final maximum bin load (protocol
+	// and serving).
 	MaxLoad float64
+	// Gap is max load minus mean load at the end of the run (online
+	// serving; 0 for the substrates that report MaxLoad only).
+	Gap float64
 	// Messages is the run's network cost: probes for the scheduler and
 	// storage substrates, total wire messages for the protocol.
 	Messages int64
@@ -553,10 +558,11 @@ type StudyCellResult struct {
 	Cell AppCell
 	// Runs holds each run's metrics, indexed by run.
 	Runs []AppMetrics
-	// MeanMaxLoad, MeanMessages, MeanProbeMessages, MeanMakespan,
+	// MeanMaxLoad, MeanGap, MeanMessages, MeanProbeMessages, MeanMakespan,
 	// MeanResponse and MeanP95 average the corresponding AppMetrics field
 	// over runs.
 	MeanMaxLoad       float64
+	MeanGap           float64
 	MeanMessages      float64
 	MeanProbeMessages float64
 	MeanMakespan      float64
@@ -573,11 +579,12 @@ func (c *StudyCellResult) Label() string { return c.Cell.appLabel() }
 // newStudyCellResult aggregates one cell's runs.
 func newStudyCellResult(index int, cell AppCell, runs []AppMetrics) StudyCellResult {
 	r := StudyCellResult{Index: index, Cell: cell, Runs: runs}
-	var maxes, msgs, probes, spans, resp, p95 stats.Online
+	var maxes, gaps, msgs, probes, spans, resp, p95 stats.Online
 	var totalMsgs int64
 	totalUnits := 0
 	for _, m := range runs {
 		maxes.Add(m.MaxLoad)
+		gaps.Add(m.Gap)
 		msgs.Add(float64(m.Messages))
 		probes.Add(float64(m.ProbeMessages))
 		spans.Add(m.Makespan)
@@ -587,6 +594,7 @@ func newStudyCellResult(index int, cell AppCell, runs []AppMetrics) StudyCellRes
 		totalUnits += m.Units
 	}
 	r.MeanMaxLoad = maxes.Mean()
+	r.MeanGap = gaps.Mean()
 	r.MeanMessages = msgs.Mean()
 	r.MeanProbeMessages = probes.Mean()
 	r.MeanMakespan = spans.Mean()

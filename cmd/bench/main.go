@@ -15,11 +15,21 @@
 // cell, one column per bin store, measuring sustained balls/sec and the
 // steady-state bytes per bin (via runtime.MemStats).
 //
+// The serve grid (-serve) benchmarks the online serving layer: a mixed
+// insert/delete stream (churn = the per-op delete probability, uniform
+// victims) served through Insert/Delete on every store, measuring ops/sec
+// and allocs/op. The tracked acceptance cell
+// (n=1e5, d=2, beta=1, churn=0.4, store=hist) rides the histogram store's
+// O(1)-amortized deletes and the specialized kernels: its floor is 1M
+// ops/sec at 0 allocs/op.
+//
 // Usage:
 //
 //	bench [-out BENCH_kd.json] [-quick]           # micro grid
 //	bench -scale [-out BENCH_scale.json] [-quick] # scale grid
+//	bench -serve [-out BENCH_serve.json] [-quick] # serving grid
 //	bench -compare BENCH_kd.json                  # perf ratchet (CI)
+//	bench -compareserve BENCH_serve.json          # serving ratchet (CI)
 //	bench -cpuprofile cpu.out -memprofile mem.out # hot-path diagnosis
 //
 // -quick shrinks the grids to tiny cells (for smoke tests); tracked results
@@ -39,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -388,6 +399,231 @@ func runScale(quick bool, block int, outPath string, out io.Writer) error {
 	return nil
 }
 
+// serveCell is one serving-grid entry: a (1+β)-family allocator serving a
+// mixed insert/delete stream.
+type serveCell struct {
+	Name string
+	N    int
+	D    int
+	Beta float64
+	// Churn is the per-op delete probability (uniform victims); the rest
+	// of the ops are inserts.
+	Churn float64
+	// MaxWeight > 1 draws each insert's weight uniformly from [1, MaxWeight]
+	// (the weighted-add kernel path); 1 keeps unit weights.
+	MaxWeight int
+	Store     kdchoice.Store
+}
+
+// serveResult is the serialized outcome of one serving-grid cell.
+type serveResult struct {
+	Name        string  `json:"name"`
+	Store       string  `json:"store"`
+	N           int     `json:"n"`
+	D           int     `json:"d"`
+	Beta        float64 `json:"beta"`
+	Churn       float64 `json:"churn"`
+	MaxWeight   int     `json:"max_weight,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// serveReport is the BENCH_serve.json schema.
+type serveReport struct {
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Cells     []serveResult `json:"cells"`
+}
+
+// serveCellName derives the canonical serving cell name from its
+// parameters.
+func serveCellName(c serveCell) string {
+	name := fmt.Sprintf("serve/n=%d,d=%d,beta=%g,churn=%g,store=%v", c.N, c.D, c.Beta, c.Churn, c.Store)
+	if c.MaxWeight > 1 {
+		name += fmt.Sprintf(",w=%d", c.MaxWeight)
+	}
+	return name
+}
+
+// serveGrid returns the serving cells: the tracked acceptance cell first
+// (histogram store — O(1) amortized deletes), then the store ablation, the
+// β ablation, the insert-only baseline and the weighted-kernel cell.
+func serveGrid(quick bool) []serveCell {
+	n := 100000
+	if quick {
+		n = 4096
+	}
+	cells := []serveCell{
+		{N: n, D: 2, Beta: 1, Churn: 0.4, Store: kdchoice.StoreHist},
+		{N: n, D: 2, Beta: 1, Churn: 0.4, Store: kdchoice.StoreDense},
+		{N: n, D: 2, Beta: 1, Churn: 0.4, Store: kdchoice.StoreCompact},
+		{N: n, D: 2, Beta: 0.5, Churn: 0.4, Store: kdchoice.StoreHist},
+		{N: n, D: 2, Beta: 1, Churn: 0, Store: kdchoice.StoreHist},
+		{N: n, D: 2, Beta: 1, Churn: 0.4, MaxWeight: 8, Store: kdchoice.StoreHist},
+	}
+	for i := range cells {
+		cells[i].Name = serveCellName(cells[i])
+	}
+	return cells
+}
+
+// runServeCell benchmarks one serving cell: a steady-state mixed
+// insert/delete loop through the public API, with the registry and the
+// live-handle list pre-sized so the specialized kernels run at 0 allocs/op.
+func runServeCell(c serveCell) (serveResult, error) {
+	cfg := kdchoice.Config{
+		Bins:   c.N,
+		D:      c.D,
+		Policy: kdchoice.OnePlusBeta,
+		Beta:   c.Beta,
+		Store:  c.Store,
+		Seed:   1,
+	}
+	probe, err := kdchoice.New(cfg)
+	if err != nil {
+		return serveResult{}, fmt.Errorf("cell %s: %w", c.Name, err)
+	}
+	probe.Close()
+	br := testing.Benchmark(func(b *testing.B) {
+		alloc, err := kdchoice.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer alloc.Close()
+		// The op mix is drawn outside the allocator's deterministic stream;
+		// a fixed-seed generator keeps the benchmark reproducible.
+		mix := rand.New(rand.NewSource(7))
+		// Warm to ~1 live ball per bin, pre-sizing for the worst case of
+		// b.N further inserts so no slice grows inside the timed loop.
+		alloc.Reserve(c.N + b.N)
+		live := make([]kdchoice.Ball, 0, c.N+b.N)
+		for i := 0; i < c.N; i++ {
+			ball, err := alloc.Insert()
+			if err != nil {
+				b.Fatal(err)
+			}
+			live = append(live, ball)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(live) > 0 && mix.Float64() < c.Churn {
+				vi := mix.Intn(len(live))
+				if err := alloc.Delete(live[vi]); err != nil {
+					b.Fatal(err)
+				}
+				live[vi] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			w := 1
+			if c.MaxWeight > 1 {
+				w = 1 + mix.Intn(c.MaxWeight)
+			}
+			ball, err := alloc.InsertW(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			live = append(live, ball)
+		}
+	})
+	ns := float64(br.NsPerOp())
+	res := serveResult{
+		Name:        c.Name,
+		Store:       c.Store.String(),
+		N:           c.N,
+		D:           c.D,
+		Beta:        c.Beta,
+		Churn:       c.Churn,
+		MaxWeight:   c.MaxWeight,
+		NsPerOp:     ns,
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+	}
+	if ns > 0 {
+		res.OpsPerSec = 1e9 / ns
+	}
+	return res, nil
+}
+
+// runServe executes the serving grid and writes BENCH_serve.json.
+func runServe(quick bool, outPath string, out io.Writer) error {
+	rep := serveReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	for _, c := range serveGrid(quick) {
+		res, err := runServeCell(c)
+		if err != nil {
+			return err
+		}
+		rep.Cells = append(rep.Cells, res)
+		fmt.Fprintf(out, "%-52s %10.0f ns/op %14.0f ops/sec %3d allocs\n",
+			res.Name, res.NsPerOp, res.OpsPerSec, res.AllocsPerOp)
+	}
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}
+
+// runCompareServe re-times the tracked serving acceptance cell at full size
+// against a committed BENCH_serve.json — the serving twin of runCompare,
+// with the same non-fatal warning contract.
+func runCompareServe(path string, out io.Writer) error {
+	const threshold = 1.15
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compareserve: %w", err)
+	}
+	var tracked serveReport
+	if err := json.Unmarshal(data, &tracked); err != nil {
+		return fmt.Errorf("compareserve: parsing %s: %w", path, err)
+	}
+	// The tracked acceptance cell, constructed directly so grid edits can
+	// never redirect the ratchet.
+	c := serveCell{N: 100000, D: 2, Beta: 1, Churn: 0.4, Store: kdchoice.StoreHist}
+	c.Name = serveCellName(c)
+	var prev *serveResult
+	for i := range tracked.Cells {
+		if tracked.Cells[i].Name == c.Name {
+			prev = &tracked.Cells[i]
+			break
+		}
+	}
+	if prev == nil || prev.NsPerOp <= 0 {
+		fmt.Fprintf(out, "PERF WARNING: tracked serving cell %q missing from %s\n", c.Name, path)
+		return nil
+	}
+	res, err := runServeCell(c)
+	if err != nil {
+		return err
+	}
+	ratio := res.NsPerOp / prev.NsPerOp
+	fmt.Fprintf(out, "%-52s tracked %6.0f ns/op, now %6.0f ns/op (%.2fx)\n",
+		c.Name, prev.NsPerOp, res.NsPerOp, ratio)
+	switch {
+	case ratio > threshold:
+		fmt.Fprintf(out, "PERF WARNING: %s regressed %.0f%% vs %s (threshold %.0f%%)\n",
+			c.Name, (ratio-1)*100, path, (threshold-1)*100)
+	default:
+		fmt.Fprintln(out, "compareserve: tracked cell within threshold")
+	}
+	if res.AllocsPerOp > 0 {
+		fmt.Fprintf(out, "PERF WARNING: %s allocates %d/op; the serving hot path is tracked at 0 allocs/op\n",
+			c.Name, res.AllocsPerOp)
+	}
+	return nil
+}
+
 // compareCells returns the cells the -compare ratchet re-times — the
 // serial and pipelined acceptance cells (n=1e5, k=2, d=64) — constructed
 // directly rather than plucked from grid() by index, so reordering or
@@ -456,11 +692,13 @@ func runCompare(path string, out io.Writer) error {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	outPath := fs.String("out", "", "output JSON path (default BENCH_kd.json, or BENCH_scale.json with -scale; empty: stdout only)")
+	outPath := fs.String("out", "", "output JSON path (default BENCH_kd.json, BENCH_scale.json with -scale, or BENCH_serve.json with -serve; empty: stdout only)")
 	quick := fs.Bool("quick", false, "tiny cells for smoke testing (do not commit quick results)")
 	scale := fs.Bool("scale", false, "run the large-n scale grid instead of the micro grid")
+	serve := fs.Bool("serve", false, "run the online-serving grid (mixed insert/delete streams) instead of the micro grid")
 	block := fs.Int("block", 0, "superstep size in rounds applied to every cell (0 = auto, bit-identical for any value)")
 	compare := fs.String("compare", "", "compare the tracked acceptance cells against this BENCH_kd.json and warn (non-fatal) on >15% regression")
+	compareServe := fs.String("compareserve", "", "compare the tracked serving cell against this BENCH_serve.json and warn (non-fatal) on >15% regression")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	if err := fs.Parse(args); err != nil {
@@ -500,19 +738,31 @@ func run(args []string, out io.Writer) error {
 			outSet = true
 		}
 	})
-	if *compare != "" {
-		// The ratchet always re-times the full-size acceptance cells
+	if *compare != "" || *compareServe != "" {
+		// The ratchets always re-time the full-size acceptance cells
 		// against the named file; silently dropping grid flags would make
 		// `-quick -compare` look like a smoke check it is not.
-		if *quick || *scale || *block != 0 || outSet {
-			return fmt.Errorf("-compare cannot be combined with -quick, -scale, -block or -out (it always re-times the full-size acceptance cells)")
+		if *quick || *scale || *serve || *block != 0 || outSet {
+			return fmt.Errorf("-compare/-compareserve cannot be combined with -quick, -scale, -serve, -block or -out (they always re-time the full-size acceptance cells)")
 		}
-		return runCompare(*compare, out)
+		if *compare != "" && *compareServe != "" {
+			return fmt.Errorf("-compare and -compareserve are separate ratchets; run them one at a time")
+		}
+		if *compare != "" {
+			return runCompare(*compare, out)
+		}
+		return runCompareServe(*compareServe, out)
+	}
+	if *scale && *serve {
+		return fmt.Errorf("-scale and -serve select different grids; run them one at a time")
 	}
 	if !outSet {
-		if *scale {
+		switch {
+		case *scale:
 			path = "BENCH_scale.json"
-		} else {
+		case *serve:
+			path = "BENCH_serve.json"
+		default:
 			path = "BENCH_kd.json"
 		}
 	}
@@ -522,6 +772,12 @@ func run(args []string, out io.Writer) error {
 		// names assume the default superstep. Keep the output inspectable
 		// but never let it masquerade as BENCH_kd.json/BENCH_scale.json.
 		return fmt.Errorf("-block runs are ablations: use -out '' (stdout only) so the override cannot overwrite a tracked trajectory")
+	}
+	if *serve {
+		if *block != 0 {
+			return fmt.Errorf("-block applies to the round-based grids, not the serving grid")
+		}
+		return runServe(*quick, path, out)
 	}
 	if *scale {
 		return runScale(*quick, *block, path, out)

@@ -13,6 +13,11 @@
 // compact runs 10⁷–10⁸ bin experiments in ~2 bytes/bin; -pipeline pre-draws
 // sample supersteps on a producer goroutine and -block overrides the
 // superstep size (bit-identical results for any setting of either).
+//
+// -churn (poisson:R, adversarial:R, diurnal:R,A) or -weights (fixed:W,
+// exp:MEAN, uniform:LO,HI, zipf:S,MAX) switch to the online serving mode:
+// a churned operation stream of -m operations served by the (1+β) family
+// with -d probes and -beta, instead of a one-shot placement.
 package main
 
 import (
@@ -48,6 +53,8 @@ func run(args []string, out io.Writer) error {
 	block := fs.Int("block", 0, "superstep size in rounds for the round policies (0 = auto, bit-identical for any value)")
 	seed := fs.Uint64("seed", 1, "root seed")
 	profile := fs.Int("profile", 10, "print the top P mean sorted loads (0 to disable)")
+	churnName := fs.String("churn", "none", "serving churn model: "+strings.Join(kdchoice.ChurnNames(), ", ")+" (non-none serves an online stream)")
+	weightsName := fs.String("weights", "", "serving ball weights: "+strings.Join(kdchoice.WeightNames(), ", ")+" (empty = unit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +66,9 @@ func run(args []string, out io.Writer) error {
 	store, err := kdchoice.ParseStore(*storeName)
 	if err != nil {
 		return err
+	}
+	if *churnName != "none" || *weightsName != "" {
+		return runServe(out, *n, *d, *m, *runs, *beta, *seed, store, *churnName, *weightsName)
 	}
 	rep, err := kdchoice.Experiment{
 		Cells: []kdchoice.Cell{{Config: kdchoice.Config{
@@ -122,5 +132,50 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintln(out)
 	}
+	return nil
+}
+
+// runServe runs the online serving mode: a churned operation stream served
+// by the (1+β)-capable family, reported on the gap/message axes.
+func runServe(out io.Writer, n, d, ops, runs int, beta float64, seed uint64, store kdchoice.Store, churnName, weightsName string) error {
+	spec, err := kdchoice.ParseChurn(churnName)
+	if err != nil {
+		return err
+	}
+	if weightsName != "" {
+		w, err := kdchoice.ParseWeights(weightsName)
+		if err != nil {
+			return err
+		}
+		spec.Weights = w
+	}
+	cell := kdchoice.ChurnCell{
+		Bins:  n,
+		D:     d,
+		Beta:  beta,
+		Ops:   ops,
+		Churn: spec,
+		Store: store,
+	}
+	rep, err := kdchoice.Study{
+		Cells: []kdchoice.AppCell{cell},
+		Runs:  runs,
+		Seed:  seed,
+	}.Run()
+	if err != nil {
+		return err
+	}
+	res := &rep.Cells[0]
+	if ops == 0 {
+		ops = 10 * n
+	}
+	fmt.Fprintf(out, "serve n=%d d=%d beta=%g ops=%d churn=%s runs=%d seed=%d\n\n",
+		n, d, beta, ops, churnName, runs, seed)
+	t := table.New("metric", "value")
+	t.AddRowf("gap max-mean (mean)", fmt.Sprintf("%.3f", res.MeanGap))
+	t.AddRowf("max load (mean)", fmt.Sprintf("%.3f", res.MeanMaxLoad))
+	t.AddRowf("messages (mean)", fmt.Sprintf("%.0f", res.MeanMessages))
+	t.AddRowf("messages per op", fmt.Sprintf("%.3f", res.MessagesPerUnit))
+	fmt.Fprint(out, t.Text())
 	return nil
 }

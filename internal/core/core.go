@@ -185,6 +185,17 @@ type Params struct {
 	// all randomness is drawn serially up front). Other policies reject
 	// Shards > 1.
 	Shards int
+	// VecDims switches the process into vector-load mode when > 0: every
+	// bin carries a VecDims-component []float64 load vector, balls arrive
+	// through InsertVec with a weight vector each, and placement decisions
+	// compare the bins' aggregated loads under VecNorm. Vector mode is an
+	// online-serving mode: only the per-ball policies (SingleChoice,
+	// DChoice, OnePlusBeta) support it, and the scalar round entry points
+	// (Place, Round) reject it.
+	VecDims int
+	// VecNorm is the aggregation norm of vector mode (zero value: the
+	// bottleneck-resource max-component norm, loadvec.NormLInf).
+	VecNorm loadvec.Norm
 }
 
 // Observer receives a callback after every round. It is intended for tests
@@ -246,12 +257,36 @@ type Process struct {
 	// SAx0 bookkeeping: loadCount[y] = number of bins with load exactly y.
 	loadCount []int
 
+	// Online-serving state (online.go). The ball registry is lazily
+	// allocated on the first Insert and recycled through a free list, so a
+	// steady-state churn workload allocates nothing per operation. A slot's
+	// generation increments on delete, which invalidates every outstanding
+	// handle to it.
+	ballBin  []int32
+	ballWt   []int32
+	ballGen  []uint32
+	ballVec  []float64 // flat live weight vectors (vector mode), dims per slot
+	ballFree []int32
+	live     int
+
+	// vec is the multidimensional bin state of vector-load mode (nil in
+	// scalar mode); the scalar store stays empty alongside it.
+	vec *loadvec.VecStore
+
+	// curOp and curWeight describe the operation behind the most recent
+	// observer notification: the public bridge reads them synchronously
+	// from inside the callback. One-shot rounds leave curWeight 0, meaning
+	// "one unit per placed ball".
+	curOp     Op
+	curWeight int
+
 	// AlwaysGoLeft group boundaries: group g covers
 	// [groupStart[g], groupStart[g+1]).
 	groupStart []int
 
 	obsPlaced  []int
 	obsHeights []int
+	obsPairBuf []int // 1-2 sampled bins of a per-ball online decision
 }
 
 // slot is one conceptual ball of a round: the i-th sample of bin b this
@@ -342,6 +377,13 @@ func New(policy Policy, p Params, rng xrand.Source) (*Process, error) {
 		pr.loadCount = make([]int, 8)
 		pr.loadCount[0] = p.N
 	}
+	if p.VecDims > 0 {
+		vs, err := loadvec.NewVecStore(p.N, p.VecDims, p.VecNorm)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		pr.vec = vs
+	}
 	if policy == AlwaysGoLeft {
 		pr.groupStart = make([]int, p.D+1)
 		base, rem := p.N/p.D, p.N%p.D
@@ -408,6 +450,19 @@ func Validate(policy Policy, p Params) error {
 	if p.Shards > 1 && policy != StaleBatch {
 		return fmt.Errorf("core: Shards > 1 requires the StaleBatch policy (%v rounds are not intra-round independent)", policy)
 	}
+	if p.VecDims < 0 {
+		return fmt.Errorf("core: VecDims = %d, must be non-negative", p.VecDims)
+	}
+	if p.VecDims > 0 {
+		if !onlineEligible(policy) {
+			return fmt.Errorf("core: vector-load mode requires a per-ball online policy (single, dchoice, oneplusbeta), got %v", policy)
+		}
+		switch p.VecNorm {
+		case loadvec.NormLInf, loadvec.NormL1, loadvec.NormL2:
+		default:
+			return fmt.Errorf("core: unknown norm %d (valid: %s)", int(p.VecNorm), strings.Join(loadvec.NormNames(), ", "))
+		}
+	}
 	switch policy {
 	case KDChoice, SerializedKD, AdaptiveKD:
 		if p.K < 1 {
@@ -453,6 +508,9 @@ func Validate(policy Policy, p Params) error {
 	case OnePlusBeta:
 		if p.Beta < 0 || p.Beta > 1 {
 			return fmt.Errorf("core: OnePlusBeta requires Beta in [0,1], got %v", p.Beta)
+		}
+		if p.D < 0 {
+			return fmt.Errorf("core: OnePlusBeta requires D >= 0 probes, got %d", p.D)
 		}
 	case SAx0:
 		if p.X0 < 0 || p.X0 > p.N {
@@ -545,9 +603,12 @@ func (pr *Process) Loads() loadvec.Vector {
 	return pr.store.Vector()
 }
 
-// Gap returns max load minus average load.
+// Gap returns max load minus average load. Both terms are measured in load
+// units (store totals), so the reading stays correct under weighted balls
+// and deletions; for unweighted one-shot runs it coincides with the
+// ball-count definition.
 func (pr *Process) Gap() float64 {
-	return float64(pr.store.MaxLoad()) - float64(pr.balls)/float64(pr.n)
+	return float64(pr.store.MaxLoad()) - float64(pr.store.Balls())/float64(pr.n)
 }
 
 // NuY returns ν_y, the number of bins with at least y balls. On the
@@ -564,14 +625,25 @@ func (pr *Process) setLoads(loads []int) {
 	pr.balls = pr.store.Balls()
 }
 
-// Reset restores all bins to empty and zeroes the counters. The random
-// stream is NOT rewound; reuse the process for an independent run.
+// Reset restores all bins to empty and zeroes the counters, dropping every
+// live ball (outstanding handles stop resolving). The random stream is NOT
+// rewound; reuse the process for an independent run.
 func (pr *Process) Reset() {
 	pr.store.Reset()
 	pr.balls = 0
 	pr.messages = 0
 	pr.discarded = 0
 	pr.rounds = 0
+	pr.ballBin = pr.ballBin[:0]
+	pr.ballWt = pr.ballWt[:0]
+	pr.ballGen = pr.ballGen[:0]
+	pr.ballVec = pr.ballVec[:0]
+	pr.ballFree = pr.ballFree[:0]
+	pr.live = 0
+	pr.curOp, pr.curWeight = OpInsert, 0
+	if pr.vec != nil {
+		pr.vec.Reset()
+	}
 	if pr.policy == SAx0 {
 		for i := range pr.loadCount {
 			pr.loadCount[i] = 0
@@ -635,6 +707,9 @@ func (pr *Process) Place(m int) {
 
 // step executes one round placing toPlace balls (1 <= toPlace <= RoundSize).
 func (pr *Process) step(toPlace int) {
+	if pr.vec != nil {
+		panic("core: scalar rounds on a vector-load process; use InsertVec")
+	}
 	pr.rounds++
 	switch pr.policy {
 	case KDChoice:

@@ -57,6 +57,17 @@ type kernelOps interface {
 	staleDecide(nonce uint64, ball int, samples []int) int
 	// bulkAdd is the store-specific batch increment (no heights observed).
 	bulkAdd(bins []int)
+	// addW is the weighted increment of the online serving path: w load
+	// units into one bin, returning the bin's new load. Each specialized
+	// kernel calls its concrete store's AddN directly, so the compiler
+	// devirtualizes (and can inline) the store fast path.
+	addW(bin, w int) int
+	// subW is the weighted decrement (ball deletion); same devirtualized
+	// dispatch as addW.
+	subW(bin, w int) int
+	// bulkSub is the store-specific batch decrement — the deletion mirror
+	// of bulkAdd.
+	bulkSub(bins []int)
 }
 
 // newKernel returns the kernel specialized to the concrete store type, or
@@ -102,7 +113,10 @@ func (k kernDense) staleDecide(nonce uint64, ball int, samples []int) int {
 func (k kernDense) placeSlots(pr *Process, sel []slot) ([]int, []int) {
 	return placeSlotsOn(pr, k.s, sel)
 }
-func (k kernDense) bulkAdd(bins []int) { k.s.BulkAdd(bins) }
+func (k kernDense) bulkAdd(bins []int)  { k.s.BulkAdd(bins) }
+func (k kernDense) addW(bin, w int) int { return k.s.AddN(bin, w) }
+func (k kernDense) subW(bin, w int) int { return k.s.Sub(bin, w) }
+func (k kernDense) bulkSub(bins []int)  { k.s.BulkSub(bins) }
 
 // kernCompact is the kernel over the 2-bytes/bin compact store.
 type kernCompact struct{ s *loadvec.CompactStore }
@@ -122,7 +136,10 @@ func (k kernCompact) staleDecide(nonce uint64, ball int, samples []int) int {
 func (k kernCompact) placeSlots(pr *Process, sel []slot) ([]int, []int) {
 	return placeSlotsOn(pr, k.s, sel)
 }
-func (k kernCompact) bulkAdd(bins []int) { k.s.BulkAdd(bins) }
+func (k kernCompact) bulkAdd(bins []int)  { k.s.BulkAdd(bins) }
+func (k kernCompact) addW(bin, w int) int { return k.s.AddN(bin, w) }
+func (k kernCompact) subW(bin, w int) int { return k.s.Sub(bin, w) }
+func (k kernCompact) bulkSub(bins []int)  { k.s.BulkSub(bins) }
 
 // kernHist is the kernel over the histogram-indexed store.
 type kernHist struct{ s *loadvec.HistStore }
@@ -139,7 +156,10 @@ func (k kernHist) staleDecide(nonce uint64, ball int, samples []int) int {
 func (k kernHist) placeSlots(pr *Process, sel []slot) ([]int, []int) {
 	return placeSlotsOn(pr, k.s, sel)
 }
-func (k kernHist) bulkAdd(bins []int) { k.s.BulkAdd(bins) }
+func (k kernHist) bulkAdd(bins []int)  { k.s.BulkAdd(bins) }
+func (k kernHist) addW(bin, w int) int { return k.s.AddN(bin, w) }
+func (k kernHist) subW(bin, w int) int { return k.s.Sub(bin, w) }
+func (k kernHist) bulkSub(bins []int)  { k.s.BulkSub(bins) }
 
 // kernIface is the interface-dispatch fallback kernel: every bin access
 // goes through loadvec.Store exactly as the pre-specialization engine did.
@@ -183,7 +203,10 @@ func (k kernIface) staleDecide(nonce uint64, ball int, samples []int) int {
 func (k kernIface) placeSlots(pr *Process, sel []slot) ([]int, []int) {
 	return placeSlotsOn(pr, k.s, sel)
 }
-func (k kernIface) bulkAdd(bins []int) { k.s.BulkAdd(bins) }
+func (k kernIface) bulkAdd(bins []int)  { k.s.BulkAdd(bins) }
+func (k kernIface) addW(bin, w int) int { return k.s.AddN(bin, w) }
+func (k kernIface) subW(bin, w int) int { return k.s.Sub(bin, w) }
+func (k kernIface) bulkSub(bins []int)  { k.s.BulkSub(bins) }
 
 // fastSelectTyped is the specialized entry of the counting kernel: the
 // load-gather pass reads every sampled bin's load through a direct inlined

@@ -1,0 +1,121 @@
+package experiments
+
+// The online-serving study: the gap under churn instead of after a one-shot
+// placement. OnlineServing walks the (β, departure-rate) grid of the
+// (1+β)-capable serving family — each cell a churned insert/delete stream
+// served through the deletion-aware allocator — and reports the end-state
+// gap and the amortized message cost, the two axes of the serving tradeoff:
+// larger β probes more per insert but holds the gap down as churn rises.
+
+import (
+	"fmt"
+
+	kdchoice "repro"
+)
+
+// OnlineServingOpts configures the online-serving study.
+type OnlineServingOpts struct {
+	// Bins is the number of bins n (default 100_000).
+	Bins int
+	// D is the probe count of the β-branch (default 2).
+	D int
+	// Ops is the number of stream operations per run (default 10·Bins).
+	Ops int
+	// Betas lists the (1+β) mixing probabilities (default 0, 0.5, 1).
+	Betas []float64
+	// ChurnRates lists the per-ball departure rates μ at unit arrival rate
+	// (default 0, 0.2, 0.5 — insert-only through heavy churn).
+	ChurnRates []float64
+	// Weights draws ball weights (zero value: unit weights).
+	Weights kdchoice.Dist
+	// DeleteLoaded switches every cell to the adversarial
+	// delete-the-loaded victim rule.
+	DeleteLoaded bool
+	// Store selects the bin-load representation; nil means the study
+	// default, StoreHist (O(1) amortized deletes).
+	Store *kdchoice.Store
+	// Runs is the number of independent runs per cell (default 3).
+	Runs int
+	// Seed is the root seed.
+	Seed uint64
+	// Workers bounds the shared pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o OnlineServingOpts) withDefaults() OnlineServingOpts {
+	if o.Bins == 0 {
+		o.Bins = 100_000
+	}
+	if o.D == 0 {
+		o.D = 2
+	}
+	if len(o.Betas) == 0 {
+		o.Betas = []float64{0, 0.5, 1}
+	}
+	if len(o.ChurnRates) == 0 {
+		o.ChurnRates = []float64{0, 0.2, 0.5}
+	}
+	if o.Store == nil {
+		def := kdchoice.StoreHist
+		o.Store = &def
+	}
+	if o.Runs == 0 {
+		o.Runs = 3
+	}
+	return o
+}
+
+// OnlineServingPoint is one (β, churn-rate) measurement of the serving
+// study.
+type OnlineServingPoint struct {
+	// Beta and ChurnRate locate the cell on the grid.
+	Beta      float64
+	ChurnRate float64
+	// MeanGap is the run-averaged end-state gap (max − mean load units).
+	MeanGap float64
+	// MeanMax is the run-averaged end-state maximum load.
+	MeanMax float64
+	// MsgsPerOp is the amortized message cost per stream operation — the
+	// serving reading of the paper's message-cost axis.
+	MsgsPerOp float64
+}
+
+// OnlineServing runs the (β, churn-rate) serving grid and returns one point
+// per cell in grid order (β-major). The report is deterministic for any
+// worker count.
+func OnlineServing(opts OnlineServingOpts) ([]OnlineServingPoint, error) {
+	o := opts.withDefaults()
+	grid := kdchoice.ServeGrid{
+		Bins:         o.Bins,
+		D:            o.D,
+		Ops:          o.Ops,
+		Betas:        o.Betas,
+		ChurnRates:   o.ChurnRates,
+		Weights:      o.Weights,
+		DeleteLoaded: o.DeleteLoaded,
+		Store:        *o.Store,
+		Runs:         o.Runs,
+		Seed:         o.Seed,
+		Workers:      o.Workers,
+	}
+	rep, err := grid.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: online serving: %w", err)
+	}
+	out := make([]OnlineServingPoint, 0, len(rep.Cells))
+	i := 0
+	for _, beta := range o.Betas {
+		for _, mu := range o.ChurnRates {
+			c := rep.Cells[i]
+			i++
+			out = append(out, OnlineServingPoint{
+				Beta:      beta,
+				ChurnRate: mu,
+				MeanGap:   c.MeanGap,
+				MeanMax:   c.MeanMaxLoad,
+				MsgsPerOp: c.MessagesPerUnit,
+			})
+		}
+	}
+	return out, nil
+}

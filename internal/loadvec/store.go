@@ -78,11 +78,13 @@ func ParseStoreKind(s string) (StoreKind, error) {
 	return 0, fmt.Errorf("loadvec: unknown store %q (valid: %v)", s, StoreNames())
 }
 
-// Store is the bin-load state of an allocation process. Loads only ever
-// grow through Add; Set exists for test scenarios and snapshot restoration.
-// A Store is not safe for concurrent mutation, but concurrent reads
-// (Load/MaxLoad/NuY) with no writer are safe — the sharded StaleBatch round
-// relies on this during its read-only decision phase.
+// Store is the bin-load state of an allocation process. One-shot
+// simulations only grow loads through Add/AddN; the online-serving layer
+// also drains bins through Sub/BulkSub as balls depart. Set exists for test
+// scenarios and snapshot restoration. A Store is not safe for concurrent
+// mutation, but concurrent reads (Load/MaxLoad/NuY) with no writer are safe
+// — the sharded StaleBatch round relies on this during its read-only
+// decision phase.
 type Store interface {
 	// Kind identifies the implementation.
 	Kind() StoreKind
@@ -93,12 +95,25 @@ type Store interface {
 	// Add places one ball into the bin and returns its new load (the
 	// ball's height).
 	Add(bin int) int
+	// AddN adds w >= 0 load units to the bin in one step — a weighted ball
+	// — and returns the bin's new load. AddN(bin, 1) is Add(bin).
+	AddN(bin, w int) int
+	// Sub removes w >= 0 load units from the bin and returns its new load,
+	// keeping every aggregate (balls, max load, histogram) consistent as
+	// the bin drains. It panics if the bin holds fewer than w units:
+	// deleting a ball that is not there is a caller bug, not an empty bin.
+	Sub(bin, w int) int
 	// BulkAdd places one ball into every listed bin (bins may repeat) with
 	// a single aggregate-bookkeeping update — the store-specific bulk
 	// increment used by the round engines when no per-ball height needs to
 	// be observed. The final state is exactly that of calling Add once per
 	// entry in order.
 	BulkAdd(bins []int)
+	// BulkSub removes one ball from every listed bin (bins may repeat)
+	// with a single aggregate-bookkeeping update: the deletion mirror of
+	// BulkAdd. The final state is exactly that of calling Sub(bin, 1) once
+	// per entry in order.
+	BulkSub(bins []int)
 	// Set overwrites the bin's load, keeping the aggregate bookkeeping
 	// (balls, max load, histogram) consistent. Not a hot-path operation.
 	Set(bin, load int)
@@ -128,6 +143,15 @@ func NewStore(kind StoreKind, n int) (Store, error) {
 		return NewHist(n), nil
 	default:
 		return nil, fmt.Errorf("loadvec: unknown store kind %d (valid: %v)", int(kind), StoreNames())
+	}
+}
+
+// checkWeight rejects negative weights for AddN/Sub; a negative w would
+// silently invert the operation and desynchronize the ball counter's sign
+// conventions.
+func checkWeight(w int) {
+	if w < 0 {
+		panic("loadvec: negative weight")
 	}
 }
 
@@ -163,6 +187,37 @@ func (s *DenseStore) Add(bin int) int {
 	return h
 }
 
+// AddN implements Store.
+func (s *DenseStore) AddN(bin, w int) int {
+	checkWeight(w)
+	v := s.loads[bin] + w
+	s.loads[bin] = v
+	if v > s.max {
+		s.max = v
+	}
+	s.balls += w
+	return v
+}
+
+// Sub implements Store. Draining the (possibly shared) maximum triggers a
+// full rescan; deletion-heavy workloads that cannot afford O(n) rescans
+// should run on HistStore, whose histogram walks the max down in O(1)
+// amortized.
+func (s *DenseStore) Sub(bin, w int) int {
+	checkWeight(w)
+	old := s.loads[bin]
+	v := old - w
+	if v < 0 {
+		panic("loadvec: Sub below zero load")
+	}
+	s.loads[bin] = v
+	s.balls -= w
+	if w > 0 && old == s.max {
+		s.max = Vector(s.loads).Max()
+	}
+	return v
+}
+
 // BulkAdd implements Store: the max and ball counters stay in registers
 // across the whole batch instead of being re-written per ball.
 func (s *DenseStore) BulkAdd(bins []int) {
@@ -176,6 +231,26 @@ func (s *DenseStore) BulkAdd(bins []int) {
 	}
 	s.max = max
 	s.balls += len(bins)
+}
+
+// BulkSub implements Store: one deferred max rescan for the whole batch
+// instead of one per max-bin decrement.
+func (s *DenseStore) BulkSub(bins []int) {
+	touchedMax := false
+	for _, b := range bins {
+		v := s.loads[b] - 1
+		if v < 0 {
+			panic("loadvec: Sub below zero load")
+		}
+		if v+1 == s.max {
+			touchedMax = true
+		}
+		s.loads[b] = v
+	}
+	s.balls -= len(bins)
+	if touchedMax {
+		s.max = Vector(s.loads).Max()
+	}
 }
 
 // Set implements Store.
@@ -284,6 +359,101 @@ func (s *CompactStore) addEscaped(bin int) int {
 	}
 	s.balls++
 	return h
+}
+
+// AddN implements Store: a weighted add that stays in the small cell
+// whenever the result still fits under the escape sentinel, escaping
+// otherwise.
+func (s *CompactStore) AddN(bin, w int) int {
+	checkWeight(w)
+	if v := s.small[bin]; v != escape16 && int(v)+w < escape16 {
+		h := int(v) + w
+		s.small[bin] = uint16(h)
+		if h > s.max {
+			s.max = h
+		}
+		s.balls += w
+		return h
+	}
+	return s.addNEscaped(bin, w)
+}
+
+// addNEscaped handles the wide-table cases of AddN: the cell is already
+// escaped, or this weighted add pushes it to (or past) the sentinel.
+func (s *CompactStore) addNEscaped(bin, w int) int {
+	var h int
+	if s.small[bin] == escape16 {
+		h = s.wide[bin] + w
+	} else {
+		h = int(s.small[bin]) + w
+		s.small[bin] = escape16
+	}
+	s.wide[bin] = h
+	if h > s.max {
+		s.max = h
+	}
+	s.balls += w
+	return h
+}
+
+// Sub implements Store. A wide cell that drains back under the escape
+// sentinel is reclaimed into its small cell and removed from the side
+// table, so deletion-heavy workloads cannot turn a transient load spike
+// into permanent side-table growth. Draining the maximum triggers a full
+// rescan (see DenseStore.Sub; HistStore is the deletion-heavy choice).
+func (s *CompactStore) Sub(bin, w int) int {
+	checkWeight(w)
+	old := s.Load(bin)
+	v := old - w
+	if v < 0 {
+		panic("loadvec: Sub below zero load")
+	}
+	if s.small[bin] == escape16 {
+		if v < escape16 {
+			// The cell fits in uint16 again: reclaim it losslessly.
+			delete(s.wide, bin)
+			s.small[bin] = uint16(v)
+		} else {
+			s.wide[bin] = v
+		}
+	} else {
+		s.small[bin] = uint16(v)
+	}
+	s.balls -= w
+	if w > 0 && old == s.max {
+		s.max = s.rescanMax()
+	}
+	return v
+}
+
+// BulkSub implements Store: one deferred max rescan for the whole batch,
+// with the same escape-cell reclaim as Sub.
+func (s *CompactStore) BulkSub(bins []int) {
+	touchedMax := false
+	for _, b := range bins {
+		old := s.Load(b)
+		if old == 0 {
+			panic("loadvec: Sub below zero load")
+		}
+		if old == s.max {
+			touchedMax = true
+		}
+		v := old - 1
+		if s.small[b] == escape16 {
+			if v < escape16 {
+				delete(s.wide, b)
+				s.small[b] = uint16(v)
+			} else {
+				s.wide[b] = v
+			}
+		} else {
+			s.small[b] = uint16(v)
+		}
+	}
+	s.balls -= len(bins)
+	if touchedMax {
+		s.max = s.rescanMax()
+	}
 }
 
 // BulkAdd implements Store: in-range cells increment with the max counter
@@ -454,11 +624,64 @@ func (s *HistStore) grow(y int) {
 	}
 }
 
+// AddN implements Store: the bin's histogram cell moves from its old load
+// to old+w in one step.
+func (s *HistStore) AddN(bin, w int) int {
+	checkWeight(w)
+	old := int(s.loads[bin])
+	y := old + w
+	if y > math.MaxInt32 {
+		panic("loadvec: HistStore load exceeds int32")
+	}
+	s.loads[bin] = int32(y)
+	s.count[old]--
+	if y >= len(s.count) {
+		s.grow(y)
+	}
+	s.count[y]++
+	if y > s.max {
+		s.max = y
+	}
+	s.balls += w
+	return y
+}
+
+// Sub implements Store. This is the deletion-native store: draining the
+// maximum walks the histogram down instead of scanning the bins, so a
+// delete costs O(1) amortized even under adversarial delete-the-loaded
+// workloads.
+func (s *HistStore) Sub(bin, w int) int {
+	checkWeight(w)
+	old := int(s.loads[bin])
+	y := old - w
+	if y < 0 {
+		panic("loadvec: Sub below zero load")
+	}
+	s.loads[bin] = int32(y)
+	s.count[old]--
+	s.count[y]++
+	s.balls -= w
+	if old == s.max {
+		for s.max > 0 && s.count[s.max] == 0 {
+			s.max--
+		}
+	}
+	return y
+}
+
 // BulkAdd implements Store. The histogram must move one unit per ball, so
 // there is no cheaper aggregate form; the batch simply loops Add.
 func (s *HistStore) BulkAdd(bins []int) {
 	for _, b := range bins {
 		s.Add(b)
+	}
+}
+
+// BulkSub implements Store. As with BulkAdd, the histogram moves one unit
+// per ball; the batch loops Sub.
+func (s *HistStore) BulkSub(bins []int) {
+	for _, b := range bins {
+		s.Sub(b, 1)
 	}
 }
 

@@ -1,0 +1,254 @@
+package loadvec
+
+// VecStore is the multidimensional companion of Store for the online
+// serving layer: every bin carries a []float64 load vector (CPU, memory,
+// network, ... — the style of multidimensional load Narang & Dutta's
+// weighted/vector generalization of multi-choice studies), and placement
+// decisions compare a configurable scalar aggregation norm of the vectors.
+//
+// The store maintains the per-bin aggregated load and its sum eagerly, so
+// MeanAgg and GapAgg are O(1); the maximum is maintained lazily — a
+// decrement that drains the current maximum only marks it dirty, and the
+// next MaxAgg call rescans the n aggregates once. This mirrors the scalar
+// stores' rescan-on-max-drain discipline without putting a scan on the
+// SubVec hot path.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Norm selects the scalar aggregation applied to a bin's load vector when
+// bins are compared and when aggregate statistics are reported.
+type Norm int
+
+// Supported aggregation norms.
+const (
+	// NormLInf aggregates a bin's vector to its maximum component — the
+	// bottleneck-resource reading, and the zero-value default.
+	NormLInf Norm = iota
+	// NormL1 aggregates to the component sum (total resource footprint).
+	NormL1
+	// NormL2 aggregates to the Euclidean length.
+	NormL2
+)
+
+var normNames = map[Norm]string{
+	NormLInf: "linf",
+	NormL1:   "l1",
+	NormL2:   "l2",
+}
+
+// String returns the canonical short name of the norm.
+func (m Norm) String() string {
+	if s, ok := normNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("norm(%d)", int(m))
+}
+
+// NormNames returns the canonical norm names in sorted order.
+func NormNames() []string {
+	names := make([]string, 0, len(normNames))
+	for _, n := range normNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseNorm converts a short name (as printed by Norm.String) back into a
+// Norm.
+func ParseNorm(s string) (Norm, error) {
+	for m, name := range normNames {
+		if name == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("loadvec: unknown norm %q (valid: %v)", s, NormNames())
+}
+
+// Apply aggregates one load vector under the norm.
+func (m Norm) Apply(vec []float64) float64 {
+	switch m {
+	case NormL1:
+		sum := 0.0
+		for _, v := range vec {
+			sum += v
+		}
+		return sum
+	case NormL2:
+		sum := 0.0
+		for _, v := range vec {
+			sum += v * v
+		}
+		return math.Sqrt(sum)
+	default: // NormLInf
+		max := 0.0
+		for _, v := range vec {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+}
+
+// VecStore holds one load vector per bin plus its maintained aggregates.
+// Like Store, it is not safe for concurrent mutation, but concurrent reads
+// with no writer are safe.
+type VecStore struct {
+	dims int
+	norm Norm
+	// vecs holds all n vectors flat: bin b component c at vecs[b*dims+c].
+	vecs []float64
+	// agg[b] is norm.apply of bin b's vector, maintained on every mutation.
+	agg []float64
+	// sum is the maintained total of agg.
+	sum float64
+	// max is the maximum aggregate; stale when maxDirty (a decrement
+	// drained the maximum) until the next MaxAgg rescan.
+	max      float64
+	maxDirty bool
+}
+
+// NewVecStore returns an empty vector store of n bins with dims >= 1
+// components per bin.
+func NewVecStore(n, dims int, norm Norm) (*VecStore, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("loadvec: VecStore needs n >= 1, got %d", n)
+	}
+	if dims < 1 {
+		return nil, fmt.Errorf("loadvec: VecStore needs dims >= 1, got %d", dims)
+	}
+	if _, ok := normNames[norm]; !ok {
+		return nil, fmt.Errorf("loadvec: unknown norm %d (valid: %v)", int(norm), NormNames())
+	}
+	return &VecStore{
+		dims: dims,
+		norm: norm,
+		vecs: make([]float64, n*dims),
+		agg:  make([]float64, n),
+	}, nil
+}
+
+// Len returns the number of bins.
+func (s *VecStore) Len() int { return len(s.agg) }
+
+// Dims returns the number of components per bin.
+func (s *VecStore) Dims() int { return s.dims }
+
+// Norm returns the configured aggregation norm.
+func (s *VecStore) Norm() Norm { return s.norm }
+
+// checkVec validates one ball's weight vector.
+func (s *VecStore) checkVec(w []float64) {
+	if len(w) != s.dims {
+		panic(fmt.Sprintf("loadvec: weight vector has %d components, store has %d", len(w), s.dims))
+	}
+	for _, v := range w {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			panic("loadvec: weight vector components must be finite and non-negative")
+		}
+	}
+}
+
+// AddVec adds the weight vector w (len dims, non-negative components) to
+// the bin and returns its new aggregated load.
+func (s *VecStore) AddVec(bin int, w []float64) float64 {
+	s.checkVec(w)
+	vec := s.vecs[bin*s.dims : (bin+1)*s.dims]
+	for c, v := range w {
+		vec[c] += v
+	}
+	return s.reaggregate(bin, vec)
+}
+
+// SubVec removes the weight vector w from the bin and returns its new
+// aggregated load. It panics if any component would go negative: deleting
+// weight that is not there is a caller bug.
+func (s *VecStore) SubVec(bin int, w []float64) float64 {
+	s.checkVec(w)
+	vec := s.vecs[bin*s.dims : (bin+1)*s.dims]
+	for c, v := range w {
+		nv := vec[c] - v
+		if nv < 0 {
+			// Float cancellation can leave tiny negative residue when a
+			// bin drains exactly; clamp it, but reject real underflow.
+			if nv < -1e-9 {
+				panic("loadvec: SubVec below zero load")
+			}
+			nv = 0
+		}
+		vec[c] = nv
+	}
+	return s.reaggregate(bin, vec)
+}
+
+// reaggregate refreshes the bin's aggregate and the store-level sum/max
+// after its vector changed.
+func (s *VecStore) reaggregate(bin int, vec []float64) float64 {
+	old := s.agg[bin]
+	a := s.norm.Apply(vec)
+	s.agg[bin] = a
+	s.sum += a - old
+	switch {
+	case a >= old:
+		if !s.maxDirty && a > s.max {
+			s.max = a
+		}
+	case old == s.max:
+		// The (possibly shared) maximum drained; defer the rescan.
+		s.maxDirty = true
+	}
+	return a
+}
+
+// AggLoad returns the bin's aggregated load.
+func (s *VecStore) AggLoad(bin int) float64 { return s.agg[bin] }
+
+// VecLoad returns a copy of the bin's load vector.
+func (s *VecStore) VecLoad(bin int) []float64 {
+	out := make([]float64, s.dims)
+	copy(out, s.vecs[bin*s.dims:(bin+1)*s.dims])
+	return out
+}
+
+// RawAgg exposes the per-bin aggregated loads for the decision scans.
+// Read-only for callers: mutating it desynchronizes the bookkeeping.
+func (s *VecStore) RawAgg() []float64 { return s.agg }
+
+// MaxAgg returns the maximum aggregated load, rescanning once if a
+// decrement invalidated the maintained maximum.
+func (s *VecStore) MaxAgg() float64 {
+	if s.maxDirty {
+		max := 0.0
+		for _, a := range s.agg {
+			if a > max {
+				max = a
+			}
+		}
+		s.max = max
+		s.maxDirty = false
+	}
+	return s.max
+}
+
+// MeanAgg returns the mean aggregated load over the bins.
+func (s *VecStore) MeanAgg() float64 { return s.sum / float64(len(s.agg)) }
+
+// GapAgg returns max minus mean aggregated load — the vector-mode reading
+// of the scalar gap.
+func (s *VecStore) GapAgg() float64 { return s.MaxAgg() - s.MeanAgg() }
+
+// Reset restores every bin to the zero vector.
+func (s *VecStore) Reset() {
+	for i := range s.vecs {
+		s.vecs[i] = 0
+	}
+	for i := range s.agg {
+		s.agg[i] = 0
+	}
+	s.sum, s.max, s.maxDirty = 0, 0, false
+}

@@ -1,0 +1,145 @@
+package workload
+
+// Churn generates the operation streams of the online serving layer: a
+// continuous-time arrival/departure process whose events are materialized
+// one Op at a time from a deterministic xrand stream. Arrivals are Poisson
+// at rate Lambda — optionally modulated by a diurnal sine curve — and each
+// live ball departs independently at rate Mu, so the live population is an
+// M/M/∞-style birth-death process whose steady state sits near Lambda/Mu.
+//
+// The generator draws by the competing-clocks construction with thinning:
+// the next event time is exponential at the constant upper-bound rate
+// λmax + live·Mu, and a uniform mark classifies it as departure, (thinned)
+// arrival, or a rejected shadow event. Thinning keeps the diurnal
+// modulation exact while every draw still comes from the explicitly seeded
+// generator — the same stream discipline as every other workload model.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// OpKind classifies one churn-stream operation.
+type OpKind int
+
+// Churn operation kinds.
+const (
+	// OpInsert is a ball arrival.
+	OpInsert OpKind = iota
+	// OpDelete is a ball departure.
+	OpDelete
+)
+
+// Op is one operation of a churn stream.
+type Op struct {
+	// Kind says whether a ball arrives or departs.
+	Kind OpKind
+	// Weight is the arriving ball's integer weight (>= 1); 0 for deletes.
+	Weight int
+	// U is a uniform [0,1) victim selector for deletes: the consumer maps
+	// it onto its live-ball population (e.g. index floor(U·live)), which
+	// keeps the stream independent of how the consumer tracks handles.
+	U float64
+}
+
+// Churn configures a churn stream.
+type Churn struct {
+	// Lambda is the mean arrival rate (required, > 0).
+	Lambda float64
+	// Mu is the per-live-ball departure rate (>= 0; 0 = insert-only).
+	Mu float64
+	// DiurnalAmp is the relative amplitude A in [0, 1) of the diurnal rate
+	// curve λ(t) = Lambda·(1 + A·sin(2πt/DiurnalPeriod)); 0 disables the
+	// modulation.
+	DiurnalAmp float64
+	// DiurnalPeriod is the period of the diurnal curve (required > 0 when
+	// DiurnalAmp > 0).
+	DiurnalPeriod float64
+	// Weights draws arriving balls' weights, rounded to integers and
+	// clamped to >= 1. The zero value means unit weights.
+	Weights Dist
+	// Live0 seeds the stream's live-ball count (>= 0) for consumers that
+	// pre-populate the system before churn starts.
+	Live0 int
+}
+
+// Validate rejects unusable churn configurations.
+func (c Churn) Validate() error {
+	if c.Lambda <= 0 || math.IsNaN(c.Lambda) || math.IsInf(c.Lambda, 0) {
+		return fmt.Errorf("workload: Churn.Lambda = %v, need a positive finite rate", c.Lambda)
+	}
+	if c.Mu < 0 || math.IsNaN(c.Mu) || math.IsInf(c.Mu, 0) {
+		return fmt.Errorf("workload: Churn.Mu = %v, need a non-negative finite rate", c.Mu)
+	}
+	if c.DiurnalAmp < 0 || c.DiurnalAmp >= 1 {
+		return fmt.Errorf("workload: Churn.DiurnalAmp = %v, need [0, 1)", c.DiurnalAmp)
+	}
+	if c.DiurnalAmp > 0 && c.DiurnalPeriod <= 0 {
+		return fmt.Errorf("workload: Churn.DiurnalPeriod = %v, need > 0 with a diurnal amplitude", c.DiurnalPeriod)
+	}
+	if c.Live0 < 0 {
+		return fmt.Errorf("workload: Churn.Live0 = %d, need >= 0", c.Live0)
+	}
+	return nil
+}
+
+// Stream materializes a churn configuration as a sequence of Ops. Not safe
+// for concurrent use.
+type Stream struct {
+	c    Churn
+	rng  *xrand.Rand
+	live int
+	t    float64
+}
+
+// NewStream validates the configuration and binds it to a generator.
+func NewStream(c Churn, rng *xrand.Rand) (*Stream, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: NewStream with nil rng")
+	}
+	return &Stream{c: c, rng: rng, live: c.Live0}, nil
+}
+
+// Next returns the next operation. Deletes are only emitted while balls
+// are live, so a consumer that applies every Op in order can never
+// underflow.
+func (s *Stream) Next() Op {
+	lamMax := s.c.Lambda * (1 + s.c.DiurnalAmp)
+	for {
+		depRate := float64(s.live) * s.c.Mu
+		total := lamMax + depRate
+		s.t += s.rng.Exponential(1 / total)
+		u := s.rng.Float64() * total
+		if u < depRate {
+			s.live--
+			return Op{Kind: OpDelete, U: s.rng.Float64()}
+		}
+		lam := s.c.Lambda
+		if s.c.DiurnalAmp > 0 {
+			lam *= 1 + s.c.DiurnalAmp*math.Sin(2*math.Pi*s.t/s.c.DiurnalPeriod)
+		}
+		if u < depRate+lam {
+			s.live++
+			w := 1
+			if s.c.Weights.kind != 0 {
+				w = int(math.Round(s.c.Weights.Sample(s.rng)))
+				if w < 1 {
+					w = 1
+				}
+			}
+			return Op{Kind: OpInsert, Weight: w}
+		}
+		// Thinned shadow event of the diurnal trough; redraw.
+	}
+}
+
+// Now returns the stream's simulated clock.
+func (s *Stream) Now() float64 { return s.t }
+
+// Live returns the stream's live-ball count after the last emitted Op.
+func (s *Stream) Live() int { return s.live }

@@ -29,6 +29,7 @@ const (
 	distExponential
 	distPareto
 	distUniform
+	distZipf
 )
 
 // Deterministic returns a distribution that always yields v (v >= 0).
@@ -68,6 +69,32 @@ func Uniform(lo, hi float64) Dist {
 	return Dist{kind: distUniform, mean: (lo + hi) / 2, lo: lo, hi: hi}
 }
 
+// BoundedZipf returns the continuous bounded power law with density
+// proportional to x^(-s) on [1, max] (s > 0, max > 1) — the skewed
+// key-popularity/item-size model of the online serving workloads. Larger s
+// concentrates mass near 1; the bound keeps the mean finite for every s.
+func BoundedZipf(s, max float64) Dist {
+	if s <= 0 {
+		panic("workload: BoundedZipf requires s > 0")
+	}
+	if max <= 1 {
+		panic("workload: BoundedZipf requires max > 1")
+	}
+	// mean = I2/I1 with I1 = ∫ x^-s and I2 = ∫ x^(1-s) over [1, max].
+	var i1, i2 float64
+	if s == 1 {
+		i1 = math.Log(max)
+	} else {
+		i1 = (math.Pow(max, 1-s) - 1) / (1 - s)
+	}
+	if s == 2 {
+		i2 = math.Log(max)
+	} else {
+		i2 = (math.Pow(max, 2-s) - 1) / (2 - s)
+	}
+	return Dist{kind: distZipf, mean: i2 / i1, alpha: s, hi: max}
+}
+
 // Mean returns the distribution mean.
 func (d Dist) Mean() float64 { return d.mean }
 
@@ -82,6 +109,14 @@ func (d Dist) Sample(r *xrand.Rand) float64 {
 		return r.Pareto(d.alpha, d.xm)
 	case distUniform:
 		return d.lo + r.Float64()*(d.hi-d.lo)
+	case distZipf:
+		// Inverse CDF of the bounded power law.
+		u := r.Float64()
+		if d.alpha == 1 {
+			return math.Pow(d.hi, u)
+		}
+		p := 1 - d.alpha
+		return math.Pow(1+u*(math.Pow(d.hi, p)-1), 1/p)
 	default:
 		panic("workload: Sample on zero-value Dist; use a constructor")
 	}
@@ -98,6 +133,8 @@ func (d Dist) String() string {
 		return fmt.Sprintf("pareto(alpha=%g,mean=%g)", d.alpha, d.mean)
 	case distUniform:
 		return fmt.Sprintf("uniform[%g,%g)", d.lo, d.hi)
+	case distZipf:
+		return fmt.Sprintf("zipf(s=%g,max=%g)", d.alpha, d.hi)
 	default:
 		return "dist(uninitialized)"
 	}

@@ -281,6 +281,15 @@ type Config struct {
 	// values must be >= 1. Policies without a fixed round prologue ignore
 	// Block.
 	Block int
+	// VecDims > 0 switches the allocator to vector-load mode: every bin
+	// carries a []float64 load vector of this many components, balls arrive
+	// via InsertVec, and decisions compare the VecNorm aggregation of the
+	// vectors. Vector mode is online-only (per-ball policies); the scalar
+	// round entry points reject it.
+	VecDims int
+	// VecNorm is vector mode's aggregation norm (zero value NormLInf, the
+	// bottleneck-resource reading).
+	VecNorm Norm
 	// Shards parallelizes the read-only decision phase of StaleBatch
 	// rounds over this many goroutines (0 or 1 = serial; bit-identical to
 	// serial for any value). Only the StaleBatch policy may shard: its
@@ -324,6 +333,8 @@ func (cfg Config) coreConfig() (core.Policy, core.Params, error) {
 		RandomSigma:     cfg.RandomSigma,
 		ReferenceSelect: cfg.ReferenceSelect,
 		Store:           cfg.Store.toKind(),
+		VecDims:         cfg.VecDims,
+		VecNorm:         cfg.VecNorm.toLoadvec(),
 		Pipeline:        cfg.Pipeline,
 		Block:           cfg.Block,
 		Shards:          cfg.Shards,

@@ -31,10 +31,20 @@ type RoundEvent struct {
 	// Messages is the cumulative message cost (bins probed) after this
 	// round.
 	Messages int64
+	// Op is the kind of operation behind the event: OpInsert for every
+	// one-shot round, and the serving operations (OpDelete, OpRebalance)
+	// on the online path.
+	Op Op
+	// Weight is the operation's load-unit weight. One-shot rounds and unit
+	// inserts report len(Placed); weighted inserts report the ball's
+	// weight; deletes report the drained weight.
+	Weight int
 }
 
 // Gap returns the current max-load-minus-average-load, the heavily-loaded
-// metric of Theorem 2, as of this event.
+// metric of Theorem 2, as of this event. It divides the ball count by the
+// bin count, which equals the mean load only for unit-weight streams; use
+// Allocator.Gap for the weighted reading.
 func (e RoundEvent) Gap() float64 {
 	return float64(e.MaxLoad) - float64(e.Balls)/float64(e.Bins)
 }
@@ -88,6 +98,11 @@ type observerBridge struct{ a *Allocator }
 // RoundPlaced implements core.Observer.
 func (b observerBridge) RoundPlaced(round int, samples, placed, heights []int) {
 	pr := b.a.pr
+	weight := pr.LastOpWeight()
+	if weight == 0 {
+		// One-shot rounds never set an operation weight: one unit per ball.
+		weight = len(placed)
+	}
 	e := RoundEvent{
 		Round:    round,
 		Samples:  samples,
@@ -97,6 +112,8 @@ func (b observerBridge) RoundPlaced(round int, samples, placed, heights []int) {
 		Balls:    pr.Balls(),
 		MaxLoad:  pr.MaxLoad(),
 		Messages: pr.Messages(),
+		Op:       pr.LastOp(),
+		Weight:   weight,
 	}
 	for _, o := range b.a.observers {
 		o.ObserveRound(e)
@@ -123,8 +140,14 @@ func NewHeightRecorder(snapshotEvery int) *HeightRecorder {
 	return &HeightRecorder{rec: core.NewHeightRecorder(snapshotEvery)}
 }
 
-// ObserveRound implements Observer.
+// ObserveRound implements Observer. The height stream only exists for
+// unit-weight insertions: deletes, rebalances and weighted inserts are
+// skipped, since a reconstruction from heights alone cannot account for
+// removed or multi-unit mass.
 func (h *HeightRecorder) ObserveRound(e RoundEvent) {
+	if e.Op != OpInsert || e.Weight != len(e.Placed) {
+		return
+	}
 	h.rec.RoundPlaced(e.Round, e.Samples, e.Placed, e.Heights)
 }
 

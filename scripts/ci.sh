@@ -6,7 +6,8 @@
 #                          bench + scale smoke runs (exercising every store
 #                          and the pipelined engine end to end)
 #   scripts/ci.sh bench    refresh the tracked benchmark grids
-#                          (BENCH_kd.json and BENCH_scale.json)
+#                          (BENCH_kd.json, BENCH_scale.json and
+#                          BENCH_serve.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +16,8 @@ if [ "${1:-}" = "bench" ]; then
     go run ./cmd/bench -out BENCH_kd.json
     echo "==> refreshing BENCH_scale.json (scale grid, ~60s)"
     go run ./cmd/bench -scale -out BENCH_scale.json
+    echo "==> refreshing BENCH_serve.json (online serving grid, ~10s)"
+    go run ./cmd/bench -serve -out BENCH_serve.json
     exit 0
 fi
 
@@ -35,8 +38,8 @@ go build ./...
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race . ./internal/sim ./internal/core"
-go test -race . ./internal/sim ./internal/core
+echo "==> go test -race . ./internal/sim ./internal/core ./internal/loadvec ./internal/workload"
+go test -race . ./internal/sim ./internal/core ./internal/loadvec ./internal/workload
 
 echo "==> bench smoke: micro grid (-quick)"
 go run ./cmd/bench -quick -out ''
@@ -48,6 +51,13 @@ echo "==> bench smoke: explicit superstep sizes (-block 1 and 7, bit-identical e
 go run ./cmd/bench -quick -block 1 -out ''
 go run ./cmd/bench -quick -block 7 -out ''
 
+echo "==> bench smoke: online serving grid (-serve -quick; insert/delete mix, every store)"
+go run ./cmd/bench -serve -quick -out ''
+
+echo "==> serve smoke: churned weighted study via kdsim (deterministic online path)"
+go run ./cmd/kdsim -n 4096 -m 20000 -d 2 -beta 1 -runs 2 \
+    -churn diurnal:0.0005,0.5 -weights zipf:1.5,64 -store hist
+
 echo "==> perf ratchet: tracked cells vs committed BENCH_kd.json (warns, never fails)"
 # Re-times the two acceptance cells at full size against the committed
 # trajectory. A >15% regression prints a PERF WARNING but does not fail the
@@ -55,13 +65,19 @@ echo "==> perf ratchet: tracked cells vs committed BENCH_kd.json (warns, never f
 # `scripts/ci.sh bench` and investigate before refreshing the JSONs.
 go run ./cmd/bench -compare BENCH_kd.json || echo "perf ratchet skipped (bench error)"
 
+echo "==> perf ratchet: tracked serving cell vs committed BENCH_serve.json (warns, never fails)"
+# The mixed insert/delete cell additionally warns if the specialized
+# kernels ever start allocating per operation.
+go run ./cmd/bench -compareserve BENCH_serve.json || echo "serve ratchet skipped (bench error)"
+
 echo "==> import hygiene: cmd/ and examples/ stay on the public API"
 # The public kdchoice package (Experiment/Sweep/Simulate for the core
-# process, Study/StorageSystem for the application substrates, observers)
-# is the only sanctioned simulation entry point: no command or example may
-# import the internal engine or substrate packages directly.
+# process, Insert/Delete serving, Study/StorageSystem for the application
+# substrates, observers) is the only sanctioned simulation entry point: no
+# command or example may import the internal engine, store, workload or
+# substrate packages directly.
 bad=$(go list -f '{{$p := .ImportPath}}{{range .Imports}}{{$p}} imports {{.}}{{"\n"}}{{end}}' ./cmd/... ./examples/... \
-    | grep -E 'repro/internal/(sim|core|cluster|netsim|storage|eventsim|appevent)$' || true)
+    | grep -E 'repro/internal/(sim|core|cluster|netsim|storage|eventsim|appevent|workload|loadvec)$' || true)
 if [ -n "$bad" ]; then
     echo "forbidden internal-engine imports (use the public kdchoice API):" >&2
     echo "$bad" >&2

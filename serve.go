@@ -1,0 +1,577 @@
+package kdchoice
+
+// This file is the online serving layer of the public API: instead of
+// placing a fixed batch of balls and stopping, an Allocator serves an
+// operation stream — Insert/InsertW/InsertVec return handles to live balls,
+// Delete drains them with full deletion-aware accounting (MaxLoad, Gap and
+// ν_y stay correct as bins empty), and Rebalance migrates a ball when a
+// re-probe finds a strictly better bin. The placement decisions are the
+// per-ball (1+β)-capable policy family (SingleChoice, DChoice, OnePlusBeta),
+// on the same deterministic streams as the one-shot path: an insert-only
+// unit-weight stream is bit-identical to Place on the same seed.
+//
+// ChurnCell/ServeGrid run churned serving workloads — Poisson arrivals and
+// departures, diurnal rate curves, skewed ball weights, adversarial
+// delete-the-loaded victims — as study cells on the shared bounded pool,
+// with the same per-(cell, run) seed-stream determinism as every other
+// study.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/loadvec"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Ball is a handle to a live ball returned by the insert operations. A
+// handle stays valid until the ball is deleted (or the allocator is reset);
+// operations on stale handles are detected and rejected even after the
+// internal slot has been recycled.
+type Ball = core.Ball
+
+// NoBall is the invalid handle returned alongside errors.
+const NoBall = core.NoBall
+
+// Op identifies the kind of operation behind a RoundEvent.
+type Op = core.Op
+
+// Operation kinds.
+const (
+	// OpInsert is a ball arrival — and the kind of every one-shot round.
+	OpInsert = core.OpInsert
+	// OpDelete is a ball departure.
+	OpDelete = core.OpDelete
+	// OpRebalance is a ball migration probe (which may or may not move).
+	OpRebalance = core.OpRebalance
+)
+
+// Norm selects the scalar aggregation applied to a bin's load vector in
+// vector-load mode (Config.VecDims): placement decisions and the aggregate
+// statistics compare bins by the normed vector.
+type Norm int
+
+// Supported aggregation norms.
+const (
+	// NormLInf aggregates a bin's vector to its maximum component — the
+	// bottleneck-resource reading, and the zero-value default.
+	NormLInf Norm = iota
+	// NormL1 aggregates to the component sum (total resource footprint).
+	NormL1
+	// NormL2 aggregates to the Euclidean length.
+	NormL2
+)
+
+// toLoadvec maps the public norm onto the store-layer norm. The two enums
+// are value-aligned by construction.
+func (m Norm) toLoadvec() loadvec.Norm { return loadvec.Norm(m) }
+
+// String returns the canonical short name of the norm.
+func (m Norm) String() string { return m.toLoadvec().String() }
+
+// NormNames returns the canonical norm names in sorted order.
+func NormNames() []string { return loadvec.NormNames() }
+
+// ParseNorm converts a short norm name ("linf", "l1", "l2") back into a
+// Norm. Unknown names list the valid norms in sorted order.
+func ParseNorm(s string) (Norm, error) {
+	m, err := loadvec.ParseNorm(s)
+	if err != nil {
+		return 0, fmt.Errorf("kdchoice: unknown norm %q (valid: %s)", s, strings.Join(NormNames(), ", "))
+	}
+	return Norm(m), nil
+}
+
+// Insert places one unit-weight ball and returns its handle. Online
+// serving requires a per-ball policy (SingleChoice, DChoice, OnePlusBeta).
+func (a *Allocator) Insert() (Ball, error) {
+	b, err := a.pr.Insert()
+	if err != nil {
+		return NoBall, fmt.Errorf("kdchoice: %w", err)
+	}
+	return b, nil
+}
+
+// InsertW places one ball of weight w >= 1 — w load units added atomically
+// to the chosen bin — and returns its handle. The decision probes loads,
+// not weights: the ball lands in the least-loaded probed bin regardless of
+// its own size.
+func (a *Allocator) InsertW(w int) (Ball, error) {
+	b, err := a.pr.InsertW(w)
+	if err != nil {
+		return NoBall, fmt.Errorf("kdchoice: %w", err)
+	}
+	return b, nil
+}
+
+// InsertVec places one ball carrying the weight vector w (length
+// Config.VecDims, non-negative finite components) and returns its handle.
+// Vector-load mode only.
+func (a *Allocator) InsertVec(w []float64) (Ball, error) {
+	b, err := a.pr.InsertVec(w)
+	if err != nil {
+		return NoBall, fmt.Errorf("kdchoice: %w", err)
+	}
+	return b, nil
+}
+
+// Delete removes a live ball, draining its weight from its bin with full
+// aggregate bookkeeping. The handle becomes invalid.
+func (a *Allocator) Delete(b Ball) error {
+	if err := a.pr.Delete(b); err != nil {
+		return fmt.Errorf("kdchoice: %w", err)
+	}
+	return nil
+}
+
+// Rebalance re-probes for a live ball with the policy's decision rule and
+// migrates it when the move strictly lowers the ball's landing height. It
+// reports whether the ball moved.
+func (a *Allocator) Rebalance(b Ball) (bool, error) {
+	moved, err := a.pr.Rebalance(b)
+	if err != nil {
+		return false, fmt.Errorf("kdchoice: %w", err)
+	}
+	return moved, nil
+}
+
+// Live returns the number of live (inserted and not yet deleted) balls.
+func (a *Allocator) Live() int { return a.pr.Live() }
+
+// BallBin returns the bin currently holding a live ball.
+func (a *Allocator) BallBin(b Ball) (int, error) {
+	bin, err := a.pr.BallBin(b)
+	if err != nil {
+		return 0, fmt.Errorf("kdchoice: %w", err)
+	}
+	return bin, nil
+}
+
+// BallWeight returns a live ball's scalar weight (1 for vector-mode balls).
+func (a *Allocator) BallWeight(b Ball) (int, error) {
+	w, err := a.pr.BallWeight(b)
+	if err != nil {
+		return 0, fmt.Errorf("kdchoice: %w", err)
+	}
+	return w, nil
+}
+
+// Reserve pre-sizes the ball registry for n live balls, so a serving loop
+// of known size never grows internal slices mid-measurement. It never
+// shrinks.
+func (a *Allocator) Reserve(n int) { a.pr.Reserve(n) }
+
+// MaxAggLoad returns vector mode's maximum aggregated bin load (0 for
+// scalar allocators).
+func (a *Allocator) MaxAggLoad() float64 { return a.pr.MaxAggLoad() }
+
+// AggGap returns vector mode's max-minus-mean aggregated load — the
+// vector reading of Gap (0 for scalar allocators).
+func (a *Allocator) AggGap() float64 { return a.pr.GapAgg() }
+
+// AggLoad returns one bin's aggregated vector load (0 for scalar
+// allocators).
+func (a *Allocator) AggLoad(bin int) float64 { return a.pr.AggLoad(bin) }
+
+// VecLoad returns a copy of one bin's load vector (nil for scalar
+// allocators).
+func (a *Allocator) VecLoad(bin int) []float64 { return a.pr.VecLoad(bin) }
+
+// BoundedZipfDist is the continuous bounded power law with density
+// proportional to x^(-s) on [1, max] (s > 0, max > 1) — the skewed
+// key-popularity / item-size model for serving workloads.
+func BoundedZipfDist(s, max float64) Dist { return Dist{workload.BoundedZipf(s, max)} }
+
+// ChurnSpec describes the arrival/departure process of a ChurnCell.
+type ChurnSpec struct {
+	// ArrivalRate is the mean ball arrival rate λ; 0 means 1.
+	ArrivalRate float64
+	// DepartureRate is the per-live-ball departure rate μ (>= 0; 0 means an
+	// insert-only stream). The live population settles near λ/μ.
+	DepartureRate float64
+	// DiurnalAmplitude is the relative amplitude A in [0, 1) of the diurnal
+	// arrival curve λ(t) = λ·(1 + A·sin(2πt/DiurnalPeriod)); 0 disables it.
+	DiurnalAmplitude float64
+	// DiurnalPeriod is the period of the diurnal curve in simulated time
+	// (default 512 when an amplitude is set; at λ = 1 that is ~512 ops per
+	// cycle).
+	DiurnalPeriod float64
+	// Weights draws arriving balls' weights, rounded and clamped to >= 1;
+	// the zero value means unit weights.
+	Weights Dist
+	// DeleteLoaded switches victim selection from uniform-over-live-balls to
+	// the adversarial delete-the-loaded rule: every departure removes a ball
+	// from a currently most-loaded bin.
+	DeleteLoaded bool
+}
+
+// internal maps the spec (with defaults applied) onto the workload churn
+// configuration.
+func (s ChurnSpec) internal() workload.Churn {
+	if s.ArrivalRate == 0 {
+		s.ArrivalRate = 1
+	}
+	if s.DiurnalAmplitude > 0 && s.DiurnalPeriod == 0 {
+		s.DiurnalPeriod = 512
+	}
+	return workload.Churn{
+		Lambda:        s.ArrivalRate,
+		Mu:            s.DepartureRate,
+		DiurnalAmp:    s.DiurnalAmplitude,
+		DiurnalPeriod: s.DiurnalPeriod,
+		Weights:       s.Weights.d,
+	}
+}
+
+// churnNames are the canonical churn model names, sorted.
+var churnNames = []string{"adversarial", "diurnal", "none", "poisson"}
+
+// ChurnNames returns the canonical churn model names in sorted order.
+func ChurnNames() []string { return append([]string(nil), churnNames...) }
+
+// ParseChurn converts a churn model string into a ChurnSpec:
+//
+//	none            insert-only stream
+//	poisson:R       per-ball departure rate R, uniform victims
+//	adversarial:R   per-ball departure rate R, delete-the-loaded victims
+//	diurnal:R,A     per-ball departure rate R plus a diurnal arrival curve
+//	                of amplitude A in [0, 1)
+//
+// Unknown models list the valid names in sorted order.
+func ParseChurn(s string) (ChurnSpec, error) {
+	name, arg, _ := strings.Cut(s, ":")
+	bad := func() (ChurnSpec, error) {
+		return ChurnSpec{}, fmt.Errorf("kdchoice: bad churn %q, want one of %s (e.g. poisson:0.5, diurnal:0.5,0.8)", s, strings.Join(ChurnNames(), ", "))
+	}
+	parse1 := func() (float64, bool) {
+		v, err := strconv.ParseFloat(arg, 64)
+		return v, err == nil
+	}
+	switch name {
+	case "none":
+		if arg != "" {
+			return bad()
+		}
+		return ChurnSpec{}, nil
+	case "poisson":
+		if r, ok := parse1(); ok && r >= 0 {
+			return ChurnSpec{DepartureRate: r}, nil
+		}
+	case "adversarial":
+		if r, ok := parse1(); ok && r >= 0 {
+			return ChurnSpec{DepartureRate: r, DeleteLoaded: true}, nil
+		}
+	case "diurnal":
+		rs, as, ok := strings.Cut(arg, ",")
+		if !ok {
+			return bad()
+		}
+		r, err1 := strconv.ParseFloat(rs, 64)
+		amp, err2 := strconv.ParseFloat(as, 64)
+		if err1 == nil && err2 == nil && r >= 0 && amp >= 0 && amp < 1 {
+			return ChurnSpec{DepartureRate: r, DiurnalAmplitude: amp}, nil
+		}
+	}
+	return bad()
+}
+
+// weightNames are the canonical weight model names, sorted.
+var weightNames = []string{"exp", "fixed", "uniform", "zipf"}
+
+// WeightNames returns the canonical weight model names in sorted order.
+func WeightNames() []string { return append([]string(nil), weightNames...) }
+
+// ParseWeights converts a ball-weight model string into a Dist:
+//
+//	fixed:W         every ball weighs W (W >= 1)
+//	exp:MEAN        exponential weights with the given mean
+//	uniform:LO,HI   uniform weights on [LO, HI)
+//	zipf:S,MAX      bounded power law x^(-S) on [1, MAX]
+//
+// Samples are rounded and clamped to >= 1 at insert time. Unknown models
+// list the valid names in sorted order.
+func ParseWeights(s string) (Dist, error) {
+	name, arg, _ := strings.Cut(s, ":")
+	bad := func() (Dist, error) {
+		return Dist{}, fmt.Errorf("kdchoice: bad weights %q, want one of %s (e.g. fixed:4, zipf:1.5,100)", s, strings.Join(WeightNames(), ", "))
+	}
+	switch name {
+	case "fixed":
+		if w, err := strconv.ParseFloat(arg, 64); err == nil && w >= 1 {
+			return DeterministicDist(w), nil
+		}
+	case "exp":
+		if m, err := strconv.ParseFloat(arg, 64); err == nil && m > 0 {
+			return ExponentialDist(m), nil
+		}
+	case "uniform":
+		los, his, ok := strings.Cut(arg, ",")
+		if !ok {
+			return bad()
+		}
+		lo, err1 := strconv.ParseFloat(los, 64)
+		hi, err2 := strconv.ParseFloat(his, 64)
+		if err1 == nil && err2 == nil && lo >= 0 && hi > lo {
+			return UniformDist(lo, hi), nil
+		}
+	case "zipf":
+		ss, ms, ok := strings.Cut(arg, ",")
+		if !ok {
+			return bad()
+		}
+		sh, err1 := strconv.ParseFloat(ss, 64)
+		mx, err2 := strconv.ParseFloat(ms, 64)
+		if err1 == nil && err2 == nil && sh > 0 && mx > 1 {
+			return BoundedZipfDist(sh, mx), nil
+		}
+	}
+	return bad()
+}
+
+// churnStreamID separates the churn workload's random stream from the
+// allocator's placement stream, so the operation mix and the placement
+// decisions draw independently from one (cell, run) seed.
+const churnStreamID = 0x636875726e // "churn"
+
+// ChurnCell is one online-serving study cell: an Ops-operation churned
+// stream served by a (1+β)-family allocator. It runs on a Study's shared
+// pool like every other application cell.
+type ChurnCell struct {
+	// Bins is the number of bins n (required, >= 1).
+	Bins int
+	// D is the probe count of the β-branch (default 2, the classical
+	// (1+β) process).
+	D int
+	// Beta is the multi-probe probability β in [0, 1]: 0 is single choice,
+	// 1 is pure D-choice, values between interpolate.
+	Beta float64
+	// Ops is the number of stream operations served (default 10·Bins).
+	Ops int
+	// Churn describes the arrival/departure process (zero value: unit-rate
+	// insert-only stream with unit weights).
+	Churn ChurnSpec
+	// Store selects the bin-load representation. StoreHist deletes in O(1)
+	// amortized; dense and compact rescan when the maximum drains.
+	Store Store
+	// VecDims > 0 switches the cell to vector-load mode: each arriving
+	// ball's weight lands on one uniformly chosen component, modeling
+	// single-bottleneck-resource demands.
+	VecDims int
+	// VecNorm is the aggregation norm of vector-load mode.
+	VecNorm Norm
+	// Seed, when non-zero, pins the cell's seed; otherwise the Study
+	// derives one from its root seed and the cell index.
+	Seed uint64
+	// Label optionally names the cell in the report.
+	Label string
+}
+
+// withDefaults returns the cell with the documented defaults applied.
+func (c ChurnCell) withDefaults() ChurnCell {
+	if c.D == 0 {
+		c.D = 2
+	}
+	if c.Ops == 0 {
+		c.Ops = 10 * c.Bins
+	}
+	return c
+}
+
+// config maps the cell onto an allocator configuration for the given run
+// seed.
+func (c ChurnCell) config(seed uint64) Config {
+	return Config{
+		Bins:    c.Bins,
+		D:       c.D,
+		Policy:  OnePlusBeta,
+		Beta:    c.Beta,
+		Store:   c.Store,
+		VecDims: c.VecDims,
+		VecNorm: c.VecNorm,
+		Seed:    seed,
+	}
+}
+
+func (c ChurnCell) appLabel() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	cc := c.withDefaults()
+	s := fmt.Sprintf("serve/1+beta beta=%g d=%d n=%d mu=%g", cc.Beta, cc.D, cc.Bins, cc.Churn.DepartureRate)
+	if cc.Churn.DeleteLoaded {
+		s += " adv"
+	}
+	if cc.VecDims > 0 {
+		s += fmt.Sprintf(" vec=%d/%s", cc.VecDims, cc.VecNorm)
+	}
+	return s
+}
+
+func (c ChurnCell) appSeed() uint64 { return c.Seed }
+
+func (c ChurnCell) appValidate() error {
+	cc := c.withDefaults()
+	if cc.Ops < 1 {
+		return fmt.Errorf("Ops = %d, must be >= 1", cc.Ops)
+	}
+	if err := cc.config(1).validate(); err != nil {
+		return err
+	}
+	return cc.Churn.internal().Validate()
+}
+
+func (c ChurnCell) runApp(seed uint64, obs []Observer) (AppMetrics, error) {
+	cc := c.withDefaults()
+	alloc, err := New(cc.config(seed))
+	if err != nil {
+		return AppMetrics{}, err
+	}
+	alloc.Attach(obs...)
+	wrng := xrand.NewStream(seed, churnStreamID)
+	stream, err := workload.NewStream(cc.Churn.internal(), wrng)
+	if err != nil {
+		return AppMetrics{}, err
+	}
+	var vecBuf []float64
+	if cc.VecDims > 0 {
+		vecBuf = make([]float64, cc.VecDims)
+	}
+	live := make([]Ball, 0, cc.Bins)
+	for i := 0; i < cc.Ops; i++ {
+		op := stream.Next()
+		switch op.Kind {
+		case workload.OpInsert:
+			var (
+				b   Ball
+				err error
+			)
+			if cc.VecDims > 0 {
+				comp := wrng.Intn(cc.VecDims)
+				vecBuf[comp] = float64(op.Weight)
+				b, err = alloc.InsertVec(vecBuf)
+				vecBuf[comp] = 0
+			} else {
+				b, err = alloc.InsertW(op.Weight)
+			}
+			if err != nil {
+				return AppMetrics{}, err
+			}
+			live = append(live, b)
+		case workload.OpDelete:
+			vi := 0
+			if cc.Churn.DeleteLoaded {
+				vi = loadedVictim(alloc, live)
+			} else {
+				vi = int(op.U * float64(len(live)))
+				if vi >= len(live) {
+					vi = len(live) - 1
+				}
+			}
+			if err := alloc.Delete(live[vi]); err != nil {
+				return AppMetrics{}, err
+			}
+			live[vi] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	met := AppMetrics{
+		MaxLoad:       float64(alloc.MaxLoad()),
+		Gap:           alloc.Gap(),
+		Messages:      alloc.Messages(),
+		ProbeMessages: alloc.Messages(),
+		Units:         cc.Ops,
+	}
+	if cc.VecDims > 0 {
+		met.MaxLoad = alloc.MaxAggLoad()
+		met.Gap = alloc.AggGap()
+	}
+	return met, nil
+}
+
+// loadedVictim returns the index of a live ball held by a most-loaded bin —
+// the adversarial delete-the-loaded victim rule. Deterministic: the first
+// maximal ball in live order wins.
+func loadedVictim(a *Allocator, live []Ball) int {
+	best, bestLoad := 0, -1.0
+	for i, b := range live {
+		bin, err := a.BallBin(b)
+		if err != nil {
+			continue
+		}
+		l := float64(a.Load(bin))
+		if a.cfg.VecDims > 0 {
+			l = a.AggLoad(bin)
+		}
+		if l > bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}
+
+// ServeGrid builds the online-serving study grid: one ChurnCell per
+// (β, departure-rate) pair, the axes of the gap-vs-churn and (1+β)
+// message/balance tradeoff frontiers. Run executes it as a Study on the
+// shared bounded pool.
+type ServeGrid struct {
+	// Bins is the number of bins n (required).
+	Bins int
+	// D is the probe count of the β-branch (default 2).
+	D int
+	// Ops is the number of operations per cell (default 10·Bins).
+	Ops int
+	// Betas lists the β values of the grid (default {1}).
+	Betas []float64
+	// ChurnRates lists the per-ball departure rates μ (default {0, 0.5}).
+	ChurnRates []float64
+	// Weights draws ball weights (zero value: unit weights).
+	Weights Dist
+	// DeleteLoaded switches every cell to adversarial victim selection.
+	DeleteLoaded bool
+	// Store selects the bin-load representation for every cell.
+	Store Store
+	// Runs, Seed and Workers configure the underlying Study.
+	Runs    int
+	Seed    uint64
+	Workers int
+}
+
+// Cells expands the grid into its study cells in deterministic order
+// (β-major, then churn rate).
+func (g ServeGrid) Cells() []AppCell {
+	betas := g.Betas
+	if len(betas) == 0 {
+		betas = []float64{1}
+	}
+	rates := g.ChurnRates
+	if len(rates) == 0 {
+		rates = []float64{0, 0.5}
+	}
+	cells := make([]AppCell, 0, len(betas)*len(rates))
+	for _, beta := range betas {
+		for _, mu := range rates {
+			cells = append(cells, ChurnCell{
+				Bins: g.Bins,
+				D:    g.D,
+				Beta: beta,
+				Ops:  g.Ops,
+				Churn: ChurnSpec{
+					DepartureRate: mu,
+					Weights:       g.Weights,
+					DeleteLoaded:  g.DeleteLoaded,
+				},
+				Store: g.Store,
+			})
+		}
+	}
+	return cells
+}
+
+// Run executes the grid as a Study. The report is a pure function of the
+// grid — identical for any Workers setting.
+func (g ServeGrid) Run() (*StudyReport, error) {
+	return Study{Cells: g.Cells(), Runs: g.Runs, Seed: g.Seed, Workers: g.Workers}.Run()
+}

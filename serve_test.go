@@ -1,0 +1,280 @@
+package kdchoice
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestServeInsertOnlyMatchesPlace anchors the public online API: an
+// insert-only unit-weight stream reproduces Place bit for bit on the same
+// seed.
+func TestServeInsertOnlyMatchesPlace(t *testing.T) {
+	const n, seed = 64, 4711
+	ref, err := New(Config{Bins: n, D: 3, Policy: DChoice, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.PlaceAll()
+	got, err := New(Config{Bins: n, D: 3, Policy: DChoice, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := got.Insert(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got.MaxLoad() != ref.MaxLoad() || got.Messages() != ref.Messages() {
+		t.Fatalf("online (max=%d, msgs=%d) != one-shot (max=%d, msgs=%d)",
+			got.MaxLoad(), got.Messages(), ref.MaxLoad(), ref.Messages())
+	}
+	rl, gl := ref.Loads(), got.Loads()
+	for i := range rl {
+		if rl[i] != gl[i] {
+			t.Fatalf("bin %d: %d != %d", i, rl[i], gl[i])
+		}
+	}
+	if got.Live() != n {
+		t.Fatalf("Live = %d, want %d", got.Live(), n)
+	}
+}
+
+// TestServeDeleteAccounting pins the public deletion path end to end:
+// weighted inserts drain exactly, the gap tracks load units, and stale
+// handles are rejected with the package's error prefix.
+func TestServeDeleteAccounting(t *testing.T) {
+	a, err := New(Config{Bins: 16, D: 2, Policy: OnePlusBeta, Beta: 1, Seed: 7, Store: StoreHist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var balls []Ball
+	for i := 0; i < 200; i++ {
+		b, err := a.InsertW(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		balls = append(balls, b)
+	}
+	if a.Gap() < 0 {
+		t.Fatalf("Gap = %v, want >= 0", a.Gap())
+	}
+	for _, b := range balls {
+		if err := a.Delete(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.MaxLoad() != 0 || a.Live() != 0 || a.Gap() != 0 {
+		t.Fatalf("drained allocator not empty: max=%d live=%d gap=%v", a.MaxLoad(), a.Live(), a.Gap())
+	}
+	err = a.Delete(balls[0])
+	if err == nil || !strings.HasPrefix(err.Error(), "kdchoice:") {
+		t.Fatalf("stale delete error = %v, want kdchoice-prefixed error", err)
+	}
+}
+
+// TestServeVectorMode smoke-tests the public vector-load configuration.
+func TestServeVectorMode(t *testing.T) {
+	a, err := New(Config{Bins: 8, D: 2, Policy: DChoice, Seed: 3, VecDims: 2, VecNorm: NormL1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.InsertVec([]float64{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.MaxAggLoad(); got != 3 {
+		t.Fatalf("MaxAggLoad = %g, want 3", got)
+	}
+	bin, err := a.BallBin(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec := a.VecLoad(bin); vec[0] != 2 || vec[1] != 1 {
+		t.Fatalf("VecLoad = %v", vec)
+	}
+	if err := a.Delete(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxAggLoad() != 0 || a.AggGap() != 0 {
+		t.Fatalf("drained vector allocator not empty: max=%g gap=%g", a.MaxAggLoad(), a.AggGap())
+	}
+}
+
+// TestChurnStudyWorkerInvariance is the harness acceptance property: the
+// churn study's report is byte-identical for Workers=1 and Workers=8
+// (run under -race in CI).
+func TestChurnStudyWorkerInvariance(t *testing.T) {
+	grid := ServeGrid{
+		Bins:       128,
+		Ops:        1500,
+		Betas:      []float64{0.5, 1},
+		ChurnRates: []float64{0, 0.6},
+		Weights:    BoundedZipfDist(1.5, 16),
+		Store:      StoreHist,
+		Runs:       2,
+		Seed:       99,
+	}
+	marshal := func(workers int) []byte {
+		g := grid
+		g.Workers = workers
+		rep, err := g.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	one := marshal(1)
+	eight := marshal(8)
+	if string(one) != string(eight) {
+		t.Fatalf("reports differ between Workers=1 and Workers=8:\n%s\n%s", one, eight)
+	}
+}
+
+// TestChurnCellAdversarial runs the delete-the-loaded victim rule and the
+// diurnal curve end to end, and checks churn actually deletes.
+func TestChurnCellAdversarial(t *testing.T) {
+	rep, err := Study{
+		Cells: []AppCell{
+			// mu = 0.05 per ball: the live population settles near
+			// lambda/mu = 20 balls, so the stream mixes inserts and deletes
+			// while the end state keeps a positive gap.
+			ChurnCell{Bins: 64, Beta: 1, Ops: 2000, Churn: ChurnSpec{
+				DepartureRate:    0.05,
+				DeleteLoaded:     true,
+				DiurnalAmplitude: 0.5,
+			}},
+		},
+		Seed: 5,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Cells[0]
+	if c.MeanGap <= 0 {
+		t.Fatalf("MeanGap = %v, want > 0 under churn", c.MeanGap)
+	}
+	// 2000 ops at mu=0.8 must include deletes: final max load well below an
+	// insert-only run's mean load.
+	if c.MeanMaxLoad >= 2000.0/64 {
+		t.Fatalf("MeanMaxLoad = %v suggests no deletions happened", c.MeanMaxLoad)
+	}
+	if !strings.Contains(c.Label(), "adv") {
+		t.Fatalf("label %q does not mark the adversarial rule", c.Label())
+	}
+}
+
+// TestChurnCellValidation pins study-time rejection of bad cells.
+func TestChurnCellValidation(t *testing.T) {
+	bad := []ChurnCell{
+		{Bins: 0},
+		{Bins: 8, Beta: 2},
+		{Bins: 8, Churn: ChurnSpec{DepartureRate: -1}},
+		{Bins: 8, Churn: ChurnSpec{DiurnalAmplitude: 1.5}},
+		{Bins: 8, VecDims: -1},
+	}
+	for i, c := range bad {
+		if _, err := (Study{Cells: []AppCell{c}}).Run(); err == nil {
+			t.Fatalf("bad cell %d accepted", i)
+		}
+	}
+}
+
+// TestParseChurn pins the churn model grammar and the sorted unknown-value
+// error.
+func TestParseChurn(t *testing.T) {
+	spec, err := ParseChurn("poisson:0.5")
+	if err != nil || spec.DepartureRate != 0.5 || spec.DeleteLoaded {
+		t.Fatalf("poisson:0.5 -> %+v, %v", spec, err)
+	}
+	spec, err = ParseChurn("adversarial:0.3")
+	if err != nil || spec.DepartureRate != 0.3 || !spec.DeleteLoaded {
+		t.Fatalf("adversarial:0.3 -> %+v, %v", spec, err)
+	}
+	spec, err = ParseChurn("diurnal:0.4,0.8")
+	if err != nil || spec.DepartureRate != 0.4 || spec.DiurnalAmplitude != 0.8 {
+		t.Fatalf("diurnal:0.4,0.8 -> %+v, %v", spec, err)
+	}
+	if spec, err = ParseChurn("none"); err != nil || spec != (ChurnSpec{}) {
+		t.Fatalf("none -> %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"", "bogus", "poisson", "poisson:x", "diurnal:0.4", "diurnal:0.4,1.5", "none:1"} {
+		_, err := ParseChurn(bad)
+		if err == nil {
+			t.Fatalf("ParseChurn(%q) accepted", bad)
+		}
+		if !strings.Contains(err.Error(), strings.Join(ChurnNames(), ", ")) {
+			t.Fatalf("ParseChurn(%q) error does not list sorted models: %v", bad, err)
+		}
+	}
+}
+
+// TestParseWeights pins the weight model grammar.
+func TestParseWeights(t *testing.T) {
+	d, err := ParseWeights("fixed:4")
+	if err != nil || d.Mean() != 4 {
+		t.Fatalf("fixed:4 -> mean %v, %v", d.Mean(), err)
+	}
+	if d, err = ParseWeights("exp:2.5"); err != nil || d.Mean() != 2.5 {
+		t.Fatalf("exp:2.5 -> mean %v, %v", d.Mean(), err)
+	}
+	if d, err = ParseWeights("uniform:1,9"); err != nil || d.Mean() != 5 {
+		t.Fatalf("uniform:1,9 -> mean %v, %v", d.Mean(), err)
+	}
+	if d, err = ParseWeights("zipf:1.5,100"); err != nil || d.Mean() <= 1 {
+		t.Fatalf("zipf:1.5,100 -> mean %v, %v", d.Mean(), err)
+	}
+	for _, bad := range []string{"", "what", "fixed:0", "uniform:9,1", "zipf:1.5", "zipf:0,100"} {
+		_, err := ParseWeights(bad)
+		if err == nil {
+			t.Fatalf("ParseWeights(%q) accepted", bad)
+		}
+		if !strings.Contains(err.Error(), strings.Join(WeightNames(), ", ")) {
+			t.Fatalf("ParseWeights(%q) error does not list sorted models: %v", bad, err)
+		}
+	}
+}
+
+// TestObserverOpWeight pins the public RoundEvent tagging across one-shot
+// and online paths, and the HeightRecorder's weighted-stream guard.
+func TestObserverOpWeight(t *testing.T) {
+	a, err := New(Config{Bins: 16, Policy: SingleChoice, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []RoundEvent
+	rec := NewHeightRecorder(0)
+	a.Attach(ObserverFunc(func(e RoundEvent) { events = append(events, e) }), rec)
+
+	a.Place(3) // one-shot rounds: OpInsert, weight = balls placed
+	b, err := a.InsertW(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Delete(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5", len(events))
+	}
+	for i, e := range events[:3] {
+		if e.Op != OpInsert || e.Weight != 1 {
+			t.Fatalf("one-shot event %d: op=%v weight=%d", i, e.Op, e.Weight)
+		}
+	}
+	if e := events[3]; e.Op != OpInsert || e.Weight != 7 {
+		t.Fatalf("weighted insert event: op=%v weight=%d", e.Op, e.Weight)
+	}
+	if e := events[4]; e.Op != OpDelete || e.Weight != 7 {
+		t.Fatalf("delete event: op=%v weight=%d", e.Op, e.Weight)
+	}
+	// The height recorder must only have counted the three unit inserts:
+	// the weighted insert and the delete are outside its reconstruction.
+	if rec.Balls() != 3 {
+		t.Fatalf("HeightRecorder.Balls = %d, want 3", rec.Balls())
+	}
+}
