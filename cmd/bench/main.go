@@ -23,25 +23,37 @@
 // O(1)-amortized deletes and the specialized kernels: its floor is 1M
 // ops/sec at 0 allocs/op.
 //
+// The approx grid (-approx) is the sub-byte store trajectory: the
+// acceptance shape on the exact compact baseline vs the nibble store
+// (~0.5 B/bin, exact) vs the count-min sketch store (<0.5 B/bin,
+// approximate) at n = 1e7, plus the n = 1e8 compact/nibble pair, reporting
+// measured bytes per bin and the max-load inflation against the exact
+// compact baseline at the same n.
+//
 // Usage:
 //
-//	bench [-out BENCH_kd.json] [-quick]           # micro grid
-//	bench -scale [-out BENCH_scale.json] [-quick] # scale grid
-//	bench -serve [-out BENCH_serve.json] [-quick] # serving grid
-//	bench -compare BENCH_kd.json                  # perf ratchet (CI)
-//	bench -compareserve BENCH_serve.json          # serving ratchet (CI)
-//	bench -cpuprofile cpu.out -memprofile mem.out # hot-path diagnosis
+//	bench [-out BENCH_kd.json] [-quick]             # micro grid
+//	bench -scale [-out BENCH_scale.json] [-quick]   # scale grid
+//	bench -serve [-out BENCH_serve.json] [-quick]   # serving grid
+//	bench -approx [-out BENCH_approx.json] [-quick] # approximate-store grid
+//	bench -compare BENCH_kd.json                    # perf ratchet (CI)
+//	bench -compareserve BENCH_serve.json            # serving ratchet (CI)
+//	bench -compareapprox BENCH_approx.json          # approx ratchet (CI)
+//	bench -cpuprofile cpu.out -memprofile mem.out   # hot-path diagnosis
 //
 // -quick shrinks the grids to tiny cells (for smoke tests); tracked results
 // should always come from the full grids, e.g. via `scripts/ci.sh bench`.
 // -compare re-times only the tracked acceptance cells at full size against
 // a committed BENCH_kd.json and prints a non-fatal PERF WARNING when a cell
 // regresses more than 15% — the CI ratchet that keeps the committed
-// trajectory honest. -cpuprofile/-memprofile write pprof profiles of the
+// trajectory honest; -compareapprox additionally warns when the tracked
+// nibble cell's measured bytes per bin exceed its 0.6 budget.
+// -cpuprofile/-memprofile write pprof profiles of the
 // benchmark run so hot-path regressions can be diagnosed without editing
-// the harness; -block overrides the superstep size of every cell (an
-// ablation — it requires an explicit empty -out, stdout only, so it can
-// never overwrite a tracked trajectory, and it cannot be combined with -compare).
+// the harness; -block overrides the superstep size of every cell and
+// -store overrides the bin store of every cell (ablations — they require
+// an explicit empty -out, stdout only, so they can never overwrite a
+// tracked trajectory, and they cannot be combined with the ratchets).
 package main
 
 import (
@@ -53,6 +65,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"testing"
 	"time"
 
@@ -365,9 +378,31 @@ func runScaleCell(c scaleCell) (scaleResult, error) {
 }
 
 // runScale executes the scale grid and writes BENCH_scale.json.
-func runScale(quick bool, block int, outPath string, out io.Writer) error {
+func runScale(quick bool, block int, store string, outPath string, out io.Writer) error {
 	rep := scaleReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 	cells := scaleGrid(quick)
+	if store != "" {
+		s, err := kdchoice.ParseStore(store)
+		if err != nil {
+			return err
+		}
+		// Rewrite every cell onto the override store and drop the duplicate
+		// rows the collapsed store column leaves behind.
+		seen := make(map[string]bool, len(cells))
+		dedup := cells[:0]
+		for _, c := range cells {
+			c.Cfg.Store = s
+			if idx := strings.Index(c.Name, "store="); idx >= 0 {
+				c.Name = c.Name[:idx] + "store=" + s.String()
+			}
+			if seen[c.Name] {
+				continue
+			}
+			seen[c.Name] = true
+			dedup = append(dedup, c)
+		}
+		cells = dedup
+	}
 	if block != 0 {
 		for i := range cells {
 			cells[i].Cfg.Block = block
@@ -396,6 +431,156 @@ func runScale(quick bool, block int, outPath string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}
+
+// approxResult is one approx-grid cell: a scale measurement plus the
+// max-load inflation against the exact compact baseline at the same n.
+type approxResult struct {
+	scaleResult
+	// MaxLoadInflation is this cell's max load minus the compact baseline's
+	// at the same n — exactly 0 for every exact store (nibble is
+	// bit-identical to compact), and the one-sided accuracy price of the
+	// sketch. Absent when the grid carries no compact baseline for the n.
+	MaxLoadInflation *int `json:"max_load_inflation,omitempty"`
+}
+
+// approxReport is the BENCH_approx.json schema.
+type approxReport struct {
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	Cells     []approxResult `json:"cells"`
+}
+
+// approxGrid returns the approximate-store cells: the acceptance shape at
+// n = 1e7 on compact/nibble/sketch, then the n = 1e8 compact/nibble pair
+// (the tracked sub-byte cell). Light load (m = timed balls ≤ n) keeps the
+// sketch's saturating counters in range and the nibble store escape-free,
+// so the memory comparison is the structural one. Quick mode shrinks n.
+func approxGrid(quick bool) []scaleCell {
+	n1, n2 := 10_000_000, 100_000_000
+	balls1, balls2 := n1, 20_000_000
+	if quick {
+		n1, n2 = 20_000, 100_000
+		balls1, balls2 = n1, n2
+	}
+	var cells []scaleCell
+	for _, store := range []kdchoice.Store{kdchoice.StoreCompact, kdchoice.StoreNibble, kdchoice.StoreSketch} {
+		cells = append(cells, scaleCell{
+			Name:  fmt.Sprintf("kd-approx/n=%d,k=2,d=64,store=%v", n1, store),
+			Cfg:   kdchoice.Config{Bins: n1, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Store: store, Pipeline: true},
+			Balls: balls1,
+		})
+	}
+	for _, store := range []kdchoice.Store{kdchoice.StoreCompact, kdchoice.StoreNibble} {
+		cells = append(cells, scaleCell{
+			Name:  fmt.Sprintf("kd-approx/n=%d,k=2,d=64,store=%v", n2, store),
+			Cfg:   kdchoice.Config{Bins: n2, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Store: store, Pipeline: true},
+			Balls: balls2,
+		})
+	}
+	return cells
+}
+
+// runApprox executes the approx grid and writes BENCH_approx.json. Cells
+// run in grid order, so each n's compact baseline finishes before the
+// cells measured against it.
+func runApprox(quick bool, outPath string, out io.Writer) error {
+	rep := approxReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	baseMax := make(map[int]int) // n -> compact baseline max load
+	for _, c := range approxGrid(quick) {
+		res, err := runScaleCell(c)
+		if err != nil {
+			return err
+		}
+		ar := approxResult{scaleResult: res}
+		if res.Store == kdchoice.StoreCompact.String() {
+			baseMax[res.N] = res.MaxLoad
+		}
+		if base, ok := baseMax[res.N]; ok {
+			infl := res.MaxLoad - base
+			ar.MaxLoadInflation = &infl
+		}
+		rep.Cells = append(rep.Cells, ar)
+		inflStr := "n/a"
+		if ar.MaxLoadInflation != nil {
+			inflStr = fmt.Sprintf("%+d", *ar.MaxLoadInflation)
+		}
+		fmt.Fprintf(out, "%-48s %14.0f balls/sec %7.3f B/bin  max=%d infl=%s\n",
+			res.Name, res.BallsPerSec, res.BytesPerBin, res.MaxLoad, inflStr)
+	}
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}
+
+// approxBudgetBytesPerBin is the tracked nibble cell's memory budget: the
+// packed half byte plus headroom for the escape table and runtime slack.
+const approxBudgetBytesPerBin = 0.6
+
+// runCompareApprox re-times the tracked n=1e8 nibble cell against a
+// committed BENCH_approx.json: a non-fatal PERF WARNING on >15% throughput
+// regression, and another when the measured bytes per bin exceed the 0.6
+// budget the cell is tracked at.
+func runCompareApprox(path string, out io.Writer) error {
+	const threshold = 1.15
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("compareapprox: %w", err)
+	}
+	var tracked approxReport
+	if err := json.Unmarshal(data, &tracked); err != nil {
+		return fmt.Errorf("compareapprox: parsing %s: %w", path, err)
+	}
+	// The tracked cell, constructed directly so grid edits can never
+	// redirect the ratchet.
+	c := scaleCell{
+		Name:  fmt.Sprintf("kd-approx/n=%d,k=2,d=64,store=%v", 100_000_000, kdchoice.StoreNibble),
+		Cfg:   kdchoice.Config{Bins: 100_000_000, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Store: kdchoice.StoreNibble, Pipeline: true},
+		Balls: 20_000_000,
+	}
+	var prev *approxResult
+	for i := range tracked.Cells {
+		if tracked.Cells[i].Name == c.Name {
+			prev = &tracked.Cells[i]
+			break
+		}
+	}
+	if prev == nil || prev.BallsPerSec <= 0 {
+		fmt.Fprintf(out, "PERF WARNING: tracked approx cell %q missing from %s\n", c.Name, path)
+		return nil
+	}
+	res, err := runScaleCell(c)
+	if err != nil {
+		return err
+	}
+	ratio := prev.BallsPerSec / res.BallsPerSec
+	fmt.Fprintf(out, "%-48s tracked %.0f balls/sec, now %.0f balls/sec (%.2fx slower)\n",
+		c.Name, prev.BallsPerSec, res.BallsPerSec, ratio)
+	warned := false
+	if ratio > threshold {
+		warned = true
+		fmt.Fprintf(out, "PERF WARNING: %s regressed %.0f%% vs %s (threshold %.0f%%)\n",
+			c.Name, (ratio-1)*100, path, (threshold-1)*100)
+	}
+	if res.BytesPerBin > approxBudgetBytesPerBin {
+		warned = true
+		fmt.Fprintf(out, "PERF WARNING: %s measured %.3f B/bin, over the %.1f B/bin budget\n",
+			c.Name, res.BytesPerBin, approxBudgetBytesPerBin)
+	}
+	if !warned {
+		fmt.Fprintln(out, "compareapprox: tracked cell within threshold and budget")
+	}
 	return nil
 }
 
@@ -692,13 +877,16 @@ func runCompare(path string, out io.Writer) error {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
-	outPath := fs.String("out", "", "output JSON path (default BENCH_kd.json, BENCH_scale.json with -scale, or BENCH_serve.json with -serve; empty: stdout only)")
+	outPath := fs.String("out", "", "output JSON path (default BENCH_kd.json, BENCH_scale.json with -scale, BENCH_serve.json with -serve, or BENCH_approx.json with -approx; empty: stdout only)")
 	quick := fs.Bool("quick", false, "tiny cells for smoke testing (do not commit quick results)")
 	scale := fs.Bool("scale", false, "run the large-n scale grid instead of the micro grid")
 	serve := fs.Bool("serve", false, "run the online-serving grid (mixed insert/delete streams) instead of the micro grid")
+	approx := fs.Bool("approx", false, "run the approximate-store grid (compact vs nibble vs sketch) instead of the micro grid")
 	block := fs.Int("block", 0, "superstep size in rounds applied to every cell (0 = auto, bit-identical for any value)")
+	storeFlag := fs.String("store", "", "bin store applied to every micro/scale cell (ablation; one of "+strings.Join(kdchoice.StoreNames(), ", ")+"; requires -out '')")
 	compare := fs.String("compare", "", "compare the tracked acceptance cells against this BENCH_kd.json and warn (non-fatal) on >15% regression")
 	compareServe := fs.String("compareserve", "", "compare the tracked serving cell against this BENCH_serve.json and warn (non-fatal) on >15% regression")
+	compareApprox := fs.String("compareapprox", "", "compare the tracked n=1e8 nibble cell against this BENCH_approx.json and warn (non-fatal) on >15% regression or a blown B/bin budget")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	if err := fs.Parse(args); err != nil {
@@ -738,23 +926,39 @@ func run(args []string, out io.Writer) error {
 			outSet = true
 		}
 	})
-	if *compare != "" || *compareServe != "" {
+	ratchets := 0
+	for _, r := range []string{*compare, *compareServe, *compareApprox} {
+		if r != "" {
+			ratchets++
+		}
+	}
+	if ratchets > 0 {
 		// The ratchets always re-time the full-size acceptance cells
 		// against the named file; silently dropping grid flags would make
 		// `-quick -compare` look like a smoke check it is not.
-		if *quick || *scale || *serve || *block != 0 || outSet {
-			return fmt.Errorf("-compare/-compareserve cannot be combined with -quick, -scale, -serve, -block or -out (they always re-time the full-size acceptance cells)")
+		if *quick || *scale || *serve || *approx || *block != 0 || *storeFlag != "" || outSet {
+			return fmt.Errorf("the -compare* ratchets cannot be combined with -quick, -scale, -serve, -approx, -block, -store or -out (they always re-time the full-size acceptance cells)")
 		}
-		if *compare != "" && *compareServe != "" {
-			return fmt.Errorf("-compare and -compareserve are separate ratchets; run them one at a time")
+		if ratchets > 1 {
+			return fmt.Errorf("-compare, -compareserve and -compareapprox are separate ratchets; run them one at a time")
 		}
-		if *compare != "" {
+		switch {
+		case *compare != "":
 			return runCompare(*compare, out)
+		case *compareServe != "":
+			return runCompareServe(*compareServe, out)
+		default:
+			return runCompareApprox(*compareApprox, out)
 		}
-		return runCompareServe(*compareServe, out)
 	}
-	if *scale && *serve {
-		return fmt.Errorf("-scale and -serve select different grids; run them one at a time")
+	grids := 0
+	for _, g := range []bool{*scale, *serve, *approx} {
+		if g {
+			grids++
+		}
+	}
+	if grids > 1 {
+		return fmt.Errorf("-scale, -serve and -approx select different grids; run them one at a time")
 	}
 	if !outSet {
 		switch {
@@ -762,28 +966,62 @@ func run(args []string, out io.Writer) error {
 			path = "BENCH_scale.json"
 		case *serve:
 			path = "BENCH_serve.json"
+		case *approx:
+			path = "BENCH_approx.json"
 		default:
 			path = "BENCH_kd.json"
 		}
 	}
-	if *block != 0 && path != "" {
-		// A block-overridden run is an ablation, not the tracked
-		// trajectory: the canonical speedup fields and the -compare cell
-		// names assume the default superstep. Keep the output inspectable
-		// but never let it masquerade as BENCH_kd.json/BENCH_scale.json.
-		return fmt.Errorf("-block runs are ablations: use -out '' (stdout only) so the override cannot overwrite a tracked trajectory")
+	if (*block != 0 || *storeFlag != "") && path != "" {
+		// An overridden run is an ablation, not the tracked trajectory:
+		// the canonical speedup fields and the -compare cell names assume
+		// the default superstep and the grid's own store columns. Keep the
+		// output inspectable but never let it masquerade as a tracked
+		// BENCH_*.json.
+		return fmt.Errorf("-block/-store runs are ablations: use -out '' (stdout only) so the override cannot overwrite a tracked trajectory")
 	}
 	if *serve {
 		if *block != 0 {
 			return fmt.Errorf("-block applies to the round-based grids, not the serving grid")
 		}
+		if *storeFlag != "" {
+			return fmt.Errorf("-store applies to the micro and scale grids; the serving grid carries its own store column")
+		}
 		return runServe(*quick, path, out)
 	}
+	if *approx {
+		if *block != 0 || *storeFlag != "" {
+			return fmt.Errorf("-block/-store do not apply to the approx grid (it is itself a store comparison)")
+		}
+		return runApprox(*quick, path, out)
+	}
 	if *scale {
-		return runScale(*quick, *block, path, out)
+		return runScale(*quick, *block, *storeFlag, path, out)
 	}
 	rep := report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
 	cells := grid(*quick)
+	if *storeFlag != "" {
+		s, err := kdchoice.ParseStore(*storeFlag)
+		if err != nil {
+			return err
+		}
+		// Rewrite every cell onto the override store; the dedup below (also
+		// used by -block) drops the rows the collapsed store column merges.
+		for i := range cells {
+			cells[i].Cfg.Store = s
+			cells[i].Name = cellName(cells[i].Cfg)
+		}
+		seen := make(map[string]bool, len(cells))
+		dedup := cells[:0]
+		for _, c := range cells {
+			if seen[c.Name] {
+				continue
+			}
+			seen[c.Name] = true
+			dedup = append(dedup, c)
+		}
+		cells = dedup
+	}
 	if *block != 0 {
 		// Negative values flow through to Config validation, which names
 		// the knob in its error. Cells with an explicit Block (the

@@ -9,8 +9,10 @@
 //
 // -m 0 places n balls (the paper's canonical experiment); -m > n exercises
 // the heavily loaded case of Theorem 2. -policy and -store list their valid
-// values (sorted) in the flag help and in unknown-value errors. -store
-// compact runs 10⁷–10⁸ bin experiments in ~2 bytes/bin; -pipeline pre-draws
+// values (sorted, with one-line memory/accuracy notes) in the flag help and
+// in unknown-value errors. -store compact runs 10⁷–10⁸ bin experiments in
+// ~2 bytes/bin, -store nibble in ~0.5, and -store sketch drops below 0.5 by
+// trading exactness for one-sided overestimates; -pipeline pre-draws
 // sample supersteps on a producer goroutine and -block overrides the
 // superstep size (bit-identical results for any setting of either).
 //
@@ -46,9 +48,9 @@ func run(args []string, out io.Writer) error {
 	d := fs.Int("d", 3, "probes per round")
 	m := fs.Int("m", 0, "balls to place (0 = n)")
 	runs := fs.Int("runs", 10, "independent runs")
-	policyName := fs.String("policy", "kd", "allocation policy: "+strings.Join(kdchoice.PolicyNames(), ", "))
+	policyName := fs.String("policy", "kd", "allocation policy, one of:\n"+strings.Join(kdchoice.PolicyHelp(), "\n"))
 	beta := fs.Float64("beta", 0.5, "beta for oneplusbeta")
-	storeName := fs.String("store", "dense", "bin-load store: "+strings.Join(kdchoice.StoreNames(), ", "))
+	storeName := fs.String("store", "dense", "bin-load store, one of:\n"+strings.Join(kdchoice.StoreHelp(), "\n"))
 	pipeline := fs.Bool("pipeline", false, "pre-draw sample supersteps on a producer goroutine (bit-identical)")
 	block := fs.Int("block", 0, "superstep size in rounds for the round policies (0 = auto, bit-identical for any value)")
 	seed := fs.Uint64("seed", 1, "root seed")

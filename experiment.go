@@ -33,7 +33,7 @@ func (c Cell) label() string {
 	switch cfg.Policy {
 	case KDChoice, Serialized, AdaptiveKD, StaleBatch:
 		return fmt.Sprintf("%s(%d,%d) n=%d", cfg.Policy, cfg.K, cfg.D, cfg.Bins)
-	case DChoice, AlwaysGoLeft, DynamicKD:
+	case DChoice, AlwaysGoLeft, DynamicKD, ThresholdChoice, CoarseDChoice:
 		return fmt.Sprintf("%s(d=%d) n=%d", cfg.Policy, cfg.D, cfg.Bins)
 	default:
 		return fmt.Sprintf("%s n=%d", cfg.Policy, cfg.Bins)

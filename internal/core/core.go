@@ -22,6 +22,10 @@
 //   - SAx0: Definition 3 — single choice where a ball landing in one of the
 //     x0 most loaded bins is discarded; used by the paper's lower-bound
 //     machinery and exposed here for completeness and testing.
+//   - ThresholdChoice / CoarseDChoice: the limited-memory policies of
+//     limited.go — O(1)-state sequential accept/reject and d-choice over
+//     quantized loads — motivated by the choice-memory tradeoff literature
+//     and designed to run on the approximate sketch store.
 //
 // All processes run over n bins, support m ≥ n balls (the heavily loaded
 // case of Theorem 2), count message cost (number of bin probes, the paper's
@@ -82,19 +86,46 @@ const (
 	// DynamicKD adjusts k per round (Section 7 future work): every sampled
 	// slot at or below the current ceiling floor(m/n)+1 receives a ball.
 	DynamicKD
+	// ThresholdChoice is the O(1)-memory accept/reject policy (limited.go):
+	// up to D sequential probes, the ball accepting the first bin under the
+	// running ceiling floor(balls/n)+1.
+	ThresholdChoice
+	// CoarseDChoice is d-choice over quantized loads (limited.go): the
+	// argmin compares floor(load/Quantum), tolerating bounded sketch
+	// overestimates. Quantum = 1 is bit-identical to DChoice.
+	CoarseDChoice
 )
 
 var policyNames = map[Policy]string{
-	KDChoice:     "kd",
-	SerializedKD: "kd-serialized",
-	DChoice:      "dchoice",
-	SingleChoice: "single",
-	OnePlusBeta:  "oneplusbeta",
-	AlwaysGoLeft: "alwaysgoleft",
-	AdaptiveKD:   "kd-adaptive",
-	SAx0:         "sax0",
-	StaleBatch:   "stale-batch",
-	DynamicKD:    "kd-dynamic",
+	KDChoice:        "kd",
+	SerializedKD:    "kd-serialized",
+	DChoice:         "dchoice",
+	SingleChoice:    "single",
+	OnePlusBeta:     "oneplusbeta",
+	AlwaysGoLeft:    "alwaysgoleft",
+	AdaptiveKD:      "kd-adaptive",
+	SAx0:            "sax0",
+	StaleBatch:      "stale-batch",
+	DynamicKD:       "kd-dynamic",
+	ThresholdChoice: "threshold",
+	CoarseDChoice:   "dchoice-coarse",
+}
+
+// policyNotes carries the one-line memory/accuracy note printed next to
+// each policy name in command help output.
+var policyNotes = map[Policy]string{
+	KDChoice:        "the paper's (k,d)-choice rounds",
+	SerializedKD:    "Aσ(k,d), serialized round placement",
+	DChoice:         "classical greedy[d] of Azar et al.",
+	SingleChoice:    "classical 1-choice",
+	OnePlusBeta:     "(1+β)-choice of Peres et al.",
+	AlwaysGoLeft:    "Vöcking's asymmetric d-choice",
+	AdaptiveKD:      "water-filling (k,d) variant",
+	SAx0:            "Definition 3 discard process; needs an exact store",
+	StaleBatch:      "parallel balls on round-start loads",
+	DynamicKD:       "per-round adaptive k under the running ceiling",
+	ThresholdChoice: "O(1)-memory accept/reject under the running ceiling",
+	CoarseDChoice:   "d-choice on quantized loads; sketch-tolerant",
 }
 
 // String returns the canonical short name of the policy.
@@ -116,6 +147,17 @@ func PolicyNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// PolicyHelp returns one "name — note" line per policy in sorted name
+// order, for command flag help.
+func PolicyHelp() []string {
+	lines := make([]string, 0, len(policyNames))
+	for p, n := range policyNames {
+		lines = append(lines, n+" — "+policyNotes[p])
+	}
+	sort.Strings(lines)
+	return lines
 }
 
 // ParsePolicy converts a short name (as printed by Policy.String) back into
@@ -159,10 +201,23 @@ type Params struct {
 	// equivalence testing and debugging.
 	ReferenceSelect bool
 	// Store selects the bin-load representation: the dense []int reference
-	// (zero value), the compact 2-bytes/bin store with overflow escape, or
-	// the histogram-indexed store with O(1) occupancy statistics. All
-	// stores produce bit-identical results for equal seeds.
+	// (zero value), the compact 2-bytes/bin store with overflow escape,
+	// the histogram-indexed store with O(1) occupancy statistics, the
+	// exact ~0.5-bytes/bin nibble store, or the approximate count-min
+	// sketch store. Every exact store produces bit-identical results for
+	// equal seeds; the sketch store's loads are one-sided overestimates.
 	Store loadvec.StoreKind
+	// SketchWidth is the count-min row width of the sketch store (cells
+	// per row, rounded up to a power of two). 0 auto-sizes to N/8. Ignored
+	// by the other stores.
+	SketchWidth int
+	// SketchDepth is the count-min row count of the sketch store. 0
+	// defaults to 2. Ignored by the other stores.
+	SketchDepth int
+	// Quantum is the load-bucket width of CoarseDChoice: the argmin
+	// compares floor(load/Quantum). 0 defaults to 4; 1 reproduces DChoice
+	// bit for bit. Ignored by the other policies.
+	Quantum int
 	// Pipeline moves random generation onto a producer goroutine while the
 	// round loop consumes it: whole pre-drawn supersteps for the
 	// fixed-prologue policies, raw word blocks (xrand.Pipelined) for the
@@ -307,7 +362,14 @@ func New(policy Policy, p Params, rng xrand.Source) (*Process, error) {
 	if err := Validate(policy, p); err != nil {
 		return nil, err
 	}
-	store, err := loadvec.NewStore(p.Store, p.N)
+	var store loadvec.Store
+	var err error
+	if p.Store == loadvec.StoreSketch {
+		// The sketch store is the one kind with geometry parameters.
+		store, err = loadvec.NewSketch(p.N, p.SketchWidth, p.SketchDepth)
+	} else {
+		store, err = loadvec.NewStore(p.Store, p.N)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -423,9 +485,23 @@ func Validate(policy Policy, p Params) error {
 		return fmt.Errorf("core: N = %d exceeds the supported maximum %d", p.N, math.MaxInt32)
 	}
 	switch p.Store {
-	case loadvec.StoreDense, loadvec.StoreCompact, loadvec.StoreHist:
+	case loadvec.StoreDense, loadvec.StoreCompact, loadvec.StoreHist, loadvec.StoreNibble, loadvec.StoreSketch:
 	default:
 		return fmt.Errorf("core: unknown store %d (valid: %s)", int(p.Store), strings.Join(loadvec.StoreNames(), ", "))
+	}
+	if p.SketchWidth < 0 {
+		return fmt.Errorf("core: SketchWidth = %d, must be non-negative", p.SketchWidth)
+	}
+	if p.SketchDepth < 0 || p.SketchDepth > 8 {
+		return fmt.Errorf("core: SketchDepth = %d, must be in [0, 8] (0 = default)", p.SketchDepth)
+	}
+	if p.Quantum < 0 {
+		return fmt.Errorf("core: Quantum = %d, must be non-negative (0 = default %d)", p.Quantum, defaultQuantum)
+	}
+	if policy == SAx0 && p.Store == loadvec.StoreSketch {
+		// SAx0's rank bookkeeping (loadCount) indexes by true loads; sketch
+		// estimates would desynchronize (and can exceed) it.
+		return fmt.Errorf("core: SAx0 requires an exact store, got %v (its load-rank bookkeeping breaks under approximate loads)", p.Store)
 	}
 	if p.Shards < 0 {
 		return fmt.Errorf("core: Shards = %d, must be non-negative", p.Shards)
@@ -454,8 +530,8 @@ func Validate(policy Policy, p Params) error {
 		return fmt.Errorf("core: VecDims = %d, must be non-negative", p.VecDims)
 	}
 	if p.VecDims > 0 {
-		if !onlineEligible(policy) {
-			return fmt.Errorf("core: vector-load mode requires a per-ball online policy (single, dchoice, oneplusbeta), got %v", policy)
+		if !vecEligible(policy) {
+			return fmt.Errorf("core: vector-load mode requires a per-ball policy of the (1+β) family (single, dchoice, oneplusbeta), got %v", policy)
 		}
 		switch p.VecNorm {
 		case loadvec.NormLInf, loadvec.NormL1, loadvec.NormL2:
@@ -486,7 +562,7 @@ func Validate(policy Policy, p Params) error {
 		if p.D > p.N {
 			return fmt.Errorf("core: DynamicKD requires D <= N, got D=%d N=%d", p.D, p.N)
 		}
-	case DChoice, AlwaysGoLeft:
+	case DChoice, AlwaysGoLeft, ThresholdChoice, CoarseDChoice:
 		if p.D < 1 {
 			return fmt.Errorf("core: %v requires D >= 1, got %d", policy, p.D)
 		}
@@ -730,6 +806,10 @@ func (pr *Process) step(toPlace int) {
 		pr.ballAlwaysGoLeft()
 	case SAx0:
 		pr.ballSAx0()
+	case ThresholdChoice:
+		pr.ballThreshold()
+	case CoarseDChoice:
+		pr.ballCoarse()
 	}
 }
 

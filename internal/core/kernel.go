@@ -19,8 +19,14 @@ package core
 // defers to the wide side table; dense and hist pass esc = -1, which no
 // cell can hold, so their escape branch is statically dead weight only.
 //
+// Two further raw layouts fall outside the loadElem stencil and get
+// hand-specialized kernels: the nibble store packs two bins per byte (the
+// gather unpacks with one shift+mask, escape sentinel 15 deferring to the
+// wide table), and the sketch store reads a depth-way minimum over raw
+// count-min counter rows (one-sided estimates; see loadvec/approx.go).
+//
 // The round loop pays ONE dynamic dispatch per round (through kernelOps)
-// instead of one per bin access. The fourth kernelOps implementation,
+// instead of one per bin access. The last kernelOps implementation,
 // kernIface, routes every access through the loadvec.Store interface: it
 // is the fallback for store implementations newKernel does not recognize,
 // and the reference the specialized kernels are pinned bit-identical
@@ -28,7 +34,10 @@ package core
 // (rankFromSlots in select.go) is shared by every path, so the selection
 // logic itself cannot drift.
 
-import "repro/internal/loadvec"
+import (
+	"repro/internal/loadvec"
+	"repro/internal/sketch"
+)
 
 // loadElem enumerates the raw per-bin element types of the concrete
 // stores; each has its own GC shape, forcing one full kernel instantiation
@@ -68,6 +77,14 @@ type kernelOps interface {
 	// bulkSub is the store-specific batch decrement — the deletion mirror
 	// of bulkAdd.
 	bulkSub(bins []int)
+	// loadAt reads one bin's load (decision load: an estimate on the
+	// sketch store). The per-probe read of the sequential ThresholdChoice
+	// scan; devirtualized like every other per-bin access.
+	loadAt(bin int) int
+	// gatherLoads fills pr.ldv[:len(pr.samples)] with the sampled bins'
+	// loads — the gather pass of CoarseDChoice's quantized argmin, shared
+	// with fastSelect's first phase.
+	gatherLoads(pr *Process)
 }
 
 // newKernel returns the kernel specialized to the concrete store type, or
@@ -80,6 +97,10 @@ func newKernel(store loadvec.Store) kernelOps {
 		return kernCompact{st}
 	case *loadvec.HistStore:
 		return kernHist{st}
+	case *loadvec.NibbleStore:
+		return kernNibble{st}
+	case *loadvec.SketchStore:
+		return kernSketch{st}
 	default:
 		return kernIface{store}
 	}
@@ -117,6 +138,10 @@ func (k kernDense) bulkAdd(bins []int)  { k.s.BulkAdd(bins) }
 func (k kernDense) addW(bin, w int) int { return k.s.AddN(bin, w) }
 func (k kernDense) subW(bin, w int) int { return k.s.Sub(bin, w) }
 func (k kernDense) bulkSub(bins []int)  { k.s.BulkSub(bins) }
+func (k kernDense) loadAt(bin int) int  { return k.s.Load(bin) }
+func (k kernDense) gatherLoads(pr *Process) {
+	gatherTyped(pr.samples, pr.ldv, k.s.RawLoads(), -1, nil)
+}
 
 // kernCompact is the kernel over the 2-bytes/bin compact store.
 type kernCompact struct{ s *loadvec.CompactStore }
@@ -140,6 +165,11 @@ func (k kernCompact) bulkAdd(bins []int)  { k.s.BulkAdd(bins) }
 func (k kernCompact) addW(bin, w int) int { return k.s.AddN(bin, w) }
 func (k kernCompact) subW(bin, w int) int { return k.s.Sub(bin, w) }
 func (k kernCompact) bulkSub(bins []int)  { k.s.BulkSub(bins) }
+func (k kernCompact) loadAt(bin int) int  { return k.s.Load(bin) }
+func (k kernCompact) gatherLoads(pr *Process) {
+	small, wide := k.s.RawLoads()
+	gatherTyped(pr.samples, pr.ldv, small, loadvec.CompactEscape, wide)
+}
 
 // kernHist is the kernel over the histogram-indexed store.
 type kernHist struct{ s *loadvec.HistStore }
@@ -160,6 +190,96 @@ func (k kernHist) bulkAdd(bins []int)  { k.s.BulkAdd(bins) }
 func (k kernHist) addW(bin, w int) int { return k.s.AddN(bin, w) }
 func (k kernHist) subW(bin, w int) int { return k.s.Sub(bin, w) }
 func (k kernHist) bulkSub(bins []int)  { k.s.BulkSub(bins) }
+func (k kernHist) loadAt(bin int) int  { return k.s.Load(bin) }
+func (k kernHist) gatherLoads(pr *Process) {
+	gatherTyped(pr.samples, pr.ldv, k.s.RawLoads(), -1, nil)
+}
+
+// kernNibble is the kernel over the 4-bits/bin packed store: the gather
+// loops unpack the nibble inline (one shift + mask per read) with the same
+// escape-sentinel branch shape as the compact kernel. The packed []uint8
+// cells are a fourth raw layout the generic loadElem stencil cannot express
+// (two bins share a byte), so the nibble loops are specialized by hand.
+type kernNibble struct{ s *loadvec.NibbleStore }
+
+func (k kernNibble) fastSelect(pr *Process, nonce uint64, toPlace int) []slot {
+	packed, wide := k.s.RawLoads()
+	gatherNibble(pr.samples, pr.ldv, packed, wide)
+	return pr.probeAndRank(nonce, toPlace)
+}
+func (k kernNibble) dchoiceBest(pr *Process, nonce uint64) int {
+	packed, wide := k.s.RawLoads()
+	return staleDecideNibble(pr.samples, packed, wide, nonce, 0)
+}
+func (k kernNibble) staleDecide(nonce uint64, ball int, samples []int) int {
+	packed, wide := k.s.RawLoads()
+	return staleDecideNibble(samples, packed, wide, nonce, ball)
+}
+func (k kernNibble) placeSlots(pr *Process, sel []slot) ([]int, []int) {
+	return placeSlotsOn(pr, k.s, sel)
+}
+func (k kernNibble) bulkAdd(bins []int)  { k.s.BulkAdd(bins) }
+func (k kernNibble) addW(bin, w int) int { return k.s.AddN(bin, w) }
+func (k kernNibble) subW(bin, w int) int { return k.s.Sub(bin, w) }
+func (k kernNibble) bulkSub(bins []int)  { k.s.BulkSub(bins) }
+func (k kernNibble) loadAt(bin int) int  { return k.s.Load(bin) }
+func (k kernNibble) gatherLoads(pr *Process) {
+	packed, wide := k.s.RawLoads()
+	gatherNibble(pr.samples, pr.ldv, packed, wide)
+}
+
+// kernSketch is the kernel over the count-min approximate store: every
+// load read is a depth-way minimum over the raw counter rows, computed
+// inline from the sketch's raw view — no interface dispatch and no call
+// into the store on the per-bin path. Loads here are one-sided estimates;
+// the equivalence tests pin this kernel bit-identical to the interface
+// kernel over the SAME store (exactness across stores is not a sketch
+// property).
+type kernSketch struct{ s *loadvec.SketchStore }
+
+func (k kernSketch) fastSelect(pr *Process, nonce uint64, toPlace int) []slot {
+	rows, seeds, mask := k.s.RawSketch().Raw()
+	gatherSketch(pr.samples, pr.ldv, rows, seeds, mask)
+	return pr.probeAndRank(nonce, toPlace)
+}
+func (k kernSketch) dchoiceBest(pr *Process, nonce uint64) int {
+	return k.staleDecide(nonce, 0, pr.samples)
+}
+func (k kernSketch) staleDecide(nonce uint64, ball int, samples []int) int {
+	rows, seeds, mask := k.s.RawSketch().Raw()
+	best := samples[0]
+	bestLoad := sketchEstimate(rows, seeds, mask, best)
+	bestTie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(best)*0x9e3779b97f4a7c15)
+	for _, cand := range samples[1:] {
+		if cand == best {
+			continue
+		}
+		load := sketchEstimate(rows, seeds, mask, cand)
+		switch {
+		case load < bestLoad:
+			best, bestLoad = cand, load
+			bestTie = mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15)
+		case load == bestLoad:
+			if tie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15); tie < bestTie {
+				best = cand
+				bestTie = tie
+			}
+		}
+	}
+	return best
+}
+func (k kernSketch) placeSlots(pr *Process, sel []slot) ([]int, []int) {
+	return placeSlotsOn(pr, k.s, sel)
+}
+func (k kernSketch) bulkAdd(bins []int)  { k.s.BulkAdd(bins) }
+func (k kernSketch) addW(bin, w int) int { return k.s.AddN(bin, w) }
+func (k kernSketch) subW(bin, w int) int { return k.s.Sub(bin, w) }
+func (k kernSketch) bulkSub(bins []int)  { k.s.BulkSub(bins) }
+func (k kernSketch) loadAt(bin int) int  { return k.s.Load(bin) }
+func (k kernSketch) gatherLoads(pr *Process) {
+	rows, seeds, mask := k.s.RawSketch().Raw()
+	gatherSketch(pr.samples, pr.ldv, rows, seeds, mask)
+}
 
 // kernIface is the interface-dispatch fallback kernel: every bin access
 // goes through loadvec.Store exactly as the pre-specialization engine did.
@@ -207,6 +327,13 @@ func (k kernIface) bulkAdd(bins []int)  { k.s.BulkAdd(bins) }
 func (k kernIface) addW(bin, w int) int { return k.s.AddN(bin, w) }
 func (k kernIface) subW(bin, w int) int { return k.s.Sub(bin, w) }
 func (k kernIface) bulkSub(bins []int)  { k.s.BulkSub(bins) }
+func (k kernIface) loadAt(bin int) int  { return k.s.Load(bin) }
+func (k kernIface) gatherLoads(pr *Process) {
+	ldv := pr.ldv[:len(pr.samples)]
+	for i, b := range pr.samples {
+		ldv[i] = k.s.Load(b)
+	}
+}
 
 // fastSelectTyped is the specialized entry of the counting kernel: the
 // load-gather pass reads every sampled bin's load through a direct inlined
@@ -214,8 +341,15 @@ func (k kernIface) bulkSub(bins []int)  { k.s.BulkSub(bins) }
 // overlaps at full memory-level parallelism, which is where the interface
 // path loses — and hands off to the shared store-free probe/rank pass.
 func fastSelectTyped[E loadElem](pr *Process, raw []E, esc int, wide map[int]int, nonce uint64, toPlace int) []slot {
-	samples := pr.samples
-	ldv := pr.ldv[:len(samples)]
+	gatherTyped(pr.samples, pr.ldv, raw, esc, wide)
+	return pr.probeAndRank(nonce, toPlace)
+}
+
+// gatherTyped is the shared load-gather loop of the element-typed kernels:
+// it fills ldv[:len(samples)] with the sampled bins' loads via direct
+// inlined indexing.
+func gatherTyped[E loadElem](samples, ldv []int, raw []E, esc int, wide map[int]int) {
+	ldv = ldv[:len(samples)]
 	for i, b := range samples {
 		v := int(raw[b])
 		if v == esc {
@@ -223,7 +357,77 @@ func fastSelectTyped[E loadElem](pr *Process, raw []E, esc int, wide map[int]int
 		}
 		ldv[i] = v
 	}
-	return pr.probeAndRank(nonce, toPlace)
+}
+
+// gatherNibble is the load-gather loop over the packed nibble cells: one
+// shift+mask unpack per read, escape cells (nibble 15) deferring to the
+// wide side table.
+func gatherNibble(samples, ldv []int, packed []uint8, wide map[int]int) {
+	ldv = ldv[:len(samples)]
+	for i, b := range samples {
+		v := int(packed[b>>1]>>((b&1)<<2)) & 0xF
+		if v == loadvec.NibbleEscape {
+			v = wide[b]
+		}
+		ldv[i] = v
+	}
+}
+
+// gatherSketch is the load-gather loop over the raw count-min rows: each
+// read is a depth-way minimum over the bin's counters.
+func gatherSketch(samples, ldv []int, rows []uint8, seeds []uint64, mask uint64) {
+	ldv = ldv[:len(samples)]
+	for i, b := range samples {
+		ldv[i] = sketchEstimate(rows, seeds, mask, b)
+	}
+}
+
+// sketchEstimate computes one bin's estimate from the sketch's raw view —
+// the exact hash recipe sketch.CountMin.Cell documents, so the specialized
+// and interface kernels read identical values from the same store.
+func sketchEstimate(rows []uint8, seeds []uint64, mask uint64, bin int) int {
+	key := uint64(bin) * 0x9e3779b97f4a7c15
+	est := int(rows[sketch.Mix64(seeds[0]^key)&mask])
+	base := int(mask) + 1 // row width
+	for r := 1; r < len(seeds); r++ {
+		if v := int(rows[base+int(sketch.Mix64(seeds[r]^key)&mask)]); v < est {
+			est = v
+		}
+		base += int(mask) + 1
+	}
+	return est
+}
+
+// staleDecideNibble is staleDecideTyped over the packed nibble cells; like
+// its typed sibling it must stay a pure function of (raw state, nonce,
+// ball, samples) — the sharded StaleBatch round calls it concurrently.
+func staleDecideNibble(samples []int, packed []uint8, wide map[int]int, nonce uint64, ball int) int {
+	best := samples[0]
+	bestLoad := int(packed[best>>1]>>((best&1)<<2)) & 0xF
+	if bestLoad == loadvec.NibbleEscape {
+		bestLoad = wide[best]
+	}
+	bestTie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(best)*0x9e3779b97f4a7c15)
+	for _, cand := range samples[1:] {
+		if cand == best {
+			continue
+		}
+		load := int(packed[cand>>1]>>((cand&1)<<2)) & 0xF
+		if load == loadvec.NibbleEscape {
+			load = wide[cand]
+		}
+		switch {
+		case load < bestLoad:
+			best, bestLoad = cand, load
+			bestTie = mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15)
+		case load == bestLoad:
+			if tie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15); tie < bestTie {
+				best = cand
+				bestTie = tie
+			}
+		}
+	}
+	return best
 }
 
 // The greedy[d] argmin scan of dchoiceBest is staleDecideTyped with

@@ -6,7 +6,8 @@ package core
 // through a handle. The placement decisions are exactly the per-ball
 // policies' (SingleChoice, DChoice, OnePlusBeta — the (1+β)-capable family:
 // β = 0 is single choice, β = 1 with D = d probes is d-choice, anything
-// between interpolates), drawing from the same deterministic stream
+// between interpolates — plus the limited-memory pair ThresholdChoice and
+// CoarseDChoice of limited.go), drawing from the same deterministic stream
 // discipline as the one-shot path: an insert stream with unit weights and
 // no deletes is bit-identical to Place on the same seed.
 //
@@ -63,6 +64,19 @@ func (b Ball) gen() uint32 { return uint32(uint64(b) >> 32) }
 // insert/delete stream.
 func onlineEligible(policy Policy) bool {
 	switch policy {
+	case SingleChoice, DChoice, OnePlusBeta, ThresholdChoice, CoarseDChoice:
+		return true
+	default:
+		return false
+	}
+}
+
+// vecEligible reports whether the policy supports vector-load mode: the
+// (1+β)-capable family, whose decisions reduce to aggregated-load argmins.
+// The limited-memory policies stay scalar (their decisions read the scalar
+// store's integer loads and thresholds).
+func vecEligible(policy Policy) bool {
+	switch policy {
 	case SingleChoice, DChoice, OnePlusBeta:
 		return true
 	default:
@@ -73,7 +87,7 @@ func onlineEligible(policy Policy) bool {
 // checkOnline rejects online operations on round-based policies.
 func (pr *Process) checkOnline() error {
 	if !onlineEligible(pr.policy) {
-		return fmt.Errorf("core: online serving requires a per-ball policy (single, dchoice, oneplusbeta), process runs %v", pr.policy)
+		return fmt.Errorf("core: online serving requires a per-ball policy (single, dchoice, oneplusbeta, threshold, dchoice-coarse), process runs %v", pr.policy)
 	}
 	return nil
 }
@@ -160,6 +174,11 @@ func (pr *Process) decide() (bin, probes int) {
 	case DChoice:
 		nonce := pr.roundPrologue()
 		return pr.argminSamples(nonce), pr.p.D
+	case CoarseDChoice:
+		nonce := pr.roundPrologue()
+		return pr.coarseBest(nonce), pr.p.D
+	case ThresholdChoice:
+		return pr.decideThreshold()
 	case OnePlusBeta:
 		if pr.rng.Bernoulli(pr.p.Beta) {
 			if d := pr.p.D; d > 2 {

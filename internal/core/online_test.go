@@ -22,6 +22,8 @@ func onlineCases() []struct {
 		{"single", SingleChoice, Params{N: 64}},
 		{"dchoice", DChoice, Params{N: 64, D: 3}},
 		{"oneplusbeta", OnePlusBeta, Params{N: 64, Beta: 0.4}},
+		{"threshold", ThresholdChoice, Params{N: 64, D: 4}},
+		{"dchoice-coarse", CoarseDChoice, Params{N: 64, D: 3, Quantum: 2}},
 	}
 }
 
@@ -30,7 +32,7 @@ func onlineCases() []struct {
 // seed, for every per-ball policy, every store, and the interface-kernel
 // fallback.
 func TestInsertOnlyMatchesPlace(t *testing.T) {
-	stores := []loadvec.StoreKind{loadvec.StoreDense, loadvec.StoreCompact, loadvec.StoreHist}
+	stores := []loadvec.StoreKind{loadvec.StoreDense, loadvec.StoreCompact, loadvec.StoreHist, loadvec.StoreNibble}
 	for _, tc := range onlineCases() {
 		t.Run(tc.name, func(t *testing.T) {
 			const seed, m = 98765, 257
@@ -68,7 +70,7 @@ func TestInsertOnlyMatchesPlace(t *testing.T) {
 // against a reference []int shadow maintained from the process's reported
 // outcomes.
 func TestOnlineAccountingShadow(t *testing.T) {
-	stores := []loadvec.StoreKind{loadvec.StoreDense, loadvec.StoreCompact, loadvec.StoreHist}
+	stores := []loadvec.StoreKind{loadvec.StoreDense, loadvec.StoreCompact, loadvec.StoreHist, loadvec.StoreNibble}
 	for _, tc := range onlineCases() {
 		for _, kind := range stores {
 			t.Run(tc.name+"/"+kind.String(), func(t *testing.T) {

@@ -94,7 +94,7 @@ type roundEngine struct {
 // fixed FillIntn-then-nonce round prologue the superstep engine pre-draws.
 func blockEligible(policy Policy, p Params) bool {
 	switch policy {
-	case KDChoice, DChoice, DynamicKD:
+	case KDChoice, DChoice, DynamicKD, CoarseDChoice:
 		return true
 	case SerializedKD:
 		// RandomSigma draws a shuffle after the nonce, so its rounds are

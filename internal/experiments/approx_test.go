@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	kdchoice "repro"
+)
+
+// TestApproxFrontier pins the frontier's structural contracts at small n:
+// the exact stores occupy their documented budgets and are bit-identical
+// (zero inflation), and the sketch undercuts half a byte per bin while only
+// ever inflating the max load (one-sided error).
+func TestApproxFrontier(t *testing.T) {
+	pts, err := ApproxFrontier(ApproxFrontierOpts{
+		Ns:   []int{2048, 4096},
+		Runs: 2,
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("got %d points, want 6 (2 n × 3 stores)", len(pts))
+	}
+	byStore := func(n int, s kdchoice.Store) ApproxFrontierPoint {
+		t.Helper()
+		for _, p := range pts {
+			if p.N == n && p.Store == s {
+				return p
+			}
+		}
+		t.Fatalf("no point for n=%d store=%v", n, s)
+		return ApproxFrontierPoint{}
+	}
+	for _, n := range []int{2048, 4096} {
+		compact := byStore(n, kdchoice.StoreCompact)
+		nibble := byStore(n, kdchoice.StoreNibble)
+		sketch := byStore(n, kdchoice.StoreSketch)
+		if compact.BytesPerBin != 2 {
+			t.Fatalf("n=%d: compact BytesPerBin = %v, want 2", n, compact.BytesPerBin)
+		}
+		if nibble.BytesPerBin != 0.5 {
+			t.Fatalf("n=%d: nibble BytesPerBin = %v, want 0.5 (no escapes at light load)", n, nibble.BytesPerBin)
+		}
+		if sketch.BytesPerBin >= 0.5 {
+			t.Fatalf("n=%d: sketch BytesPerBin = %v, want < 0.5", n, sketch.BytesPerBin)
+		}
+		if nibble.MeanMax != compact.MeanMax || nibble.MaxInflation != 0 {
+			t.Fatalf("n=%d: nibble diverged from the exact baseline: max %v vs %v",
+				n, nibble.MeanMax, compact.MeanMax)
+		}
+		if sketch.MaxInflation < 0 {
+			t.Fatalf("n=%d: sketch max-load inflation %v negative; overestimates must be one-sided",
+				n, sketch.MaxInflation)
+		}
+		if compact.Balls != n || nibble.Balls != n {
+			t.Fatalf("n=%d: Balls = %d/%d, want %d (Mult default 1)", n, compact.Balls, nibble.Balls, n)
+		}
+	}
+}

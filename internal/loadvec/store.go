@@ -5,7 +5,8 @@ package loadvec
 // aggregate statistics the processes and experiments query after (or during)
 // a run: maximum load, total balls, and the occupancy counts ν_y.
 //
-// Three implementations exist, selectable per run:
+// Five implementations exist, selectable per run (the two sub-byte stores
+// live in approx.go):
 //
 //   - DenseStore: the reference representation, one int per bin (8 B/bin).
 //   - CompactStore: one uint16 per bin (2 B/bin) with an overflow escape —
@@ -17,10 +18,18 @@ package loadvec
 //     (count[y] = bins with load exactly y), giving MaxLoad, Gap and NuY
 //     without ever scanning the n bins — NuY costs O(max load − y), and max
 //     load in the processes studied here is tiny compared to n.
+//   - NibbleStore: 4 bits per bin (~0.5 B/bin) with the same lossless
+//     escape discipline as CompactStore at sentinel load 15; still exact.
+//   - SketchStore: count-min counters (<0.5 B/bin at the default geometry);
+//     loads become one-sided overestimates, the ball counter stays exact.
 //
-// All stores are exact: loads never saturate or approximate, so every
-// process produces bit-identical results on every store for equal seeds
-// (pinned by the cross-store equivalence tests in internal/core).
+// Every store except SketchStore is exact: loads never saturate or
+// approximate, so every process produces bit-identical results on every
+// exact store for equal seeds (pinned by the cross-store equivalence tests
+// in internal/core). SketchStore trades that for sub-nibble memory; its
+// estimates never under-report, and the equivalence tests pin the
+// specialized kernels bit-identical to the interface kernel on the same
+// sketch.
 
 import (
 	"fmt"
@@ -41,12 +50,30 @@ const (
 	// StoreHist is the histogram-indexed representation (4 bytes/bin,
 	// occupancy statistics without scanning the bins).
 	StoreHist
+	// StoreNibble is the 4-bits-per-bin packed representation with overflow
+	// escape (~0.5 bytes/bin steady state, still exact).
+	StoreNibble
+	// StoreSketch is the count-min approximate representation (<0.5
+	// bytes/bin at the default geometry; loads are one-sided overestimates).
+	StoreSketch
 )
 
 var storeNames = map[StoreKind]string{
 	StoreDense:   "dense",
 	StoreCompact: "compact",
 	StoreHist:    "hist",
+	StoreNibble:  "nibble",
+	StoreSketch:  "sketch",
+}
+
+// storeNotes carries the one-line memory/accuracy note printed next to each
+// store name in command help output.
+var storeNotes = map[StoreKind]string{
+	StoreDense:   "exact []int reference, 8 B/bin",
+	StoreCompact: "exact uint16 cells + overflow escape, 2 B/bin",
+	StoreHist:    "exact int32 cells + load histogram, 4 B/bin, O(1) deletion stats",
+	StoreNibble:  "exact 4-bit cells + overflow escape, ~0.5 B/bin",
+	StoreSketch:  "approximate count-min counters, <0.5 B/bin, one-sided overestimates",
 }
 
 // String returns the canonical short name of the store kind.
@@ -65,6 +92,17 @@ func StoreNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// StoreHelp returns one "name — note" line per store in sorted name order,
+// for command flag help.
+func StoreHelp() []string {
+	lines := make([]string, 0, len(storeNames))
+	for k, n := range storeNames {
+		lines = append(lines, n+" — "+storeNotes[k])
+	}
+	sort.Strings(lines)
+	return lines
 }
 
 // ParseStoreKind converts a short name (as printed by StoreKind.String)
@@ -141,6 +179,10 @@ func NewStore(kind StoreKind, n int) (Store, error) {
 		return NewCompact(n), nil
 	case StoreHist:
 		return NewHist(n), nil
+	case StoreNibble:
+		return NewNibble(n), nil
+	case StoreSketch:
+		return NewSketch(n, 0, 0)
 	default:
 		return nil, fmt.Errorf("loadvec: unknown store kind %d (valid: %v)", int(kind), StoreNames())
 	}

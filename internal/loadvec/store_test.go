@@ -2,6 +2,7 @@ package loadvec
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -9,7 +10,7 @@ import (
 func allStores(t *testing.T, n int) map[string]Store {
 	t.Helper()
 	out := make(map[string]Store)
-	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist} {
+	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist, StoreNibble} {
 		s, err := NewStore(kind, n)
 		if err != nil {
 			t.Fatal(err)
@@ -23,7 +24,7 @@ func allStores(t *testing.T, n int) map[string]Store {
 }
 
 func TestStoreKindRoundTrip(t *testing.T) {
-	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist} {
+	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist, StoreNibble, StoreSketch} {
 		got, err := ParseStoreKind(kind.String())
 		if err != nil {
 			t.Fatal(err)
@@ -39,9 +40,18 @@ func TestStoreKindRoundTrip(t *testing.T) {
 		t.Fatal("NewStore accepted an unknown kind")
 	}
 	names := StoreNames()
-	want := []string{"compact", "dense", "hist"}
+	want := []string{"compact", "dense", "hist", "nibble", "sketch"}
 	if !reflect.DeepEqual(names, want) {
 		t.Fatalf("StoreNames() = %v, want sorted %v", names, want)
+	}
+	help := StoreHelp()
+	if len(help) != len(want) {
+		t.Fatalf("StoreHelp() has %d lines, want %d", len(help), len(want))
+	}
+	for i, line := range help {
+		if !strings.HasPrefix(line, want[i]+" — ") || len(line) <= len(want[i])+5 {
+			t.Fatalf("StoreHelp()[%d] = %q, want %q with a non-empty note", i, line, want[i])
+		}
 	}
 }
 
@@ -264,7 +274,7 @@ func TestBulkAddMatchesAdd(t *testing.T) {
 		}
 	}
 	bins := []int{3, 1, 3, 3, 7, 1, 3, 0, 3}
-	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist} {
+	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist, StoreNibble} {
 		bulk, serial := build(kind)
 		bulk.BulkAdd(bins)
 		for _, b := range bins {

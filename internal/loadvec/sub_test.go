@@ -45,7 +45,7 @@ func shadowCheck(t *testing.T, stage string, s Store, shadow []int) {
 // full observable state after every mutation batch.
 func TestSubAddNProperty(t *testing.T) {
 	const n = 48
-	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist} {
+	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist, StoreNibble} {
 		t.Run(kind.String(), func(t *testing.T) {
 			s, err := NewStore(kind, n)
 			if err != nil {
@@ -106,7 +106,7 @@ func TestSubAddNProperty(t *testing.T) {
 
 // TestSubBelowZeroPanics pins the caller-bug contract on every store.
 func TestSubBelowZeroPanics(t *testing.T) {
-	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist} {
+	for _, kind := range []StoreKind{StoreDense, StoreCompact, StoreHist, StoreNibble} {
 		s, err := NewStore(kind, 4)
 		if err != nil {
 			t.Fatal(err)

@@ -83,6 +83,18 @@ const (
 	// sketch): every sampled slot at or below the running ceiling
 	// floor(m/n)+1 receives a ball.
 	DynamicKD
+	// ThresholdChoice is the limited-memory accept/reject policy: probe up
+	// to D bins one at a time and take the first whose load is under the
+	// running ceiling floor(m/n)+1, falling back to the last probe. O(1)
+	// decision state — the choice–memory tradeoff's low-memory end — and
+	// tolerant of approximate stores (a sketch overestimate only makes the
+	// accept test conservative).
+	ThresholdChoice
+	// CoarseDChoice is d-choice on quantized loads: the argmin compares
+	// floor(load/Quantum) buckets and breaks bucket ties by deterministic
+	// hash. With Quantum=1 it reproduces DChoice bit for bit; larger quanta
+	// need only the information a sketch store can actually provide.
+	CoarseDChoice
 )
 
 // String returns the canonical short name of the policy.
@@ -107,6 +119,25 @@ func PolicyNames() []string {
 		}
 	}
 	return names
+}
+
+// PolicyHelp returns one sorted "name — note" line per public policy,
+// summarizing each policy's decision rule and memory/accuracy profile —
+// the deterministic list for CLI usage strings.
+func PolicyHelp() []string {
+	help := make([]string, 0, len(core.PolicyHelp()))
+	for _, line := range core.PolicyHelp() {
+		name, _, ok := strings.Cut(line, " — ")
+		if !ok {
+			continue
+		}
+		if cp, err := core.ParsePolicy(name); err == nil {
+			if _, public := policyFromCore(cp); public {
+				help = append(help, line)
+			}
+		}
+	}
+	return help
 }
 
 // ParsePolicy converts a short policy name (as printed by Policy.String,
@@ -135,6 +166,15 @@ func ParsePolicy(s string) (Policy, error) {
 //   - StoreHist: int32 loads plus a maintained load histogram, 4 bytes/bin;
 //     max load, gap and the occupancy counts ν_y come from the histogram
 //     without ever scanning the bins.
+//   - StoreNibble: 4 bits per bin (two bins per byte), ~0.5 bytes/bin; a
+//     bin whose load reaches 15 escapes losslessly to a wide side table,
+//     so loads stay exact at every magnitude. Under the paper's bounds the
+//     escape table stays tiny, making this the 10⁸–10⁹ bin choice.
+//   - StoreSketch: approximate count-min counters, under 0.5 bytes/bin at
+//     the default geometry. The only non-exact store: per-bin loads are
+//     one-sided overestimates (never under the true load), so results are
+//     not bit-identical to the exact stores; pair it with the
+//     sketch-tolerant policies (ThresholdChoice, CoarseDChoice).
 type Store int
 
 // Supported bin-load stores.
@@ -145,6 +185,10 @@ const (
 	StoreCompact
 	// StoreHist is the histogram-indexed representation.
 	StoreHist
+	// StoreNibble is the 4-bits/bin representation with overflow escape.
+	StoreNibble
+	// StoreSketch is the approximate count-min representation.
+	StoreSketch
 )
 
 // String returns the canonical short name of the store.
@@ -156,6 +200,10 @@ func (s Store) toKind() loadvec.StoreKind {
 		return loadvec.StoreCompact
 	case StoreHist:
 		return loadvec.StoreHist
+	case StoreNibble:
+		return loadvec.StoreNibble
+	case StoreSketch:
+		return loadvec.StoreSketch
 	default:
 		return loadvec.StoreKind(s) // dense, or out of range (rejected by Validate)
 	}
@@ -164,8 +212,14 @@ func (s Store) toKind() loadvec.StoreKind {
 // StoreNames returns the canonical store names in sorted order.
 func StoreNames() []string { return loadvec.StoreNames() }
 
-// ParseStore converts a short store name ("dense", "compact", "hist") back
-// into a Store. Unknown names list the valid stores in sorted order.
+// StoreHelp returns one sorted "name — note" line per store, summarizing
+// each store's memory budget and accuracy contract — the deterministic list
+// for CLI usage strings.
+func StoreHelp() []string { return loadvec.StoreHelp() }
+
+// ParseStore converts a short store name ("dense", "compact", "hist",
+// "nibble", "sketch") back into a Store. Unknown names list the valid
+// stores in sorted order.
 func ParseStore(s string) (Store, error) {
 	k, err := loadvec.ParseStoreKind(s)
 	if err != nil {
@@ -176,6 +230,10 @@ func ParseStore(s string) (Store, error) {
 		return StoreCompact, nil
 	case loadvec.StoreHist:
 		return StoreHist, nil
+	case loadvec.StoreNibble:
+		return StoreNibble, nil
+	case loadvec.StoreSketch:
+		return StoreSketch, nil
 	default:
 		return StoreDense, nil
 	}
@@ -202,6 +260,10 @@ func policyFromCore(cp core.Policy) (Policy, bool) {
 		return StaleBatch, true
 	case core.DynamicKD:
 		return DynamicKD, true
+	case core.ThresholdChoice:
+		return ThresholdChoice, true
+	case core.CoarseDChoice:
+		return CoarseDChoice, true
 	default:
 		return 0, false
 	}
@@ -227,6 +289,10 @@ func (p Policy) toCore() (core.Policy, error) {
 		return core.StaleBatch, nil
 	case DynamicKD:
 		return core.DynamicKD, nil
+	case ThresholdChoice:
+		return core.ThresholdChoice, nil
+	case CoarseDChoice:
+		return core.CoarseDChoice, nil
 	default:
 		return 0, fmt.Errorf("kdchoice: unknown policy %d", int(p))
 	}
@@ -290,6 +356,17 @@ type Config struct {
 	// VecNorm is vector mode's aggregation norm (zero value NormLInf, the
 	// bottleneck-resource reading).
 	VecNorm Norm
+	// Quantum is CoarseDChoice's load-bucket width: decisions compare
+	// floor(load/Quantum). 0 applies the default (4); 1 reproduces exact
+	// d-choice bit for bit. Other policies ignore it.
+	Quantum int
+	// SketchWidth is the count-min row width (counters per hash row) when
+	// Store is StoreSketch; 0 auto-sizes to Bins/8, rounded up to a power
+	// of two. More width means tighter estimates and more memory.
+	SketchWidth int
+	// SketchDepth is the count-min row count (independent hash rows, at
+	// most 8) when Store is StoreSketch; 0 applies the default (2).
+	SketchDepth int
 	// Shards parallelizes the read-only decision phase of StaleBatch
 	// rounds over this many goroutines (0 or 1 = serial; bit-identical to
 	// serial for any value). Only the StaleBatch policy may shard: its
@@ -338,6 +415,9 @@ func (cfg Config) coreConfig() (core.Policy, core.Params, error) {
 		Pipeline:        cfg.Pipeline,
 		Block:           cfg.Block,
 		Shards:          cfg.Shards,
+		Quantum:         cfg.Quantum,
+		SketchWidth:     cfg.SketchWidth,
+		SketchDepth:     cfg.SketchDepth,
 	}, nil
 }
 
@@ -443,6 +523,11 @@ func (a *Allocator) SortedLoads() []int { return a.pr.Loads().Sorted() }
 
 // BinsWithAtLeast returns ν_y: the number of bins holding at least y balls.
 func (a *Allocator) BinsWithAtLeast(y int) int { return a.pr.NuY(y) }
+
+// BytesPerBin returns the measured memory cost of the bin-load store in
+// bytes per bin, including any overflow-escape surcharge — the quantity
+// the approximate-store frontier trades against max-load accuracy.
+func (a *Allocator) BytesPerBin() float64 { return a.pr.Store().BytesPerBin() }
 
 // Reset empties all bins and zeroes the counters without rewinding the
 // random stream, giving an independent fresh run.

@@ -8,7 +8,7 @@ import (
 
 // TestStoreParseRoundTrip pins the store names and their sorted listing.
 func TestStoreParseRoundTrip(t *testing.T) {
-	for _, s := range []Store{StoreDense, StoreCompact, StoreHist} {
+	for _, s := range []Store{StoreDense, StoreCompact, StoreHist, StoreNibble, StoreSketch} {
 		got, err := ParseStore(s.String())
 		if err != nil {
 			t.Fatalf("ParseStore(%q): %v", s.String(), err)
@@ -21,11 +21,20 @@ func TestStoreParseRoundTrip(t *testing.T) {
 	if err == nil {
 		t.Fatal("ParseStore accepted garbage")
 	}
-	if !strings.Contains(err.Error(), "compact, dense, hist") {
+	if !strings.Contains(err.Error(), "compact, dense, hist, nibble, sketch") {
 		t.Fatalf("ParseStore error %q does not list valid stores in sorted order", err)
 	}
-	if got := StoreNames(); !reflect.DeepEqual(got, []string{"compact", "dense", "hist"}) {
+	if got := StoreNames(); !reflect.DeepEqual(got, []string{"compact", "dense", "hist", "nibble", "sketch"}) {
 		t.Fatalf("StoreNames() = %v", got)
+	}
+	help := StoreHelp()
+	if len(help) != 5 {
+		t.Fatalf("StoreHelp() has %d lines, want 5", len(help))
+	}
+	for i, line := range help {
+		if !strings.HasPrefix(line, StoreNames()[i]+" — ") {
+			t.Fatalf("StoreHelp()[%d] = %q, want prefix %q", i, line, StoreNames()[i])
+		}
 	}
 }
 
@@ -51,6 +60,15 @@ func TestPolicyNamesSortedAndParseErrors(t *testing.T) {
 			t.Fatalf("ParsePolicy(%q) error %q does not list the sorted policies", name, err)
 		}
 	}
+	help := PolicyHelp()
+	if len(help) != len(names) {
+		t.Fatalf("PolicyHelp() has %d lines, PolicyNames() has %d", len(help), len(names))
+	}
+	for i, line := range help {
+		if !strings.HasPrefix(line, names[i]+" — ") || len(line) <= len(names[i])+5 {
+			t.Fatalf("PolicyHelp()[%d] = %q, want %q with a non-empty note", i, line, names[i])
+		}
+	}
 }
 
 func sortedStrings(xs []string) bool {
@@ -71,7 +89,7 @@ func TestAllocatorStoresBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	ref.PlaceAll()
-	for _, store := range []Store{StoreCompact, StoreHist} {
+	for _, store := range []Store{StoreCompact, StoreHist, StoreNibble} {
 		for _, pipeline := range []bool{false, true} {
 			cfg := base
 			cfg.Store = store

@@ -6,8 +6,8 @@
 #                          bench + scale smoke runs (exercising every store
 #                          and the pipelined engine end to end)
 #   scripts/ci.sh bench    refresh the tracked benchmark grids
-#                          (BENCH_kd.json, BENCH_scale.json and
-#                          BENCH_serve.json)
+#                          (BENCH_kd.json, BENCH_scale.json,
+#                          BENCH_serve.json and BENCH_approx.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +18,8 @@ if [ "${1:-}" = "bench" ]; then
     go run ./cmd/bench -scale -out BENCH_scale.json
     echo "==> refreshing BENCH_serve.json (online serving grid, ~10s)"
     go run ./cmd/bench -serve -out BENCH_serve.json
+    echo "==> refreshing BENCH_approx.json (approximate-store grid, ~60s)"
+    go run ./cmd/bench -approx -out BENCH_approx.json
     exit 0
 fi
 
@@ -51,6 +53,12 @@ echo "==> bench smoke: explicit superstep sizes (-block 1 and 7, bit-identical e
 go run ./cmd/bench -quick -block 1 -out ''
 go run ./cmd/bench -quick -block 7 -out ''
 
+echo "==> bench smoke: scale grid on the nibble store (-scale -quick -store nibble)"
+go run ./cmd/bench -scale -quick -store nibble -out ''
+
+echo "==> bench smoke: approximate-store grid (-approx -quick; B/bin + inflation columns)"
+go run ./cmd/bench -approx -quick -out ''
+
 echo "==> bench smoke: online serving grid (-serve -quick; insert/delete mix, every store)"
 go run ./cmd/bench -serve -quick -out ''
 
@@ -70,14 +78,22 @@ echo "==> perf ratchet: tracked serving cell vs committed BENCH_serve.json (warn
 # kernels ever start allocating per operation.
 go run ./cmd/bench -compareserve BENCH_serve.json || echo "serve ratchet skipped (bench error)"
 
+echo "==> perf ratchet: tracked approximate-store cell vs committed BENCH_approx.json (warns, never fails)"
+# The n=10^8 nibble cell additionally warns if its measured bytes/bin ever
+# exceeds the 0.6 B/bin budget the sub-byte store exists to hold.
+go run ./cmd/bench -compareapprox BENCH_approx.json || echo "approx ratchet skipped (bench error)"
+
 echo "==> import hygiene: cmd/ and examples/ stay on the public API"
 # The public kdchoice package (Experiment/Sweep/Simulate for the core
 # process, Insert/Delete serving, Study/StorageSystem for the application
 # substrates, observers) is the only sanctioned simulation entry point: no
-# command or example may import the internal engine, store, workload or
-# substrate packages directly.
+# command or example may import ANY internal package directly, except the
+# presentation/evaluation helpers (experiments, stats, table, theory). A
+# deny-by-default pattern means newly added internal packages (e.g. sketch)
+# are covered without editing this gate.
 bad=$(go list -f '{{$p := .ImportPath}}{{range .Imports}}{{$p}} imports {{.}}{{"\n"}}{{end}}' ./cmd/... ./examples/... \
-    | grep -E 'repro/internal/(sim|core|cluster|netsim|storage|eventsim|appevent|workload|loadvec)$' || true)
+    | grep -E ' repro/internal/' \
+    | grep -vE ' repro/internal/(experiments|stats|table|theory)$' || true)
 if [ -n "$bad" ]; then
     echo "forbidden internal-engine imports (use the public kdchoice API):" >&2
     echo "$bad" >&2
