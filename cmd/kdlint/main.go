@@ -1,0 +1,230 @@
+// Command kdlint runs the repository's static-analysis suite: the four
+// analyzers in internal/analysis that prove the determinism, hot-path,
+// and layering invariants at compile time (see that package's doc for
+// what each rejects).
+//
+// Modes:
+//
+//	kdlint [packages...]     analyze the packages (default ./...); print
+//	                         diagnostics, exit 1 if any survive
+//	kdlint -hot [packages]   list every //kd:hotpath-annotated function as
+//	                         "file\tstartline\tendline\tname" — the input
+//	                         scripts/escapecheck.sh joins against the
+//	                         compiler's escape-analysis output
+//	kdlint -list             print the analyzers and what they check
+//	go vet -vettool=$(which kdlint) ./...
+//	                         run under the go vet driver: kdlint speaks
+//	                         the unitchecker protocol (-V=full handshake,
+//	                         -flags query, and the JSON vet.cfg units the
+//	                         driver hands it)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	// The go vet tool handshake arrives before flag parsing: the driver
+	// invokes `kdlint -V=full` to stamp the build cache and `kdlint
+	// -flags` to discover analyzer flags.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "--V=full" {
+			fmt.Printf("kdlint version v1\n")
+			return
+		}
+		if arg == "-flags" || arg == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	hot := flag.Bool("hot", false, "list //kd:hotpath-annotated functions (file\\tstart\\tend\\tname) instead of analyzing")
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(args...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kdlint:", err)
+		os.Exit(2)
+	}
+
+	if *hot {
+		listHot(pkgs)
+		return
+	}
+
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunPackage(pkg, analysis.All()) {
+			fmt.Println(renderDiag(d))
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// renderDiag formats one diagnostic with the file path relative to the
+// working directory (stable, clickable output regardless of how the
+// loader resolved the package dir).
+func renderDiag(d analysis.Diagnostic) string {
+	pos := d.Pos
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+	}
+	return fmt.Sprintf("%s: [%s] %s", pos, d.Analyzer, d.Message)
+}
+
+// listHot prints every annotated hot-path function's file and line range.
+func listHot(pkgs []*analysis.Package) {
+	wd, _ := os.Getwd()
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !analysis.IsHotAnnotated(fd) {
+					continue
+				}
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				name := start.Filename
+				if wd != "" {
+					if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+						name = rel
+					}
+				}
+				fmt.Printf("%s\t%d\t%d\t%s\n", name, start.Line, end.Line, fd.Name.Name)
+			}
+		}
+	}
+}
+
+// vetConfig is the unit description the go vet driver writes for each
+// package (a subset of cmd/go's internal vetConfig — unknown fields are
+// ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one vet unit and returns the process exit code
+// (0 clean, 1 diagnostics, 2 internal error) following the unitchecker
+// convention the go vet driver expects.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kdlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "kdlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// kdlint computes no cross-package facts, but the driver caches and
+	// expects the vetx output file regardless.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "kdlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "kdlint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data the driver already built
+	// for the unit's dependencies; the stdlib gc importer reads it when
+	// handed a lookup into cfg.PackageFile.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	pkg, info, err := analysis.Check(cfg.ImportPath, fset, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "kdlint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+
+	unit := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: pkg,
+		Info:  info,
+	}
+	diags := analysis.RunPackage(unit, analysis.All())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, renderDiag(d))
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,127 @@
+package kdchoice
+
+// Native fuzz targets for the string-spec parsers: every user-facing
+// surface that turns a flag value into configuration. The properties are
+// cheap and absolute — a parser either rejects with the package's error
+// shape or returns a value satisfying its documented invariants, and
+// accepted values round-trip through their canonical rendering. ci.sh
+// runs each target as a short smoke; longer runs work out of the box
+// with go test -fuzz.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParsePolicy(f *testing.F) {
+	for _, name := range PolicyNames() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("kd ")
+	f.Add("KD")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "kdchoice:") {
+				t.Fatalf("ParsePolicy(%q) error lacks package prefix: %v", s, err)
+			}
+			return
+		}
+		// Accepted names round-trip through the canonical rendering.
+		back, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q) = %v, but re-parsing %q failed: %v", s, p, p.String(), err)
+		}
+		if back != p {
+			t.Fatalf("round trip changed the policy: %q -> %v -> %q -> %v", s, p, p.String(), back)
+		}
+	})
+}
+
+func FuzzParseStore(f *testing.F) {
+	for _, name := range StoreNames() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("dense\x00")
+	f.Fuzz(func(t *testing.T, s string) {
+		st, err := ParseStore(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "kdchoice:") {
+				t.Fatalf("ParseStore(%q) error lacks package prefix: %v", s, err)
+			}
+			return
+		}
+		back, err := ParseStore(st.String())
+		if err != nil {
+			t.Fatalf("ParseStore(%q) = %v, but re-parsing %q failed: %v", s, st, st.String(), err)
+		}
+		if back != st {
+			t.Fatalf("round trip changed the store: %q -> %v -> %q -> %v", s, st, st.String(), back)
+		}
+	})
+}
+
+func FuzzParseChurn(f *testing.F) {
+	f.Add("none")
+	f.Add("poisson:0.5")
+	f.Add("adversarial:0.25")
+	f.Add("diurnal:0.5,0.8")
+	f.Add("diurnal:0.5,")
+	f.Add("poisson:-1")
+	f.Add("poisson:NaN")
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseChurn(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "kdchoice:") {
+				t.Fatalf("ParseChurn(%q) error lacks package prefix: %v", s, err)
+			}
+			return
+		}
+		if !(spec.DepartureRate >= 0) {
+			t.Fatalf("ParseChurn(%q) accepted departure rate %v", s, spec.DepartureRate)
+		}
+		if !(spec.DiurnalAmplitude >= 0 && spec.DiurnalAmplitude < 1) {
+			t.Fatalf("ParseChurn(%q) accepted diurnal amplitude %v outside [0, 1)", s, spec.DiurnalAmplitude)
+		}
+		// Mapping the spec onto the workload configuration applies the
+		// documented defaults and must never panic.
+		ch := spec.internal()
+		if ch.Lambda <= 0 {
+			t.Fatalf("ParseChurn(%q).internal() lost the default arrival rate: %+v", s, ch)
+		}
+		if spec.DiurnalAmplitude > 0 && ch.DiurnalPeriod <= 0 {
+			t.Fatalf("ParseChurn(%q).internal() lost the default diurnal period: %+v", s, ch)
+		}
+	})
+}
+
+func FuzzParseWeights(f *testing.F) {
+	f.Add("fixed:4")
+	f.Add("exp:2")
+	f.Add("uniform:1,8")
+	f.Add("zipf:1.5,100")
+	f.Add("zipf:1.5")
+	f.Add("fixed:0.5")
+	f.Add("uniform:8,1")
+	f.Fuzz(func(t *testing.T, s string) {
+		_, err := ParseWeights(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "kdchoice:") {
+				t.Fatalf("ParseWeights(%q) error lacks package prefix: %v", s, err)
+			}
+			return
+		}
+		name, _, _ := strings.Cut(s, ":")
+		valid := false
+		for _, w := range WeightNames() {
+			if name == w {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("ParseWeights(%q) accepted a model outside WeightNames()", s)
+		}
+	})
+}

@@ -1,0 +1,235 @@
+// Package analysis is the repository's static-analysis suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools go/analysis
+// driver model (the container bakes no x/tools module, so the framework is
+// stdlib-only) plus the four kdlint analyzers that prove the repo's
+// determinism, hot-path, and layering invariants at compile time:
+//
+//   - detrand:  no nondeterminism sources in simulation packages — no
+//     math/rand, no wall-clock reads, no map iteration whose order can
+//     leak into results (sorted-keys and commutative-fold idioms are
+//     recognized; residual loops need //kdlint:ordered <reason>).
+//   - hotpath:  functions annotated //kd:hotpath contain no alloc-risk
+//     constructs (closures, defer/go, make/new, fresh-slice append,
+//     implicit interface conversions). scripts/escapecheck.sh is the
+//     escape-analysis complement over the same annotation set.
+//   - layering: the import DAG respects the architecture — commands and
+//     examples build only on the public API plus the presentation
+//     helpers, and the application substrates are reachable only from
+//     the root package and internal/experiments.
+//   - seedflow: every RNG in simulation code is constructed from a
+//     derived per-(cell,run) stream, never a bare literal or wall-clock
+//     seed.
+//
+// The suite runs through cmd/kdlint (standalone or as go vet -vettool)
+// and through the analysistest-style fixtures in this package's tests.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. The Run function inspects a single package
+// (one Pass) and reports diagnostics through the pass; it must not retain
+// the pass after returning.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in output and //kdlint:allow
+	Doc  string // one-line description of what the analyzer rejects
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Path     string // import path of the package under analysis
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the four kdlint analyzers in their canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{Detrand, Hotpath, Layering, Seedflow}
+}
+
+// RunPackage runs the given analyzers over one loaded package and returns
+// the surviving diagnostics in file/line order: suppression directives
+// (//kdlint:ordered, //kdlint:allow) are applied here, centrally, so every
+// analyzer and every driver (standalone, vettool, fixtures) shares one
+// suppression semantics. Directive misuse (a suppression with no reason)
+// is itself reported, attributed to the pseudo-analyzer "directive".
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Path:     pkg.Path,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+
+	sup := collectDirectives(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.suppresses(d) {
+			kept = append(kept, d)
+		}
+	}
+	diags = append(kept, sup.misuse...)
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// directive is one parsed //kdlint: suppression comment.
+type directive struct {
+	file     string
+	line     int    // line the comment sits on
+	analyzer string // "" means the detrand map-order directive //kdlint:ordered
+}
+
+type directiveSet struct {
+	dirs   []directive
+	misuse []Diagnostic
+}
+
+// collectDirectives parses every //kdlint:ordered and //kdlint:allow
+// comment in the files. A directive must carry a one-line justification
+// after the directive word (ordered) or the analyzer name (allow); a bare
+// directive is reported instead of honored — an unexplained suppression
+// is exactly the kind of silent exception the suite exists to reject.
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	s := &directiveSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//kdlint:") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, "//kdlint:")
+				word, arg, _ := strings.Cut(rest, " ")
+				arg = strings.TrimSpace(arg)
+				switch word {
+				case "ordered":
+					if arg == "" {
+						s.misuse = append(s.misuse, Diagnostic{
+							Analyzer: "directive", Pos: pos,
+							Message: "//kdlint:ordered requires a justification: //kdlint:ordered <reason>",
+						})
+						continue
+					}
+					s.dirs = append(s.dirs, directive{file: pos.Filename, line: pos.Line, analyzer: "detrand"})
+				case "allow":
+					name, reason, _ := strings.Cut(arg, " ")
+					if name == "" || strings.TrimSpace(reason) == "" {
+						s.misuse = append(s.misuse, Diagnostic{
+							Analyzer: "directive", Pos: pos,
+							Message: "//kdlint:allow requires an analyzer and a justification: //kdlint:allow <analyzer> <reason>",
+						})
+						continue
+					}
+					s.dirs = append(s.dirs, directive{file: pos.Filename, line: pos.Line, analyzer: name})
+				default:
+					s.misuse = append(s.misuse, Diagnostic{
+						Analyzer: "directive", Pos: pos,
+						Message: fmt.Sprintf("unknown kdlint directive %q (want ordered or allow)", word),
+					})
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppresses reports whether a directive covers the diagnostic: a comment
+// on the diagnostic's own line (trailing comment) or on the line directly
+// above it (comment-above-statement style), naming the right analyzer.
+func (s *directiveSet) suppresses(d Diagnostic) bool {
+	for _, dir := range s.dirs {
+		if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeOf resolves the called function of a call expression to its
+// *types.Func (package-level functions and methods), or nil for builtins,
+// function-typed variables, and type conversions.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function path.name.
+func isPkgFunc(fn *types.Func, path, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == path && fn.Name() == name &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// unparen strips any number of enclosing parentheses (ast.Unparen needs a
+// newer language version than go.mod declares).
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,231 @@
+// Package analysistest runs kdlint analyzers over fixture packages and
+// checks their diagnostics against // want comments in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// repo's stdlib-only framework.
+//
+// Fixtures live under a GOPATH-style tree: srcdir/<import path>/*.go.
+// The import path is spoofed — a fixture at testdata/src/repro/internal/sim
+// type-checks as package path "repro/internal/sim", so scope-gated
+// analyzers treat it as the real simulation package. Fixture imports
+// resolve against the same tree first (stub packages), then against the
+// standard library.
+//
+// Expectations are written in the source:
+//
+//	bad()          // want "regexp"
+//	worse()        // want "first" "second"
+//	// want "applies to the PREVIOUS line"
+//
+// A want comment sharing a line with code expects a diagnostic on that
+// line; a want comment alone on a line expects one on the line above it
+// (needed when the flagged construct is itself a comment, e.g. a
+// malformed //kdlint: directive). Patterns are regexps, quoted with
+// double quotes or backticks, matched against the diagnostic message.
+// Every expectation must be met and every diagnostic expected.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run analyzes the fixture package at srcdir/path with the given
+// analyzers and reports any mismatch between diagnostics and the
+// fixture's // want comments as test errors.
+func Run(t *testing.T, srcdir, path string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	imp := newFixtureImporter(srcdir, fset)
+	files, sources, err := parseFixture(fset, filepath.Join(srcdir, filepath.FromSlash(path)))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	typesPkg, info, err := analysis.Check(path, fset, files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", path, err)
+	}
+
+	pkg := &analysis.Package{
+		Path:  path,
+		Dir:   filepath.Join(srcdir, filepath.FromSlash(path)),
+		Fset:  fset,
+		Files: files,
+		Types: typesPkg,
+		Info:  info,
+	}
+	diags := analysis.RunPackage(pkg, analyzers)
+
+	wants, err := parseWants(sources)
+	if err != nil {
+		t.Fatalf("parsing want comments in %s: %v", path, err)
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.file != filepath.Base(d.Pos.Filename) || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("no diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// want is one expectation: a diagnostic on file:line whose message
+// matches re.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// parseFixture parses every .go file in dir and returns the ASTs plus
+// each file's raw source (for want-comment scanning).
+func parseFixture(fset *token.FileSet, dir string) ([]*ast.File, map[string][]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	sources := map[string][]byte{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		full := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, f)
+		sources[e.Name()] = src
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	return files, sources, nil
+}
+
+var wantComment = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantPattern = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWants scans raw fixture sources line-by-line for want comments.
+func parseWants(sources map[string][]byte) ([]want, error) {
+	var names []string
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var wants []want
+	for _, name := range names {
+		lines := strings.Split(string(sources[name]), "\n")
+		for i, line := range lines {
+			loc := wantComment.FindStringIndex(line)
+			if loc == nil {
+				continue
+			}
+			target := i + 1 // 1-based line of the comment itself
+			if strings.TrimSpace(line[:loc[0]]) == "" {
+				// Comment-only line: the expectation applies to the
+				// line above (the construct may itself be a comment).
+				target--
+			}
+			m := wantComment.FindStringSubmatch(line)
+			pats := wantPattern.FindAllString(m[1], -1)
+			if len(pats) == 0 {
+				return nil, fmt.Errorf("%s:%d: want comment with no quoted pattern", name, i+1)
+			}
+			for _, p := range pats {
+				var expr string
+				if p[0] == '`' {
+					expr = p[1 : len(p)-1]
+				} else {
+					unq, err := strconv.Unquote(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", name, i+1, p, err)
+					}
+					expr = unq
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", name, i+1, expr, err)
+				}
+				wants = append(wants, want{file: name, line: target, re: re})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// fixtureImporter resolves imports against the fixture tree first (so
+// fixtures can import spoofed repro/... stub packages), falling back to
+// the source importer for the standard library. Fixture packages are
+// type-checked on demand and memoized.
+type fixtureImporter struct {
+	srcdir   string
+	fset     *token.FileSet
+	memo     map[string]*types.Package
+	fallback types.Importer
+}
+
+func newFixtureImporter(srcdir string, fset *token.FileSet) *fixtureImporter {
+	return &fixtureImporter{
+		srcdir:   srcdir,
+		fset:     fset,
+		memo:     map[string]*types.Package{},
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := fi.memo[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.srcdir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return fi.fallback.Import(path)
+	}
+	files, _, err := parseFixture(fi.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, err := analysis.Check(path, fi.fset, files, fi)
+	if err != nil {
+		return nil, err
+	}
+	fi.memo[path] = pkg
+	return pkg, nil
+}

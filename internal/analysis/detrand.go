@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// Detrand rejects nondeterminism sources inside the simulation perimeter:
+//
+//   - importing math/rand or math/rand/v2 (all randomness flows through
+//     internal/xrand so streams replay bit-for-bit);
+//
+//   - calling time.Now (wall-clock values reaching seeds, reports, or
+//     event streams make runs unrepeatable);
+//
+//   - ranging over a map, unless the loop is one of the recognized
+//     order-insensitive idioms:
+//
+//     sorted-keys — the body only appends to local slices, and every
+//     such slice is sorted after the loop before further use;
+//     integer fold — the body only increments/decrements or +=/-= into
+//     integer accumulators (counting and integer summation commute;
+//     float accumulation does NOT and is still flagged, since FP
+//     rounding makes the sum order-dependent);
+//     map clear — the body only deletes from the ranged map itself.
+//
+//     Residual loops that are order-insensitive for deeper reasons carry
+//     an explicit //kdlint:ordered <reason> suppression on or above the
+//     range line.
+var Detrand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbid math/rand, wall-clock reads, and order-leaking map iteration in simulation packages",
+	Run:  runDetrand,
+}
+
+func runDetrand(pass *Pass) {
+	if !inSimScope(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			// Tests replay fixed scenarios and may iterate maps or use
+			// helper randomness freely; only shipped simulation code
+			// carries the determinism contract.
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "simulation package imports %s; use internal/xrand so streams replay deterministically", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFunc(calleeOf(pass.Info, n), "time", "Now") {
+					pass.Reportf(n.Pos(), "simulation package reads the wall clock (time.Now); derive all values from Config.Seed and simulated time")
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body)
+				}
+				// Keep descending: map ranges are handled above (the
+				// idiom checks need the enclosing body), but time.Now
+				// calls inside the body are this walk's job.
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges walks one function body and reports map-range statements
+// that match none of the order-insensitive idioms.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if isMapClearLoop(pass, rs) || isIntegerFoldLoop(pass, rs) || isSortedKeysLoop(pass, body, rs) {
+			return true
+		}
+		pass.Reportf(rs.Pos(), "map iteration order is random and can reach a Report, seed, or event stream; sort the keys first or annotate //kdlint:ordered <reason>")
+		return true
+	})
+}
+
+// isMapClearLoop recognizes `for k := range m { delete(m, k) }`.
+func isMapClearLoop(pass *Pass, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	es, ok := rs.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "delete" {
+		return false
+	}
+	if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return sameIdent(call.Args[0], rs.X)
+}
+
+// isIntegerFoldLoop recognizes bodies whose only effects are commutative
+// integer accumulation: every leaf statement is x++/x--/x+=e/x-=e (and
+// friends) into an integer variable, with control flow limited to
+// if/else/blocks whose conditions never read an accumulator (a condition
+// that reads the accumulator reintroduces order dependence). Counting and
+// integer summation are order-insensitive; anything touching floats,
+// slices, maps, or calls is not recognized and must sort or suppress.
+func isIntegerFoldLoop(pass *Pass, rs *ast.RangeStmt) bool {
+	var accums []types.Object
+	var ok = true
+	var conds []ast.Expr
+
+	var walkStmts func([]ast.Stmt)
+	walkStmts = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			if !ok {
+				return
+			}
+			switch s := s.(type) {
+			case *ast.IncDecStmt:
+				obj := accumTarget(pass, s.X)
+				if obj == nil {
+					ok = false
+					return
+				}
+				accums = append(accums, obj)
+			case *ast.AssignStmt:
+				switch s.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+					if len(s.Lhs) != 1 {
+						ok = false
+						return
+					}
+					obj := accumTarget(pass, s.Lhs[0])
+					if obj == nil {
+						ok = false
+						return
+					}
+					accums = append(accums, obj)
+				default:
+					ok = false
+					return
+				}
+			case *ast.IfStmt:
+				if s.Init != nil {
+					ok = false
+					return
+				}
+				conds = append(conds, s.Cond)
+				walkStmts(s.Body.List)
+				switch e := s.Else.(type) {
+				case nil:
+				case *ast.BlockStmt:
+					walkStmts(e.List)
+				case *ast.IfStmt:
+					walkStmts([]ast.Stmt{e})
+				default:
+					ok = false
+					return
+				}
+			case *ast.BlockStmt:
+				walkStmts(s.List)
+			case *ast.BranchStmt:
+				if s.Tok != token.CONTINUE && s.Tok != token.BREAK {
+					ok = false
+					return
+				}
+			default:
+				ok = false
+				return
+			}
+		}
+	}
+	walkStmts(rs.Body.List)
+	if !ok || len(accums) == 0 {
+		return false
+	}
+	// No condition may read an accumulator: `if c < 5 { c++ }` is
+	// order-dependent even though its leaf is a pure increment.
+	for _, cond := range conds {
+		bad := false
+		ast.Inspect(cond, func(n ast.Node) bool {
+			id, isIdent := n.(*ast.Ident)
+			if !isIdent {
+				return true
+			}
+			use := pass.Info.Uses[id]
+			for _, acc := range accums {
+				if use == acc {
+					bad = true
+				}
+			}
+			return true
+		})
+		if bad {
+			return false
+		}
+	}
+	return true
+}
+
+// accumTarget resolves an accumulation target expression to its variable
+// if the target has integer type; nil otherwise. Plain identifiers only:
+// accumulating into an index expression (histogram[k]++) depends on the
+// ranged key and stays flagged.
+func accumTarget(pass *Pass, e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return nil
+	}
+	basic, ok := obj.Type().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return obj
+}
+
+// isSortedKeysLoop recognizes the canonical sorted-iteration idiom: the
+// body's statements are all `x = append(x, ...)` into function-local
+// slices, and after the loop every such slice passes through a sort
+// call (sort.Strings/Ints/Float64s/Slice/SliceStable/Sort/Stable or
+// slices.Sort*) within the same function.
+func isSortedKeysLoop(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) bool {
+	var targets []types.Object
+	for _, s := range rs.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		if _, isBuiltin := pass.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		if len(call.Args) == 0 || !sameIdent(call.Args[0], as.Lhs[0]) {
+			return false
+		}
+		obj := pass.Info.Uses[lhs]
+		if obj == nil {
+			return false
+		}
+		targets = append(targets, obj)
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	for _, obj := range targets {
+		if !sortedAfter(pass, fnBody, rs, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether obj is passed to a recognized sorting
+// function somewhere after the range statement in the enclosing body.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || len(call.Args) == 0 {
+			return true
+		}
+		fn := calleeOf(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort":
+			switch fn.Name() {
+			case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			default:
+				return true
+			}
+		case "slices":
+			switch fn.Name() {
+			case "Sort", "SortFunc", "SortStableFunc":
+			default:
+				return true
+			}
+		default:
+			return true
+		}
+		if id, ok := unparen(call.Args[0]).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// sameIdent reports whether a and b are the same plain identifier.
+func sameIdent(a, b ast.Expr) bool {
+	ai, aok := unparen(a).(*ast.Ident)
+	bi, bok := unparen(b).(*ast.Ident)
+	return aok && bok && ai.Name == bi.Name
+}

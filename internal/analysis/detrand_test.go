@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestDetrandFixtures covers the flagged cases (math/rand import,
+// wall-clock read, unsorted/float/order-guarded map ranges), the three
+// recognized idioms (sorted-keys, integer fold, map clear), and the
+// suppression-directive semantics including the bare-directive misuse.
+func TestDetrandFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "repro/internal/sim", analysis.Detrand)
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestHotpathFixtures covers every alloc-risk construct the analyzer
+// rejects in //kd:hotpath functions, the presized-append negative case,
+// the //kdlint:allow suppression, and that unannotated functions are
+// left alone.
+func TestHotpathFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "repro/internal/core", analysis.Hotpath)
+}

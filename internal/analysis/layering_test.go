@@ -1,0 +1,23 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestLayeringFixtures covers both rules of the import DAG: commands
+// stay on the public API (allowlisted helpers excepted), and the
+// substrates are reachable only from the root package and experiments.
+func TestLayeringFixtures(t *testing.T) {
+	t.Run("cmd-imports-engine", func(t *testing.T) {
+		analysistest.Run(t, "testdata/src", "repro/cmd/badtool", analysis.Layering)
+	})
+	t.Run("engine-imports-substrate", func(t *testing.T) {
+		analysistest.Run(t, "testdata/src", "repro/internal/loadvec", analysis.Layering)
+	})
+	t.Run("experiments-may-import-substrate", func(t *testing.T) {
+		analysistest.Run(t, "testdata/src", "repro/internal/experiments", analysis.Layering)
+	})
+}

@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestSeedflowFixtures covers literal and wall-clock seeds (flagged),
+// the sanctioned Config.Seed stream-split derivation, and a justified
+// //kdlint:allow suppression.
+func TestSeedflowFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "repro/internal/workload", analysis.Seedflow)
+}

@@ -1,0 +1,13 @@
+// Command badtool is a layering fixture: a command reaching into the
+// engine instead of staying on the public API.
+package main
+
+import (
+	"repro/internal/core" // want `imports internal engine package`
+	"repro/internal/stats"
+)
+
+func main() {
+	_ = core.Sink{}
+	_ = stats.Mean(nil)
+}

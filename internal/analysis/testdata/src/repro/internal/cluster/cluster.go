@@ -1,0 +1,6 @@
+// Package cluster is a stub of the application substrate the layering
+// fixtures import.
+package cluster
+
+// Nodes reports the fixture cluster size.
+func Nodes() int { return 3 }

@@ -1,0 +1,9 @@
+// Package experiments is a layering fixture: the evaluation suite is
+// one of the two packages sanctioned to import the substrates, so this
+// file produces no findings.
+package experiments
+
+import "repro/internal/cluster"
+
+// Use touches the substrate from the allowed side of the boundary.
+func Use() int { return cluster.Nodes() }

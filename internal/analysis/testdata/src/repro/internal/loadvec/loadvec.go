@@ -1,0 +1,7 @@
+// Package loadvec is a layering fixture: an engine package coupling to
+// an application substrate.
+package loadvec
+
+import "repro/internal/cluster" // want `imports application substrate`
+
+func use() int { return cluster.Nodes() }

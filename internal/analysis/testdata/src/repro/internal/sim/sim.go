@@ -1,0 +1,99 @@
+// Package sim is a detrand fixture: it spoofs the import path of the
+// real simulation package so the determinism perimeter applies.
+package sim
+
+import (
+	"math/rand" // want `simulation package imports math/rand`
+	"sort"
+	"time"
+)
+
+func useRand() int { return rand.Int() }
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `reads the wall clock`
+}
+
+// keysUnsorted ranges a map and never sorts what it collected: flagged.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is random`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// keysSorted is the canonical sorted-keys idiom: recognized, no finding.
+func keysSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// countPositive is a commutative integer fold: recognized, no finding.
+func countPositive(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// sumFloats accumulates floats, whose addition is order-dependent under
+// rounding: flagged.
+func sumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order is random`
+		s += v
+	}
+	return s
+}
+
+// guardReadsAccumulator increments under a condition that reads the
+// accumulator, so the result depends on visit order: flagged.
+func guardReadsAccumulator(m map[string]int) int {
+	n := 0
+	for range m { // want `map iteration order is random`
+		if n < 5 {
+			n++
+		}
+	}
+	return n
+}
+
+// drain is the map-clear idiom: recognized, no finding.
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// firstMatch is order-insensitive for a deeper reason (values are unique,
+// so at most one key matches) and carries the explicit suppression.
+func firstMatch(m map[string]int, v int) string {
+	//kdlint:ordered values are unique, so the single match is order-independent
+	for k, mv := range m {
+		if mv == v {
+			return k
+		}
+	}
+	return ""
+}
+
+// bareDirective carries a justification-free suppression: the directive
+// is reported and does NOT silence the finding.
+func bareDirective(m map[string]int) string {
+	//kdlint:ordered
+	// want `requires a justification`
+	for k := range m { // want `map iteration order is random`
+		if k != "" {
+			return k
+		}
+	}
+	return ""
+}

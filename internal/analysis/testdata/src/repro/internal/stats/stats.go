@@ -1,0 +1,15 @@
+// Package stats is a stub of the presentation-allowlisted helper the
+// layering fixtures import.
+package stats
+
+// Mean averages xs (fixture stub).
+func Mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

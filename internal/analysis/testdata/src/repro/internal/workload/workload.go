@@ -1,0 +1,33 @@
+// Package workload is a seedflow fixture: it spoofs the import path of
+// a simulation package, so RNG constructions here must derive from a
+// configured seed.
+package workload
+
+import (
+	"time"
+
+	"repro/internal/xrand"
+)
+
+// Config mirrors the real configuration shape.
+type Config struct{ Seed uint64 }
+
+func literalSeed() *xrand.Rand {
+	return xrand.New(42) // want `seeded with constant 42`
+}
+
+func clockSeed() *xrand.Rand {
+	return xrand.New(uint64(time.Now().UnixNano())) // want `seeded from the wall clock`
+}
+
+// derived flows from the configured seed through a stream split: the
+// sanctioned construction, no finding.
+func derived(cfg Config, run uint64) *xrand.Rand {
+	return xrand.NewStream(cfg.Seed, run)
+}
+
+// allowed shows a justified suppression silencing the literal-seed rule.
+func allowed() *xrand.Rand {
+	//kdlint:allow seedflow calibration helper, never feeds a Report
+	return xrand.New(7)
+}

@@ -1,0 +1,12 @@
+// Package xrand is a stub of the deterministic RNG package, just enough
+// surface for the seedflow fixtures to type-check.
+package xrand
+
+// Rand is the fixture RNG.
+type Rand struct{ s uint64 }
+
+// New seeds a fixture RNG.
+func New(seed uint64) *Rand { return &Rand{s: seed} }
+
+// NewStream derives the fixture stream (seed, id).
+func NewStream(seed, id uint64) *Rand { return &Rand{s: seed ^ id} }

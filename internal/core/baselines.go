@@ -36,6 +36,8 @@ func (pr *Process) ballDChoice() {
 
 // mix64 is the splitmix64 finalizer: a fast bijective mixer used to derive
 // per-(round, bin) tie-break keys.
+//
+//kd:hotpath
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb

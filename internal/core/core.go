@@ -163,6 +163,7 @@ func PolicyHelp() []string {
 // ParsePolicy converts a short name (as printed by Policy.String) back into
 // a Policy. Unknown names list the valid policies in sorted order.
 func ParsePolicy(s string) (Policy, error) {
+	//kdlint:ordered policy names are unique, so the first (only) match is independent of iteration order
 	for p, name := range policyNames {
 		if name == s {
 			return p, nil

@@ -135,7 +135,12 @@ func (pr *Process) roundAdaptive(toPlace int) {
 }
 
 // beginObs returns per-round observation buffers (nil when no observer is
-// installed, keeping the hot path allocation-free).
+// installed, keeping the hot path allocation-free). The capacity miss is
+// the one amortized allocation of the placement path; noinline keeps it
+// out of the //kd:hotpath callers' bodies so scripts/escapecheck.sh can
+// account escapes per function instead of chasing inlined copies.
+//
+//go:noinline
 func (pr *Process) beginObs(toPlace int) (placed, heights []int) {
 	if pr.obs == nil {
 		return nil, nil

@@ -340,6 +340,8 @@ func (k kernIface) gatherLoads(pr *Process) {
 // index into the raw array — d independent reads in a tight loop the CPU
 // overlaps at full memory-level parallelism, which is where the interface
 // path loses — and hands off to the shared store-free probe/rank pass.
+//
+//kd:hotpath
 func fastSelectTyped[E loadElem](pr *Process, raw []E, esc int, wide map[int]int, nonce uint64, toPlace int) []slot {
 	gatherTyped(pr.samples, pr.ldv, raw, esc, wide)
 	return pr.probeAndRank(nonce, toPlace)
@@ -348,6 +350,8 @@ func fastSelectTyped[E loadElem](pr *Process, raw []E, esc int, wide map[int]int
 // gatherTyped is the shared load-gather loop of the element-typed kernels:
 // it fills ldv[:len(samples)] with the sampled bins' loads via direct
 // inlined indexing.
+//
+//kd:hotpath
 func gatherTyped[E loadElem](samples, ldv []int, raw []E, esc int, wide map[int]int) {
 	ldv = ldv[:len(samples)]
 	for i, b := range samples {
@@ -362,6 +366,8 @@ func gatherTyped[E loadElem](samples, ldv []int, raw []E, esc int, wide map[int]
 // gatherNibble is the load-gather loop over the packed nibble cells: one
 // shift+mask unpack per read, escape cells (nibble 15) deferring to the
 // wide side table.
+//
+//kd:hotpath
 func gatherNibble(samples, ldv []int, packed []uint8, wide map[int]int) {
 	ldv = ldv[:len(samples)]
 	for i, b := range samples {
@@ -375,6 +381,8 @@ func gatherNibble(samples, ldv []int, packed []uint8, wide map[int]int) {
 
 // gatherSketch is the load-gather loop over the raw count-min rows: each
 // read is a depth-way minimum over the bin's counters.
+//
+//kd:hotpath
 func gatherSketch(samples, ldv []int, rows []uint8, seeds []uint64, mask uint64) {
 	ldv = ldv[:len(samples)]
 	for i, b := range samples {
@@ -385,6 +393,8 @@ func gatherSketch(samples, ldv []int, rows []uint8, seeds []uint64, mask uint64)
 // sketchEstimate computes one bin's estimate from the sketch's raw view —
 // the exact hash recipe sketch.CountMin.Cell documents, so the specialized
 // and interface kernels read identical values from the same store.
+//
+//kd:hotpath
 func sketchEstimate(rows []uint8, seeds []uint64, mask uint64, bin int) int {
 	key := uint64(bin) * 0x9e3779b97f4a7c15
 	est := int(rows[sketch.Mix64(seeds[0]^key)&mask])
@@ -401,6 +411,8 @@ func sketchEstimate(rows []uint8, seeds []uint64, mask uint64, bin int) int {
 // staleDecideNibble is staleDecideTyped over the packed nibble cells; like
 // its typed sibling it must stay a pure function of (raw state, nonce,
 // ball, samples) — the sharded StaleBatch round calls it concurrently.
+//
+//kd:hotpath
 func staleDecideNibble(samples []int, packed []uint8, wide map[int]int, nonce uint64, ball int) int {
 	best := samples[0]
 	bestLoad := int(packed[best>>1]>>((best&1)<<2)) & 0xF
@@ -439,6 +451,8 @@ func staleDecideNibble(samples []int, packed []uint8, wide map[int]int, nonce ui
 // staleDecideTyped is the specialized StaleBatch per-ball decision scan; it
 // must stay a pure function of (raw state, nonce, ball, samples) — the
 // sharded round calls it concurrently.
+//
+//kd:hotpath
 func staleDecideTyped[E loadElem](samples []int, raw []E, esc int, wide map[int]int, nonce uint64, ball int) int {
 	best := samples[0]
 	bestLoad := int(raw[best])
@@ -479,6 +493,8 @@ type adderStore interface {
 // placeSlotsOn commits the selected slots: the unobserved path uses direct
 // (or, for large selections, batch) increments with no height bookkeeping;
 // the observed path records each ball's bin and height.
+//
+//kd:hotpath
 func placeSlotsOn[S adderStore](pr *Process, st S, sel []slot) (placed, heights []int) {
 	placed, heights = pr.beginObs(len(sel))
 	if placed == nil {
@@ -528,6 +544,8 @@ func newGroupTab(d int) *groupTab {
 
 // nextEpoch starts a new round. On uint32 wraparound the stamps are
 // cleared so a slot stamped 4 billion rounds ago can never alias as live.
+//
+//kd:hotpath
 func (gt *groupTab) nextEpoch() uint32 {
 	gt.epoch++
 	if gt.epoch == 0 {

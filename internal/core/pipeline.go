@@ -63,6 +63,8 @@ func newKDBlock(rounds, d int) *kdBlock {
 }
 
 // copyFrom bulk-copies src into b (one streamed pass per array).
+//
+//kd:hotpath
 func (b *kdBlock) copyFrom(src *kdBlock) {
 	copy(b.samples, src.samples)
 	copy(b.nonces, src.nonces)
@@ -183,6 +185,8 @@ func (p *roundEngine) produce(rng xrand.Source) {
 
 // next returns the next pre-drawn round. The returned record (and its
 // samples slice) is valid until the following next call.
+//
+//kd:hotpath
 func (p *roundEngine) next() *kdRound {
 	if p.idx == p.rounds {
 		p.advance()

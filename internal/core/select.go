@@ -36,6 +36,8 @@ import "sort"
 // the round nonce. Distinct slots of one round hash distinct (bin, height)
 // pairs, so within a tied cohort (equal height, distinct bins) the keys are
 // independent uniform lottery tickets, exactly as in ballDChoice.
+//
+//kd:hotpath
 func tieKey(nonce uint64, bin, height int) uint64 {
 	return mix64(nonce ^ uint64(bin)*0x9e3779b97f4a7c15 ^ uint64(height)*0xda942042e4dd58b5)
 }
@@ -50,6 +52,8 @@ func (pr *Process) rankSelect(toPlace int) []slot {
 
 // rankSelectWith is rankSelect with the nonce already materialized — either
 // by rankSelect itself or by the superstep engine.
+//
+//kd:hotpath
 func (pr *Process) rankSelectWith(nonce uint64, toPlace int) []slot {
 	if pr.p.ReferenceSelect {
 		pr.makeSlots(nonce)
@@ -72,6 +76,8 @@ func (pr *Process) rankSelectWith(nonce uint64, toPlace int) []slot {
 // group-then-materialize pipeline changes no result. A repeat sample's
 // height comes straight from its own ldv entry — the table records only
 // the multiplicity, never the load.
+//
+//kd:hotpath
 func (pr *Process) probeAndRank(nonce uint64, toPlace int) []slot {
 	samples := pr.samples
 	ldv := pr.ldv[:len(samples)]
@@ -179,6 +185,8 @@ func (pr *Process) probeAndRank(nonce uint64, toPlace int) []slot {
 // toPlace minimum slots are returned ranked ascending. In the steady-state
 // common case every slot sits at one height (minH == maxH) and the
 // boundary is known without touching the histogram at all.
+//
+//kd:hotpath
 func (pr *Process) rankFromSlots(nonce uint64, toPlace, minH, maxH int) []slot {
 	slots := pr.slots
 	if toPlace > len(slots) {
@@ -293,6 +301,8 @@ func (pr *Process) rankFromSlots(nonce uint64, toPlace, minH, maxH int) []slot {
 
 // worstSlot returns the index of the largest element under the slot total
 // order (the streaming top-k's replacement candidate).
+//
+//kd:hotpath
 func worstSlot(s []slot) int {
 	worst := 0
 	for i := 1; i < len(s); i++ {
@@ -311,6 +321,8 @@ func worstSlot(s []slot) int {
 // beats k min-scan passes — larger k uses expected-O(len) quickselect. Both
 // compute the same smallest-k SET, and the caller sorts the final
 // selection, so the choice cannot affect results.
+//
+//kd:hotpath
 func selectSmallestSlots(s []slot, k int) {
 	if k <= 0 {
 		return
@@ -378,6 +390,8 @@ func (pr *Process) makeSlots(nonce uint64) {
 // sortSlots orders slots by (height, tie, bin) ascending. Hand-rolled
 // hybrid quicksort/insertion sort: zero allocations and no interface calls
 // on the hot path.
+//
+//kd:hotpath
 func sortSlots(s []slot) {
 	for len(s) > 12 {
 		p := partitionSlots(s)
@@ -401,6 +415,8 @@ func sortSlots(s []slot) {
 // bin fallback makes the order deterministic even under (astronomically
 // rare) tie-key collisions, which keeps the fast and reference kernels
 // bitwise-coupled.
+//
+//kd:hotpath
 func slotLess(a, b slot) bool {
 	if a.height != b.height {
 		return a.height < b.height
@@ -413,6 +429,8 @@ func slotLess(a, b slot) bool {
 
 // partitionSlots performs Hoare-style partition around a median-of-three
 // pivot and returns the pivot's final index.
+//
+//kd:hotpath
 func partitionSlots(s []slot) int {
 	mid := len(s) / 2
 	hi := len(s) - 1

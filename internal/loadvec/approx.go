@@ -53,11 +53,15 @@ func (s *NibbleStore) Kind() StoreKind { return StoreNibble }
 func (s *NibbleStore) Len() int { return s.n }
 
 // nib reads bin's packed cell (possibly the escape sentinel).
+//
+//kd:hotpath
 func (s *NibbleStore) nib(bin int) int {
 	return int(s.packed[bin>>1]>>((bin&1)<<2)) & 0xF
 }
 
 // setNib overwrites bin's packed cell with v in [0, 15].
+//
+//kd:hotpath
 func (s *NibbleStore) setNib(bin, v int) {
 	sh := uint(bin&1) << 2
 	s.packed[bin>>1] = s.packed[bin>>1]&^(0xF<<sh) | uint8(v)<<sh
@@ -66,6 +70,8 @@ func (s *NibbleStore) setNib(bin, v int) {
 // Load implements Store. The non-escaped fast path is small enough to
 // inline into the specialized round kernels; the wide-table lookup is
 // outlined so the map access cannot blow the inlining budget.
+//
+//kd:hotpath
 func (s *NibbleStore) Load(bin int) int {
 	if v := int(s.packed[bin>>1]>>((bin&1)<<2)) & 0xF; v != nibbleEscape {
 		return v
@@ -74,10 +80,14 @@ func (s *NibbleStore) Load(bin int) int {
 }
 
 // loadWide returns the load of an escaped cell from the wide side table.
+//
+//kd:hotpath
 func (s *NibbleStore) loadWide(bin int) int { return s.wide[bin] }
 
 // Add implements Store. Like Load, the in-range increment stays inlinable
 // and the escape transitions are outlined into addEscaped.
+//
+//kd:hotpath
 func (s *NibbleStore) Add(bin int) int {
 	if v := s.nib(bin); v < nibbleEscape-1 {
 		v++
@@ -94,6 +104,8 @@ func (s *NibbleStore) Add(bin int) int {
 // addEscaped handles the two escape cases of Add — the cell is already
 // wide, or this increment reaches the escape sentinel and moves it to the
 // wide table — including the aggregate bookkeeping.
+//
+//kd:hotpath
 func (s *NibbleStore) addEscaped(bin int) int {
 	h := nibbleEscape
 	if s.nib(bin) == nibbleEscape {
@@ -113,6 +125,8 @@ func (s *NibbleStore) addEscaped(bin int) int {
 // AddN implements Store: a weighted add that stays in the packed cell
 // whenever the result still fits under the escape sentinel, escaping
 // otherwise.
+//
+//kd:hotpath
 func (s *NibbleStore) AddN(bin, w int) int {
 	checkWeight(w)
 	if v := s.nib(bin); v != nibbleEscape && v+w < nibbleEscape {
@@ -129,6 +143,8 @@ func (s *NibbleStore) AddN(bin, w int) int {
 
 // addNEscaped handles the wide-table cases of AddN: the cell is already
 // escaped, or this weighted add pushes it to (or past) the sentinel.
+//
+//kd:hotpath
 func (s *NibbleStore) addNEscaped(bin, w int) int {
 	var h int
 	if s.nib(bin) == nibbleEscape {
@@ -150,6 +166,8 @@ func (s *NibbleStore) addNEscaped(bin, w int) int {
 // table — the same no-leak discipline as CompactStore.Sub. Draining the
 // maximum triggers a full rescan (HistStore remains the deletion-heavy
 // choice).
+//
+//kd:hotpath
 func (s *NibbleStore) Sub(bin, w int) int {
 	checkWeight(w)
 	old := s.Load(bin)
@@ -177,6 +195,8 @@ func (s *NibbleStore) Sub(bin, w int) int {
 
 // BulkAdd implements Store: in-range cells increment with the max counter
 // in a register; escaped cells fall back to addEscaped.
+//
+//kd:hotpath
 func (s *NibbleStore) BulkAdd(bins []int) {
 	max := s.max
 	balls := s.balls
@@ -201,6 +221,8 @@ func (s *NibbleStore) BulkAdd(bins []int) {
 
 // BulkSub implements Store: one deferred max rescan for the whole batch,
 // with the same escape-cell reclaim as Sub.
+//
+//kd:hotpath
 func (s *NibbleStore) BulkSub(bins []int) {
 	touchedMax := false
 	for _, b := range bins {
@@ -358,9 +380,13 @@ func (s *SketchStore) Kind() StoreKind { return StoreSketch }
 func (s *SketchStore) Len() int { return s.n }
 
 // Load implements Store: the bin's current estimate (>= its true load).
+//
+//kd:hotpath
 func (s *SketchStore) Load(bin int) int { return s.cm.Estimate(bin) }
 
 // Add implements Store.
+//
+//kd:hotpath
 func (s *SketchStore) Add(bin int) int {
 	h := s.cm.Add(bin, 1)
 	if h > s.max {
@@ -371,6 +397,8 @@ func (s *SketchStore) Add(bin int) int {
 }
 
 // AddN implements Store.
+//
+//kd:hotpath
 func (s *SketchStore) AddN(bin, w int) int {
 	checkWeight(w)
 	h := s.cm.Add(bin, w)
@@ -384,6 +412,8 @@ func (s *SketchStore) AddN(bin, w int) int {
 // Sub implements Store. The zero-load panic contract is enforced on the
 // estimate: an estimate below w proves the true load is below w (estimates
 // never under-report), so the caller is deleting a ball that is not there.
+//
+//kd:hotpath
 func (s *SketchStore) Sub(bin, w int) int {
 	checkWeight(w)
 	old := s.cm.Estimate(bin)
@@ -400,6 +430,8 @@ func (s *SketchStore) Sub(bin, w int) int {
 
 // BulkAdd implements Store: the max and ball counters stay in registers
 // across the batch.
+//
+//kd:hotpath
 func (s *SketchStore) BulkAdd(bins []int) {
 	max := s.max
 	for _, b := range bins {
@@ -412,6 +444,8 @@ func (s *SketchStore) BulkAdd(bins []int) {
 }
 
 // BulkSub implements Store: one deferred max rescan for the whole batch.
+//
+//kd:hotpath
 func (s *SketchStore) BulkSub(bins []int) {
 	touchedMax := false
 	for _, b := range bins {

@@ -108,6 +108,7 @@ func StoreHelp() []string {
 // ParseStoreKind converts a short name (as printed by StoreKind.String)
 // back into a StoreKind.
 func ParseStoreKind(s string) (StoreKind, error) {
+	//kdlint:ordered store names are unique, so the first (only) match is independent of iteration order
 	for k, name := range storeNames {
 		if name == s {
 			return k, nil
@@ -216,9 +217,13 @@ func (s *DenseStore) Kind() StoreKind { return StoreDense }
 func (s *DenseStore) Len() int { return len(s.loads) }
 
 // Load implements Store.
+//
+//kd:hotpath
 func (s *DenseStore) Load(bin int) int { return s.loads[bin] }
 
 // Add implements Store.
+//
+//kd:hotpath
 func (s *DenseStore) Add(bin int) int {
 	s.loads[bin]++
 	h := s.loads[bin]
@@ -230,6 +235,8 @@ func (s *DenseStore) Add(bin int) int {
 }
 
 // AddN implements Store.
+//
+//kd:hotpath
 func (s *DenseStore) AddN(bin, w int) int {
 	checkWeight(w)
 	v := s.loads[bin] + w
@@ -245,6 +252,8 @@ func (s *DenseStore) AddN(bin, w int) int {
 // full rescan; deletion-heavy workloads that cannot afford O(n) rescans
 // should run on HistStore, whose histogram walks the max down in O(1)
 // amortized.
+//
+//kd:hotpath
 func (s *DenseStore) Sub(bin, w int) int {
 	checkWeight(w)
 	old := s.loads[bin]
@@ -262,6 +271,8 @@ func (s *DenseStore) Sub(bin, w int) int {
 
 // BulkAdd implements Store: the max and ball counters stay in registers
 // across the whole batch instead of being re-written per ball.
+//
+//kd:hotpath
 func (s *DenseStore) BulkAdd(bins []int) {
 	max := s.max
 	for _, b := range bins {
@@ -277,6 +288,8 @@ func (s *DenseStore) BulkAdd(bins []int) {
 
 // BulkSub implements Store: one deferred max rescan for the whole batch
 // instead of one per max-bin decrement.
+//
+//kd:hotpath
 func (s *DenseStore) BulkSub(bins []int) {
 	touchedMax := false
 	for _, b := range bins {
@@ -358,6 +371,8 @@ func (s *CompactStore) Len() int { return len(s.small) }
 // Load implements Store. The non-escaped fast path is small enough to
 // inline into the specialized round kernels; the wide-table lookup is
 // outlined so the map access cannot blow the inlining budget.
+//
+//kd:hotpath
 func (s *CompactStore) Load(bin int) int {
 	if v := s.small[bin]; v != escape16 {
 		return int(v)
@@ -366,10 +381,14 @@ func (s *CompactStore) Load(bin int) int {
 }
 
 // loadWide returns the load of an escaped cell from the wide side table.
+//
+//kd:hotpath
 func (s *CompactStore) loadWide(bin int) int { return s.wide[bin] }
 
 // Add implements Store. Like Load, the in-range increment stays inlinable
 // and the escape transitions are outlined into addEscaped.
+//
+//kd:hotpath
 func (s *CompactStore) Add(bin int) int {
 	if v := s.small[bin]; v < escape16-1 {
 		v++
@@ -387,6 +406,8 @@ func (s *CompactStore) Add(bin int) int {
 // addEscaped handles the two escape cases of Add — the cell is already
 // wide, or this increment reaches the escape sentinel and moves it to the
 // wide table — including the aggregate bookkeeping.
+//
+//kd:hotpath
 func (s *CompactStore) addEscaped(bin int) int {
 	h := escape16
 	if s.small[bin] == escape16 {
@@ -406,6 +427,8 @@ func (s *CompactStore) addEscaped(bin int) int {
 // AddN implements Store: a weighted add that stays in the small cell
 // whenever the result still fits under the escape sentinel, escaping
 // otherwise.
+//
+//kd:hotpath
 func (s *CompactStore) AddN(bin, w int) int {
 	checkWeight(w)
 	if v := s.small[bin]; v != escape16 && int(v)+w < escape16 {
@@ -422,6 +445,8 @@ func (s *CompactStore) AddN(bin, w int) int {
 
 // addNEscaped handles the wide-table cases of AddN: the cell is already
 // escaped, or this weighted add pushes it to (or past) the sentinel.
+//
+//kd:hotpath
 func (s *CompactStore) addNEscaped(bin, w int) int {
 	var h int
 	if s.small[bin] == escape16 {
@@ -443,6 +468,8 @@ func (s *CompactStore) addNEscaped(bin, w int) int {
 // table, so deletion-heavy workloads cannot turn a transient load spike
 // into permanent side-table growth. Draining the maximum triggers a full
 // rescan (see DenseStore.Sub; HistStore is the deletion-heavy choice).
+//
+//kd:hotpath
 func (s *CompactStore) Sub(bin, w int) int {
 	checkWeight(w)
 	old := s.Load(bin)
@@ -470,6 +497,8 @@ func (s *CompactStore) Sub(bin, w int) int {
 
 // BulkSub implements Store: one deferred max rescan for the whole batch,
 // with the same escape-cell reclaim as Sub.
+//
+//kd:hotpath
 func (s *CompactStore) BulkSub(bins []int) {
 	touchedMax := false
 	for _, b := range bins {
@@ -500,6 +529,8 @@ func (s *CompactStore) BulkSub(bins []int) {
 
 // BulkAdd implements Store: in-range cells increment with the max counter
 // in a register; escaped cells fall back to addEscaped.
+//
+//kd:hotpath
 func (s *CompactStore) BulkAdd(bins []int) {
 	max := s.max
 	balls := s.balls
@@ -639,11 +670,15 @@ func (s *HistStore) Kind() StoreKind { return StoreHist }
 func (s *HistStore) Len() int { return len(s.loads) }
 
 // Load implements Store.
+//
+//kd:hotpath
 func (s *HistStore) Load(bin int) int { return int(s.loads[bin]) }
 
 // Add implements Store. The histogram-growth path is outlined so the
 // common increment stays small enough to inline into the specialized round
 // kernels.
+//
+//kd:hotpath
 func (s *HistStore) Add(bin int) int {
 	y := int(s.loads[bin]) + 1
 	s.loads[bin] = int32(y)
@@ -668,6 +703,8 @@ func (s *HistStore) grow(y int) {
 
 // AddN implements Store: the bin's histogram cell moves from its old load
 // to old+w in one step.
+//
+//kd:hotpath
 func (s *HistStore) AddN(bin, w int) int {
 	checkWeight(w)
 	old := int(s.loads[bin])
@@ -692,6 +729,8 @@ func (s *HistStore) AddN(bin, w int) int {
 // maximum walks the histogram down instead of scanning the bins, so a
 // delete costs O(1) amortized even under adversarial delete-the-loaded
 // workloads.
+//
+//kd:hotpath
 func (s *HistStore) Sub(bin, w int) int {
 	checkWeight(w)
 	old := int(s.loads[bin])
@@ -713,6 +752,8 @@ func (s *HistStore) Sub(bin, w int) int {
 
 // BulkAdd implements Store. The histogram must move one unit per ball, so
 // there is no cheaper aggregate form; the batch simply loops Add.
+//
+//kd:hotpath
 func (s *HistStore) BulkAdd(bins []int) {
 	for _, b := range bins {
 		s.Add(b)
@@ -721,6 +762,8 @@ func (s *HistStore) BulkAdd(bins []int) {
 
 // BulkSub implements Store. As with BulkAdd, the histogram moves one unit
 // per ball; the batch loops Sub.
+//
+//kd:hotpath
 func (s *HistStore) BulkSub(bins []int) {
 	for _, b := range bins {
 		s.Sub(b, 1)

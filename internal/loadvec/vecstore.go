@@ -61,6 +61,7 @@ func NormNames() []string {
 // ParseNorm converts a short name (as printed by Norm.String) back into a
 // Norm.
 func ParseNorm(s string) (Norm, error) {
+	//kdlint:ordered norm names are unique, so the first (only) match is independent of iteration order
 	for m, name := range normNames {
 		if name == s {
 			return m, nil

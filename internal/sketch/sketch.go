@@ -83,6 +83,8 @@ func (c *CountMin) Bytes() int { return len(c.rows) }
 // Mix64 is the splitmix64 finalizer, the bijective mixer behind the row
 // hashes (exported so the devirtualized kernels in internal/core compute
 // the identical cell indices from the raw views).
+//
+//kd:hotpath
 func Mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
@@ -91,6 +93,8 @@ func Mix64(z uint64) uint64 {
 
 // Cell returns the flat rows index of key's counter in row r — the hash the
 // raw-view consumers must reproduce.
+//
+//kd:hotpath
 func (c *CountMin) Cell(r, key int) int {
 	return r*c.width + int(Mix64(c.seeds[r]^uint64(key)*hashMul)&c.mask)
 }
@@ -98,6 +102,8 @@ func (c *CountMin) Cell(r, key int) int {
 // Estimate returns the current estimate for key: the minimum of its
 // counters, always >= the key's true count (subject to the saturation
 // caveat in the package comment).
+//
+//kd:hotpath
 func (c *CountMin) Estimate(key int) int {
 	est := int(c.rows[c.Cell(0, key)])
 	for r := 1; r < c.depth; r++ {
@@ -110,6 +116,8 @@ func (c *CountMin) Estimate(key int) int {
 
 // Add adds w >= 0 to key's counter in every row (saturating) and returns
 // the post-add estimate.
+//
+//kd:hotpath
 func (c *CountMin) Add(key, w int) int {
 	est := Saturated
 	for r := 0; r < c.depth; r++ {
@@ -133,6 +141,8 @@ func (c *CountMin) Add(key, w int) int {
 // Saturated counters are sticky (see the package comment); counters clamp
 // at zero defensively, though a caller that only ever removes weight it
 // previously added can never drive one negative.
+//
+//kd:hotpath
 func (c *CountMin) Sub(key, w int) {
 	for r := 0; r < c.depth; r++ {
 		i := c.Cell(r, key)

@@ -134,6 +134,8 @@ func (p *Pipelined) advance() {
 }
 
 // Uint64 returns the next word of the underlying stream.
+//
+//kd:hotpath
 func (p *Pipelined) Uint64() uint64 {
 	if p.pos == len(p.buf) {
 		p.advance()
@@ -144,6 +146,8 @@ func (p *Pipelined) Uint64() uint64 {
 }
 
 // Uint64n mirrors Rand.Uint64n (Lemire) over the buffered stream.
+//
+//kd:hotpath
 func (p *Pipelined) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("xrand: Uint64n with n == 0")
@@ -159,6 +163,8 @@ func (p *Pipelined) Uint64n(n uint64) uint64 {
 }
 
 // Intn mirrors Rand.Intn.
+//
+//kd:hotpath
 func (p *Pipelined) Intn(n int) int {
 	if n <= 0 {
 		panic("xrand: Intn with n <= 0")
@@ -200,6 +206,8 @@ func (p *Pipelined) Shuffle(n int, swap func(i, j int)) {
 
 // FillRounds mirrors Rand.FillRounds over the buffered stream: per round,
 // d bounded samples then one raw nonce, in exactly the serial draw order.
+//
+//kd:hotpath
 func (p *Pipelined) FillRounds(samples []int, nonces []uint64, d, n int) {
 	if n <= 0 {
 		panic("xrand: FillRounds with n <= 0")
@@ -217,6 +225,8 @@ func (p *Pipelined) FillRounds(samples []int, nonces []uint64, d, n int) {
 // directly, which is the hot path the pipelined engine exists for — the
 // consumer only pays the Lemire reduction while the producer generates the
 // next block in parallel.
+//
+//kd:hotpath
 func (p *Pipelined) FillIntn(dst []int, n int) {
 	if n <= 0 {
 		panic("xrand: FillIntn with n <= 0")

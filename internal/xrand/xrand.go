@@ -26,6 +26,8 @@ type Rand struct {
 // It is the recommended seeding procedure for the xoshiro family: it
 // guarantees the xoshiro state is never all-zero and decorrelates similar
 // seeds.
+//
+//kd:hotpath
 func splitmix64(state *uint64) uint64 {
 	*state += 0x9e3779b97f4a7c15
 	z := *state
@@ -61,6 +63,8 @@ func NewStream(seed, id uint64) *Rand {
 }
 
 // Uint64 returns a uniformly distributed 64-bit value.
+//
+//kd:hotpath
 func (r *Rand) Uint64() uint64 {
 	result := bits.RotateLeft64(r.s1*5, 7) * 9
 	t := r.s1 << 17
@@ -76,6 +80,8 @@ func (r *Rand) Uint64() uint64 {
 // Uint64n returns a uniformly distributed value in [0, n). It panics if
 // n == 0. The implementation is Lemire's nearly-divisionless bounded
 // generation, which is unbiased.
+//
+//kd:hotpath
 func (r *Rand) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("xrand: Uint64n with n == 0")
@@ -91,6 +97,8 @@ func (r *Rand) Uint64n(n uint64) uint64 {
 }
 
 // Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+//
+//kd:hotpath
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("xrand: Intn with n <= 0")
@@ -99,22 +107,30 @@ func (r *Rand) Intn(n int) int {
 }
 
 // Int63 returns a non-negative 63-bit value, mirroring math/rand.Int63.
+//
+//kd:hotpath
 func (r *Rand) Int63() int64 {
 	return int64(r.Uint64() >> 1)
 }
 
 // Float64 returns a uniformly distributed value in [0, 1) with 53 random
 // bits of mantissa.
+//
+//kd:hotpath
 func (r *Rand) Float64() float64 {
 	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Bool returns true with probability 1/2.
+//
+//kd:hotpath
 func (r *Rand) Bool() bool {
 	return r.Uint64()&1 == 1
 }
 
 // Bernoulli returns true with probability p (clamped to [0,1]).
+//
+//kd:hotpath
 func (r *Rand) Bernoulli(p float64) bool {
 	if p <= 0 {
 		return false
@@ -154,6 +170,8 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 // bounded generation (Uint64n cannot be inlined by the compiler because of
 // its rejection loop) and produces exactly the same draw sequence as
 // repeated Intn calls, so batching never changes a seeded experiment.
+//
+//kd:hotpath
 func (r *Rand) FillIntn(dst []int, n int) {
 	if n <= 0 {
 		panic("xrand: FillIntn with n <= 0")
@@ -184,6 +202,8 @@ func (r *Rand) FillIntn(dst []int, n int) {
 // width-reduced, and only when one of the four low products falls below n
 // (probability ~4n/2^64) does the group rewind and replay through the exact
 // serial rejection loop. len(samples) must equal len(nonces)*d.
+//
+//kd:hotpath
 func (r *Rand) FillRounds(samples []int, nonces []uint64, d, n int) {
 	if n <= 0 {
 		panic("xrand: FillRounds with n <= 0")

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # ci.sh — the repository's check pipeline.
 #
-#   scripts/ci.sh          format check, vet, build, full tests, a -race
-#                          pass over the simulation engine, and quick-mode
-#                          bench + scale smoke runs (exercising every store
-#                          and the pipelined engine end to end)
+#   scripts/ci.sh          format check, vet, kdlint, build, full tests, a
+#                          tree-wide -race pass, parser fuzz smokes, the
+#                          hot-path escape gate, and quick-mode bench +
+#                          scale smoke runs (exercising every store and
+#                          the pipelined engine end to end)
 #   scripts/ci.sh bench    refresh the tracked benchmark grids
 #                          (BENCH_kd.json, BENCH_scale.json,
 #                          BENCH_serve.json and BENCH_approx.json)
@@ -34,14 +35,32 @@ fi
 echo "==> go vet ./..."
 go vet ./...
 
+echo "==> kdlint (determinism / hot-path / layering / seedflow analyzers)"
+# The suite is deny-by-default: the layering analyzer subsumes the import
+# greps this script used to carry, detrand+seedflow prove the replay
+# contract, and hotpath rejects alloc-risk constructs in //kd:hotpath
+# kernels. Zero unsuppressed diagnostics is the bar.
+go run ./cmd/kdlint ./...
+
 echo "==> go build ./..."
 go build ./...
 
 echo "==> go test ./..."
 go test ./...
 
-echo "==> go test -race . ./internal/sim ./internal/core ./internal/loadvec ./internal/workload"
-go test -race . ./internal/sim ./internal/core ./internal/loadvec ./internal/workload
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz smoke: spec parsers (10s per target)"
+# Short deterministic-budget runs of the native fuzz targets over every
+# string-spec parser (policy, store, churn, weights). Longer sessions:
+#   go test -fuzz '^FuzzParseChurn$' -fuzztime 5m .
+for target in FuzzParsePolicy FuzzParseStore FuzzParseChurn FuzzParseWeights; do
+    go test -run "^${target}$" -fuzz "^${target}$" -fuzztime=10s .
+done
+
+echo "==> escapecheck: compiler escape verdicts over //kd:hotpath functions"
+scripts/escapecheck.sh
 
 echo "==> bench smoke: micro grid (-quick)"
 go run ./cmd/bench -quick -out ''
@@ -83,32 +102,9 @@ echo "==> perf ratchet: tracked approximate-store cell vs committed BENCH_approx
 # exceeds the 0.6 B/bin budget the sub-byte store exists to hold.
 go run ./cmd/bench -compareapprox BENCH_approx.json || echo "approx ratchet skipped (bench error)"
 
-echo "==> import hygiene: cmd/ and examples/ stay on the public API"
-# The public kdchoice package (Experiment/Sweep/Simulate for the core
-# process, Insert/Delete serving, Study/StorageSystem for the application
-# substrates, observers) is the only sanctioned simulation entry point: no
-# command or example may import ANY internal package directly, except the
-# presentation/evaluation helpers (experiments, stats, table, theory). A
-# deny-by-default pattern means newly added internal packages (e.g. sketch)
-# are covered without editing this gate.
-bad=$(go list -f '{{$p := .ImportPath}}{{range .Imports}}{{$p}} imports {{.}}{{"\n"}}{{end}}' ./cmd/... ./examples/... \
-    | grep -E ' repro/internal/' \
-    | grep -vE ' repro/internal/(experiments|stats|table|theory)$' || true)
-if [ -n "$bad" ]; then
-    echo "forbidden internal-engine imports (use the public kdchoice API):" >&2
-    echo "$bad" >&2
-    exit 1
-fi
-
-# The substrate packages themselves are reachable only through the root
-# package and the internal/experiments evaluation suite.
-bad=$(go list -f '{{$p := .ImportPath}}{{range .Imports}}{{$p}} imports {{.}}{{"\n"}}{{end}}' ./internal/... \
-    | grep -E ' repro/internal/(cluster|netsim|storage)$' \
-    | grep -vE '^repro/internal/experiments ' || true)
-if [ -n "$bad" ]; then
-    echo "application substrates may only be imported by the root package and internal/experiments:" >&2
-    echo "$bad" >&2
-    exit 1
-fi
+# Import hygiene (cmd/examples on the public API only; substrates
+# reachable only from the root package and internal/experiments) is
+# enforced by kdlint's layering analyzer above, which replaced the two
+# grep gates this script used to carry.
 
 echo "==> ok"

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# escapecheck.sh — the compiler-verdict half of the hot-path guarantee.
+#
+# kdlint's hotpath analyzer rejects alloc-risk *constructs* in functions
+# annotated //kd:hotpath; this script closes the remaining gap by asking
+# the compiler's escape analysis directly: build with -gcflags=-m and fail
+# if any "escapes to heap" / "moved to heap" verdict lands inside an
+# annotated function's line range. Constructs the analyzer cannot see
+# (a parameter the inliner spills, an interface the compiler fails to
+# devirtualize) surface here.
+#
+# Usage: scripts/escapecheck.sh [packages...]   (default ./...)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pkgs=("$@")
+if [ ${#pkgs[@]} -eq 0 ]; then
+  pkgs=(./...)
+fi
+
+ranges=$(go run ./cmd/kdlint -hot "${pkgs[@]}")
+if [ -z "$ranges" ]; then
+  echo "escapecheck: no //kd:hotpath-annotated functions under ${pkgs[*]}" >&2
+  exit 2
+fi
+
+# The go build cache replays compiler diagnostics on cache hits, so a
+# plain build suffices; if a toolchain ever returns an empty transcript
+# (stale cache entry without stored output), force recompilation once.
+collect() {
+  go build "$@" -gcflags=-m "${pkgs[@]}" 2>&1
+}
+raw=$(collect) || { echo "$raw" >&2; echo "escapecheck: build failed" >&2; exit 2; }
+if [ -z "$raw" ]; then
+  raw=$(collect -a) || { echo "$raw" >&2; echo "escapecheck: build failed" >&2; exit 2; }
+fi
+
+# Keep only real heap verdicts. "leaking param" lines are informational
+# (the callee lets a pointer outlive the call; whether anything allocates
+# is decided at the caller) and "does not escape" is the good case.
+# Constant strings boxed into panic's interface argument are reported as
+# escaping but point at static data — panic paths never allocate at
+# runtime for a string literal, so those verdicts are dropped too.
+escapes=$(printf '%s\n' "$raw" |
+  grep -E ': (.* )?(escapes to heap|moved to heap)' |
+  grep -Ev ': "[^"]*" escapes to heap$' || true)
+
+fail=0
+while IFS=$'\t' read -r rfile rstart rend rname; do
+  [ -n "$rfile" ] || continue
+  hits=$(printf '%s\n' "$escapes" | awk -F: -v f="${rfile#./}" -v s="$rstart" -v e="$rend" '
+    { file=$1; sub(/^\.\//, "", file) }
+    file == f && $2+0 >= s+0 && $2+0 <= e+0 { print }
+  ')
+  if [ -n "$hits" ]; then
+    echo "escapecheck: heap escape inside //kd:hotpath function $rname ($rfile:$rstart-$rend):" >&2
+    printf '%s\n' "$hits" | sed 's/^/  /' >&2
+    fail=1
+  fi
+done <<<"$ranges"
+
+if [ "$fail" -ne 0 ]; then
+  echo "escapecheck: FAIL — fix the escape or move the function off the hot path" >&2
+  exit 1
+fi
+echo "escapecheck: OK — no heap escapes in //kd:hotpath functions"
