@@ -7,8 +7,16 @@
 // configuration (n, k, d, policy) through the public API, measuring ns per
 // round, heap allocations per round, and placement throughput in balls per
 // second. The grid also times the (k,d)-choice acceptance cell (n = 1e5,
-// k = 2, d = 64) on both slot-selection kernels and with the pipelined
-// random engine, reporting both speedups.
+// k = 2, d = 64) on both slot-selection kernels and under the 4-shard
+// superstep engine, reporting the fast-vs-sort and shards-vs-serial
+// speedups.
+//
+// The parallel grid (-parallel) is the sharded-engine worker-count series:
+// the kd acceptance cell and the large-k StaleBatch cell at
+// Shards = 1, 2, 4, 8, each point reporting its speedup against the
+// serial baseline, plus the GOMAXPROCS the box offered (on a single-CPU
+// host the series measures engine overhead, not scaling — the honest
+// reading there is parity or below).
 //
 // The scale grid (-scale) runs the heavy-load cells the compact stores
 // exist for: n = 1e6 and 1e7 with k=2/d=64 and an m = 100n heavy-load
@@ -36,6 +44,7 @@
 //	bench -scale [-out BENCH_scale.json] [-quick]   # scale grid
 //	bench -serve [-out BENCH_serve.json] [-quick]   # serving grid
 //	bench -approx [-out BENCH_approx.json] [-quick] # approximate-store grid
+//	bench -parallel [-out BENCH_parallel.json]      # shard-count series
 //	bench -compare BENCH_kd.json                    # perf ratchet (CI)
 //	bench -compareserve BENCH_serve.json            # serving ratchet (CI)
 //	bench -compareapprox BENCH_approx.json          # approx ratchet (CI)
@@ -50,10 +59,11 @@
 // nibble cell's measured bytes per bin exceed its 0.6 budget.
 // -cpuprofile/-memprofile write pprof profiles of the
 // benchmark run so hot-path regressions can be diagnosed without editing
-// the harness; -block overrides the superstep size of every cell and
-// -store overrides the bin store of every cell (ablations — they require
-// an explicit empty -out, stdout only, so they can never overwrite a
-// tracked trajectory, and they cannot be combined with the ratchets).
+// the harness; -block overrides the superstep size of every cell, -shards
+// the shard count of every micro-grid cell, and -store the bin store of
+// every cell (ablations — they require an explicit empty -out, stdout
+// only, so they can never overwrite a tracked trajectory, and they cannot
+// be combined with the ratchets).
 package main
 
 import (
@@ -105,12 +115,15 @@ type report struct {
 	// SpeedupFastVsSort is ns/round(sort kernel) / ns/round(fast kernel)
 	// on the n=1e5, k=2, d=64 acceptance cell; the floor is 1.5.
 	SpeedupFastVsSort float64 `json:"speedup_fast_vs_sort_n1e5_k2_d64,omitempty"`
-	// SpeedupPipeVsSerial is ns/round(serial fast kernel) / ns/round
-	// (pipelined fast kernel) on the same cell. On a single-CPU host the
-	// pipelined engine runs inline, so parity (~1.0) is the expected
-	// reading there; the producer goroutine only pulls ahead with a spare
-	// core.
-	SpeedupPipeVsSerial float64 `json:"speedup_pipe_vs_serial_n1e5_k2_d64,omitempty"`
+	// SpeedupShardsVsSerial is ns/round(serial fast kernel) / ns/round
+	// (4-shard superstep engine) on the same cell — the headline number of
+	// the sharded engine. On a single-CPU host the shard workers multiplex
+	// one core, so parity or a mild slowdown is the expected reading
+	// there; the engine only pulls ahead with spare cores (see
+	// BENCH_parallel.json for the full worker-count series). It replaces
+	// the retired speedup_pipe_vs_serial field, which had saturated at
+	// parity (~1.0x) on this box.
+	SpeedupShardsVsSerial float64 `json:"speedup_shards_vs_serial_n1e5_k2_d64,omitempty"`
 }
 
 func main() {
@@ -160,7 +173,8 @@ func cellName(cfg kdchoice.Config) string {
 
 // grid returns the tracked micro-benchmark cells. The first two cells are
 // the kernel-ablation pair the fast-vs-sort speedup is computed from; the
-// third is the pipelined variant of cell 0 for the pipeline speedup.
+// third is the 4-shard superstep variant of cell 0 for the shards-vs-serial
+// speedup.
 func grid(quick bool) []cell {
 	n, small := 100000, 10000
 	if quick {
@@ -169,6 +183,7 @@ func grid(quick bool) []cell {
 	configs := []kdchoice.Config{
 		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice},
 		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, ReferenceSelect: true},
+		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Shards: 4},
 		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Pipeline: true},
 		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Pipeline: true, Store: kdchoice.StoreCompact},
 		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice, Store: kdchoice.StoreHist},
@@ -810,15 +825,22 @@ func runCompareServe(path string, out io.Writer) error {
 }
 
 // compareCells returns the cells the -compare ratchet re-times — the
-// serial and pipelined acceptance cells (n=1e5, k=2, d=64) — constructed
-// directly rather than plucked from grid() by index, so reordering or
-// extending the grid can never silently redirect the ratchet.
+// serial, 4-shard and pipelined acceptance cells (n=1e5, k=2, d=64) —
+// constructed directly rather than plucked from grid() by index, so
+// reordering or extending the grid can never silently redirect the
+// ratchet. The sharded cell is the parallel-engine ratchet: a >15%
+// regression there means the superstep machinery itself (gather, pool
+// dispatch, positional merge) got slower, independent of any multi-core
+// speedup the host may or may not offer.
 func compareCells() []cell {
 	serial := kdchoice.Config{Bins: 100000, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice}
+	sharded := serial
+	sharded.Shards = 4
 	pipe := serial
 	pipe.Pipeline = true
 	return []cell{
 		{Name: cellName(serial), Cfg: serial},
+		{Name: cellName(sharded), Cfg: sharded},
 		{Name: cellName(pipe), Cfg: pipe},
 	}
 }
@@ -875,6 +897,98 @@ func runCompare(path string, out io.Writer) error {
 	return nil
 }
 
+// parallelResult is one worker-count series point: a micro-grid result
+// plus its speedup against the series' serial (Shards=1) baseline.
+type parallelResult struct {
+	result
+	// SpeedupVsSerial is ns/round(Shards=1) / ns/round(this cell), from
+	// the same run of the series. 0 on the baseline row itself.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// parallelReport is the BENCH_parallel.json schema. GOMAXPROCS records how
+// many cores the box actually offered: on a single-CPU host every
+// worker-count point multiplexes one core, so speedups near or below 1.0x
+// are the honest expected reading there, and the series measures the
+// engine's overhead rather than its scaling.
+type parallelReport struct {
+	GoVersion  string           `json:"go_version"`
+	GOOS       string           `json:"goos"`
+	GOARCH     string           `json:"goarch"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Cells      []parallelResult `json:"cells"`
+}
+
+// parallelGrid returns the worker-count series: the kd acceptance cell
+// (staleness-trading superstep) and the large-k StaleBatch cell (exact
+// sharding) at Shards = 1, 2, 4, 8 each. The Shards=1 row of each series
+// is the serial baseline its speedups are computed against.
+func parallelGrid(quick bool) [][]cell {
+	n := 100000
+	if quick {
+		n = 2048
+	}
+	bases := []kdchoice.Config{
+		{Bins: n, K: 2, D: 64, Seed: 1, Policy: kdchoice.KDChoice},
+		{Bins: n, K: 256, D: 2, Seed: 1, Policy: kdchoice.StaleBatch},
+	}
+	series := make([][]cell, len(bases))
+	for i, base := range bases {
+		for _, p := range []int{1, 2, 4, 8} {
+			cfg := base
+			cfg.Shards = p
+			series[i] = append(series[i], cell{Name: cellName(cfg), Cfg: cfg})
+		}
+	}
+	return series
+}
+
+// runParallel executes the worker-count series and writes
+// BENCH_parallel.json.
+func runParallel(quick bool, outPath string, out io.Writer) error {
+	rep := parallelReport{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(out, "gomaxprocs=%d\n", rep.GOMAXPROCS)
+	for _, series := range parallelGrid(quick) {
+		var baseline float64
+		for _, c := range series {
+			res, err := runCell(c)
+			if err != nil {
+				return err
+			}
+			pr := parallelResult{result: res}
+			if c.Cfg.Shards == 1 {
+				baseline = res.NsPerRound
+			} else if baseline > 0 && res.NsPerRound > 0 {
+				pr.SpeedupVsSerial = baseline / res.NsPerRound
+			}
+			rep.Cells = append(rep.Cells, pr)
+			speedup := "baseline"
+			if pr.SpeedupVsSerial > 0 {
+				speedup = fmt.Sprintf("%.2fx", pr.SpeedupVsSerial)
+			}
+			fmt.Fprintf(out, "%-44s %12.0f ns/round %3d allocs  %s\n",
+				res.Name, res.NsPerRound, res.AllocsPerRound, speedup)
+		}
+	}
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	outPath := fs.String("out", "", "output JSON path (default BENCH_kd.json, BENCH_scale.json with -scale, BENCH_serve.json with -serve, or BENCH_approx.json with -approx; empty: stdout only)")
@@ -882,7 +996,9 @@ func run(args []string, out io.Writer) error {
 	scale := fs.Bool("scale", false, "run the large-n scale grid instead of the micro grid")
 	serve := fs.Bool("serve", false, "run the online-serving grid (mixed insert/delete streams) instead of the micro grid")
 	approx := fs.Bool("approx", false, "run the approximate-store grid (compact vs nibble vs sketch) instead of the micro grid")
+	parallel := fs.Bool("parallel", false, "run the sharded-engine worker-count series (Shards = 1, 2, 4, 8) instead of the micro grid")
 	block := fs.Int("block", 0, "superstep size in rounds applied to every cell (0 = auto, bit-identical for any value)")
+	shardsFlag := fs.Int("shards", 0, "shard count applied to every micro-grid cell (ablation; bit-identical for any count >= 2; requires -out '')")
 	storeFlag := fs.String("store", "", "bin store applied to every micro/scale cell (ablation; one of "+strings.Join(kdchoice.StoreNames(), ", ")+"; requires -out '')")
 	compare := fs.String("compare", "", "compare the tracked acceptance cells against this BENCH_kd.json and warn (non-fatal) on >15% regression")
 	compareServe := fs.String("compareserve", "", "compare the tracked serving cell against this BENCH_serve.json and warn (non-fatal) on >15% regression")
@@ -936,8 +1052,8 @@ func run(args []string, out io.Writer) error {
 		// The ratchets always re-time the full-size acceptance cells
 		// against the named file; silently dropping grid flags would make
 		// `-quick -compare` look like a smoke check it is not.
-		if *quick || *scale || *serve || *approx || *block != 0 || *storeFlag != "" || outSet {
-			return fmt.Errorf("the -compare* ratchets cannot be combined with -quick, -scale, -serve, -approx, -block, -store or -out (they always re-time the full-size acceptance cells)")
+		if *quick || *scale || *serve || *approx || *parallel || *block != 0 || *shardsFlag != 0 || *storeFlag != "" || outSet {
+			return fmt.Errorf("the -compare* ratchets cannot be combined with -quick, -scale, -serve, -approx, -parallel, -block, -shards, -store or -out (they always re-time the full-size acceptance cells)")
 		}
 		if ratchets > 1 {
 			return fmt.Errorf("-compare, -compareserve and -compareapprox are separate ratchets; run them one at a time")
@@ -952,13 +1068,13 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	grids := 0
-	for _, g := range []bool{*scale, *serve, *approx} {
+	for _, g := range []bool{*scale, *serve, *approx, *parallel} {
 		if g {
 			grids++
 		}
 	}
 	if grids > 1 {
-		return fmt.Errorf("-scale, -serve and -approx select different grids; run them one at a time")
+		return fmt.Errorf("-scale, -serve, -approx and -parallel select different grids; run them one at a time")
 	}
 	if !outSet {
 		switch {
@@ -968,21 +1084,29 @@ func run(args []string, out io.Writer) error {
 			path = "BENCH_serve.json"
 		case *approx:
 			path = "BENCH_approx.json"
+		case *parallel:
+			path = "BENCH_parallel.json"
 		default:
 			path = "BENCH_kd.json"
 		}
 	}
-	if (*block != 0 || *storeFlag != "") && path != "" {
+	if *parallel {
+		if *block != 0 || *shardsFlag != 0 || *storeFlag != "" {
+			return fmt.Errorf("-block/-shards/-store do not apply to the parallel grid (it is itself a shard-count series)")
+		}
+		return runParallel(*quick, path, out)
+	}
+	if (*block != 0 || *shardsFlag != 0 || *storeFlag != "") && path != "" {
 		// An overridden run is an ablation, not the tracked trajectory:
 		// the canonical speedup fields and the -compare cell names assume
 		// the default superstep and the grid's own store columns. Keep the
 		// output inspectable but never let it masquerade as a tracked
 		// BENCH_*.json.
-		return fmt.Errorf("-block/-store runs are ablations: use -out '' (stdout only) so the override cannot overwrite a tracked trajectory")
+		return fmt.Errorf("-block/-shards/-store runs are ablations: use -out '' (stdout only) so the override cannot overwrite a tracked trajectory")
 	}
 	if *serve {
-		if *block != 0 {
-			return fmt.Errorf("-block applies to the round-based grids, not the serving grid")
+		if *block != 0 || *shardsFlag != 0 {
+			return fmt.Errorf("-block/-shards apply to the round-based grids, not the serving grid")
 		}
 		if *storeFlag != "" {
 			return fmt.Errorf("-store applies to the micro and scale grids; the serving grid carries its own store column")
@@ -990,12 +1114,15 @@ func run(args []string, out io.Writer) error {
 		return runServe(*quick, path, out)
 	}
 	if *approx {
-		if *block != 0 || *storeFlag != "" {
-			return fmt.Errorf("-block/-store do not apply to the approx grid (it is itself a store comparison)")
+		if *block != 0 || *shardsFlag != 0 || *storeFlag != "" {
+			return fmt.Errorf("-block/-shards/-store do not apply to the approx grid (it is itself a store comparison)")
 		}
 		return runApprox(*quick, path, out)
 	}
 	if *scale {
+		if *shardsFlag != 0 {
+			return fmt.Errorf("-shards applies to the micro grid; the scale grid is pipelined round-mode")
+		}
 		return runScale(*quick, *block, *storeFlag, path, out)
 	}
 	rep := report{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
@@ -1047,6 +1174,29 @@ func run(args []string, out io.Writer) error {
 		}
 		cells = dedup
 	}
+	if *shardsFlag != 0 {
+		// Same contract as -block: cells with an explicit Shards (the
+		// tracked sharded cells) keep their own count, negative values
+		// flow through to Config validation, and name collisions keep the
+		// first occurrence.
+		for i := range cells {
+			if cells[i].Cfg.Shards != 0 {
+				continue
+			}
+			cells[i].Cfg.Shards = *shardsFlag
+			cells[i].Name = cellName(cells[i].Cfg)
+		}
+		seen := make(map[string]bool, len(cells))
+		dedup := cells[:0]
+		for _, c := range cells {
+			if seen[c.Name] {
+				continue
+			}
+			seen[c.Name] = true
+			dedup = append(dedup, c)
+		}
+		cells = dedup
+	}
 	for _, c := range cells {
 		res, err := runCell(c)
 		if err != nil {
@@ -1061,8 +1211,8 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "fast-vs-sort speedup (%s): %.2fx\n", rep.Grid[0].Name, rep.SpeedupFastVsSort)
 	}
 	if rep.Grid[2].NsPerRound > 0 {
-		rep.SpeedupPipeVsSerial = rep.Grid[0].NsPerRound / rep.Grid[2].NsPerRound
-		fmt.Fprintf(out, "pipeline-vs-serial speedup (%s): %.2fx\n", rep.Grid[2].Name, rep.SpeedupPipeVsSerial)
+		rep.SpeedupShardsVsSerial = rep.Grid[0].NsPerRound / rep.Grid[2].NsPerRound
+		fmt.Fprintf(out, "shards-vs-serial speedup (%s): %.2fx\n", rep.Grid[2].Name, rep.SpeedupShardsVsSerial)
 	}
 	if path == "" {
 		return nil

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	kdsim [-n 65536] [-k 2] [-d 3] [-m 0] [-runs 10] [-policy kd] [-beta 0.5]
-//	      [-store dense] [-pipeline] [-block 0] [-seed 1] [-profile 10]
+//	      [-store dense] [-pipeline] [-block 0] [-shards 0] [-seed 1]
+//	      [-profile 10]
 //
 // -m 0 places n balls (the paper's canonical experiment); -m > n exercises
 // the heavily loaded case of Theorem 2. -policy and -store list their valid
@@ -15,6 +16,11 @@
 // trading exactness for one-sided overestimates; -pipeline pre-draws
 // sample supersteps on a producer goroutine and -block overrides the
 // superstep size (bit-identical results for any setting of either).
+// -shards >= 2 engages the sharded superstep engine: decisions for each
+// block of rounds run in parallel across that many workers, bit-identical
+// for ANY worker count (StaleBatch and single-choice exactly match serial;
+// the round policies trade a -block-bounded staleness horizon for the
+// parallelism).
 //
 // -churn (poisson:R, adversarial:R, diurnal:R,A) or -weights (fixed:W,
 // exp:MEAN, uniform:LO,HI, zipf:S,MAX) switch to the online serving mode:
@@ -53,6 +59,7 @@ func run(args []string, out io.Writer) error {
 	storeName := fs.String("store", "dense", "bin-load store, one of:\n"+strings.Join(kdchoice.StoreHelp(), "\n"))
 	pipeline := fs.Bool("pipeline", false, "pre-draw sample supersteps on a producer goroutine (bit-identical)")
 	block := fs.Int("block", 0, "superstep size in rounds for the round policies (0 = auto, bit-identical for any value)")
+	shards := fs.Int("shards", 0, "parallel decision workers (0 = auto; >=2 shards the fixed-prologue policies, bit-identical for any worker count; staleness horizon = -block for the round policies)")
 	seed := fs.Uint64("seed", 1, "root seed")
 	profile := fs.Int("profile", 10, "print the top P mean sorted loads (0 to disable)")
 	churnName := fs.String("churn", "none", "serving churn model: "+strings.Join(kdchoice.ChurnNames(), ", ")+" (non-none serves an online stream)")
@@ -82,6 +89,7 @@ func run(args []string, out io.Writer) error {
 			Store:    store,
 			Pipeline: *pipeline,
 			Block:    *block,
+			Shards:   *shards,
 			Seed:     *seed,
 		}}},
 		Balls:        *m,

@@ -43,9 +43,16 @@
 // supersteps of Params.Block rounds (kernel and engine both bit-identical
 // to the interface/per-round reference paths). Params.Pipeline moves
 // random generation onto a producer goroutine (bit-identical by
-// construction), and Params.Shards parallelizes the decision phase of
-// StaleBatch rounds — the one policy whose intra-round independence makes
-// true sharding semantics-preserving.
+// construction), and Params.Shards engages the sharded superstep engine
+// (shard.go): bins are partitioned across a persistent worker pool, each
+// superstep's randomness is pre-drawn serially, the workers gather owned
+// bins' loads and decide whole rounds in parallel against that frozen
+// snapshot, and placements apply serially in round order. Sharded results
+// are bit-identical for ANY worker count (the merge is positional, not
+// scheduling-dependent); relative to the serial process they are
+// bit-identical wherever the policy's semantics allow (StaleBatch and
+// SingleChoice always; the load-coupled round policies at Block = 1) and
+// diverge only by bounded within-block staleness otherwise.
 package core
 
 import (
@@ -234,12 +241,25 @@ type Params struct {
 	// superstep (~4096 samples); explicit values must be >= 1. Policies
 	// without a fixed prologue ignore Block.
 	Block int
-	// Shards parallelizes the read-only decision phase of StaleBatch
-	// rounds over this many goroutines (0 or 1 = serial). Only StaleBatch
-	// may shard: its k balls decide independently against round-start
-	// loads, so sharding is semantics-preserving (and bit-identical, since
-	// all randomness is drawn serially up front). Other policies reject
-	// Shards > 1.
+	// Shards engages the sharded superstep engine: bins are partitioned
+	// across this many workers, each superstep's randomness is pre-drawn
+	// serially, the workers gather the loads of the bins they own and
+	// decide whole rounds in parallel against that frozen snapshot, and
+	// placements apply serially in round order. Results are bit-identical
+	// across ANY shard count >= 2 (the owner-shard merge is positional).
+	// Relative to the serial process: StaleBatch and SingleChoice are
+	// bit-identical always; KDChoice, fixed-σ SerializedKD, DChoice, and
+	// CoarseDChoice are bit-identical at Block = 1 and otherwise see each
+	// round's loads as of its block start (bounded within-block
+	// staleness); OnePlusBeta shards under its own fixed-width prologue
+	// and matches the serial law only in distribution. Policies with
+	// data-dependent prologues (AdaptiveKD, DynamicKD, random-σ
+	// SerializedKD, AlwaysGoLeft, SAx0) reject Shards > 1.
+	//
+	// 0 = auto: GOMAXPROCS workers for StaleBatch — whose sharding is
+	// exact at any count — and serial for every other policy, so that an
+	// auto-shard config can never change the allocation law between
+	// hosts. Sharding a staleness-coupled policy is an explicit opt-in.
 	Shards int
 	// VecDims switches the process into vector-load mode when > 0: every
 	// bin carries a VecDims-component []float64 load vector, balls arrive
@@ -296,15 +316,19 @@ type Process struct {
 	sigmaBuf []int
 	cands    []int // distinct candidate bins (AdaptiveKD) / dests (StaleBatch)
 
-	// Scratch for the counting selection kernel (kernel.go/select.go): a
-	// small epoch-stamped open-addressed hash table groups the d samples by
-	// bin in O(d) space — no O(n) scratch, which is what keeps the compact
-	// store's bytes/bin budget intact at 10⁸ bins.
-	gtab    *groupTab // epoch-stamped grouping scratch
-	hist    []int32   // height histogram over the round's dense window
-	sel     []slot    // selected slots, ranked
-	bnd     []slot    // boundary-height tie cohort
-	binsBuf []int     // receiving-bin scratch for batch placement
+	// selsc is the process's serial selection lane (select.go): a small
+	// epoch-stamped open-addressed hash table groups the d samples by bin
+	// in O(d) space — no O(n) scratch, which is what keeps the compact
+	// store's bytes/bin budget intact at 10⁸ bins. The sharded superstep
+	// engine gives every worker its own selector instead.
+	selsc   *selector
+	binsBuf []int // receiving-bin scratch for batch placement
+
+	// shard is the sharded superstep engine (shard.go), non-nil when the
+	// effective shard count is >= 2: the decision phase of every
+	// fixed-prologue round fans out over a persistent worker pool while
+	// randomness stays serially pre-drawn and placements apply serially.
+	shard *shardEngine
 
 	// StaleBatch sharded rounds: all k·D samples of a round, drawn up
 	// front so the decision phase is read-only.
@@ -383,7 +407,21 @@ func New(policy Policy, p Params, rng xrand.Source) (*Process, error) {
 		n:      p.N,
 		kern:   newKernel(store),
 	}
-	if blockEligible(policy, p) {
+	shards := effectiveShards(policy, p)
+	if shards > 1 {
+		// Sharded superstep engine: randomness stays serially pre-drawn (a
+		// round engine for the fixed-d policies, pr.rng for the rest) and
+		// the decision phase fans out over a persistent worker pool. Only
+		// an async round engine takes rng ownership away from pr.rng.
+		pr.shard = newShardEngine(policy, p, rng, shards)
+		if pr.shard.eng != nil && !pr.shard.eng.inline {
+			pr.rng = nil
+		} else if pr.shard.eng == nil && p.Pipeline {
+			// Refills draw through pr.rng: prefetch raw words under it.
+			pr.pipe = xrand.NewPipelined(rng, 0, 0)
+			pr.rng = pr.pipe
+		}
+	} else if blockEligible(policy, p) {
 		// Fixed round prologue: pre-draw whole supersteps of rounds. In
 		// inline mode (the default) the engine shares pr.rng and fills
 		// lazily; under Params.Pipeline on a multi-CPU host a producer
@@ -407,15 +445,8 @@ func New(policy Policy, p Params, rng xrand.Source) (*Process, error) {
 		pr.ldv = make([]int, d)
 	}
 	if policy == KDChoice || policy == SerializedKD {
-		d := p.D
-		pr.gtab = newGroupTab(d)
-		// The counting window covers every height pattern whose sampled
-		// loads span less than ~2d; wider spreads (extreme imbalance) fall
-		// back to the reference sort inside the counting kernel.
-		pr.hist = make([]int32, 2*d+16)
-		pr.sel = make([]slot, 0, d)
-		pr.bnd = make([]slot, 0, d)
-		pr.binsBuf = make([]int, 0, d)
+		pr.selsc = newSelector(p.D)
+		pr.binsBuf = make([]int, 0, p.D)
 	}
 	if policy == SerializedKD {
 		pr.sigmaBuf = make([]int, p.K)
@@ -432,7 +463,7 @@ func New(policy Policy, p Params, rng xrand.Source) (*Process, error) {
 	}
 	if policy == StaleBatch {
 		pr.cands = make([]int, p.K)
-		if p.Shards > 1 {
+		if shards > 1 {
 			pr.shardBuf = make([]int, p.K*p.D)
 		}
 	}
@@ -524,8 +555,21 @@ func Validate(policy Policy, p Params) error {
 			return fmt.Errorf("core: Block = %d with D = %d exceeds the supported superstep size (%d samples)", p.Block, p.D, maxBlockSamples)
 		}
 	}
-	if p.Shards > 1 && policy != StaleBatch {
-		return fmt.Errorf("core: Shards > 1 requires the StaleBatch policy (%v rounds are not intra-round independent)", policy)
+	if p.Shards > 1 {
+		if !shardEligible(policy, p) {
+			return fmt.Errorf("core: Shards > 1 requires a fixed-prologue policy (kd, fixed-σ kd-serialized, dchoice, dchoice-coarse, single, oneplusbeta, stale-batch); %v rounds cannot be pre-drawn", policy)
+		}
+		if p.VecDims > 0 {
+			return fmt.Errorf("core: Shards > 1 is a round-mode knob; vector-load mode places per ball and cannot shard")
+		}
+		if p.Block > 0 && !blockEligible(policy, p) && policy != StaleBatch {
+			// SingleChoice / OnePlusBeta supersteps buffer Block rounds of
+			// width 1 / 2; apply the same product cap as the block engine.
+			d := shardDrawWidth(policy)
+			if p.Block > maxBlockSamples/d {
+				return fmt.Errorf("core: Block = %d with sharded %v exceeds the supported superstep size (%d samples)", p.Block, policy, maxBlockSamples)
+			}
+		}
 	}
 	if p.VecDims < 0 {
 		return fmt.Errorf("core: VecDims = %d, must be non-negative", p.VecDims)
@@ -635,6 +679,9 @@ func (pr *Process) Close() {
 	if pr.eng != nil {
 		pr.eng.Close()
 	}
+	if pr.shard != nil {
+		pr.shard.Close()
+	}
 }
 
 // SetObserver installs (or removes, with nil) the round observer.
@@ -727,6 +774,12 @@ func (pr *Process) Reset() {
 		}
 		pr.loadCount[0] = pr.n
 	}
+	if pr.shard != nil {
+		// Decisions buffered against the pre-reset loads are stale;
+		// re-decide the rest of the window against the fresh bins. The
+		// drawn randomness is kept (the stream is not rewound).
+		pr.shard.invalidate()
+	}
 }
 
 // RoundSize returns the number of balls a full round places: K for the
@@ -788,6 +841,14 @@ func (pr *Process) step(toPlace int) {
 		panic("core: scalar rounds on a vector-load process; use InsertVec")
 	}
 	pr.rounds++
+	if pr.shard != nil && pr.policy != StaleBatch {
+		// Sharded superstep engine: decisions were (or will be) made in
+		// parallel for the whole block; apply this round's serially.
+		// StaleBatch keeps its own dispatch below — its superstep is one
+		// round wide and runs gather + decide phases on the same pool.
+		pr.shard.step(pr, toPlace)
+		return
+	}
 	switch pr.policy {
 	case KDChoice:
 		pr.roundKD(toPlace)

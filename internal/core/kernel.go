@@ -85,6 +85,12 @@ type kernelOps interface {
 	// loads — the gather pass of CoarseDChoice's quantized argmin, shared
 	// with fastSelect's first phase.
 	gatherLoads(pr *Process)
+	// shardGather fills ldv[i] for every i with lo <= samples[i] < hi —
+	// the owner-bounded gather pass of the sharded superstep engine
+	// (shard.go). Read-only on the store and positional on ldv, so P
+	// workers with disjoint bin ranges fill disjoint cells of the same
+	// slice concurrently, and the merged snapshot is independent of P.
+	shardGather(samples, ldv []int, lo, hi int)
 }
 
 // newKernel returns the kernel specialized to the concrete store type, or
@@ -142,6 +148,9 @@ func (k kernDense) loadAt(bin int) int  { return k.s.Load(bin) }
 func (k kernDense) gatherLoads(pr *Process) {
 	gatherTyped(pr.samples, pr.ldv, k.s.RawLoads(), -1, nil)
 }
+func (k kernDense) shardGather(samples, ldv []int, lo, hi int) {
+	gatherOwnedTyped(samples, ldv, k.s.RawLoads(), -1, nil, lo, hi)
+}
 
 // kernCompact is the kernel over the 2-bytes/bin compact store.
 type kernCompact struct{ s *loadvec.CompactStore }
@@ -170,6 +179,10 @@ func (k kernCompact) gatherLoads(pr *Process) {
 	small, wide := k.s.RawLoads()
 	gatherTyped(pr.samples, pr.ldv, small, loadvec.CompactEscape, wide)
 }
+func (k kernCompact) shardGather(samples, ldv []int, lo, hi int) {
+	small, wide := k.s.RawLoads()
+	gatherOwnedTyped(samples, ldv, small, loadvec.CompactEscape, wide, lo, hi)
+}
 
 // kernHist is the kernel over the histogram-indexed store.
 type kernHist struct{ s *loadvec.HistStore }
@@ -193,6 +206,9 @@ func (k kernHist) bulkSub(bins []int)  { k.s.BulkSub(bins) }
 func (k kernHist) loadAt(bin int) int  { return k.s.Load(bin) }
 func (k kernHist) gatherLoads(pr *Process) {
 	gatherTyped(pr.samples, pr.ldv, k.s.RawLoads(), -1, nil)
+}
+func (k kernHist) shardGather(samples, ldv []int, lo, hi int) {
+	gatherOwnedTyped(samples, ldv, k.s.RawLoads(), -1, nil, lo, hi)
 }
 
 // kernNibble is the kernel over the 4-bits/bin packed store: the gather
@@ -226,6 +242,10 @@ func (k kernNibble) loadAt(bin int) int  { return k.s.Load(bin) }
 func (k kernNibble) gatherLoads(pr *Process) {
 	packed, wide := k.s.RawLoads()
 	gatherNibble(pr.samples, pr.ldv, packed, wide)
+}
+func (k kernNibble) shardGather(samples, ldv []int, lo, hi int) {
+	packed, wide := k.s.RawLoads()
+	gatherOwnedNibble(samples, ldv, packed, wide, lo, hi)
 }
 
 // kernSketch is the kernel over the count-min approximate store: every
@@ -280,6 +300,10 @@ func (k kernSketch) gatherLoads(pr *Process) {
 	rows, seeds, mask := k.s.RawSketch().Raw()
 	gatherSketch(pr.samples, pr.ldv, rows, seeds, mask)
 }
+func (k kernSketch) shardGather(samples, ldv []int, lo, hi int) {
+	rows, seeds, mask := k.s.RawSketch().Raw()
+	gatherOwnedSketch(samples, ldv, rows, seeds, mask, lo, hi)
+}
 
 // kernIface is the interface-dispatch fallback kernel: every bin access
 // goes through loadvec.Store exactly as the pre-specialization engine did.
@@ -332,6 +356,13 @@ func (k kernIface) gatherLoads(pr *Process) {
 	ldv := pr.ldv[:len(pr.samples)]
 	for i, b := range pr.samples {
 		ldv[i] = k.s.Load(b)
+	}
+}
+func (k kernIface) shardGather(samples, ldv []int, lo, hi int) {
+	for i, b := range samples {
+		if b >= lo && b < hi {
+			ldv[i] = k.s.Load(b)
+		}
 	}
 }
 
@@ -406,6 +437,97 @@ func sketchEstimate(rows []uint8, seeds []uint64, mask uint64, bin int) int {
 		base += int(mask) + 1
 	}
 	return est
+}
+
+// gatherOwnedTyped is the owner-bounded variant of gatherTyped: it fills
+// only the cells whose sampled bin falls in [lo, hi), skipping foreign
+// shards' samples. Per-store stenciled like the serial gather so every
+// owned read is a direct inlined index.
+//
+//kd:hotpath
+func gatherOwnedTyped[E loadElem](samples, ldv []int, raw []E, esc int, wide map[int]int, lo, hi int) {
+	ldv = ldv[:len(samples)]
+	for i, b := range samples {
+		if b < lo || b >= hi {
+			continue
+		}
+		v := int(raw[b])
+		if v == esc {
+			v = wide[b] // compact escape; unreachable otherwise
+		}
+		ldv[i] = v
+	}
+}
+
+// gatherOwnedNibble is the owner-bounded gather over the packed nibble
+// cells. Reads may touch a byte shared with a foreign shard's bin, but
+// never a byte another worker WRITES (the decide phase is read-only), so
+// concurrent owned gathers are race-free.
+//
+//kd:hotpath
+func gatherOwnedNibble(samples, ldv []int, packed []uint8, wide map[int]int, lo, hi int) {
+	ldv = ldv[:len(samples)]
+	for i, b := range samples {
+		if b < lo || b >= hi {
+			continue
+		}
+		v := int(packed[b>>1]>>((b&1)<<2)) & 0xF
+		if v == loadvec.NibbleEscape {
+			v = wide[b]
+		}
+		ldv[i] = v
+	}
+}
+
+// gatherOwnedSketch is the owner-bounded gather over the raw count-min
+// rows. Ownership is by bin id, not by counter cell — counter rows are
+// shared across bins by construction — which is fine for the same reason as
+// the nibble case: the phase only reads them.
+//
+//kd:hotpath
+func gatherOwnedSketch(samples, ldv []int, rows []uint8, seeds []uint64, mask uint64, lo, hi int) {
+	ldv = ldv[:len(samples)]
+	for i, b := range samples {
+		if b < lo || b >= hi {
+			continue
+		}
+		ldv[i] = sketchEstimate(rows, seeds, mask, b)
+	}
+}
+
+// argminLdv is the store-free argmin scan over an already-gathered load
+// snapshot: the least-loaded sampled bin under quantum-q bucketing, ties
+// broken by the keyed hash. It is the one scan body behind the sharded
+// decide phase and the serial CoarseDChoice round: ball = 0, q = 1
+// reproduces dchoiceBest's arithmetic exactly (the per-ball tie term
+// vanishes); ball = 0, q = Quantum is coarseBest; ball = b, q = 1 is
+// staleDecide against frozen loads. The duplicate-bin skip (cand == best)
+// matches the store-reading scans, so the decisions are bit-identical to
+// theirs whenever ldv holds the same loads they would read.
+//
+//kd:hotpath
+func argminLdv(samples, ldv []int, nonce uint64, ball, q int) int {
+	best := samples[0]
+	bestLoad := ldv[0] / q
+	bestTie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(best)*0x9e3779b97f4a7c15)
+	for j := 1; j < len(samples); j++ {
+		cand := samples[j]
+		if cand == best {
+			continue
+		}
+		load := ldv[j] / q
+		switch {
+		case load < bestLoad:
+			best, bestLoad = cand, load
+			bestTie = mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15)
+		case load == bestLoad:
+			if tie := mix64(nonce ^ uint64(ball)<<32 ^ uint64(cand)*0x9e3779b97f4a7c15); tie < bestTie {
+				best = cand
+				bestTie = tie
+			}
+		}
+	}
+	return best
 }
 
 // staleDecideNibble is staleDecideTyped over the packed nibble cells; like

@@ -80,32 +80,12 @@ func (pr *Process) ballThreshold() {
 
 // coarseBest returns the sample whose QUANTIZED load is minimal, ties
 // broken by the same keyed hash as dchoiceBest. The load gather runs
-// through the devirtualized kernel; the bucket scan below is store-free.
+// through the devirtualized kernel; the bucket scan is the shared
+// store-free argmin (kernel.go), which is also what the sharded decide
+// phase runs — so serial and sharded CoarseDChoice cannot drift.
 func (pr *Process) coarseBest(nonce uint64) int {
 	pr.kern.gatherLoads(pr)
-	q := pr.quantum()
-	samples := pr.samples
-	ldv := pr.ldv[:len(samples)]
-	best := samples[0]
-	bestBucket := ldv[0] / q
-	bestTie := mix64(nonce ^ uint64(best)*0x9e3779b97f4a7c15)
-	for i, cand := range samples[1:] {
-		if cand == best {
-			continue
-		}
-		bucket := ldv[i+1] / q
-		switch {
-		case bucket < bestBucket:
-			best, bestBucket = cand, bucket
-			bestTie = mix64(nonce ^ uint64(cand)*0x9e3779b97f4a7c15)
-		case bucket == bestBucket:
-			if tie := mix64(nonce ^ uint64(cand)*0x9e3779b97f4a7c15); tie < bestTie {
-				best = cand
-				bestTie = tie
-			}
-		}
-	}
-	return best
+	return argminLdv(pr.samples, pr.ldv[:len(pr.samples)], nonce, 0, pr.quantum())
 }
 
 // ballCoarse places one ball via the quantized d-choice argmin. The

@@ -130,6 +130,24 @@ func blockRounds(d, block int) int {
 	return r
 }
 
+// shardBlockRounds sizes a sharded superstep: Params.Block when set,
+// otherwise ~32768 samples per block with a floor of 32 rounds — wider than
+// the serial auto block because the parallel decide phase amortizes worker
+// hand-off per block, not per round. Deliberately independent of the worker
+// count: the block boundary is part of the allocation law (it sets the
+// staleness horizon), so auto-sizing by P would break the
+// bit-identical-for-any-P guarantee.
+func shardBlockRounds(d, block int) int {
+	if block > 0 {
+		return block
+	}
+	r := 32768 / d
+	if r < 32 {
+		r = 32
+	}
+	return r
+}
+
 // newRoundEngine starts the engine over blocks of `rounds` rounds. In
 // inline mode the rng is shared with the caller and drawn from lazily; in
 // async mode (wantAsync on a multi-CPU host) a producer goroutine owns the
@@ -197,6 +215,18 @@ func (p *roundEngine) next() *kdRound {
 	p.cur.samples = b.samples[i*p.d : (i+1)*p.d]
 	p.cur.nonce = b.nonces[i]
 	return &p.cur
+}
+
+// nextBlock refills and returns the whole local block at once. The sharded
+// superstep engine (shard.go) consumes blocks wholesale — it decides every
+// round of a block in one parallel phase — so it bypasses the per-round
+// cursor; next() and nextBlock() must not be mixed on one engine. The
+// returned block aliases the consumer-local buffers and is valid until the
+// following nextBlock call.
+func (p *roundEngine) nextBlock() *kdBlock {
+	p.advance()
+	p.idx = p.rounds // keep the per-round cursor poisoned (exhausted)
+	return p.local
 }
 
 // advance refills the local block: inline mode draws it directly; async

@@ -66,22 +66,59 @@ func (pr *Process) rankSelectWith(nonce uint64, toPlace int) []slot {
 	return pr.kern.fastSelect(pr, nonce, toPlace)
 }
 
-// probeAndRank is the store-free heart of the counting kernel, shared by
-// every kernel instantiation: pr.ldv holds the load of each sample (filled
-// by the kernel's specialized gather pass), and one scan over the samples
-// probes the epoch-stamped group table and materializes the conceptual
-// slots (the i-th sample of bin b has height load(b)+i). The slot SET and
-// the final ranking are independent of slot emission order (the total
-// order on (height, tie, bin) is strict), so fusing the former
-// group-then-materialize pipeline changes no result. A repeat sample's
-// height comes straight from its own ldv entry — the table records only
-// the multiplicity, never the load.
+// selector owns the scratch of the store-free counting selection kernel:
+// the epoch-stamped group table, the height histogram, and the slot
+// buffers. It is one DECISION LANE — a serial process owns exactly one,
+// and every worker of the sharded superstep engine owns its own, so
+// concurrent per-round selections never share mutable state. The selector
+// reads only its arguments (samples, pre-gathered loads, the round nonce),
+// never the store, which is what lets the sharded decide phase run over a
+// frozen load snapshot.
+type selector struct {
+	gtab  *groupTab
+	hist  []int32
+	slots []slot
+	sel   []slot
+	bnd   []slot
+}
+
+// newSelector sizes a selection lane for rounds of d samples.
+func newSelector(d int) *selector {
+	return &selector{
+		gtab: newGroupTab(d),
+		// The counting window covers every height pattern whose sampled
+		// loads span less than ~2d; wider spreads (extreme imbalance) fall
+		// back to the reference sort inside the counting kernel.
+		hist:  make([]int32, 2*d+16),
+		slots: make([]slot, d),
+		sel:   make([]slot, 0, d),
+		bnd:   make([]slot, 0, d),
+	}
+}
+
+// probeAndRank is the Process-level entry of the counting kernel, used by
+// the serial round paths: it runs the process's own selection lane over
+// pr.samples and the loads the kernel gathered into pr.ldv.
 //
 //kd:hotpath
 func (pr *Process) probeAndRank(nonce uint64, toPlace int) []slot {
-	samples := pr.samples
-	ldv := pr.ldv[:len(samples)]
-	gt := pr.gtab
+	return pr.selsc.probeAndRank(pr.samples, pr.ldv[:len(pr.samples)], nonce, toPlace)
+}
+
+// probeAndRank is the store-free heart of the counting kernel, shared by
+// every kernel instantiation and every shard worker: ldv holds the load of
+// each sample (filled by the kernel's specialized gather pass), and one
+// scan over the samples probes the epoch-stamped group table and
+// materializes the conceptual slots (the i-th sample of bin b has height
+// load(b)+i). The slot SET and the final ranking are independent of slot
+// emission order (the total order on (height, tie, bin) is strict), so
+// fusing the former group-then-materialize pipeline changes no result. A
+// repeat sample's height comes straight from its own ldv entry — the table
+// records only the multiplicity, never the load.
+//
+//kd:hotpath
+func (sc *selector) probeAndRank(samples, ldv []int, nonce uint64, toPlace int) []slot {
+	gt := sc.gtab
 	epoch := gt.nextEpoch()
 	tab := gt.tab
 	stamp := gt.stamp[:len(tab)] // same power-of-two size; ties the lengths for the prover
@@ -96,7 +133,7 @@ func (pr *Process) probeAndRank(nonce uint64, toPlace int) []slot {
 		// the final sort, its ranking) is exactly what the counting path
 		// computes, for ANY height spread — the lazy-tie window exists
 		// only to spare keys, not to define results.
-		topk := pr.sel[:0]
+		topk := sc.sel[:0]
 		worst := -1
 		var wslot slot // register copy of topk[worst]: the compare touches no memory
 		for i, b := range samples {
@@ -137,11 +174,11 @@ func (pr *Process) probeAndRank(nonce uint64, toPlace int) []slot {
 			}
 		}
 		sortSlots(topk)
-		pr.sel = topk
+		sc.sel = topk
 		return topk
 	}
 
-	slots := pr.slots[:len(samples)]
+	slots := sc.slots[:len(samples)]
 	minH := int(^uint(0) >> 1)
 	maxH := 0
 	for i, b := range samples {
@@ -176,19 +213,19 @@ func (pr *Process) probeAndRank(nonce uint64, toPlace int) []slot {
 		}
 		slots[i] = slot{bin: b, height: ht}
 	}
-	pr.slots = slots
-	return pr.rankFromSlots(nonce, toPlace, minH, maxH)
+	sc.slots = slots
+	return sc.rankFromSlots(nonce, toPlace, minH, maxH)
 }
 
-// rankFromSlots is the ranking tail of the counting kernel: pr.slots holds
+// rankFromSlots is the ranking tail of the counting kernel: sc.slots holds
 // the round's materialized slots with heights spanning [minH, maxH]; the
 // toPlace minimum slots are returned ranked ascending. In the steady-state
 // common case every slot sits at one height (minH == maxH) and the
 // boundary is known without touching the histogram at all.
 //
 //kd:hotpath
-func (pr *Process) rankFromSlots(nonce uint64, toPlace, minH, maxH int) []slot {
-	slots := pr.slots
+func (sc *selector) rankFromSlots(nonce uint64, toPlace, minH, maxH int) []slot {
+	slots := sc.slots
 	if toPlace > len(slots) {
 		toPlace = len(slots)
 	}
@@ -198,7 +235,7 @@ func (pr *Process) rankFromSlots(nonce uint64, toPlace, minH, maxH int) []slot {
 
 	boundary, need := minH, toPlace
 	if maxH != minH {
-		hist := pr.hist
+		hist := sc.hist
 		if maxH-minH >= len(hist) {
 			// Sparse heights (sampled loads spread wider than the counting
 			// window, only possible under extreme imbalance): fall back to
@@ -243,8 +280,8 @@ func (pr *Process) rankFromSlots(nonce uint64, toPlace, minH, maxH int) []slot {
 	// cohort member shares the boundary height, so its key reduces to one
 	// multiply and the mixer. Identical arithmetic to tieKey.
 	bkey := nonce ^ uint64(boundary)*0xda942042e4dd58b5
-	sel := pr.sel[:0]
-	bnd := pr.bnd[:0]
+	sel := sc.sel[:0]
+	bnd := sc.bnd[:0]
 	if need <= 4 {
 		worst := -1
 		for i := range slots {
@@ -290,12 +327,12 @@ func (pr *Process) rankFromSlots(nonce uint64, toPlace, minH, maxH int) []slot {
 		}
 		sel = append(sel, bnd[:need]...)
 	}
-	pr.bnd = bnd
+	sc.bnd = bnd
 
 	// Rank the k selected slots so SerializedKD sees a total order of
 	// ranks; k is small, so this costs O(k log k) at worst.
 	sortSlots(sel)
-	pr.sel = sel
+	sc.sel = sel
 	return sel
 }
 

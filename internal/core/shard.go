@@ -1,0 +1,543 @@
+package core
+
+// This file is the sharded superstep engine: the parallel decision phase
+// behind Params.Shards >= 2. It generalizes what PR 6's sharded StaleBatch
+// round did for one policy to every fixed-prologue policy, on the
+// theoretical license of the 1-2-3-Toolkit's batched-round model (Bertrand
+// & Lenzen, arXiv:1407.8433): balls-into-bins tolerates bounded staleness
+// within a batch, so a whole block of rounds may be DECIDED against the
+// loads as of the block start and then APPLIED serially in round order.
+//
+// Each superstep runs three phases:
+//
+//  1. draw (serial): the block's randomness is pre-drawn through the exact
+//     serial sequence — xrand.FillRounds for the fixed-width prologues,
+//     FillIntn for SingleChoice, nonce-then-FillIntn for StaleBatch — so
+//     the word stream is identical to the serial process for any shard
+//     count and any block size. Randomness NEVER depends on P.
+//  2. gather + decide (parallel): every worker owns a contiguous bin range
+//     [edges[w], edges[w+1]) and fills the load snapshot cells of the
+//     samples it owns — disjoint positional writes into one shared slice,
+//     which IS the deterministic owner-shard merge: the merged snapshot is
+//     a pure function of (samples, loads), independent of P and of
+//     scheduling. The decide phase then splits the block's rounds into
+//     contiguous chunks, each worker running the policy's store-free
+//     decision kernel (selector / argminLdv) over the frozen snapshot.
+//     Per-round decisions share no mutable state, so this, too, is
+//     P-independent.
+//  3. apply (serial): placements commit one round per step() call, in
+//     round order, through the same store paths as the serial process.
+//
+// Consequences, pinned by the shard tests: results are bit-identical
+// across ANY shard count >= 2; StaleBatch and SingleChoice are
+// bit-identical to serial always; the load-coupled round policies
+// (KDChoice, fixed-σ SerializedKD, DChoice, CoarseDChoice) are
+// bit-identical to serial at Block = 1 and otherwise diverge only by
+// within-block staleness (their gap statistics stay within the coupling
+// bounds); OnePlusBeta recasts its data-dependent draw pattern into a
+// fixed-width prologue and matches the serial law in distribution only.
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// shardEligible reports whether the policy can run under the sharded
+// superstep engine: its per-round randomness must be pre-drawable (a fixed
+// prologue) and its placement rule expressible as "decide from a frozen
+// load snapshot, apply serially". Data-dependent draw patterns (AdaptiveKD
+// reservoir ties, random-σ shuffles, ThresholdChoice's variable probe
+// count, SAx0 rank draws, AlwaysGoLeft's group geometry) are out.
+func shardEligible(policy Policy, p Params) bool {
+	switch policy {
+	case KDChoice, DChoice, CoarseDChoice, SingleChoice, OnePlusBeta, StaleBatch:
+		return true
+	case SerializedKD:
+		return !p.RandomSigma
+	}
+	return false
+}
+
+// shardDrawWidth is the per-round draw width of the sharded prologue for
+// the policies whose width is not Params.D: SingleChoice draws one sample,
+// OnePlusBeta two samples plus a nonce.
+func shardDrawWidth(policy Policy) int {
+	if policy == SingleChoice {
+		return 1
+	}
+	return 2 // OnePlusBeta
+}
+
+// effectiveShards resolves Params.Shards to a worker count. 0 (auto) means
+// GOMAXPROCS for StaleBatch — whose sharded rounds are bit-identical to
+// serial at any count, so auto can never change results — and serial for
+// every other policy: engaging the engine on a load-coupled policy changes
+// the allocation law (within-block staleness), and an implicit
+// host-dependent law change would break cross-machine reproducibility.
+// Sharding those policies is an explicit opt-in.
+func effectiveShards(policy Policy, p Params) int {
+	s := p.Shards
+	if s == 0 {
+		if policy == StaleBatch {
+			return runtime.GOMAXPROCS(0)
+		}
+		return 1
+	}
+	if !shardEligible(policy, p) {
+		return 1
+	}
+	return s
+}
+
+// shardPool is the engine's persistent worker pool: workers-1 goroutines
+// plus the caller (worker 0). The phase function is bound ONCE at creation
+// — dispatch only rings per-worker doorbells — so the steady state
+// allocates nothing and creates no goroutines. Synchronization is one
+// channel send per worker per phase (the happens-before edge publishing
+// the phase inputs) and one WaitGroup wait (the edge collecting the phase
+// outputs); on a single-CPU host the scheduler simply interleaves the
+// workers at those points, so the pool is correct — not just fast — at any
+// GOMAXPROCS.
+type shardPool struct {
+	workers int
+	run     func(w int)
+	start   []chan struct{} // doorbell per spawned worker (workers-1)
+	wg      sync.WaitGroup
+	done    chan struct{}
+	once    sync.Once
+}
+
+func newShardPool(workers int, run func(w int)) *shardPool {
+	p := &shardPool{
+		workers: workers,
+		run:     run,
+		start:   make([]chan struct{}, workers-1),
+		done:    make(chan struct{}),
+	}
+	for i := range p.start {
+		p.start[i] = make(chan struct{}, 1)
+		go p.worker(i)
+	}
+	return p
+}
+
+func (p *shardPool) worker(i int) {
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-p.start[i]:
+		}
+		p.run(i + 1)
+		p.wg.Done()
+	}
+}
+
+// dispatch runs one phase on every worker and returns when all finished.
+func (p *shardPool) dispatch() {
+	p.wg.Add(p.workers - 1)
+	for _, c := range p.start {
+		c <- struct{}{}
+	}
+	p.run(0)
+	p.wg.Wait()
+}
+
+// Close stops the spawned workers. Idempotent; must not be called
+// concurrently with dispatch.
+func (p *shardPool) Close() {
+	p.once.Do(func() { close(p.done) })
+}
+
+// Phase selector for shardEngine.work (bound once into the pool's run
+// function; per-dispatch state travels through engine fields, published by
+// the doorbell send).
+const (
+	phaseGather = iota
+	phaseDecide
+	phaseStaleGather
+	phaseStaleDecide
+)
+
+// shardEngine holds the sharded superstep state of one Process. The
+// decided block is a buffer between the parallel decide phase and the
+// serial one-round-at-a-time apply path (Round/Place), so the public
+// round-loop API is unchanged.
+type shardEngine struct {
+	policy  Policy
+	kern    kernelOps // refreshed from pr each superstep (test kernel seam)
+	n       int
+	k       int     // balls per full round (1 for the per-ball policies)
+	d       int     // draw width per round (p.D, or 1 / 2, see shardDrawWidth)
+	quantum int     // CoarseDChoice bucket width (1 = plain DChoice)
+	beta    float64 // OnePlusBeta mixing probability
+	block   int     // rounds per superstep B
+	workers int
+
+	pool  *shardPool
+	eng   *roundEngine // FillRounds block source (nil: single / stale mode)
+	edges []int        // worker w owns bins [edges[w], edges[w+1])
+	sels  []*selector  // per-worker decision lane (kd / serialized only)
+
+	blk    *kdBlock // current block (aliases eng's local block)
+	single []int    // SingleChoice mode: the block's samples (= destinations)
+	ldv    []int    // frozen load snapshot, positional per sample
+	dests  []int    // decided bins: block×k in rank order (kd), else block
+	probes []uint8  // OnePlusBeta: probes charged per round (1 or 2)
+
+	appIdx int // next round to apply
+	decEnd int // end of the decided window (appIdx == decEnd: refill)
+	winLo  int // first round of the window the current phases cover
+
+	phase int
+
+	// StaleBatch per-round phase inputs.
+	staleBuf     []int
+	staleDests   []int
+	staleNonce   uint64
+	staleToPlace int
+}
+
+// newShardEngine builds the engine and its worker pool. The caller has
+// already validated shardEligible and workers >= 2.
+func newShardEngine(policy Policy, p Params, rng xrand.Source, workers int) *shardEngine {
+	se := &shardEngine{
+		policy:  policy,
+		n:       p.N,
+		k:       1,
+		d:       p.D,
+		beta:    p.Beta,
+		workers: workers,
+	}
+	se.edges = make([]int, workers+1)
+	for w := 0; w <= workers; w++ {
+		se.edges[w] = w * p.N / workers
+	}
+	switch policy {
+	case StaleBatch:
+		// One round per superstep; randomness is drawn by staleRound via
+		// pr.rng (nonce then samples — the serial order), the snapshot
+		// covers the round's k·D samples.
+		se.ldv = make([]int, p.K*p.D)
+	case SingleChoice:
+		se.d = 1
+		se.block = shardBlockRounds(1, p.Block)
+		se.single = make([]int, se.block)
+		se.dests = se.single // the sample IS the destination
+	default:
+		if policy == OnePlusBeta {
+			se.d = shardDrawWidth(policy)
+		}
+		se.block = shardBlockRounds(se.d, p.Block)
+		se.eng = newRoundEngine(rng, p.N, se.d, se.block, p.Pipeline)
+		se.ldv = make([]int, se.block*se.d)
+		switch policy {
+		case KDChoice, SerializedKD:
+			se.k = p.K
+			se.dests = make([]int, se.block*se.k)
+			se.sels = make([]*selector, workers)
+			for w := range se.sels {
+				se.sels[w] = newSelector(p.D)
+			}
+		case OnePlusBeta:
+			se.dests = make([]int, se.block)
+			se.probes = make([]uint8, se.block)
+		default: // DChoice, CoarseDChoice
+			se.dests = make([]int, se.block)
+		}
+		if policy == CoarseDChoice {
+			se.quantum = p.Quantum
+			if se.quantum == 0 {
+				se.quantum = defaultQuantum
+			}
+		} else {
+			se.quantum = 1
+		}
+	}
+	se.appIdx = se.block
+	se.decEnd = se.block
+	se.pool = newShardPool(workers, se.work)
+	return se
+}
+
+// Close stops the worker pool (and the block producer, if async).
+// Idempotent.
+func (se *shardEngine) Close() {
+	se.pool.Close()
+	if se.eng != nil {
+		se.eng.Close()
+	}
+}
+
+// invalidate drops the undecided-yet-unapplied tail of the current block:
+// the decisions were made against pre-Reset loads. The DRAWN randomness is
+// kept — the stream is never rewound (the Reset contract) — so the next
+// step re-decides the remaining window against the fresh bins.
+func (se *shardEngine) invalidate() {
+	se.decEnd = se.appIdx
+}
+
+// step applies one round (the sharded replacement for the policy's serial
+// round function). When the decided buffer is dry it first refills: draws
+// a fresh block if the old one is exhausted, then runs the parallel gather
+// and decide phases over the remaining window.
+func (se *shardEngine) step(pr *Process, toPlace int) {
+	if se.appIdx >= se.decEnd {
+		se.refill(pr)
+	}
+	r := se.appIdx
+	se.appIdx++
+	switch se.policy {
+	case KDChoice:
+		se.applyKD(pr, r, toPlace)
+	case SerializedKD:
+		se.applySerialized(pr, r, toPlace)
+	case SingleChoice:
+		se.applySingle(pr, r)
+	case OnePlusBeta:
+		se.applyOnePlusBeta(pr, r)
+	default: // DChoice, CoarseDChoice
+		se.applyArgmin(pr, r)
+	}
+}
+
+// refill decides the window [appIdx, block): fresh draw first if the whole
+// block has been applied, then the two parallel phases. SingleChoice skips
+// the phases entirely — its destination is its sample, loads never enter.
+func (se *shardEngine) refill(pr *Process) {
+	se.kern = pr.kern
+	if se.appIdx == se.block {
+		if se.eng != nil {
+			se.blk = se.eng.nextBlock()
+		} else {
+			pr.rng.FillIntn(se.single, se.n)
+		}
+		se.appIdx = 0
+	}
+	se.winLo = se.appIdx
+	if se.policy == SingleChoice {
+		se.decEnd = se.block
+		return
+	}
+	se.phase = phaseGather
+	se.pool.dispatch()
+	se.phase = phaseDecide
+	se.pool.dispatch()
+	se.decEnd = se.block
+}
+
+// work is the pool's phase body (run func, bound once at creation).
+func (se *shardEngine) work(w int) {
+	switch se.phase {
+	case phaseGather:
+		base, end := se.winLo*se.d, se.block*se.d
+		se.kern.shardGather(se.blk.samples[base:end], se.ldv[base:end], se.edges[w], se.edges[w+1])
+	case phaseDecide:
+		se.decideChunk(w)
+	case phaseStaleGather:
+		se.kern.shardGather(se.staleBuf, se.ldv[:len(se.staleBuf)], se.edges[w], se.edges[w+1])
+	case phaseStaleDecide:
+		se.staleDecideChunk(w)
+	}
+}
+
+// decideChunk decides worker w's contiguous chunk of the window's rounds
+// against the frozen snapshot. Each round is decided independently (own
+// samples, own snapshot cells, own nonce; kd workers use their own
+// selector lane), so the chunk boundaries — the only P-dependent quantity
+// — cannot influence any decision.
+func (se *shardEngine) decideChunk(w int) {
+	rounds := se.block - se.winLo
+	chunk := (rounds + se.workers - 1) / se.workers
+	lo := se.winLo + w*chunk
+	hi := lo + chunk
+	if hi > se.block {
+		hi = se.block
+	}
+	d := se.d
+	for r := lo; r < hi; r++ {
+		samples := se.blk.samples[r*d : (r+1)*d]
+		ldv := se.ldv[r*d : (r+1)*d]
+		nonce := se.blk.nonces[r]
+		switch se.policy {
+		case KDChoice, SerializedKD:
+			// Rank the full k selection; a partial round applies the
+			// first toPlace ranks, which is exactly the serial partial
+			// round's selection (the toPlace smallest slots of a strict
+			// total order are a prefix of the k smallest, ranked).
+			sel := se.sels[w].probeAndRank(samples, ldv, nonce, se.k)
+			base := r * se.k
+			for i := range sel {
+				se.dests[base+i] = sel[i].bin
+			}
+		case OnePlusBeta:
+			se.decideOnePlusBeta(r, samples, ldv, nonce)
+		default: // DChoice, CoarseDChoice
+			se.dests[r] = argminLdv(samples, ldv, nonce, 0, se.quantum)
+		}
+	}
+}
+
+// decideOnePlusBeta is the (1+β) decision recast as a fixed prologue: two
+// samples plus a nonce per round, with the β coin and the equal-load tie
+// bit both derived from the nonce instead of drawn on demand (the serial
+// path's draw count is data-dependent, which no pre-drawn engine can
+// replay). The law matches the serial process in DISTRIBUTION — coin
+// probability β via the nonce's top 53 bits, fair tie via one mixed bit —
+// but not bit-for-bit; the divergence tests pin the distribution.
+func (se *shardEngine) decideOnePlusBeta(r int, samples, ldv []int, nonce uint64) {
+	a, b := samples[0], samples[1]
+	coin := false
+	if se.beta > 0 {
+		coin = se.beta >= 1 || float64(nonce>>11)*(1.0/(1<<53)) < se.beta
+	}
+	if !coin {
+		se.dests[r] = a
+		se.probes[r] = 1
+		return
+	}
+	best := a
+	la, lb := ldv[0], ldv[1]
+	if lb < la || (lb == la && mix64(nonce^0xa0761d6478bd642f)&1 == 1) {
+		best = b
+	}
+	se.dests[r] = best
+	se.probes[r] = 2
+}
+
+// applyKD commits round r of a sharded (k,d)-choice block: the first
+// toPlace ranked destinations, batch-incremented when unobserved exactly
+// like the StaleBatch apply (one devirtualized BulkAdd per round).
+func (se *shardEngine) applyKD(pr *Process, r, toPlace int) {
+	dests := se.dests[r*se.k : r*se.k+toPlace]
+	placed, heights := pr.beginObs(toPlace)
+	if placed == nil {
+		pr.kern.bulkAdd(dests)
+		pr.balls += toPlace
+	} else {
+		for i, dst := range dests {
+			h := pr.place(dst)
+			placed[i] = dst
+			heights[i] = h
+		}
+	}
+	pr.messages += int64(se.d)
+	pr.notify(se.roundSamples(r), placed, heights)
+}
+
+// applySerialized commits round r in σ order: the j-th ball goes to the
+// slot of rank σ(j), with σ restricted to ranks below toPlace in a partial
+// round — the same restriction rule as the serial path.
+func (se *shardEngine) applySerialized(pr *Process, r, toPlace int) {
+	dests := se.dests[r*se.k : (r+1)*se.k]
+	placed, heights := pr.beginObs(toPlace)
+	j := 0
+	for _, rank := range pr.sigmaBuf {
+		if rank >= toPlace {
+			continue
+		}
+		b := dests[rank]
+		h := pr.place(b)
+		if placed != nil {
+			placed[j] = b
+			heights[j] = h
+		}
+		j++
+		if j == toPlace {
+			break
+		}
+	}
+	pr.messages += int64(se.d)
+	pr.notify(se.roundSamples(r), placed, heights)
+}
+
+// applySingle commits one SingleChoice ball. The destination is the
+// pre-drawn sample itself, so sharded SingleChoice is bit-identical to
+// serial for any P and any Block.
+func (se *shardEngine) applySingle(pr *Process, r int) {
+	b := se.single[r]
+	h := pr.place(b)
+	pr.messages++
+	if pr.obs != nil {
+		pr.notify(se.single[r:r+1], se.single[r:r+1], []int{h})
+	}
+}
+
+// applyArgmin commits one DChoice / CoarseDChoice ball.
+func (se *shardEngine) applyArgmin(pr *Process, r int) {
+	best := se.dests[r]
+	h := pr.place(best)
+	pr.messages += int64(se.d)
+	if pr.obs != nil {
+		pr.notify(se.roundSamples(r), []int{best}, []int{h})
+	}
+}
+
+// applyOnePlusBeta commits one (1+β) ball, charging the probes the coin
+// actually spent.
+func (se *shardEngine) applyOnePlusBeta(pr *Process, r int) {
+	best := se.dests[r]
+	h := pr.place(best)
+	pb := int64(se.probes[r])
+	pr.messages += pb
+	if pr.obs != nil {
+		samples := se.roundSamples(r)[:pb]
+		pr.notify(samples, []int{best}, []int{h})
+	}
+}
+
+// roundSamples returns round r's raw samples (aliasing the block buffer;
+// observers see them for the duration of the callback, same contract as
+// the serial engine's pre-drawn rounds).
+func (se *shardEngine) roundSamples(r int) []int {
+	return se.blk.samples[r*se.d : (r+1)*se.d]
+}
+
+// staleRound is the sharded StaleBatch round — the engine's one-round-wide
+// configuration. The draw order (nonce, then every ball's samples in ball
+// order) and the apply path are exactly the serial round's, and the
+// gather-then-argmin pipeline reads the same frozen loads the serial scan
+// reads live (nothing mutates during the decision phase), so the sharded
+// round is bit-identical to serial at any worker count.
+func (se *shardEngine) staleRound(pr *Process, toPlace int) {
+	perBall := se.d
+	nonce := pr.rng.Uint64()
+	placed, heights := pr.beginObs(toPlace)
+	if cap(pr.cands) < toPlace {
+		pr.cands = make([]int, toPlace)
+	}
+	dests := pr.cands[:toPlace]
+	buf := pr.shardBuf[:toPlace*perBall]
+	pr.rng.FillIntn(buf, pr.n)
+
+	se.kern = pr.kern
+	se.staleBuf = buf
+	se.staleDests = dests
+	se.staleNonce = nonce
+	se.staleToPlace = toPlace
+	se.phase = phaseStaleGather
+	se.pool.dispatch()
+	se.phase = phaseStaleDecide
+	se.pool.dispatch()
+	pr.applyStaleDests(dests, placed, heights)
+}
+
+// staleDecideChunk runs worker w's contiguous chunk of a StaleBatch
+// round's per-ball argmins over the frozen snapshot.
+func (se *shardEngine) staleDecideChunk(w int) {
+	toPlace := se.staleToPlace
+	chunk := (toPlace + se.workers - 1) / se.workers
+	lo := w * chunk
+	hi := lo + chunk
+	if hi > toPlace {
+		hi = toPlace
+	}
+	perBall := se.d
+	for b := lo; b < hi; b++ {
+		samples := se.staleBuf[b*perBall : (b+1)*perBall]
+		ldv := se.ldv[b*perBall : (b+1)*perBall]
+		se.staleDests[b] = argminLdv(samples, ldv, se.staleNonce, b, 1)
+	}
+}

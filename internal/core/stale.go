@@ -1,7 +1,5 @@
 package core
 
-import "sync"
-
 // StaleBatch is the parallel-allocation counterpoint to (k,d)-choice: the
 // k balls of a round probe INDEPENDENTLY (PerBallD probes each) and every
 // ball commits to the least loaded of its own probes as of the START of
@@ -17,24 +15,27 @@ import "sync"
 //
 // Because every ball decides against the frozen round-start loads with no
 // shared state, the decision phase is embarrassingly parallel: with
-// Params.Shards > 1 the per-ball argmin computations are split over
-// goroutines while all randomness is drawn serially up front, so the
-// sharded round is bit-identical to the serial one (pinned by
-// TestStaleBatchShardedMatchesSerial, including under -race). Placements
-// are applied serially in ball order afterwards, exactly as in the serial
-// path. This is the one policy where true sharding is semantics-preserving;
-// the round-based (k,d) policies share one probe batch and serialize
-// through the selection kernel, so they cannot shard a round.
+// Params.Shards > 1 (or 0 = auto on a multi-CPU host) the round runs as a
+// one-round-wide superstep of the sharded engine (shard.go) — all
+// randomness drawn serially up front in the exact serial order, the
+// gather and per-ball argmin phases fanned out over the persistent worker
+// pool — so the sharded round is bit-identical to the serial one (pinned
+// by TestStaleBatchShardedMatchesSerial, including under -race) and
+// allocation-free in steady state. Placements are applied serially in
+// ball order afterwards, exactly as in the serial path. StaleBatch is the
+// one policy whose sharding is exact for any block size; the load-coupled
+// round policies shard under the same engine with a within-block
+// staleness tradeoff instead (see shard.go).
 
-// The per-ball decision scan lives in kernel.go (kern.staleDecide): one
-// dynamic dispatch per ball, with the d load reads inside devirtualized to
-// the concrete store type.
+// The per-ball decision scan lives in kernel.go: kern.staleDecide for the
+// serial store-reading path, argminLdv over the gathered snapshot for the
+// sharded one — identical arithmetic, pinned by the equivalence tests.
 
 // roundStaleBatch places toPlace balls, each with its own perBall probes
 // judged against the stale round-start loads.
 func (pr *Process) roundStaleBatch(toPlace int) {
-	if shards := pr.p.Shards; shards > 1 && toPlace > 1 {
-		pr.roundStaleBatchSharded(toPlace, shards)
+	if pr.shard != nil && toPlace > 1 {
+		pr.shard.staleRound(pr, toPlace)
 		return
 	}
 	perBall := pr.p.D
@@ -49,47 +50,6 @@ func (pr *Process) roundStaleBatch(toPlace int) {
 		pr.rng.FillIntn(pr.samples[:perBall], pr.n)
 		dests[b] = pr.kern.staleDecide(nonce, b, pr.samples[:perBall])
 	}
-	pr.applyStaleDests(dests, placed, heights)
-}
-
-// roundStaleBatchSharded is the multi-goroutine round: all randomness (the
-// nonce plus every ball's samples, in ball order) is drawn serially first —
-// the exact draw sequence of the serial path — and only the read-only
-// argmin phase fans out over the shards.
-func (pr *Process) roundStaleBatchSharded(toPlace, shards int) {
-	perBall := pr.p.D
-	nonce := pr.rng.Uint64()
-	placed, heights := pr.beginObs(toPlace)
-	if cap(pr.cands) < toPlace {
-		pr.cands = make([]int, toPlace)
-	}
-	dests := pr.cands[:toPlace]
-	buf := pr.shardBuf[:toPlace*perBall]
-	pr.rng.FillIntn(buf, pr.n)
-
-	if shards > toPlace {
-		shards = toPlace
-	}
-	chunk := (toPlace + shards - 1) / shards
-	var wg sync.WaitGroup
-	for s := 0; s < shards; s++ {
-		lo := s * chunk
-		hi := lo + chunk
-		if hi > toPlace {
-			hi = toPlace
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for b := lo; b < hi; b++ {
-				dests[b] = pr.kern.staleDecide(nonce, b, buf[b*perBall:(b+1)*perBall])
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 	pr.applyStaleDests(dests, placed, heights)
 }
 

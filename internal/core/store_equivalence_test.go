@@ -251,13 +251,40 @@ func TestPipelinedObserverSeesSamples(t *testing.T) {
 	run("async-mode")
 }
 
-// TestShardsValidation: only StaleBatch may shard.
+// TestShardsValidation: the fixed-prologue policies may shard; the
+// data-dependent ones must reject Shards > 1.
 func TestShardsValidation(t *testing.T) {
-	if err := Validate(KDChoice, Params{N: 8, K: 1, D: 2, Shards: 2}); err == nil {
-		t.Fatal("KDChoice accepted Shards > 1")
+	for _, tc := range []struct {
+		policy Policy
+		p      Params
+	}{
+		{KDChoice, Params{N: 8, K: 1, D: 2, Shards: 2}},
+		{SerializedKD, Params{N: 8, K: 1, D: 2, Shards: 2}},
+		{DChoice, Params{N: 8, D: 2, Shards: 3}},
+		{CoarseDChoice, Params{N: 8, D: 2, Shards: 3}},
+		{SingleChoice, Params{N: 8, Shards: 8}},
+		{OnePlusBeta, Params{N: 8, Beta: 0.5, Shards: 2}},
+		{StaleBatch, Params{N: 8, K: 2, D: 2, Shards: 4}},
+	} {
+		if err := Validate(tc.policy, tc.p); err != nil {
+			t.Fatalf("%v rejected Shards = %d: %v", tc.policy, tc.p.Shards, err)
+		}
 	}
-	if err := Validate(StaleBatch, Params{N: 8, K: 2, D: 2, Shards: 4}); err != nil {
-		t.Fatalf("StaleBatch rejected Shards: %v", err)
+	for _, tc := range []struct {
+		policy Policy
+		p      Params
+	}{
+		{SerializedKD, Params{N: 8, K: 1, D: 2, RandomSigma: true, Shards: 2}},
+		{AdaptiveKD, Params{N: 8, K: 1, D: 2, Shards: 2}},
+		{DynamicKD, Params{N: 8, D: 2, Shards: 2}},
+		{AlwaysGoLeft, Params{N: 8, D: 2, Shards: 2}},
+		{ThresholdChoice, Params{N: 8, D: 2, Shards: 2}},
+		{SAx0, Params{N: 8, X0: 1, Shards: 2}},
+		{SingleChoice, Params{N: 8, Shards: 2, VecDims: 2}},
+	} {
+		if err := Validate(tc.policy, tc.p); err == nil {
+			t.Fatalf("%v accepted Shards = %d", tc.policy, tc.p.Shards)
+		}
 	}
 	if err := Validate(StaleBatch, Params{N: 8, K: 2, D: 2, Shards: -1}); err == nil {
 		t.Fatal("negative Shards accepted")

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	kdchoice "repro"
+)
+
+// ShardFrontierOpts configures the sharded-engine staleness study.
+type ShardFrontierOpts struct {
+	// N is the bin count; N balls are placed (the paper's canonical m = n).
+	N int
+	// K, D are the round shape (default 2, 8).
+	K, D int
+	// Shards is the worker count of every sharded cell (default 4; the
+	// frontier is identical for any count >= 2 — sharded results are
+	// worker-count independent by construction).
+	Shards int
+	// Blocks are the superstep sizes to sweep (default 1, 4, 16, 64, 256).
+	Blocks []int
+	// Runs is the repetition count per cell.
+	Runs int
+	// Seed is the root seed.
+	Seed uint64
+}
+
+// ShardFrontierPoint is one point of the staleness-vs-synchronization
+// frontier.
+type ShardFrontierPoint struct {
+	// Block is the superstep size in rounds: every decision inside a
+	// block sees the loads as of the block start.
+	Block int
+	// Syncs is the number of serial synchronization points per run
+	// (ceil(rounds/Block)) — the quantity parallel hardware buys down as
+	// Block grows, and the x-axis a multi-core speedup curve follows.
+	Syncs int
+	// MeanGap is the sharded cell's mean max−avg gap.
+	MeanGap float64
+	// GapInflation is MeanGap minus the serial baseline's mean gap — the
+	// staleness price of deciding Block rounds against a frozen snapshot.
+	// Exactly 0 at Block = 1 (the sharded engine is bit-identical to
+	// serial there).
+	GapInflation float64
+}
+
+// ShardFrontier measures the sharded superstep engine's staleness frontier:
+// the same (k,d)-choice process run serially and under the sharded engine
+// at increasing block sizes. A block of B rounds decides all B·k balls
+// against the loads at the block start, so B is both the parallel grain
+// (one gather/decide fan-out per block, one serial sync per block) and the
+// staleness horizon. The frontier quantifies the tradeoff the engine
+// exposes: Block = 1 is bit-identical to the sequential paper process and
+// synchronizes every round; large blocks synchronize rarely — the regime
+// where shard workers would scale on real cores — but drift toward
+// independent stale decisions, the parallel-allocation model the paper
+// argues against (§1, references [1, 16]). The gap column measures that
+// drift directly.
+//
+// The whole sweep (serial baseline + every block size) runs as one
+// Experiment on the shared worker pool. Results are deterministic given
+// the seed and independent of the worker count.
+func ShardFrontier(opts ShardFrontierOpts) ([]ShardFrontierPoint, error) {
+	if opts.K == 0 {
+		opts.K = 2
+	}
+	if opts.D == 0 {
+		opts.D = 8
+	}
+	if opts.Shards == 0 {
+		opts.Shards = 4
+	}
+	blocks := opts.Blocks
+	if len(blocks) == 0 {
+		blocks = []int{1, 4, 16, 64, 256}
+	}
+	base := kdchoice.Config{
+		Bins: opts.N, K: opts.K, D: opts.D,
+		Policy: kdchoice.KDChoice, Seed: normalizeSeed(opts.Seed),
+	}
+	// Cell 0 is the serial baseline; cell i+1 is the sharded engine at
+	// blocks[i].
+	cells := make([]kdchoice.Cell, 0, len(blocks)+1)
+	cells = append(cells, kdchoice.Cell{Config: base})
+	for _, b := range blocks {
+		cfg := base
+		cfg.Shards = opts.Shards
+		cfg.Block = b
+		cells = append(cells, kdchoice.Cell{Config: cfg})
+	}
+	rep, err := kdchoice.Experiment{
+		Cells: cells,
+		Runs:  opts.Runs,
+		Seed:  opts.Seed,
+	}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shard frontier: %w", err)
+	}
+	serialGap := rep.Cells[0].MeanGap
+	rounds := (opts.N + opts.K - 1) / opts.K
+	out := make([]ShardFrontierPoint, 0, len(blocks))
+	for i, b := range blocks {
+		c := &rep.Cells[i+1]
+		out = append(out, ShardFrontierPoint{
+			Block:        b,
+			Syncs:        (rounds + b - 1) / b,
+			MeanGap:      c.MeanGap,
+			GapInflation: c.MeanGap - serialGap,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "testing"
+
+func TestShardFrontier(t *testing.T) {
+	pts, err := ShardFrontier(ShardFrontierOpts{
+		N: 1 << 10, Runs: 6, Seed: 5,
+		Blocks: []int{1, 8, 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3", len(pts))
+	}
+	// Block = 1 is bit-identical to the serial baseline: zero inflation,
+	// not merely small.
+	if pts[0].Block != 1 || pts[0].GapInflation != 0 {
+		t.Fatalf("Block=1 inflation = %v, want exactly 0", pts[0].GapInflation)
+	}
+	rounds := 1 << 9 // n/k
+	for _, p := range pts {
+		want := (rounds + p.Block - 1) / p.Block
+		if p.Syncs != want {
+			t.Fatalf("Block=%d: Syncs = %d, want %d", p.Block, p.Syncs, want)
+		}
+		if p.MeanGap <= 0 {
+			t.Fatalf("Block=%d: gap not measured", p.Block)
+		}
+	}
+	// Staleness only hurts: the widest horizon must not beat the
+	// bit-identical point by more than run noise.
+	if pts[2].GapInflation < pts[0].GapInflation-0.2 {
+		t.Fatalf("Block=128 inflation %.3f below Block=1 %.3f", pts[2].GapInflation, pts[0].GapInflation)
+	}
+}
+
+func TestShardFrontierDefaults(t *testing.T) {
+	pts, err := ShardFrontier(ShardFrontierOpts{N: 256, Runs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("default sweep has %d points, want 5", len(pts))
+	}
+}

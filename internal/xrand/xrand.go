@@ -62,6 +62,25 @@ func NewStream(seed, id uint64) *Rand {
 	return New(splitmix64(&mixed))
 }
 
+// Split derives the id-th child generator from r's CURRENT state without
+// advancing r: the parent's 256-bit state is folded to one word, combined
+// with id, and diffused through splitmix64 exactly as NewStream diffuses
+// (seed, id). Splitting at different points of the parent's stream therefore
+// yields unrelated children, and the same (parent state, id) always yields
+// the same child — which is what lets coupled experiments run several
+// replicas (e.g. a serial process and a sharded one, or divergence-test
+// twins) from one base stream without the replicas sharing any draws.
+//
+// Note the sharded superstep engine itself does NOT use Split: its workers
+// are stream-free by design (all randomness is pre-drawn serially; per-ball
+// tie lotteries come from keyed hashes of a round nonce), which is what
+// makes sharded results independent of the worker count.
+func (r *Rand) Split(id uint64) *Rand {
+	st := r.s0 ^ bits.RotateLeft64(r.s1, 13) ^ bits.RotateLeft64(r.s2, 29) ^ bits.RotateLeft64(r.s3, 43)
+	mixed := splitmix64(&st) ^ (id * 0xda942042e4dd58b5)
+	return New(splitmix64(&mixed))
+}
+
 // Uint64 returns a uniformly distributed 64-bit value.
 //
 //kd:hotpath

@@ -67,6 +67,51 @@ func TestNewStreamDeterministic(t *testing.T) {
 	}
 }
 
+// TestSplitProperties: Split must be a pure function of (parent state, id)
+// — deterministic, non-advancing, and pairwise decorrelated across ids and
+// from the parent's own stream.
+func TestSplitProperties(t *testing.T) {
+	parent := New(1234)
+	parent.Uint64() // advance to a mid-stream state
+	a1 := parent.Split(7)
+	a2 := parent.Split(7)
+	if a1.Uint64() != a2.Uint64() {
+		t.Fatal("Split is not deterministic for equal (state, id)")
+	}
+	b := parent.Split(8)
+	same := 0
+	aa, bb := parent.Split(7), b
+	for i := 0; i < 1000; i++ {
+		if aa.Uint64() == bb.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split streams 7 and 8 collided %d times", same)
+	}
+	// Splitting must not advance the parent.
+	ref := New(1234)
+	ref.Uint64()
+	for i := 0; i < 16; i++ {
+		if parent.Uint64() != ref.Uint64() {
+			t.Fatalf("draw %d: Split advanced the parent stream", i)
+		}
+	}
+	// A child must not replay the parent's continuation.
+	parent2 := New(1234)
+	parent2.Uint64()
+	child := parent2.Split(0)
+	same = 0
+	for i := 0; i < 1000; i++ {
+		if child.Uint64() == parent2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("split child collided with parent continuation %d times", same)
+	}
+}
+
 func TestUint64nRange(t *testing.T) {
 	r := New(3)
 	if err := quick.Check(func(nRaw uint64) bool {

@@ -367,12 +367,23 @@ type Config struct {
 	// SketchDepth is the count-min row count (independent hash rows, at
 	// most 8) when Store is StoreSketch; 0 applies the default (2).
 	SketchDepth int
-	// Shards parallelizes the read-only decision phase of StaleBatch
-	// rounds over this many goroutines (0 or 1 = serial; bit-identical to
-	// serial for any value). Only the StaleBatch policy may shard: its
-	// balls decide independently against frozen round-start loads, which is
-	// exactly the intra-round independence that makes sharding
-	// semantics-preserving. Other policies reject Shards > 1.
+	// Shards engages the sharded superstep engine: bins are partitioned
+	// across this many workers, each block of rounds is decided in
+	// parallel against a frozen load snapshot (all randomness pre-drawn
+	// serially, so the stream never depends on the worker count), and
+	// placements apply serially in round order. Results are bit-identical
+	// across ANY shard count >= 2. Relative to serial: StaleBatch and
+	// SingleChoice are bit-identical always; KDChoice, fixed-σ
+	// Serialized, DChoice, and CoarseDChoice are bit-identical at
+	// Block = 1 and otherwise see each round's loads as of its block
+	// start (the staleness horizon is exactly Block rounds); OnePlusBeta
+	// matches the serial law in distribution only. Policies with
+	// data-dependent draw patterns reject Shards > 1.
+	//
+	// 0 = auto: GOMAXPROCS workers for StaleBatch (exact at any count),
+	// serial for every other policy — auto never changes the allocation
+	// law between hosts; sharding a staleness-coupled policy is an
+	// explicit opt-in.
 	Shards int
 }
 

@@ -142,11 +142,26 @@ func TestAllocatorBlockBitIdentical(t *testing.T) {
 	}
 }
 
-// TestShardsRejectedOutsideStaleBatch: the public config surfaces the core
-// sharding rule.
-func TestShardsRejectedOutsideStaleBatch(t *testing.T) {
-	if _, err := New(Config{Bins: 16, K: 1, D: 2, Shards: 2}); err == nil {
-		t.Fatal("KDChoice accepted Shards > 1")
+// TestShardsPublicSurface: the public config surfaces the core sharding
+// rules — fixed-prologue policies shard (KDChoice bit-identically to
+// serial at Block=1), adaptive policies still reject.
+func TestShardsPublicSurface(t *testing.T) {
+	ref, err := New(Config{Bins: 16, K: 1, D: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.PlaceAll()
+	sh, err := New(Config{Bins: 16, K: 1, D: 2, Seed: 9, Shards: 2, Block: 1})
+	if err != nil {
+		t.Fatalf("KDChoice rejected Shards=2: %v", err)
+	}
+	sh.PlaceAll()
+	if !reflect.DeepEqual(sh.Loads(), ref.Loads()) {
+		t.Fatal("sharded KDChoice at Block=1 diverged from serial")
+	}
+	sh.Close()
+	if _, err := New(Config{Bins: 16, K: 2, D: 4, Policy: AdaptiveKD, Shards: 2}); err == nil {
+		t.Fatal("AdaptiveKD accepted Shards > 1")
 	}
 	a, err := New(Config{Bins: 16, K: 4, D: 2, Policy: StaleBatch, Shards: 2})
 	if err != nil {
@@ -156,6 +171,7 @@ func TestShardsRejectedOutsideStaleBatch(t *testing.T) {
 	if a.Balls() != 16 {
 		t.Fatalf("sharded StaleBatch placed %d balls", a.Balls())
 	}
+	a.Close()
 }
 
 // TestExperimentCollectProfiles: streamed profiles flow through the public

@@ -8,7 +8,8 @@
 #                          the pipelined engine end to end)
 #   scripts/ci.sh bench    refresh the tracked benchmark grids
 #                          (BENCH_kd.json, BENCH_scale.json,
-#                          BENCH_serve.json and BENCH_approx.json)
+#                          BENCH_serve.json, BENCH_approx.json and
+#                          BENCH_parallel.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +22,8 @@ if [ "${1:-}" = "bench" ]; then
     go run ./cmd/bench -serve -out BENCH_serve.json
     echo "==> refreshing BENCH_approx.json (approximate-store grid, ~60s)"
     go run ./cmd/bench -approx -out BENCH_approx.json
+    echo "==> refreshing BENCH_parallel.json (shard-count series, ~60s)"
+    go run ./cmd/bench -parallel -out BENCH_parallel.json
     exit 0
 fi
 
@@ -51,6 +54,13 @@ go test ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> sharded engine smoke: GOMAXPROCS 1 and 4 (bit-identity is host-independent)"
+# The sharded superstep engine must produce identical results whether its
+# workers multiplex one core or spread over several; the -race pass above
+# already runs at the host's default, so this leg pins both extremes.
+GOMAXPROCS=1 go test -run 'TestSharded|TestStaleBatch|TestShardsPublicSurface' ./internal/core/ .
+GOMAXPROCS=4 go test -race -run 'TestSharded|TestStaleBatch|TestShardsPublicSurface' ./internal/core/ .
+
 echo "==> fuzz smoke: spec parsers (10s per target)"
 # Short deterministic-budget runs of the native fuzz targets over every
 # string-spec parser (policy, store, churn, weights). Longer sessions:
@@ -72,6 +82,10 @@ echo "==> bench smoke: explicit superstep sizes (-block 1 and 7, bit-identical e
 go run ./cmd/bench -quick -block 1 -out ''
 go run ./cmd/bench -quick -block 7 -out ''
 
+echo "==> bench smoke: sharded ablation and worker-count series (-shards 3, -parallel)"
+go run ./cmd/bench -quick -shards 3 -out ''
+go run ./cmd/bench -parallel -quick -out ''
+
 echo "==> bench smoke: scale grid on the nibble store (-scale -quick -store nibble)"
 go run ./cmd/bench -scale -quick -store nibble -out ''
 
@@ -86,10 +100,13 @@ go run ./cmd/kdsim -n 4096 -m 20000 -d 2 -beta 1 -runs 2 \
     -churn diurnal:0.0005,0.5 -weights zipf:1.5,64 -store hist
 
 echo "==> perf ratchet: tracked cells vs committed BENCH_kd.json (warns, never fails)"
-# Re-times the two acceptance cells at full size against the committed
-# trajectory. A >15% regression prints a PERF WARNING but does not fail the
-# pipeline (benchmark boxes are noisy); treat warnings as a prompt to run
-# `scripts/ci.sh bench` and investigate before refreshing the JSONs.
+# Re-times the serial, 4-shard and pipelined acceptance cells at full size
+# against the committed trajectory. A >15% regression prints a PERF
+# WARNING but does not fail the pipeline (benchmark boxes are noisy);
+# treat warnings as a prompt to run `scripts/ci.sh bench` and investigate
+# before refreshing the JSONs. The sharded cell is the parallel-engine
+# ratchet: it regresses when the superstep machinery itself slows down,
+# independent of how many cores the box offers.
 go run ./cmd/bench -compare BENCH_kd.json || echo "perf ratchet skipped (bench error)"
 
 echo "==> perf ratchet: tracked serving cell vs committed BENCH_serve.json (warns, never fails)"
