@@ -455,6 +455,9 @@ type AppMetrics struct {
 	// SearchCost is the probes needed to retrieve all copies of one file
 	// (storage only).
 	SearchCost int
+	// Faults holds the run's fault counters (online serving under a fault
+	// plan; zero elsewhere).
+	Faults FaultCounters
 }
 
 // MessagesPerUnit returns the run's amortized message cost.
@@ -571,6 +574,9 @@ type StudyCellResult struct {
 	// MessagesPerUnit is total messages over total units across runs — the
 	// paper's amortized cost measure (probes/job, msgs/file, msgs/ball).
 	MessagesPerUnit float64
+	// TotalFaults sums the fault counters over runs; zero unless the cell
+	// ran under an active fault plan.
+	TotalFaults FaultCounters
 }
 
 // Label returns the cell's display name.
@@ -592,6 +598,7 @@ func newStudyCellResult(index int, cell AppCell, runs []AppMetrics) StudyCellRes
 		p95.Add(m.P95Response)
 		totalMsgs += m.Messages
 		totalUnits += m.Units
+		r.TotalFaults.Add(m.Faults)
 	}
 	r.MeanMaxLoad = maxes.Mean()
 	r.MeanGap = gaps.Mean()
@@ -641,6 +648,12 @@ func (s *StorageSystem) IngestAll() { s.sys.IngestAll() }
 // FailServer kills server sv, drops its copies, and re-replicates every
 // affected file; it returns the number of copies re-replicated.
 func (s *StorageSystem) FailServer(sv int) int { return s.sys.FailServer(sv) }
+
+// RecoverServer is the inverse of FailServer: it returns server sv to the
+// alive set (empty) and repairs under-replicated files by re-placing each
+// dropped copy, returning the number of copies restored. Recovering an
+// alive server is a no-op.
+func (s *StorageSystem) RecoverServer(sv int) int { return s.sys.RecoverServer(sv) }
 
 // ReplicationOK reports whether every file still has K live copies on
 // distinct (when configured) servers.

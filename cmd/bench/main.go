@@ -31,6 +31,13 @@
 // O(1)-amortized deletes and the specialized kernels: its floor is 1M
 // ops/sec at 0 allocs/op.
 //
+// The faults grid (-faults) is the serving grid under deterministic fault
+// plans: the tracked serving mix with bin outages + probe loss + retries +
+// eviction attached (and a degradation ablation alongside), tracked in
+// BENCH_faults.json. Its floor is the serving floor with the plan's extra
+// probes priced in, still at 0 allocs/op — -comparefaults FAILS (not
+// warns) if the faulty hot path ever allocates.
+//
 // The approx grid (-approx) is the sub-byte store trajectory: the
 // acceptance shape on the exact compact baseline vs the nibble store
 // (~0.5 B/bin, exact) vs the count-min sketch store (<0.5 B/bin,
@@ -43,11 +50,13 @@
 //	bench [-out BENCH_kd.json] [-quick]             # micro grid
 //	bench -scale [-out BENCH_scale.json] [-quick]   # scale grid
 //	bench -serve [-out BENCH_serve.json] [-quick]   # serving grid
+//	bench -faults [-out BENCH_faults.json] [-quick] # faulty serving grid
 //	bench -approx [-out BENCH_approx.json] [-quick] # approximate-store grid
 //	bench -parallel [-out BENCH_parallel.json]      # shard-count series
 //	bench -compare BENCH_kd.json                    # perf ratchet (CI)
 //	bench -compareserve BENCH_serve.json            # serving ratchet (CI)
 //	bench -compareapprox BENCH_approx.json          # approx ratchet (CI)
+//	bench -comparefaults BENCH_faults.json          # fault-layer ratchet (CI)
 //	bench -cpuprofile cpu.out -memprofile mem.out   # hot-path diagnosis
 //
 // -quick shrinks the grids to tiny cells (for smoke tests); tracked results
@@ -613,6 +622,9 @@ type serveCell struct {
 	// (the weighted-add kernel path); 1 keeps unit weights.
 	MaxWeight int
 	Store     kdchoice.Store
+	// Faults, when non-empty, is a fault-plan spec (kdchoice.ParseFaults)
+	// attached to the cell's allocator — the -faults grid rows.
+	Faults string
 }
 
 // serveResult is the serialized outcome of one serving-grid cell.
@@ -624,6 +636,7 @@ type serveResult struct {
 	Beta        float64 `json:"beta"`
 	Churn       float64 `json:"churn"`
 	MaxWeight   int     `json:"max_weight,omitempty"`
+	Faults      string  `json:"faults,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -644,6 +657,9 @@ func serveCellName(c serveCell) string {
 	name := fmt.Sprintf("serve/n=%d,d=%d,beta=%g,churn=%g,store=%v", c.N, c.D, c.Beta, c.Churn, c.Store)
 	if c.MaxWeight > 1 {
 		name += fmt.Sprintf(",w=%d", c.MaxWeight)
+	}
+	if c.Faults != "" {
+		name += ",faults=" + c.Faults
 	}
 	return name
 }
@@ -681,6 +697,13 @@ func runServeCell(c serveCell) (serveResult, error) {
 		Beta:   c.Beta,
 		Store:  c.Store,
 		Seed:   1,
+	}
+	if c.Faults != "" {
+		plan, err := kdchoice.ParseFaults(c.Faults)
+		if err != nil {
+			return serveResult{}, fmt.Errorf("cell %s: %w", c.Name, err)
+		}
+		cfg.Faults = &plan
 	}
 	probe, err := kdchoice.New(cfg)
 	if err != nil {
@@ -739,6 +762,7 @@ func runServeCell(c serveCell) (serveResult, error) {
 		Beta:        c.Beta,
 		Churn:       c.Churn,
 		MaxWeight:   c.MaxWeight,
+		Faults:      c.Faults,
 		NsPerOp:     ns,
 		BytesPerOp:  br.AllocedBytesPerOp(),
 		AllocsPerOp: br.AllocsPerOp(),
@@ -820,6 +844,110 @@ func runCompareServe(path string, out io.Writer) error {
 	if res.AllocsPerOp > 0 {
 		fmt.Fprintf(out, "PERF WARNING: %s allocates %d/op; the serving hot path is tracked at 0 allocs/op\n",
 			c.Name, res.AllocsPerOp)
+	}
+	return nil
+}
+
+// trackedFaultSpec is the fault plan of the tracked faulty serving cell:
+// sparse bin outages with recovery and eviction, 10% probe loss, and a
+// 2-probe retry budget — every fault-layer hot path exercised at once.
+const trackedFaultSpec = "fail:0.0005,200+loss:0.1+retry:2+evict"
+
+// faultsGrid returns the faulty serving cells: the tracked acceptance
+// cell first (the full plan on the histogram store), then the
+// degradation ablation — loss alone, loss with retries, heavy loss with
+// a deep budget, outage/eviction alone, and the dense-store column.
+func faultsGrid(quick bool) []serveCell {
+	n := 100000
+	if quick {
+		n = 4096
+	}
+	cells := []serveCell{
+		{N: n, D: 2, Beta: 1, Churn: 0.4, Store: kdchoice.StoreHist, Faults: trackedFaultSpec},
+		{N: n, D: 2, Beta: 1, Churn: 0.4, Store: kdchoice.StoreHist, Faults: "loss:0.1"},
+		{N: n, D: 2, Beta: 1, Churn: 0.4, Store: kdchoice.StoreHist, Faults: "loss:0.1+retry:2"},
+		{N: n, D: 2, Beta: 1, Churn: 0.4, Store: kdchoice.StoreHist, Faults: "loss:0.3+retry:8"},
+		{N: n, D: 2, Beta: 1, Churn: 0.4, Store: kdchoice.StoreHist, Faults: "fail:0.0005,200+evict"},
+		{N: n, D: 2, Beta: 1, Churn: 0.4, Store: kdchoice.StoreDense, Faults: "loss:0.1+retry:2"},
+	}
+	for i := range cells {
+		cells[i].Name = serveCellName(cells[i])
+	}
+	return cells
+}
+
+// runFaults executes the faulty serving grid and writes BENCH_faults.json.
+func runFaults(quick bool, outPath string, out io.Writer) error {
+	rep := serveReport{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	for _, c := range faultsGrid(quick) {
+		res, err := runServeCell(c)
+		if err != nil {
+			return err
+		}
+		rep.Cells = append(rep.Cells, res)
+		fmt.Fprintf(out, "%-76s %10.0f ns/op %14.0f ops/sec %3d allocs\n",
+			res.Name, res.NsPerOp, res.OpsPerSec, res.AllocsPerOp)
+	}
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", outPath)
+	return nil
+}
+
+// runCompareFaults re-times the tracked faulty serving cell at full size
+// against a committed BENCH_faults.json. Time regressions warn without
+// failing (the serving-ratchet contract), but any per-op heap allocation
+// is an error: the fault layer is tracked at 0 allocs/op, so an
+// allocation means a hot-path buffer escaped.
+func runCompareFaults(path string, out io.Writer) error {
+	const threshold = 1.15
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("comparefaults: %w", err)
+	}
+	var tracked serveReport
+	if err := json.Unmarshal(data, &tracked); err != nil {
+		return fmt.Errorf("comparefaults: parsing %s: %w", path, err)
+	}
+	// The tracked acceptance cell, constructed directly so grid edits can
+	// never redirect the ratchet.
+	c := serveCell{N: 100000, D: 2, Beta: 1, Churn: 0.4, Store: kdchoice.StoreHist, Faults: trackedFaultSpec}
+	c.Name = serveCellName(c)
+	var prev *serveResult
+	for i := range tracked.Cells {
+		if tracked.Cells[i].Name == c.Name {
+			prev = &tracked.Cells[i]
+			break
+		}
+	}
+	if prev == nil || prev.NsPerOp <= 0 {
+		fmt.Fprintf(out, "PERF WARNING: tracked faulty serving cell %q missing from %s\n", c.Name, path)
+		return nil
+	}
+	res, err := runServeCell(c)
+	if err != nil {
+		return err
+	}
+	ratio := res.NsPerOp / prev.NsPerOp
+	fmt.Fprintf(out, "%-76s tracked %6.0f ns/op, now %6.0f ns/op (%.2fx)\n",
+		c.Name, prev.NsPerOp, res.NsPerOp, ratio)
+	switch {
+	case ratio > threshold:
+		fmt.Fprintf(out, "PERF WARNING: %s regressed %.0f%% vs %s (threshold %.0f%%)\n",
+			c.Name, (ratio-1)*100, path, (threshold-1)*100)
+	default:
+		fmt.Fprintln(out, "comparefaults: tracked cell within threshold")
+	}
+	if res.AllocsPerOp > 0 {
+		return fmt.Errorf("comparefaults: %s allocates %d/op; the faulty serving hot path is tracked at 0 allocs/op", c.Name, res.AllocsPerOp)
 	}
 	return nil
 }
@@ -997,12 +1125,14 @@ func run(args []string, out io.Writer) error {
 	serve := fs.Bool("serve", false, "run the online-serving grid (mixed insert/delete streams) instead of the micro grid")
 	approx := fs.Bool("approx", false, "run the approximate-store grid (compact vs nibble vs sketch) instead of the micro grid")
 	parallel := fs.Bool("parallel", false, "run the sharded-engine worker-count series (Shards = 1, 2, 4, 8) instead of the micro grid")
+	faultsFlag := fs.Bool("faults", false, "run the faulty serving grid (deterministic fault plans on the serving mix) instead of the micro grid")
 	block := fs.Int("block", 0, "superstep size in rounds applied to every cell (0 = auto, bit-identical for any value)")
 	shardsFlag := fs.Int("shards", 0, "shard count applied to every micro-grid cell (ablation; bit-identical for any count >= 2; requires -out '')")
 	storeFlag := fs.String("store", "", "bin store applied to every micro/scale cell (ablation; one of "+strings.Join(kdchoice.StoreNames(), ", ")+"; requires -out '')")
 	compare := fs.String("compare", "", "compare the tracked acceptance cells against this BENCH_kd.json and warn (non-fatal) on >15% regression")
 	compareServe := fs.String("compareserve", "", "compare the tracked serving cell against this BENCH_serve.json and warn (non-fatal) on >15% regression")
 	compareApprox := fs.String("compareapprox", "", "compare the tracked n=1e8 nibble cell against this BENCH_approx.json and warn (non-fatal) on >15% regression or a blown B/bin budget")
+	compareFaults := fs.String("comparefaults", "", "compare the tracked faulty serving cell against this BENCH_faults.json: warn (non-fatal) on >15% regression, FAIL on any per-op allocation")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	if err := fs.Parse(args); err != nil {
@@ -1043,7 +1173,7 @@ func run(args []string, out io.Writer) error {
 		}
 	})
 	ratchets := 0
-	for _, r := range []string{*compare, *compareServe, *compareApprox} {
+	for _, r := range []string{*compare, *compareServe, *compareApprox, *compareFaults} {
 		if r != "" {
 			ratchets++
 		}
@@ -1052,29 +1182,31 @@ func run(args []string, out io.Writer) error {
 		// The ratchets always re-time the full-size acceptance cells
 		// against the named file; silently dropping grid flags would make
 		// `-quick -compare` look like a smoke check it is not.
-		if *quick || *scale || *serve || *approx || *parallel || *block != 0 || *shardsFlag != 0 || *storeFlag != "" || outSet {
-			return fmt.Errorf("the -compare* ratchets cannot be combined with -quick, -scale, -serve, -approx, -parallel, -block, -shards, -store or -out (they always re-time the full-size acceptance cells)")
+		if *quick || *scale || *serve || *approx || *parallel || *faultsFlag || *block != 0 || *shardsFlag != 0 || *storeFlag != "" || outSet {
+			return fmt.Errorf("the -compare* ratchets cannot be combined with -quick, -scale, -serve, -approx, -parallel, -faults, -block, -shards, -store or -out (they always re-time the full-size acceptance cells)")
 		}
 		if ratchets > 1 {
-			return fmt.Errorf("-compare, -compareserve and -compareapprox are separate ratchets; run them one at a time")
+			return fmt.Errorf("-compare, -compareserve, -compareapprox and -comparefaults are separate ratchets; run them one at a time")
 		}
 		switch {
 		case *compare != "":
 			return runCompare(*compare, out)
 		case *compareServe != "":
 			return runCompareServe(*compareServe, out)
+		case *compareFaults != "":
+			return runCompareFaults(*compareFaults, out)
 		default:
 			return runCompareApprox(*compareApprox, out)
 		}
 	}
 	grids := 0
-	for _, g := range []bool{*scale, *serve, *approx, *parallel} {
+	for _, g := range []bool{*scale, *serve, *approx, *parallel, *faultsFlag} {
 		if g {
 			grids++
 		}
 	}
 	if grids > 1 {
-		return fmt.Errorf("-scale, -serve, -approx and -parallel select different grids; run them one at a time")
+		return fmt.Errorf("-scale, -serve, -approx, -parallel and -faults select different grids; run them one at a time")
 	}
 	if !outSet {
 		switch {
@@ -1086,6 +1218,8 @@ func run(args []string, out io.Writer) error {
 			path = "BENCH_approx.json"
 		case *parallel:
 			path = "BENCH_parallel.json"
+		case *faultsFlag:
+			path = "BENCH_faults.json"
 		default:
 			path = "BENCH_kd.json"
 		}
@@ -1104,12 +1238,15 @@ func run(args []string, out io.Writer) error {
 		// BENCH_*.json.
 		return fmt.Errorf("-block/-shards/-store runs are ablations: use -out '' (stdout only) so the override cannot overwrite a tracked trajectory")
 	}
-	if *serve {
+	if *serve || *faultsFlag {
 		if *block != 0 || *shardsFlag != 0 {
-			return fmt.Errorf("-block/-shards apply to the round-based grids, not the serving grid")
+			return fmt.Errorf("-block/-shards apply to the round-based grids, not the serving grids")
 		}
 		if *storeFlag != "" {
-			return fmt.Errorf("-store applies to the micro and scale grids; the serving grid carries its own store column")
+			return fmt.Errorf("-store applies to the micro and scale grids; the serving grids carry their own store column")
+		}
+		if *faultsFlag {
+			return runFaults(*quick, path, out)
 		}
 		return runServe(*quick, path, out)
 	}

@@ -26,6 +26,12 @@
 // exp:MEAN, uniform:LO,HI, zipf:S,MAX) switch to the online serving mode:
 // a churned operation stream of -m operations served by the (1+β) family
 // with -d probes and -beta, instead of a one-shot placement.
+//
+// -faults attaches a deterministic fault plan to either mode: '+'-joined
+// clauses fail:R[,T] (bin outages), loss:P (probe loss), noise:B (stale
+// reads), retry:R (probe retry budget), evict (re-place balls out of
+// failing bins). Faulty runs are bit-reproducible for any -shards value
+// and report the fault counters alongside the load statistics.
 package main
 
 import (
@@ -64,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	profile := fs.Int("profile", 10, "print the top P mean sorted loads (0 to disable)")
 	churnName := fs.String("churn", "none", "serving churn model: "+strings.Join(kdchoice.ChurnNames(), ", ")+" (non-none serves an online stream)")
 	weightsName := fs.String("weights", "", "serving ball weights: "+strings.Join(kdchoice.WeightNames(), ", ")+" (empty = unit)")
+	faultsSpec := fs.String("faults", "none", "deterministic fault plan: '+'-joined fail:R[,T], loss:P, noise:B, retry:R, evict (e.g. fail:0.001,200+loss:0.1+retry:2)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,8 +83,18 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var faultPlan *kdchoice.FaultPlan
+	if *faultsSpec != "none" {
+		plan, err := kdchoice.ParseFaults(*faultsSpec)
+		if err != nil {
+			return err
+		}
+		if !plan.Empty() {
+			faultPlan = &plan
+		}
+	}
 	if *churnName != "none" || *weightsName != "" {
-		return runServe(out, *n, *d, *m, *runs, *beta, *seed, store, *churnName, *weightsName)
+		return runServe(out, *n, *d, *m, *runs, *beta, *seed, store, *churnName, *weightsName, faultPlan)
 	}
 	rep, err := kdchoice.Experiment{
 		Cells: []kdchoice.Cell{{Config: kdchoice.Config{
@@ -90,6 +107,7 @@ func run(args []string, out io.Writer) error {
 			Pipeline: *pipeline,
 			Block:    *block,
 			Shards:   *shards,
+			Faults:   faultPlan,
 			Seed:     *seed,
 		}}},
 		Balls:        *m,
@@ -119,6 +137,14 @@ func run(args []string, out io.Writer) error {
 	t.AddRowf("gap max-avg (mean)", fmt.Sprintf("%.3f", res.MeanGap))
 	t.AddRowf("messages (mean)", fmt.Sprintf("%.0f", res.MeanMessages))
 	t.AddRowf("messages per ball", fmt.Sprintf("%.3f", res.MeanMessages/float64(balls)))
+	if faultPlan != nil {
+		f := res.TotalFaults
+		t.AddRowf("faults: plan", faultPlan.String())
+		t.AddRowf("faults: outages / recoveries", fmt.Sprintf("%d / %d", f.Outages, f.Recoveries))
+		t.AddRowf("faults: probes lost / retries", fmt.Sprintf("%d / %d", f.ProbesLost, f.Retries))
+		t.AddRowf("faults: degraded / fallbacks", fmt.Sprintf("%d / %d", f.Degraded, f.Fallbacks))
+		t.AddRowf("faults: evictions / replacements", fmt.Sprintf("%d / %d", f.Evictions, f.Replacements))
+	}
 	if policy == kdchoice.KDChoice && *k >= 1 && *d > *k {
 		t.AddRowf("theory: d_k", fmt.Sprintf("%.3f", kdchoice.Dk(*k, *d)))
 		t.AddRowf("theory: gap term", fmt.Sprintf("%.3f", kdchoice.PredictGapTerm(*k, *d, *n)))
@@ -147,7 +173,7 @@ func run(args []string, out io.Writer) error {
 
 // runServe runs the online serving mode: a churned operation stream served
 // by the (1+β)-capable family, reported on the gap/message axes.
-func runServe(out io.Writer, n, d, ops, runs int, beta float64, seed uint64, store kdchoice.Store, churnName, weightsName string) error {
+func runServe(out io.Writer, n, d, ops, runs int, beta float64, seed uint64, store kdchoice.Store, churnName, weightsName string, faultPlan *kdchoice.FaultPlan) error {
 	spec, err := kdchoice.ParseChurn(churnName)
 	if err != nil {
 		return err
@@ -160,12 +186,13 @@ func runServe(out io.Writer, n, d, ops, runs int, beta float64, seed uint64, sto
 		spec.Weights = w
 	}
 	cell := kdchoice.ChurnCell{
-		Bins:  n,
-		D:     d,
-		Beta:  beta,
-		Ops:   ops,
-		Churn: spec,
-		Store: store,
+		Bins:   n,
+		D:      d,
+		Beta:   beta,
+		Ops:    ops,
+		Churn:  spec,
+		Store:  store,
+		Faults: faultPlan,
 	}
 	rep, err := kdchoice.Study{
 		Cells: []kdchoice.AppCell{cell},
@@ -186,6 +213,14 @@ func runServe(out io.Writer, n, d, ops, runs int, beta float64, seed uint64, sto
 	t.AddRowf("max load (mean)", fmt.Sprintf("%.3f", res.MeanMaxLoad))
 	t.AddRowf("messages (mean)", fmt.Sprintf("%.0f", res.MeanMessages))
 	t.AddRowf("messages per op", fmt.Sprintf("%.3f", res.MessagesPerUnit))
+	if faultPlan != nil {
+		f := res.TotalFaults
+		t.AddRowf("faults: plan", faultPlan.String())
+		t.AddRowf("faults: outages / recoveries", fmt.Sprintf("%d / %d", f.Outages, f.Recoveries))
+		t.AddRowf("faults: probes lost / retries", fmt.Sprintf("%d / %d", f.ProbesLost, f.Retries))
+		t.AddRowf("faults: degraded / fallbacks", fmt.Sprintf("%d / %d", f.Degraded, f.Fallbacks))
+		t.AddRowf("faults: evictions / replacements", fmt.Sprintf("%d / %d", f.Evictions, f.Replacements))
+	}
 	fmt.Fprint(out, t.Text())
 	return nil
 }

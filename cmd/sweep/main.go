@@ -12,6 +12,8 @@
 //	sweep -exp lemmas    — Lemma 2/11 occupancy bounds and the Lemma 4 overflow tail
 //	sweep -exp pipeline  — distributed protocol: balance vs makespan as concurrent
 //	                       dispatcher rounds decide on stale load reports
+//	sweep -exp faults    — robustness frontier: gap inflation vs probe-loss
+//	                       rate × retry budget under the fault layer
 //
 // Each experiment accepts -n, -runs, and -seed. Use -format csv for plots.
 package main
@@ -67,6 +69,8 @@ func run(args []string, out io.Writer) error {
 		tbl, err = lemmasTable(*n, *runs, *seed)
 	case "pipeline":
 		tbl, err = pipelineTable(*runs, *seed)
+	case "faults":
+		tbl, err = faultsTable(*n, *runs, *seed)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -237,6 +241,24 @@ func pipelineTable(runs int, seed uint64) (*table.Table, error) {
 		t.AddRowf(p.Pipeline,
 			fmt.Sprintf("%.2f", p.MeanMax), fmt.Sprintf("%.1f", p.MeanMakespan),
 			fmt.Sprintf("%.2f", p.MsgsPerBall))
+	}
+	return t, nil
+}
+
+func faultsTable(n, runs int, seed uint64) (*table.Table, error) {
+	pts, err := experiments.FaultFrontier(experiments.FaultFrontierOpts{
+		N: n, Runs: runs, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := table.New("loss rate", "retry budget", "mean gap", "gap inflation",
+		"probes lost/run", "retries/run", "fallbacks/run")
+	for _, p := range pts {
+		t.AddRowf(fmt.Sprintf("%.2f", p.LossRate), p.Retry,
+			fmt.Sprintf("%.3f", p.MeanGap), fmt.Sprintf("%+.3f", p.GapInflation),
+			fmt.Sprintf("%.0f", p.ProbesLost), fmt.Sprintf("%.0f", p.Retries),
+			fmt.Sprintf("%.1f", p.Fallbacks))
 	}
 	return t, nil
 }

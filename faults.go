@@ -1,0 +1,48 @@
+package kdchoice
+
+// Public surface of the deterministic fault-injection layer
+// (internal/faults). A FaultPlan attached to Config schedules bin
+// outages with recovery, per-probe loss, and bounded-staleness read
+// noise, all drawn from dedicated streams split off Config.Seed: every
+// faulty run is bit-reproducible for any Workers/Shards setting, and a
+// nil or empty plan is bit-identical to a run built before the fault
+// layer existed.
+
+import (
+	"fmt"
+
+	"repro/internal/faults"
+)
+
+// FaultPlan is a deterministic fault schedule. The zero value injects
+// nothing. See ParseFaults for the compact spec grammar.
+type FaultPlan = faults.Plan
+
+// FaultCounters tallies fault events and degradation actions over a
+// run: outages, recoveries, probes lost, retries spent, degraded
+// decisions, uniform fallbacks, evictions, and replacements.
+type FaultCounters = faults.Counters
+
+// ParseFaults parses a compact fault-plan spec: '+'-separated clauses
+// from
+//
+//	none            no faults (the empty plan)
+//	fail:R[,T]      each tick a bin fails w.p. R, down for T ticks (default 256)
+//	loss:P          each probe to an up bin is lost w.p. P (probes to down bins are always lost)
+//	noise:B         each load read is stale by a uniform amount in [0, B]
+//	retry:R         degraded decisions redraw up to R replacement probes
+//	evict           live balls in a failing bin are re-placed on failure
+//
+// Example: "fail:0.001,200+loss:0.1+retry:2+evict". Accepted plans
+// round-trip through FaultPlan.String.
+func ParseFaults(s string) (FaultPlan, error) {
+	p, err := faults.Parse(s)
+	if err != nil {
+		return FaultPlan{}, fmt.Errorf("kdchoice: %w", err)
+	}
+	return p, nil
+}
+
+// FaultCounters returns the cumulative fault counters for this
+// allocator (zero when no fault plan is attached).
+func (a *Allocator) FaultCounters() FaultCounters { return a.pr.FaultCounters() }

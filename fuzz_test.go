@@ -97,6 +97,44 @@ func FuzzParseChurn(f *testing.F) {
 	})
 }
 
+func FuzzParseFaults(f *testing.F) {
+	f.Add("none")
+	f.Add("loss:0.1")
+	f.Add("fail:0.001,200")
+	f.Add("fail:0.001")
+	f.Add("noise:2")
+	f.Add("retry:3")
+	f.Add("evict")
+	f.Add("fail:0.0005,200+loss:0.1+retry:2+evict")
+	f.Add("loss:0.1+loss:0.2")
+	f.Add("loss:1.5")
+	f.Add("loss:NaN")
+	f.Add("retry:-1")
+	f.Add("fail:0.5,0")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseFaults(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "kdchoice:") {
+				t.Fatalf("ParseFaults(%q) error lacks package prefix: %v", s, err)
+			}
+			return
+		}
+		// Accepted plans satisfy the documented invariants...
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParseFaults(%q) accepted an invalid plan %+v: %v", s, p, err)
+		}
+		// ...and round-trip through the canonical rendering.
+		back, err := ParseFaults(p.String())
+		if err != nil {
+			t.Fatalf("ParseFaults(%q) = %+v, but re-parsing %q failed: %v", s, p, p.String(), err)
+		}
+		if back != p {
+			t.Fatalf("round trip changed the plan: %q -> %+v -> %q -> %+v", s, p, p.String(), back)
+		}
+	})
+}
+
 func FuzzParseWeights(f *testing.F) {
 	f.Add("fixed:4")
 	f.Add("exp:2")

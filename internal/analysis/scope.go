@@ -20,6 +20,7 @@ const modulePath = "repro"
 var simPackages = map[string]bool{
 	modulePath:                        true, // root: Experiment/Study/serving layer
 	modulePath + "/internal/core":     true,
+	modulePath + "/internal/faults":   true, // fault schedules feed placement decisions
 	modulePath + "/internal/sim":      true,
 	modulePath + "/internal/loadvec":  true,
 	modulePath + "/internal/workload": true,

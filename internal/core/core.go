@@ -61,6 +61,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/loadvec"
 	"repro/internal/xrand"
 )
@@ -272,6 +273,22 @@ type Params struct {
 	// VecNorm is the aggregation norm of vector mode (zero value: the
 	// bottleneck-resource max-component norm, loadvec.NormLInf).
 	VecNorm loadvec.Norm
+	// Faults attaches a deterministic fault-injection plan (faults.go):
+	// seeded bin outages with recovery, per-probe loss, bounded read
+	// noise, and the graceful-degradation policies (retry / degrade-d /
+	// evict-recover). Nil or empty means no faults — bit-identical to a
+	// process built without the field, at zero extra cost. A non-empty
+	// plan forces serial decisions: results are then bit-identical for
+	// ANY Shards/Pipeline/Block setting. Supported by the (k,d) round
+	// family (kd, fixed-σ kd-serialized) and the per-ball serving family
+	// (single, dchoice, dchoice-coarse, oneplusbeta, threshold), scalar
+	// mode only.
+	Faults *faults.Plan
+}
+
+// faultsActive reports whether p carries a non-empty fault plan.
+func faultsActive(p Params) bool {
+	return p.Faults != nil && !p.Faults.Empty()
 }
 
 // Observer receives a callback after every round. It is intended for tests
@@ -367,6 +384,18 @@ type Process struct {
 	obsPlaced  []int
 	obsHeights []int
 	obsPairBuf []int // 1-2 sampled bins of a per-ball online decision
+
+	// flt is the fault injector (faults.go), non-nil only when a
+	// non-empty Params.Faults plan is attached. Every fault hook on the
+	// hot path is guarded by a flt == nil check, so no-plan processes pay
+	// nothing. The flt* slices are the degraded paths' pre-allocated
+	// scratch (probe survivors, their sorted copy, the degraded slot
+	// list, the two-probe pair).
+	flt        *faults.Injector
+	fltSamples []int
+	fltSort    []int
+	fltSlots   []slot
+	fltPair    []int
 }
 
 // slot is one conceptual ball of a round: the i-th sample of bin b this
@@ -406,6 +435,29 @@ func New(policy Policy, p Params, rng xrand.Source) (*Process, error) {
 		store:  store,
 		n:      p.N,
 		kern:   newKernel(store),
+	}
+	if faultsActive(p) {
+		// The injector's streams are split off the root stream WITHOUT
+		// advancing it, and the split must happen before any engine takes
+		// rng ownership (a pipelined producer draws concurrently from
+		// here on). Splitting requires the concrete xrand.Rand; every
+		// construction path in the repository passes one.
+		base, ok := rng.(*xrand.Rand)
+		if !ok {
+			return nil, fmt.Errorf("core: fault injection requires a splittable *xrand.Rand root stream, got %T", rng)
+		}
+		pr.flt = faults.NewInjector(*p.Faults, p.N, base)
+		if p.Faults.Evict {
+			pr.flt.OnFail = pr.evictBin
+		}
+		width := p.D + p.Faults.Retry
+		if width < 2 {
+			width = 2
+		}
+		pr.fltSamples = make([]int, 0, width)
+		pr.fltSort = make([]int, 0, width)
+		pr.fltSlots = make([]slot, 0, width)
+		pr.fltPair = make([]int, 2)
 	}
 	shards := effectiveShards(policy, p)
 	if shards > 1 {
@@ -573,6 +625,25 @@ func Validate(policy Policy, p Params) error {
 	}
 	if p.VecDims < 0 {
 		return fmt.Errorf("core: VecDims = %d, must be non-negative", p.VecDims)
+	}
+	if faultsActive(p) {
+		if err := p.Faults.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		switch policy {
+		case KDChoice, SerializedKD, DChoice, SingleChoice, OnePlusBeta, ThresholdChoice, CoarseDChoice:
+		default:
+			return fmt.Errorf("core: fault injection supports kd, kd-serialized, dchoice, dchoice-coarse, single, oneplusbeta and threshold; %v has no degraded path", policy)
+		}
+		if p.VecDims > 0 {
+			return fmt.Errorf("core: fault injection is scalar-mode only (degraded vector-load decisions are not defined)")
+		}
+		if policy == SerializedKD && p.RandomSigma {
+			return fmt.Errorf("core: fault injection requires a fixed σ for kd-serialized (the degraded round subsumes the placement order)")
+		}
+		if p.Faults.Evict && !onlineEligible(policy) {
+			return fmt.Errorf("core: faults clause \"evict\" requires an online-serving policy (single, dchoice, oneplusbeta, threshold, dchoice-coarse); %v does not register balls", policy)
+		}
 	}
 	if p.VecDims > 0 {
 		if !vecEligible(policy) {
@@ -780,6 +851,11 @@ func (pr *Process) Reset() {
 		// drawn randomness is kept (the stream is not rewound).
 		pr.shard.invalidate()
 	}
+	if pr.flt != nil {
+		// All bins come back up and the fault counters zero; like the
+		// main stream, the fault streams are not rewound.
+		pr.flt.Reset()
+	}
 }
 
 // RoundSize returns the number of balls a full round places: K for the
@@ -841,6 +917,12 @@ func (pr *Process) step(toPlace int) {
 		panic("core: scalar rounds on a vector-load process; use InsertVec")
 	}
 	pr.rounds++
+	if pr.flt != nil {
+		// Degraded rounds are always serial (effectiveShards forces the
+		// serial engine whenever a plan is active).
+		pr.stepFaulty(toPlace)
+		return
+	}
 	if pr.shard != nil && pr.policy != StaleBatch {
 		// Sharded superstep engine: decisions were (or will be) made in
 		// parallel for the whole block; apply this round's serially.

@@ -169,6 +169,9 @@ func (pr *Process) resolve(b Ball) (int32, error) {
 // (D <= 2, the classical process of Peres et al., keeps the exact two-probe
 // draws).
 func (pr *Process) decide() (bin, probes int) {
+	if pr.flt != nil {
+		return pr.decideFaulty()
+	}
 	pr.obsPairBuf = pr.obsPairBuf[:0]
 	switch pr.policy {
 	case DChoice:
@@ -300,6 +303,7 @@ func (pr *Process) InsertW(w int) (Ball, error) {
 	if w < 1 || w > maxBallWeight {
 		return NoBall, fmt.Errorf("core: ball weight %d out of range [1, %d]", w, maxBallWeight)
 	}
+	pr.faultTick()
 	pr.rounds++
 	bin, probes := pr.decide()
 	h := pr.kern.addW(bin, w)
@@ -328,6 +332,7 @@ func (pr *Process) InsertVec(w []float64) (Ball, error) {
 	if len(w) != pr.p.VecDims {
 		return NoBall, fmt.Errorf("core: weight vector has %d components, process has VecDims = %d", len(w), pr.p.VecDims)
 	}
+	pr.faultTick() // vector mode rejects fault plans; kept for symmetry
 	pr.rounds++
 	bin, probes := pr.decide()
 	pr.vec.AddVec(bin, w)
@@ -352,6 +357,7 @@ func (pr *Process) Delete(b Ball) error {
 	if err != nil {
 		return err
 	}
+	pr.faultTick()
 	bin := int(pr.ballBin[idx])
 	w := int(pr.ballWt[idx])
 	if pr.vec != nil {
@@ -360,6 +366,10 @@ func (pr *Process) Delete(b Ball) error {
 		pr.kern.subW(bin, w)
 	}
 	pr.ballGen[idx]++
+	// A zero weight marks the slot dead: ballWt > 0 ⇔ live, the
+	// invariant the eviction scan (faults.go) and the conservation
+	// property tests rely on.
+	pr.ballWt[idx] = 0
 	pr.ballFree = append(pr.ballFree, idx)
 	pr.live--
 	pr.balls--
@@ -399,6 +409,7 @@ func (pr *Process) Rebalance(b Ball) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	pr.faultTick()
 	cur := int(pr.ballBin[idx])
 	pr.rounds++
 	best, probes := pr.decide()

@@ -78,6 +78,13 @@ func shardDrawWidth(policy Policy) int {
 // host-dependent law change would break cross-machine reproducibility.
 // Sharding those policies is an explicit opt-in.
 func effectiveShards(policy Policy, p Params) int {
+	if faultsActive(p) {
+		// Fault decisions are serial by design (the injector's streams
+		// are consumed in round order), so an active plan forces the
+		// serial engine — which is exactly what makes a faulty run
+		// bit-identical for ANY Shards setting.
+		return 1
+	}
 	s := p.Shards
 	if s == 0 {
 		if policy == StaleBatch {

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	kdchoice "repro"
+)
+
+// FaultFrontierOpts configures the robustness frontier study.
+type FaultFrontierOpts struct {
+	// N is the bin count; N balls are placed (the paper's canonical m = n).
+	N int
+	// K, D are the round shape (default 2, 8).
+	K, D int
+	// LossRates are the per-probe loss probabilities to sweep
+	// (default 0.05, 0.1, 0.2, 0.4).
+	LossRates []float64
+	// Retries are the retry budgets to sweep at every loss rate
+	// (default 0, 2, 8).
+	Retries []int
+	// FailRate is the per-round bin outage probability layered under
+	// every faulty cell (default 0 — pure probe loss); DownFor fixes the
+	// outage length in rounds (default 256 when FailRate > 0).
+	FailRate float64
+	DownFor  int
+	// Runs is the repetition count per cell.
+	Runs int
+	// Seed is the root seed.
+	Seed uint64
+}
+
+// FaultFrontierPoint is one point of the robustness frontier.
+type FaultFrontierPoint struct {
+	// LossRate is the per-probe loss probability of the cell's plan.
+	LossRate float64
+	// Retry is the cell's retry budget: lost probes are replaced by up to
+	// this many fresh draws per decision.
+	Retry int
+	// MeanGap is the faulty cell's mean max−avg gap.
+	MeanGap float64
+	// GapInflation is MeanGap minus the fault-free baseline's mean gap —
+	// the balance price of degraded decisions at this (loss, retry) point.
+	GapInflation float64
+	// ProbesLost, Retries and Fallbacks are the per-run means of the
+	// corresponding fault counters.
+	ProbesLost float64
+	Retries    float64
+	Fallbacks  float64
+}
+
+// FaultFrontier measures graceful degradation under the deterministic
+// fault layer: the same (k,d)-choice process run fault-free and under a
+// grid of (probe-loss rate × retry budget) plans, optionally with bin
+// outages layered underneath. Each lost probe deprives a round of one of
+// its d choices (DegradeD); the retry budget buys the probes back at the
+// price of extra messages (RetryProbes); a round whose every probe is
+// lost falls back to a uniform up bin. GapInflation is the measured
+// balance cost of that degradation — near 0 when retries restore the
+// full probe multiset, growing toward the single-choice gap as survivors
+// thin out.
+//
+// The whole grid (fault-free baseline + every plan) runs as one
+// Experiment on the shared worker pool. Faulty cells force the serial
+// engine internally, so results are deterministic given the seed and
+// independent of the worker count.
+func FaultFrontier(opts FaultFrontierOpts) ([]FaultFrontierPoint, error) {
+	if opts.K == 0 {
+		opts.K = 2
+	}
+	if opts.D == 0 {
+		opts.D = 8
+	}
+	losses := opts.LossRates
+	if len(losses) == 0 {
+		losses = []float64{0.05, 0.1, 0.2, 0.4}
+	}
+	retries := opts.Retries
+	if len(retries) == 0 {
+		retries = []int{0, 2, 8}
+	}
+	downFor := opts.DownFor
+	if opts.FailRate > 0 && downFor == 0 {
+		downFor = 256
+	}
+	base := kdchoice.Config{
+		Bins: opts.N, K: opts.K, D: opts.D,
+		Policy: kdchoice.KDChoice, Seed: normalizeSeed(opts.Seed),
+	}
+	// Cell 0 is the fault-free baseline; cell 1+i*len(retries)+j carries
+	// the plan (losses[i], retries[j]).
+	cells := make([]kdchoice.Cell, 0, len(losses)*len(retries)+1)
+	cells = append(cells, kdchoice.Cell{Config: base})
+	for _, loss := range losses {
+		for _, retry := range retries {
+			plan := &kdchoice.FaultPlan{
+				FailRate: opts.FailRate,
+				DownFor:  downFor,
+				LossProb: loss,
+				Retry:    retry,
+			}
+			cfg := base
+			cfg.Faults = plan
+			cells = append(cells, kdchoice.Cell{Config: cfg})
+		}
+	}
+	rep, err := kdchoice.Experiment{
+		Cells: cells,
+		Runs:  opts.Runs,
+		Seed:  opts.Seed,
+	}.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fault frontier: %w", err)
+	}
+	serialGap := rep.Cells[0].MeanGap
+	out := make([]FaultFrontierPoint, 0, len(losses)*len(retries))
+	for i, loss := range losses {
+		for j, retry := range retries {
+			c := &rep.Cells[1+i*len(retries)+j]
+			runs := float64(c.EffectiveRuns)
+			out = append(out, FaultFrontierPoint{
+				LossRate:     loss,
+				Retry:        retry,
+				MeanGap:      c.MeanGap,
+				GapInflation: c.MeanGap - serialGap,
+				ProbesLost:   float64(c.TotalFaults.ProbesLost) / runs,
+				Retries:      float64(c.TotalFaults.Retries) / runs,
+				Fallbacks:    float64(c.TotalFaults.Fallbacks) / runs,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFaultFrontier(t *testing.T) {
+	pts, err := FaultFrontier(FaultFrontierOpts{
+		N:         256,
+		LossRates: []float64{0.1, 0.5},
+		Retries:   []int{0, 4},
+		Runs:      3,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4 (2 losses x 2 retries)", len(pts))
+	}
+	byKey := map[[2]int]FaultFrontierPoint{}
+	for _, p := range pts {
+		if math.IsNaN(p.MeanGap) || math.IsInf(p.MeanGap, 0) {
+			t.Fatalf("point %+v has a non-finite gap", p)
+		}
+		if p.ProbesLost <= 0 {
+			t.Fatalf("point %+v lost no probes under loss %g", p, p.LossRate)
+		}
+		if p.Retry == 0 && p.Retries != 0 {
+			t.Fatalf("point %+v retried with a zero budget", p)
+		}
+		if p.Retry > 0 && p.Retries == 0 {
+			t.Fatalf("point %+v has a retry budget but never retried", p)
+		}
+		byKey[[2]int{int(p.LossRate * 10), p.Retry}] = p
+	}
+	// More loss loses more probes at the same retry budget.
+	if byKey[[2]int{5, 0}].ProbesLost <= byKey[[2]int{1, 0}].ProbesLost {
+		t.Fatalf("loss 0.5 lost no more probes than loss 0.1: %+v vs %+v",
+			byKey[[2]int{5, 0}], byKey[[2]int{1, 0}])
+	}
+	// Retries soften the gap at heavy loss: the retried point must not be
+	// materially worse than the unretried one.
+	heavy, retried := byKey[[2]int{5, 0}], byKey[[2]int{5, 4}]
+	if retried.GapInflation > heavy.GapInflation+0.5 {
+		t.Fatalf("retry:4 inflated the gap beyond retry:0 at loss 0.5: %+v vs %+v", retried, heavy)
+	}
+}
+
+func TestFaultFrontierDeterministic(t *testing.T) {
+	opts := FaultFrontierOpts{
+		N:         128,
+		LossRates: []float64{0.2},
+		Retries:   []int{2},
+		FailRate:  0.01,
+		DownFor:   8,
+		Runs:      2,
+		Seed:      3,
+	}
+	a, err := FaultFrontier(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultFrontier(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("frontier not reproducible: %+v vs %+v", a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,478 @@
+// Package faults is the deterministic fault-injection layer of the
+// allocator stack. A Plan — parsed from a compact spec string, the same
+// surface style as the churn/weights specs — schedules bin (or server)
+// outages with recovery, per-probe message loss, and bounded-staleness
+// read noise. An Injector executes a plan against n bins, drawing every
+// fault decision from dedicated xrand streams split off the process's
+// root stream, so a faulty run is bit-reproducible for any worker or
+// shard count and a run with no plan attached is bit-identical to one
+// built before this package existed.
+//
+// Fault model:
+//
+//   - Outage: each tick (one round or one serving operation), with
+//     probability FailRate one uniformly drawn up bin goes down for
+//     DownFor ticks, then recovers. The last up bin never goes down.
+//   - Probe loss: a probe to a down bin is always lost; a probe to an up
+//     bin is lost independently with probability LossProb. A lost probe
+//     returns no load — it still costs a message.
+//   - Read noise: a surviving probe under-reports the bin's load by a
+//     uniform amount in [0, NoiseBound] (bounded staleness).
+//
+// Degradation policies (executed by the process, counted here):
+//
+//   - RetryProbes: up to Retry replacement probes per decision, drawn
+//     from a dedicated stream, each subject to the same loss law.
+//   - DegradeD: when retries are exhausted the decision proceeds with
+//     the surviving d' < d probes — the effective-d knob the paper's
+//     k·ln n / k·ln d bounds price exactly.
+//   - EvictRecover (Evict, serving mode): live balls in a bin that goes
+//     down are immediately re-placed through a degraded decision,
+//     conserving total ball count and weight; their handles stay valid.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/xrand"
+)
+
+// Plan describes one deterministic fault schedule. The zero value is the
+// empty plan (no faults); attaching it is contractually identical to
+// attaching no plan at all.
+type Plan struct {
+	// FailRate is the per-tick probability that one uniformly drawn up
+	// bin goes down ([0, 1]).
+	FailRate float64
+	// DownFor is the outage length in ticks (>= 1 whenever FailRate > 0;
+	// Parse defaults it to 256).
+	DownFor int
+	// LossProb is the per-probe loss probability for probes to up bins
+	// ([0, 1]); probes to down bins are always lost.
+	LossProb float64
+	// NoiseBound bounds the read noise: surviving probes under-report
+	// loads by a uniform amount in [0, NoiseBound].
+	NoiseBound int
+	// Retry is the per-decision replacement-probe budget.
+	Retry int
+	// Evict re-places live balls out of a failing bin through the serving
+	// layer (EvictRecover); it requires an online-serving policy.
+	Evict bool
+}
+
+// Caps keep parsed plans in ranges where schedules stay meaningful and
+// scratch buffers stay small.
+const (
+	maxRetry   = 1024
+	maxNoise   = 1 << 20
+	maxDownFor = 1 << 30
+	// defaultDownFor is the outage length when a fail clause omits it.
+	defaultDownFor = 256
+)
+
+// Empty reports whether the plan injects no faults at all.
+func (p Plan) Empty() bool { return p == Plan{} }
+
+// Validate checks the plan's parameter ranges.
+func (p Plan) Validate() error {
+	if p.FailRate < 0 || p.FailRate > 1 || p.FailRate != p.FailRate {
+		return fmt.Errorf("faults: fail rate %v out of [0, 1]", p.FailRate)
+	}
+	if p.LossProb < 0 || p.LossProb > 1 || p.LossProb != p.LossProb {
+		return fmt.Errorf("faults: loss probability %v out of [0, 1]", p.LossProb)
+	}
+	if p.FailRate > 0 && p.DownFor < 1 {
+		return fmt.Errorf("faults: fail rate %v needs an outage length >= 1 ticks, got %d", p.FailRate, p.DownFor)
+	}
+	if p.DownFor < 0 || p.DownFor > maxDownFor {
+		return fmt.Errorf("faults: outage length %d out of [0, %d]", p.DownFor, maxDownFor)
+	}
+	if p.NoiseBound < 0 || p.NoiseBound > maxNoise {
+		return fmt.Errorf("faults: noise bound %d out of [0, %d]", p.NoiseBound, maxNoise)
+	}
+	if p.Retry < 0 || p.Retry > maxRetry {
+		return fmt.Errorf("faults: retry budget %d out of [0, %d]", p.Retry, maxRetry)
+	}
+	return nil
+}
+
+// String renders the plan in the canonical spec form accepted by Parse:
+// clauses in fixed order (fail, loss, noise, retry, evict) joined by '+',
+// or "none" for the empty plan. Parse(p.String()) reproduces p for every
+// plan Parse can emit.
+func (p Plan) String() string {
+	if p.Empty() {
+		return "none"
+	}
+	var parts []string
+	if p.FailRate > 0 {
+		parts = append(parts, "fail:"+formatProb(p.FailRate)+","+strconv.Itoa(p.DownFor))
+	}
+	if p.LossProb > 0 {
+		parts = append(parts, "loss:"+formatProb(p.LossProb))
+	}
+	if p.NoiseBound > 0 {
+		parts = append(parts, "noise:"+strconv.Itoa(p.NoiseBound))
+	}
+	if p.Retry > 0 {
+		parts = append(parts, "retry:"+strconv.Itoa(p.Retry))
+	}
+	if p.Evict {
+		parts = append(parts, "evict")
+	}
+	if len(parts) == 0 {
+		// Constructed plans can carry fields String has no clause for
+		// (e.g. a bare DownFor); render them as no faults.
+		return "none"
+	}
+	return strings.Join(parts, "+")
+}
+
+func formatProb(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Parse converts a compact fault spec into a Plan. The grammar is
+// '+'-separated clauses:
+//
+//	none                     no faults (only valid alone)
+//	fail:RATE[,TICKS]        per-tick outage probability RATE, each outage
+//	                         lasting TICKS ticks (default 256)
+//	loss:P                   per-probe loss probability P
+//	noise:B                  loads under-reported by up to B units
+//	retry:R                  up to R replacement probes per decision
+//	evict                    re-place live balls out of failing bins
+//
+// Example: "fail:0.001,200+loss:0.1+retry:2+evict". Clauses may appear
+// at most once each.
+func Parse(s string) (Plan, error) {
+	bad := func(format string, args ...any) (Plan, error) {
+		return Plan{}, fmt.Errorf("faults: bad spec %q: %s (want \"none\" or '+'-joined fail:RATE[,TICKS], loss:P, noise:B, retry:R, evict)", s, fmt.Sprintf(format, args...))
+	}
+	if s == "none" {
+		return Plan{}, nil
+	}
+	if s == "" {
+		return bad("empty spec")
+	}
+	var p Plan
+	var seenFail, seenLoss, seenNoise, seenRetry, seenEvict bool
+	for _, clause := range strings.Split(s, "+") {
+		name, arg, hasArg := strings.Cut(clause, ":")
+		switch name {
+		case "fail":
+			if seenFail {
+				return bad("duplicate fail clause")
+			}
+			seenFail = true
+			if !hasArg {
+				return bad("fail needs a rate")
+			}
+			rateStr, ticksStr, hasTicks := strings.Cut(arg, ",")
+			rate, err := strconv.ParseFloat(rateStr, 64)
+			if err != nil {
+				return bad("fail rate %q is not a number", rateStr)
+			}
+			p.FailRate = rate
+			p.DownFor = defaultDownFor
+			if hasTicks {
+				ticks, err := strconv.Atoi(ticksStr)
+				if err != nil {
+					return bad("fail ticks %q is not an integer", ticksStr)
+				}
+				p.DownFor = ticks
+			}
+		case "loss":
+			if seenLoss {
+				return bad("duplicate loss clause")
+			}
+			seenLoss = true
+			if !hasArg {
+				return bad("loss needs a probability")
+			}
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return bad("loss probability %q is not a number", arg)
+			}
+			p.LossProb = v
+		case "noise":
+			if seenNoise {
+				return bad("duplicate noise clause")
+			}
+			seenNoise = true
+			if !hasArg {
+				return bad("noise needs a bound")
+			}
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return bad("noise bound %q is not an integer", arg)
+			}
+			p.NoiseBound = v
+		case "retry":
+			if seenRetry {
+				return bad("duplicate retry clause")
+			}
+			seenRetry = true
+			if !hasArg {
+				return bad("retry needs a budget")
+			}
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return bad("retry budget %q is not an integer", arg)
+			}
+			p.Retry = v
+		case "evict":
+			if seenEvict {
+				return bad("duplicate evict clause")
+			}
+			seenEvict = true
+			if hasArg {
+				return bad("evict takes no argument")
+			}
+			p.Evict = true
+		case "none":
+			return bad("\"none\" must stand alone")
+		default:
+			return bad("unknown clause %q", clause)
+		}
+	}
+	if p.FailRate == 0 {
+		// A zero fail rate schedules no outages, so its length is inert:
+		// drop it so "fail:0[,T]" normalizes to the same plan as no fail
+		// clause (String omits the clause, and round-trips).
+		p.DownFor = 0
+	}
+	if p.Empty() {
+		// e.g. "loss:0+retry:0": all-zero clauses parse to the empty plan,
+		// which must stay spelled "none" so String round-trips.
+		return Plan{}, nil
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, fmt.Errorf("faults: bad spec %q: %w", s, err)
+	}
+	return p, nil
+}
+
+// Counters tallies injected faults and degradation actions. All fields
+// are cumulative; aggregate with Add.
+type Counters struct {
+	// Outages is the number of bins taken down.
+	Outages int64
+	// Recoveries is the number of bins brought back up.
+	Recoveries int64
+	// ProbesLost is the number of probes that returned no load (down bin
+	// or loss coin), including lost retries.
+	ProbesLost int64
+	// Retries is the number of replacement probes issued.
+	Retries int64
+	// Degraded is the number of decisions made with a reduced surviving
+	// probe set (d' < d after retries).
+	Degraded int64
+	// Fallbacks is the number of balls placed into a uniform up bin
+	// because every probe of their decision was lost.
+	Fallbacks int64
+	// Evictions is the number of live balls evicted from failing bins.
+	Evictions int64
+	// Replacements is the number of evicted balls re-placed (equal to
+	// Evictions — conservation — unless a re-placement is still running).
+	Replacements int64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Outages += o.Outages
+	c.Recoveries += o.Recoveries
+	c.ProbesLost += o.ProbesLost
+	c.Retries += o.Retries
+	c.Degraded += o.Degraded
+	c.Fallbacks += o.Fallbacks
+	c.Evictions += o.Evictions
+	c.Replacements += o.Replacements
+}
+
+// Any reports whether any counter is non-zero.
+func (c Counters) Any() bool { return c != Counters{} }
+
+// Dedicated stream ids for the injector's xrand splits. Each fault
+// dimension draws from its own stream so enabling one (say, noise) never
+// shifts the draws of another (the outage schedule), and none of them
+// ever touches the process's main stream.
+const (
+	streamSched = 0x6b64_6653 // "kdfS": outage schedule
+	streamLoss  = 0x6b64_664c // "kdfL": per-probe loss coins
+	streamNoise = 0x6b64_664e // "kdfN": read-noise offsets
+	streamRetry = 0x6b64_6652 // "kdfR": retry and fallback draws
+)
+
+// outage is one scheduled recovery: bin comes back up at tick `until`.
+type outage struct {
+	bin   int
+	until int64
+}
+
+// Injector executes a Plan against n bins. It is driven by the owning
+// process: Tick once per round or serving operation, then the probe-level
+// hooks (LoseProbe, Noise, Retry, FallbackBin) during the decision. Not
+// safe for concurrent use — fault decisions are serial by design; that is
+// what makes faulty runs independent of the worker and shard count.
+type Injector struct {
+	// Counters tallies everything the injector did.
+	Counters Counters
+	// OnFail, when set, is called synchronously from Tick for each bin
+	// that goes down (after its loads become invisible to probes) — the
+	// EvictRecover hook.
+	OnFail func(bin int)
+	// OnRecover, when set, is called synchronously from Tick for each bin
+	// that comes back up — the substrate RecoverServer hook.
+	OnRecover func(bin int)
+
+	plan  Plan
+	n     int
+	tick  int64
+	down  []bool
+	nDown int
+	// outQ is the FIFO of scheduled recoveries (DownFor is constant, so
+	// outages recover in schedule order); outHead is its pop cursor.
+	outQ    []outage
+	outHead int
+
+	sched *xrand.Rand
+	loss  *xrand.Rand
+	noise *xrand.Rand
+	retry *xrand.Rand
+}
+
+// NewInjector builds an injector for a validated plan over n bins,
+// splitting its fault streams off parent without advancing it — the
+// process's main stream draws exactly as it would with no plan attached.
+func NewInjector(plan Plan, n int, parent *xrand.Rand) *Injector {
+	return &Injector{
+		plan:  plan,
+		n:     n,
+		down:  make([]bool, n),
+		sched: parent.Split(streamSched),
+		loss:  parent.Split(streamLoss),
+		noise: parent.Split(streamNoise),
+		retry: parent.Split(streamRetry),
+	}
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// NumDown returns the number of currently down bins.
+func (in *Injector) NumDown() int { return in.nDown }
+
+// Down reports whether bin is currently down.
+func (in *Injector) Down(bin int) bool { return in.down[bin] }
+
+// RetryBudget returns the per-decision replacement-probe budget.
+func (in *Injector) RetryBudget() int { return in.plan.Retry }
+
+// Tick advances the schedule by one round or serving operation: outages
+// whose length expired recover first (OnRecover per bin), then with
+// probability FailRate one uniformly drawn up bin goes down for DownFor
+// ticks (OnFail). The last up bin never goes down, so a fallback
+// destination always exists.
+func (in *Injector) Tick() {
+	if in.plan.FailRate == 0 {
+		return
+	}
+	in.tick++
+	for in.outHead < len(in.outQ) && in.outQ[in.outHead].until <= in.tick {
+		b := in.outQ[in.outHead].bin
+		in.outHead++
+		in.down[b] = false
+		in.nDown--
+		in.Counters.Recoveries++
+		if in.OnRecover != nil {
+			in.OnRecover(b)
+		}
+	}
+	if in.outHead == len(in.outQ) {
+		in.outQ = in.outQ[:0]
+		in.outHead = 0
+	}
+	if !in.sched.Bernoulli(in.plan.FailRate) {
+		return
+	}
+	b := in.sched.Intn(in.n)
+	if in.down[b] || in.nDown+1 >= in.n {
+		// Already down, or it is the schedule's turn but taking b down
+		// would leave no up bin: the outage draw is consumed (determinism)
+		// and nothing fails this tick.
+		return
+	}
+	in.down[b] = true
+	in.nDown++
+	in.outQ = append(in.outQ, outage{bin: b, until: in.tick + int64(in.plan.DownFor)})
+	in.Counters.Outages++
+	if in.OnFail != nil {
+		in.OnFail(b)
+	}
+}
+
+// LoseProbe reports whether a probe to bin returns no load: always for a
+// down bin, else an independent LossProb coin. Lost probes are counted;
+// the caller still charges the message.
+func (in *Injector) LoseProbe(bin int) bool {
+	if in.down[bin] {
+		in.Counters.ProbesLost++
+		return true
+	}
+	if in.plan.LossProb > 0 && in.loss.Bernoulli(in.plan.LossProb) {
+		in.Counters.ProbesLost++
+		return true
+	}
+	return false
+}
+
+// Noise returns the read-noise under-report for one surviving probe: a
+// uniform draw from [0, NoiseBound] (0 when the plan has no noise, with
+// no stream consumption).
+func (in *Injector) Noise() int {
+	if in.plan.NoiseBound == 0 {
+		return 0
+	}
+	return in.noise.Intn(in.plan.NoiseBound + 1)
+}
+
+// Retry draws one replacement-probe destination and counts it. The
+// caller enforces the budget and passes the result back through
+// LoseProbe (retries are subject to the same loss law).
+func (in *Injector) Retry() int {
+	in.Counters.Retries++
+	return in.retry.Intn(in.n)
+}
+
+// FallbackBin returns a uniformly drawn up bin for a ball whose every
+// probe was lost: bounded rejection sampling, then a deterministic scan
+// from the last draw (at least one bin is always up — see Tick).
+func (in *Injector) FallbackBin() int {
+	in.Counters.Fallbacks++
+	b := in.retry.Intn(in.n)
+	for try := 0; try < 64 && in.down[b]; try++ {
+		b = in.retry.Intn(in.n)
+	}
+	for in.down[b] {
+		b++
+		if b == in.n {
+			b = 0
+		}
+	}
+	return b
+}
+
+// Reset restores the injector to its initial schedule state — all bins
+// up, counters zeroed — for an independent rerun of the owning process.
+// Like Process.Reset, the fault streams are NOT rewound.
+func (in *Injector) Reset() {
+	in.Counters = Counters{}
+	in.tick = 0
+	for i := range in.down {
+		in.down[i] = false
+	}
+	in.nDown = 0
+	in.outQ = in.outQ[:0]
+	in.outHead = 0
+}

@@ -1,0 +1,256 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Plan
+	}{
+		{"none", Plan{}},
+		{"loss:0.1", Plan{LossProb: 0.1}},
+		{"fail:0.001", Plan{FailRate: 0.001, DownFor: 256}},
+		{"fail:0.001,200", Plan{FailRate: 0.001, DownFor: 200}},
+		{"noise:2", Plan{NoiseBound: 2}},
+		{"retry:3", Plan{Retry: 3}},
+		{"evict", Plan{Evict: true}},
+		{
+			"fail:0.0005,200+loss:0.1+noise:1+retry:2+evict",
+			Plan{FailRate: 0.0005, DownFor: 200, LossProb: 0.1, NoiseBound: 1, Retry: 2, Evict: true},
+		},
+		// Clause order is free on input; String canonicalizes it.
+		{"evict+retry:2+loss:0.1", Plan{LossProb: 0.1, Retry: 2, Evict: true}},
+		// All-zero clauses normalize to the empty plan.
+		{"loss:0+retry:0", Plan{}},
+		{"fail:0,200", Plan{}},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if p != c.want {
+			t.Fatalf("Parse(%q) = %+v, want %+v", c.spec, p, c.want)
+		}
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", c.spec, p.String(), err)
+		}
+		if back != p {
+			t.Fatalf("round trip changed the plan: %q -> %+v -> %q -> %+v", c.spec, p, p.String(), back)
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"bogus",
+		"none+loss:0.1",
+		"loss:0.1+loss:0.2",
+		"loss:1.5",
+		"loss:-0.1",
+		"loss:NaN",
+		"fail:2",
+		"fail:0.5,0",
+		"fail:0.5,-3",
+		"fail",
+		"noise:-1",
+		"retry:-1",
+		"retry:99999",
+		"evict:1",
+		"loss:",
+	} {
+		if p, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted %+v, want error", spec, p)
+		} else if !strings.Contains(err.Error(), "faults:") {
+			t.Errorf("Parse(%q) error lacks package prefix: %v", spec, err)
+		}
+	}
+}
+
+func TestEmptyPlanString(t *testing.T) {
+	if got := (Plan{}).String(); got != "none" {
+		t.Fatalf("empty plan renders %q, want \"none\"", got)
+	}
+	if !(Plan{}).Empty() {
+		t.Fatal("zero Plan is not Empty")
+	}
+	if (Plan{LossProb: 0.1}).Empty() {
+		t.Fatal("non-zero Plan reports Empty")
+	}
+}
+
+// TestInjectorDeterminism: two injectors split off identical parent
+// streams replay the identical fault schedule, and creating an injector
+// does not advance the parent stream.
+func TestInjectorDeterminism(t *testing.T) {
+	plan := Plan{FailRate: 0.05, DownFor: 8, LossProb: 0.3, NoiseBound: 2, Retry: 2}
+	mk := func() (*Injector, *xrand.Rand) {
+		parent := xrand.NewStream(42, 7)
+		return NewInjector(plan, 64, parent), parent
+	}
+	a, pa := mk()
+	b, pb := mk()
+	for i := 0; i < 5000; i++ {
+		a.Tick()
+		b.Tick()
+		bin := i % 64
+		if a.LoseProbe(bin) != b.LoseProbe(bin) {
+			t.Fatalf("tick %d: loss decisions diverged", i)
+		}
+		if a.Noise() != b.Noise() {
+			t.Fatalf("tick %d: noise draws diverged", i)
+		}
+		if a.NumDown() != b.NumDown() {
+			t.Fatalf("tick %d: down sets diverged", i)
+		}
+	}
+	if a.Counters != b.Counters {
+		t.Fatalf("counters diverged: %+v vs %+v", a.Counters, b.Counters)
+	}
+	if a.Counters.Outages == 0 || a.Counters.ProbesLost == 0 {
+		t.Fatalf("schedule injected nothing: %+v", a.Counters)
+	}
+	// Splitting the injector streams must not perturb the parent.
+	if pa.Uint64() != pb.Uint64() {
+		t.Fatal("injector construction advanced the parent stream")
+	}
+}
+
+// TestOutageRecovery: every outage recovers after exactly DownFor ticks,
+// and the down set never swallows the last up bin.
+func TestOutageRecovery(t *testing.T) {
+	plan := Plan{FailRate: 0.9, DownFor: 3}
+	in := NewInjector(plan, 4, xrand.NewStream(1, 1))
+	for i := 0; i < 10000; i++ {
+		in.Tick()
+		if in.NumDown() >= 4 {
+			t.Fatalf("tick %d: all bins down", i)
+		}
+		up := 0
+		for b := 0; b < 4; b++ {
+			if !in.Down(b) {
+				up++
+			}
+		}
+		if up != 4-in.NumDown() {
+			t.Fatalf("tick %d: NumDown %d disagrees with Down scan (%d up)", i, in.NumDown(), up)
+		}
+	}
+	if in.Counters.Outages == 0 {
+		t.Fatal("aggressive schedule produced no outages")
+	}
+	// Quiesce: with no new failures possible the queue fully drains.
+	drained := NewInjector(Plan{FailRate: 0, LossProb: 0.5}, 4, xrand.NewStream(1, 2))
+	for i := 0; i < 100; i++ {
+		drained.Tick()
+	}
+	if drained.NumDown() != 0 || drained.Counters.Outages != 0 {
+		t.Fatalf("no-outage plan took bins down: %+v", drained.Counters)
+	}
+	if in.Counters.Recoveries > in.Counters.Outages {
+		t.Fatalf("more recoveries than outages: %+v", in.Counters)
+	}
+}
+
+// TestFallbackBinAvoidsDown: the uniform fallback never lands on a down
+// bin, even when most bins are down.
+func TestFallbackBinAvoidsDown(t *testing.T) {
+	plan := Plan{FailRate: 1, DownFor: 1 << 20}
+	in := NewInjector(plan, 8, xrand.NewStream(9, 9))
+	for i := 0; i < 64; i++ {
+		in.Tick()
+	}
+	if in.NumDown() != 7 {
+		t.Fatalf("expected 7 of 8 bins down, got %d", in.NumDown())
+	}
+	for i := 0; i < 100; i++ {
+		if b := in.FallbackBin(); in.Down(b) {
+			t.Fatalf("FallbackBin returned down bin %d", b)
+		}
+	}
+}
+
+func TestLoseProbeDownBinAlwaysLost(t *testing.T) {
+	plan := Plan{FailRate: 1, DownFor: 1 << 20}
+	in := NewInjector(plan, 4, xrand.NewStream(3, 3))
+	for i := 0; i < 16; i++ {
+		in.Tick()
+	}
+	lostDown := 0
+	for b := 0; b < 4; b++ {
+		if in.Down(b) {
+			for i := 0; i < 10; i++ {
+				if !in.LoseProbe(b) {
+					t.Fatalf("probe to down bin %d survived", b)
+				}
+				lostDown++
+			}
+		}
+	}
+	if lostDown == 0 {
+		t.Fatal("no bin was down after 16 ticks at FailRate 1")
+	}
+}
+
+func TestCountersAddAny(t *testing.T) {
+	var c Counters
+	if c.Any() {
+		t.Fatal("zero Counters reports Any")
+	}
+	c.Add(Counters{Outages: 2, ProbesLost: 5})
+	c.Add(Counters{Outages: 1, Retries: 3})
+	want := Counters{Outages: 3, ProbesLost: 5, Retries: 3}
+	if c != want {
+		t.Fatalf("Add = %+v, want %+v", c, want)
+	}
+	if !c.Any() {
+		t.Fatal("non-zero Counters does not report Any")
+	}
+}
+
+// TestReset: a reset injector replays from its current stream positions
+// with cleared schedule state; the down set and counters are zeroed.
+func TestReset(t *testing.T) {
+	plan := Plan{FailRate: 0.5, DownFor: 4, LossProb: 0.5}
+	in := NewInjector(plan, 8, xrand.NewStream(5, 5))
+	for i := 0; i < 100; i++ {
+		in.Tick()
+		in.LoseProbe(i % 8)
+	}
+	if !in.Counters.Any() {
+		t.Fatal("schedule injected nothing before Reset")
+	}
+	in.Reset()
+	if in.Counters.Any() || in.NumDown() != 0 {
+		t.Fatalf("Reset left state behind: %+v, %d down", in.Counters, in.NumDown())
+	}
+	for b := 0; b < 8; b++ {
+		if in.Down(b) {
+			t.Fatalf("bin %d still down after Reset", b)
+		}
+	}
+}
+
+func TestValidateCaps(t *testing.T) {
+	for _, p := range []Plan{
+		{LossProb: 0.5, Retry: maxRetry + 1},
+		{NoiseBound: maxNoise + 1},
+		{FailRate: 0.1, DownFor: maxDownFor + 1},
+		{FailRate: 0.1}, // DownFor missing
+	} {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted, want error", p)
+		}
+	}
+	ok := Plan{FailRate: 0.1, DownFor: 1, LossProb: 1, NoiseBound: maxNoise, Retry: maxRetry, Evict: true}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate(%+v): %v", ok, err)
+	}
+}

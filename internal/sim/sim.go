@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/loadvec"
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -87,6 +88,9 @@ type Result struct {
 	Discarded []int
 	// Loads is populated when Config.CollectLoads is set.
 	Loads []loadvec.Vector
+	// Faults is populated (indexed by run) when the config carries an
+	// active fault plan.
+	Faults []faults.Counters
 
 	// Streaming profile accumulators (Config.CollectProfiles): position-
 	// wise sums of the sorted load vectors and of the ν_y occupancy counts
@@ -134,6 +138,9 @@ func newResult(cfg Config) *Result {
 	}
 	if cfg.CollectLoads {
 		res.Loads = make([]loadvec.Vector, nRuns)
+	}
+	if cfg.Params.Faults != nil && !cfg.Params.Faults.Empty() {
+		res.Faults = make([]faults.Counters, nRuns)
 	}
 	return res
 }
@@ -269,6 +276,9 @@ func RunAll(workers int, cfgs []Config) ([]*Result, error) {
 		res.Messages[run] = pr.Messages()
 		if res.Discarded != nil {
 			res.Discarded[run] = pr.Discarded()
+		}
+		if res.Faults != nil {
+			res.Faults[run] = pr.FaultCounters()
 		}
 		if cfg.CollectLoads || cfg.CollectProfiles {
 			v := pr.Loads()

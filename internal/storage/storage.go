@@ -442,6 +442,35 @@ func (s *System) FailServer(sv int) int {
 	return moved
 }
 
+// RecoverServer is the inverse of FailServer: it brings server sv back
+// into the alive set — empty, since its copies were re-replicated or
+// dropped at failure time — and then repairs every under-replicated file
+// by placing each dropped copy with the same 1-of-(d-k+1) probe rule
+// FailServer's re-replication uses. It returns the number of copies
+// restored. Recovering an alive or out-of-range server is a no-op, so
+// the call is idempotent.
+func (s *System) RecoverServer(sv int) int {
+	if sv < 0 || sv >= s.cfg.Servers || s.alive[sv] {
+		return 0
+	}
+	s.alive[sv] = true
+	restored := 0
+	for fid, servers := range s.files {
+		for i, holder := range servers {
+			if holder != -1 {
+				continue
+			}
+			repl := s.replacementFor(fid)
+			if repl >= 0 {
+				servers[i] = repl
+				s.addCopy(repl, s.sizes[fid])
+				restored++
+			}
+		}
+	}
+	return restored
+}
+
 // replacementFor picks a new server for one lost copy of file fid: the
 // least loaded of a few probes among alive servers not already holding the
 // file.

@@ -385,6 +385,17 @@ type Config struct {
 	// law between hosts; sharding a staleness-coupled policy is an
 	// explicit opt-in.
 	Shards int
+	// Faults attaches a deterministic fault-injection plan (see
+	// ParseFaults and faults.go): seeded bin outages with recovery,
+	// per-probe loss, bounded read noise, and graceful degradation
+	// (bounded retries, deciding with the surviving d' < d probes,
+	// evict-recover for serving). All fault randomness comes from
+	// dedicated streams split off Seed, so faulty runs are bit-identical
+	// for any Workers/Shards setting (a non-empty plan forces serial
+	// decisions). Nil or empty is bit-identical to a fault-free
+	// allocator at zero extra cost. Supported by KDChoice, fixed-σ
+	// Serialized and the per-ball serving family, scalar mode only.
+	Faults *FaultPlan
 }
 
 // withDefaults returns cfg with the documented zero-value defaults applied
@@ -429,6 +440,7 @@ func (cfg Config) coreConfig() (core.Policy, core.Params, error) {
 		Quantum:         cfg.Quantum,
 		SketchWidth:     cfg.SketchWidth,
 		SketchDepth:     cfg.SketchDepth,
+		Faults:          cfg.Faults,
 	}, nil
 }
 

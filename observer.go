@@ -39,6 +39,9 @@ type RoundEvent struct {
 	// inserts report len(Placed); weighted inserts report the ball's
 	// weight; deletes report the drained weight.
 	Weight int
+	// Faults holds the cumulative fault counters as of this event; zero
+	// unless the allocator carries an active fault plan.
+	Faults FaultCounters
 }
 
 // Gap returns the current max-load-minus-average-load, the heavily-loaded
@@ -114,6 +117,7 @@ func (b observerBridge) RoundPlaced(round int, samples, placed, heights []int) {
 		Messages: pr.Messages(),
 		Op:       pr.LastOp(),
 		Weight:   weight,
+		Faults:   pr.FaultCounters(),
 	}
 	for _, o := range b.a.observers {
 		o.ObserveRound(e)

@@ -8,8 +8,8 @@
 #                          the pipelined engine end to end)
 #   scripts/ci.sh bench    refresh the tracked benchmark grids
 #                          (BENCH_kd.json, BENCH_scale.json,
-#                          BENCH_serve.json, BENCH_approx.json and
-#                          BENCH_parallel.json)
+#                          BENCH_serve.json, BENCH_approx.json,
+#                          BENCH_parallel.json and BENCH_faults.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,6 +24,8 @@ if [ "${1:-}" = "bench" ]; then
     go run ./cmd/bench -approx -out BENCH_approx.json
     echo "==> refreshing BENCH_parallel.json (shard-count series, ~60s)"
     go run ./cmd/bench -parallel -out BENCH_parallel.json
+    echo "==> refreshing BENCH_faults.json (fault-injection serving grid, ~10s)"
+    go run ./cmd/bench -faults -out BENCH_faults.json
     exit 0
 fi
 
@@ -63,9 +65,10 @@ GOMAXPROCS=4 go test -race -run 'TestSharded|TestStaleBatch|TestShardsPublicSurf
 
 echo "==> fuzz smoke: spec parsers (10s per target)"
 # Short deterministic-budget runs of the native fuzz targets over every
-# string-spec parser (policy, store, churn, weights). Longer sessions:
+# string-spec parser (policy, store, churn, weights, faults). Longer
+# sessions:
 #   go test -fuzz '^FuzzParseChurn$' -fuzztime 5m .
-for target in FuzzParsePolicy FuzzParseStore FuzzParseChurn FuzzParseWeights; do
+for target in FuzzParsePolicy FuzzParseStore FuzzParseChurn FuzzParseWeights FuzzParseFaults; do
     go test -run "^${target}$" -fuzz "^${target}$" -fuzztime=10s .
 done
 
@@ -95,6 +98,14 @@ go run ./cmd/bench -approx -quick -out ''
 echo "==> bench smoke: online serving grid (-serve -quick; insert/delete mix, every store)"
 go run ./cmd/bench -serve -quick -out ''
 
+echo "==> bench smoke: fault-injection grid (-faults -quick; loss/retry/outage/evict plans)"
+go run ./cmd/bench -faults -quick -out ''
+
+echo "==> faults smoke: degraded round + serving runs via kdsim (deterministic fault layer)"
+go run ./cmd/kdsim -n 4096 -k 2 -d 8 -runs 2 -faults fail:0.001,100+loss:0.2+retry:2
+go run ./cmd/kdsim -n 2048 -m 10000 -d 2 -beta 1 -runs 2 -store hist \
+    -churn poisson:0.4 -faults loss:0.1+retry:2+evict
+
 echo "==> serve smoke: churned weighted study via kdsim (deterministic online path)"
 go run ./cmd/kdsim -n 4096 -m 20000 -d 2 -beta 1 -runs 2 \
     -churn diurnal:0.0005,0.5 -weights zipf:1.5,64 -store hist
@@ -118,6 +129,12 @@ echo "==> perf ratchet: tracked approximate-store cell vs committed BENCH_approx
 # The n=10^8 nibble cell additionally warns if its measured bytes/bin ever
 # exceeds the 0.6 B/bin budget the sub-byte store exists to hold.
 go run ./cmd/bench -compareapprox BENCH_approx.json || echo "approx ratchet skipped (bench error)"
+
+echo "==> perf ratchet: tracked faulty serving cell vs committed BENCH_faults.json"
+# Time drift >15% warns like the other ratchets, but any per-op allocation
+# in the faulty serving path FAILS the pipeline: the fault layer's
+# zero-allocation contract is a correctness gate, not a perf preference.
+go run ./cmd/bench -comparefaults BENCH_faults.json
 
 # Import hygiene (cmd/examples on the public API only; substrates
 # reachable only from the root package and internal/experiments) is

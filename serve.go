@@ -362,6 +362,11 @@ type ChurnCell struct {
 	VecDims int
 	// VecNorm is the aggregation norm of vector-load mode.
 	VecNorm Norm
+	// Faults optionally attaches a deterministic fault plan to the cell's
+	// allocator: bin outages, probe loss, read noise, and the degradation
+	// policies (retry budget, eviction) all drawn from streams split off
+	// the run seed. Scalar cells only (VecDims must be 0).
+	Faults *FaultPlan
 	// Seed, when non-zero, pins the cell's seed; otherwise the Study
 	// derives one from its root seed and the cell index.
 	Seed uint64
@@ -391,6 +396,7 @@ func (c ChurnCell) config(seed uint64) Config {
 		Store:   c.Store,
 		VecDims: c.VecDims,
 		VecNorm: c.VecNorm,
+		Faults:  c.Faults,
 		Seed:    seed,
 	}
 }
@@ -406,6 +412,9 @@ func (c ChurnCell) appLabel() string {
 	}
 	if cc.VecDims > 0 {
 		s += fmt.Sprintf(" vec=%d/%s", cc.VecDims, cc.VecNorm)
+	}
+	if cc.Faults != nil && !cc.Faults.Empty() {
+		s += " faults=" + cc.Faults.String()
 	}
 	return s
 }
@@ -483,6 +492,7 @@ func (c ChurnCell) runApp(seed uint64, obs []Observer) (AppMetrics, error) {
 		Messages:      alloc.Messages(),
 		ProbeMessages: alloc.Messages(),
 		Units:         cc.Ops,
+		Faults:        alloc.FaultCounters(),
 	}
 	if cc.VecDims > 0 {
 		met.MaxLoad = alloc.MaxAggLoad()

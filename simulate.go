@@ -37,6 +37,11 @@ type SimResult struct {
 	EffectiveBalls int
 	// EffectiveRuns is the run count actually used.
 	EffectiveRuns int
+	// Faults holds each run's fault counters (indexed by run); nil unless
+	// the configuration carried an active fault plan.
+	Faults []FaultCounters
+	// TotalFaults sums Faults over all runs.
+	TotalFaults FaultCounters
 
 	res *sim.Result
 }
@@ -47,7 +52,7 @@ func newSimResult(res *sim.Result) SimResult {
 	if balls == 0 {
 		balls = res.Config.Params.N
 	}
-	return SimResult{
+	out := SimResult{
 		MaxLoads:       res.MaxLoads,
 		Gaps:           res.Gaps,
 		Messages:       res.Messages,
@@ -57,8 +62,13 @@ func newSimResult(res *sim.Result) SimResult {
 		MeanMessages:   res.MeanMessages(),
 		EffectiveBalls: balls,
 		EffectiveRuns:  len(res.MaxLoads),
+		Faults:         res.Faults,
 		res:            res,
 	}
+	for _, c := range res.Faults {
+		out.TotalFaults.Add(c)
+	}
+	return out
 }
 
 // MeanSortedProfile returns the position-wise mean of the sorted
